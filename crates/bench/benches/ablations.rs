@@ -1,0 +1,117 @@
+//! Criterion counterparts of the design ablations A1–A4 (DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qppt_bench::BenchDb;
+use qppt_core::PlanOptions;
+use qppt_kiss::{KissConfig, KissTree};
+use qppt_mem::{DupArena, LinkedDupArena, Xoshiro256StarStar};
+use qppt_ssb::queries;
+use qppt_trie::{PrefixTree, TrieConfig};
+
+const SF: f64 = 0.01;
+
+fn a1_joinbuffer(c: &mut Criterion) {
+    let db = BenchDb::prepare(SF, 42);
+    let q = queries::q4_1();
+    let mut g = c.benchmark_group("a1_joinbuffer_q4_1");
+    g.sample_size(10);
+    for buf in PlanOptions::JOIN_BUFFER_CHOICES {
+        g.bench_function(BenchmarkId::new("buf", buf), |b| {
+            let opts = PlanOptions::default().with_join_buffer(buf);
+            b.iter(|| db.run_qppt(&q, &opts))
+        });
+    }
+    g.finish();
+}
+
+fn a2_duplicates(c: &mut Criterion) {
+    const KEYS: usize = 500;
+    const PER_KEY: usize = 1_000;
+    let mut rng = Xoshiro256StarStar::new(7);
+    let mut order: Vec<u32> = (0..KEYS as u32)
+        .flat_map(|k| std::iter::repeat_n(k, PER_KEY))
+        .collect();
+    rng.shuffle(&mut order);
+
+    let mut seg = DupArena::<u64>::new();
+    let mut seg_lists = vec![None; KEYS];
+    let mut lnk = LinkedDupArena::<u64>::new();
+    let mut lnk_lists = vec![None; KEYS];
+    for &k in &order {
+        match &mut seg_lists[k as usize] {
+            None => seg_lists[k as usize] = Some(seg.new_list(k as u64)),
+            Some(l) => seg.push(l, k as u64),
+        }
+        match &mut lnk_lists[k as usize] {
+            None => lnk_lists[k as usize] = Some(lnk.new_list(k as u64)),
+            Some(l) => lnk.push(l, k as u64),
+        }
+    }
+
+    let mut g = c.benchmark_group("a2_duplicate_scan");
+    g.bench_function("segmented", |b| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            for l in seg_lists.iter().flatten() {
+                seg.for_each_segment(l, |vals| sum += vals.iter().sum::<u64>());
+            }
+            sum
+        })
+    });
+    g.bench_function("linked_list", |b| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            for l in lnk_lists.iter().flatten() {
+                sum += lnk.iter(l).sum::<u64>();
+            }
+            sum
+        })
+    });
+    g.finish();
+}
+
+fn a3_kprime(c: &mut Criterion) {
+    const N: usize = 200_000;
+    let mut rng = Xoshiro256StarStar::new(3);
+    let keys: Vec<u64> = (0..N).map(|_| rng.next_u32() as u64).collect();
+    let mut g = c.benchmark_group("a3_kprime_insert");
+    g.sample_size(10);
+    for k in [2u8, 4, 8] {
+        g.bench_function(BenchmarkId::new("kprime", k), |b| {
+            b.iter(|| {
+                let mut t = PrefixTree::<u32>::new(TrieConfig::new(32, k).unwrap());
+                for (i, &key) in keys.iter().enumerate() {
+                    t.insert_merge(key, i as u32, |acc, v| *acc = v);
+                }
+                t.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn a4_compression(c: &mut Criterion) {
+    const N: usize = 200_000;
+    let dense = Xoshiro256StarStar::new(4).permutation(N as u32);
+    let mut g = c.benchmark_group("a4_kiss_compression_dense_insert");
+    g.sample_size(10);
+    for compressed in [false, true] {
+        let name = if compressed { "compressed" } else { "uncompressed" };
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut t = KissTree::<u32>::new(KissConfig {
+                    l1_bits: 26,
+                    compressed,
+                });
+                for (i, &key) in dense.iter().enumerate() {
+                    t.insert_merge(key, i as u32, |acc, v| *acc = v);
+                }
+                t.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, a1_joinbuffer, a2_duplicates, a3_kprime, a4_compression);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion counterpart of Fig. 3(a): insert/update throughput of the
+//! index structures at a CI-friendly size (the `fig3` binary sweeps sizes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qppt_hash::{ChainedHashMap, OpenHashMap};
+use qppt_kiss::{KissConfig, KissTree};
+use qppt_mem::Xoshiro256StarStar;
+use qppt_trie::PrefixTree;
+
+const N: usize = 200_000;
+const BATCH: usize = 2048;
+
+fn keys() -> Vec<u32> {
+    Xoshiro256StarStar::new(42).permutation(N as u32)
+}
+
+fn bench(c: &mut Criterion) {
+    let keys = keys();
+    let mut g = c.benchmark_group("fig3a_insert");
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(10);
+
+    g.bench_function(BenchmarkId::new("PT4", N), |b| {
+        b.iter(|| {
+            let mut t = PrefixTree::<u32>::pt4_32();
+            for (i, &k) in keys.iter().enumerate() {
+                t.insert_merge(k as u64, i as u32, |acc, v| *acc = v);
+            }
+            t.len()
+        })
+    });
+    g.bench_function(BenchmarkId::new("GLIB_chained", N), |b| {
+        b.iter(|| {
+            let mut t = ChainedHashMap::<u32>::new();
+            for (i, &k) in keys.iter().enumerate() {
+                t.insert(k as u64, i as u32);
+            }
+            t.len()
+        })
+    });
+    g.bench_function(BenchmarkId::new("BOOST_open", N), |b| {
+        b.iter(|| {
+            let mut t = OpenHashMap::<u32>::new();
+            for (i, &k) in keys.iter().enumerate() {
+                t.insert(k as u64, i as u32);
+            }
+            t.len()
+        })
+    });
+    g.bench_function(BenchmarkId::new("KISS", N), |b| {
+        b.iter(|| {
+            let mut t = KissTree::<u32>::new(KissConfig::paper());
+            for (i, &k) in keys.iter().enumerate() {
+                t.insert_merge(k, i as u32, |acc, v| *acc = v);
+            }
+            t.len()
+        })
+    });
+    let pairs: Vec<(u32, u32)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
+    g.bench_function(BenchmarkId::new("KISS_batched", N), |b| {
+        b.iter(|| {
+            let mut t = KissTree::<u32>::new(KissConfig::paper());
+            for chunk in pairs.chunks(BATCH) {
+                t.batch_insert(chunk);
+            }
+            t.len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion counterpart of Fig. 3(b): lookup throughput of the index
+//! structures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qppt_hash::{ChainedHashMap, OpenHashMap};
+use qppt_kiss::{KissConfig, KissTree};
+use qppt_mem::Xoshiro256StarStar;
+use qppt_trie::PrefixTree;
+
+const N: usize = 200_000;
+const BATCH: usize = 2048;
+
+fn bench(c: &mut Criterion) {
+    let keys = Xoshiro256StarStar::new(42).permutation(N as u32);
+    let probes = Xoshiro256StarStar::new(99).permutation(N as u32);
+
+    let mut pt = PrefixTree::<u32>::pt4_32();
+    let mut glib = ChainedHashMap::<u32>::new();
+    let mut open = OpenHashMap::<u32>::new();
+    let mut kiss = KissTree::<u32>::new(KissConfig::paper());
+    for (i, &k) in keys.iter().enumerate() {
+        pt.insert_merge(k as u64, i as u32, |acc, v| *acc = v);
+        glib.insert(k as u64, i as u32);
+        open.insert(k as u64, i as u32);
+        kiss.insert_merge(k, i as u32, |acc, v| *acc = v);
+    }
+
+    let mut g = c.benchmark_group("fig3b_lookup");
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(10);
+
+    g.bench_function(BenchmarkId::new("PT4", N), |b| {
+        b.iter(|| probes.iter().filter(|&&k| pt.get_first(k as u64).is_some()).count())
+    });
+    g.bench_function(BenchmarkId::new("GLIB_chained", N), |b| {
+        b.iter(|| probes.iter().filter(|&&k| glib.get(k as u64).is_some()).count())
+    });
+    g.bench_function(BenchmarkId::new("BOOST_open", N), |b| {
+        b.iter(|| probes.iter().filter(|&&k| open.get(k as u64).is_some()).count())
+    });
+    g.bench_function(BenchmarkId::new("KISS", N), |b| {
+        b.iter(|| probes.iter().filter(|&&k| kiss.get_first(k).is_some()).count())
+    });
+    g.bench_function(BenchmarkId::new("KISS_batched", N), |b| {
+        b.iter(|| {
+            let mut found = 0usize;
+            for chunk in probes.chunks(BATCH) {
+                for v in kiss.batch_get_first(chunk) {
+                    found += v.is_some() as usize;
+                }
+            }
+            found
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion counterpart of Fig. 7: the 13 SSB queries on the three engines
+//! at a CI-friendly scale factor (the `fig7` binary runs bigger scales).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qppt_bench::BenchDb;
+use qppt_core::PlanOptions;
+use qppt_ssb::queries;
+
+const SF: f64 = 0.01;
+
+fn bench(c: &mut Criterion) {
+    let db = BenchDb::prepare(SF, 42);
+    let cdb = db.column_db();
+    let opts = PlanOptions::default();
+
+    let mut g = c.benchmark_group("fig7_ssb");
+    g.sample_size(10);
+    for q in queries::all_queries() {
+        g.bench_function(BenchmarkId::new("qppt", &q.id), |b| {
+            b.iter(|| db.run_qppt(&q, &opts))
+        });
+        g.bench_function(BenchmarkId::new("vector", &q.id), |b| {
+            b.iter(|| db.run_vector(&cdb, &q))
+        });
+        g.bench_function(BenchmarkId::new("column", &q.id), |b| {
+            b.iter(|| db.run_column(&cdb, &q))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion counterpart of Fig. 8: Q1.1 with and without the composed
+//! select-join, plus the two baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qppt_bench::BenchDb;
+use qppt_core::PlanOptions;
+use qppt_ssb::queries;
+
+const SF: f64 = 0.01;
+
+fn bench(c: &mut Criterion) {
+    let db = BenchDb::prepare(SF, 42);
+    let cdb = db.column_db();
+    let q = queries::q1_1();
+
+    let mut g = c.benchmark_group("fig8_q1_1");
+    g.sample_size(10);
+    g.bench_function("qppt_with_select_join", |b| {
+        let opts = PlanOptions::default().with_select_join(true);
+        b.iter(|| db.run_qppt(&q, &opts))
+    });
+    g.bench_function("qppt_without_select_join", |b| {
+        let opts = PlanOptions::default().with_select_join(false);
+        b.iter(|| db.run_qppt(&q, &opts))
+    });
+    g.bench_function("vector_at_a_time", |b| b.iter(|| db.run_vector(&cdb, &q)));
+    g.bench_function("column_at_a_time", |b| b.iter(|| db.run_column(&cdb, &q)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion counterpart of Fig. 9: Q4.1 under 2/3/4/5-way star join
+//! limits, plus the two baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qppt_bench::BenchDb;
+use qppt_core::PlanOptions;
+use qppt_ssb::queries;
+
+const SF: f64 = 0.01;
+
+fn bench(c: &mut Criterion) {
+    let db = BenchDb::prepare(SF, 42);
+    let cdb = db.column_db();
+    let q = queries::q4_1();
+
+    let mut g = c.benchmark_group("fig9_q4_1");
+    g.sample_size(10);
+    for ways in [5usize, 4, 3, 2] {
+        g.bench_function(BenchmarkId::new("qppt_ways", ways), |b| {
+            let opts = PlanOptions::default().with_max_join_ways(ways);
+            b.iter(|| db.run_qppt(&q, &opts))
+        });
+    }
+    g.bench_function("vector_at_a_time", |b| b.iter(|| db.run_vector(&cdb, &q)));
+    g.bench_function("column_at_a_time", |b| b.iter(|| db.run_column(&cdb, &q)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Figure 7: execution time of all 13 SSB queries on the three engines
+//! (paper: DexterDB/QPPT vs. a commercial vector-at-a-time DBMS vs.
+//! MonetDB, SF = 15, single-threaded).
+//!
+//! ```text
+//! cargo run --release -p qppt-bench --bin fig7 -- [--sf 0.1] [--runs 3]
+//! ```
+
+use qppt_bench::{arg_f64, arg_usize, ms, print_table, time_best_of, BenchDb};
+use qppt_core::PlanOptions;
+use qppt_ssb::queries;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sf = arg_f64(&args, "--sf", 0.1);
+    let runs = arg_usize(&args, "--runs", 3);
+
+    eprintln!("generating SSB (SF={sf}) and building base indexes …");
+    let db = BenchDb::prepare(sf, 42);
+    let cdb = db.column_db();
+    let opts = PlanOptions::default();
+
+    println!("\nFigure 7: SSB (SF={sf}) query performance [ms], best of {runs}");
+    let mut rows = Vec::new();
+    for q in queries::all_queries() {
+        // Cross-check results once before timing.
+        let a = db.run_qppt(&q, &opts).canonicalized();
+        let b = db.run_vector(&cdb, &q).canonicalized();
+        let c = db.run_column(&cdb, &q).canonicalized();
+        assert_eq!(a, b, "{}: QPPT vs vector", q.id);
+        assert_eq!(b, c, "{}: vector vs column", q.id);
+
+        let t_qppt = time_best_of(runs, || db.run_qppt(&q, &opts));
+        let t_vec = time_best_of(runs, || db.run_vector(&cdb, &q));
+        let t_col = time_best_of(runs, || db.run_column(&cdb, &q));
+        rows.push(vec![
+            q.id.clone(),
+            format!("{:.2}", ms(t_qppt)),
+            format!("{:.2}", ms(t_vec)),
+            format!("{:.2}", ms(t_col)),
+            format!("{:.2}x", ms(t_vec) / ms(t_qppt)),
+            format!("{:.2}x", ms(t_col) / ms(t_qppt)),
+        ]);
+    }
+    print_table(
+        &[
+            "query",
+            "QPPT(DexterDB)",
+            "vector(Commercial)",
+            "column(MonetDB)",
+            "vec/QPPT",
+            "col/QPPT",
+        ],
+        &rows,
+    );
+    println!("\npaper shape: QPPT fastest on every query; column-at-a-time degrades most on Q4.x");
+}

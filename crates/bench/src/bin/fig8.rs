@@ -1,0 +1,71 @@
+//! Figure 8: SSB Q1.1 with and without the composed select-join operator
+//! (paper: 151 ms with vs. 1709 ms without on DexterDB; MonetDB 2059 ms,
+//! commercial 156 ms).
+//!
+//! Without select-join, the fact-side residual selection materializes a
+//! large intermediate index first — ~95% of the plan's time in the paper.
+//!
+//! ```text
+//! cargo run --release -p qppt-bench --bin fig8 -- [--sf 0.1] [--runs 3]
+//! ```
+
+use qppt_bench::{arg_f64, arg_usize, ms, print_table, time_best_of, BenchDb};
+use qppt_core::{PlanOptions, QpptEngine};
+use qppt_ssb::queries;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sf = arg_f64(&args, "--sf", 0.1);
+    let runs = arg_usize(&args, "--runs", 3);
+
+    eprintln!("generating SSB (SF={sf}) and building base indexes …");
+    let db = BenchDb::prepare(sf, 42);
+    let cdb = db.column_db();
+    let q = queries::q1_1();
+    let with_sj = PlanOptions::default().with_select_join(true);
+    let without_sj = PlanOptions::default().with_select_join(false);
+
+    // Cross-check all four configurations.
+    let a = db.run_qppt(&q, &with_sj).canonicalized();
+    assert_eq!(a, db.run_qppt(&q, &without_sj).canonicalized());
+    assert_eq!(a, db.run_vector(&cdb, &q).canonicalized());
+    assert_eq!(a, db.run_column(&cdb, &q).canonicalized());
+
+    let t_col = time_best_of(runs, || db.run_column(&cdb, &q));
+    let t_vec = time_best_of(runs, || db.run_vector(&cdb, &q));
+    let t_with = time_best_of(runs, || db.run_qppt(&q, &with_sj));
+    let t_without = time_best_of(runs, || db.run_qppt(&q, &without_sj));
+
+    println!("\nFigure 8: SSB Q1.1 (SF={sf}) with and without select-join [ms]");
+    print_table(
+        &["configuration", "ms"],
+        &[
+            vec!["column-at-a-time (MonetDB)".into(), format!("{:.2}", ms(t_col))],
+            vec!["vector-at-a-time (Commercial)".into(), format!("{:.2}", ms(t_vec))],
+            vec!["QPPT w/ select-join".into(), format!("{:.2}", ms(t_with))],
+            vec!["QPPT w/o select-join".into(), format!("{:.2}", ms(t_without))],
+        ],
+    );
+    println!(
+        "\nselect-join speedup: {:.2}x (paper: ~11x)",
+        ms(t_without) / ms(t_with)
+    );
+
+    // Show the paper's "95% of the time is the selection" claim via the
+    // per-operator statistics of the non-fused plan.
+    let engine = QpptEngine::new(&db.ssb.db);
+    let (_, stats) = engine.run_with_stats(&q, &without_sj).unwrap();
+    println!("\nper-operator statistics of the non-fused plan:");
+    print!("{stats}");
+    if let Some((i, _)) = stats
+        .ops
+        .iter()
+        .enumerate()
+        .find(|(_, o)| o.label.contains("fact residuals"))
+    {
+        println!(
+            "fact-selection share of operator time: {:.1}% (paper: ~95%)",
+            stats.share(i) * 100.0
+        );
+    }
+}

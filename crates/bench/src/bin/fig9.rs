@@ -1,0 +1,56 @@
+//! Figure 9: SSB Q4.1 under different multi-way/star join width limits
+//! (paper: DexterDB 5-way 842 ms, 4-way 1091 ms, 3-way 1595 ms, 2-way
+//! 4939 ms; commercial 1845 ms, MonetDB 7902 ms).
+//!
+//! The step from 2-way to 3-way joins is the biggest win because the first
+//! join otherwise materializes the largest intermediate result.
+//!
+//! ```text
+//! cargo run --release -p qppt-bench --bin fig9 -- [--sf 0.1] [--runs 3]
+//! ```
+
+use qppt_bench::{arg_f64, arg_usize, ms, print_table, time_best_of, BenchDb};
+use qppt_core::PlanOptions;
+use qppt_ssb::queries;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sf = arg_f64(&args, "--sf", 0.1);
+    let runs = arg_usize(&args, "--runs", 3);
+
+    eprintln!("generating SSB (SF={sf}) and building base indexes …");
+    let db = BenchDb::prepare(sf, 42);
+    let cdb = db.column_db();
+    let q = queries::q4_1();
+
+    // Cross-check every configuration first.
+    let expect = db.run_vector(&cdb, &q).canonicalized();
+    for ways in 2..=5 {
+        let opts = PlanOptions::default().with_max_join_ways(ways);
+        assert_eq!(db.run_qppt(&q, &opts).canonicalized(), expect, "{ways}-way");
+    }
+    assert_eq!(db.run_column(&cdb, &q).canonicalized(), expect);
+
+    let t_col = time_best_of(runs, || db.run_column(&cdb, &q));
+    let t_vec = time_best_of(runs, || db.run_vector(&cdb, &q));
+    let mut rows = vec![
+        vec!["column-at-a-time (MonetDB)".to_string(), format!("{:.2}", ms(t_col))],
+        vec!["vector-at-a-time (Commercial)".to_string(), format!("{:.2}", ms(t_vec))],
+    ];
+    let mut qppt_ms = Vec::new();
+    for ways in [5usize, 4, 3, 2] {
+        let opts = PlanOptions::default().with_max_join_ways(ways);
+        let t = time_best_of(runs, || db.run_qppt(&q, &opts));
+        qppt_ms.push((ways, ms(t)));
+        rows.push(vec![format!("QPPT {ways}-way join"), format!("{:.2}", ms(t))]);
+    }
+
+    println!("\nFigure 9: SSB Q4.1 (SF={sf}) multi-way/star join configurations [ms]");
+    print_table(&["configuration", "ms"], &rows);
+
+    let t5 = qppt_ms.iter().find(|(w, _)| *w == 5).unwrap().1;
+    let t3 = qppt_ms.iter().find(|(w, _)| *w == 3).unwrap().1;
+    let t2 = qppt_ms.iter().find(|(w, _)| *w == 2).unwrap().1;
+    println!("\n2-way → 3-way speedup: {:.2}x (the paper's biggest step)", t2 / t3);
+    println!("3-way → 5-way speedup: {:.2}x (diminishing returns)", t3 / t5);
+}

@@ -1,0 +1,228 @@
+//! Query resolution shared by both comparison engines.
+
+use qppt_storage::{
+    compile_predicate, ColumnType, CompiledPred, QueryResult, QuerySpec, ResultRow, StorageError,
+    Value,
+};
+
+use crate::store::ColumnDb;
+
+/// A dimension resolved against the column store.
+#[derive(Debug)]
+pub struct ResolvedDim {
+    pub table: String,
+    pub join_col: usize,
+    pub fact_col: usize,
+    pub preds: Vec<CompiledPred>,
+    pub carried: Vec<usize>,
+}
+
+/// A star query resolved to column indexes.
+#[derive(Debug)]
+pub struct Resolved {
+    pub fact: String,
+    pub dims: Vec<ResolvedDim>,
+    pub fact_preds: Vec<CompiledPred>,
+    /// Per group-by column: (dim position, index into that dim's `carried`).
+    pub group_sources: Vec<(usize, usize)>,
+    /// Bit widths of the packed group key (planner-equivalent).
+    pub group_widths: Vec<u8>,
+    /// Aggregates as fact-column expressions.
+    pub aggs: Vec<ResolvedAgg>,
+}
+
+/// Aggregate over fact column indexes.
+#[derive(Debug, Clone, Copy)]
+pub enum ResolvedAgg {
+    Col(usize),
+    Mul(usize, usize),
+    Sub(usize, usize),
+}
+
+impl ResolvedAgg {
+    /// Evaluates on a fact-column accessor.
+    #[inline]
+    pub fn eval(&self, get: impl Fn(usize) -> u64) -> i64 {
+        match *self {
+            ResolvedAgg::Col(a) => get(a) as i64,
+            ResolvedAgg::Mul(a, b) => get(a) as i64 * get(b) as i64,
+            ResolvedAgg::Sub(a, b) => get(a) as i64 - get(b) as i64,
+        }
+    }
+
+    /// Fact columns this aggregate reads.
+    pub fn columns(&self) -> Vec<usize> {
+        match *self {
+            ResolvedAgg::Col(a) => vec![a],
+            ResolvedAgg::Mul(a, b) | ResolvedAgg::Sub(a, b) => vec![a, b],
+        }
+    }
+}
+
+/// Resolves a [`QuerySpec`] against the column store.
+pub fn resolve(cdb: &ColumnDb<'_>, spec: &QuerySpec) -> Result<Resolved, StorageError> {
+    let fact_t = cdb.schema_of(&spec.fact)?;
+    let mut dims = Vec::with_capacity(spec.dims.len());
+    for d in &spec.dims {
+        let t = cdb.schema_of(&d.table)?;
+        dims.push(ResolvedDim {
+            table: d.table.clone(),
+            join_col: t.schema().col(&d.join_col)?,
+            fact_col: fact_t.schema().col(&d.fact_col)?,
+            preds: d
+                .predicates
+                .iter()
+                .map(|p| compile_predicate(t, p))
+                .collect::<Result<_, _>>()?,
+            carried: d
+                .carried
+                .iter()
+                .map(|c| t.schema().col(c))
+                .collect::<Result<_, _>>()?,
+        });
+    }
+    let fact_preds = spec
+        .fact_predicates
+        .iter()
+        .map(|p| compile_predicate(fact_t, p))
+        .collect::<Result<_, _>>()?;
+
+    let mut group_sources = Vec::with_capacity(spec.group_by.len());
+    let mut group_widths = Vec::with_capacity(spec.group_by.len());
+    for g in &spec.group_by {
+        let (di, d) = spec
+            .dims
+            .iter()
+            .enumerate()
+            .find(|(_, d)| d.table == g.table)
+            .ok_or_else(|| StorageError::UnknownTable(g.table.clone()))?;
+        let pos = d
+            .carried
+            .iter()
+            .position(|c| *c == g.column)
+            .ok_or_else(|| StorageError::UnknownColumn(g.column.clone()))?;
+        group_sources.push((di, pos));
+        let t = cdb.schema_of(&d.table)?;
+        let col = t.schema().col(&g.column)?;
+        let max_code = match t.schema().column(col).ty {
+            ColumnType::Str => t.dict(col).map_or(0, |dd| dd.len().saturating_sub(1) as u64),
+            ColumnType::Int => {
+                let s = t.stats(col);
+                if s.min > s.max {
+                    0
+                } else {
+                    s.max
+                }
+            }
+        };
+        group_widths.push((64 - max_code.leading_zeros()).max(1) as u8);
+    }
+
+    let aggs = spec
+        .aggregates
+        .iter()
+        .map(|a| {
+            let col = |c: &str| fact_t.schema().col(c);
+            Ok(match &a.expr {
+                qppt_storage::Expr::Col(c) => ResolvedAgg::Col(col(c)?),
+                qppt_storage::Expr::Mul(a, b) => ResolvedAgg::Mul(col(a)?, col(b)?),
+                qppt_storage::Expr::Sub(a, b) => ResolvedAgg::Sub(col(a)?, col(b)?),
+            })
+        })
+        .collect::<Result<_, StorageError>>()?;
+
+    Ok(Resolved {
+        fact: spec.fact.clone(),
+        dims,
+        fact_preds,
+        group_sources,
+        group_widths,
+        aggs,
+    })
+}
+
+/// Packs group codes (one per group column) into a `u64` hash/group key.
+#[inline]
+pub fn pack_group(widths: &[u8], codes: &[u64]) -> u64 {
+    let total: u8 = widths.iter().sum();
+    debug_assert!(total <= 64);
+    let mut key = 0u64;
+    let mut used = 0u8;
+    for (i, &w) in widths.iter().enumerate() {
+        used += w;
+        key |= codes[i] << (total - used);
+    }
+    key
+}
+
+/// Inverse of [`pack_group`].
+pub fn unpack_group(widths: &[u8], key: u64) -> Vec<u64> {
+    let total: u8 = widths.iter().sum();
+    let mut out = Vec::with_capacity(widths.len());
+    let mut used = 0u8;
+    for &w in widths {
+        used += w;
+        let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+        out.push((key >> (total - used)) & mask);
+    }
+    out
+}
+
+/// Decodes grouped aggregation output into the shared result format and
+/// applies the query's order-by.
+pub fn decode_result(
+    cdb: &ColumnDb<'_>,
+    spec: &QuerySpec,
+    resolved: &Resolved,
+    groups: impl IntoIterator<Item = (u64, Vec<i64>)>,
+) -> Result<QueryResult, StorageError> {
+    let mut rows = Vec::new();
+    for (key, aggs) in groups {
+        let codes = unpack_group(&resolved.group_widths, key);
+        let mut key_values = Vec::with_capacity(codes.len());
+        for (i, &code) in codes.iter().enumerate() {
+            let g = &spec.group_by[i];
+            let t = cdb.schema_of(&g.table)?;
+            let col = t.schema().col(&g.column)?;
+            key_values.push(match t.schema().column(col).ty {
+                ColumnType::Int => Value::Int(code as i64),
+                ColumnType::Str => Value::Str(
+                    t.dict(col)
+                        .expect("str column has dictionary")
+                        .decode(code as u32)
+                        .to_string(),
+                ),
+            });
+        }
+        rows.push(ResultRow {
+            key_values,
+            agg_values: aggs,
+        });
+    }
+    let mut result = QueryResult {
+        group_cols: spec.group_by.iter().map(|g| g.column.clone()).collect(),
+        agg_cols: spec.aggregates.iter().map(|a| a.label.clone()).collect(),
+        rows,
+    };
+    result.apply_order(&spec.order_by);
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let widths = [11u8, 10, 5];
+        let codes = vec![1997u64, 513, 17];
+        let key = pack_group(&widths, &codes);
+        assert_eq!(unpack_group(&widths, key), codes);
+    }
+
+    #[test]
+    fn pack_is_order_preserving() {
+        let widths = [8u8, 8];
+        assert!(pack_group(&widths, &[1, 255]) < pack_group(&widths, &[2, 0]));
+    }
+}

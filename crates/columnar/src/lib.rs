@@ -1,0 +1,28 @@
+//! Comparison engines for the QPPT evaluation (§5).
+//!
+//! The paper compares DexterDB/QPPT against MonetDB (**column-at-a-time**)
+//! and a commercial **vector-at-a-time** DBMS, both run single-threaded.
+//! Neither system can be bundled, so this crate implements the two
+//! processing models those systems embody, over a column store built from
+//! the same row-store database the QPPT engine reads:
+//!
+//! * [`ColumnAtATimeEngine`] — one operator processes one full column and
+//!   materializes its entire intermediate result; attribute access after a
+//!   join requires per-column gathers (tuple reconstruction), the cost that
+//!   grows with join count and makes Q4.x expensive (§5).
+//! * [`VectorAtATimeEngine`] — fused pipeline over 1024-tuple vectors with
+//!   selection vectors and pre-built dimension hash tables; no full-column
+//!   intermediates.
+//!
+//! Both engines plan from the same [`qppt_storage::QuerySpec`] as QPPT and
+//! the reference oracle, so cross-engine result equality is checked
+//! end-to-end in the integration tests.
+
+pub mod colat;
+pub mod common;
+pub mod store;
+pub mod vecat;
+
+pub use colat::ColumnAtATimeEngine;
+pub use store::{ColumnDb, ColumnTable};
+pub use vecat::{VectorAtATimeEngine, VECTOR_SIZE};

@@ -1,0 +1,133 @@
+//! Column store: the storage layout of the comparison engines.
+//!
+//! MonetDB-class engines store every attribute as its own dense array. We
+//! build the column store from the row store at a chosen MVCC snapshot
+//! (column stores snapshot/replicate data on load; versioning columns is out
+//! of scope for the comparison, as it is in the paper's single-threaded
+//! evaluation).
+
+use std::collections::HashMap;
+
+use qppt_storage::{Database, Snapshot, StorageError, Table};
+
+/// Columnar image of one table (visible rows only, in rid order).
+#[derive(Debug)]
+pub struct ColumnTable {
+    pub name: String,
+    /// `columns[c][i]` = encoded value of visible row `i`, column `c`.
+    pub columns: Vec<Vec<u64>>,
+    /// Number of (visible) rows.
+    pub rows: usize,
+}
+
+impl ColumnTable {
+    fn build(table: &qppt_storage::MvccTable, snap: Snapshot) -> Self {
+        let t = table.table();
+        let width = t.schema().width();
+        let mut columns: Vec<Vec<u64>> = vec![Vec::new(); width];
+        let mut rows = 0usize;
+        for rid in table.scan_visible(snap) {
+            let row = t.row(rid);
+            for (c, &v) in row.iter().enumerate() {
+                columns[c].push(v);
+            }
+            rows += 1;
+        }
+        Self {
+            name: t.name().to_string(),
+            columns,
+            rows,
+        }
+    }
+
+    /// One column as a slice.
+    #[inline]
+    pub fn col(&self, c: usize) -> &[u64] {
+        &self.columns[c]
+    }
+}
+
+/// Columnar image of a whole database.
+#[derive(Debug)]
+pub struct ColumnDb<'a> {
+    /// The row-store database (kept for schemas and dictionaries).
+    pub db: &'a Database,
+    tables: HashMap<String, ColumnTable>,
+}
+
+impl<'a> ColumnDb<'a> {
+    /// Builds column images for every table at `snap`.
+    pub fn new(db: &'a Database, snap: Snapshot) -> Self {
+        let mut tables = HashMap::new();
+        for name in db.table_names() {
+            let mvt = db.table(name).expect("name from catalog");
+            tables.insert(name.to_string(), ColumnTable::build(mvt, snap));
+        }
+        Self { db, tables }
+    }
+
+    /// The columnar image of a table.
+    pub fn table(&self, name: &str) -> Result<&ColumnTable, StorageError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// The row-store table (schema/dictionary access).
+    pub fn schema_of(&self, name: &str) -> Result<&Table, StorageError> {
+        Ok(self.db.table(name)?.table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qppt_storage::{ColumnType, Schema, TableBuilder, Value};
+
+    fn small_db() -> Database {
+        let mut b = TableBuilder::new(
+            "t",
+            Schema::of(&[("a", ColumnType::Int), ("b", ColumnType::Str)]),
+        );
+        for (a, s) in [(1, "x"), (2, "y"), (3, "x")] {
+            b.push_row(vec![Value::Int(a), Value::str(s)]).unwrap();
+        }
+        let mut db = Database::new();
+        db.add_table(b.finish());
+        db
+    }
+
+    #[test]
+    fn columns_mirror_rows() {
+        let db = small_db();
+        let cdb = ColumnDb::new(&db, db.snapshot());
+        let ct = cdb.table("t").unwrap();
+        assert_eq!(ct.rows, 3);
+        assert_eq!(ct.col(0), &[1, 2, 3]);
+        // "x" < "y" → codes 0, 1.
+        assert_eq!(ct.col(1), &[0, 1, 0]);
+    }
+
+    #[test]
+    fn snapshot_filters_versions() {
+        let mut db = small_db();
+        let before = db.snapshot();
+        db.insert_row("t", &[Value::Int(9), Value::str("x")]).unwrap();
+        db.delete_row("t", 0).unwrap();
+        let after = db.snapshot();
+
+        let old = ColumnDb::new(&db, before);
+        assert_eq!(old.table("t").unwrap().rows, 3);
+        let new = ColumnDb::new(&db, after);
+        let ct = new.table("t").unwrap();
+        assert_eq!(ct.rows, 3); // -1 deleted, +1 inserted
+        assert_eq!(ct.col(0), &[2, 3, 9]);
+    }
+
+    #[test]
+    fn unknown_table_is_an_error() {
+        let db = small_db();
+        let cdb = ColumnDb::new(&db, db.snapshot());
+        assert!(cdb.table("nope").is_err());
+    }
+}

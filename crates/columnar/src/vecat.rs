@@ -1,0 +1,158 @@
+//! Vector-at-a-time engine (the "commercial DBMS" analogue of §5,
+//! MonetDB/X100 style).
+//!
+//! The fact table is processed in cache-sized vectors (1024 tuples). Each
+//! vector flows through the whole pipeline — residual selection, one hash
+//! probe per dimension, aggregation — before the next vector is read, so no
+//! full-column intermediate is ever materialized. Selection vectors track
+//! the qualifying tuples within the current vector.
+
+use qppt_hash::ChainedHashMap;
+use qppt_storage::{QueryResult, QuerySpec, Snapshot, StorageError};
+
+use crate::common::{decode_result, pack_group, resolve};
+use crate::store::ColumnDb;
+
+/// Tuples per vector — "small batches that fit into the processor's caches"
+/// (§6 related work).
+pub const VECTOR_SIZE: usize = 1024;
+
+/// Vector-at-a-time executor.
+#[derive(Debug, Clone, Copy)]
+pub struct VectorAtATimeEngine;
+
+impl VectorAtATimeEngine {
+    /// Runs a star query with a pipelined, vectorized plan.
+    pub fn run(cdb: &ColumnDb<'_>, spec: &QuerySpec) -> Result<QueryResult, StorageError> {
+        Self::run_with_vector_size(cdb, spec, VECTOR_SIZE)
+    }
+
+    /// Same, with an explicit vector size (tests cover boundary sizes).
+    pub fn run_with_vector_size(
+        cdb: &ColumnDb<'_>,
+        spec: &QuerySpec,
+        vector_size: usize,
+    ) -> Result<QueryResult, StorageError> {
+        assert!(vector_size > 0, "vector size must be positive");
+        let r = resolve(cdb, spec)?;
+        let fact = cdb.table(&r.fact)?;
+
+        // Build-side: dimension hash tables (key → carried codes), exactly
+        // once, before the pipeline runs.
+        let mut dim_hashes: Vec<ChainedHashMap<Vec<u64>>> = Vec::with_capacity(r.dims.len());
+        for d in &r.dims {
+            let dt = cdb.table(&d.table)?;
+            let keys = dt.col(d.join_col);
+            let mut h = ChainedHashMap::new();
+            'rows: for (rid, &key) in keys.iter().enumerate().take(dt.rows) {
+                for p in &d.preds {
+                    if !p.matches(|c| dt.col(c)[rid]) {
+                        continue 'rows;
+                    }
+                }
+                let carried: Vec<u64> = d.carried.iter().map(|&c| dt.col(c)[rid]).collect();
+                h.insert(key, carried);
+            }
+            dim_hashes.push(h);
+        }
+
+        // Probe-side pipeline state.
+        let naggs = r.aggs.len().max(1);
+        let mut groups: ChainedHashMap<Vec<i64>> = ChainedHashMap::new();
+        let mut sel: Vec<u32> = Vec::with_capacity(vector_size);
+        // One carried-code register per (dim, carried col), vector-aligned.
+        let mut carried_regs: Vec<Vec<Vec<u64>>> = r
+            .dims
+            .iter()
+            .map(|d| vec![vec![0u64; vector_size]; d.carried.len()])
+            .collect();
+        let mut codes = vec![0u64; r.group_sources.len()];
+
+        let mut base = 0usize;
+        while base < fact.rows {
+            let len = vector_size.min(fact.rows - base);
+            // Selection vector starts full, then narrows per operator.
+            sel.clear();
+            sel.extend(0..len as u32);
+
+            // Residual predicates (vectorized filter).
+            for p in &r.fact_preds {
+                filter_in_place(&mut sel, |i| p.matches(|c| fact.col(c)[base + i as usize]));
+            }
+
+            // One hash probe per dimension; matched carried codes land in
+            // vector registers.
+            for (di, d) in r.dims.iter().enumerate() {
+                let fk = fact.col(d.fact_col);
+                let h = &dim_hashes[di];
+                let regs = &mut carried_regs[di];
+                let mut out = Vec::with_capacity(sel.len());
+                for &i in &sel {
+                    if let Some(carried) = h.get(fk[base + i as usize]) {
+                        for (k, &v) in carried.iter().enumerate() {
+                            regs[k][i as usize] = v;
+                        }
+                        out.push(i);
+                    }
+                }
+                sel = out;
+                if sel.is_empty() {
+                    break;
+                }
+            }
+
+            // Vectorized aggregation into the hash table.
+            for &i in &sel {
+                for (gi, &(di, pos)) in r.group_sources.iter().enumerate() {
+                    codes[gi] = carried_regs[di][pos][i as usize];
+                }
+                let key = pack_group(&r.group_widths, &codes);
+                let accs = groups.get_or_insert_with(key, || vec![0i64; naggs]);
+                for (ai, a) in r.aggs.iter().enumerate() {
+                    accs[ai] += a.eval(|c| fact.col(c)[base + i as usize]);
+                }
+            }
+            base += len;
+        }
+
+        decode_result(cdb, spec, &r, groups.iter().map(|(k, v)| (k, v.clone())))
+    }
+
+    /// Convenience: build the column store and run.
+    pub fn run_on_db(
+        db: &qppt_storage::Database,
+        spec: &QuerySpec,
+        snap: Snapshot,
+    ) -> Result<QueryResult, StorageError> {
+        let cdb = ColumnDb::new(db, snap);
+        Self::run(&cdb, spec)
+    }
+}
+
+/// In-place selection-vector refinement.
+#[inline]
+fn filter_in_place(sel: &mut Vec<u32>, keep: impl Fn(u32) -> bool) {
+    sel.retain(|&i| keep(i));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qppt_storage::CompiledPred;
+
+    #[test]
+    fn filter_in_place_refines() {
+        let mut sel = vec![0u32, 1, 2, 3, 4];
+        filter_in_place(&mut sel, |i| i % 2 == 0);
+        assert_eq!(sel, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn compiled_preds_behave_on_vectors() {
+        let p = CompiledPred::Range { col: 0, lo: 2, hi: 4 };
+        let col = [1u64, 3, 5];
+        let mut sel = vec![0u32, 1, 2];
+        filter_in_place(&mut sel, |i| p.matches(|_| col[i as usize]));
+        assert_eq!(sel, vec![1]);
+    }
+}

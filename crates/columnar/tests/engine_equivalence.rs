@@ -1,0 +1,90 @@
+//! Both comparison engines must produce exactly the oracle's results for
+//! every SSB query — otherwise Fig. 7/8/9 comparisons would be meaningless.
+
+use qppt_columnar::{ColumnAtATimeEngine, ColumnDb, VectorAtATimeEngine};
+use qppt_ssb::{queries, run_reference, SsbDb};
+use qppt_storage::QueryResult;
+
+fn assert_same(a: &QueryResult, b: &QueryResult, ctx: &str) {
+    assert_eq!(
+        a.clone().canonicalized(),
+        b.clone().canonicalized(),
+        "{ctx}: results differ"
+    );
+}
+
+#[test]
+fn column_at_a_time_matches_reference() {
+    let ssb = SsbDb::generate(0.02, 42);
+    let snap = ssb.db.snapshot();
+    let cdb = ColumnDb::new(&ssb.db, snap);
+    for q in queries::all_queries() {
+        let expect = run_reference(&ssb.db, &q, snap).unwrap();
+        let got = ColumnAtATimeEngine::run(&cdb, &q).unwrap();
+        assert_same(&got, &expect, &format!("{} column-at-a-time", q.id));
+    }
+}
+
+#[test]
+fn vector_at_a_time_matches_reference() {
+    let ssb = SsbDb::generate(0.02, 42);
+    let snap = ssb.db.snapshot();
+    let cdb = ColumnDb::new(&ssb.db, snap);
+    for q in queries::all_queries() {
+        let expect = run_reference(&ssb.db, &q, snap).unwrap();
+        let got = VectorAtATimeEngine::run(&cdb, &q).unwrap();
+        assert_same(&got, &expect, &format!("{} vector-at-a-time", q.id));
+    }
+}
+
+#[test]
+fn vector_size_boundaries_agree() {
+    let ssb = SsbDb::generate(0.01, 9);
+    let snap = ssb.db.snapshot();
+    let cdb = ColumnDb::new(&ssb.db, snap);
+    let q = queries::q2_1();
+    let reference = VectorAtATimeEngine::run_with_vector_size(&cdb, &q, 1024).unwrap();
+    // 1 (degenerate tuple-at-a-time), a non-divisor of the row count, and a
+    // vector larger than the table.
+    for vs in [1usize, 7, 977, 1 << 22] {
+        let got = VectorAtATimeEngine::run_with_vector_size(&cdb, &q, vs).unwrap();
+        assert_same(&got, &reference, &format!("vector_size={vs}"));
+    }
+}
+
+#[test]
+fn engines_agree_on_mvcc_snapshots() {
+    let mut ssb = SsbDb::generate(0.01, 5);
+    let before = ssb.db.snapshot();
+    // Delete the first lineorder row; new snapshots must not count it.
+    ssb.db.delete_row("lineorder", 0).unwrap();
+    let after = ssb.db.snapshot();
+    let q = queries::q1_1();
+
+    for snap in [before, after] {
+        let cdb = ColumnDb::new(&ssb.db, snap);
+        let expect = run_reference(&ssb.db, &q, snap).unwrap();
+        let a = ColumnAtATimeEngine::run(&cdb, &q).unwrap();
+        let b = VectorAtATimeEngine::run(&cdb, &q).unwrap();
+        assert_same(&a, &expect, "column @snap");
+        assert_same(&b, &expect, "vector @snap");
+    }
+}
+
+#[test]
+fn ordered_output_follows_spec() {
+    let ssb = SsbDb::generate(0.02, 12);
+    let snap = ssb.db.snapshot();
+    let cdb = ColumnDb::new(&ssb.db, snap);
+    for engine_result in [
+        ColumnAtATimeEngine::run(&cdb, &queries::q3_1()).unwrap(),
+        VectorAtATimeEngine::run(&cdb, &queries::q3_1()).unwrap(),
+    ] {
+        assert!(!engine_result.rows.is_empty());
+        for w in engine_result.rows.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            let (ya, yb) = (a.key_values[2].as_int(), b.key_values[2].as_int());
+            assert!(ya < yb || (ya == yb && a.agg_values[0] >= b.agg_values[0]));
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! The public engine facade.
+
+use qppt_storage::{Database, QueryResult, QuerySpec, Snapshot};
+
+use crate::exec::execute;
+use crate::options::PlanOptions;
+use crate::plan::{build_plan, Plan};
+use crate::stats::ExecStats;
+use crate::QpptError;
+
+/// The QPPT query engine over a database.
+///
+/// Base indexes must exist before running (create them once with
+/// [`prepare_indexes`](crate::plan::prepare_indexes) — "indexes are created
+/// once and remain in the data pool", §3); the engine itself never mutates
+/// the database.
+#[derive(Debug, Clone, Copy)]
+pub struct QpptEngine<'a> {
+    db: &'a Database,
+}
+
+impl<'a> QpptEngine<'a> {
+    /// Creates an engine over `db`.
+    pub fn new(db: &'a Database) -> Self {
+        Self { db }
+    }
+
+    /// Builds the physical plan for a query.
+    pub fn plan(&self, spec: &QuerySpec, opts: &PlanOptions) -> Result<Plan, QpptError> {
+        build_plan(self.db, spec, opts)
+    }
+
+    /// Renders the physical plan (the demonstrator's plan view).
+    pub fn explain(&self, spec: &QuerySpec, opts: &PlanOptions) -> Result<String, QpptError> {
+        Ok(self.plan(spec, opts)?.explain())
+    }
+
+    /// Runs a query at the latest snapshot.
+    pub fn run(&self, spec: &QuerySpec, opts: &PlanOptions) -> Result<QueryResult, QpptError> {
+        Ok(self.run_with_stats(spec, opts)?.0)
+    }
+
+    /// Runs a query, returning per-operator statistics too.
+    pub fn run_with_stats(
+        &self,
+        spec: &QuerySpec,
+        opts: &PlanOptions,
+    ) -> Result<(QueryResult, ExecStats), QpptError> {
+        self.run_at(spec, opts, self.db.snapshot())
+    }
+
+    /// Runs a query at an explicit snapshot (MVCC reads, §3).
+    pub fn run_at(
+        &self,
+        spec: &QuerySpec,
+        opts: &PlanOptions,
+        snap: Snapshot,
+    ) -> Result<(QueryResult, ExecStats), QpptError> {
+        let plan = self.plan(spec, opts)?;
+        execute(self.db, snap, &plan)
+    }
+}

@@ -1,0 +1,794 @@
+//! The QPPT executor: interprets a [`Plan`] over a [`Database`] snapshot.
+//!
+//! Execution follows the indexed table-at-a-time contract: every operator
+//! consumes whole indexes and produces exactly one output index, so the
+//! number of inter-operator calls is "exactly one" per edge (§1). The join
+//! kernels are the synchronous index scan (§4.2) and the batched
+//! select-probe of the fused select-join (§4.3); assisting dimensions are
+//! probed through the join buffer with batched lookups (§2.3).
+
+use std::time::Instant;
+
+use qppt_storage::{
+    sync_scan_indexes, BaseIndex, CompiledPred, Database, MvccTable, QueryResult, ResultRow,
+    Snapshot, StorageError, TreeIndex, Value,
+};
+
+use crate::inter::{AggTable, InterTable};
+use crate::layout::{Layout, Src};
+use crate::options::PlanOptions;
+use crate::plan::{DimHandleKind, JoinStage, MainInput, Plan, ResolvedDim, StageOutput};
+use crate::stats::{ExecStats, OpStats};
+use crate::QpptError;
+
+/// Runs a plan, returning the result and per-operator statistics.
+pub fn execute(
+    db: &Database,
+    snap: Snapshot,
+    plan: &Plan,
+) -> Result<(QueryResult, ExecStats), QpptError> {
+    let started = Instant::now();
+    let mut stats = ExecStats::default();
+    let fact_mvt = db.table(&plan.spec.fact)?;
+
+    // 1. Materialize dimension selections (σ operators of Fig. 5).
+    let mut dim_tables: Vec<Option<InterTable>> = Vec::with_capacity(plan.dims.len());
+    for dim in &plan.dims {
+        if dim.handle != DimHandleKind::Materialized {
+            dim_tables.push(None);
+            continue;
+        }
+        let t0 = Instant::now();
+        let mut layout = Layout::new();
+        for c in &dim.carried_names {
+            layout.add(Src::Dim(dim.spec_idx), c);
+        }
+        let index = TreeIndex::for_domain(dim.join_key_max, plan.opts.prefer_kiss);
+        let mut out = InterTable::new(&dim.join_col_name, layout, index);
+        scan_dim_selection(db, snap, &plan.opts, dim, |key, carried| {
+            out.insert(key, carried);
+        })?;
+        stats.push(OpStats {
+            label: format!("σ({}) → idx on {}", dim.table, dim.join_col_name),
+            out_keys: out.key_count(),
+            out_tuples: out.tuple_count(),
+            index_kind: out.data.index.kind_name().to_string(),
+            memory_bytes: out.memory_bytes(),
+            micros: t0.elapsed().as_micros(),
+        });
+        dim_tables.push(Some(out));
+    }
+
+    // 2. Optional separate fact selection (the non-fused plan of Fig. 8).
+    let fact_base = db.find_index(&plan.spec.fact, &plan.dims[0].fact_col_name)?;
+    let fact_field_map = base_field_map(fact_base, &plan.fact_layout, &plan.dims[0].fact_col_name)?;
+    let mut stream: Option<InterTable> = None;
+    if let Some(fs) = &plan.fact_select {
+        let t0 = Instant::now();
+        let fact_t = fact_mvt.table();
+        let key_col = fact_t.schema().col(&plan.dims[0].fact_col_name)?;
+        let cs = fact_t.stats(key_col);
+        let max_key = if cs.min > cs.max { 0 } else { cs.max };
+        let index = TreeIndex::for_domain(max_key, plan.opts.prefer_kiss);
+        let mut out = InterTable::new(&plan.dims[0].fact_col_name, plan.fact_layout.clone(), index);
+        let mut row = vec![0u64; plan.fact_layout.width()];
+        let check_vis = !fact_mvt.fully_visible(snap);
+        fact_base.data.index.for_each(|key, pid| {
+            let payload = fact_base.data.payload.row(pid);
+            if check_vis && !fact_mvt.visible(payload[0] as u32, snap) {
+                return;
+            }
+            fill_from_base(&fact_field_map, key, payload, &mut row);
+            if fs.preds.iter().all(|p| p.matches(|c| row[c])) {
+                out.insert(key, &row);
+            }
+        });
+        stats.push(OpStats {
+            label: format!(
+                "σ(fact residuals) → idx on {}",
+                plan.dims[0].fact_col_name
+            ),
+            out_keys: out.key_count(),
+            out_tuples: out.tuple_count(),
+            index_kind: out.data.index.kind_name().to_string(),
+            memory_bytes: out.memory_bytes(),
+            micros: t0.elapsed().as_micros(),
+        });
+        stream = Some(out);
+    }
+
+    // 3. Join stages.
+    let naggs = plan.aggs.len().max(1);
+    let agg_max_key = if plan.group_key.total_bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << plan.group_key.total_bits).saturating_sub(1)
+    };
+    let mut agg = AggTable::new(
+        TreeIndex::for_domain(agg_max_key, plan.opts.prefer_kiss),
+        naggs,
+    );
+    for (si, stage) in plan.stages.iter().enumerate() {
+        let t0 = Instant::now();
+        let mut assists = Vec::with_capacity(stage.assisting.len());
+        for &a in &stage.assisting {
+            let access = dim_access(db, snap, &plan.dims[a], &dim_tables)?;
+            let probe_pos = stage
+                .work_layout
+                .expect(Src::Fact, &plan.dims[a].fact_col_name);
+            let fill_pos: Vec<usize> = plan.dims[a]
+                .carried_names
+                .iter()
+                .map(|c| stage.work_layout.expect(Src::Dim(a), c))
+                .collect();
+            assists.push(AssistRt {
+                access,
+                probe_pos,
+                fill_pos,
+            });
+        }
+        let main_idx = match stage.main {
+            MainInput::SyncScan { main } | MainInput::SelectProbe { main } => main,
+        };
+        let main_fill_pos: Vec<usize> = plan.dims[main_idx]
+            .carried_names
+            .iter()
+            .map(|c| stage.work_layout.expect(Src::Dim(main_idx), c))
+            .collect();
+
+        let sink = match &stage.output {
+            StageOutput::Agg => StageSink::Agg(&mut agg),
+            StageOutput::Inter { next } => {
+                let key_name = &plan.dims[*next].fact_col_name;
+                let fact_t = fact_mvt.table();
+                let key_col = fact_t.schema().col(key_name)?;
+                let s = fact_t.stats(key_col);
+                let max_key = if s.min > s.max { 0 } else { s.max };
+                StageSink::Inter(InterTable::new(
+                    key_name,
+                    stage.output_layout.clone(),
+                    TreeIndex::for_domain(max_key, plan.opts.prefer_kiss),
+                ))
+            }
+        };
+
+        let input = stream.take();
+        let width = stage.work_layout.width();
+        let mut run = StageRun {
+            plan,
+            stage,
+            snap,
+            assists,
+            main_fill_pos,
+            sink,
+            buffer: Vec::with_capacity(plan.opts.join_buffer * width.max(1)),
+            rows: 0,
+            width,
+            cap: plan.opts.join_buffer,
+        };
+        match stage.main {
+            MainInput::SyncScan { main } => {
+                let dim_acc = dim_access(db, snap, &plan.dims[main], &dim_tables)?;
+                match &input {
+                    None => {
+                        debug_assert_eq!(si, 0, "only stage 1 reads the fact base index");
+                        run.sync_scan_base(fact_base, fact_mvt, &fact_field_map, &dim_acc);
+                    }
+                    Some(it) => run.sync_scan_inter(it, &dim_acc),
+                }
+            }
+            MainInput::SelectProbe { main } => {
+                debug_assert!(si == 0 && input.is_none());
+                run.select_probe(db, fact_base, fact_mvt, &fact_field_map, &plan.dims[main])?;
+            }
+        }
+        run.flush();
+        match run.sink {
+            StageSink::Agg(a) => {
+                stats.push(OpStats {
+                    label: format!("{}-way star join-group", stage.ways),
+                    out_keys: a.group_count(),
+                    out_tuples: a.group_count(),
+                    index_kind: a.index_kind().to_string(),
+                    memory_bytes: a.memory_bytes(),
+                    micros: t0.elapsed().as_micros(),
+                });
+            }
+            StageSink::Inter(out) => {
+                stats.push(OpStats {
+                    label: format!("{}-way star join → idx on {}", stage.ways, out.key_name),
+                    out_keys: out.key_count(),
+                    out_tuples: out.tuple_count(),
+                    index_kind: out.data.index.kind_name().to_string(),
+                    memory_bytes: out.memory_bytes(),
+                    micros: t0.elapsed().as_micros(),
+                });
+                stream = Some(out);
+            }
+        }
+    }
+
+    // 4. Decode the aggregation index into the shared result format. The
+    // index iterates in key order, i.e. already grouped and sorted (§3).
+    let mut rows = Vec::with_capacity(agg.group_count());
+    agg.for_each_ordered(|key, accs| {
+        let codes = plan.group_key.unpack(key);
+        let key_values: Vec<Value> = codes
+            .iter()
+            .zip(plan.group_key.sources.iter())
+            .map(|(&code, (di, col))| {
+                let t = db
+                    .table(&plan.dims[*di].table)
+                    .expect("dim table resolved at plan time")
+                    .table();
+                let c = t
+                    .schema()
+                    .col(col)
+                    .expect("group col resolved at plan time");
+                decode_code(t, c, code)
+            })
+            .collect();
+        rows.push(ResultRow {
+            key_values,
+            agg_values: accs.to_vec(),
+        });
+    });
+    let mut result = QueryResult {
+        group_cols: plan.spec.group_by.iter().map(|g| g.column.clone()).collect(),
+        agg_cols: plan.spec.aggregates.iter().map(|a| a.label.clone()).collect(),
+        rows,
+    };
+    result.apply_order(&plan.spec.order_by);
+    stats.total_micros = started.elapsed().as_micros();
+    Ok((result, stats))
+}
+
+fn decode_code(t: &qppt_storage::Table, col: usize, code: u64) -> Value {
+    match t.schema().column(col).ty {
+        qppt_storage::ColumnType::Int => Value::Int(code as i64),
+        qppt_storage::ColumnType::Str => Value::Str(
+            t.dict(col)
+                .expect("str column has dictionary")
+                .decode(code as u32)
+                .to_string(),
+        ),
+    }
+}
+
+/// How each layout column of a base-index stream is obtained.
+#[derive(Debug, Clone, Copy)]
+enum FieldSrc {
+    /// The index key itself.
+    Key,
+    /// Base-index payload position (0 = rid).
+    Payload(usize),
+}
+
+fn base_field_map(
+    bi: &BaseIndex,
+    layout: &Layout,
+    key_name: &str,
+) -> Result<Vec<FieldSrc>, QpptError> {
+    layout
+        .columns()
+        .iter()
+        .map(|(src, name)| {
+            debug_assert_eq!(*src, Src::Fact);
+            if name == key_name {
+                Ok(FieldSrc::Key)
+            } else {
+                bi.payload_pos_by_name(name)
+                    .map(FieldSrc::Payload)
+                    .ok_or_else(|| {
+                        QpptError::Internal(format!("base index payload is missing column {name}"))
+                    })
+            }
+        })
+        .collect()
+}
+
+#[inline]
+fn fill_from_base(map: &[FieldSrc], key: u64, payload: &[u64], out: &mut [u64]) {
+    for (i, src) in map.iter().enumerate() {
+        out[i] = match src {
+            FieldSrc::Key => key,
+            FieldSrc::Payload(p) => payload[*p],
+        };
+    }
+}
+
+/// Runtime access to a dimension's tuples during a join.
+enum DimAccess<'a> {
+    Base {
+        bi: &'a BaseIndex,
+        mvt: &'a MvccTable,
+        carried_pos: Vec<usize>,
+        /// `false` when the snapshot sees every version (no checks needed).
+        check_visibility: bool,
+    },
+    Inter {
+        it: &'a InterTable,
+    },
+}
+
+impl<'a> DimAccess<'a> {
+    fn index(&self) -> &TreeIndex {
+        match self {
+            DimAccess::Base { bi, .. } => &bi.data.index,
+            DimAccess::Inter { it } => &it.data.index,
+        }
+    }
+
+    /// Appends the carried values of `payload_id` to `out`; returns `false`
+    /// (appending nothing) if the version is invisible at `snap`.
+    #[inline]
+    fn fetch(&self, payload_id: u32, snap: Snapshot, out: &mut Vec<u64>) -> bool {
+        match self {
+            DimAccess::Base {
+                bi,
+                mvt,
+                carried_pos,
+                check_visibility,
+            } => {
+                let row = bi.data.payload.row(payload_id);
+                if *check_visibility && !mvt.visible(row[0] as u32, snap) {
+                    return false;
+                }
+                out.extend(carried_pos.iter().map(|&p| row[p]));
+                true
+            }
+            DimAccess::Inter { it } => {
+                out.extend_from_slice(it.data.payload.row(payload_id));
+                true
+            }
+        }
+    }
+}
+
+fn dim_access<'a>(
+    db: &'a Database,
+    snap: Snapshot,
+    dim: &ResolvedDim,
+    dim_tables: &'a [Option<InterTable>],
+) -> Result<DimAccess<'a>, QpptError> {
+    match dim.handle {
+        DimHandleKind::Materialized => Ok(DimAccess::Inter {
+            it: dim_tables[dim.spec_idx]
+                .as_ref()
+                .expect("materialized dims have tables"),
+        }),
+        DimHandleKind::Base | DimHandleKind::Fused => {
+            let bi = db.find_index(&dim.table, &dim.join_col_name)?;
+            let carried_pos: Vec<usize> = dim
+                .carried_names
+                .iter()
+                .map(|c| {
+                    bi.payload_pos_by_name(c)
+                        .expect("prepare_indexes carried the dim columns")
+                })
+                .collect();
+            let mvt = db.table(&dim.table)?;
+            Ok(DimAccess::Base {
+                bi,
+                mvt,
+                carried_pos,
+                check_visibility: !mvt.fully_visible(snap),
+            })
+        }
+    }
+}
+
+struct AssistRt<'a> {
+    access: DimAccess<'a>,
+    probe_pos: usize,
+    fill_pos: Vec<usize>,
+}
+
+// One StageSink exists per join stage; the size skew vs. the Agg variant is
+// irrelevant and boxing would cost an indirection on the hot insert path.
+#[allow(clippy::large_enum_variant)]
+enum StageSink<'g> {
+    Inter(InterTable),
+    Agg(&'g mut AggTable),
+}
+
+struct StageRun<'a, 'p, 'g> {
+    plan: &'p Plan,
+    stage: &'p JoinStage,
+    snap: Snapshot,
+    assists: Vec<AssistRt<'a>>,
+    main_fill_pos: Vec<usize>,
+    sink: StageSink<'g>,
+    /// Flat candidate buffer: `rows` work rows of `width` fields each.
+    /// Flat storage keeps the join buffer allocation-free on the hot path.
+    buffer: Vec<u64>,
+    rows: usize,
+    width: usize,
+    cap: usize,
+}
+
+impl<'a, 'p, 'g> StageRun<'a, 'p, 'g> {
+    /// Builds candidates for one fact input row × the main dim's tuples
+    /// (cross product, §4.2), appending directly into the flat join buffer.
+    /// `carried` holds `count` tuples of `stride` carried values each.
+    #[inline]
+    fn emit_cross(&mut self, input: &[u64], carried: &[u64], stride: usize, count: usize) {
+        for t in 0..count {
+            let base = self.buffer.len();
+            self.buffer.extend_from_slice(input);
+            self.buffer.resize(base + self.width, 0);
+            for (k, &pos) in self.main_fill_pos.iter().enumerate() {
+                self.buffer[base + pos] = carried[t * stride + k];
+            }
+            self.rows += 1;
+            if self.rows >= self.cap {
+                self.flush();
+            }
+        }
+    }
+
+    /// Probes every assisting index (batched, §2.3) and emits survivors.
+    fn flush(&mut self) {
+        if self.rows == 0 {
+            return;
+        }
+        let width = self.width;
+        let n = self.rows;
+        let snap = self.snap;
+        let mut matched: Vec<bool> = vec![true; n];
+        let mut keys: Vec<u64> = Vec::with_capacity(n);
+        let mut scratch: Vec<u64> = Vec::new();
+        for assist in &self.assists {
+            keys.clear();
+            for r in 0..n {
+                keys.push(self.buffer[r * width + assist.probe_pos]);
+            }
+            let mut found: Vec<bool> = vec![false; n];
+            // Disjoint field borrows: the probe writes carried values
+            // straight into the flat buffer rows.
+            let buffer = &mut self.buffer;
+            assist.access.index().batch_get_each(&keys, |job, pid| {
+                if found[job] || !matched[job] {
+                    return; // join keys are unique per visible snapshot
+                }
+                scratch.clear();
+                if assist.access.fetch(pid, snap, &mut scratch) {
+                    found[job] = true;
+                    let base = job * width;
+                    for (k, &pos) in assist.fill_pos.iter().enumerate() {
+                        buffer[base + pos] = scratch[k];
+                    }
+                }
+            });
+            for (m, f) in matched.iter_mut().zip(found.iter()) {
+                *m &= *f;
+            }
+        }
+        let mut out_row: Vec<u64> = Vec::with_capacity(self.stage.output_projection.len());
+        let mut deltas: Vec<i64> = vec![0i64; self.plan.aggs.len().max(1)];
+        for (r, &keep) in matched.iter().enumerate() {
+            if !keep {
+                continue;
+            }
+            let row = &self.buffer[r * width..(r + 1) * width];
+            match &mut self.sink {
+                StageSink::Inter(out) => {
+                    let key = row[self.stage.output_key_pos];
+                    out_row.clear();
+                    out_row.extend(self.stage.output_projection.iter().map(|&p| row[p]));
+                    out.insert(key, &out_row);
+                }
+                StageSink::Agg(agg) => {
+                    let key = self.plan.group_key.pack(row);
+                    for (ai, a) in self.plan.aggs.iter().enumerate() {
+                        deltas[ai] = a.eval(row);
+                    }
+                    agg.merge(key, &deltas);
+                }
+            }
+        }
+        self.buffer.clear();
+        self.rows = 0;
+    }
+
+    /// Stage-1 synchronous scan: fact base index × main dim index (§4.2).
+    fn sync_scan_base(
+        &mut self,
+        fact_base: &BaseIndex,
+        fact_mvt: &MvccTable,
+        field_map: &[FieldSrc],
+        dim_acc: &DimAccess<'_>,
+    ) {
+        let input_width = self.stage.input_layout.width();
+        let stride = self.main_fill_pos.len();
+        let snap = self.snap;
+        let check_vis = !fact_mvt.fully_visible(snap);
+        let mut dim_buf: Vec<u64> = Vec::new();
+        let mut input_row: Vec<u64> = Vec::with_capacity(input_width);
+        sync_scan_indexes(&fact_base.data.index, dim_acc.index(), |key, fids, dids| {
+            dim_buf.clear();
+            let mut count = 0usize;
+            for did in dids {
+                if dim_acc.fetch(did, snap, &mut dim_buf) {
+                    count += 1;
+                }
+            }
+            if count == 0 {
+                return;
+            }
+            // Cross product of fact tuples × dim tuples (§4.2).
+            for fid in fids {
+                let payload = fact_base.data.payload.row(fid);
+                if check_vis && !fact_mvt.visible(payload[0] as u32, snap) {
+                    continue;
+                }
+                input_row.clear();
+                input_row.resize(input_width, 0);
+                fill_from_base(field_map, key, payload, &mut input_row);
+                if self.stage.residuals.iter().all(|p| p.matches(|c| input_row[c])) {
+                    self.emit_cross(&input_row, &dim_buf, stride, count);
+                }
+            }
+        });
+    }
+
+    /// Stage-k synchronous scan: previous intermediate × main dim index.
+    fn sync_scan_inter(&mut self, input: &InterTable, dim_acc: &DimAccess<'_>) {
+        let stride = self.main_fill_pos.len();
+        let snap = self.snap;
+        let mut dim_buf: Vec<u64> = Vec::new();
+        let mut fid_buf: Vec<u32> = Vec::new();
+        sync_scan_indexes(&input.data.index, dim_acc.index(), |_key, fids, dids| {
+            dim_buf.clear();
+            let mut count = 0usize;
+            for did in dids {
+                if dim_acc.fetch(did, snap, &mut dim_buf) {
+                    count += 1;
+                }
+            }
+            if count == 0 {
+                return;
+            }
+            fid_buf.clear();
+            fid_buf.extend(fids);
+            for &fid in &fid_buf {
+                // Payload rows ARE the input layout for inter-table streams.
+                self.emit_cross(input.data.payload.row(fid), &dim_buf, stride, count);
+            }
+        });
+    }
+
+    /// Fused select-join (§4.3): stream the main dimension's selection and
+    /// point-probe the fact base index with batched lookups through the
+    /// selection buffer.
+    fn select_probe(
+        &mut self,
+        db: &Database,
+        fact_base: &BaseIndex,
+        fact_mvt: &MvccTable,
+        field_map: &[FieldSrc],
+        dim: &ResolvedDim,
+    ) -> Result<(), QpptError> {
+        let input_width = self.stage.input_layout.width();
+        let cap = self.cap;
+        let snap = self.snap;
+        let stride = dim.carried_names.len();
+        let mut probe_keys: Vec<u64> = Vec::with_capacity(cap);
+        let mut probe_carried: Vec<u64> = Vec::with_capacity(cap * stride.max(1));
+
+        // The selection stream is drained through a bounded buffer; each
+        // chunk performs one batched probe into the fact index (§2.3).
+        let opts = self.plan.opts;
+        scan_dim_selection(db, snap, &opts, dim, |key, c| {
+            probe_keys.push(key);
+            probe_carried.extend_from_slice(c);
+        })?;
+        let mut input_row: Vec<u64> = vec![0u64; input_width];
+        let check_vis = !fact_mvt.fully_visible(snap);
+        let mut start = 0usize;
+        while start < probe_keys.len() {
+            let end = (start + cap).min(probe_keys.len());
+            let keys = &probe_keys[start..end];
+            fact_base.data.index.batch_get_each(keys, |job, pid| {
+                let payload = fact_base.data.payload.row(pid);
+                if check_vis && !fact_mvt.visible(payload[0] as u32, snap) {
+                    return;
+                }
+                input_row.clear();
+                input_row.resize(input_width, 0);
+                fill_from_base(field_map, keys[job], payload, &mut input_row);
+                if self.stage.residuals.iter().all(|p| p.matches(|c| input_row[c])) {
+                    let g = start + job;
+                    self.emit_cross(&input_row, &probe_carried[g * stride..(g + 1) * stride], stride, 1);
+                }
+            });
+            start = end;
+        }
+        Ok(())
+    }
+}
+
+/// Streams a dimension selection: scans the base index on the first
+/// predicate's column, applies residual predicates from the carried
+/// payload, checks MVCC visibility, and yields `(join key, carried values)`
+/// per qualifying tuple. With `selection_via_set_ops`, multi-predicate
+/// selections instead run one rid-set selection per predicate and intersect
+/// them with the synchronous scan (§4.1).
+pub fn scan_dim_selection(
+    db: &Database,
+    snap: Snapshot,
+    opts: &PlanOptions,
+    dim: &ResolvedDim,
+    mut f: impl FnMut(u64, &[u64]),
+) -> Result<(), QpptError> {
+    let mvt = db.table(&dim.table)?;
+    let check_vis = !mvt.fully_visible(snap);
+    if dim.preds.is_empty() {
+        // Pure scan of the base index on the join column.
+        let bi = db.find_index(&dim.table, &dim.join_col_name)?;
+        let carried_pos: Vec<usize> = dim
+            .carried_names
+            .iter()
+            .map(|c| bi.payload_pos_by_name(c).expect("index carries the columns"))
+            .collect();
+        let mut carried = vec![0u64; carried_pos.len()];
+        bi.data.index.for_each(|key, pid| {
+            let row = bi.data.payload.row(pid);
+            if check_vis && !mvt.visible(row[0] as u32, snap) {
+                return;
+            }
+            for (i, &p) in carried_pos.iter().enumerate() {
+                carried[i] = row[p];
+            }
+            f(key, &carried);
+        });
+        return Ok(());
+    }
+
+    if let Some(md) = &dim.multidim {
+        // §4.1: the whole conjunction is one contiguous range over the
+        // multidimensional index — no residual predicates remain.
+        let keys: Vec<&str> = md.key_names.iter().map(String::as_str).collect();
+        let ci = db.find_composite_index(&dim.table, &keys)?;
+        let (lo, hi) = ci.pack_range(&md.bounds);
+        let join_pos = ci
+            .payload_pos_by_name(&dim.join_col_name)
+            .expect("composite index carries the join column");
+        let carried_pos: Vec<usize> = dim
+            .carried_names
+            .iter()
+            .map(|c| ci.payload_pos_by_name(c).expect("composite index carries the columns"))
+            .collect();
+        let mut carried = vec![0u64; carried_pos.len()];
+        ci.data.index.range_each(lo, hi, |_, pid| {
+            let row = ci.data.payload.row(pid);
+            if check_vis && !mvt.visible(row[0] as u32, snap) {
+                return;
+            }
+            for (i, &p) in carried_pos.iter().enumerate() {
+                carried[i] = row[p];
+            }
+            f(row[join_pos], &carried);
+        });
+        return Ok(());
+    }
+
+    if opts.selection_via_set_ops && dim.preds.len() >= 2 {
+        return scan_dim_selection_set_ops(db, snap, dim, f);
+    }
+
+    let bi = db.find_index(&dim.table, &dim.pred_cols[0])?;
+    let join_pos = bi
+        .payload_pos_by_name(&dim.join_col_name)
+        .expect("index carries the join column");
+    let residual_pos: Vec<usize> = dim.pred_cols[1..]
+        .iter()
+        .map(|c| {
+            bi.payload_pos_by_name(c)
+                .expect("index carries residual columns")
+        })
+        .collect();
+    let carried_pos: Vec<usize> = dim
+        .carried_names
+        .iter()
+        .map(|c| bi.payload_pos_by_name(c).expect("index carries the columns"))
+        .collect();
+    let mut carried = vec![0u64; carried_pos.len()];
+    let mut visit = |pid: u32| {
+        let row = bi.data.payload.row(pid);
+        if check_vis && !mvt.visible(row[0] as u32, snap) {
+            return;
+        }
+        for (k, p) in dim.preds[1..].iter().enumerate() {
+            if !pred_matches_value(p, row[residual_pos[k]]) {
+                return;
+            }
+        }
+        for (i, &p) in carried_pos.iter().enumerate() {
+            carried[i] = row[p];
+        }
+        f(row[join_pos], &carried);
+    };
+    match &dim.preds[0] {
+        CompiledPred::Range { lo, hi, .. } => {
+            bi.data.index.range_each(*lo, *hi, |_, pid| visit(pid));
+        }
+        CompiledPred::InSet { codes, .. } => {
+            for &code in codes {
+                bi.data.index.get_each(code, &mut visit);
+            }
+        }
+        CompiledPred::Never => {}
+    }
+    Ok(())
+}
+
+/// §4.1: per-predicate rid-set selections combined with `intersect`.
+fn scan_dim_selection_set_ops(
+    db: &Database,
+    snap: Snapshot,
+    dim: &ResolvedDim,
+    mut f: impl FnMut(u64, &[u64]),
+) -> Result<(), QpptError> {
+    let mvt = db.table(&dim.table)?;
+    let t = mvt.table();
+    // One rid-keyed index per predicate.
+    let mut rid_sets: Vec<TreeIndex> = Vec::with_capacity(dim.preds.len());
+    for (k, pred) in dim.preds.iter().enumerate() {
+        let bi = db.find_index(&dim.table, &dim.pred_cols[k])?;
+        let mut set = TreeIndex::new_kiss();
+        let mut add = |pid: u32| {
+            let rid = bi.data.payload.row(pid)[0];
+            set.insert(rid, 0);
+        };
+        match pred {
+            CompiledPred::Range { lo, hi, .. } => {
+                bi.data.index.range_each(*lo, *hi, |_, pid| add(pid))
+            }
+            CompiledPred::InSet { codes, .. } => {
+                for &code in codes {
+                    bi.data.index.get_each(code, &mut add);
+                }
+            }
+            CompiledPred::Never => {}
+        }
+        rid_sets.push(set);
+    }
+    // Fold with intersections (synchronous scans over rid sets).
+    let mut acc = rid_sets.remove(0);
+    for other in &rid_sets {
+        let mut next = TreeIndex::new_kiss();
+        sync_scan_indexes(&acc, other, |rid, _, _| next.insert(rid, 0));
+        acc = next;
+    }
+    // Fetch join key and carried columns from the row store (this is the
+    // secondary-index path: random accesses into the storage layer).
+    let join_col = t.schema().col(&dim.join_col_name)?;
+    let carried_cols: Vec<usize> = dim
+        .carried_names
+        .iter()
+        .map(|c| t.schema().col(c))
+        .collect::<Result<_, StorageError>>()?;
+    let mut carried = vec![0u64; carried_cols.len()];
+    acc.for_each(|rid, _| {
+        let rid = rid as u32;
+        if !mvt.visible(rid, snap) {
+            return;
+        }
+        for (i, &c) in carried_cols.iter().enumerate() {
+            carried[i] = t.get(rid, c);
+        }
+        f(t.get(rid, join_col), &carried);
+    });
+    Ok(())
+}
+
+/// Evaluates a compiled predicate against a single already-fetched value.
+#[inline]
+fn pred_matches_value(p: &CompiledPred, value: u64) -> bool {
+    match p {
+        CompiledPred::Range { lo, hi, .. } => *lo <= value && value <= *hi,
+        CompiledPred::InSet { codes, .. } => codes.binary_search(&value).is_ok(),
+        CompiledPred::Never => false,
+    }
+}

@@ -1,0 +1,189 @@
+//! Intermediate indexed tables and aggregating output indexes.
+//!
+//! "Instead of passing plain tuples, columns, or vectors between individual
+//! operators, our indexed table-at-a-time processing model exchanges
+//! clustered indexes" (§1). An [`InterTable`] is one of those clustered
+//! indexes: a [`TreeIndex`] keyed on whatever the *next* operator requested
+//! (the cooperative-operator contract) plus a fixed-width payload buffer
+//! described by a [`Layout`]. Intermediate tables are query-private: no
+//! MVCC, no latching (§3).
+//!
+//! An [`AggTable`] is the output of a join-group operator: the index maps a
+//! (possibly composite) group key to accumulator slots, and inserting an
+//! existing key merges instead of appending — "the grouping happens
+//! automatically as a side effect" (§3).
+
+use qppt_storage::{IndexedTable, TreeIndex};
+
+use crate::layout::Layout;
+
+/// An intermediate indexed table (see module docs).
+#[derive(Debug)]
+pub struct InterTable {
+    /// What the rows are keyed on, for plan explanation.
+    pub key_name: String,
+    /// Payload layout.
+    pub layout: Layout,
+    /// Index + payload storage.
+    pub data: IndexedTable,
+}
+
+impl InterTable {
+    /// Creates an empty intermediate table keyed on `key_name`.
+    pub fn new(key_name: &str, layout: Layout, index: TreeIndex) -> Self {
+        let width = layout.width();
+        Self {
+            key_name: key_name.to_string(),
+            layout,
+            data: IndexedTable::new(index, width),
+        }
+    }
+
+    /// Inserts one tuple.
+    #[inline]
+    pub fn insert(&mut self, key: u64, row: &[u64]) {
+        self.data.insert_row(key, row);
+    }
+
+    /// Number of stored tuples.
+    pub fn tuple_count(&self) -> usize {
+        self.data.tuple_count()
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        self.data.index.len()
+    }
+
+    /// Resident memory estimate in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.data.memory_bytes()
+    }
+}
+
+/// Aggregating output index: group key → accumulators.
+#[derive(Debug)]
+pub struct AggTable {
+    index: TreeIndex,
+    accs: Vec<i64>,
+    naggs: usize,
+    groups: usize,
+}
+
+impl AggTable {
+    /// Creates an aggregation table with `naggs` accumulators per group.
+    pub fn new(index: TreeIndex, naggs: usize) -> Self {
+        Self {
+            index,
+            accs: Vec::new(),
+            naggs: naggs.max(1),
+            groups: 0,
+        }
+    }
+
+    /// Adds `deltas` to the group `key`, creating the group on first touch.
+    /// This is the §3 upsert: "If the insertion of such a composed key
+    /// detects that the key is already present in the index, it only applies
+    /// the aggregation function on the existing value and the new one."
+    #[inline]
+    pub fn merge(&mut self, key: u64, deltas: &[i64]) {
+        debug_assert_eq!(deltas.len(), self.naggs);
+        match self.index.get_first(key) {
+            Some(slot) => {
+                let base = slot as usize * self.naggs;
+                for (i, d) in deltas.iter().enumerate() {
+                    self.accs[base + i] += d;
+                }
+            }
+            None => {
+                let slot = (self.accs.len() / self.naggs) as u32;
+                self.accs.extend_from_slice(deltas);
+                self.index.insert(key, slot);
+                self.groups += 1;
+            }
+        }
+    }
+
+    /// Number of groups.
+    pub fn group_count(&self) -> usize {
+        self.groups
+    }
+
+    /// Iterates `(key, accumulators)` in ascending key order — the result
+    /// "is already sorted" because it is physically a prefix tree (§3).
+    pub fn for_each_ordered(&self, mut f: impl FnMut(u64, &[i64])) {
+        self.index.for_each(|key, slot| {
+            let base = slot as usize * self.naggs;
+            f(key, &self.accs[base..base + self.naggs]);
+        });
+    }
+
+    /// Resident memory estimate in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.index.memory_bytes() + self.accs.capacity() * 8
+    }
+
+    /// Index structure name (for statistics).
+    pub fn index_kind(&self) -> &'static str {
+        self.index.kind_name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Src;
+    use qppt_storage::KeyWidth;
+
+    #[test]
+    fn inter_table_roundtrip() {
+        let mut layout = Layout::new();
+        layout.add(Src::Fact, "lo_revenue");
+        layout.add(Src::Dim(0), "d_year");
+        let mut t = InterTable::new("lo_orderdate", layout, TreeIndex::new_kiss());
+        t.insert(19930101, &[100, 1993]);
+        t.insert(19930101, &[200, 1993]);
+        t.insert(19940101, &[300, 1994]);
+        assert_eq!(t.tuple_count(), 3);
+        assert_eq!(t.key_count(), 2);
+        let mut rows = Vec::new();
+        t.data.rows_for_key(19930101, |r| rows.push(r.to_vec()));
+        assert_eq!(rows, vec![vec![100, 1993], vec![200, 1993]]);
+        assert!(t.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn agg_table_merges_and_orders() {
+        let mut a = AggTable::new(TreeIndex::new_pt(KeyWidth::W64), 2);
+        a.merge(5, &[10, 1]);
+        a.merge(3, &[7, 1]);
+        a.merge(5, &[32, 1]);
+        assert_eq!(a.group_count(), 2);
+        let mut got = Vec::new();
+        a.for_each_ordered(|k, accs| got.push((k, accs.to_vec())));
+        assert_eq!(got, vec![(3, vec![7, 1]), (5, vec![42, 2])]);
+    }
+
+    #[test]
+    fn agg_table_scalar_key_zero() {
+        // Scalar aggregates use the constant key 0.
+        let mut a = AggTable::new(TreeIndex::new_kiss(), 1);
+        for v in [5i64, 10, -3] {
+            a.merge(0, &[v]);
+        }
+        assert_eq!(a.group_count(), 1);
+        let mut sums = Vec::new();
+        a.for_each_ordered(|_, accs| sums.push(accs[0]));
+        assert_eq!(sums, vec![12]);
+    }
+
+    #[test]
+    fn agg_table_negative_accumulators() {
+        let mut a = AggTable::new(TreeIndex::new_kiss(), 1);
+        a.merge(1, &[-100]);
+        a.merge(1, &[30]);
+        let mut got = Vec::new();
+        a.for_each_ordered(|k, accs| got.push((k, accs[0])));
+        assert_eq!(got, vec![(1, -70)]);
+    }
+}

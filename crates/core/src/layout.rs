@@ -1,0 +1,124 @@
+//! Tuple layouts for intermediate indexed tables.
+//!
+//! A QPPT intermediate table's payload is a fixed-width row of `u64` codes;
+//! a [`Layout`] names each position: either a fact column still being
+//! carried (future join keys, aggregate inputs) or a dimension column picked
+//! up by an earlier join (group-by attributes). The planner computes the
+//! layout of every stage boundary; the executor uses it to build and read
+//! payload rows.
+
+use std::collections::HashMap;
+
+/// Origin of a carried column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Src {
+    /// A fact-table column.
+    Fact,
+    /// A carried column of dimension `dims[i]` (spec index).
+    Dim(usize),
+}
+
+/// A named, ordered payload layout with O(1) position lookup.
+#[derive(Debug, Clone, Default)]
+pub struct Layout {
+    cols: Vec<(Src, String)>,
+    pos: HashMap<(Src, String), usize>,
+}
+
+impl Layout {
+    /// An empty layout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a column (no-op if already present); returns its position.
+    pub fn add(&mut self, src: Src, name: &str) -> usize {
+        if let Some(&p) = self.pos.get(&(src, name.to_string())) {
+            return p;
+        }
+        let p = self.cols.len();
+        self.cols.push((src, name.to_string()));
+        self.pos.insert((src, name.to_string()), p);
+        p
+    }
+
+    /// Position of a column, if present.
+    pub fn find(&self, src: Src, name: &str) -> Option<usize> {
+        self.pos.get(&(src, name.to_string())).copied()
+    }
+
+    /// Position of a column, panicking when absent (planner guarantees
+    /// presence; absence is a planner bug).
+    pub fn expect(&self, src: Src, name: &str) -> usize {
+        self.find(src, name)
+            .unwrap_or_else(|| panic!("layout is missing {src:?}.{name}: {:?}", self.cols))
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// `true` if the layout has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// The columns in order.
+    pub fn columns(&self) -> &[(Src, String)] {
+        &self.cols
+    }
+
+    /// Human-readable rendering for plan explanations.
+    pub fn describe(&self, dim_names: &[String]) -> String {
+        let parts: Vec<String> = self
+            .cols
+            .iter()
+            .map(|(src, name)| match src {
+                Src::Fact => name.clone(),
+                Src::Dim(i) => format!("{}.{}", dim_names.get(*i).map(String::as_str).unwrap_or("?"), name),
+            })
+            .collect();
+        format!("[{}]", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_find() {
+        let mut l = Layout::new();
+        let a = l.add(Src::Fact, "lo_revenue");
+        let b = l.add(Src::Dim(0), "d_year");
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(l.find(Src::Fact, "lo_revenue"), Some(0));
+        assert_eq!(l.find(Src::Dim(0), "d_year"), Some(1));
+        assert_eq!(l.find(Src::Dim(1), "d_year"), None);
+        assert_eq!(l.width(), 2);
+    }
+
+    #[test]
+    fn add_is_idempotent() {
+        let mut l = Layout::new();
+        assert_eq!(l.add(Src::Fact, "x"), 0);
+        assert_eq!(l.add(Src::Fact, "x"), 0);
+        assert_eq!(l.width(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "layout is missing")]
+    fn expect_missing_panics() {
+        Layout::new().expect(Src::Fact, "nope");
+    }
+
+    #[test]
+    fn describe_names_dims() {
+        let mut l = Layout::new();
+        l.add(Src::Fact, "lo_revenue");
+        l.add(Src::Dim(0), "d_year");
+        let s = l.describe(&["date".to_string()]);
+        assert_eq!(s, "[lo_revenue, date.d_year]");
+    }
+}

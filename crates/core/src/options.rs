@@ -1,0 +1,142 @@
+//! Physical and logical plan optimization options.
+//!
+//! These are exactly the knobs the paper's demonstrator exposes (Appendix A,
+//! Fig. 10): select-join composition on/off, the join/selection buffer size
+//! (1 = unbuffered, 64, 512, 2048), and the maximum multi-way/star join
+//! width (2-way … multi-way). Two extra switches cover §2.2's index choice
+//! (KISS vs. prefix tree) and §4.1's set-operator selection strategy.
+
+/// Plan options for the QPPT engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanOptions {
+    /// Compose selections with the successive join (§4.3). When off, every
+    /// selection materializes an intermediate indexed table first.
+    pub select_join: bool,
+    /// Join/selection buffer size in tuples; enables the batched index
+    /// lookups and inserts of §2.3. `1` disables buffering.
+    pub join_buffer: usize,
+    /// Maximum number of tables one composed join operator may touch
+    /// (2 = traditional binary joins, 5 = SSB's widest star join).
+    pub max_join_ways: usize,
+    /// Use the KISS-Tree for 32-bit key domains (§2.2). When off, every
+    /// index is a `k′ = 4` prefix tree.
+    pub prefer_kiss: bool,
+    /// Process multi-predicate selections as per-predicate rid-set
+    /// selections combined with set operators (§4.1's intersect path)
+    /// instead of index-scan + residual filtering.
+    pub selection_via_set_ops: bool,
+    /// Use multidimensional (composite-key) base indexes for eligible
+    /// conjunctive selections (§4.1: "the selection operator prefers to
+    /// operate on a multidimensional index as input"). Eligible = equality
+    /// predicates on all leading columns, at most a range on the last.
+    pub multidim_selections: bool,
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        Self {
+            select_join: true,
+            join_buffer: 512,
+            max_join_ways: 5,
+            prefer_kiss: true,
+            selection_via_set_ops: false,
+            multidim_selections: false,
+        }
+    }
+}
+
+impl PlanOptions {
+    /// The demonstrator's buffer-size choices.
+    pub const JOIN_BUFFER_CHOICES: [usize; 4] = [1, 64, 512, 2048];
+
+    /// Validates option invariants.
+    pub fn validate(&self) -> Result<(), crate::QpptError> {
+        if self.join_buffer == 0 {
+            return Err(crate::QpptError::InvalidOptions(
+                "join_buffer must be >= 1".into(),
+            ));
+        }
+        if self.max_join_ways < 2 {
+            return Err(crate::QpptError::InvalidOptions(
+                "max_join_ways must be >= 2".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Builder-style setter.
+    pub fn with_select_join(mut self, on: bool) -> Self {
+        self.select_join = on;
+        self
+    }
+
+    /// Builder-style setter.
+    pub fn with_join_buffer(mut self, size: usize) -> Self {
+        self.join_buffer = size;
+        self
+    }
+
+    /// Builder-style setter.
+    pub fn with_max_join_ways(mut self, ways: usize) -> Self {
+        self.max_join_ways = ways;
+        self
+    }
+
+    /// Builder-style setter.
+    pub fn with_prefer_kiss(mut self, on: bool) -> Self {
+        self.prefer_kiss = on;
+        self
+    }
+
+    /// Builder-style setter.
+    pub fn with_set_ops(mut self, on: bool) -> Self {
+        self.selection_via_set_ops = on;
+        self
+    }
+
+    /// Builder-style setter.
+    pub fn with_multidim(mut self, on: bool) -> Self {
+        self.multidim_selections = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_the_paper_defaults() {
+        let o = PlanOptions::default();
+        assert!(o.select_join);
+        assert_eq!(o.join_buffer, 512);
+        assert_eq!(o.max_join_ways, 5);
+        assert!(o.prefer_kiss);
+        assert!(!o.selection_via_set_ops);
+        assert!(!o.multidim_selections);
+        assert!(o.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_options_rejected() {
+        assert!(PlanOptions::default().with_join_buffer(0).validate().is_err());
+        assert!(PlanOptions::default().with_max_join_ways(1).validate().is_err());
+    }
+
+    #[test]
+    fn builders_chain() {
+        let o = PlanOptions::default()
+            .with_select_join(false)
+            .with_join_buffer(64)
+            .with_max_join_ways(2)
+            .with_prefer_kiss(false)
+            .with_set_ops(true)
+            .with_multidim(true);
+        assert!(!o.select_join);
+        assert!(o.multidim_selections);
+        assert_eq!(o.join_buffer, 64);
+        assert_eq!(o.max_join_ways, 2);
+        assert!(!o.prefer_kiss);
+        assert!(o.selection_via_set_ops);
+    }
+}

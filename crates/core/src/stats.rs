@@ -1,0 +1,104 @@
+//! Per-operator execution statistics — the numbers the paper's demonstrator
+//! overlays on the plan view (Appendix A): execution-time share per
+//! operator, intermediate index sizes, and index types.
+
+use std::fmt;
+
+/// Statistics of one executed operator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpStats {
+    /// Operator description (e.g. `"3-way star join → idx on lo_orderdate"`).
+    pub label: String,
+    /// Distinct keys in the operator's output index.
+    pub out_keys: usize,
+    /// Tuples in the operator's output.
+    pub out_tuples: usize,
+    /// Output index structure (`KISS-Tree`, `PrefixTree<64>`, …).
+    pub index_kind: String,
+    /// Resident bytes of the output index + payload.
+    pub memory_bytes: usize,
+    /// Operator wall time in microseconds.
+    pub micros: u128,
+}
+
+/// Statistics of a whole query execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    pub ops: Vec<OpStats>,
+    /// End-to-end wall time in microseconds (≥ sum of operator times; the
+    /// difference is planning/decoding overhead).
+    pub total_micros: u128,
+}
+
+impl ExecStats {
+    /// Appends one operator's record.
+    pub fn push(&mut self, op: OpStats) {
+        self.ops.push(op);
+    }
+
+    /// Total time spent inside operators.
+    pub fn operator_micros(&self) -> u128 {
+        self.ops.iter().map(|o| o.micros).sum()
+    }
+
+    /// Share of operator time spent in the given operator (0..=1).
+    pub fn share(&self, idx: usize) -> f64 {
+        let total = self.operator_micros();
+        if total == 0 {
+            0.0
+        } else {
+            self.ops[idx].micros as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for ExecStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "total: {:.3} ms", self.total_micros as f64 / 1000.0)?;
+        for (i, op) in self.ops.iter().enumerate() {
+            writeln!(
+                f,
+                "  [{}] {:<55} {:>9.3} ms ({:>4.1}%)  keys={:<9} tuples={:<9} {} {:.1} KiB",
+                i,
+                op.label,
+                op.micros as f64 / 1000.0,
+                self.share(i) * 100.0,
+                op.out_keys,
+                op.out_tuples,
+                op.index_kind,
+                op.memory_bytes as f64 / 1024.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_one() {
+        let mut s = ExecStats::default();
+        for micros in [100u128, 300, 600] {
+            s.push(OpStats {
+                label: "op".into(),
+                out_keys: 1,
+                out_tuples: 1,
+                index_kind: "KISS-Tree".into(),
+                memory_bytes: 0,
+                micros,
+            });
+        }
+        let total: f64 = (0..3).map(|i| s.share(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(s.operator_micros(), 1000);
+    }
+
+    #[test]
+    fn empty_stats_display() {
+        let s = ExecStats::default();
+        assert_eq!(s.share(0).to_bits(), 0f64.to_bits()); // no ops → 0 share, no panic path used
+        assert!(format!("{s}").contains("total"));
+    }
+}

@@ -1,0 +1,274 @@
+//! Separate-chaining hash table (GLib-like).
+
+use crate::{hash64, HashIndex};
+
+const NONE: u32 = u32::MAX;
+
+/// Prime bucket counts, roughly doubling — the sizing policy GLib's
+/// `GHashTable` uses.
+const PRIMES: &[usize] = &[
+    11, 23, 47, 97, 193, 389, 769, 1543, 3079, 6151, 12289, 24593, 49157, 98317, 196_613, 393_241,
+    786_433, 1_572_869, 3_145_739, 6_291_469, 12_582_917, 25_165_843, 50_331_653, 100_663_319,
+    201_326_611,
+];
+
+#[derive(Debug, Clone)]
+struct Node<V> {
+    key: u64,
+    value: V,
+    next: u32,
+}
+
+/// Hash map with per-bucket chains over an arena of nodes.
+///
+/// Inserts update in place; chains grow at load factor 0.75 by rehashing
+/// into the next prime bucket count.
+#[derive(Debug, Clone)]
+pub struct ChainedHashMap<V> {
+    buckets: Vec<u32>,
+    nodes: Vec<Node<V>>,
+    prime_idx: usize,
+}
+
+impl<V> Default for ChainedHashMap<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> ChainedHashMap<V> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![NONE; PRIMES[0]],
+            nodes: Vec::new(),
+            prime_idx: 0,
+        }
+    }
+
+    /// Creates a table pre-sized for `n` keys.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut prime_idx = 0;
+        while prime_idx + 1 < PRIMES.len() && PRIMES[prime_idx] * 3 / 4 < n {
+            prime_idx += 1;
+        }
+        Self {
+            buckets: vec![NONE; PRIMES[prime_idx]],
+            nodes: Vec::with_capacity(n),
+            prime_idx,
+        }
+    }
+
+    /// Number of stored keys.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of buckets (test/inspection hook).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    #[inline]
+    fn bucket_of(&self, key: u64) -> usize {
+        (hash64(key) % self.buckets.len() as u64) as usize
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: u64) -> Option<&V> {
+        let mut cur = self.buckets[self.bucket_of(key)];
+        while cur != NONE {
+            let node = &self.nodes[cur as usize];
+            if node.key == key {
+                return Some(&node.value);
+            }
+            cur = node.next;
+        }
+        None
+    }
+
+    /// Mutable point lookup.
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
+        let mut cur = self.buckets[self.bucket_of(key)];
+        while cur != NONE {
+            if self.nodes[cur as usize].key == key {
+                return Some(&mut self.nodes[cur as usize].value);
+            }
+            cur = self.nodes[cur as usize].next;
+        }
+        None
+    }
+
+    /// `true` if the key is present.
+    pub fn contains_key(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Inserts or updates; returns the replaced value, if any.
+    pub fn insert(&mut self, key: u64, value: V) -> Option<V> {
+        if let Some(slot) = self.get_mut(key) {
+            return Some(core::mem::replace(slot, value));
+        }
+        self.grow_if_needed();
+        let b = self.bucket_of(key);
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            key,
+            value,
+            next: self.buckets[b],
+        });
+        self.buckets[b] = id;
+        None
+    }
+
+    /// Returns a mutable reference to the value for `key`, inserting
+    /// `default()` first if absent. The entry point hash joins use to build
+    /// rid lists.
+    pub fn get_or_insert_with(&mut self, key: u64, default: impl FnOnce() -> V) -> &mut V {
+        // Split borrows: find index first.
+        let mut cur = self.buckets[self.bucket_of(key)];
+        while cur != NONE {
+            if self.nodes[cur as usize].key == key {
+                return &mut self.nodes[cur as usize].value;
+            }
+            cur = self.nodes[cur as usize].next;
+        }
+        self.grow_if_needed();
+        let b = self.bucket_of(key);
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            key,
+            value: default(),
+            next: self.buckets[b],
+        });
+        self.buckets[b] = id as u32;
+        &mut self.nodes[id].value
+    }
+
+    /// Iterates `(key, &value)` in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
+        self.nodes.iter().map(|n| (n.key, &n.value))
+    }
+
+    fn grow_if_needed(&mut self) {
+        if self.nodes.len() < self.buckets.len() * 3 / 4 || self.prime_idx + 1 >= PRIMES.len()
+        {
+            return;
+        }
+        self.prime_idx += 1;
+        let new_len = PRIMES[self.prime_idx];
+        self.buckets.clear();
+        self.buckets.resize(new_len, NONE);
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            node.next = NONE;
+            let _ = node;
+            let _ = i;
+        }
+        // Relink every node.
+        for i in 0..self.nodes.len() {
+            let b = (hash64(self.nodes[i].key) % new_len as u64) as usize;
+            self.nodes[i].next = self.buckets[b];
+            self.buckets[b] = i as u32;
+        }
+    }
+
+    /// Approximate heap footprint.
+    pub fn memory_bytes(&self) -> usize {
+        self.buckets.len() * 4 + self.nodes.capacity() * core::mem::size_of::<Node<V>>()
+    }
+}
+
+impl<V> HashIndex<V> for ChainedHashMap<V> {
+    fn insert(&mut self, key: u64, value: V) -> Option<V> {
+        ChainedHashMap::insert(self, key, value)
+    }
+    fn get(&self, key: u64) -> Option<&V> {
+        ChainedHashMap::get(self, key)
+    }
+    fn len(&self) -> usize {
+        ChainedHashMap::len(self)
+    }
+    fn memory_bytes(&self) -> usize {
+        ChainedHashMap::memory_bytes(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qppt_mem::Xoshiro256StarStar;
+    use std::collections::HashMap;
+
+    #[test]
+    fn matches_std_hashmap() {
+        let mut ours = ChainedHashMap::new();
+        let mut std_map = HashMap::new();
+        let mut rng = Xoshiro256StarStar::new(1);
+        for i in 0..20_000u64 {
+            let k = rng.below(8192);
+            ours.insert(k, i);
+            std_map.insert(k, i);
+        }
+        assert_eq!(ours.len(), std_map.len());
+        for (&k, v) in &std_map {
+            assert_eq!(ours.get(k), Some(v));
+        }
+        assert_eq!(ours.get(99_999_999), None);
+    }
+
+    #[test]
+    fn update_replaces_and_returns_old() {
+        let mut m = ChainedHashMap::new();
+        assert_eq!(m.insert(5, "a"), None);
+        assert_eq!(m.insert(5, "b"), Some("a"));
+        assert_eq!(m.get(5), Some(&"b"));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn growth_rehashes_correctly() {
+        let mut m = ChainedHashMap::new();
+        let start_buckets = m.bucket_count();
+        for i in 0..10_000u64 {
+            m.insert(i, i * 2);
+        }
+        assert!(m.bucket_count() > start_buckets);
+        for i in 0..10_000u64 {
+            assert_eq!(m.get(i), Some(&(i * 2)));
+        }
+    }
+
+    #[test]
+    fn get_or_insert_with_builds_lists() {
+        let mut m: ChainedHashMap<Vec<u32>> = ChainedHashMap::new();
+        for i in 0..100u32 {
+            m.get_or_insert_with((i % 10) as u64, Vec::new).push(i);
+        }
+        assert_eq!(m.len(), 10);
+        let l = m.get(3).unwrap();
+        assert_eq!(l.len(), 10);
+        assert!(l.iter().all(|v| v % 10 == 3));
+    }
+
+    #[test]
+    fn with_capacity_avoids_early_growth() {
+        let m = ChainedHashMap::<u64>::with_capacity(10_000);
+        assert!(m.bucket_count() * 3 / 4 >= 10_000);
+    }
+
+    #[test]
+    fn iter_yields_all_entries() {
+        let mut m = ChainedHashMap::new();
+        for i in 0..50u64 {
+            m.insert(i, i);
+        }
+        let mut got: Vec<u64> = m.iter().map(|(k, _)| k).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,71 @@
+//! Hash-table comparators for the QPPT index micro-benchmarks (§2.5).
+//!
+//! Traditional join and group operators build hash tables internally, so the
+//! paper benchmarks its trees against two C hash tables: the **GLib** hash
+//! table (separate chaining over a prime-sized bucket array) and the
+//! **Boost** hash table. We reimplement the two collision strategies from
+//! scratch:
+//!
+//! * [`ChainedHashMap`] — separate chaining, prime-sized bucket array,
+//!   GLib-like. Nodes live in an arena and are linked per bucket.
+//! * [`OpenHashMap`] — open addressing with linear probing over a
+//!   power-of-two array (the flat layout modern `boost::unordered_flat_map`
+//!   uses; better cache behaviour, no per-node allocation).
+//!
+//! Both map `u64` keys to a single value (inserts *update* in place, which
+//! is the paper's "insert/update" workload) and are **not** order-preserving
+//! — the property §2.6 calls out as the trees' structural advantage.
+//! The column-at-a-time and vector-at-a-time comparison engines also build
+//! their join/group tables from this crate, as such engines do in practice.
+
+mod chained;
+mod open;
+
+pub use chained::ChainedHashMap;
+pub use open::OpenHashMap;
+
+/// The hash function both tables use: splitmix64 finalizer — cheap, and
+/// strong enough that bucket counts behave for integer keys.
+#[inline]
+pub(crate) fn hash64(key: u64) -> u64 {
+    qppt_mem::prng::mix64(key)
+}
+
+/// Common capacity/introspection API shared by both tables, so benches can
+/// treat them uniformly.
+pub trait HashIndex<V> {
+    /// Inserts or updates; returns the previous value if the key existed.
+    fn insert(&mut self, key: u64, value: V) -> Option<V>;
+    /// Point lookup.
+    fn get(&self, key: u64) -> Option<&V>;
+    /// Number of stored keys.
+    fn len(&self) -> usize;
+    /// `true` if no keys are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Approximate heap footprint in bytes.
+    fn memory_bytes(&self) -> usize;
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    fn exercise<T: HashIndex<u64> + Default>() {
+        let mut t = T::default();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(1, 10), None);
+        assert_eq!(t.insert(1, 11), Some(10));
+        assert_eq!(t.get(1), Some(&11));
+        assert_eq!(t.get(2), None);
+        assert_eq!(t.len(), 1);
+        assert!(t.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn both_tables_satisfy_the_trait() {
+        exercise::<ChainedHashMap<u64>>();
+        exercise::<OpenHashMap<u64>>();
+    }
+}

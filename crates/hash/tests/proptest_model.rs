@@ -1,0 +1,95 @@
+//! Property-based model tests: both hash tables must behave exactly like
+//! `std::collections::HashMap` under arbitrary insert/update/probe mixes.
+
+use proptest::prelude::*;
+use qppt_hash::{ChainedHashMap, OpenHashMap};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    GetOrInsertPush(u64, u64),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..512, any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+            (0u64..512, any::<u64>()).prop_map(|(k, v)| Op::GetOrInsertPush(k, v)),
+        ],
+        0..400,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn chained_matches_std(ops in ops(), probes in prop::collection::vec(0u64..1024, 0..64)) {
+        let mut ours: ChainedHashMap<Vec<u64>> = ChainedHashMap::new();
+        let mut model: HashMap<u64, Vec<u64>> = HashMap::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) => {
+                    ours.insert(k, vec![v]);
+                    model.insert(k, vec![v]);
+                }
+                Op::GetOrInsertPush(k, v) => {
+                    ours.get_or_insert_with(k, Vec::new).push(v);
+                    model.entry(k).or_default().push(v);
+                }
+            }
+        }
+        prop_assert_eq!(ours.len(), model.len());
+        for (&k, v) in &model {
+            prop_assert_eq!(ours.get(k), Some(v));
+        }
+        for &p in &probes {
+            prop_assert_eq!(ours.contains_key(p), model.contains_key(&p));
+        }
+        let mut got: Vec<(u64, Vec<u64>)> = ours.iter().map(|(k, v)| (k, v.clone())).collect();
+        got.sort();
+        let mut expect: Vec<(u64, Vec<u64>)> = model.into_iter().collect();
+        expect.sort();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn open_matches_std(ops in ops(), probes in prop::collection::vec(0u64..1024, 0..64)) {
+        let mut ours: OpenHashMap<Vec<u64>> = OpenHashMap::new();
+        let mut model: HashMap<u64, Vec<u64>> = HashMap::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) => {
+                    ours.insert(k, vec![v]);
+                    model.insert(k, vec![v]);
+                }
+                Op::GetOrInsertPush(k, v) => {
+                    ours.get_or_insert_with(k, Vec::new).push(v);
+                    model.entry(k).or_default().push(v);
+                }
+            }
+        }
+        prop_assert_eq!(ours.len(), model.len());
+        for (&k, v) in &model {
+            prop_assert_eq!(ours.get(k), Some(v));
+        }
+        for &p in &probes {
+            prop_assert_eq!(ours.contains_key(p), model.contains_key(&p));
+        }
+    }
+
+    #[test]
+    fn tables_agree_with_each_other(pairs in prop::collection::vec((any::<u64>(), any::<u64>()), 0..300)) {
+        let mut chained = ChainedHashMap::new();
+        let mut open = OpenHashMap::new();
+        for &(k, v) in &pairs {
+            chained.insert(k, v);
+            open.insert(k, v);
+        }
+        prop_assert_eq!(chained.len(), open.len());
+        for &(k, _) in &pairs {
+            prop_assert_eq!(chained.get(k), open.get(k));
+        }
+    }
+}

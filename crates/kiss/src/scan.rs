@@ -1,0 +1,169 @@
+//! Synchronous index scan over two KISS-Trees (§4.2).
+//!
+//! The root-level pass is bounded by `max(l.min, r.min) ..=
+//! min(l.max, r.max)` — the optimisation the paper calls out for dense keys,
+//! which avoids scanning two full 256 MB root directories. The scan only
+//! visits second-level nodes whose root slot is populated in **both** trees,
+//! and within a shared node only entries populated on both sides.
+
+use crate::tree::{KissTree, Values};
+
+/// Runs a synchronous index scan, invoking `f` for every key present in both
+/// trees, in ascending key order. Both trees must share the same geometry
+/// (`l1_bits`); the compression setting may differ.
+pub fn kiss_sync_scan<'l, 'r, VL, VR>(
+    left: &'l KissTree<VL>,
+    right: &'r KissTree<VR>,
+    mut f: impl FnMut(u32, Values<'l, VL>, Values<'r, VR>),
+) where
+    VL: Copy + Default,
+    VR: Copy + Default,
+{
+    assert_eq!(
+        left.config().l1_bits,
+        right.config().l1_bits,
+        "synchronous scan requires identical root geometry"
+    );
+    let (Some(lmin), Some(lmax)) = (left.min_key(), left.max_key()) else {
+        return;
+    };
+    let (Some(rmin), Some(rmax)) = (right.min_key(), right.max_key()) else {
+        return;
+    };
+    let lo = lmin.max(rmin);
+    let hi = lmax.min(rmax);
+    if lo > hi {
+        return;
+    }
+    let cfg = left.config();
+    let (root_lo, _) = cfg.split(lo);
+    let (root_hi, _) = cfg.split(hi);
+    let entries = cfg.node_entries();
+    for ri in root_lo..=root_hi {
+        let ln = left.root_slot(ri);
+        if ln == 0 {
+            continue;
+        }
+        let rn = right.root_slot(ri);
+        if rn == 0 {
+            continue;
+        }
+        for ei in 0..entries {
+            let le = left.node_entry(ln, ei);
+            if le == 0 {
+                continue;
+            }
+            let re = right.node_entry(rn, ei);
+            if re == 0 {
+                continue;
+            }
+            let key = cfg.join(ri, ei);
+            f(key, left.values_of(le - 1), right.values_of(re - 1));
+        }
+    }
+}
+
+/// Set intersection over KISS-Trees: keys present in both, values from the
+/// left input (mirror of `qppt_trie::intersect`).
+pub fn kiss_intersect<V: Copy + Default>(left: &KissTree<V>, right: &KissTree<V>) -> KissTree<V> {
+    let mut out = KissTree::new(left.config());
+    kiss_sync_scan(left, right, |key, lvals, _| {
+        for v in lvals {
+            out.insert(key, *v);
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KissConfig;
+    use qppt_mem::Xoshiro256StarStar;
+    use std::collections::BTreeSet;
+
+    fn tree_of(keys: &[u32], compressed: bool) -> KissTree<u32> {
+        let mut t = KissTree::new(KissConfig::small(compressed));
+        for (i, &k) in keys.iter().enumerate() {
+            t.insert(k, i as u32);
+        }
+        t
+    }
+
+    #[test]
+    fn scan_matches_set_intersection() {
+        let mut rng = Xoshiro256StarStar::new(31);
+        let a: Vec<u32> = (0..2500).map(|_| (rng.below(1 << 15)) as u32).collect();
+        let b: Vec<u32> = (0..2500).map(|_| (rng.below(1 << 15)) as u32).collect();
+        for (ca, cb) in [(false, false), (true, true), (false, true)] {
+            let ta = tree_of(&a, ca);
+            let tb = tree_of(&b, cb);
+            let sa: BTreeSet<u32> = a.iter().copied().collect();
+            let sb: BTreeSet<u32> = b.iter().copied().collect();
+            let expect: Vec<u32> = sa.intersection(&sb).copied().collect();
+            let mut got = Vec::new();
+            kiss_sync_scan(&ta, &tb, |k, _, _| got.push(k));
+            assert_eq!(got, expect, "compressed=({ca},{cb})");
+        }
+    }
+
+    #[test]
+    fn scan_empty_inputs() {
+        let empty = tree_of(&[], false);
+        let full = tree_of(&[1, 2, 3], false);
+        let mut n = 0;
+        kiss_sync_scan(&empty, &full, |_, _, _| n += 1);
+        kiss_sync_scan(&full, &empty, |_, _, _| n += 1);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn scan_disjoint_ranges_is_free() {
+        // min/max bounding makes the scan a no-op without visiting roots.
+        let ta = tree_of(&[1, 2, 3], false);
+        let tb = tree_of(&[60_000, 60_001], false);
+        let mut n = 0;
+        kiss_sync_scan(&ta, &tb, |_, _, _| n += 1);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn scan_passes_duplicates() {
+        let mut ta = KissTree::<u32>::new(KissConfig::small(false));
+        let mut tb = KissTree::<u32>::new(KissConfig::small(false));
+        for i in 0..4 {
+            ta.insert(9, i);
+        }
+        tb.insert(9, 40);
+        tb.insert(9, 41);
+        tb.insert(10, 50);
+        let mut hits = 0;
+        kiss_sync_scan(&ta, &tb, |k, lv, rv| {
+            assert_eq!(k, 9);
+            assert_eq!(lv.count(), 4);
+            assert_eq!(rv.count(), 2);
+            hits += 1;
+        });
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn intersect_builds_tree_with_left_values() {
+        let ta = tree_of(&[5, 6, 7], false);
+        let tb = tree_of(&[6, 7, 8], false);
+        let i = kiss_intersect(&ta, &tb);
+        assert_eq!(i.keys().collect::<Vec<_>>(), vec![6, 7]);
+        assert_eq!(i.get_first(6), ta.get_first(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "identical root geometry")]
+    fn mismatched_geometry_rejected() {
+        let a = KissTree::<u32>::new(KissConfig::small(false));
+        let b = KissTree::<u32>::new(KissConfig {
+            l1_bits: 12,
+            compressed: false,
+        });
+        kiss_sync_scan(&a, &b, |_, _, _| {});
+    }
+}

@@ -1,0 +1,673 @@
+//! KISS-Tree core structure: root directory, second-level nodes, contents.
+
+use qppt_mem::dup::{DupArena, DupIter, DupList};
+
+use crate::KissConfig;
+
+/// Root and node entry encoding: `0` = empty, otherwise index + 1.
+const EMPTY: u32 = 0;
+
+/// Second-level node. The compressed variant is the original KISS-Tree's
+/// bitmask node: entry `e` exists iff bit `e` is set, and its slot is the
+/// popcount of the lower bits. Updating a compressed node requires copying
+/// the compact array (the paper's RCU copy overhead); the uncompressed
+/// variant updates in place. Uncompressed node slots live in one shared
+/// arena (`KissTree::udata`): allocating a node is a bump, not a malloc.
+#[derive(Debug)]
+enum L2Node {
+    /// Start offset of this node's 64 slots in the arena.
+    Uncompressed(u32),
+    Compressed { bitmap: u64, entries: Box<[u32]> },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Payload<V> {
+    One(V),
+    Many(DupList),
+}
+
+/// Prefix-tree-based index for 32-bit keys with a two-level layout
+/// (see the crate docs). Multimap semantics like `qppt_trie::PrefixTree`.
+#[derive(Debug)]
+pub struct KissTree<V> {
+    cfg: KissConfig,
+    /// Root directory; 256 MB virtual for the paper geometry, physically
+    /// mapped on demand by the OS at 4 KB granularity.
+    root: Vec<u32>,
+    nodes: Vec<L2Node>,
+    /// Slot arena backing uncompressed second-level nodes.
+    udata: Vec<u32>,
+    contents: Vec<Payload<V>>,
+    dups: DupArena<V>,
+    distinct: usize,
+    total_values: usize,
+    min_key: u32,
+    max_key: u32,
+    /// Number of compressed-node copies performed (the RCU-analogue cost;
+    /// reported by Ablation A4).
+    copy_updates: usize,
+}
+
+impl<V: Copy + Default> KissTree<V> {
+    /// Creates an empty tree. The root directory is allocated zeroed — i.e.
+    /// virtually; physical pages appear as slots are written.
+    pub fn new(cfg: KissConfig) -> Self {
+        cfg.validate();
+        Self {
+            cfg,
+            root: vec![EMPTY; cfg.root_slots()],
+            nodes: Vec::new(),
+            udata: Vec::new(),
+            contents: Vec::new(),
+            dups: DupArena::new(),
+            distinct: 0,
+            total_values: 0,
+            min_key: u32::MAX,
+            max_key: 0,
+            copy_updates: 0,
+        }
+    }
+
+    /// Paper-geometry tree (26/6, uncompressed second level).
+    pub fn paper() -> Self {
+        Self::new(KissConfig::paper())
+    }
+
+    /// The tree's configuration.
+    #[inline]
+    pub fn config(&self) -> KissConfig {
+        self.cfg
+    }
+
+    /// Number of distinct keys.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.distinct
+    }
+
+    /// `true` if no keys are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.distinct == 0
+    }
+
+    /// Total number of stored values.
+    #[inline]
+    pub fn total_values(&self) -> usize {
+        self.total_values
+    }
+
+    /// Smallest stored key (`None` when empty). O(1): maintained on insert,
+    /// which is what allows the bounded root scans of §4.2.
+    #[inline]
+    pub fn min_key(&self) -> Option<u32> {
+        (!self.is_empty()).then_some(self.min_key)
+    }
+
+    /// Largest stored key (`None` when empty).
+    #[inline]
+    pub fn max_key(&self) -> Option<u32> {
+        (!self.is_empty()).then_some(self.max_key)
+    }
+
+    /// Number of copy-on-update events caused by compressed nodes.
+    #[inline]
+    pub fn copy_updates(&self) -> usize {
+        self.copy_updates
+    }
+
+    pub(crate) fn root_slot(&self, idx: usize) -> u32 {
+        self.root[idx]
+    }
+
+    #[inline]
+    pub(crate) fn node_entry(&self, node_plus_one: u32, entry: usize) -> u32 {
+        match &self.nodes[(node_plus_one - 1) as usize] {
+            L2Node::Uncompressed(a) => self.udata[*a as usize + entry],
+            L2Node::Compressed { bitmap, entries } => {
+                let bit = 1u64 << entry;
+                if bitmap & bit == 0 {
+                    EMPTY
+                } else {
+                    let pos = (bitmap & (bit - 1)).count_ones() as usize;
+                    entries[pos]
+                }
+            }
+        }
+    }
+
+    /// Prefetchable addresses for the batch path (see `batch.rs`).
+    pub(crate) fn root_slot_addr(&self, idx: usize) -> *const u32 {
+        &self.root[idx]
+    }
+
+    pub(crate) fn node_addr(&self, node_plus_one: u32) -> *const u8 {
+        match &self.nodes[(node_plus_one - 1) as usize] {
+            L2Node::Uncompressed(a) => (&self.udata[*a as usize]) as *const u32 as *const u8,
+            n @ L2Node::Compressed { .. } => n as *const L2Node as *const u8,
+        }
+    }
+
+    pub(crate) fn content_addr(&self, content: u32) -> *const u8 {
+        (&self.contents[content as usize]) as *const Payload<V> as *const u8
+    }
+
+    /// Inserts `(key, value)`, appending to the key's duplicate list when the
+    /// key is already present.
+    pub fn insert(&mut self, key: u32, value: V) {
+        self.cfg.check_key(key);
+        self.total_values += 1;
+        let content = self.slot_for(key);
+        match content {
+            SlotState::New(slot) => {
+                let c = self.contents.len() as u32;
+                self.contents.push(Payload::One(value));
+                self.write_entry(slot, key, c + 1);
+                self.distinct += 1;
+                self.min_key = self.min_key.min(key);
+                self.max_key = self.max_key.max(key);
+            }
+            SlotState::Existing(c) => match &mut self.contents[c as usize] {
+                Payload::One(first) => {
+                    let mut list = self.dups.new_list(*first);
+                    self.dups.push(&mut list, value);
+                    self.contents[c as usize] = Payload::Many(list);
+                }
+                Payload::Many(list) => self.dups.push(list, value),
+            },
+        }
+    }
+
+    /// Upsert with a merge function (aggregation path; see
+    /// `qppt_trie::PrefixTree::insert_merge`).
+    pub fn insert_merge(&mut self, key: u32, value: V, merge: impl FnOnce(&mut V, V)) {
+        self.cfg.check_key(key);
+        let content = self.slot_for(key);
+        match content {
+            SlotState::New(slot) => {
+                let c = self.contents.len() as u32;
+                self.contents.push(Payload::One(value));
+                self.write_entry(slot, key, c + 1);
+                self.distinct += 1;
+                self.total_values += 1;
+                self.min_key = self.min_key.min(key);
+                self.max_key = self.max_key.max(key);
+            }
+            SlotState::Existing(c) => match &mut self.contents[c as usize] {
+                Payload::One(acc) => merge(acc, value),
+                Payload::Many(_) => unreachable!("aggregating trees never hold duplicate lists"),
+            },
+        }
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: u32) -> Option<Values<'_, V>> {
+        self.cfg.check_key(key);
+        let (ri, ei) = self.cfg.split(key);
+        let n = self.root[ri];
+        if n == EMPTY {
+            return None;
+        }
+        let e = self.node_entry(n, ei);
+        if e == EMPTY {
+            return None;
+        }
+        Some(self.values_of(e - 1))
+    }
+
+    /// First value for a key (for unique indexes).
+    pub fn get_first(&self, key: u32) -> Option<V> {
+        self.get(key).map(|mut v| *v.next().expect("≥1 value"))
+    }
+
+    /// `true` if the key is present.
+    pub fn contains_key(&self, key: u32) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of values for `key` (0 if absent).
+    pub fn value_count(&self, key: u32) -> usize {
+        self.get(key).map_or(0, |v| v.len())
+    }
+
+    pub(crate) fn values_of(&self, content: u32) -> Values<'_, V> {
+        match &self.contents[content as usize] {
+            Payload::One(v) => Values {
+                len: 1,
+                inner: ValuesInner::One(Some(v)),
+            },
+            Payload::Many(list) => Values {
+                len: list.len(),
+                inner: ValuesInner::Many(self.dups.iter(list)),
+            },
+        }
+    }
+
+    /// Finds (or prepares) the entry slot for `key`.
+    fn slot_for(&mut self, key: u32) -> SlotState {
+        let (ri, ei) = self.cfg.split(key);
+        let n = self.root[ri];
+        if n == EMPTY {
+            return SlotState::New(EntrySlot {
+                root_idx: ri,
+                entry_idx: ei,
+            });
+        }
+        let e = self.node_entry(n, ei);
+        if e == EMPTY {
+            SlotState::New(EntrySlot {
+                root_idx: ri,
+                entry_idx: ei,
+            })
+        } else {
+            SlotState::Existing(e - 1)
+        }
+    }
+
+    /// Writes `value` (an encoded content pointer) into the node entry,
+    /// allocating or copying second-level nodes as required.
+    fn write_entry(&mut self, slot: EntrySlot, _key: u32, value: u32) {
+        let n = self.root[slot.root_idx];
+        if n == EMPTY {
+            // Allocate a fresh node holding just this entry.
+            let node = if self.cfg.compressed {
+                L2Node::Compressed {
+                    bitmap: 1u64 << slot.entry_idx,
+                    entries: vec![value].into_boxed_slice(),
+                }
+            } else {
+                let a = self.udata.len();
+                self.udata.resize(a + self.cfg.node_entries(), EMPTY);
+                self.udata[a + slot.entry_idx] = value;
+                L2Node::Uncompressed(a as u32)
+            };
+            self.nodes.push(node);
+            self.root[slot.root_idx] = self.nodes.len() as u32;
+            return;
+        }
+        let node = &mut self.nodes[(n - 1) as usize];
+        match node {
+            L2Node::Uncompressed(a) => {
+                let idx = *a as usize + slot.entry_idx;
+                debug_assert_eq!(self.udata[idx], EMPTY);
+                self.udata[idx] = value;
+            }
+            L2Node::Compressed { bitmap, entries } => {
+                // Copy-on-update: build the widened compact array, then swap
+                // it in (the single-threaded analogue of the RCU publish).
+                let bit = 1u64 << slot.entry_idx;
+                debug_assert_eq!(*bitmap & bit, 0);
+                let pos = (*bitmap & (bit - 1)).count_ones() as usize;
+                let mut new_entries = Vec::with_capacity(entries.len() + 1);
+                new_entries.extend_from_slice(&entries[..pos]);
+                new_entries.push(value);
+                new_entries.extend_from_slice(&entries[pos..]);
+                *bitmap |= bit;
+                *entries = new_entries.into_boxed_slice();
+                self.copy_updates += 1;
+            }
+        }
+    }
+
+    /// Iterates `(key, values)` in ascending key order. The root pass is
+    /// bounded by the maintained min/max keys.
+    pub fn iter(&self) -> KissIter<'_, V> {
+        let (lo, hi) = if self.is_empty() {
+            (1, 0) // empty bounds
+        } else {
+            (self.min_key, self.max_key)
+        };
+        self.range(lo, hi)
+    }
+
+    /// Iterates `(key, values)` with `lo <= key <= hi` in ascending order.
+    /// `hi` is clamped to the configured key domain.
+    pub fn range(&self, lo: u32, hi: u32) -> KissIter<'_, V> {
+        let hi = match self.cfg.key_limit() {
+            Some(limit) => hi.min(limit - 1),
+            None => hi,
+        };
+        let (root_lo, _) = self.cfg.split(lo);
+        KissIter {
+            tree: self,
+            root_idx: root_lo,
+            entry_idx: (lo as usize) & (self.cfg.node_entries() - 1),
+            lo,
+            hi,
+            exhausted: lo > hi || self.is_empty(),
+        }
+    }
+
+    /// All keys in ascending order.
+    pub fn keys(&self) -> impl Iterator<Item = u32> + '_ {
+        self.iter().map(|(k, _)| k)
+    }
+
+    /// Memory statistics. `root_virtual_bytes` is the directory's full
+    /// (virtual) size; `root_touched_bytes` estimates the physically mapped
+    /// portion as the number of distinct 4 KB root pages containing at least
+    /// one non-empty slot.
+    pub fn stats(&self) -> KissStats {
+        const PAGE: usize = 4096;
+        let slots_per_page = PAGE / core::mem::size_of::<u32>();
+        let mut touched_pages = 0usize;
+        let mut page = usize::MAX;
+        if !self.is_empty() {
+            let (lo, _) = self.cfg.split(self.min_key);
+            let (hi, _) = self.cfg.split(self.max_key);
+            for ri in lo..=hi {
+                if self.root[ri] != EMPTY {
+                    let p = ri / slots_per_page;
+                    if p != page {
+                        touched_pages += 1;
+                        page = p;
+                    }
+                }
+            }
+        }
+        let node_bytes: usize = self.udata.len() * 4
+            + self
+                .nodes
+                .iter()
+                .map(|n| match n {
+                    L2Node::Uncompressed(_) => 4,
+                    L2Node::Compressed { entries, .. } => 8 + entries.len() * 4,
+                })
+                .sum::<usize>();
+        KissStats {
+            distinct_keys: self.distinct,
+            total_values: self.total_values,
+            nodes: self.nodes.len(),
+            root_virtual_bytes: self.root.len() * 4,
+            root_touched_bytes: touched_pages * PAGE,
+            node_bytes,
+            content_bytes: self.contents.len() * core::mem::size_of::<Payload<V>>(),
+            dup_bytes: self.dups.allocated_bytes(),
+            copy_updates: self.copy_updates,
+        }
+    }
+}
+
+enum SlotState {
+    New(EntrySlot),
+    Existing(u32),
+}
+
+struct EntrySlot {
+    root_idx: usize,
+    entry_idx: usize,
+}
+
+/// Memory/structure statistics of a [`KissTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KissStats {
+    pub distinct_keys: usize,
+    pub total_values: usize,
+    pub nodes: usize,
+    pub root_virtual_bytes: usize,
+    pub root_touched_bytes: usize,
+    pub node_bytes: usize,
+    pub content_bytes: usize,
+    pub dup_bytes: usize,
+    pub copy_updates: usize,
+}
+
+impl KissStats {
+    /// Physically meaningful footprint (touched root pages + nodes +
+    /// contents + duplicates).
+    pub fn resident_bytes(&self) -> usize {
+        self.root_touched_bytes + self.node_bytes + self.content_bytes + self.dup_bytes
+    }
+}
+
+/// Iterator over the values of one key (mirror of the trie's `Values`).
+pub struct Values<'a, V> {
+    len: usize,
+    inner: ValuesInner<'a, V>,
+}
+
+enum ValuesInner<'a, V> {
+    One(Option<&'a V>),
+    Many(DupIter<'a, V>),
+}
+
+impl<'a, V: Copy + Default> Iterator for Values<'a, V> {
+    type Item = &'a V;
+
+    fn next(&mut self) -> Option<&'a V> {
+        let out = match &mut self.inner {
+            ValuesInner::One(v) => v.take(),
+            ValuesInner::Many(it) => it.next(),
+        };
+        if out.is_some() {
+            self.len -= 1;
+        }
+        out
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.len, Some(self.len))
+    }
+}
+
+impl<'a, V: Copy + Default> ExactSizeIterator for Values<'a, V> {}
+
+/// Ordered `(key, values)` iterator over a key range.
+pub struct KissIter<'a, V> {
+    tree: &'a KissTree<V>,
+    root_idx: usize,
+    entry_idx: usize,
+    lo: u32,
+    hi: u32,
+    exhausted: bool,
+}
+
+impl<'a, V: Copy + Default> Iterator for KissIter<'a, V> {
+    type Item = (u32, Values<'a, V>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.exhausted {
+            return None;
+        }
+        let cfg = self.tree.cfg;
+        let entries = cfg.node_entries();
+        let (hi_root, _) = cfg.split(self.hi);
+        loop {
+            if self.root_idx > hi_root {
+                self.exhausted = true;
+                return None;
+            }
+            let n = self.tree.root[self.root_idx];
+            if n == EMPTY {
+                self.root_idx += 1;
+                self.entry_idx = 0;
+                continue;
+            }
+            while self.entry_idx < entries {
+                let e = self.tree.node_entry(n, self.entry_idx);
+                let key = cfg.join(self.root_idx, self.entry_idx);
+                self.entry_idx += 1;
+                if e != EMPTY {
+                    if key > self.hi {
+                        self.exhausted = true;
+                        return None;
+                    }
+                    if key >= self.lo {
+                        return Some((key, self.tree.values_of(e - 1)));
+                    }
+                }
+            }
+            self.root_idx += 1;
+            self.entry_idx = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qppt_mem::Xoshiro256StarStar;
+    use std::collections::BTreeMap;
+
+    fn cfgs() -> Vec<KissConfig> {
+        vec![KissConfig::small(false), KissConfig::small(true)]
+    }
+
+    #[test]
+    fn empty_tree() {
+        for cfg in cfgs() {
+            let t = KissTree::<u32>::new(cfg);
+            assert!(t.is_empty());
+            assert!(t.get(0).is_none());
+            assert_eq!(t.min_key(), None);
+            assert_eq!(t.iter().count(), 0);
+        }
+    }
+
+    #[test]
+    fn insert_get_roundtrip_both_variants() {
+        for cfg in cfgs() {
+            let mut t = KissTree::<u32>::new(cfg);
+            let mut rng = Xoshiro256StarStar::new(1);
+            let mut model: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+            for i in 0..5000u32 {
+                let k = rng.below(1 << 16) as u32;
+                t.insert(k, i);
+                model.entry(k).or_default().push(i);
+            }
+            assert_eq!(t.len(), model.len());
+            for (&k, vs) in &model {
+                let got: Vec<u32> = t.get(k).unwrap().copied().collect();
+                assert_eq!(&got, vs, "compressed={}", cfg.compressed);
+            }
+        }
+    }
+
+    #[test]
+    fn iteration_is_ordered_and_complete() {
+        for cfg in cfgs() {
+            let mut t = KissTree::<u32>::new(cfg);
+            let mut rng = Xoshiro256StarStar::new(2);
+            let mut model: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+            for i in 0..3000u32 {
+                let k = (rng.below(1 << 16)) as u32;
+                t.insert(k, i);
+                model.entry(k).or_default().push(i);
+            }
+            let got: Vec<(u32, Vec<u32>)> = t.iter().map(|(k, v)| (k, v.copied().collect())).collect();
+            let expect: Vec<(u32, Vec<u32>)> = model.into_iter().collect();
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn range_matches_model() {
+        for cfg in cfgs() {
+            let mut t = KissTree::<u32>::new(cfg);
+            let mut rng = Xoshiro256StarStar::new(3);
+            let mut model: BTreeMap<u32, u32> = BTreeMap::new();
+            for i in 0..2000u32 {
+                let k = (rng.below(1 << 14)) as u32;
+                model.entry(k).or_insert_with(|| {
+                    t.insert(k, i);
+                    i
+                });
+            }
+            for (lo, hi) in [(0u32, u32::MAX), (100, 5000), (777, 777), (16000, 20000), (5, 3)] {
+                let got: Vec<u32> = t.range(lo, hi).map(|(k, _)| k).collect();
+                let expect: Vec<u32> = if lo <= hi {
+                    model.range(lo..=hi).map(|(&k, _)| k).collect()
+                } else {
+                    Vec::new()
+                };
+                assert_eq!(got, expect, "range [{lo},{hi}] compressed={}", cfg.compressed);
+            }
+        }
+    }
+
+    #[test]
+    fn min_max_maintained() {
+        let mut t = KissTree::<u32>::new(KissConfig::small(false));
+        t.insert(500, 0);
+        t.insert(10, 0);
+        t.insert(60_000, 0);
+        assert_eq!(t.min_key(), Some(10));
+        assert_eq!(t.max_key(), Some(60_000));
+    }
+
+    #[test]
+    fn boundary_keys() {
+        for cfg in cfgs() {
+            let max = cfg.key_limit().map(|l| l - 1).unwrap_or(u32::MAX);
+            let mut t = KissTree::<u32>::new(cfg);
+            t.insert(0, 1);
+            t.insert(max, 2);
+            assert_eq!(t.get_first(0), Some(1));
+            assert_eq!(t.get_first(max), Some(2));
+            let keys: Vec<u32> = t.keys().collect();
+            assert_eq!(keys, vec![0, max]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 16-bit domain")]
+    fn out_of_domain_key_panics() {
+        let mut t = KissTree::<u32>::new(KissConfig::small(false));
+        t.insert(1 << 16, 0);
+    }
+
+    #[test]
+    fn compressed_counts_copy_updates_uncompressed_does_not() {
+        let mut tc = KissTree::<u32>::new(KissConfig::small(true));
+        let mut tu = KissTree::<u32>::new(KissConfig::small(false));
+        // Same root slot, distinct entries → compressed copies on each new key.
+        for e in 0..10u32 {
+            tc.insert(e, e);
+            tu.insert(e, e);
+        }
+        assert!(tc.copy_updates() >= 9);
+        assert_eq!(tu.copy_updates(), 0);
+    }
+
+    #[test]
+    fn insert_merge_aggregates() {
+        let mut t = KissTree::<i64>::new(KissConfig::small(false));
+        t.insert_merge(7, 5, |a, v| *a += v);
+        t.insert_merge(7, 10, |a, v| *a += v);
+        t.insert_merge(8, 1, |a, v| *a += v);
+        assert_eq!(t.get_first(7), Some(15));
+        assert_eq!(t.get_first(8), Some(1));
+        assert_eq!(t.total_values(), 2);
+    }
+
+    #[test]
+    fn compression_saves_node_memory_on_sparse_nodes() {
+        let mut tc = KissTree::<u32>::new(KissConfig::small(true));
+        let mut tu = KissTree::<u32>::new(KissConfig::small(false));
+        // Sparse keys → compressed nodes hold few entries, uncompressed 64.
+        let mut rng = Xoshiro256StarStar::new(4);
+        for i in 0..200u32 {
+            let k = rng.below(1 << 16) as u32;
+            tc.insert(k, i);
+            tu.insert(k, i);
+        }
+        assert!(tc.stats().node_bytes < tu.stats().node_bytes);
+    }
+
+    #[test]
+    fn paper_geometry_smoke() {
+        // 256 MB virtual root; only a handful of pages actually touched.
+        let mut t = KissTree::<u32>::paper();
+        for i in 0..10_000u32 {
+            t.insert(i, i);
+        }
+        assert_eq!(t.len(), 10_000);
+        assert_eq!(t.get_first(9999), Some(9999));
+        let s = t.stats();
+        assert_eq!(s.root_virtual_bytes, 256 << 20);
+        assert!(s.root_touched_bytes <= 4096 * 4);
+        let keys: Vec<u32> = t.keys().collect();
+        assert_eq!(keys.len(), 10_000);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+}

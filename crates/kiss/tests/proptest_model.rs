@@ -1,0 +1,132 @@
+//! Property-based model tests: the KISS-Tree must behave exactly like a
+//! `BTreeMap<u32, Vec<u32>>` in both compression modes.
+
+use proptest::prelude::*;
+use qppt_kiss::{kiss_intersect, kiss_sync_scan, KissConfig, KissTree};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Small-root domain (16-bit keys) so random cases hit collisions.
+fn key() -> impl Strategy<Value = u32> {
+    prop_oneof![0u32..=1024, 0u32..=u16::MAX as u32, Just(0), Just(u16::MAX as u32)]
+}
+
+fn build(compressed: bool, pairs: &[(u32, u32)]) -> (KissTree<u32>, BTreeMap<u32, Vec<u32>>) {
+    let mut t = KissTree::new(KissConfig::small(compressed));
+    let mut m: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+    for &(k, v) in pairs {
+        t.insert(k, v);
+        m.entry(k).or_default().push(v);
+    }
+    (t, m)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lookup_matches_model(
+        compressed in any::<bool>(),
+        keys in prop::collection::vec(key(), 0..300),
+        probes in prop::collection::vec(key(), 0..100),
+    ) {
+        let pairs: Vec<(u32, u32)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
+        let (t, m) = build(compressed, &pairs);
+        prop_assert_eq!(t.len(), m.len());
+        prop_assert_eq!(t.total_values(), pairs.len());
+        for &(k, _) in &pairs {
+            let got: Vec<u32> = t.get(k).unwrap().copied().collect();
+            prop_assert_eq!(&got, &m[&k]);
+        }
+        for &p in &probes {
+            prop_assert_eq!(t.contains_key(p), m.contains_key(&p));
+        }
+    }
+
+    #[test]
+    fn iteration_ordered_and_complete(
+        compressed in any::<bool>(),
+        keys in prop::collection::vec(key(), 0..300),
+    ) {
+        let pairs: Vec<(u32, u32)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
+        let (t, m) = build(compressed, &pairs);
+        let got: Vec<(u32, Vec<u32>)> = t.iter().map(|(k, v)| (k, v.copied().collect())).collect();
+        let expect: Vec<(u32, Vec<u32>)> = m.clone().into_iter().collect();
+        prop_assert_eq!(got, expect);
+        prop_assert_eq!(t.min_key(), m.keys().next().copied());
+        prop_assert_eq!(t.max_key(), m.keys().next_back().copied());
+    }
+
+    #[test]
+    fn range_matches_model(
+        compressed in any::<bool>(),
+        keys in prop::collection::vec(key(), 0..200),
+        lo in key(),
+        hi in key(),
+    ) {
+        let pairs: Vec<(u32, u32)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
+        let (t, m) = build(compressed, &pairs);
+        let got: Vec<u32> = t.range(lo, hi).map(|(k, _)| k).collect();
+        let expect: Vec<u32> = if lo <= hi {
+            m.range(lo..=hi).map(|(&k, _)| k).collect()
+        } else {
+            Vec::new()
+        };
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn batched_equals_scalar(
+        compressed in any::<bool>(),
+        keys in prop::collection::vec(key(), 0..200),
+        probes in prop::collection::vec(key(), 0..100),
+    ) {
+        let pairs: Vec<(u32, u32)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
+        let (scalar, _) = build(compressed, &pairs);
+        let mut batched = KissTree::new(KissConfig::small(compressed));
+        batched.batch_insert(&pairs);
+        let a: Vec<(u32, Vec<u32>)> = scalar.iter().map(|(k, v)| (k, v.copied().collect())).collect();
+        let b: Vec<(u32, Vec<u32>)> = batched.iter().map(|(k, v)| (k, v.copied().collect())).collect();
+        prop_assert_eq!(a, b);
+        let bres = batched.batch_get_first(&probes);
+        for (i, &p) in probes.iter().enumerate() {
+            prop_assert_eq!(bres[i], scalar.get_first(p));
+        }
+    }
+
+    #[test]
+    fn sync_scan_is_sorted_intersection(
+        ca in any::<bool>(),
+        cb in any::<bool>(),
+        a in prop::collection::vec(key(), 0..200),
+        b in prop::collection::vec(key(), 0..200),
+    ) {
+        let ta = build(ca, &a.iter().map(|&k| (k, 0)).collect::<Vec<_>>()).0;
+        let tb = build(cb, &b.iter().map(|&k| (k, 0)).collect::<Vec<_>>()).0;
+        let sa: BTreeSet<u32> = a.into_iter().collect();
+        let sb: BTreeSet<u32> = b.into_iter().collect();
+        let expect: Vec<u32> = sa.intersection(&sb).copied().collect();
+        let mut got = Vec::new();
+        kiss_sync_scan(&ta, &tb, |k, _, _| got.push(k));
+        prop_assert_eq!(&got, &expect);
+        if ca == cb {
+            let inter = kiss_intersect(&ta, &tb);
+            prop_assert_eq!(inter.keys().collect::<Vec<_>>(), expect);
+        }
+    }
+
+    #[test]
+    fn insert_merge_equals_fold(
+        compressed in any::<bool>(),
+        pairs in prop::collection::vec((key(), -50i64..50), 0..200),
+    ) {
+        let mut t = KissTree::<i64>::new(KissConfig::small(compressed));
+        let mut m: BTreeMap<u32, i64> = BTreeMap::new();
+        for &(k, v) in &pairs {
+            t.insert_merge(k, v, |acc, v| *acc += v);
+            *m.entry(k).or_insert(0) += v;
+        }
+        let got: Vec<(u32, i64)> = t.iter().map(|(k, mut v)| (k, *v.next().unwrap())).collect();
+        let expect: Vec<(u32, i64)> = m.into_iter().collect();
+        prop_assert_eq!(got, expect);
+    }
+}

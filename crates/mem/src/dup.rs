@@ -1,0 +1,474 @@
+//! Duplicate handling (§2.4, Fig. 4 of the paper).
+//!
+//! Storing duplicates as linked lists of individually allocated nodes causes
+//! random memory accesses during scans. QPPT instead stores the values of a
+//! key in *contiguous segments*: the first segment holds 64 bytes worth of
+//! values, and each further segment doubles in size until it reaches the
+//! 4 KB page size, because hardware prefetchers do not cross page boundaries
+//! anyway. New segments are put *in front* of the list (so appends never
+//! traverse it); segments never straddle a slab, so every segment is a single
+//! contiguous run of memory.
+//!
+//! [`DupArena`] implements that scheme. [`LinkedDupArena`] implements the
+//! naive one-node-per-value linked list the paper argues against; it exists
+//! solely so the ablation benchmark (Ablation A2 in DESIGN.md) can quantify
+//! the difference.
+
+const PAGE_BYTES: usize = 4096;
+const MIN_SEG_BYTES: usize = 64;
+/// Each slab holds this many pages; segments never straddle slabs.
+const SLAB_PAGES: usize = 256;
+
+const NONE: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Seg {
+    /// Slab index.
+    slab: u32,
+    /// Element offset of this segment inside its slab.
+    off: u32,
+    /// Number of values currently stored in this segment.
+    len: u32,
+    /// Element capacity of this segment.
+    cap: u32,
+    /// Next (older) segment, or `NONE`.
+    next: u32,
+}
+
+/// Handle to one key's duplicate list inside a [`DupArena`].
+///
+/// A list always holds at least one value (it is created by
+/// [`DupArena::new_list`] with its first value), matching the paper's layout
+/// where the first value lives with the key and the list holds the overflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DupList {
+    head: u32,
+    len: u32,
+}
+
+impl DupList {
+    /// Total number of values in the list.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// A duplicate list is never empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Segmented duplicate-value storage with page-aligned growth (Fig. 4).
+///
+/// Values must be `Copy + Default`; `Default` lets slabs be pre-initialised
+/// with safe code (the cost is a one-time zeroing per slab, which the OS does
+/// for large allocations anyway).
+#[derive(Debug)]
+pub struct DupArena<V> {
+    slabs: Vec<Vec<V>>,
+    segs: Vec<Seg>,
+    /// Remaining free elements at the tail of the last slab.
+    tail_free: usize,
+    elems_per_page: usize,
+    slab_elems: usize,
+    min_seg_elems: usize,
+}
+
+impl<V: Copy + Default> Default for DupArena<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Copy + Default> DupArena<V> {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        let vsize = core::mem::size_of::<V>().max(1);
+        let elems_per_page = (PAGE_BYTES / vsize).max(1);
+        Self {
+            slabs: Vec::new(),
+            segs: Vec::new(),
+            tail_free: 0,
+            elems_per_page,
+            slab_elems: elems_per_page * SLAB_PAGES,
+            min_seg_elems: (MIN_SEG_BYTES / vsize).max(1),
+        }
+    }
+
+    /// Starts a new list holding `first` as its only value.
+    pub fn new_list(&mut self, first: V) -> DupList {
+        let seg = self.alloc_seg(self.min_seg_elems, NONE);
+        self.write(seg, 0, first);
+        self.segs[seg as usize].len = 1;
+        DupList { head: seg, len: 1 }
+    }
+
+    /// Appends a value to an existing list, growing it with a doubled,
+    /// front-inserted segment when the head segment is full.
+    pub fn push(&mut self, list: &mut DupList, value: V) {
+        let head = list.head;
+        let (len, cap) = {
+            let s = &self.segs[head as usize];
+            (s.len, s.cap)
+        };
+        if len < cap {
+            self.write(head, len, value);
+            self.segs[head as usize].len = len + 1;
+        } else {
+            // Grow: double up to the page limit, prepend the new segment.
+            let next_cap = (cap as usize * 2).min(self.elems_per_page).max(self.min_seg_elems);
+            let seg = self.alloc_seg(next_cap, head);
+            self.write(seg, 0, value);
+            self.segs[seg as usize].len = 1;
+            list.head = seg;
+        }
+        list.len += 1;
+    }
+
+    /// Iterates the values of `list` in insertion order.
+    pub fn iter<'a>(&'a self, list: &DupList) -> DupIter<'a, V> {
+        // Segments are linked newest-first; collect the (short) chain and
+        // replay it oldest-first. Chain length is O(log n + n/page).
+        let mut chain = Vec::new();
+        let mut cur = list.head;
+        while cur != NONE {
+            chain.push(cur);
+            cur = self.segs[cur as usize].next;
+        }
+        chain.reverse();
+        DupIter {
+            arena: self,
+            chain,
+            seg_idx: 0,
+            elem_idx: 0,
+        }
+    }
+
+    /// Copies all values of `list`, in insertion order, into `out`.
+    pub fn extend_into(&self, list: &DupList, out: &mut Vec<V>) {
+        out.reserve(list.len());
+        for v in self.iter(list) {
+            out.push(*v);
+        }
+    }
+
+    /// Calls `f` for each contiguous segment slice, oldest first. This is the
+    /// scan entry point used by operators: each slice is sequential memory.
+    pub fn for_each_segment<F: FnMut(&[V])>(&self, list: &DupList, mut f: F) {
+        let mut chain = Vec::new();
+        let mut cur = list.head;
+        while cur != NONE {
+            chain.push(cur);
+            cur = self.segs[cur as usize].next;
+        }
+        for &seg in chain.iter().rev() {
+            let s = &self.segs[seg as usize];
+            let slab = &self.slabs[s.slab as usize];
+            f(&slab[s.off as usize..s.off as usize + s.len as usize]);
+        }
+    }
+
+    /// Number of segments a list occupies (observable growth behaviour).
+    pub fn segment_count(&self, list: &DupList) -> usize {
+        let mut n = 0;
+        let mut cur = list.head;
+        while cur != NONE {
+            n += 1;
+            cur = self.segs[cur as usize].next;
+        }
+        n
+    }
+
+    /// Capacity (in values) of each segment of a list, newest first.
+    pub fn segment_caps(&self, list: &DupList) -> Vec<usize> {
+        let mut caps = Vec::new();
+        let mut cur = list.head;
+        while cur != NONE {
+            caps.push(self.segs[cur as usize].cap as usize);
+            cur = self.segs[cur as usize].next;
+        }
+        caps
+    }
+
+    /// Total heap bytes held by the arena's slabs.
+    pub fn allocated_bytes(&self) -> usize {
+        self.slabs.iter().map(|s| s.capacity() * core::mem::size_of::<V>()).sum()
+    }
+
+    #[inline]
+    fn write(&mut self, seg: u32, idx: u32, value: V) {
+        let s = self.segs[seg as usize];
+        self.slabs[s.slab as usize][(s.off + idx) as usize] = value;
+    }
+
+    fn alloc_seg(&mut self, cap: usize, next: u32) -> u32 {
+        debug_assert!(cap <= self.slab_elems);
+        if self.tail_free < cap {
+            // Fresh slab; any leftover tail in the previous slab is wasted,
+            // mirroring page-aligned allocation slack.
+            self.slabs.push(vec![V::default(); self.slab_elems]);
+            self.tail_free = self.slab_elems;
+        }
+        let slab = (self.slabs.len() - 1) as u32;
+        let off = (self.slab_elems - self.tail_free) as u32;
+        self.tail_free -= cap;
+        let id = self.segs.len() as u32;
+        self.segs.push(Seg {
+            slab,
+            off,
+            len: 0,
+            cap: cap as u32,
+            next,
+        });
+        id
+    }
+}
+
+/// Insertion-order iterator over a [`DupList`].
+pub struct DupIter<'a, V> {
+    arena: &'a DupArena<V>,
+    chain: Vec<u32>,
+    seg_idx: usize,
+    elem_idx: u32,
+}
+
+impl<'a, V: Copy + Default> Iterator for DupIter<'a, V> {
+    type Item = &'a V;
+
+    fn next(&mut self) -> Option<&'a V> {
+        loop {
+            let seg = *self.chain.get(self.seg_idx)?;
+            let s = &self.arena.segs[seg as usize];
+            if self.elem_idx < s.len {
+                let slab = &self.arena.slabs[s.slab as usize];
+                let v = &slab[(s.off + self.elem_idx) as usize];
+                self.elem_idx += 1;
+                return Some(v);
+            }
+            self.seg_idx += 1;
+            self.elem_idx = 0;
+        }
+    }
+}
+
+/// Handle to a list inside [`LinkedDupArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkedList {
+    head: u32,
+    tail: u32,
+    len: u32,
+}
+
+impl LinkedList {
+    /// Number of values in the list.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// A list always holds at least one value.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LinkNode<V> {
+    value: V,
+    next: u32,
+}
+
+/// One-node-per-value duplicate storage — the strawman of §2.4.
+///
+/// Nodes are allocated in global insertion order, so the nodes of any one
+/// key's list end up scattered across memory when inserts to different keys
+/// interleave (the common case while an operator builds its output index).
+/// Scanning a list then chases pointers across pages, defeating the hardware
+/// prefetcher. Kept only for the Ablation A2 benchmark.
+#[derive(Debug)]
+pub struct LinkedDupArena<V> {
+    nodes: Vec<LinkNode<V>>,
+}
+
+impl<V: Copy> Default for LinkedDupArena<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Copy> LinkedDupArena<V> {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self { nodes: Vec::new() }
+    }
+
+    /// Starts a new list holding `first`.
+    pub fn new_list(&mut self, first: V) -> LinkedList {
+        let id = self.nodes.len() as u32;
+        self.nodes.push(LinkNode {
+            value: first,
+            next: NONE,
+        });
+        LinkedList {
+            head: id,
+            tail: id,
+            len: 1,
+        }
+    }
+
+    /// Appends a value (O(1) via the tail pointer).
+    pub fn push(&mut self, list: &mut LinkedList, value: V) {
+        let id = self.nodes.len() as u32;
+        self.nodes.push(LinkNode { value, next: NONE });
+        self.nodes[list.tail as usize].next = id;
+        list.tail = id;
+        list.len += 1;
+    }
+
+    /// Iterates values in insertion order, chasing node pointers.
+    pub fn iter<'a>(&'a self, list: &LinkedList) -> LinkedIter<'a, V> {
+        LinkedIter {
+            arena: self,
+            cur: list.head,
+        }
+    }
+}
+
+/// Pointer-chasing iterator over a [`LinkedList`].
+pub struct LinkedIter<'a, V> {
+    arena: &'a LinkedDupArena<V>,
+    cur: u32,
+}
+
+impl<'a, V: Copy> Iterator for LinkedIter<'a, V> {
+    type Item = &'a V;
+
+    fn next(&mut self) -> Option<&'a V> {
+        if self.cur == NONE {
+            return None;
+        }
+        let node = &self.arena.nodes[self.cur as usize];
+        self.cur = node.next;
+        Some(&node.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_value_list() {
+        let mut a = DupArena::<u64>::new();
+        let l = a.new_list(42);
+        assert_eq!(l.len(), 1);
+        assert_eq!(a.iter(&l).copied().collect::<Vec<_>>(), vec![42]);
+        assert_eq!(a.segment_count(&l), 1);
+    }
+
+    #[test]
+    fn insertion_order_preserved_across_segments() {
+        let mut a = DupArena::<u64>::new();
+        let mut l = a.new_list(0);
+        for i in 1..10_000u64 {
+            a.push(&mut l, i);
+        }
+        let got: Vec<u64> = a.iter(&l).copied().collect();
+        let expect: Vec<u64> = (0..10_000).collect();
+        assert_eq!(got, expect);
+        assert_eq!(l.len(), 10_000);
+    }
+
+    #[test]
+    fn segments_double_then_cap_at_page() {
+        // u64: min seg = 64B/8 = 8 elems, page = 4096/8 = 512 elems.
+        let mut a = DupArena::<u64>::new();
+        let mut l = a.new_list(0);
+        for i in 1..5000u64 {
+            a.push(&mut l, i);
+        }
+        let mut caps = a.segment_caps(&l);
+        caps.reverse(); // oldest first
+        assert_eq!(&caps[..8], &[8, 16, 32, 64, 128, 256, 512, 512]);
+        assert!(caps.iter().all(|&c| c <= 512));
+    }
+
+    #[test]
+    fn interleaved_lists_stay_separate() {
+        let mut a = DupArena::<u32>::new();
+        let mut l1 = a.new_list(1);
+        let mut l2 = a.new_list(1000);
+        for i in 0..500u32 {
+            a.push(&mut l1, 2 + i);
+            a.push(&mut l2, 1001 + i);
+        }
+        let v1: Vec<u32> = a.iter(&l1).copied().collect();
+        let v2: Vec<u32> = a.iter(&l2).copied().collect();
+        assert_eq!(v1, (1..=501).collect::<Vec<_>>());
+        assert_eq!(v2, (1000..=1500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_segment_concatenates_to_full_list() {
+        let mut a = DupArena::<u16>::new();
+        let mut l = a.new_list(0);
+        for i in 1..3000u16 {
+            a.push(&mut l, i);
+        }
+        let mut got = Vec::new();
+        a.for_each_segment(&l, |seg| got.extend_from_slice(seg));
+        assert_eq!(got, (0..3000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn segment_runs_are_contiguous_slices() {
+        let mut a = DupArena::<u64>::new();
+        let mut l = a.new_list(7);
+        for _ in 0..600 {
+            a.push(&mut l, 7);
+        }
+        let mut seg_lens = Vec::new();
+        a.for_each_segment(&l, |seg| seg_lens.push(seg.len()));
+        assert_eq!(seg_lens.iter().sum::<usize>(), 601);
+    }
+
+    #[test]
+    fn linked_arena_matches_segmented() {
+        let mut seg = DupArena::<u32>::new();
+        let mut lnk = LinkedDupArena::<u32>::new();
+        let mut sl = seg.new_list(9);
+        let mut ll = lnk.new_list(9);
+        for i in 0..777u32 {
+            seg.push(&mut sl, i);
+            lnk.push(&mut ll, i);
+        }
+        let a: Vec<u32> = seg.iter(&sl).copied().collect();
+        let b: Vec<u32> = lnk.iter(&ll).copied().collect();
+        assert_eq!(a, b);
+        assert_eq!(ll.len(), 778);
+    }
+
+    #[test]
+    fn large_value_type_has_at_least_one_elem_per_seg() {
+        #[derive(Copy, Clone, Default, PartialEq, Debug)]
+        struct Big([u64; 32]); // 256 B > 64 B min segment
+        let mut a = DupArena::<Big>::new();
+        let mut l = a.new_list(Big([1; 32]));
+        a.push(&mut l, Big([2; 32]));
+        a.push(&mut l, Big([3; 32]));
+        let got: Vec<Big> = a.iter(&l).copied().collect();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[2], Big([3; 32]));
+    }
+
+    #[test]
+    fn allocated_bytes_grows_with_content() {
+        let mut a = DupArena::<u64>::new();
+        assert_eq!(a.allocated_bytes(), 0);
+        let _ = a.new_list(1);
+        assert!(a.allocated_bytes() > 0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Order-preserving key normalisation and composite keys.
+//!
+//! Prefix trees are order-preserving *on the binary representation of the
+//! key* (§2.1), so every attribute value must be normalised to an unsigned
+//! integer whose numeric order equals the attribute's logical order:
+//!
+//! * unsigned ints are used as-is;
+//! * signed ints get their sign bit flipped ([`encode_i64`]);
+//! * strings are replaced by codes from a sorted dictionary (built in
+//!   `qppt-storage`), which is order-preserving because SSB string domains
+//!   are known at load time.
+//!
+//! Composite keys ("year & brand1" in Fig. 5) pack several codes into one
+//! `u64`, most-significant part first, so the tree's key order equals the
+//! lexicographic order of the parts.
+
+/// Maps `i64` to `u64` such that `a < b ⇔ encode(a) < encode(b)`.
+#[inline]
+pub fn encode_i64(v: i64) -> u64 {
+    (v as u64) ^ (1u64 << 63)
+}
+
+/// Inverse of [`encode_i64`].
+#[inline]
+pub fn decode_i64(v: u64) -> i64 {
+    (v ^ (1u64 << 63)) as i64
+}
+
+/// Packs two 32-bit codes into one 64-bit key, `hi` being more significant.
+#[inline]
+pub fn compose2(hi: u32, lo: u32) -> u64 {
+    ((hi as u64) << 32) | lo as u64
+}
+
+/// Inverse of [`compose2`].
+#[inline]
+pub fn split2(key: u64) -> (u32, u32) {
+    ((key >> 32) as u32, key as u32)
+}
+
+/// Error raised when a composite key cannot be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeyPackError {
+    /// The sum of the part widths exceeds 64 bits.
+    TooWide { total_bits: u32 },
+    /// A part value does not fit its declared width.
+    PartOverflow { part: usize, value: u64, bits: u8 },
+    /// The number of values does not match the number of parts.
+    ArityMismatch { expected: usize, got: usize },
+}
+
+impl core::fmt::Display for KeyPackError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            KeyPackError::TooWide { total_bits } => {
+                write!(f, "composite key needs {total_bits} bits, max is 64")
+            }
+            KeyPackError::PartOverflow { part, value, bits } => {
+                write!(f, "part {part} value {value} does not fit in {bits} bits")
+            }
+            KeyPackError::ArityMismatch { expected, got } => {
+                write!(f, "expected {expected} key parts, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KeyPackError {}
+
+/// Bit-packs a fixed sequence of parts into a `u64`, order-preserving with
+/// respect to lexicographic part order. Used for composed group-by keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyPacker {
+    widths: Vec<u8>,
+    shifts: Vec<u8>,
+    total_bits: u8,
+}
+
+impl KeyPacker {
+    /// Creates a packer for parts of the given bit widths (first part is the
+    /// most significant). Fails if the widths sum to more than 64 bits or if
+    /// any width is 0.
+    pub fn new(widths: &[u8]) -> Result<Self, KeyPackError> {
+        let total: u32 = widths.iter().map(|&w| w as u32).sum();
+        if total > 64 {
+            return Err(KeyPackError::TooWide { total_bits: total });
+        }
+        assert!(
+            widths.iter().all(|&w| w > 0),
+            "zero-width key parts are meaningless"
+        );
+        let mut shifts = Vec::with_capacity(widths.len());
+        let mut used = 0u8;
+        for &w in widths {
+            used += w;
+            shifts.push(total as u8 - used);
+        }
+        Ok(Self {
+            widths: widths.to_vec(),
+            shifts,
+            total_bits: total as u8,
+        })
+    }
+
+    /// Number of parts.
+    pub fn arity(&self) -> usize {
+        self.widths.len()
+    }
+
+    /// Total key width in bits; keys fit in `total_bits()` low bits.
+    pub fn total_bits(&self) -> u8 {
+        self.total_bits
+    }
+
+    /// Packs `parts` into a key.
+    pub fn pack(&self, parts: &[u64]) -> Result<u64, KeyPackError> {
+        if parts.len() != self.widths.len() {
+            return Err(KeyPackError::ArityMismatch {
+                expected: self.widths.len(),
+                got: parts.len(),
+            });
+        }
+        let mut key = 0u64;
+        for (i, (&v, (&w, &s))) in parts
+            .iter()
+            .zip(self.widths.iter().zip(self.shifts.iter()))
+            .enumerate()
+        {
+            let max = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+            if v > max {
+                return Err(KeyPackError::PartOverflow {
+                    part: i,
+                    value: v,
+                    bits: w,
+                });
+            }
+            key |= v << s;
+        }
+        Ok(key)
+    }
+
+    /// Unpacks a key into its parts.
+    pub fn unpack(&self, key: u64) -> Vec<u64> {
+        self.widths
+            .iter()
+            .zip(self.shifts.iter())
+            .map(|(&w, &s)| {
+                let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+                (key >> s) & mask
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i64_encoding_is_order_preserving() {
+        let samples = [i64::MIN, -1_000_000, -1, 0, 1, 42, i64::MAX];
+        for &a in &samples {
+            for &b in &samples {
+                assert_eq!(a < b, encode_i64(a) < encode_i64(b), "{a} vs {b}");
+                assert_eq!(decode_i64(encode_i64(a)), a);
+            }
+        }
+    }
+
+    #[test]
+    fn compose2_roundtrip_and_order() {
+        assert_eq!(split2(compose2(7, 9)), (7, 9));
+        // (1, 5) < (2, 0) lexicographically and numerically.
+        assert!(compose2(1, 5) < compose2(2, 0));
+        assert!(compose2(1, 5) < compose2(1, 6));
+    }
+
+    #[test]
+    fn packer_roundtrip() {
+        let p = KeyPacker::new(&[16, 16, 16]).unwrap();
+        let key = p.pack(&[1997, 24, 3]).unwrap();
+        assert_eq!(p.unpack(key), vec![1997, 24, 3]);
+        assert_eq!(p.total_bits(), 48);
+    }
+
+    #[test]
+    fn packer_order_matches_lexicographic() {
+        let p = KeyPacker::new(&[8, 8]).unwrap();
+        let mut keys = Vec::new();
+        let mut tuples = Vec::new();
+        for a in [0u64, 1, 5, 255] {
+            for b in [0u64, 3, 255] {
+                keys.push(p.pack(&[a, b]).unwrap());
+                tuples.push((a, b));
+            }
+        }
+        for i in 0..keys.len() {
+            for j in 0..keys.len() {
+                assert_eq!(tuples[i] < tuples[j], keys[i] < keys[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn packer_rejects_overflow_and_bad_arity() {
+        let p = KeyPacker::new(&[4, 4]).unwrap();
+        assert!(matches!(
+            p.pack(&[16, 0]),
+            Err(KeyPackError::PartOverflow { part: 0, .. })
+        ));
+        assert!(matches!(
+            p.pack(&[1]),
+            Err(KeyPackError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn packer_rejects_too_wide() {
+        assert!(matches!(
+            KeyPacker::new(&[32, 32, 1]),
+            Err(KeyPackError::TooWide { total_bits: 65 })
+        ));
+    }
+
+    #[test]
+    fn packer_full_64_bits() {
+        let p = KeyPacker::new(&[64]).unwrap();
+        assert_eq!(p.pack(&[u64::MAX]).unwrap(), u64::MAX);
+        assert_eq!(p.unpack(u64::MAX), vec![u64::MAX]);
+    }
+}

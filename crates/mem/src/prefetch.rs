@@ -1,0 +1,47 @@
+//! Software prefetching shim used by the batch processing scheme of §2.3.
+//!
+//! The batch lookup of Algorithm 1 issues a prefetch for every job's child
+//! node before descending a level, so the next level's nodes are already in
+//! L1 when they are dereferenced. On x86_64 this maps to `prefetcht0`; on
+//! other architectures it degrades to a no-op (batching still helps there by
+//! amortising function-call overhead, as the paper notes).
+
+/// Hints the CPU to fetch the cache line containing `ptr` into all cache
+/// levels. Never faults, regardless of the pointer value.
+#[inline(always)]
+pub fn prefetch_read<T>(ptr: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        // SAFETY: `_mm_prefetch` is a pure hint; it is architecturally defined
+        // to never fault, even for invalid addresses.
+        core::arch::x86_64::_mm_prefetch(ptr as *const i8, core::arch::x86_64::_MM_HINT_T0);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = ptr;
+    }
+}
+
+/// Prefetches the cache line holding `slice[index]`, if in bounds.
+/// Out-of-bounds indexes are ignored (the hint would be useless, not unsafe).
+#[inline(always)]
+pub fn prefetch_slice_element<T>(slice: &[T], index: usize) {
+    if index < slice.len() {
+        prefetch_read(&slice[index] as *const T);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefetch_valid_and_dangling_do_not_crash() {
+        let v = vec![1u64, 2, 3];
+        prefetch_read(&v[0]);
+        prefetch_read(core::ptr::null::<u64>());
+        prefetch_read(usize::MAX as *const u64);
+        prefetch_slice_element(&v, 1);
+        prefetch_slice_element(&v, 10_000);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests of the memory substrate: duplicate arenas preserve
+//! content and order under arbitrary interleavings; key packing is
+//! order-preserving for arbitrary widths.
+
+use proptest::prelude::*;
+use qppt_mem::{DupArena, KeyPacker, LinkedDupArena};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary interleaving of pushes across several lists: each list
+    /// yields exactly its values, in insertion order, and both arena
+    /// implementations agree.
+    #[test]
+    fn dup_arenas_preserve_order(ops in prop::collection::vec((0usize..8, any::<u64>()), 1..600)) {
+        let mut seg = DupArena::<u64>::new();
+        let mut lnk = LinkedDupArena::<u64>::new();
+        let mut seg_lists = [None; 8];
+        let mut lnk_lists = [None; 8];
+        let mut model: Vec<Vec<u64>> = vec![Vec::new(); 8];
+        for &(slot, v) in &ops {
+            model[slot].push(v);
+            match &mut seg_lists[slot] {
+                None => seg_lists[slot] = Some(seg.new_list(v)),
+                Some(l) => seg.push(l, v),
+            }
+            match &mut lnk_lists[slot] {
+                None => lnk_lists[slot] = Some(lnk.new_list(v)),
+                Some(l) => lnk.push(l, v),
+            }
+        }
+        for slot in 0..8 {
+            let expect = &model[slot];
+            match &seg_lists[slot] {
+                None => prop_assert!(expect.is_empty()),
+                Some(l) => {
+                    prop_assert_eq!(l.len(), expect.len());
+                    let got: Vec<u64> = seg.iter(l).copied().collect();
+                    prop_assert_eq!(&got, expect);
+                    // Segment scan concatenates to the same sequence.
+                    let mut segscan = Vec::new();
+                    seg.for_each_segment(l, |s| segscan.extend_from_slice(s));
+                    prop_assert_eq!(&segscan, expect);
+                    // Segment capacities double up to the page limit.
+                    let caps = seg.segment_caps(l);
+                    for w in caps.windows(2) {
+                        prop_assert!(w[0] == 512 || w[0] == 2 * w[1] || w[0] == w[1]);
+                    }
+                }
+            }
+            if let Some(l) = &lnk_lists[slot] {
+                let got: Vec<u64> = lnk.iter(l).copied().collect();
+                prop_assert_eq!(&got, expect);
+            }
+        }
+    }
+
+    /// Packing is order-preserving: lexicographic part order == key order.
+    #[test]
+    fn key_packer_order(
+        widths in prop::collection::vec(1u8..=15, 1..4),
+        a_seed in any::<u64>(),
+        b_seed in any::<u64>(),
+    ) {
+        let packer = KeyPacker::new(&widths).unwrap();
+        let clamp = |seed: u64| -> Vec<u64> {
+            widths
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| (seed.rotate_left(i as u32 * 13)) & ((1u64 << w) - 1))
+                .collect()
+        };
+        let a = clamp(a_seed);
+        let b = clamp(b_seed);
+        let ka = packer.pack(&a).unwrap();
+        let kb = packer.pack(&b).unwrap();
+        prop_assert_eq!(a.cmp(&b), ka.cmp(&kb));
+        prop_assert_eq!(packer.unpack(ka), a);
+        prop_assert_eq!(packer.unpack(kb), b);
+    }
+
+    /// The PRNG's below() is exhaustive over small bounds.
+    #[test]
+    fn prng_below_covers_domain(seed in any::<u64>(), bound in 1u64..16) {
+        let mut rng = qppt_mem::Xoshiro256StarStar::new(seed);
+        let mut seen = vec![false; bound as usize];
+        for _ in 0..(bound * 200) {
+            seen[rng.below(bound) as usize] = true;
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+}

@@ -1,0 +1,169 @@
+//! Gregorian calendar helpers for the SSB `date` dimension (1992–1998).
+
+/// Month names as the SSB `d_month` column spells them.
+pub const MONTH_NAMES: [&str; 12] = [
+    "January", "February", "March", "April", "May", "June", "July", "August", "September",
+    "October", "November", "December",
+];
+
+/// Three-letter abbreviations used by `d_yearmonth` (e.g. `Dec1997`).
+pub const MONTH_ABBREV: [&str; 12] = [
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+];
+
+/// Day-of-week names for `d_dayofweek` (SSB week starts on Sunday).
+pub const DAY_NAMES: [&str; 7] = [
+    "Sunday", "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday",
+];
+
+/// `true` for Gregorian leap years.
+pub fn is_leap_year(year: u32) -> bool {
+    (year.is_multiple_of(4) && !year.is_multiple_of(100)) || year.is_multiple_of(400)
+}
+
+/// Days in a month (1-based month).
+pub fn days_in_month(year: u32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => panic!("invalid month {month}"),
+    }
+}
+
+/// Day of week (0 = Sunday) via Sakamoto's method.
+pub fn day_of_week(year: u32, month: u32, day: u32) -> u32 {
+    const T: [u32; 12] = [0, 3, 2, 5, 0, 3, 5, 1, 4, 6, 2, 4];
+    let y = if month < 3 { year - 1 } else { year };
+    (y + y / 4 - y / 100 + y / 400 + T[(month - 1) as usize] + day) % 7
+}
+
+/// One calendar day with every derived SSB attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CalendarDay {
+    /// `yyyymmdd` integer, the `d_datekey`.
+    pub datekey: u32,
+    pub year: u32,
+    pub month: u32,
+    pub day: u32,
+    /// 1-based day number within the year.
+    pub day_of_year: u32,
+    /// 0 = Sunday.
+    pub weekday: u32,
+    /// 1-based week number within the year (SSB convention: ⌈doy/7⌉).
+    pub week_of_year: u32,
+}
+
+impl CalendarDay {
+    /// `December 7, 1997`-style long date (the `d_date` column).
+    pub fn long_date(&self) -> String {
+        format!(
+            "{} {}, {}",
+            MONTH_NAMES[(self.month - 1) as usize],
+            self.day,
+            self.year
+        )
+    }
+
+    /// `Dec1997`-style year-month (the `d_yearmonth` column).
+    pub fn yearmonth(&self) -> String {
+        format!("{}{}", MONTH_ABBREV[(self.month - 1) as usize], self.year)
+    }
+
+    /// `199712`-style numeric year-month (the `d_yearmonthnum` column).
+    pub fn yearmonthnum(&self) -> u32 {
+        self.year * 100 + self.month
+    }
+
+    /// SSB selling seasons, approximated by month blocks.
+    pub fn selling_season(&self) -> &'static str {
+        match self.month {
+            12 | 1 => "Christmas",
+            2..=4 => "Spring",
+            5..=7 => "Summer",
+            8..=10 => "Fall",
+            _ => "Winter",
+        }
+    }
+}
+
+/// Generates every day from Jan 1 `from_year` through Dec 31 `to_year`.
+pub fn calendar(from_year: u32, to_year: u32) -> Vec<CalendarDay> {
+    let mut days = Vec::new();
+    for year in from_year..=to_year {
+        let mut doy = 0;
+        for month in 1..=12 {
+            for day in 1..=days_in_month(year, month) {
+                doy += 1;
+                days.push(CalendarDay {
+                    datekey: year * 10_000 + month * 100 + day,
+                    year,
+                    month,
+                    day,
+                    day_of_year: doy,
+                    weekday: day_of_week(year, month, day),
+                    week_of_year: (doy - 1) / 7 + 1,
+                });
+            }
+        }
+    }
+    days
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leap_years() {
+        assert!(is_leap_year(1992));
+        assert!(is_leap_year(1996));
+        assert!(is_leap_year(2000));
+        assert!(!is_leap_year(1993));
+        assert!(!is_leap_year(1900));
+    }
+
+    #[test]
+    fn ssb_calendar_size() {
+        let days = calendar(1992, 1998);
+        // 1992 and 1996 are leap years: 5*365 + 2*366 = 2557.
+        assert_eq!(days.len(), 2557);
+        assert_eq!(days.first().unwrap().datekey, 19920101);
+        assert_eq!(days.last().unwrap().datekey, 19981231);
+    }
+
+    #[test]
+    fn known_weekdays() {
+        // Jan 1, 1992 was a Wednesday; Dec 31, 1998 was a Thursday.
+        assert_eq!(day_of_week(1992, 1, 1), 3);
+        assert_eq!(day_of_week(1998, 12, 31), 4);
+        // Leap-day handling: Feb 29, 1996 was a Thursday.
+        assert_eq!(day_of_week(1996, 2, 29), 4);
+    }
+
+    #[test]
+    fn derived_attributes() {
+        let days = calendar(1997, 1997);
+        let dec7 = days.iter().find(|d| d.datekey == 19971207).unwrap();
+        assert_eq!(dec7.long_date(), "December 7, 1997");
+        assert_eq!(dec7.yearmonth(), "Dec1997");
+        assert_eq!(dec7.yearmonthnum(), 199712);
+        assert_eq!(dec7.weekday, 0); // a Sunday
+        assert_eq!(dec7.selling_season(), "Christmas");
+        let feb1 = days.iter().find(|d| d.datekey == 19970201).unwrap();
+        assert_eq!(feb1.day_of_year, 32);
+        assert_eq!(feb1.week_of_year, 5);
+    }
+
+    #[test]
+    fn datekeys_strictly_increasing() {
+        let days = calendar(1992, 1998);
+        assert!(days.windows(2).all(|w| w[0].datekey < w[1].datekey));
+    }
+}

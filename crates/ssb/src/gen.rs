@@ -1,0 +1,463 @@
+//! Deterministic Star Schema Benchmark data generator.
+//!
+//! Follows O'Neil et al.'s SSB specification: the TPC-H snowflake schema
+//! flattened into one `lineorder` fact table and four dimensions. Row counts
+//! scale with the scale factor (SF): `lineorder` = SF × 6 M,
+//! `customer` = SF × 30 K, `supplier` = SF × 2 K,
+//! `part` = 200 K × (1 + ⌊log₂ SF⌋) for SF ≥ 1, and `date` covers the seven
+//! years 1992–1998. For SF < 1 (laptop/CI scales) `part` shrinks
+//! proportionally with a floor of 1 000 rows — the spec does not define
+//! fractional SFs, so we extrapolate downward; every attribute domain
+//! (brands, regions, cities, value ranges) stays exactly per spec, which is
+//! what the queries' selectivities depend on.
+//!
+//! All randomness flows from one seeded xoshiro256** stream per table, so a
+//! given `(sf, seed)` reproduces bit-identical data on every platform.
+
+use qppt_mem::Xoshiro256StarStar;
+use qppt_storage::{ColumnType, Database, Schema, Table, TableBuilder, Value};
+
+use crate::calendar::{calendar, DAY_NAMES};
+
+/// TPC-H regions and their nations (5 × 5).
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// The 25 TPC-H nations, grouped by region (same order as [`REGIONS`]).
+pub const NATIONS: [(&str, &str); 25] = [
+    ("ALGERIA", "AFRICA"),
+    ("ETHIOPIA", "AFRICA"),
+    ("KENYA", "AFRICA"),
+    ("MOROCCO", "AFRICA"),
+    ("MOZAMBIQUE", "AFRICA"),
+    ("ARGENTINA", "AMERICA"),
+    ("BRAZIL", "AMERICA"),
+    ("CANADA", "AMERICA"),
+    ("PERU", "AMERICA"),
+    ("UNITED STATES", "AMERICA"),
+    ("CHINA", "ASIA"),
+    ("INDIA", "ASIA"),
+    ("INDONESIA", "ASIA"),
+    ("JAPAN", "ASIA"),
+    ("VIETNAM", "ASIA"),
+    ("FRANCE", "EUROPE"),
+    ("GERMANY", "EUROPE"),
+    ("ROMANIA", "EUROPE"),
+    ("RUSSIA", "EUROPE"),
+    ("UNITED KINGDOM", "EUROPE"),
+    ("EGYPT", "MIDDLE EAST"),
+    ("IRAN", "MIDDLE EAST"),
+    ("IRAQ", "MIDDLE EAST"),
+    ("JORDAN", "MIDDLE EAST"),
+    ("SAUDI ARABIA", "MIDDLE EAST"),
+];
+
+const MFGRS: [&str; 5] = ["MFGR#1", "MFGR#2", "MFGR#3", "MFGR#4", "MFGR#5"];
+const SHIP_MODES: [&str; 7] = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"];
+const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+const COLORS: [&str; 12] = [
+    "almond", "azure", "beige", "blue", "coral", "cream", "forest", "ghost", "honey", "ivory",
+    "lime", "plum",
+];
+
+/// SSB city: nation name truncated/padded to 9 characters plus a digit
+/// (`UNITED KI1` … `UNITED KI9` for UNITED KINGDOM).
+pub fn city_name(nation: &str, digit: u64) -> String {
+    let mut base: String = nation.chars().take(9).collect();
+    while base.len() < 9 {
+        base.push(' ');
+    }
+    format!("{base}{digit}")
+}
+
+/// Row counts for a scale factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SsbSizes {
+    pub lineorder: usize,
+    pub customer: usize,
+    pub supplier: usize,
+    pub part: usize,
+    pub date: usize,
+}
+
+impl SsbSizes {
+    /// Spec row counts for `sf` (see module docs for the SF < 1 extension).
+    pub fn for_scale_factor(sf: f64) -> Self {
+        assert!(sf > 0.0, "scale factor must be positive");
+        let part = if sf >= 1.0 {
+            (200_000.0 * (1.0 + sf.log2().floor())) as usize
+        } else {
+            ((200_000.0 * sf) as usize).max(1_000)
+        };
+        Self {
+            lineorder: (6_000_000.0 * sf) as usize,
+            customer: ((30_000.0 * sf) as usize).max(50),
+            supplier: ((2_000.0 * sf) as usize).max(20),
+            part,
+            date: 2557,
+        }
+    }
+}
+
+/// A generated SSB database: catalog plus generation parameters.
+#[derive(Debug)]
+pub struct SsbDb {
+    pub db: Database,
+    pub sf: f64,
+    pub seed: u64,
+    pub sizes: SsbSizes,
+}
+
+impl SsbDb {
+    /// Generates the five SSB tables at scale factor `sf` and bulk-loads
+    /// them into a fresh database. Deterministic in `(sf, seed)`.
+    pub fn generate(sf: f64, seed: u64) -> Self {
+        let sizes = SsbSizes::for_scale_factor(sf);
+        let mut db = Database::new();
+        db.add_table(gen_date());
+        db.add_table(gen_part(sizes.part, seed ^ 0x7061_7274));
+        db.add_table(gen_supplier(sizes.supplier, seed ^ 0x7375_7070));
+        db.add_table(gen_customer(sizes.customer, seed ^ 0x6375_7374));
+        db.add_table(gen_lineorder(
+            sizes.lineorder,
+            sizes.customer,
+            sizes.supplier,
+            sizes.part,
+            seed ^ 0x6c69_6e65,
+        ));
+        Self { db, sf, seed, sizes }
+    }
+}
+
+/// The `date` dimension (deterministic, no randomness).
+pub fn gen_date() -> Table {
+    let schema = Schema::of(&[
+        ("d_datekey", ColumnType::Int),
+        ("d_date", ColumnType::Str),
+        ("d_dayofweek", ColumnType::Str),
+        ("d_month", ColumnType::Str),
+        ("d_year", ColumnType::Int),
+        ("d_yearmonthnum", ColumnType::Int),
+        ("d_yearmonth", ColumnType::Str),
+        ("d_daynuminweek", ColumnType::Int),
+        ("d_daynuminmonth", ColumnType::Int),
+        ("d_daynuminyear", ColumnType::Int),
+        ("d_monthnuminyear", ColumnType::Int),
+        ("d_weeknuminyear", ColumnType::Int),
+        ("d_sellingseason", ColumnType::Str),
+        ("d_lastdayinmonthfl", ColumnType::Int),
+        ("d_holidayfl", ColumnType::Int),
+        ("d_weekdayfl", ColumnType::Int),
+    ]);
+    let mut b = TableBuilder::new("date", schema);
+    for day in calendar(1992, 1998) {
+        let last_dom = day.day == crate::calendar::days_in_month(day.year, day.month);
+        let weekday_fl = (1..=5).contains(&day.weekday);
+        // Fixed-date holidays, enough to exercise the flag.
+        let holiday = matches!((day.month, day.day), (1, 1) | (7, 4) | (12, 25));
+        b.push_row(vec![
+            Value::Int(day.datekey as i64),
+            Value::Str(day.long_date()),
+            Value::str(DAY_NAMES[day.weekday as usize]),
+            Value::str(crate::calendar::MONTH_NAMES[(day.month - 1) as usize]),
+            Value::Int(day.year as i64),
+            Value::Int(day.yearmonthnum() as i64),
+            Value::Str(day.yearmonth()),
+            Value::Int(day.weekday as i64 + 1),
+            Value::Int(day.day as i64),
+            Value::Int(day.day_of_year as i64),
+            Value::Int(day.month as i64),
+            Value::Int(day.week_of_year as i64),
+            Value::str(day.selling_season()),
+            Value::Int(last_dom as i64),
+            Value::Int(holiday as i64),
+            Value::Int(weekday_fl as i64),
+        ])
+        .expect("static schema");
+    }
+    b.finish()
+}
+
+/// The `part` dimension.
+pub fn gen_part(rows: usize, seed: u64) -> Table {
+    let schema = Schema::of(&[
+        ("p_partkey", ColumnType::Int),
+        ("p_name", ColumnType::Str),
+        ("p_mfgr", ColumnType::Str),
+        ("p_category", ColumnType::Str),
+        ("p_brand1", ColumnType::Str),
+        ("p_color", ColumnType::Str),
+        ("p_type", ColumnType::Str),
+        ("p_size", ColumnType::Int),
+        ("p_container", ColumnType::Str),
+    ]);
+    let mut rng = Xoshiro256StarStar::new(seed);
+    let mut b = TableBuilder::new("part", schema);
+    for pk in 1..=rows as u64 {
+        // mfgr ∈ 1..=5; category appends 1..=5; brand1 appends 1..=40.
+        let mfgr_n = rng.range_inclusive(1, 5);
+        let cat_n = rng.range_inclusive(1, 5);
+        let brand_n = rng.range_inclusive(1, 40);
+        let mfgr = MFGRS[(mfgr_n - 1) as usize];
+        let category = format!("MFGR#{mfgr_n}{cat_n}");
+        let brand1 = format!("{category}{brand_n}");
+        let color = *rng.choose(&COLORS);
+        b.push_row(vec![
+            Value::Int(pk as i64),
+            Value::Str(format!("{color} part {pk}")),
+            Value::str(mfgr),
+            Value::Str(category),
+            Value::Str(brand1),
+            Value::str(color),
+            Value::Str(format!("STANDARD POLISHED TYPE{}", rng.range_inclusive(1, 25))),
+            Value::Int(rng.range_inclusive(1, 50) as i64),
+            Value::Str(format!("CONTAINER{}", rng.range_inclusive(1, 40))),
+        ])
+        .expect("static schema");
+    }
+    b.finish()
+}
+
+/// The `supplier` dimension.
+pub fn gen_supplier(rows: usize, seed: u64) -> Table {
+    let schema = Schema::of(&[
+        ("s_suppkey", ColumnType::Int),
+        ("s_name", ColumnType::Str),
+        ("s_address", ColumnType::Str),
+        ("s_city", ColumnType::Str),
+        ("s_nation", ColumnType::Str),
+        ("s_region", ColumnType::Str),
+        ("s_phone", ColumnType::Str),
+    ]);
+    let mut rng = Xoshiro256StarStar::new(seed);
+    let mut b = TableBuilder::new("supplier", schema);
+    for sk in 1..=rows as u64 {
+        let (nation, region) = NATIONS[rng.below(25) as usize];
+        let city = city_name(nation, rng.below(10));
+        b.push_row(vec![
+            Value::Int(sk as i64),
+            Value::Str(format!("Supplier#{sk:09}")),
+            Value::Str(format!("ADDR-S{}", rng.below(1_000_000))),
+            Value::Str(city),
+            Value::str(nation),
+            Value::str(region),
+            Value::Str(phone(&mut rng)),
+        ])
+        .expect("static schema");
+    }
+    b.finish()
+}
+
+/// The `customer` dimension.
+pub fn gen_customer(rows: usize, seed: u64) -> Table {
+    let schema = Schema::of(&[
+        ("c_custkey", ColumnType::Int),
+        ("c_name", ColumnType::Str),
+        ("c_address", ColumnType::Str),
+        ("c_city", ColumnType::Str),
+        ("c_nation", ColumnType::Str),
+        ("c_region", ColumnType::Str),
+        ("c_phone", ColumnType::Str),
+        ("c_mktsegment", ColumnType::Str),
+    ]);
+    let mut rng = Xoshiro256StarStar::new(seed);
+    let mut b = TableBuilder::new("customer", schema);
+    for ck in 1..=rows as u64 {
+        let (nation, region) = NATIONS[rng.below(25) as usize];
+        let city = city_name(nation, rng.below(10));
+        b.push_row(vec![
+            Value::Int(ck as i64),
+            Value::Str(format!("Customer#{ck:09}")),
+            Value::Str(format!("ADDR-C{}", rng.below(1_000_000))),
+            Value::Str(city),
+            Value::str(nation),
+            Value::str(region),
+            Value::Str(phone(&mut rng)),
+            #[allow(clippy::explicit_auto_deref)] // deref drives choose()'s inference
+            Value::str(*rng.choose(&SEGMENTS)),
+        ])
+        .expect("static schema");
+    }
+    b.finish()
+}
+
+/// The `lineorder` fact table.
+pub fn gen_lineorder(
+    rows: usize,
+    customers: usize,
+    suppliers: usize,
+    parts: usize,
+    seed: u64,
+) -> Table {
+    let schema = Schema::of(&[
+        ("lo_orderkey", ColumnType::Int),
+        ("lo_linenumber", ColumnType::Int),
+        ("lo_custkey", ColumnType::Int),
+        ("lo_partkey", ColumnType::Int),
+        ("lo_suppkey", ColumnType::Int),
+        ("lo_orderdate", ColumnType::Int),
+        ("lo_quantity", ColumnType::Int),
+        ("lo_extendedprice", ColumnType::Int),
+        ("lo_ordtotalprice", ColumnType::Int),
+        ("lo_discount", ColumnType::Int),
+        ("lo_revenue", ColumnType::Int),
+        ("lo_supplycost", ColumnType::Int),
+        ("lo_tax", ColumnType::Int),
+        ("lo_shipmode", ColumnType::Str),
+    ]);
+    let datekeys: Vec<u32> = calendar(1992, 1998).iter().map(|d| d.datekey).collect();
+    let mut rng = Xoshiro256StarStar::new(seed);
+    let mut b = TableBuilder::new("lineorder", schema);
+    let mut orderkey = 0u64;
+    let mut remaining_lines = 0u64;
+    let mut line_no = 0u64;
+    for _ in 0..rows {
+        if remaining_lines == 0 {
+            orderkey += 1;
+            remaining_lines = rng.range_inclusive(1, 7); // lines per order
+            line_no = 0;
+        }
+        remaining_lines -= 1;
+        line_no += 1;
+        let quantity = rng.range_inclusive(1, 50);
+        let discount = rng.range_inclusive(0, 10);
+        // Spec: extendedprice ≤ 55,450 (price cents are dropped in SSB).
+        let extendedprice = rng.range_inclusive(900, 55_450) / 100 * 100 + quantity; // pseudo spec-ish
+        let revenue = extendedprice * (100 - discount) / 100;
+        let supplycost = extendedprice * 6 / 10 / quantity.max(1);
+        b.push_row(vec![
+            Value::Int(orderkey as i64),
+            Value::Int(line_no as i64),
+            Value::Int(rng.range_inclusive(1, customers as u64) as i64),
+            Value::Int(rng.range_inclusive(1, parts as u64) as i64),
+            Value::Int(rng.range_inclusive(1, suppliers as u64) as i64),
+            Value::Int(*rng.choose(&datekeys) as i64),
+            Value::Int(quantity as i64),
+            Value::Int(extendedprice as i64),
+            Value::Int((extendedprice * rng.range_inclusive(1, 7)) as i64),
+            Value::Int(discount as i64),
+            Value::Int(revenue as i64),
+            Value::Int(supplycost as i64),
+            Value::Int(rng.range_inclusive(0, 8) as i64),
+            #[allow(clippy::explicit_auto_deref)] // deref drives choose()'s inference
+            Value::str(*rng.choose(&SHIP_MODES)),
+        ])
+        .expect("static schema");
+    }
+    b.finish()
+}
+
+fn phone(rng: &mut Xoshiro256StarStar) -> String {
+    format!(
+        "{:02}-{:03}-{:03}-{:04}",
+        rng.range_inclusive(10, 34),
+        rng.below(1000),
+        rng.below(1000),
+        rng.below(10_000)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_spec() {
+        let s1 = SsbSizes::for_scale_factor(1.0);
+        assert_eq!(s1.lineorder, 6_000_000);
+        assert_eq!(s1.customer, 30_000);
+        assert_eq!(s1.supplier, 2_000);
+        assert_eq!(s1.part, 200_000);
+        let s4 = SsbSizes::for_scale_factor(4.0);
+        assert_eq!(s4.part, 600_000); // 200k × (1 + log2(4))
+        let s01 = SsbSizes::for_scale_factor(0.01);
+        assert_eq!(s01.lineorder, 60_000);
+        assert_eq!(s01.part, 2_000);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SsbDb::generate(0.01, 42);
+        let b = SsbDb::generate(0.01, 42);
+        for name in ["lineorder", "part", "supplier", "customer", "date"] {
+            let ta = a.db.table(name).unwrap().table();
+            let tb = b.db.table(name).unwrap().table();
+            assert_eq!(ta.row_count(), tb.row_count(), "{name}");
+            for rid in (0..ta.row_count() as u32).step_by(97) {
+                assert_eq!(ta.row(rid), tb.row(rid), "{name} rid {rid}");
+            }
+        }
+        let c = SsbDb::generate(0.01, 43);
+        let tc = c.db.table("lineorder").unwrap().table();
+        let ta = a.db.table("lineorder").unwrap().table();
+        assert_ne!(ta.row(0), tc.row(0), "different seeds differ");
+    }
+
+    #[test]
+    fn foreign_keys_resolve() {
+        let ssb = SsbDb::generate(0.01, 7);
+        let lo = ssb.db.table("lineorder").unwrap().table();
+        let schema = lo.schema();
+        let ck = schema.col("lo_custkey").unwrap();
+        let pk = schema.col("lo_partkey").unwrap();
+        let sk = schema.col("lo_suppkey").unwrap();
+        let od = schema.col("lo_orderdate").unwrap();
+        for rid in (0..lo.row_count() as u32).step_by(101) {
+            assert!((1..=ssb.sizes.customer as u64).contains(&lo.get(rid, ck)));
+            assert!((1..=ssb.sizes.part as u64).contains(&lo.get(rid, pk)));
+            assert!((1..=ssb.sizes.supplier as u64).contains(&lo.get(rid, sk)));
+            let d = lo.get(rid, od);
+            assert!((19920101..=19981231).contains(&d));
+        }
+    }
+
+    #[test]
+    fn attribute_domains_match_spec() {
+        let ssb = SsbDb::generate(0.01, 7);
+        let part = ssb.db.table("part").unwrap().table();
+        let brand_dict = part.dict(part.schema().col("p_brand1").unwrap()).unwrap();
+        assert!(brand_dict.len() <= 1000);
+        assert!(brand_dict.values().iter().all(|b| b.starts_with("MFGR#")));
+        let supp = ssb.db.table("supplier").unwrap().table();
+        let region_dict = supp.dict(supp.schema().col("s_region").unwrap()).unwrap();
+        for r in region_dict.values() {
+            assert!(REGIONS.contains(&r.as_str()), "unexpected region {r}");
+        }
+        let cust = ssb.db.table("customer").unwrap().table();
+        let city_dict = cust.dict(cust.schema().col("c_city").unwrap()).unwrap();
+        assert!(city_dict.values().iter().all(|c| c.len() == 10));
+    }
+
+    #[test]
+    fn city_names_match_ssb_format() {
+        assert_eq!(city_name("UNITED KINGDOM", 1), "UNITED KI1");
+        assert_eq!(city_name("UNITED STATES", 0), "UNITED ST0");
+        assert_eq!(city_name("PERU", 5), "PERU     5");
+    }
+
+    #[test]
+    fn revenue_consistent_with_price_and_discount() {
+        let ssb = SsbDb::generate(0.01, 9);
+        let lo = ssb.db.table("lineorder").unwrap().table();
+        let s = lo.schema();
+        let (ep, disc, rev) = (
+            s.col("lo_extendedprice").unwrap(),
+            s.col("lo_discount").unwrap(),
+            s.col("lo_revenue").unwrap(),
+        );
+        for rid in (0..lo.row_count() as u32).step_by(37) {
+            let e = lo.get(rid, ep);
+            let d = lo.get(rid, disc);
+            assert_eq!(lo.get(rid, rev), e * (100 - d) / 100);
+            assert!(d <= 10);
+        }
+    }
+
+    #[test]
+    fn date_table_fixed_shape() {
+        let t = gen_date();
+        assert_eq!(t.row_count(), 2557);
+        let ym = t.dict(t.schema().col("d_yearmonth").unwrap()).unwrap();
+        assert_eq!(ym.len(), 84); // 7 years × 12 months
+        assert!(ym.encode("Dec1997").is_some());
+    }
+}

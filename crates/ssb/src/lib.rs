@@ -1,0 +1,22 @@
+//! Star Schema Benchmark substrate for the QPPT evaluation (§5).
+//!
+//! The paper evaluates QPPT on the SSB (O'Neil et al.): a star schema
+//! derived from TPC-H with one `lineorder` fact table and the dimensions
+//! `part`, `supplier`, `customer` and `date`. This crate provides
+//!
+//! * [`gen`] — a deterministic, scale-factor-parameterised data generator
+//!   ([`SsbDb::generate`]);
+//! * [`queries`] — all 13 SSB queries as [`qppt_storage::QuerySpec`]s
+//!   ([`queries::all_queries`]);
+//! * `reference` — a naive hash-join executor used as
+//!   the correctness oracle for the QPPT and columnar engines;
+//! * [`calendar`] — the Gregorian calendar helpers behind the `date`
+//!   dimension.
+
+pub mod calendar;
+pub mod gen;
+pub mod queries;
+pub mod reference;
+
+pub use gen::{SsbDb, SsbSizes, NATIONS, REGIONS};
+pub use reference::{decode_code, run_reference};

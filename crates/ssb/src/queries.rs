@@ -1,0 +1,425 @@
+//! The 13 Star Schema Benchmark queries as [`QuerySpec`]s.
+//!
+//! The dimension order inside each spec is the join order the paper's
+//! example plans use: most selective dimensions first, `date` last (its join
+//! key is what the final join-group consumes). Group-by column order follows
+//! the SQL text; order-by terms reference group/aggregate positions.
+
+use qppt_storage::{AggExpr, ColRef, DimSpec, Expr, OrderKey, Predicate, QuerySpec, Value};
+
+fn dim(table: &str, join_col: &str, fact_col: &str, predicates: Vec<Predicate>, carried: &[&str]) -> DimSpec {
+    DimSpec {
+        table: table.to_string(),
+        join_col: join_col.to_string(),
+        fact_col: fact_col.to_string(),
+        predicates,
+        carried: carried.iter().map(|s| s.to_string()).collect(),
+    }
+}
+
+fn group(cols: &[(&str, &str)]) -> Vec<ColRef> {
+    cols.iter().map(|(t, c)| ColRef::new(t, c)).collect()
+}
+
+/// `sum(lo_extendedprice * lo_discount) as revenue` — the Q1.x aggregate.
+fn q1_agg() -> Vec<AggExpr> {
+    vec![AggExpr::sum(
+        Expr::Mul("lo_extendedprice".into(), "lo_discount".into()),
+        "revenue",
+    )]
+}
+
+/// SSB Q1.1: one join, year selection, discount/quantity residuals.
+pub fn q1_1() -> QuerySpec {
+    QuerySpec {
+        id: "Q1.1".into(),
+        fact: "lineorder".into(),
+        dims: vec![dim(
+            "date",
+            "d_datekey",
+            "lo_orderdate",
+            vec![Predicate::eq("d_year", 1993i64)],
+            &[],
+        )],
+        fact_predicates: vec![
+            Predicate::between("lo_discount", 1i64, 3i64),
+            Predicate::lt("lo_quantity", 25i64),
+        ],
+        group_by: vec![],
+        aggregates: q1_agg(),
+        order_by: vec![],
+    }
+}
+
+/// SSB Q1.2: month selection, tighter residuals.
+pub fn q1_2() -> QuerySpec {
+    QuerySpec {
+        id: "Q1.2".into(),
+        fact: "lineorder".into(),
+        dims: vec![dim(
+            "date",
+            "d_datekey",
+            "lo_orderdate",
+            vec![Predicate::eq("d_yearmonthnum", 199401i64)],
+            &[],
+        )],
+        fact_predicates: vec![
+            Predicate::between("lo_discount", 4i64, 6i64),
+            Predicate::between("lo_quantity", 26i64, 35i64),
+        ],
+        group_by: vec![],
+        aggregates: q1_agg(),
+        order_by: vec![],
+    }
+}
+
+/// SSB Q1.3: week-of-year selection.
+pub fn q1_3() -> QuerySpec {
+    QuerySpec {
+        id: "Q1.3".into(),
+        fact: "lineorder".into(),
+        dims: vec![dim(
+            "date",
+            "d_datekey",
+            "lo_orderdate",
+            vec![
+                Predicate::eq("d_weeknuminyear", 6i64),
+                Predicate::eq("d_year", 1994i64),
+            ],
+            &[],
+        )],
+        fact_predicates: vec![
+            Predicate::between("lo_discount", 5i64, 7i64),
+            Predicate::between("lo_quantity", 26i64, 35i64),
+        ],
+        group_by: vec![],
+        aggregates: q1_agg(),
+        order_by: vec![],
+    }
+}
+
+fn q2(id: &str, part_pred: Predicate, supplier_region: &str) -> QuerySpec {
+    QuerySpec {
+        id: id.into(),
+        fact: "lineorder".into(),
+        dims: vec![
+            dim("part", "p_partkey", "lo_partkey", vec![part_pred], &["p_brand1"]),
+            dim(
+                "supplier",
+                "s_suppkey",
+                "lo_suppkey",
+                vec![Predicate::eq("s_region", supplier_region)],
+                &[],
+            ),
+            dim("date", "d_datekey", "lo_orderdate", vec![], &["d_year"]),
+        ],
+        fact_predicates: vec![],
+        group_by: group(&[("date", "d_year"), ("part", "p_brand1")]),
+        aggregates: vec![AggExpr::sum(Expr::Col("lo_revenue".into()), "revenue")],
+        order_by: vec![OrderKey::group(0), OrderKey::group(1)],
+    }
+}
+
+/// SSB Q2.1: category selection on part, region on supplier.
+pub fn q2_1() -> QuerySpec {
+    q2("Q2.1", Predicate::eq("p_category", "MFGR#12"), "AMERICA")
+}
+
+/// SSB Q2.2: brand range on part.
+pub fn q2_2() -> QuerySpec {
+    q2(
+        "Q2.2",
+        Predicate::between("p_brand1", "MFGR#2221", "MFGR#2228"),
+        "ASIA",
+    )
+}
+
+/// SSB Q2.3: single brand (the paper's running example, Fig. 5/6).
+pub fn q2_3() -> QuerySpec {
+    q2("Q2.3", Predicate::eq("p_brand1", "MFGR#2221"), "EUROPE")
+}
+
+fn q3(
+    id: &str,
+    cust_pred: Vec<Predicate>,
+    supp_pred: Vec<Predicate>,
+    date_pred: Vec<Predicate>,
+    cust_col: &str,
+    supp_col: &str,
+) -> QuerySpec {
+    QuerySpec {
+        id: id.into(),
+        fact: "lineorder".into(),
+        dims: vec![
+            dim("customer", "c_custkey", "lo_custkey", cust_pred, &[cust_col]),
+            dim("supplier", "s_suppkey", "lo_suppkey", supp_pred, &[supp_col]),
+            dim("date", "d_datekey", "lo_orderdate", date_pred, &["d_year"]),
+        ],
+        fact_predicates: vec![],
+        group_by: vec![
+            ColRef::new("customer", cust_col),
+            ColRef::new("supplier", supp_col),
+            ColRef::new("date", "d_year"),
+        ],
+        aggregates: vec![AggExpr::sum(Expr::Col("lo_revenue".into()), "revenue")],
+        // order by d_year asc, revenue desc
+        order_by: vec![OrderKey::group(2), OrderKey::agg_desc(0)],
+    }
+}
+
+/// SSB Q3.1: region-level, six years.
+pub fn q3_1() -> QuerySpec {
+    q3(
+        "Q3.1",
+        vec![Predicate::eq("c_region", "ASIA")],
+        vec![Predicate::eq("s_region", "ASIA")],
+        vec![Predicate::between("d_year", 1992i64, 1997i64)],
+        "c_nation",
+        "s_nation",
+    )
+}
+
+/// SSB Q3.2: nation-level.
+pub fn q3_2() -> QuerySpec {
+    q3(
+        "Q3.2",
+        vec![Predicate::eq("c_nation", "UNITED STATES")],
+        vec![Predicate::eq("s_nation", "UNITED STATES")],
+        vec![Predicate::between("d_year", 1992i64, 1997i64)],
+        "c_city",
+        "s_city",
+    )
+}
+
+/// SSB Q3.3: two cities on each side.
+pub fn q3_3() -> QuerySpec {
+    let cities = || vec![Value::str("UNITED KI1"), Value::str("UNITED KI5")];
+    q3(
+        "Q3.3",
+        vec![Predicate::is_in("c_city", cities())],
+        vec![Predicate::is_in("s_city", cities())],
+        vec![Predicate::between("d_year", 1992i64, 1997i64)],
+        "c_city",
+        "s_city",
+    )
+}
+
+/// SSB Q3.4: one month.
+pub fn q3_4() -> QuerySpec {
+    let cities = || vec![Value::str("UNITED KI1"), Value::str("UNITED KI5")];
+    q3(
+        "Q3.4",
+        vec![Predicate::is_in("c_city", cities())],
+        vec![Predicate::is_in("s_city", cities())],
+        vec![Predicate::eq("d_yearmonth", "Dec1997")],
+        "c_city",
+        "s_city",
+    )
+}
+
+fn mfgr_12() -> Predicate {
+    Predicate::is_in("p_mfgr", vec![Value::str("MFGR#1"), Value::str("MFGR#2")])
+}
+
+fn profit_agg() -> Vec<AggExpr> {
+    vec![AggExpr::sum(
+        Expr::Sub("lo_revenue".into(), "lo_supplycost".into()),
+        "profit",
+    )]
+}
+
+/// SSB Q4.1: all five tables, profit by year and customer nation
+/// (the paper's Fig. 9 experiment).
+pub fn q4_1() -> QuerySpec {
+    QuerySpec {
+        id: "Q4.1".into(),
+        fact: "lineorder".into(),
+        dims: vec![
+            dim(
+                "customer",
+                "c_custkey",
+                "lo_custkey",
+                vec![Predicate::eq("c_region", "AMERICA")],
+                &["c_nation"],
+            ),
+            dim(
+                "supplier",
+                "s_suppkey",
+                "lo_suppkey",
+                vec![Predicate::eq("s_region", "AMERICA")],
+                &[],
+            ),
+            dim("part", "p_partkey", "lo_partkey", vec![mfgr_12()], &[]),
+            dim("date", "d_datekey", "lo_orderdate", vec![], &["d_year"]),
+        ],
+        fact_predicates: vec![],
+        group_by: group(&[("date", "d_year"), ("customer", "c_nation")]),
+        aggregates: profit_agg(),
+        order_by: vec![OrderKey::group(0), OrderKey::group(1)],
+    }
+}
+
+/// SSB Q4.2: drill down to supplier nation and part category, 1997–1998.
+pub fn q4_2() -> QuerySpec {
+    QuerySpec {
+        id: "Q4.2".into(),
+        fact: "lineorder".into(),
+        dims: vec![
+            dim(
+                "customer",
+                "c_custkey",
+                "lo_custkey",
+                vec![Predicate::eq("c_region", "AMERICA")],
+                &[],
+            ),
+            dim(
+                "supplier",
+                "s_suppkey",
+                "lo_suppkey",
+                vec![Predicate::eq("s_region", "AMERICA")],
+                &["s_nation"],
+            ),
+            dim("part", "p_partkey", "lo_partkey", vec![mfgr_12()], &["p_category"]),
+            dim(
+                "date",
+                "d_datekey",
+                "lo_orderdate",
+                vec![Predicate::is_in(
+                    "d_year",
+                    vec![Value::Int(1997), Value::Int(1998)],
+                )],
+                &["d_year"],
+            ),
+        ],
+        fact_predicates: vec![],
+        group_by: group(&[("date", "d_year"), ("supplier", "s_nation"), ("part", "p_category")]),
+        aggregates: profit_agg(),
+        order_by: vec![OrderKey::group(0), OrderKey::group(1), OrderKey::group(2)],
+    }
+}
+
+/// SSB Q4.3: drill down to supplier city and brand, US suppliers.
+pub fn q4_3() -> QuerySpec {
+    QuerySpec {
+        id: "Q4.3".into(),
+        fact: "lineorder".into(),
+        dims: vec![
+            dim(
+                "supplier",
+                "s_suppkey",
+                "lo_suppkey",
+                vec![Predicate::eq("s_nation", "UNITED STATES")],
+                &["s_city"],
+            ),
+            dim(
+                "part",
+                "p_partkey",
+                "lo_partkey",
+                vec![Predicate::eq("p_category", "MFGR#14")],
+                &["p_brand1"],
+            ),
+            dim(
+                "customer",
+                "c_custkey",
+                "lo_custkey",
+                vec![Predicate::eq("c_region", "AMERICA")],
+                &[],
+            ),
+            dim(
+                "date",
+                "d_datekey",
+                "lo_orderdate",
+                vec![Predicate::is_in(
+                    "d_year",
+                    vec![Value::Int(1997), Value::Int(1998)],
+                )],
+                &["d_year"],
+            ),
+        ],
+        fact_predicates: vec![],
+        group_by: group(&[("date", "d_year"), ("supplier", "s_city"), ("part", "p_brand1")]),
+        aggregates: profit_agg(),
+        order_by: vec![OrderKey::group(0), OrderKey::group(1), OrderKey::group(2)],
+    }
+}
+
+/// All 13 SSB queries in benchmark order.
+pub fn all_queries() -> Vec<QuerySpec> {
+    vec![
+        q1_1(),
+        q1_2(),
+        q1_3(),
+        q2_1(),
+        q2_2(),
+        q2_3(),
+        q3_1(),
+        q3_2(),
+        q3_3(),
+        q3_4(),
+        q4_1(),
+        q4_2(),
+        q4_3(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_queries_with_unique_ids() {
+        let qs = all_queries();
+        assert_eq!(qs.len(), 13);
+        let mut ids: Vec<&str> = qs.iter().map(|q| q.id.as_str()).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 13);
+    }
+
+    #[test]
+    fn q1_queries_have_no_grouping() {
+        for q in [q1_1(), q1_2(), q1_3()] {
+            assert!(q.group_by.is_empty());
+            assert_eq!(q.dims.len(), 1);
+            assert!(!q.fact_predicates.is_empty());
+        }
+    }
+
+    #[test]
+    fn q4_queries_join_all_five_tables() {
+        for q in [q4_1(), q4_2(), q4_3()] {
+            assert_eq!(q.dims.len(), 4, "{}", q.id);
+        }
+    }
+
+    #[test]
+    fn group_by_columns_are_carried() {
+        for q in all_queries() {
+            for g in &q.group_by {
+                let d = q
+                    .dims
+                    .iter()
+                    .find(|d| d.table == g.table)
+                    .unwrap_or_else(|| panic!("{}: group col {} has no dim", q.id, g));
+                assert!(
+                    d.carried.contains(&g.column),
+                    "{}: {} not carried by {}",
+                    q.id,
+                    g.column,
+                    d.table
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn order_terms_reference_valid_positions() {
+        for q in all_queries() {
+            for o in &q.order_by {
+                match o.term {
+                    qppt_storage::OrderTerm::Group(i) => assert!(i < q.group_by.len(), "{}", q.id),
+                    qppt_storage::OrderTerm::Agg(i) => assert!(i < q.aggregates.len(), "{}", q.id),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Reference executor: a deliberately simple hash-join implementation used
+//! as the correctness oracle for all engines.
+//!
+//! It shares nothing with the QPPT engine or the columnar engines beyond the
+//! [`QuerySpec`] itself and the predicate compiler, so agreement between the
+//! three engines and this executor is strong evidence of correctness.
+
+use std::collections::HashMap;
+
+use qppt_storage::{
+    compile_predicate, CompiledPred, Database, QueryResult, QuerySpec, ResultRow, Snapshot,
+    StorageError,
+};
+
+/// Runs `spec` against `db` at `snap` with textbook hash joins.
+pub fn run_reference(
+    db: &Database,
+    spec: &QuerySpec,
+    snap: Snapshot,
+) -> Result<QueryResult, StorageError> {
+    // Phase 1: per-dimension hash tables  join-key code → carried codes.
+    let mut dim_maps: Vec<HashMap<u64, Vec<u64>>> = Vec::with_capacity(spec.dims.len());
+    for d in &spec.dims {
+        let mvt = db.table(&d.table)?;
+        let t = mvt.table();
+        let join_col = t.schema().col(&d.join_col)?;
+        let carried: Vec<usize> = d
+            .carried
+            .iter()
+            .map(|c| t.schema().col(c))
+            .collect::<Result<_, _>>()?;
+        let preds: Vec<CompiledPred> = d
+            .predicates
+            .iter()
+            .map(|p| compile_predicate(t, p))
+            .collect::<Result<_, _>>()?;
+        let mut map = HashMap::new();
+        for rid in mvt.scan_visible(snap) {
+            if preds.iter().all(|p| p.matches(|c| t.get(rid, c))) {
+                let key = t.get(rid, join_col);
+                let vals: Vec<u64> = carried.iter().map(|&c| t.get(rid, c)).collect();
+                map.insert(key, vals);
+            }
+        }
+        dim_maps.push(map);
+    }
+
+    // Phase 2: scan the fact table, probe dimensions, aggregate.
+    let fact_mvt = db.table(&spec.fact)?;
+    let fact = fact_mvt.table();
+    let fact_cols: Vec<usize> = spec
+        .dims
+        .iter()
+        .map(|d| fact.schema().col(&d.fact_col))
+        .collect::<Result<_, _>>()?;
+    let fact_preds: Vec<CompiledPred> = spec
+        .fact_predicates
+        .iter()
+        .map(|p| compile_predicate(fact, p))
+        .collect::<Result<_, _>>()?;
+
+    // Group-by columns resolve to positions in some dim's carried list.
+    struct GroupSource {
+        dim: usize,
+        carried_pos: usize,
+    }
+    let mut group_sources = Vec::with_capacity(spec.group_by.len());
+    for g in &spec.group_by {
+        let (di, d) = spec
+            .dims
+            .iter()
+            .enumerate()
+            .find(|(_, d)| d.table == g.table)
+            .ok_or_else(|| StorageError::UnknownTable(g.table.clone()))?;
+        let pos = d
+            .carried
+            .iter()
+            .position(|c| *c == g.column)
+            .ok_or_else(|| StorageError::UnknownColumn(g.column.clone()))?;
+        group_sources.push(GroupSource { dim: di, carried_pos: pos });
+    }
+
+    let mut groups: HashMap<Vec<u64>, Vec<i64>> = HashMap::new();
+    let mut carried_buf: Vec<&Vec<u64>> = Vec::with_capacity(spec.dims.len());
+    for rid in fact_mvt.scan_visible(snap) {
+        if !fact_preds.iter().all(|p| p.matches(|c| fact.get(rid, c))) {
+            continue;
+        }
+        carried_buf.clear();
+        let mut pass = true;
+        for (di, map) in dim_maps.iter().enumerate() {
+            match map.get(&fact.get(rid, fact_cols[di])) {
+                Some(vals) => carried_buf.push(vals),
+                None => {
+                    pass = false;
+                    break;
+                }
+            }
+        }
+        if !pass {
+            continue;
+        }
+        let key: Vec<u64> = group_sources
+            .iter()
+            .map(|gs| carried_buf[gs.dim][gs.carried_pos])
+            .collect();
+        let accs = groups
+            .entry(key)
+            .or_insert_with(|| vec![0i64; spec.aggregates.len()]);
+        for (ai, agg) in spec.aggregates.iter().enumerate() {
+            let v = agg
+                .expr
+                .eval(|col| fact.get(rid, fact.schema().col(col).expect("agg col exists")));
+            accs[ai] += v;
+        }
+    }
+
+    // Phase 3: decode group keys and order the result.
+    let mut rows = Vec::with_capacity(groups.len());
+    for (key, aggs) in groups {
+        let key_values = key
+            .iter()
+            .zip(spec.group_by.iter())
+            .map(|(&code, g)| {
+                let t = db.table(&g.table).expect("checked above").table();
+                let col = t.schema().col(&g.column).expect("checked above");
+                decode_code(t, col, code)
+            })
+            .collect();
+        rows.push(ResultRow {
+            key_values,
+            agg_values: aggs,
+        });
+    }
+    let mut result = QueryResult {
+        group_cols: spec.group_by.iter().map(|g| g.column.clone()).collect(),
+        agg_cols: spec.aggregates.iter().map(|a| a.label.clone()).collect(),
+        rows,
+    };
+    result.apply_order(&spec.order_by);
+    Ok(result)
+}
+
+/// Decodes an encoded field back to a [`qppt_storage::Value`].
+pub fn decode_code(
+    t: &qppt_storage::Table,
+    col: usize,
+    code: u64,
+) -> qppt_storage::Value {
+    match t.schema().column(col).ty {
+        qppt_storage::ColumnType::Int => qppt_storage::Value::Int(code as i64),
+        qppt_storage::ColumnType::Str => qppt_storage::Value::Str(
+            t.dict(col)
+                .expect("str column has dictionary")
+                .decode(code as u32)
+                .to_string(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::SsbDb;
+    use crate::queries;
+
+    #[test]
+    fn q1_1_matches_hand_rolled_scan() {
+        let ssb = SsbDb::generate(0.01, 42);
+        let snap = ssb.db.snapshot();
+        let got = run_reference(&ssb.db, &queries::q1_1(), snap).unwrap();
+
+        // Hand-rolled: decode every row, evaluate the SQL directly.
+        let date = ssb.db.table("date").unwrap().table();
+        let ds = date.schema();
+        let mut year_1993_keys = std::collections::HashSet::new();
+        for rid in 0..date.row_count() as u32 {
+            if date.get(rid, ds.col("d_year").unwrap()) == 1993 {
+                year_1993_keys.insert(date.get(rid, ds.col("d_datekey").unwrap()));
+            }
+        }
+        let lo = ssb.db.table("lineorder").unwrap().table();
+        let s = lo.schema();
+        let (od, disc, qty, ep) = (
+            s.col("lo_orderdate").unwrap(),
+            s.col("lo_discount").unwrap(),
+            s.col("lo_quantity").unwrap(),
+            s.col("lo_extendedprice").unwrap(),
+        );
+        let mut expected = 0i64;
+        let mut matched = false;
+        for rid in 0..lo.row_count() as u32 {
+            let d = lo.get(rid, disc);
+            let q = lo.get(rid, qty);
+            if (1..=3).contains(&d) && q < 25 && year_1993_keys.contains(&lo.get(rid, od)) {
+                expected += (lo.get(rid, ep) * d) as i64;
+                matched = true;
+            }
+        }
+        assert!(matched, "workload should select something at SF 0.01");
+        assert_eq!(got.rows.len(), 1);
+        assert!(got.rows[0].key_values.is_empty());
+        assert_eq!(got.rows[0].agg_values, vec![expected]);
+    }
+
+    #[test]
+    fn grouped_query_produces_ordered_groups() {
+        let ssb = SsbDb::generate(0.01, 42);
+        let snap = ssb.db.snapshot();
+        let r = run_reference(&ssb.db, &queries::q2_1(), snap).unwrap();
+        assert!(!r.rows.is_empty(), "Q2.1 selects something at SF 0.01");
+        // Ordered by (d_year, p_brand1).
+        for w in r.rows.windows(2) {
+            assert!(w[0].key_values <= w[1].key_values);
+        }
+        assert_eq!(r.group_cols, vec!["d_year", "p_brand1"]);
+        // Aggregates are positive sums of revenue.
+        assert!(r.rows.iter().all(|row| row.agg_values[0] > 0));
+    }
+
+    #[test]
+    fn q3_order_is_year_then_revenue_desc() {
+        let ssb = SsbDb::generate(0.02, 11);
+        let snap = ssb.db.snapshot();
+        let r = run_reference(&ssb.db, &queries::q3_1(), snap).unwrap();
+        assert!(!r.rows.is_empty());
+        for w in r.rows.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            let ya = a.key_values[2].as_int();
+            let yb = b.key_values[2].as_int();
+            assert!(ya < yb || (ya == yb && a.agg_values[0] >= b.agg_values[0]));
+        }
+    }
+
+    #[test]
+    fn snapshot_isolation_respected() {
+        let mut ssb = SsbDb::generate(0.01, 5);
+        let before = ssb.db.snapshot();
+        let r_before = run_reference(&ssb.db, &queries::q1_1(), before).unwrap();
+        // Insert a fact row that definitely matches Q1.1 (orderdate in 1993,
+        // discount 2, quantity 10).
+        let lo = ssb.db.table("lineorder").unwrap().table();
+        let ship = lo.value(0, lo.schema().col("lo_shipmode").unwrap());
+        ssb.db
+            .insert_row(
+                "lineorder",
+                &[
+                    qppt_storage::Value::Int(999_999),
+                    qppt_storage::Value::Int(1),
+                    qppt_storage::Value::Int(1),
+                    qppt_storage::Value::Int(1),
+                    qppt_storage::Value::Int(1),
+                    qppt_storage::Value::Int(19930615),
+                    qppt_storage::Value::Int(10),   // quantity
+                    qppt_storage::Value::Int(1000), // extendedprice
+                    qppt_storage::Value::Int(1000),
+                    qppt_storage::Value::Int(2), // discount
+                    qppt_storage::Value::Int(980),
+                    qppt_storage::Value::Int(60),
+                    qppt_storage::Value::Int(0),
+                    ship,
+                ],
+            )
+            .unwrap();
+        let after = ssb.db.snapshot();
+        let r_after_old_snap = run_reference(&ssb.db, &queries::q1_1(), before).unwrap();
+        let r_after_new_snap = run_reference(&ssb.db, &queries::q1_1(), after).unwrap();
+        assert_eq!(r_before, r_after_old_snap, "old snapshot unaffected");
+        assert_eq!(
+            r_after_new_snap.rows[0].agg_values[0],
+            r_before.rows[0].agg_values[0] + 2000,
+            "new snapshot sees the inserted row (1000 × 2)"
+        );
+    }
+
+    #[test]
+    fn all_queries_run_and_are_deterministic() {
+        let ssb = SsbDb::generate(0.01, 42);
+        let snap = ssb.db.snapshot();
+        for q in queries::all_queries() {
+            let a = run_reference(&ssb.db, &q, snap).unwrap();
+            let b = run_reference(&ssb.db, &q, snap).unwrap();
+            assert_eq!(a, b, "{} deterministic", q.id);
+        }
+    }
+}

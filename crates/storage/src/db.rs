@@ -1,0 +1,418 @@
+//! The catalog: tables, their base indexes, and write paths that keep the
+//! two consistent.
+//!
+//! "These indexes are either already present or are created once and remain
+//! in the data pool for future queries" (§3) — [`Database`] is that data
+//! pool. Base indexes are looked up by `(table, key column)`; the planner
+//! asks for the index matching an operator's selection or join attribute.
+
+use std::collections::HashMap;
+
+use crate::index::{BaseIndex, CompositeIndex};
+use crate::mvcc::{MvccTable, Snapshot, TxnManager};
+use crate::table::Table;
+use crate::types::{StorageError, Value};
+
+/// Declarative description of a base index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexDef {
+    pub table: String,
+    /// Key column name.
+    pub key: String,
+    /// Carried columns (partially clustered payload); empty = secondary.
+    pub carried: Vec<String>,
+}
+
+impl IndexDef {
+    /// Shorthand constructor.
+    pub fn new(table: &str, key: &str, carried: &[&str]) -> Self {
+        Self {
+            table: table.to_string(),
+            key: key.to_string(),
+            carried: carried.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+}
+
+/// An in-memory database: versioned tables plus base indexes.
+#[derive(Debug)]
+pub struct Database {
+    tables: Vec<MvccTable>,
+    by_name: HashMap<String, usize>,
+    indexes: Vec<BaseIndex>,
+    /// (table idx, key col idx) → index position, for planner lookups.
+    index_lookup: HashMap<(usize, usize), usize>,
+    /// Multidimensional indexes (§4.1), looked up by (table, key col list).
+    composite_indexes: Vec<CompositeIndex>,
+    composite_lookup: HashMap<(usize, Vec<usize>), usize>,
+    txn: TxnManager,
+    /// Whether newly created indexes prefer the KISS-Tree for 32-bit key
+    /// domains (true, per §2.2) or always use prefix trees.
+    pub prefer_kiss: bool,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self {
+            tables: Vec::new(),
+            by_name: HashMap::new(),
+            indexes: Vec::new(),
+            index_lookup: HashMap::new(),
+            composite_indexes: Vec::new(),
+            composite_lookup: HashMap::new(),
+            txn: TxnManager::new(),
+            prefer_kiss: true,
+        }
+    }
+
+    /// Bulk-loads a table (visible from the next commit timestamp).
+    pub fn add_table(&mut self, table: Table) -> usize {
+        let ts = self.txn.next_commit_ts();
+        let idx = self.tables.len();
+        self.by_name.insert(table.name().to_string(), idx);
+        self.tables.push(MvccTable::from_bulk_load(table, ts));
+        idx
+    }
+
+    /// Catalog position of a table.
+    pub fn table_idx(&self, name: &str) -> Result<usize, StorageError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// A table by name.
+    pub fn table(&self, name: &str) -> Result<&MvccTable, StorageError> {
+        Ok(&self.tables[self.table_idx(name)?])
+    }
+
+    /// A table by catalog position.
+    pub fn table_at(&self, idx: usize) -> &MvccTable {
+        &self.tables[idx]
+    }
+
+    /// Table names in catalog order.
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.iter().map(|t| t.table().name())
+    }
+
+    /// Creates a base index (no-op if an index on the same key column
+    /// already exists and carries at least the requested columns).
+    pub fn create_index(&mut self, def: &IndexDef) -> Result<usize, StorageError> {
+        let t_idx = self.table_idx(&def.table)?;
+        let schema = self.tables[t_idx].table().schema();
+        let key_col = schema.col(&def.key)?;
+        let carried: Result<Vec<usize>, _> = def.carried.iter().map(|c| schema.col(c)).collect();
+        let carried = carried?;
+        if let Some(&existing) = self.index_lookup.get(&(t_idx, key_col)) {
+            let have = &self.indexes[existing];
+            if carried.iter().all(|c| have.carries(*c)) {
+                return Ok(existing);
+            }
+            // Rebuild with the union of carried columns.
+            let mut union: Vec<usize> = have.carried.clone();
+            for c in carried {
+                if !union.contains(&c) {
+                    union.push(c);
+                }
+            }
+            let rebuilt =
+                BaseIndex::build(t_idx, &self.tables[t_idx], key_col, union, self.prefer_kiss);
+            self.indexes[existing] = rebuilt;
+            return Ok(existing);
+        }
+        let built = BaseIndex::build(t_idx, &self.tables[t_idx], key_col, carried, self.prefer_kiss);
+        let pos = self.indexes.len();
+        self.indexes.push(built);
+        self.index_lookup.insert((t_idx, key_col), pos);
+        Ok(pos)
+    }
+
+    /// The base index on `table.key_col`, if one exists.
+    pub fn find_index(&self, table: &str, key_col: &str) -> Result<&BaseIndex, StorageError> {
+        let t_idx = self.table_idx(table)?;
+        let schema = self.tables[t_idx].table().schema();
+        let col = schema.col(key_col)?;
+        self.index_lookup
+            .get(&(t_idx, col))
+            .map(|&i| &self.indexes[i])
+            .ok_or_else(|| StorageError::UnknownIndex {
+                table: table.to_string(),
+                key: key_col.to_string(),
+            })
+    }
+
+    /// All base indexes.
+    pub fn indexes(&self) -> &[BaseIndex] {
+        &self.indexes
+    }
+
+    /// Creates a multidimensional base index over `keys` (most significant
+    /// first), carrying `carried` (§4.1). Idempotent for identical key
+    /// lists; rebuilds with the widened carried union otherwise.
+    pub fn create_composite_index(
+        &mut self,
+        table: &str,
+        keys: &[&str],
+        carried: &[&str],
+    ) -> Result<usize, StorageError> {
+        let t_idx = self.table_idx(table)?;
+        let schema = self.tables[t_idx].table().schema();
+        let key_cols: Vec<usize> = keys.iter().map(|k| schema.col(k)).collect::<Result<_, _>>()?;
+        let carried_cols: Vec<usize> =
+            carried.iter().map(|c| schema.col(c)).collect::<Result<_, _>>()?;
+        let lookup_key = (t_idx, key_cols.clone());
+        if let Some(&existing) = self.composite_lookup.get(&lookup_key) {
+            let have = &self.composite_indexes[existing];
+            if carried_cols.iter().all(|c| have.carried.contains(c)) {
+                return Ok(existing);
+            }
+            let mut union = have.carried.clone();
+            for c in carried_cols {
+                if !union.contains(&c) {
+                    union.push(c);
+                }
+            }
+            let rebuilt = CompositeIndex::build(
+                t_idx,
+                &self.tables[t_idx],
+                key_cols,
+                union,
+                self.prefer_kiss,
+            )?;
+            self.composite_indexes[existing] = rebuilt;
+            return Ok(existing);
+        }
+        let built = CompositeIndex::build(
+            t_idx,
+            &self.tables[t_idx],
+            key_cols.clone(),
+            carried_cols,
+            self.prefer_kiss,
+        )?;
+        let pos = self.composite_indexes.len();
+        self.composite_indexes.push(built);
+        self.composite_lookup.insert(lookup_key, pos);
+        Ok(pos)
+    }
+
+    /// The multidimensional index on exactly these key columns, if any.
+    pub fn find_composite_index(
+        &self,
+        table: &str,
+        keys: &[&str],
+    ) -> Result<&CompositeIndex, StorageError> {
+        let t_idx = self.table_idx(table)?;
+        let schema = self.tables[t_idx].table().schema();
+        let key_cols: Vec<usize> = keys.iter().map(|k| schema.col(k)).collect::<Result<_, _>>()?;
+        self.composite_lookup
+            .get(&(t_idx, key_cols))
+            .map(|&i| &self.composite_indexes[i])
+            .ok_or_else(|| StorageError::UnknownIndex {
+                table: table.to_string(),
+                key: keys.join("+"),
+            })
+    }
+
+    /// A snapshot seeing everything committed so far.
+    pub fn snapshot(&self) -> Snapshot {
+        self.txn.snapshot()
+    }
+
+    /// Inserts a row transactionally: appends the version and maintains
+    /// every index on the table. Returns `(rid, commit timestamp)`.
+    pub fn insert_row(&mut self, table: &str, values: &[Value]) -> Result<(u32, u64), StorageError> {
+        let t_idx = self.table_idx(table)?;
+        let ts = self.txn.next_commit_ts();
+        let rid = self.tables[t_idx].insert(ts, values)?;
+        for index in self.indexes.iter_mut().filter(|i| i.table_idx == t_idx) {
+            index.on_insert(&self.tables[t_idx], rid);
+        }
+        for index in self
+            .composite_indexes
+            .iter_mut()
+            .filter(|i| i.table_idx == t_idx)
+        {
+            index.on_insert(&self.tables[t_idx], rid);
+        }
+        Ok((rid, ts))
+    }
+
+    /// Deletes a row version transactionally (indexes keep the rid; scans
+    /// filter it via snapshot visibility).
+    pub fn delete_row(&mut self, table: &str, rid: u32) -> Result<u64, StorageError> {
+        let t_idx = self.table_idx(table)?;
+        let ts = self.txn.next_commit_ts();
+        self.tables[t_idx].delete(ts, rid);
+        Ok(ts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+    use crate::types::{ColumnType, Schema};
+
+    fn db_with_table() -> Database {
+        let mut b = TableBuilder::new(
+            "part",
+            Schema::of(&[
+                ("partkey", ColumnType::Int),
+                ("brand", ColumnType::Str),
+                ("size", ColumnType::Int),
+            ]),
+        );
+        for (pk, brand, size) in [(1, "B#1", 10), (2, "B#2", 20), (3, "B#1", 30)] {
+            b.push_row(vec![Value::Int(pk), Value::str(brand), Value::Int(size)])
+                .unwrap();
+        }
+        let mut db = Database::new();
+        db.add_table(b.finish());
+        db
+    }
+
+    #[test]
+    fn create_and_find_index() {
+        let mut db = db_with_table();
+        db.create_index(&IndexDef::new("part", "brand", &["partkey"])).unwrap();
+        let idx = db.find_index("part", "brand").unwrap();
+        assert_eq!(idx.data.tuple_count(), 3);
+        assert!(db.find_index("part", "size").is_err());
+        assert!(db.find_index("nope", "brand").is_err());
+    }
+
+    #[test]
+    fn index_lookup_finds_rows_by_key() {
+        let mut db = db_with_table();
+        db.create_index(&IndexDef::new("part", "brand", &["partkey"])).unwrap();
+        let idx = db.find_index("part", "brand").unwrap();
+        let table = db.table("part").unwrap();
+        let code = table.table().encode_value(1, &Value::str("B#1")).unwrap().unwrap();
+        let mut partkeys = Vec::new();
+        idx.data.rows_for_key(code, |row| partkeys.push(row[1]));
+        assert_eq!(partkeys, vec![1, 3]);
+    }
+
+    #[test]
+    fn duplicate_create_index_is_idempotent() {
+        let mut db = db_with_table();
+        let a = db.create_index(&IndexDef::new("part", "brand", &["partkey"])).unwrap();
+        let b = db.create_index(&IndexDef::new("part", "brand", &["partkey"])).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(db.indexes().len(), 1);
+    }
+
+    #[test]
+    fn create_index_widens_carried_set() {
+        let mut db = db_with_table();
+        let a = db.create_index(&IndexDef::new("part", "brand", &["partkey"])).unwrap();
+        let b = db.create_index(&IndexDef::new("part", "brand", &["size"])).unwrap();
+        assert_eq!(a, b);
+        let idx = db.find_index("part", "brand").unwrap();
+        assert_eq!(idx.carried.len(), 2);
+    }
+
+    #[test]
+    fn insert_maintains_indexes_and_visibility() {
+        let mut db = db_with_table();
+        db.create_index(&IndexDef::new("part", "brand", &["partkey"])).unwrap();
+        let before = db.snapshot();
+        let (rid, _ts) = db
+            .insert_row("part", &[Value::Int(4), Value::str("B#2"), Value::Int(40)])
+            .unwrap();
+        let after = db.snapshot();
+
+        let table = db.table("part").unwrap();
+        assert!(!table.visible(rid, before));
+        assert!(table.visible(rid, after));
+
+        // The index already contains the new rid; visibility filters it.
+        let code = table.table().encode_value(1, &Value::str("B#2")).unwrap().unwrap();
+        let idx = db.find_index("part", "brand").unwrap();
+        let mut rids = Vec::new();
+        idx.data.rows_for_key(code, |row| rids.push(row[0] as u32));
+        assert!(rids.contains(&rid));
+        let visible_now: Vec<u32> = rids.iter().copied().filter(|&r| table.visible(r, after)).collect();
+        let visible_before: Vec<u32> =
+            rids.iter().copied().filter(|&r| table.visible(r, before)).collect();
+        assert!(visible_now.contains(&rid));
+        assert!(!visible_before.contains(&rid));
+    }
+
+    #[test]
+    fn delete_hides_row_from_new_snapshots() {
+        let mut db = db_with_table();
+        let before = db.snapshot();
+        db.delete_row("part", 0).unwrap();
+        let after = db.snapshot();
+        let t = db.table("part").unwrap();
+        assert!(t.visible(0, before));
+        assert!(!t.visible(0, after));
+    }
+
+    #[test]
+    fn composite_index_roundtrip() {
+        let mut db = db_with_table();
+        db.create_composite_index("part", &["brand", "size"], &["partkey"]).unwrap();
+        let ci = db.find_composite_index("part", &["brand", "size"]).unwrap();
+        assert_eq!(ci.data.tuple_count(), 3);
+        // Point range over (brand = "B#1", size ∈ [10, 30]).
+        let t = db.table("part").unwrap().table();
+        let b1 = t.encode_value(1, &Value::str("B#1")).unwrap().unwrap();
+        let (lo, hi) = ci.pack_range(&[(b1, b1), (10, 30)]);
+        let mut partkeys = Vec::new();
+        ci.data.index.range_each(lo, hi, |_, pid| {
+            partkeys.push(ci.data.payload.row(pid)[1]);
+        });
+        partkeys.sort_unstable();
+        assert_eq!(partkeys, vec![1, 3]);
+        // Key order of the composite equals lexicographic (brand, size).
+        let mut keys = Vec::new();
+        ci.data.index.for_each(|k, _| keys.push(k));
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn composite_index_is_idempotent_and_widens() {
+        let mut db = db_with_table();
+        let a = db.create_composite_index("part", &["brand", "size"], &["partkey"]).unwrap();
+        let b = db.create_composite_index("part", &["brand", "size"], &["partkey"]).unwrap();
+        assert_eq!(a, b);
+        let c = db.create_composite_index("part", &["brand", "size"], &["size"]).unwrap();
+        assert_eq!(a, c);
+        let ci = db.find_composite_index("part", &["brand", "size"]).unwrap();
+        assert!(ci.payload_pos_by_name("partkey").is_some());
+        assert!(ci.payload_pos_by_name("size").is_some());
+        // Different key order = a different index.
+        assert!(db.find_composite_index("part", &["size", "brand"]).is_err());
+    }
+
+    #[test]
+    fn composite_index_maintained_on_insert() {
+        let mut db = db_with_table();
+        db.create_composite_index("part", &["brand", "size"], &["partkey"]).unwrap();
+        db.insert_row("part", &[Value::Int(9), Value::str("B#1"), Value::Int(15)])
+            .unwrap();
+        let ci = db.find_composite_index("part", &["brand", "size"]).unwrap();
+        assert_eq!(ci.data.tuple_count(), 4);
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let mut db = Database::new();
+        assert!(db.table("x").is_err());
+        assert!(db.insert_row("x", &[]).is_err());
+        assert!(db
+            .create_index(&IndexDef::new("x", "y", &[]))
+            .is_err());
+    }
+}

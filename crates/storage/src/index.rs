@@ -1,0 +1,801 @@
+//! Unified tree-index handles, payload buffers, and base indexes.
+//!
+//! "QPPT decides at query compile time which index structure should be used
+//! for storing the intermediate result" (§2.2): the KISS-Tree for keys that
+//! fit 32 bits (join attributes, mostly) and the generalized prefix tree
+//! otherwise (notably 64-bit composite group-by keys). [`TreeIndex`] is that
+//! compile-time choice reified as an enum, with a uniform multimap API and a
+//! synchronous scan that dispatches to the structure-specific kernels.
+//!
+//! [`IndexedTable`] couples a [`TreeIndex`] with a fixed-width payload
+//! buffer — the representation of both *base indexes* and *intermediate
+//! indexed tables* (§3): the index maps a key to payload-row ids; a payload
+//! row is `[rid, carried columns...]` for base indexes and
+//! `[carried columns...]` for intermediates.
+
+use qppt_kiss::{kiss_sync_scan, KissConfig, KissTree};
+use qppt_trie::{sync_scan, PrefixTree, TrieConfig};
+
+use crate::mvcc::MvccTable;
+use crate::types::StorageError;
+
+/// Key width of an index (which structure can hold it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyWidth {
+    /// Keys fit in 32 bits → KISS-Tree eligible.
+    W32,
+    /// Keys need up to 64 bits → prefix tree only.
+    W64,
+}
+
+/// The compile-time index choice of §2.2, as a runtime handle.
+#[derive(Debug)]
+pub enum TreeIndex {
+    /// KISS-Tree (32-bit keys).
+    Kiss(KissTree<u32>),
+    /// Generalized prefix tree, `k′ = 4` (32- or 64-bit keys).
+    Pt(PrefixTree<u32>),
+}
+
+impl TreeIndex {
+    /// A KISS-Tree index (paper geometry, uncompressed second level).
+    pub fn new_kiss() -> Self {
+        TreeIndex::Kiss(KissTree::new(KissConfig::paper()))
+    }
+
+    /// A prefix-tree index of the given key width.
+    pub fn new_pt(width: KeyWidth) -> Self {
+        let cfg = match width {
+            KeyWidth::W32 => TrieConfig::pt4_32(),
+            KeyWidth::W64 => TrieConfig::pt4_64(),
+        };
+        TreeIndex::Pt(PrefixTree::new(cfg))
+    }
+
+    /// The §2.2 compile-time choice: KISS for 32-bit domains (if
+    /// `prefer_kiss`), prefix tree otherwise.
+    pub fn for_domain(max_key: u64, prefer_kiss: bool) -> Self {
+        if max_key <= u32::MAX as u64 {
+            if prefer_kiss {
+                Self::new_kiss()
+            } else {
+                Self::new_pt(KeyWidth::W32)
+            }
+        } else {
+            Self::new_pt(KeyWidth::W64)
+        }
+    }
+
+    /// An empty index with the same configuration as `self`.
+    pub fn same_geometry(&self) -> Self {
+        match self {
+            TreeIndex::Kiss(t) => TreeIndex::Kiss(KissTree::new(t.config())),
+            TreeIndex::Pt(t) => TreeIndex::Pt(PrefixTree::new(t.config())),
+        }
+    }
+
+    /// `true` for the KISS variant.
+    pub fn is_kiss(&self) -> bool {
+        matches!(self, TreeIndex::Kiss(_))
+    }
+
+    /// Inserts a `(key, payload-row id)` pair (multimap).
+    #[inline]
+    pub fn insert(&mut self, key: u64, value: u32) {
+        match self {
+            TreeIndex::Kiss(t) => t.insert(key_as_u32(key), value),
+            TreeIndex::Pt(t) => t.insert(key, value),
+        }
+    }
+
+    /// Invokes `f` for every value stored under `key`.
+    #[inline]
+    pub fn get_each(&self, key: u64, mut f: impl FnMut(u32)) {
+        match self {
+            TreeIndex::Kiss(t) => {
+                if key <= u32::MAX as u64 {
+                    if let Some(vs) = t.get(key as u32) {
+                        vs.for_each(|v| f(*v));
+                    }
+                }
+            }
+            TreeIndex::Pt(t) => {
+                if in_domain(t, key) {
+                    if let Some(vs) = t.get(key) {
+                        vs.for_each(|v| f(*v));
+                    }
+                }
+            }
+        }
+    }
+
+    /// First value stored under `key`.
+    pub fn get_first(&self, key: u64) -> Option<u32> {
+        match self {
+            TreeIndex::Kiss(t) => (key <= u32::MAX as u64).then(|| t.get_first(key as u32))?,
+            TreeIndex::Pt(t) => in_domain(t, key).then(|| t.get_first(key))?,
+        }
+    }
+
+    /// `true` if `key` is present.
+    pub fn contains(&self, key: u64) -> bool {
+        match self {
+            TreeIndex::Kiss(t) => key <= u32::MAX as u64 && t.contains_key(key as u32),
+            TreeIndex::Pt(t) => in_domain(t, key) && t.contains_key(key),
+        }
+    }
+
+    /// Batched membership probe (join buffers, §2.3/§4.2).
+    pub fn batch_contains(&self, keys: &[u64]) -> Vec<bool> {
+        match self {
+            TreeIndex::Kiss(t) => {
+                // Out-of-domain keys can never be present; probe the rest.
+                let narrowed: Vec<u32> = keys.iter().map(|&k| k.min(u32::MAX as u64) as u32).collect();
+                let mut out = t.batch_contains(&narrowed);
+                for (i, &k) in keys.iter().enumerate() {
+                    if k > u32::MAX as u64 {
+                        out[i] = false;
+                    }
+                }
+                out
+            }
+            TreeIndex::Pt(t) => {
+                let limit = t.config().key_limit().unwrap_or(u64::MAX);
+                let narrowed: Vec<u64> = keys.iter().map(|&k| k.min(limit.saturating_sub(1))).collect();
+                let mut out = t.batch_contains(&narrowed);
+                for (i, &k) in keys.iter().enumerate() {
+                    if k >= limit {
+                        out[i] = false;
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Batched multimap lookup: `f(job_index, value)` for every value of
+    /// every present key.
+    pub fn batch_get_each(&self, keys: &[u64], mut f: impl FnMut(usize, u32)) {
+        match self {
+            TreeIndex::Kiss(t) => {
+                let narrowed: Vec<u32> = keys.iter().map(|&k| k.min(u32::MAX as u64) as u32).collect();
+                t.batch_get(&narrowed, |i, vs| {
+                    if keys[i] <= u32::MAX as u64 {
+                        vs.for_each(|v| f(i, *v));
+                    }
+                });
+            }
+            TreeIndex::Pt(t) => {
+                let limit = t.config().key_limit().unwrap_or(u64::MAX);
+                let narrowed: Vec<u64> = keys.iter().map(|&k| k.min(limit.saturating_sub(1))).collect();
+                t.batch_get(&narrowed, |i, vs| {
+                    if keys[i] < limit {
+                        vs.for_each(|v| f(i, *v));
+                    }
+                });
+            }
+        }
+    }
+
+    /// Ordered range scan (`lo..=hi` on encoded keys): `f(key, value)`.
+    pub fn range_each(&self, lo: u64, hi: u64, mut f: impl FnMut(u64, u32)) {
+        match self {
+            TreeIndex::Kiss(t) => {
+                if lo > u32::MAX as u64 {
+                    return;
+                }
+                t.range(lo as u32, hi.min(u32::MAX as u64) as u32)
+                    .for_each(|(k, vs)| vs.for_each(|v| f(k as u64, *v)));
+            }
+            TreeIndex::Pt(t) => {
+                let limit = t.config().key_limit().unwrap_or(u64::MAX);
+                if lo >= limit {
+                    return;
+                }
+                let hi = if limit == u64::MAX { hi } else { hi.min(limit - 1) };
+                t.range(lo, hi).for_each(|(k, vs)| vs.for_each(|v| f(k, *v)));
+            }
+        }
+    }
+
+    /// Ordered full scan: `f(key, value)` for every pair.
+    pub fn for_each(&self, mut f: impl FnMut(u64, u32)) {
+        match self {
+            TreeIndex::Kiss(t) => t.iter().for_each(|(k, vs)| vs.for_each(|v| f(k as u64, *v))),
+            TreeIndex::Pt(t) => t.iter().for_each(|(k, vs)| vs.for_each(|v| f(k, *v))),
+        }
+    }
+
+    /// Ordered per-key scan: `f(key, values)`.
+    pub fn for_each_key(&self, mut f: impl FnMut(u64, &mut dyn Iterator<Item = u32>)) {
+        match self {
+            TreeIndex::Kiss(t) => t.iter().for_each(|(k, vs)| {
+                let mut it = vs.copied();
+                f(k as u64, &mut it);
+            }),
+            TreeIndex::Pt(t) => t.iter().for_each(|(k, vs)| {
+                let mut it = vs.copied();
+                f(k, &mut it);
+            }),
+        }
+    }
+
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        match self {
+            TreeIndex::Kiss(t) => t.len(),
+            TreeIndex::Pt(t) => t.len(),
+        }
+    }
+
+    /// `true` if no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total stored values.
+    pub fn total_values(&self) -> usize {
+        match self {
+            TreeIndex::Kiss(t) => t.total_values(),
+            TreeIndex::Pt(t) => t.total_values(),
+        }
+    }
+
+    /// Resident memory estimate in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            TreeIndex::Kiss(t) => t.stats().resident_bytes(),
+            TreeIndex::Pt(t) => t.memory_bytes(),
+        }
+    }
+
+    /// Structure name for plan/statistics display.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            TreeIndex::Kiss(_) => "KISS-Tree",
+            TreeIndex::Pt(t) => {
+                if t.config().key_bits() == 32 {
+                    "PrefixTree<32>"
+                } else {
+                    "PrefixTree<64>"
+                }
+            }
+        }
+    }
+}
+
+#[inline]
+fn key_as_u32(key: u64) -> u32 {
+    debug_assert!(key <= u32::MAX as u64, "planner chose KISS for a >32-bit key");
+    key as u32
+}
+
+#[inline]
+fn in_domain(t: &PrefixTree<u32>, key: u64) -> bool {
+    t.config().key_limit().is_none_or(|l| key < l)
+}
+
+/// Synchronous index scan over two [`TreeIndex`]es (§4.2).
+///
+/// Matching structures use the structural skip-scan kernels; mismatched
+/// structures (which the planner avoids, but the API permits) fall back to
+/// an ordered iterate-and-probe that yields the same key sequence.
+pub fn sync_scan_indexes(
+    left: &TreeIndex,
+    right: &TreeIndex,
+    mut f: impl FnMut(u64, &mut dyn Iterator<Item = u32>, &mut dyn Iterator<Item = u32>),
+) {
+    match (left, right) {
+        (TreeIndex::Kiss(l), TreeIndex::Kiss(r)) => {
+            kiss_sync_scan(l, r, |k, lv, rv| {
+                let mut li = lv.copied();
+                let mut ri = rv.copied();
+                f(k as u64, &mut li, &mut ri);
+            });
+        }
+        (TreeIndex::Pt(l), TreeIndex::Pt(r)) if l.config() == r.config() => {
+            sync_scan(l, r, |k, lv, rv| {
+                let mut li = lv.copied();
+                let mut ri = rv.copied();
+                f(k, &mut li, &mut ri);
+            });
+        }
+        _ => {
+            // Mixed geometry: ordered iterate the left side, point-probe the
+            // right side. Key order (and thus output) is identical.
+            let mut rbuf: Vec<u32> = Vec::new();
+            left.for_each_key(|k, lvals| {
+                rbuf.clear();
+                right.get_each(k, |v| rbuf.push(v));
+                if !rbuf.is_empty() {
+                    let mut ri = rbuf.iter().copied();
+                    f(k, lvals, &mut ri);
+                }
+            });
+        }
+    }
+}
+
+/// Fixed-width payload storage for indexed tables.
+#[derive(Debug, Clone)]
+pub struct PayloadBuf {
+    width: usize,
+    data: Vec<u64>,
+    rows: usize,
+}
+
+impl PayloadBuf {
+    /// Creates a buffer of `width` fields per row (0 is allowed — pure key
+    /// indexes store no payload).
+    pub fn new(width: usize) -> Self {
+        Self {
+            width,
+            data: Vec::new(),
+            rows: 0,
+        }
+    }
+
+    /// Fields per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// `true` if no rows are stored.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Appends a row; returns its id.
+    #[inline]
+    pub fn push(&mut self, row: &[u64]) -> u32 {
+        debug_assert_eq!(row.len(), self.width);
+        let id = self.rows as u32;
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+        id
+    }
+
+    /// The row slice for `id`.
+    #[inline]
+    pub fn row(&self, id: u32) -> &[u64] {
+        &self.data[id as usize * self.width..(id as usize + 1) * self.width]
+    }
+
+    /// Heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.data.capacity() * 8
+    }
+}
+
+/// An index plus its payload rows — the common shape of base indexes and
+/// intermediate indexed tables.
+#[derive(Debug)]
+pub struct IndexedTable {
+    pub index: TreeIndex,
+    pub payload: PayloadBuf,
+}
+
+impl IndexedTable {
+    /// Creates an indexed table.
+    pub fn new(index: TreeIndex, payload_width: usize) -> Self {
+        Self {
+            index,
+            payload: PayloadBuf::new(payload_width),
+        }
+    }
+
+    /// Inserts a `(key, payload row)` pair.
+    #[inline]
+    pub fn insert_row(&mut self, key: u64, row: &[u64]) {
+        let id = self.payload.push(row);
+        self.index.insert(key, id);
+    }
+
+    /// Invokes `f` with the payload row of every tuple under `key`.
+    pub fn rows_for_key(&self, key: u64, mut f: impl FnMut(&[u64])) {
+        self.index.get_each(key, |id| f(self.payload.row(id)));
+    }
+
+    /// Ordered scan over all `(key, payload row)` pairs.
+    pub fn for_each_row(&self, mut f: impl FnMut(u64, &[u64])) {
+        self.index.for_each(|k, id| f(k, self.payload.row(id)));
+    }
+
+    /// Number of stored tuples.
+    pub fn tuple_count(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Resident memory estimate.
+    pub fn memory_bytes(&self) -> usize {
+        self.index.memory_bytes() + self.payload.memory_bytes()
+    }
+}
+
+/// A base index over one table column (§3): either a pure *secondary* index
+/// (payload = rid only) or a *partially clustered* index that additionally
+/// stores carried column values so operators never touch the row store
+/// during processing.
+#[derive(Debug)]
+pub struct BaseIndex {
+    /// Table this index belongs to (catalog position).
+    pub table_idx: usize,
+    /// Key column index.
+    pub key_col: usize,
+    /// Carried column indexes (empty = secondary index).
+    pub carried: Vec<usize>,
+    /// Carried column names (parallel to `carried`).
+    pub carried_names: Vec<String>,
+    /// Payload layout: `[rid, carried...]`.
+    pub data: IndexedTable,
+}
+
+impl BaseIndex {
+    /// Builds a base index over every row version of `table`.
+    /// Snapshot visibility is applied at scan time, not build time, so the
+    /// index serves all snapshots (§3: base indexes care for isolation).
+    ///
+    /// Rows are inserted in **key order**, so the payload rows of one key
+    /// are contiguous in memory — this is what makes the index *clustered*:
+    /// reading all tuples of a key is a sequential scan, not one cache miss
+    /// per tuple. (Rows appended later by MVCC maintenance land at the
+    /// unclustered tail, as in any clustered index with updates.)
+    pub fn build(
+        table_idx: usize,
+        table: &MvccTable,
+        key_col: usize,
+        carried: Vec<usize>,
+        prefer_kiss: bool,
+    ) -> Self {
+        let stats = table.table().stats(key_col);
+        let max_key = if stats.min > stats.max { 0 } else { stats.max };
+        let index = TreeIndex::for_domain(max_key, prefer_kiss);
+        let carried_names: Vec<String> = carried
+            .iter()
+            .map(|&c| table.table().schema().column(c).name.clone())
+            .collect();
+        let mut data = IndexedTable::new(index, 1 + carried.len());
+        let mut order: Vec<u32> = (0..table.version_count() as u32).collect();
+        order.sort_by_key(|&rid| table.table().get(rid, key_col));
+        let mut row = vec![0u64; 1 + carried.len()];
+        for rid in order {
+            let key = table.table().get(rid, key_col);
+            row[0] = rid as u64;
+            for (i, &c) in carried.iter().enumerate() {
+                row[1 + i] = table.table().get(rid, c);
+            }
+            data.insert_row(key, &row);
+        }
+        Self {
+            table_idx,
+            key_col,
+            carried,
+            carried_names,
+            data,
+        }
+    }
+
+    /// Index maintenance hook: a new row version was appended.
+    pub fn on_insert(&mut self, table: &MvccTable, rid: u32) {
+        let key = table.table().get(rid, self.key_col);
+        let mut row = Vec::with_capacity(1 + self.carried.len());
+        row.push(rid as u64);
+        for &c in &self.carried {
+            row.push(table.table().get(rid, c));
+        }
+        self.data.insert_row(key, &row);
+    }
+
+    /// `true` if this index carries the given column in its payload.
+    pub fn carries(&self, col: usize) -> bool {
+        self.carried.contains(&col)
+    }
+
+    /// Position of `col` in the payload row (rid is position 0).
+    pub fn payload_pos(&self, col: usize) -> Option<usize> {
+        self.carried.iter().position(|&c| c == col).map(|p| p + 1)
+    }
+
+    /// Position of a carried column, by name (rid is position 0).
+    pub fn payload_pos_by_name(&self, name: &str) -> Option<usize> {
+        self.carried_names.iter().position(|c| c == name).map(|p| p + 1)
+    }
+}
+
+/// A multidimensional base index (§4.1): one index over the *composite* of
+/// several columns, bit-packed most-significant-first. "To process
+/// conjunctive combinations of predicates, the selection operator prefers
+/// to operate on a multidimensional index as input" — a conjunction with
+/// equality predicates on the leading columns and at most a range on the
+/// last constrained column becomes a single contiguous key-range scan.
+#[derive(Debug)]
+pub struct CompositeIndex {
+    pub table_idx: usize,
+    /// Key columns, most significant first.
+    pub key_cols: Vec<usize>,
+    /// Key column names (parallel to `key_cols`).
+    pub key_names: Vec<String>,
+    /// Bit width per key part.
+    pub widths: Vec<u8>,
+    /// Carried column indexes.
+    pub carried: Vec<usize>,
+    /// Carried column names.
+    pub carried_names: Vec<String>,
+    /// Payload layout: `[rid, carried...]`; keyed on the packed composite.
+    pub data: IndexedTable,
+}
+
+impl CompositeIndex {
+    /// Builds a composite index over every row version, clustered by the
+    /// packed key (see [`BaseIndex::build`] for why clustering matters).
+    /// Fails if the packed key would exceed 64 bits.
+    pub fn build(
+        table_idx: usize,
+        table: &MvccTable,
+        key_cols: Vec<usize>,
+        carried: Vec<usize>,
+        prefer_kiss: bool,
+    ) -> Result<Self, StorageError> {
+        let t = table.table();
+        let widths: Vec<u8> = key_cols
+            .iter()
+            .map(|&c| {
+                let s = t.stats(c);
+                let max = if s.min > s.max { 0 } else { s.max };
+                ((64 - max.leading_zeros()).max(1)) as u8
+            })
+            .collect();
+        let total: u32 = widths.iter().map(|&w| w as u32).sum();
+        if total > 64 {
+            return Err(StorageError::UnknownColumn(format!(
+                "composite key over {:?} needs {total} bits (max 64)",
+                key_cols
+            )));
+        }
+        let max_key = if total >= 64 { u64::MAX } else { (1u64 << total) - 1 };
+        let key_names: Vec<String> = key_cols
+            .iter()
+            .map(|&c| t.schema().column(c).name.clone())
+            .collect();
+        let carried_names: Vec<String> = carried
+            .iter()
+            .map(|&c| t.schema().column(c).name.clone())
+            .collect();
+        let mut data = IndexedTable::new(TreeIndex::for_domain(max_key, prefer_kiss), 1 + carried.len());
+        let pack = |rid: u32| -> u64 {
+            let mut key = 0u64;
+            let mut used = 0u8;
+            for (i, &c) in key_cols.iter().enumerate() {
+                used += widths[i];
+                key |= t.get(rid, c) << (total as u8 - used);
+            }
+            key
+        };
+        let mut order: Vec<u32> = (0..table.version_count() as u32).collect();
+        order.sort_by_key(|&rid| pack(rid));
+        let mut row = vec![0u64; 1 + carried.len()];
+        for rid in order {
+            row[0] = rid as u64;
+            for (i, &c) in carried.iter().enumerate() {
+                row[1 + i] = t.get(rid, c);
+            }
+            data.insert_row(pack(rid), &row);
+        }
+        Ok(Self {
+            table_idx,
+            key_cols,
+            key_names,
+            widths,
+            carried,
+            carried_names,
+            data,
+        })
+    }
+
+    /// Packs per-part `[lo, hi]` bounds into the composite key range that
+    /// covers exactly the conjunction. Valid only when every part before the
+    /// last constrained one is an equality (lo == hi) — the classic
+    /// composite-prefix rule; callers enforce it.
+    pub fn pack_range(&self, bounds: &[(u64, u64)]) -> (u64, u64) {
+        debug_assert_eq!(bounds.len(), self.widths.len());
+        let total: u8 = self.widths.iter().sum();
+        let mut lo = 0u64;
+        let mut hi = 0u64;
+        let mut used = 0u8;
+        for (i, &w) in self.widths.iter().enumerate() {
+            used += w;
+            lo |= bounds[i].0 << (total - used);
+            hi |= bounds[i].1 << (total - used);
+        }
+        (lo, hi)
+    }
+
+    /// Position of a carried column, by name (rid is position 0).
+    pub fn payload_pos_by_name(&self, name: &str) -> Option<usize> {
+        self.carried_names.iter().position(|c| c == name).map(|p| p + 1)
+    }
+
+    /// Index maintenance hook for a newly appended row version.
+    pub fn on_insert(&mut self, table: &MvccTable, rid: u32) {
+        let t = table.table();
+        let total: u8 = self.widths.iter().sum();
+        let mut key = 0u64;
+        let mut used = 0u8;
+        for (i, &c) in self.key_cols.iter().enumerate() {
+            used += self.widths[i];
+            // New codes may exceed the planned width; clamp defensively (a
+            // rebuild would re-derive widths — acceptable for this hook).
+            let mask = if self.widths[i] == 64 { u64::MAX } else { (1u64 << self.widths[i]) - 1 };
+            key |= (t.get(rid, c) & mask) << (total - used);
+        }
+        let mut row = Vec::with_capacity(1 + self.carried.len());
+        row.push(rid as u64);
+        for &c in &self.carried {
+            row.push(t.get(rid, c));
+        }
+        self.data.insert_row(key, &row);
+    }
+}
+
+/// Validation helper shared by catalog code.
+pub fn resolve_columns(
+    schema: &crate::types::Schema,
+    names: &[String],
+) -> Result<Vec<usize>, StorageError> {
+    names.iter().map(|n| schema.col(n)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_domain_picks_structures() {
+        assert!(TreeIndex::for_domain(100, true).is_kiss());
+        assert!(!TreeIndex::for_domain(100, false).is_kiss());
+        assert!(!TreeIndex::for_domain(1 << 40, true).is_kiss());
+        assert_eq!(TreeIndex::for_domain(1 << 40, true).kind_name(), "PrefixTree<64>");
+    }
+
+    #[test]
+    fn multimap_roundtrip_all_variants() {
+        for mut idx in [
+            TreeIndex::new_kiss(),
+            TreeIndex::new_pt(KeyWidth::W32),
+            TreeIndex::new_pt(KeyWidth::W64),
+        ] {
+            idx.insert(10, 1);
+            idx.insert(10, 2);
+            idx.insert(20, 3);
+            let mut vals = Vec::new();
+            idx.get_each(10, |v| vals.push(v));
+            assert_eq!(vals, vec![1, 2], "{}", idx.kind_name());
+            assert_eq!(idx.get_first(20), Some(3));
+            assert_eq!(idx.get_first(30), None);
+            assert_eq!(idx.len(), 2);
+            assert_eq!(idx.total_values(), 3);
+            assert!(idx.contains(20));
+            assert!(!idx.contains(21));
+        }
+    }
+
+    #[test]
+    fn out_of_domain_probes_are_safe() {
+        let mut idx = TreeIndex::new_kiss();
+        idx.insert(5, 1);
+        assert!(!idx.contains(1 << 40));
+        assert_eq!(idx.get_first(1 << 40), None);
+        assert_eq!(idx.batch_contains(&[5, 1 << 40]), vec![true, false]);
+        let mut idx32 = TreeIndex::new_pt(KeyWidth::W32);
+        idx32.insert(5, 1);
+        assert!(!idx32.contains(1 << 40));
+        assert_eq!(idx32.batch_contains(&[5, 1 << 40]), vec![true, false]);
+    }
+
+    #[test]
+    fn range_and_ordered_scan() {
+        for mut idx in [TreeIndex::new_kiss(), TreeIndex::new_pt(KeyWidth::W32)] {
+            for k in [5u64, 1, 9, 3, 7] {
+                idx.insert(k, k as u32);
+            }
+            let mut all = Vec::new();
+            idx.for_each(|k, _| all.push(k));
+            assert_eq!(all, vec![1, 3, 5, 7, 9]);
+            let mut ranged = Vec::new();
+            idx.range_each(3, 7, |k, _| ranged.push(k));
+            assert_eq!(ranged, vec![3, 5, 7]);
+        }
+    }
+
+    #[test]
+    fn sync_scan_matched_and_mixed() {
+        let build = |mut idx: TreeIndex| {
+            for k in [2u64, 4, 6, 8] {
+                idx.insert(k, k as u32 * 10);
+            }
+            idx
+        };
+        let build_odd = |mut idx: TreeIndex| {
+            for k in [1u64, 4, 8, 9] {
+                idx.insert(k, k as u32);
+            }
+            idx
+        };
+        let cases = [
+            (build(TreeIndex::new_kiss()), build_odd(TreeIndex::new_kiss())),
+            (
+                build(TreeIndex::new_pt(KeyWidth::W32)),
+                build_odd(TreeIndex::new_pt(KeyWidth::W32)),
+            ),
+            (build(TreeIndex::new_kiss()), build_odd(TreeIndex::new_pt(KeyWidth::W32))),
+            (build(TreeIndex::new_pt(KeyWidth::W64)), build_odd(TreeIndex::new_kiss())),
+        ];
+        for (l, r) in &cases {
+            let mut hits = Vec::new();
+            sync_scan_indexes(l, r, |k, lv, rv| {
+                assert_eq!(lv.count(), 1);
+                assert_eq!(rv.count(), 1);
+                hits.push(k);
+            });
+            assert_eq!(hits, vec![4, 8], "{} × {}", l.kind_name(), r.kind_name());
+        }
+    }
+
+    #[test]
+    fn batch_get_each_matches_scalar() {
+        let mut idx = TreeIndex::new_kiss();
+        for k in 0..100u64 {
+            idx.insert(k % 10, k as u32);
+        }
+        let keys = [0u64, 3, 42, 7];
+        let mut batched: Vec<(usize, u32)> = Vec::new();
+        idx.batch_get_each(&keys, |i, v| batched.push((i, v)));
+        let mut scalar: Vec<(usize, u32)> = Vec::new();
+        for (i, &k) in keys.iter().enumerate() {
+            idx.get_each(k, |v| scalar.push((i, v)));
+        }
+        batched.sort_unstable();
+        scalar.sort_unstable();
+        assert_eq!(batched, scalar);
+    }
+
+    #[test]
+    fn payload_buf_roundtrip() {
+        let mut p = PayloadBuf::new(3);
+        let a = p.push(&[1, 2, 3]);
+        let b = p.push(&[4, 5, 6]);
+        assert_eq!(p.row(a), &[1, 2, 3]);
+        assert_eq!(p.row(b), &[4, 5, 6]);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn zero_width_payload() {
+        let mut p = PayloadBuf::new(0);
+        let a = p.push(&[]);
+        let b = p.push(&[]);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(p.row(1), &[] as &[u64]);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn indexed_table_rows() {
+        let mut it = IndexedTable::new(TreeIndex::new_kiss(), 2);
+        it.insert_row(7, &[70, 700]);
+        it.insert_row(7, &[71, 710]);
+        it.insert_row(9, &[90, 900]);
+        let mut rows = Vec::new();
+        it.rows_for_key(7, |r| rows.push(r.to_vec()));
+        assert_eq!(rows, vec![vec![70, 700], vec![71, 710]]);
+        assert_eq!(it.tuple_count(), 3);
+        let mut scan = Vec::new();
+        it.for_each_row(|k, r| scan.push((k, r[0])));
+        assert_eq!(scan, vec![(7, 70), (7, 71), (9, 90)]);
+    }
+}

@@ -1,0 +1,416 @@
+//! Fixed-width row tables.
+//!
+//! Tuples are stored "as physical units" (§5) in row-major order: every
+//! field is one order-preserving `u64` code (ints as-is, strings as
+//! dictionary codes), so a row is a fixed-width `&[u64]` slice and the rid
+//! is the row index. Per-column statistics (min/max code, 32-bit-ness)
+//! drive the planner's KISS-vs-prefix-tree index choice.
+
+use crate::dict::Dictionary;
+use crate::types::{ColumnType, Schema, StorageError, Value};
+
+/// Per-column statistics collected at build time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColumnStats {
+    /// Smallest encoded value (u64::MAX when the table is empty).
+    pub min: u64,
+    /// Largest encoded value (0 when the table is empty).
+    pub max: u64,
+}
+
+impl ColumnStats {
+    /// `true` if every encoded value fits the KISS-Tree's 32-bit key domain.
+    pub fn fits_u32(&self) -> bool {
+        self.min > self.max // empty
+            || self.max <= u32::MAX as u64
+    }
+}
+
+/// An immutable, bulk-loaded row table. Mutation goes through
+/// [`MvccTable`](crate::mvcc::MvccTable), which appends row versions here.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    dicts: Vec<Option<Dictionary>>,
+    /// Row-major encoded data; row `r` occupies
+    /// `data[r * width .. (r + 1) * width]`.
+    data: Vec<u64>,
+    stats: Vec<ColumnStats>,
+}
+
+impl Table {
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows (including dead versions when used under MVCC).
+    pub fn row_count(&self) -> usize {
+        if self.schema.width() == 0 {
+            0
+        } else {
+            self.data.len() / self.schema.width()
+        }
+    }
+
+    /// The encoded row slice for `rid`.
+    #[inline]
+    pub fn row(&self, rid: u32) -> &[u64] {
+        let w = self.schema.width();
+        &self.data[rid as usize * w..(rid as usize + 1) * w]
+    }
+
+    /// Encoded field accessor.
+    #[inline]
+    pub fn get(&self, rid: u32, col: usize) -> u64 {
+        self.data[rid as usize * self.schema.width() + col]
+    }
+
+    /// Decoded field accessor.
+    pub fn value(&self, rid: u32, col: usize) -> Value {
+        let code = self.get(rid, col);
+        match self.schema.column(col).ty {
+            ColumnType::Int => Value::Int(code as i64),
+            ColumnType::Str => Value::Str(
+                self.dicts[col]
+                    .as_ref()
+                    .expect("string columns always have dictionaries")
+                    .decode(code as u32)
+                    .to_string(),
+            ),
+        }
+    }
+
+    /// The dictionary of a string column (`None` for int columns).
+    pub fn dict(&self, col: usize) -> Option<&Dictionary> {
+        self.dicts[col].as_ref()
+    }
+
+    /// Column statistics.
+    pub fn stats(&self, col: usize) -> ColumnStats {
+        self.stats[col]
+    }
+
+    /// Encodes a predicate constant for comparisons against this column.
+    /// Exact match semantics: `Ok(None)` means the value cannot match any
+    /// row (e.g. a string absent from the dictionary).
+    pub fn encode_value(&self, col: usize, v: &Value) -> Result<Option<u64>, StorageError> {
+        let def = self.schema.column(col);
+        match (def.ty, v) {
+            (ColumnType::Int, Value::Int(i)) => {
+                if *i < 0 {
+                    return Err(StorageError::NegativeInt {
+                        column: def.name.clone(),
+                        value: *i,
+                    });
+                }
+                Ok(Some(*i as u64))
+            }
+            (ColumnType::Str, Value::Str(s)) => Ok(self.dicts[col]
+                .as_ref()
+                .and_then(|d| d.encode(s))
+                .map(|c| c as u64)),
+            (expected, got) => Err(StorageError::TypeMismatch {
+                column: def.name.clone(),
+                expected,
+                got: got.column_type(),
+            }),
+        }
+    }
+
+    /// Encodes an *inclusive range bound*: returns the tightest encoded
+    /// `[lo, hi]` covering values `[lo_v, hi_v]`, or `None` when the range
+    /// cannot match (e.g. entirely outside the dictionary domain).
+    pub fn encode_range(
+        &self,
+        col: usize,
+        lo_v: &Value,
+        hi_v: &Value,
+    ) -> Result<Option<(u64, u64)>, StorageError> {
+        let def = self.schema.column(col);
+        match (def.ty, lo_v, hi_v) {
+            (ColumnType::Int, Value::Int(lo), Value::Int(hi)) => {
+                let lo = (*lo).max(0) as u64;
+                if *hi < 0 {
+                    return Ok(None);
+                }
+                let hi = *hi as u64;
+                Ok((lo <= hi).then_some((lo, hi)))
+            }
+            (ColumnType::Str, Value::Str(lo), Value::Str(hi)) => {
+                let d = self.dicts[col].as_ref().expect("str column has dictionary");
+                let lo_c = d.lower_bound(lo);
+                let Some(hi_c) = d.upper_bound(hi) else {
+                    return Ok(None);
+                };
+                Ok((lo_c <= hi_c).then_some((lo_c as u64, hi_c as u64)))
+            }
+            _ => Err(StorageError::TypeMismatch {
+                column: def.name.clone(),
+                expected: def.ty,
+                got: lo_v.column_type(),
+            }),
+        }
+    }
+
+    /// Appends an already-encoded row (MVCC path; dictionaries must already
+    /// cover string codes). Returns the new rid.
+    pub(crate) fn push_encoded(&mut self, row: &[u64]) -> u32 {
+        debug_assert_eq!(row.len(), self.schema.width());
+        let rid = self.row_count() as u32;
+        self.data.extend_from_slice(row);
+        for (c, &v) in row.iter().enumerate() {
+            let s = &mut self.stats[c];
+            s.min = s.min.min(v);
+            s.max = s.max.max(v);
+        }
+        rid
+    }
+
+    /// Encodes a [`Value`] row using the existing dictionaries; fails if a
+    /// string is outside the dictionary domain (extending domains would
+    /// reassign codes and is not supported after load — see crate docs).
+    pub fn encode_row(&self, values: &[Value]) -> Result<Vec<u64>, StorageError> {
+        if values.len() != self.schema.width() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.schema.width(),
+                got: values.len(),
+            });
+        }
+        let mut row = Vec::with_capacity(values.len());
+        for (c, v) in values.iter().enumerate() {
+            match self.encode_value(c, v)? {
+                Some(code) => row.push(code),
+                None => {
+                    return Err(StorageError::ValueNotInDictionary {
+                        column: self.schema.column(c).name.clone(),
+                        value: v.to_string(),
+                    })
+                }
+            }
+        }
+        Ok(row)
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.data.capacity() * 8
+            + self
+                .dicts
+                .iter()
+                .flatten()
+                .map(|d| d.values().iter().map(|s| s.len() + 24).sum::<usize>())
+                .sum::<usize>()
+    }
+}
+
+/// Two-phase table construction: collect raw rows, then build dictionaries
+/// from the full string domains and encode everything (this is what makes
+/// the dictionaries order-preserving).
+#[derive(Debug)]
+pub struct TableBuilder {
+    name: String,
+    schema: Schema,
+    raw: Vec<Value>,
+}
+
+impl TableBuilder {
+    /// Starts building a table.
+    pub fn new(name: &str, schema: Schema) -> Self {
+        Self {
+            name: name.to_string(),
+            schema,
+            raw: Vec::new(),
+        }
+    }
+
+    /// Appends a row of raw values (type-checked).
+    pub fn push_row(&mut self, values: Vec<Value>) -> Result<(), StorageError> {
+        if values.len() != self.schema.width() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.schema.width(),
+                got: values.len(),
+            });
+        }
+        for (c, v) in values.iter().enumerate() {
+            let def = self.schema.column(c);
+            if v.column_type() != def.ty {
+                return Err(StorageError::TypeMismatch {
+                    column: def.name.clone(),
+                    expected: def.ty,
+                    got: v.column_type(),
+                });
+            }
+            if let Value::Int(i) = v {
+                if *i < 0 {
+                    return Err(StorageError::NegativeInt {
+                        column: def.name.clone(),
+                        value: *i,
+                    });
+                }
+            }
+        }
+        self.raw.extend(values);
+        Ok(())
+    }
+
+    /// Number of rows staged so far.
+    pub fn staged_rows(&self) -> usize {
+        if self.schema.width() == 0 {
+            0
+        } else {
+            self.raw.len() / self.schema.width()
+        }
+    }
+
+    /// Builds dictionaries, encodes all rows, and returns the table.
+    pub fn finish(self) -> Table {
+        let width = self.schema.width();
+        let nrows = self.raw.len().checked_div(width).unwrap_or(0);
+        // Build per-column dictionaries from the full domains.
+        let mut dicts: Vec<Option<Dictionary>> = Vec::with_capacity(width);
+        for (c, def) in self.schema.columns().iter().enumerate() {
+            match def.ty {
+                ColumnType::Int => dicts.push(None),
+                ColumnType::Str => {
+                    let dict = Dictionary::build(
+                        (0..nrows).map(|r| self.raw[r * width + c].as_str()),
+                    );
+                    dicts.push(Some(dict));
+                }
+            }
+        }
+        let mut data = Vec::with_capacity(self.raw.len());
+        let mut stats = vec![
+            ColumnStats {
+                min: u64::MAX,
+                max: 0
+            };
+            width
+        ];
+        for r in 0..nrows {
+            for c in 0..width {
+                let code = match &self.raw[r * width + c] {
+                    Value::Int(i) => *i as u64,
+                    Value::Str(s) => dicts[c]
+                        .as_ref()
+                        .expect("str column has dict")
+                        .encode(s)
+                        .expect("dictionary was built from these values") as u64,
+                };
+                let s = &mut stats[c];
+                s.min = s.min.min(code);
+                s.max = s.max.max(code);
+                data.push(code);
+            }
+        }
+        Table {
+            name: self.name,
+            schema: self.schema,
+            dicts,
+            data,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut b = TableBuilder::new(
+            "t",
+            Schema::of(&[("id", ColumnType::Int), ("region", ColumnType::Str)]),
+        );
+        for (id, r) in [(3, "EUROPE"), (1, "ASIA"), (2, "EUROPE"), (4, "AMERICA")] {
+            b.push_row(vec![Value::Int(id), Value::str(r)]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn roundtrip_values() {
+        let t = sample();
+        assert_eq!(t.row_count(), 4);
+        assert_eq!(t.value(0, 0), Value::Int(3));
+        assert_eq!(t.value(0, 1), Value::str("EUROPE"));
+        assert_eq!(t.value(3, 1), Value::str("AMERICA"));
+    }
+
+    #[test]
+    fn dictionary_codes_sorted() {
+        let t = sample();
+        let d = t.dict(1).unwrap();
+        assert_eq!(d.values(), &["AMERICA", "ASIA", "EUROPE"]);
+        // AMERICA < ASIA < EUROPE in code space.
+        assert!(t.get(3, 1) < t.get(1, 1));
+        assert!(t.get(1, 1) < t.get(0, 1));
+    }
+
+    #[test]
+    fn stats_track_min_max() {
+        let t = sample();
+        let s = t.stats(0);
+        assert_eq!((s.min, s.max), (1, 4));
+        assert!(s.fits_u32());
+    }
+
+    #[test]
+    fn encode_value_and_missing_string() {
+        let t = sample();
+        assert_eq!(t.encode_value(1, &Value::str("ASIA")).unwrap(), Some(1));
+        assert_eq!(t.encode_value(1, &Value::str("MOON")).unwrap(), None);
+        assert!(matches!(
+            t.encode_value(0, &Value::str("x")),
+            Err(StorageError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            t.encode_value(0, &Value::Int(-1)),
+            Err(StorageError::NegativeInt { .. })
+        ));
+    }
+
+    #[test]
+    fn encode_range_clamps_to_domain() {
+        let t = sample();
+        // String range partially outside the dictionary.
+        let r = t.encode_range(1, &Value::str("AACHEN"), &Value::str("AZORES")).unwrap();
+        assert_eq!(r, Some((0, 1))); // AMERICA..=ASIA
+        let none = t.encode_range(1, &Value::str("X"), &Value::str("Z")).unwrap();
+        assert_eq!(none, None);
+        let ints = t.encode_range(0, &Value::Int(-5), &Value::Int(2)).unwrap();
+        assert_eq!(ints, Some((0, 2)));
+        assert_eq!(t.encode_range(0, &Value::Int(5), &Value::Int(2)).unwrap(), None);
+    }
+
+    #[test]
+    fn builder_rejects_bad_rows() {
+        let mut b = TableBuilder::new("t", Schema::of(&[("a", ColumnType::Int)]));
+        assert!(matches!(
+            b.push_row(vec![Value::str("x")]),
+            Err(StorageError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            b.push_row(vec![]),
+            Err(StorageError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            b.push_row(vec![Value::Int(-3)]),
+            Err(StorageError::NegativeInt { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = TableBuilder::new("e", Schema::of(&[("a", ColumnType::Int)])).finish();
+        assert_eq!(t.row_count(), 0);
+        assert!(t.stats(0).fits_u32());
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based model tests: the prefix tree must behave exactly like a
+//! `BTreeMap<u64, Vec<V>>` under every operation mix, for every geometry.
+
+use proptest::prelude::*;
+use qppt_trie::{intersect, sync_scan, union_distinct, PrefixTree, TrieConfig};
+use std::collections::{BTreeMap, BTreeSet};
+
+fn build(cfg: TrieConfig, pairs: &[(u64, u32)]) -> (PrefixTree<u32>, BTreeMap<u64, Vec<u32>>) {
+    let mut t = PrefixTree::new(cfg);
+    let mut m: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+    for &(k, v) in pairs {
+        t.insert(k, v);
+        m.entry(k).or_default().push(v);
+    }
+    (t, m)
+}
+
+fn key_strategy(bits: u8) -> impl Strategy<Value = u64> {
+    let max = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    // Mix dense-low keys (forces deep expansion) with full-domain keys.
+    prop_oneof![0..=max.min(1024), 0..=max, Just(0), Just(max)]
+}
+
+fn geometry() -> impl Strategy<Value = (u8, u8)> {
+    prop_oneof![
+        Just((32u8, 4u8)),
+        Just((32, 8)),
+        Just((32, 2)),
+        Just((64, 4)),
+        Just((64, 8)),
+        Just((16, 1)),
+        Just((32, 16)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lookup_matches_model(
+        (bits, k) in geometry(),
+        keys in prop::collection::vec(any::<u64>(), 0..400),
+        probes in prop::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let cfg = TrieConfig::new(bits, k).unwrap();
+        let mask = cfg.key_limit().map(|l| l - 1).unwrap_or(u64::MAX);
+        let pairs: Vec<(u64, u32)> = keys.iter().enumerate().map(|(i, &x)| (x & mask, i as u32)).collect();
+        let (t, m) = build(cfg, &pairs);
+        prop_assert_eq!(t.len(), m.len());
+        for &(key, _) in &pairs {
+            let got: Vec<u32> = t.get(key).unwrap().copied().collect();
+            prop_assert_eq!(&got, &m[&key]);
+        }
+        for &p in &probes {
+            let p = p & mask;
+            prop_assert_eq!(t.contains_key(p), m.contains_key(&p));
+        }
+    }
+
+    #[test]
+    fn ordered_iteration_matches_model(
+        (bits, k) in geometry(),
+        keys in prop::collection::vec(any::<u64>(), 0..400),
+    ) {
+        let cfg = TrieConfig::new(bits, k).unwrap();
+        let mask = cfg.key_limit().map(|l| l - 1).unwrap_or(u64::MAX);
+        let pairs: Vec<(u64, u32)> = keys.iter().enumerate().map(|(i, &x)| (x & mask, i as u32)).collect();
+        let (t, m) = build(cfg, &pairs);
+        let got: Vec<(u64, Vec<u32>)> = t.iter().map(|(k, v)| (k, v.copied().collect())).collect();
+        let expect: Vec<(u64, Vec<u32>)> = m.into_iter().collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn range_matches_model(
+        keys in prop::collection::vec(key_strategy(32), 0..300),
+        lo in key_strategy(32),
+        hi in key_strategy(32),
+    ) {
+        let cfg = TrieConfig::pt4_32();
+        let pairs: Vec<(u64, u32)> = keys.iter().enumerate().map(|(i, &x)| (x, i as u32)).collect();
+        let (t, m) = build(cfg, &pairs);
+        let got: Vec<u64> = t.range(lo, hi).map(|(k, _)| k).collect();
+        let expect: Vec<u64> = if lo <= hi {
+            m.range(lo..=hi).map(|(&k, _)| k).collect()
+        } else {
+            Vec::new()
+        };
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn batched_equals_unbatched(
+        keys in prop::collection::vec(key_strategy(32), 0..300),
+        probes in prop::collection::vec(key_strategy(32), 0..100),
+    ) {
+        let cfg = TrieConfig::pt4_32();
+        let pairs: Vec<(u64, u32)> = keys.iter().enumerate().map(|(i, &x)| (x, i as u32)).collect();
+
+        let mut scalar = PrefixTree::<u32>::new(cfg);
+        for &(k, v) in &pairs { scalar.insert(k, v); }
+        let mut batched = PrefixTree::<u32>::new(cfg);
+        batched.batch_insert(&pairs);
+
+        let a: Vec<(u64, Vec<u32>)> = scalar.iter().map(|(k, v)| (k, v.copied().collect())).collect();
+        let b: Vec<(u64, Vec<u32>)> = batched.iter().map(|(k, v)| (k, v.copied().collect())).collect();
+        prop_assert_eq!(a, b);
+
+        let bres = batched.batch_get_first(&probes);
+        for (i, &p) in probes.iter().enumerate() {
+            prop_assert_eq!(bres[i], scalar.get_first(p));
+        }
+    }
+
+    #[test]
+    fn insert_merge_equals_fold(
+        pairs in prop::collection::vec((key_strategy(32), -100i64..100), 0..300),
+    ) {
+        let mut t = PrefixTree::<i64>::pt4_32();
+        let mut m: BTreeMap<u64, i64> = BTreeMap::new();
+        for &(k, v) in &pairs {
+            t.insert_merge(k, v, |acc, v| *acc += v);
+            *m.entry(k).or_insert(0) += v;
+        }
+        let got: Vec<(u64, i64)> = t.iter().map(|(k, mut v)| (k, *v.next().unwrap())).collect();
+        let expect: Vec<(u64, i64)> = m.into_iter().collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn sync_scan_is_sorted_intersection(
+        a in prop::collection::vec(key_strategy(32), 0..250),
+        b in prop::collection::vec(key_strategy(32), 0..250),
+    ) {
+        let cfg = TrieConfig::pt4_32();
+        let (ta, _) = build(cfg, &a.iter().map(|&k| (k, 0u32)).collect::<Vec<_>>());
+        let (tb, _) = build(cfg, &b.iter().map(|&k| (k, 0u32)).collect::<Vec<_>>());
+        let sa: BTreeSet<u64> = a.into_iter().collect();
+        let sb: BTreeSet<u64> = b.into_iter().collect();
+        let expect: Vec<u64> = sa.intersection(&sb).copied().collect();
+        let mut got = Vec::new();
+        sync_scan(&ta, &tb, |k, _, _| got.push(k));
+        prop_assert_eq!(&got, &expect);
+
+        // Set operators agree with the model too.
+        let inter = intersect(&ta, &tb);
+        prop_assert_eq!(inter.keys().collect::<Vec<_>>(), expect);
+        let uni = union_distinct(&ta, &tb);
+        let expect_u: Vec<u64> = sa.union(&sb).copied().collect();
+        prop_assert_eq!(uni.keys().collect::<Vec<_>>(), expect_u);
+    }
+}

@@ -1,0 +1,104 @@
+//! A tour of the index substrate of §2: prefix trees, the KISS-Tree, batch
+//! processing, duplicate handling, and the synchronous index scan.
+//!
+//! ```text
+//! cargo run --release --example index_tour
+//! ```
+
+use qppt::kiss::{kiss_sync_scan, KissConfig, KissTree};
+use qppt::mem::Xoshiro256StarStar;
+use qppt::trie::{intersect, sync_scan, PrefixTree, TrieConfig};
+
+fn main() {
+    prefix_tree_basics();
+    kiss_tree_basics();
+    batch_processing();
+    duplicates();
+    synchronous_scan();
+}
+
+fn prefix_tree_basics() {
+    println!("— Prefix tree (§2.1): order-preserving, unbalanced, k′-bit fragments");
+    let mut t = PrefixTree::<u32>::new(TrieConfig::new(32, 4).unwrap());
+    for key in [42u64, 7, 1_000_000, 8, 43] {
+        t.insert(key, (key * 10) as u32);
+    }
+    // Iteration is in key order — the tree IS the sort.
+    let keys: Vec<u64> = t.keys().collect();
+    println!("  ordered keys:   {keys:?}");
+    let in_range: Vec<u64> = t.range(8, 100).map(|(k, _)| k).collect();
+    println!("  range [8,100]:  {in_range:?}");
+    let s = t.stats();
+    println!("  nodes={} max_depth={} bytes={}\n", s.nodes, s.max_depth, s.total_bytes());
+}
+
+fn kiss_tree_basics() {
+    println!("— KISS-Tree (§2.2): 26/6-bit split, ≤3 memory accesses per lookup");
+    let mut t = KissTree::<u32>::new(KissConfig::paper());
+    for key in 0..100_000u32 {
+        t.insert(key, key);
+    }
+    let s = t.stats();
+    println!(
+        "  100k dense keys: root virtual = {} MiB, physically touched ≈ {} KiB",
+        s.root_virtual_bytes >> 20,
+        s.root_touched_bytes >> 10
+    );
+    println!("  min={:?} max={:?} (kept for bounded scans)\n", t.min_key(), t.max_key());
+}
+
+fn batch_processing() {
+    println!("— Batch processing (§2.3, Algorithm 1): prefetching, level-synchronous");
+    let mut rng = Xoshiro256StarStar::new(1);
+    let mut t = PrefixTree::<u32>::pt4_32();
+    let keys: Vec<u64> = (0..100_000).map(|_| rng.below(1 << 30)).collect();
+    for (i, &k) in keys.iter().enumerate() {
+        t.insert(k, i as u32);
+    }
+    let probes: Vec<u64> = keys.iter().step_by(7).copied().collect();
+    let batched = t.batch_get_first(&probes);
+    let hits = batched.iter().filter(|v| v.is_some()).count();
+    println!("  batch of {} lookups → {} hits (identical to scalar gets)\n", probes.len(), hits);
+}
+
+fn duplicates() {
+    println!("— Duplicate handling (§2.4): 64 B → 4 KB doubling segments");
+    let mut t = PrefixTree::<u32>::pt4_32();
+    for i in 0..10_000u32 {
+        t.insert(5, i); // 10k duplicates for one key
+    }
+    let mut segments = 0;
+    let mut values = 0;
+    t.for_each_value_segment(5, |seg| {
+        segments += 1;
+        values += seg.len();
+    });
+    println!("  10k values stored in {segments} contiguous segments ({values} values scanned)\n");
+}
+
+fn synchronous_scan() {
+    println!("— Synchronous index scan (§4.2): co-scan skipping unshared subtrees");
+    let mut rng = Xoshiro256StarStar::new(2);
+    let mut a = PrefixTree::<u32>::pt4_32();
+    let mut b = PrefixTree::<u32>::pt4_32();
+    for _ in 0..50_000 {
+        a.insert(rng.below(1 << 24), 0);
+        b.insert(rng.below(1 << 24), 0);
+    }
+    let mut matches = 0;
+    sync_scan(&a, &b, |_, _, _| matches += 1);
+    println!("  trees of {} / {} keys share {} keys", a.len(), b.len(), matches);
+    let i = intersect(&a, &b);
+    println!("  intersect() materializes them as a new tree: {} keys", i.len());
+
+    // The KISS variant bounds the root scan by [max(min), min(max)].
+    let mut ka = KissTree::<u32>::new(KissConfig::paper());
+    let mut kb = KissTree::<u32>::new(KissConfig::paper());
+    for i in 0..1000u32 {
+        ka.insert(i, 0);
+        kb.insert(i + 500, 0);
+    }
+    let mut shared = 0;
+    kiss_sync_scan(&ka, &kb, |_, _, _| shared += 1);
+    println!("  KISS co-scan over overlapping ranges: {shared} shared keys");
+}

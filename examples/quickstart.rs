@@ -1,0 +1,97 @@
+//! Quickstart: build a small star schema by hand, create base indexes, and
+//! run a query through the QPPT engine.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use qppt::core::{prepare_indexes, PlanOptions, QpptEngine};
+use qppt::storage::{
+    AggExpr, ColRef, ColumnType, Database, DimSpec, Expr, OrderKey, Predicate, QuerySpec, Schema,
+    TableBuilder, Value,
+};
+
+fn main() {
+    // 1. A tiny sales schema: one fact table, one dimension.
+    let mut products = TableBuilder::new(
+        "product",
+        Schema::of(&[
+            ("p_id", ColumnType::Int),
+            ("p_category", ColumnType::Str),
+            ("p_name", ColumnType::Str),
+        ]),
+    );
+    for (id, cat, name) in [
+        (1, "beverage", "espresso beans"),
+        (2, "beverage", "green tea"),
+        (3, "hardware", "grinder"),
+        (4, "hardware", "kettle"),
+        (5, "beverage", "cocoa"),
+    ] {
+        products
+            .push_row(vec![Value::Int(id), Value::str(cat), Value::str(name)])
+            .unwrap();
+    }
+
+    let mut sales = TableBuilder::new(
+        "sales",
+        Schema::of(&[
+            ("s_product", ColumnType::Int),
+            ("s_quantity", ColumnType::Int),
+            ("s_price", ColumnType::Int),
+        ]),
+    );
+    for (product, quantity, price) in [
+        (1, 3, 1200),
+        (2, 1, 800),
+        (1, 2, 1200),
+        (3, 1, 9900),
+        (5, 4, 600),
+        (4, 1, 4500),
+        (2, 2, 800),
+    ] {
+        sales
+            .push_row(vec![
+                Value::Int(product),
+                Value::Int(quantity),
+                Value::Int(price),
+            ])
+            .unwrap();
+    }
+
+    let mut db = Database::new();
+    db.add_table(products.finish());
+    db.add_table(sales.finish());
+
+    // 2. A star query: revenue (quantity × price) of beverages, by product.
+    let query = QuerySpec {
+        id: "beverage-revenue".into(),
+        fact: "sales".into(),
+        dims: vec![DimSpec {
+            table: "product".into(),
+            join_col: "p_id".into(),
+            fact_col: "s_product".into(),
+            predicates: vec![Predicate::eq("p_category", "beverage")],
+            carried: vec!["p_name".into()],
+        }],
+        fact_predicates: vec![],
+        group_by: vec![ColRef::new("product", "p_name")],
+        aggregates: vec![AggExpr::sum(
+            Expr::Mul("s_quantity".into(), "s_price".into()),
+            "revenue",
+        )],
+        order_by: vec![OrderKey::group(0)],
+    };
+
+    // 3. Create the base indexes once ("they remain in the data pool"), then
+    //    run. The output index is keyed on p_name, so the result arrives
+    //    already grouped and sorted.
+    let opts = PlanOptions::default();
+    prepare_indexes(&mut db, &query, &opts).unwrap();
+    let engine = QpptEngine::new(&db);
+
+    println!("{}", engine.explain(&query, &opts).unwrap());
+    let (result, stats) = engine.run_with_stats(&query, &opts).unwrap();
+    println!("{}", result.to_pretty_string());
+    println!("{stats}");
+}

@@ -1,0 +1,71 @@
+//! Run the full Star Schema Benchmark on all three engines and print a
+//! Fig. 7-style comparison — the paper's headline experiment at laptop
+//! scale.
+//!
+//! ```text
+//! cargo run --release --example ssb_demo -- [--sf 0.05]
+//! ```
+
+use std::time::Instant;
+
+use qppt::columnar::{ColumnAtATimeEngine, ColumnDb, VectorAtATimeEngine};
+use qppt::core::{prepare_indexes, PlanOptions, QpptEngine};
+use qppt::ssb::{queries, SsbDb};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sf = args
+        .iter()
+        .position(|a| a == "--sf")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--sf takes a number"))
+        .unwrap_or(0.05);
+
+    eprintln!("generating SSB at SF={sf} …");
+    let mut ssb = SsbDb::generate(sf, 42);
+    let opts = PlanOptions::default();
+    let t0 = Instant::now();
+    for q in queries::all_queries() {
+        prepare_indexes(&mut ssb.db, &q, &opts).unwrap();
+    }
+    eprintln!(
+        "base indexes built in {:.1} ms (created once, reused by every query)",
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+    let cdb = ColumnDb::new(&ssb.db, ssb.db.snapshot());
+    let engine = QpptEngine::new(&ssb.db);
+
+    println!(
+        "\n{:<6} {:>12} {:>12} {:>12}   result",
+        "query", "QPPT ms", "vector ms", "column ms"
+    );
+    for q in queries::all_queries() {
+        let t = Instant::now();
+        let r_qppt = engine.run(&q, &opts).unwrap();
+        let ms_qppt = t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        let r_vec = VectorAtATimeEngine::run(&cdb, &q).unwrap();
+        let ms_vec = t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        let r_col = ColumnAtATimeEngine::run(&cdb, &q).unwrap();
+        let ms_col = t.elapsed().as_secs_f64() * 1e3;
+
+        assert_eq!(r_qppt.clone().canonicalized(), r_vec.canonicalized());
+        assert_eq!(r_qppt.clone().canonicalized(), r_col.canonicalized());
+        println!(
+            "{:<6} {:>12.2} {:>12.2} {:>12.2}   {} row(s)",
+            q.id,
+            ms_qppt,
+            ms_vec,
+            ms_col,
+            r_qppt.rows.len()
+        );
+    }
+
+    // Show one full result, the paper's running example.
+    let q23 = queries::q2_3();
+    println!("\nSSB Q2.3 result (sum of revenue by year and brand):");
+    println!("{}", engine.run(&q23, &opts).unwrap().to_pretty_string());
+}

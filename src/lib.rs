@@ -1,0 +1,57 @@
+//! # QPPT — Query Processing on Prefix Trees
+//!
+//! A from-scratch Rust reproduction of *QPPT: Query Processing on Prefix
+//! Trees* (Kissinger, Schlegel, Habich, Lehner — CIDR 2013).
+//!
+//! QPPT is an **indexed table-at-a-time** processing model for in-memory
+//! row stores: operators exchange *clustered indexes* (prefix trees holding
+//! sets of tuples) instead of tuples, columns, or vectors. Every operator's
+//! output is an index keyed on exactly the attribute(s) the next operator
+//! needs, so grouping and sorting happen "for free" while building the
+//! output, and composed operators (select-join, multi-way/star join) skip
+//! intermediate materialisation entirely.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`trie`] / [`kiss`] — the index structures of §2 (generalized prefix
+//!   tree, KISS-Tree) with batch processing and synchronous index scans.
+//! * [`hash`] — the hash-table comparators used in the paper's Fig. 3.
+//! * [`storage`] — the in-memory row-store substrate (schema, dictionaries,
+//!   MVCC, base indexes, star-query specs).
+//! * [`ssb`] — the Star Schema Benchmark generator, the 13 SSB queries, and
+//!   a naive reference executor used as correctness oracle.
+//! * [`core`] — the QPPT engine itself (the paper's contribution).
+//! * [`columnar`] — the column-at-a-time and vector-at-a-time comparison
+//!   engines of §5.
+//! * [`mem`] — arenas, segmented duplicate storage, prefetching, and the
+//!   deterministic PRNG underneath everything.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qppt::core::{prepare_indexes, PlanOptions, QpptEngine};
+//! use qppt::ssb::{queries, SsbDb};
+//!
+//! // Tiny deterministic SSB instance (scale factor 0.01).
+//! let mut ssb = SsbDb::generate(0.01, 42);
+//! let opts = PlanOptions::default();
+//! let spec = queries::q2_3();
+//!
+//! // Base indexes are created once and remain in the data pool (§3).
+//! prepare_indexes(&mut ssb.db, &spec, &opts).unwrap();
+//!
+//! let engine = QpptEngine::new(&ssb.db);
+//! let result = engine.run(&spec, &opts).unwrap();
+//! // A QPPT result is already grouped *and* ordered: the output is
+//! // physically a prefix tree keyed on (d_year, p_brand1).
+//! assert!(result.rows.windows(2).all(|w| w[0].key_values <= w[1].key_values));
+//! ```
+
+pub use qppt_columnar as columnar;
+pub use qppt_core as core;
+pub use qppt_hash as hash;
+pub use qppt_kiss as kiss;
+pub use qppt_mem as mem;
+pub use qppt_ssb as ssb;
+pub use qppt_storage as storage;
+pub use qppt_trie as trie;

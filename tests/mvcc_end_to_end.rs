@@ -1,0 +1,144 @@
+//! Transactional isolation across the whole stack: writes through the
+//! catalog (with index maintenance) must be visible exactly to the right
+//! snapshots on every engine.
+
+use qppt::columnar::{ColumnAtATimeEngine, ColumnDb, VectorAtATimeEngine};
+use qppt::core::{prepare_indexes, PlanOptions, QpptEngine};
+use qppt::ssb::{queries, run_reference, SsbDb};
+use qppt::storage::Value;
+
+/// Inserts a lineorder row that matches Q1.1 and returns the revenue delta
+/// it contributes to Q1.1's `sum(lo_extendedprice * lo_discount)`.
+fn insert_matching_row(ssb: &mut SsbDb) -> i64 {
+    let ship = {
+        let lo = ssb.db.table("lineorder").unwrap().table();
+        lo.value(0, lo.schema().col("lo_shipmode").unwrap())
+    };
+    let extended = 7000i64;
+    let discount = 3i64;
+    ssb.db
+        .insert_row(
+            "lineorder",
+            &[
+                Value::Int(777_777),
+                Value::Int(1),
+                Value::Int(1),
+                Value::Int(1),
+                Value::Int(1),
+                Value::Int(19930301),
+                Value::Int(20),                    // quantity < 25
+                Value::Int(extended),              // extendedprice
+                Value::Int(extended),              // ordtotalprice
+                Value::Int(discount),              // discount in [1,3]
+                Value::Int(extended * (100 - discount) / 100),
+                Value::Int(100),
+                Value::Int(0),
+                ship,
+            ],
+        )
+        .unwrap();
+    extended * discount
+}
+
+#[test]
+fn insert_then_delete_walks_snapshots_consistently() {
+    let mut ssb = SsbDb::generate(0.01, 55);
+    let q = queries::q1_1();
+    let opts = PlanOptions::default();
+    prepare_indexes(&mut ssb.db, &q, &opts).unwrap();
+
+    let s0 = ssb.db.snapshot();
+    let base = {
+        let engine = QpptEngine::new(&ssb.db);
+        engine.run_at(&q, &opts, s0).unwrap().0.rows[0].agg_values[0]
+    };
+
+    let delta = insert_matching_row(&mut ssb);
+    let s1 = ssb.db.snapshot();
+
+    // Delete some matching row that existed at s0: find one via the oracle's
+    // predicate logic — simplest is to delete the inserted row again later,
+    // so first verify s1.
+    let engine = QpptEngine::new(&ssb.db);
+    assert_eq!(
+        engine.run_at(&q, &opts, s1).unwrap().0.rows[0].agg_values[0],
+        base + delta
+    );
+    assert_eq!(
+        engine.run_at(&q, &opts, s0).unwrap().0.rows[0].agg_values[0],
+        base,
+        "old snapshot must not see the insert"
+    );
+
+    // Delete the new row version (it is the last rid).
+    let new_rid = ssb.db.table("lineorder").unwrap().version_count() as u32 - 1;
+    ssb.db.delete_row("lineorder", new_rid).unwrap();
+    let s2 = ssb.db.snapshot();
+    let engine = QpptEngine::new(&ssb.db);
+    assert_eq!(
+        engine.run_at(&q, &opts, s2).unwrap().0.rows[0].agg_values[0],
+        base,
+        "delete takes effect for new snapshots"
+    );
+    assert_eq!(
+        engine.run_at(&q, &opts, s1).unwrap().0.rows[0].agg_values[0],
+        base + delta,
+        "snapshot between insert and delete still sees the row"
+    );
+
+    // All engines agree at every snapshot.
+    for snap in [s0, s1, s2] {
+        let oracle = run_reference(&ssb.db, &q, snap).unwrap().canonicalized();
+        let cdb = ColumnDb::new(&ssb.db, snap);
+        assert_eq!(
+            VectorAtATimeEngine::run(&cdb, &q).unwrap().canonicalized(),
+            oracle
+        );
+        assert_eq!(
+            ColumnAtATimeEngine::run(&cdb, &q).unwrap().canonicalized(),
+            oracle
+        );
+        assert_eq!(
+            engine.run_at(&q, &opts, snap).unwrap().0.canonicalized(),
+            oracle
+        );
+    }
+}
+
+#[test]
+fn update_moves_a_tuple_between_groups() {
+    // Update a part's brand: Q2.x group totals must move accordingly,
+    // and only for snapshots after the update.
+    let mut ssb = SsbDb::generate(0.01, 56);
+    let q = queries::q2_1();
+    let opts = PlanOptions::default();
+    prepare_indexes(&mut ssb.db, &q, &opts).unwrap();
+
+    let s0 = ssb.db.snapshot();
+    let before = {
+        let engine = QpptEngine::new(&ssb.db);
+        engine.run_at(&q, &opts, s0).unwrap().0
+    };
+
+    // Update part rid 0 via delete+insert through the MVCC API.
+    let old_row: Vec<Value> = {
+        let part = ssb.db.table("part").unwrap().table();
+        (0..part.schema().width()).map(|c| part.value(0, c)).collect()
+    };
+    // Change its category to something matched by Q2.1 only if it was not;
+    // either way the update must keep engines consistent with the oracle.
+    let mut new_row = old_row.clone();
+    new_row[3] = Value::str("MFGR#12");
+    new_row[4] = Value::str("MFGR#1221");
+    ssb.db.delete_row("part", 0).unwrap();
+    ssb.db.insert_row("part", &new_row).unwrap();
+    let s1 = ssb.db.snapshot();
+
+    let engine = QpptEngine::new(&ssb.db);
+    let after_old_snap = engine.run_at(&q, &opts, s0).unwrap().0;
+    assert_eq!(after_old_snap, before, "pre-update snapshot sees old state");
+
+    let oracle_new = run_reference(&ssb.db, &q, s1).unwrap().canonicalized();
+    let got_new = engine.run_at(&q, &opts, s1).unwrap().0.canonicalized();
+    assert_eq!(got_new, oracle_new, "post-update snapshot matches oracle");
+}
