@@ -96,7 +96,11 @@ fn a4_compression(c: &mut Criterion) {
     let mut g = c.benchmark_group("a4_kiss_compression_dense_insert");
     g.sample_size(10);
     for compressed in [false, true] {
-        let name = if compressed { "compressed" } else { "uncompressed" };
+        let name = if compressed {
+            "compressed"
+        } else {
+            "uncompressed"
+        };
         g.bench_function(name, |b| {
             b.iter(|| {
                 let mut t = KissTree::<u32>::new(KissConfig {
@@ -113,5 +117,11 @@ fn a4_compression(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, a1_joinbuffer, a2_duplicates, a3_kprime, a4_compression);
+criterion_group!(
+    benches,
+    a1_joinbuffer,
+    a2_duplicates,
+    a3_kprime,
+    a4_compression
+);
 criterion_main!(benches);

@@ -56,7 +56,11 @@ fn bench(c: &mut Criterion) {
             t.len()
         })
     });
-    let pairs: Vec<(u32, u32)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
+    let pairs: Vec<(u32, u32)> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| (k, i as u32))
+        .collect();
     g.bench_function(BenchmarkId::new("KISS_batched", N), |b| {
         b.iter(|| {
             let mut t = KissTree::<u32>::new(KissConfig::paper());

@@ -30,16 +30,36 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
 
     g.bench_function(BenchmarkId::new("PT4", N), |b| {
-        b.iter(|| probes.iter().filter(|&&k| pt.get_first(k as u64).is_some()).count())
+        b.iter(|| {
+            probes
+                .iter()
+                .filter(|&&k| pt.get_first(k as u64).is_some())
+                .count()
+        })
     });
     g.bench_function(BenchmarkId::new("GLIB_chained", N), |b| {
-        b.iter(|| probes.iter().filter(|&&k| glib.get(k as u64).is_some()).count())
+        b.iter(|| {
+            probes
+                .iter()
+                .filter(|&&k| glib.get(k as u64).is_some())
+                .count()
+        })
     });
     g.bench_function(BenchmarkId::new("BOOST_open", N), |b| {
-        b.iter(|| probes.iter().filter(|&&k| open.get(k as u64).is_some()).count())
+        b.iter(|| {
+            probes
+                .iter()
+                .filter(|&&k| open.get(k as u64).is_some())
+                .count()
+        })
     });
     g.bench_function(BenchmarkId::new("KISS", N), |b| {
-        b.iter(|| probes.iter().filter(|&&k| kiss.get_first(k).is_some()).count())
+        b.iter(|| {
+            probes
+                .iter()
+                .filter(|&&k| kiss.get_first(k).is_some())
+                .count()
+        })
     });
     g.bench_function(BenchmarkId::new("KISS_batched", N), |b| {
         b.iter(|| {

@@ -1,0 +1,26 @@
+//! Criterion variant of the parallel-scaling measurement (SSB Q2.3 at
+//! 1/2/4/8 workers). See `src/bin/par_scaling.rs` for the dependency-free
+//! runner that writes `BENCH_PAR_SCALING.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qppt_bench::BenchDb;
+use qppt_core::PlanOptions;
+use qppt_par::ParEngine;
+use qppt_ssb::queries;
+
+fn bench(c: &mut Criterion) {
+    let db = BenchDb::prepare(0.05, 42);
+    let spec = queries::q2_3();
+    let mut g = c.benchmark_group("par_scaling_q2_3");
+    for workers in [1usize, 2, 4, 8] {
+        let opts = PlanOptions::default().with_parallelism(workers);
+        let engine = ParEngine::new(&db.ssb.db);
+        g.bench_function(BenchmarkId::new("workers", workers), |b| {
+            b.iter(|| engine.run(&spec, &opts).expect("prepared query runs"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -65,7 +65,9 @@ fn joinbuffer(args: &[String]) {
 fn duplicates(args: &[String]) {
     let keys = arg_usize(args, "--dupkeys", 2_000);
     let per_key = arg_usize(args, "--dupvalues", 2_000);
-    println!("\nAblation A2: duplicate handling — {keys} keys × {per_key} values, interleaved inserts");
+    println!(
+        "\nAblation A2: duplicate handling — {keys} keys × {per_key} values, interleaved inserts"
+    );
 
     // Interleave inserts across keys so linked-list nodes scatter (the
     // realistic operator pattern: output-index inserts arrive key-mixed).
@@ -116,11 +118,22 @@ fn duplicates(args: &[String]) {
     print_table(
         &["storage", "build ms", "scan ms"],
         &[
-            vec!["segmented (Fig. 4)".into(), format!("{:.2}", ms(t_seg_build)), format!("{:.2}", ms(scan_seg))],
-            vec!["linked list".into(), format!("{:.2}", ms(t_lnk_build)), format!("{:.2}", ms(scan_lnk))],
+            vec![
+                "segmented (Fig. 4)".into(),
+                format!("{:.2}", ms(t_seg_build)),
+                format!("{:.2}", ms(scan_seg)),
+            ],
+            vec![
+                "linked list".into(),
+                format!("{:.2}", ms(t_lnk_build)),
+                format!("{:.2}", ms(scan_lnk)),
+            ],
         ],
     );
-    println!("scan speedup of segmented storage: {:.2}x", ms(scan_lnk) / ms(scan_seg));
+    println!(
+        "scan speedup of segmented storage: {:.2}x",
+        ms(scan_lnk) / ms(scan_seg)
+    );
 }
 
 /// A3: prefix length k′ trade-off (§2.1).
@@ -155,10 +168,18 @@ fn kprime(args: &[String]) {
         ]);
     }
     print_table(
-        &["config", "insert ns/key", "lookup ns/key", "max accesses", "memory MiB"],
+        &[
+            "config",
+            "insert ns/key",
+            "lookup ns/key",
+            "max accesses",
+            "memory MiB",
+        ],
         &rows,
     );
-    println!("paper: k'=4 is the standard trade-off; higher k' is faster but bigger on sparse keys");
+    println!(
+        "paper: k'=4 is the standard trade-off; higher k' is faster but bigger on sparse keys"
+    );
 }
 
 /// A4: KISS second-level compression (§2.2).
@@ -198,7 +219,14 @@ fn compression(args: &[String]) {
             });
             let s = tree.stats();
             rows.push(vec![
-                format!("{dist}/{}", if compressed { "compressed" } else { "uncompressed" }),
+                format!(
+                    "{dist}/{}",
+                    if compressed {
+                        "compressed"
+                    } else {
+                        "uncompressed"
+                    }
+                ),
                 format!("{:.1}", t_ins.as_nanos() as f64 / n as f64),
                 format!("{:.1}", t_get.as_nanos() as f64 / n as f64),
                 format!("{}", s.copy_updates),
@@ -207,7 +235,13 @@ fn compression(args: &[String]) {
         }
     }
     print_table(
-        &["workload", "insert ns/key", "lookup ns/key", "RCU copies", "memory MiB"],
+        &[
+            "workload",
+            "insert ns/key",
+            "lookup ns/key",
+            "RCU copies",
+            "memory MiB",
+        ],
         &rows,
     );
     println!("paper: QPPT disables compression on dense ranges to avoid the RCU copy overhead");

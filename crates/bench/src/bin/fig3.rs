@@ -81,7 +81,11 @@ fn run_insert(sizes: &[usize]) {
         });
         let (d_kiss_b, _) = time_once(|| {
             let mut t = KissTree::<u32>::new(KissConfig::paper());
-            let pairs: Vec<(u32, u32)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
+            let pairs: Vec<(u32, u32)> = keys
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| (k, i as u32))
+                .collect();
             for chunk in pairs.chunks(BATCH) {
                 t.batch_insert(chunk);
             }
@@ -97,7 +101,14 @@ fn run_insert(sizes: &[usize]) {
         ]);
     }
     print_table(
-        &["keys", "PT4", "GLIB(chained)", "BOOST(open)", "KISS", "KISS batched"],
+        &[
+            "keys",
+            "PT4",
+            "GLIB(chained)",
+            "BOOST(open)",
+            "KISS",
+            "KISS batched",
+        ],
         &rows,
     );
 }
@@ -169,7 +180,14 @@ fn run_lookup(sizes: &[usize]) {
         ]);
     }
     print_table(
-        &["keys", "PT4", "GLIB(chained)", "BOOST(open)", "KISS", "KISS batched"],
+        &[
+            "keys",
+            "PT4",
+            "GLIB(chained)",
+            "BOOST(open)",
+            "KISS",
+            "KISS batched",
+        ],
         &rows,
     );
 }

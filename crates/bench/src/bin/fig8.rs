@@ -40,10 +40,19 @@ fn main() {
     print_table(
         &["configuration", "ms"],
         &[
-            vec!["column-at-a-time (MonetDB)".into(), format!("{:.2}", ms(t_col))],
-            vec!["vector-at-a-time (Commercial)".into(), format!("{:.2}", ms(t_vec))],
+            vec![
+                "column-at-a-time (MonetDB)".into(),
+                format!("{:.2}", ms(t_col)),
+            ],
+            vec![
+                "vector-at-a-time (Commercial)".into(),
+                format!("{:.2}", ms(t_vec)),
+            ],
             vec!["QPPT w/ select-join".into(), format!("{:.2}", ms(t_with))],
-            vec!["QPPT w/o select-join".into(), format!("{:.2}", ms(t_without))],
+            vec![
+                "QPPT w/o select-join".into(),
+                format!("{:.2}", ms(t_without)),
+            ],
         ],
     );
     println!(

@@ -34,15 +34,24 @@ fn main() {
     let t_col = time_best_of(runs, || db.run_column(&cdb, &q));
     let t_vec = time_best_of(runs, || db.run_vector(&cdb, &q));
     let mut rows = vec![
-        vec!["column-at-a-time (MonetDB)".to_string(), format!("{:.2}", ms(t_col))],
-        vec!["vector-at-a-time (Commercial)".to_string(), format!("{:.2}", ms(t_vec))],
+        vec![
+            "column-at-a-time (MonetDB)".to_string(),
+            format!("{:.2}", ms(t_col)),
+        ],
+        vec![
+            "vector-at-a-time (Commercial)".to_string(),
+            format!("{:.2}", ms(t_vec)),
+        ],
     ];
     let mut qppt_ms = Vec::new();
     for ways in [5usize, 4, 3, 2] {
         let opts = PlanOptions::default().with_max_join_ways(ways);
         let t = time_best_of(runs, || db.run_qppt(&q, &opts));
         qppt_ms.push((ways, ms(t)));
-        rows.push(vec![format!("QPPT {ways}-way join"), format!("{:.2}", ms(t))]);
+        rows.push(vec![
+            format!("QPPT {ways}-way join"),
+            format!("{:.2}", ms(t)),
+        ]);
     }
 
     println!("\nFigure 9: SSB Q4.1 (SF={sf}) multi-way/star join configurations [ms]");
@@ -51,6 +60,12 @@ fn main() {
     let t5 = qppt_ms.iter().find(|(w, _)| *w == 5).unwrap().1;
     let t3 = qppt_ms.iter().find(|(w, _)| *w == 3).unwrap().1;
     let t2 = qppt_ms.iter().find(|(w, _)| *w == 2).unwrap().1;
-    println!("\n2-way → 3-way speedup: {:.2}x (the paper's biggest step)", t2 / t3);
-    println!("3-way → 5-way speedup: {:.2}x (diminishing returns)", t3 / t5);
+    println!(
+        "\n2-way → 3-way speedup: {:.2}x (the paper's biggest step)",
+        t2 / t3
+    );
+    println!(
+        "3-way → 5-way speedup: {:.2}x (diminishing returns)",
+        t3 / t5
+    );
 }

@@ -129,7 +129,11 @@ pub fn arg_usize_list(args: &[String], flag: &str, default: &[usize]) -> Vec<usi
     match arg_str(args, flag) {
         Some(v) => v
             .split(',')
-            .map(|s| s.trim().parse().unwrap_or_else(|_| panic!("bad value for {flag}")))
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad value for {flag}"))
+            })
             .collect(),
         None => default.to_vec(),
     }

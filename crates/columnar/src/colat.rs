@@ -21,10 +21,7 @@ pub struct ColumnAtATimeEngine;
 
 impl ColumnAtATimeEngine {
     /// Runs a star query, materializing one full column/vector per step.
-    pub fn run(
-        cdb: &ColumnDb<'_>,
-        spec: &QuerySpec,
-    ) -> Result<QueryResult, StorageError> {
+    pub fn run(cdb: &ColumnDb<'_>, spec: &QuerySpec) -> Result<QueryResult, StorageError> {
         let r = resolve(cdb, spec)?;
         let fact = cdb.table(&r.fact)?;
 
@@ -219,8 +216,15 @@ mod tests {
         let col_a = vec![1u64, 5, 10, 15, 20];
         let col_b = vec![0u64, 1, 0, 1, 0];
         let preds = vec![
-            CompiledPred::Range { col: 0, lo: 5, hi: 15 },
-            CompiledPred::InSet { col: 1, codes: vec![1] },
+            CompiledPred::Range {
+                col: 0,
+                lo: 5,
+                hi: 15,
+            },
+            CompiledPred::InSet {
+                col: 1,
+                codes: vec![1],
+            },
         ];
         let rids = select_rids(5, &preds, |c| if c == 0 { &col_a } else { &col_b });
         assert_eq!(rids, vec![1, 3]);

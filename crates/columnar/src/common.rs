@@ -105,7 +105,9 @@ pub fn resolve(cdb: &ColumnDb<'_>, spec: &QuerySpec) -> Result<Resolved, Storage
         let t = cdb.schema_of(&d.table)?;
         let col = t.schema().col(&g.column)?;
         let max_code = match t.schema().column(col).ty {
-            ColumnType::Str => t.dict(col).map_or(0, |dd| dd.len().saturating_sub(1) as u64),
+            ColumnType::Str => t
+                .dict(col)
+                .map_or(0, |dd| dd.len().saturating_sub(1) as u64),
             ColumnType::Int => {
                 let s = t.stats(col);
                 if s.min > s.max {

@@ -112,7 +112,8 @@ mod tests {
     fn snapshot_filters_versions() {
         let mut db = small_db();
         let before = db.snapshot();
-        db.insert_row("t", &[Value::Int(9), Value::str("x")]).unwrap();
+        db.insert_row("t", &[Value::Int(9), Value::str("x")])
+            .unwrap();
         db.delete_row("t", 0).unwrap();
         let after = db.snapshot();
 

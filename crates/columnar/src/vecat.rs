@@ -149,7 +149,11 @@ mod tests {
 
     #[test]
     fn compiled_preds_behave_on_vectors() {
-        let p = CompiledPred::Range { col: 0, lo: 2, hi: 4 };
+        let p = CompiledPred::Range {
+            col: 0,
+            lo: 2,
+            hi: 4,
+        };
         let col = [1u64, 3, 5];
         let mut sel = vec![0u32, 1, 2];
         filter_in_place(&mut sel, |i| p.matches(|_| col[i as usize]));

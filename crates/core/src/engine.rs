@@ -25,6 +25,12 @@ impl<'a> QpptEngine<'a> {
         Self { db }
     }
 
+    /// The database this engine reads (used by execution frontends layered
+    /// on top, e.g. the `qppt-par` parallel engine).
+    pub fn db(&self) -> &'a Database {
+        self.db
+    }
+
     /// Builds the physical plan for a query.
     pub fn plan(&self, spec: &QuerySpec, opts: &PlanOptions) -> Result<Plan, QpptError> {
         build_plan(self.db, spec, opts)

@@ -6,12 +6,27 @@
 //! kernels are the synchronous index scan (§4.2) and the batched
 //! select-probe of the fused select-join (§4.3); assisting dimensions are
 //! probed through the join buffer with batched lookups (§2.3).
+//!
+//! Execution is split into three phases so the morsel-driven parallel
+//! subsystem (`qppt-par`) can re-compose them:
+//!
+//! 1. [`materialize_dim`] — dimension selections (σ), independent of each
+//!    other and of the fact stream; parallelizable one task per dimension.
+//! 2. [`run_pipeline`] — the fact-side pipeline (optional fact selection,
+//!    then all composed join stages into the aggregating index). The
+//!    stage-1 fact access can be restricted to a [`KeyRange`] morsel, which
+//!    partitions the whole pipeline by the first join key.
+//! 3. [`decode_result`] — decoding the (merged) aggregation index into the
+//!    shared result format.
+//!
+//! [`execute`] composes the three sequentially (one morsel covering the
+//! whole key domain), which is the paper's single-threaded execution model.
 
 use std::time::Instant;
 
 use qppt_storage::{
-    sync_scan_indexes, BaseIndex, CompiledPred, Database, MvccTable, QueryResult, ResultRow,
-    Snapshot, StorageError, TreeIndex, Value,
+    sync_scan_indexes, sync_scan_indexes_range, BaseIndex, CompiledPred, Database, MvccTable,
+    QueryResult, ResultRow, Snapshot, StorageError, TreeIndex, Value,
 };
 
 use crate::inter::{AggTable, InterTable};
@@ -21,45 +36,184 @@ use crate::plan::{DimHandleKind, JoinStage, MainInput, Plan, ResolvedDim, StageO
 use crate::stats::{ExecStats, OpStats};
 use crate::QpptError;
 
-/// Runs a plan, returning the result and per-operator statistics.
-pub fn execute(
+/// Inclusive key range restricting the stage-1 fact access — one *morsel*
+/// of the morsel-driven parallel executor. Keys are codes of the first
+/// dimension's fact column (the stage-1 join attribute); restricting the
+/// fact scan to `[lo, hi]` restricts every downstream stage to the tuples
+/// deriving from those fact rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyRange {
+    /// Inclusive lower bound.
+    pub lo: u64,
+    /// Inclusive upper bound.
+    pub hi: u64,
+}
+
+impl KeyRange {
+    /// The whole key domain (no restriction).
+    pub fn full() -> Self {
+        Self {
+            lo: 0,
+            hi: u64::MAX,
+        }
+    }
+
+    /// `true` if `key` lies inside the range.
+    #[inline]
+    pub fn contains(&self, key: u64) -> bool {
+        self.lo <= key && key <= self.hi
+    }
+}
+
+/// Materializes one dimension selection (a σ operator of Fig. 5) into an
+/// intermediate indexed table keyed on the join attribute. Returns `None`
+/// for dimensions that are not [`DimHandleKind::Materialized`] (base-index
+/// and fused handles have no materialization step).
+///
+/// Dimension selections read only base indexes and are independent of each
+/// other, so the parallel executor runs one such task per dimension.
+pub fn materialize_dim(
     db: &Database,
     snap: Snapshot,
     plan: &Plan,
-) -> Result<(QueryResult, ExecStats), QpptError> {
-    let started = Instant::now();
-    let mut stats = ExecStats::default();
+    dim_idx: usize,
+) -> Result<Option<(InterTable, OpStats)>, QpptError> {
+    let dim = &plan.dims[dim_idx];
+    if dim.handle != DimHandleKind::Materialized {
+        return Ok(None);
+    }
+    let t0 = Instant::now();
+    let mut layout = Layout::new();
+    for c in &dim.carried_names {
+        layout.add(Src::Dim(dim.spec_idx), c);
+    }
+    let index = TreeIndex::for_domain(dim.join_key_max, plan.opts.prefer_kiss);
+    let mut out = InterTable::new(&dim.join_col_name, layout, index);
+    scan_dim_selection(db, snap, &plan.opts, dim, |key, carried| {
+        out.insert(key, carried);
+    })?;
+    let stats = OpStats {
+        label: format!("σ({}) → idx on {}", dim.table, dim.join_col_name),
+        out_keys: out.key_count(),
+        out_tuples: out.tuple_count(),
+        index_kind: out.data.index.kind_name().to_string(),
+        memory_bytes: out.memory_bytes(),
+        micros: t0.elapsed().as_micros(),
+    };
+    Ok(Some((out, stats)))
+}
+
+/// A pre-materialized fused (select-join) dimension selection: the
+/// `(join key, carried values)` tuples `scan_dim_selection` would yield for
+/// the stage-1 `SelectProbe` dimension, **sorted by join key**.
+///
+/// The parallel executor builds this **once** and shares it read-only
+/// across morsel workers, so the selection predicates are evaluated once
+/// per query instead of once per morsel; sorting lets each worker
+/// binary-search its [`KeyRange`] slice, making per-morsel work
+/// proportional to the morsel's population rather than the whole
+/// selection. Sequential execution does not need it (the inline scan runs
+/// exactly once anyway).
+#[derive(Debug)]
+pub struct FusedSelection {
+    /// Join keys, ascending (duplicates keep scan order).
+    keys: Vec<u64>,
+    /// `stride` carried values per key, parallel to `keys`.
+    carried: Vec<u64>,
+    stride: usize,
+}
+
+impl FusedSelection {
+    /// The index range of keys within `[range.lo, range.hi]`.
+    fn slice(&self, range: Option<KeyRange>) -> std::ops::Range<usize> {
+        match range {
+            None => 0..self.keys.len(),
+            Some(r) => {
+                let lo = self.keys.partition_point(|&k| k < r.lo);
+                let hi = self.keys.partition_point(|&k| k <= r.hi);
+                lo..hi
+            }
+        }
+    }
+}
+
+/// Materializes the stage-1 fused selection stream, if the plan has one
+/// (i.e. stage 1 is a [`MainInput::SelectProbe`]).
+pub fn materialize_fused_selection(
+    db: &Database,
+    snap: Snapshot,
+    plan: &Plan,
+) -> Result<Option<FusedSelection>, QpptError> {
+    let MainInput::SelectProbe { main } = plan.stages[0].main else {
+        return Ok(None);
+    };
+    let dim = &plan.dims[main];
+    let stride = dim.carried_names.len();
+    let mut entries: Vec<(u64, Vec<u64>)> = Vec::new();
+    scan_dim_selection(db, snap, &plan.opts, dim, |key, c| {
+        entries.push((key, c.to_vec()));
+    })?;
+    // Stable sort: duplicate join keys keep their scan order, so a
+    // single-morsel run probes in the same relative order as sequential.
+    entries.sort_by_key(|(key, _)| *key);
+    let mut keys = Vec::with_capacity(entries.len());
+    let mut carried = Vec::with_capacity(entries.len() * stride);
+    for (key, c) in entries {
+        keys.push(key);
+        carried.extend_from_slice(&c);
+    }
+    Ok(Some(FusedSelection {
+        keys,
+        carried,
+        stride,
+    }))
+}
+
+/// Creates the empty aggregating output index (join-group sink) for a plan.
+/// The parallel executor gives each worker its own and merges them with
+/// [`AggTable::merge_from`].
+pub fn new_agg_table(plan: &Plan) -> AggTable {
+    let naggs = plan.aggs.len().max(1);
+    let agg_max_key = if plan.group_key.total_bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << plan.group_key.total_bits).saturating_sub(1)
+    };
+    AggTable::new(
+        TreeIndex::for_domain(agg_max_key, plan.opts.prefer_kiss),
+        naggs,
+    )
+}
+
+/// Runs the fact-side pipeline: the optional materialized fact selection
+/// (Fig. 8's non-fused plan) followed by every composed join stage,
+/// aggregating into `agg`. `dim_tables` holds the materialized dimension
+/// selections (shared, read-only across partitions).
+///
+/// With `range = Some(r)`, the stage-1 fact access — synchronous base-index
+/// scan, fused select-probe, or fact selection — is restricted to join keys
+/// in `r`: this is one morsel of the parallel executor. `None` processes
+/// the whole domain (sequential execution).
+///
+/// `fused` optionally supplies a pre-materialized stage-1 selection stream
+/// (see [`FusedSelection`]); with `None`, a `SelectProbe` stage scans the
+/// selection itself.
+///
+/// Returns the per-operator statistics of this partition, in operator order
+/// (fact selection first if present, then one entry per stage).
+pub fn run_pipeline(
+    db: &Database,
+    snap: Snapshot,
+    plan: &Plan,
+    dim_tables: &[Option<InterTable>],
+    range: Option<KeyRange>,
+    fused: Option<&FusedSelection>,
+    agg: &mut AggTable,
+) -> Result<Vec<OpStats>, QpptError> {
+    let mut stats: Vec<OpStats> = Vec::new();
     let fact_mvt = db.table(&plan.spec.fact)?;
 
-    // 1. Materialize dimension selections (σ operators of Fig. 5).
-    let mut dim_tables: Vec<Option<InterTable>> = Vec::with_capacity(plan.dims.len());
-    for dim in &plan.dims {
-        if dim.handle != DimHandleKind::Materialized {
-            dim_tables.push(None);
-            continue;
-        }
-        let t0 = Instant::now();
-        let mut layout = Layout::new();
-        for c in &dim.carried_names {
-            layout.add(Src::Dim(dim.spec_idx), c);
-        }
-        let index = TreeIndex::for_domain(dim.join_key_max, plan.opts.prefer_kiss);
-        let mut out = InterTable::new(&dim.join_col_name, layout, index);
-        scan_dim_selection(db, snap, &plan.opts, dim, |key, carried| {
-            out.insert(key, carried);
-        })?;
-        stats.push(OpStats {
-            label: format!("σ({}) → idx on {}", dim.table, dim.join_col_name),
-            out_keys: out.key_count(),
-            out_tuples: out.tuple_count(),
-            index_kind: out.data.index.kind_name().to_string(),
-            memory_bytes: out.memory_bytes(),
-            micros: t0.elapsed().as_micros(),
-        });
-        dim_tables.push(Some(out));
-    }
-
-    // 2. Optional separate fact selection (the non-fused plan of Fig. 8).
+    // Optional separate fact selection (the non-fused plan of Fig. 8).
     let fact_base = db.find_index(&plan.spec.fact, &plan.dims[0].fact_col_name)?;
     let fact_field_map = base_field_map(fact_base, &plan.fact_layout, &plan.dims[0].fact_col_name)?;
     let mut stream: Option<InterTable> = None;
@@ -73,7 +227,7 @@ pub fn execute(
         let mut out = InterTable::new(&plan.dims[0].fact_col_name, plan.fact_layout.clone(), index);
         let mut row = vec![0u64; plan.fact_layout.width()];
         let check_vis = !fact_mvt.fully_visible(snap);
-        fact_base.data.index.for_each(|key, pid| {
+        let mut visit = |key: u64, pid: u32| {
             let payload = fact_base.data.payload.row(pid);
             if check_vis && !fact_mvt.visible(payload[0] as u32, snap) {
                 return;
@@ -82,12 +236,13 @@ pub fn execute(
             if fs.preds.iter().all(|p| p.matches(|c| row[c])) {
                 out.insert(key, &row);
             }
-        });
+        };
+        match range {
+            None => fact_base.data.index.for_each(&mut visit),
+            Some(r) => fact_base.data.index.range_each(r.lo, r.hi, &mut visit),
+        }
         stats.push(OpStats {
-            label: format!(
-                "σ(fact residuals) → idx on {}",
-                plan.dims[0].fact_col_name
-            ),
+            label: format!("σ(fact residuals) → idx on {}", plan.dims[0].fact_col_name),
             out_keys: out.key_count(),
             out_tuples: out.tuple_count(),
             index_kind: out.data.index.kind_name().to_string(),
@@ -97,22 +252,12 @@ pub fn execute(
         stream = Some(out);
     }
 
-    // 3. Join stages.
-    let naggs = plan.aggs.len().max(1);
-    let agg_max_key = if plan.group_key.total_bits >= 64 {
-        u64::MAX
-    } else {
-        (1u64 << plan.group_key.total_bits).saturating_sub(1)
-    };
-    let mut agg = AggTable::new(
-        TreeIndex::for_domain(agg_max_key, plan.opts.prefer_kiss),
-        naggs,
-    );
+    // Join stages.
     for (si, stage) in plan.stages.iter().enumerate() {
         let t0 = Instant::now();
         let mut assists = Vec::with_capacity(stage.assisting.len());
         for &a in &stage.assisting {
-            let access = dim_access(db, snap, &plan.dims[a], &dim_tables)?;
+            let access = dim_access(db, snap, &plan.dims[a], dim_tables)?;
             let probe_pos = stage
                 .work_layout
                 .expect(Src::Fact, &plan.dims[a].fact_col_name);
@@ -137,7 +282,7 @@ pub fn execute(
             .collect();
 
         let sink = match &stage.output {
-            StageOutput::Agg => StageSink::Agg(&mut agg),
+            StageOutput::Agg => StageSink::Agg(&mut *agg),
             StageOutput::Inter { next } => {
                 let key_name = &plan.dims[*next].fact_col_name;
                 let fact_t = fact_mvt.table();
@@ -168,18 +313,26 @@ pub fn execute(
         };
         match stage.main {
             MainInput::SyncScan { main } => {
-                let dim_acc = dim_access(db, snap, &plan.dims[main], &dim_tables)?;
+                let dim_acc = dim_access(db, snap, &plan.dims[main], dim_tables)?;
                 match &input {
                     None => {
                         debug_assert_eq!(si, 0, "only stage 1 reads the fact base index");
-                        run.sync_scan_base(fact_base, fact_mvt, &fact_field_map, &dim_acc);
+                        run.sync_scan_base(fact_base, fact_mvt, &fact_field_map, &dim_acc, range);
                     }
                     Some(it) => run.sync_scan_inter(it, &dim_acc),
                 }
             }
             MainInput::SelectProbe { main } => {
                 debug_assert!(si == 0 && input.is_none());
-                run.select_probe(db, fact_base, fact_mvt, &fact_field_map, &plan.dims[main])?;
+                run.select_probe(
+                    db,
+                    fact_base,
+                    fact_mvt,
+                    &fact_field_map,
+                    &plan.dims[main],
+                    range,
+                    fused,
+                )?;
             }
         }
         run.flush();
@@ -208,8 +361,15 @@ pub fn execute(
         }
     }
 
-    // 4. Decode the aggregation index into the shared result format. The
-    // index iterates in key order, i.e. already grouped and sorted (§3).
+    Ok(stats)
+}
+
+/// Decodes the (possibly merged) aggregation index into the shared result
+/// format. The index iterates in key order, i.e. already grouped and sorted
+/// (§3); [`QueryResult::apply_order`] then applies the query's ORDER BY on
+/// top, which is a stable sort, so the result is deterministic regardless
+/// of how many partitions fed `agg`.
+pub fn decode_result(db: &Database, plan: &Plan, agg: &AggTable) -> QueryResult {
     let mut rows = Vec::with_capacity(agg.group_count());
     agg.for_each_ordered(|key, accs| {
         let codes = plan.group_key.unpack(key);
@@ -234,11 +394,55 @@ pub fn execute(
         });
     });
     let mut result = QueryResult {
-        group_cols: plan.spec.group_by.iter().map(|g| g.column.clone()).collect(),
-        agg_cols: plan.spec.aggregates.iter().map(|a| a.label.clone()).collect(),
+        group_cols: plan
+            .spec
+            .group_by
+            .iter()
+            .map(|g| g.column.clone())
+            .collect(),
+        agg_cols: plan
+            .spec
+            .aggregates
+            .iter()
+            .map(|a| a.label.clone())
+            .collect(),
         rows,
     };
     result.apply_order(&plan.spec.order_by);
+    result
+}
+
+/// Runs a plan sequentially, returning the result and per-operator
+/// statistics: materialize every dimension selection, run the fact pipeline
+/// over the whole key domain, decode the aggregation index.
+pub fn execute(
+    db: &Database,
+    snap: Snapshot,
+    plan: &Plan,
+) -> Result<(QueryResult, ExecStats), QpptError> {
+    let started = Instant::now();
+    let mut stats = ExecStats::default();
+
+    // 1. Materialize dimension selections (σ operators of Fig. 5).
+    let mut dim_tables: Vec<Option<InterTable>> = Vec::with_capacity(plan.dims.len());
+    for di in 0..plan.dims.len() {
+        match materialize_dim(db, snap, plan, di)? {
+            Some((table, op)) => {
+                stats.push(op);
+                dim_tables.push(Some(table));
+            }
+            None => dim_tables.push(None),
+        }
+    }
+
+    // 2–3. Fact selection + join stages into the aggregating index.
+    let mut agg = new_agg_table(plan);
+    for op in run_pipeline(db, snap, plan, &dim_tables, None, None, &mut agg)? {
+        stats.push(op);
+    }
+
+    // 4. Decode the aggregation index into the shared result format.
+    let result = decode_result(db, plan, &agg);
     stats.total_micros = started.elapsed().as_micros();
     Ok((result, stats))
 }
@@ -491,13 +695,15 @@ impl<'a, 'p, 'g> StageRun<'a, 'p, 'g> {
         self.rows = 0;
     }
 
-    /// Stage-1 synchronous scan: fact base index × main dim index (§4.2).
+    /// Stage-1 synchronous scan: fact base index × main dim index (§4.2),
+    /// optionally restricted to one [`KeyRange`] morsel.
     fn sync_scan_base(
         &mut self,
         fact_base: &BaseIndex,
         fact_mvt: &MvccTable,
         field_map: &[FieldSrc],
         dim_acc: &DimAccess<'_>,
+        range: Option<KeyRange>,
     ) {
         let input_width = self.stage.input_layout.width();
         let stride = self.main_fill_pos.len();
@@ -505,31 +711,43 @@ impl<'a, 'p, 'g> StageRun<'a, 'p, 'g> {
         let check_vis = !fact_mvt.fully_visible(snap);
         let mut dim_buf: Vec<u64> = Vec::new();
         let mut input_row: Vec<u64> = Vec::with_capacity(input_width);
-        sync_scan_indexes(&fact_base.data.index, dim_acc.index(), |key, fids, dids| {
-            dim_buf.clear();
-            let mut count = 0usize;
-            for did in dids {
-                if dim_acc.fetch(did, snap, &mut dim_buf) {
-                    count += 1;
+        let visit =
+            |key: u64, fids: &mut dyn Iterator<Item = u32>, dids: &mut dyn Iterator<Item = u32>| {
+                dim_buf.clear();
+                let mut count = 0usize;
+                for did in dids {
+                    if dim_acc.fetch(did, snap, &mut dim_buf) {
+                        count += 1;
+                    }
                 }
-            }
-            if count == 0 {
-                return;
-            }
-            // Cross product of fact tuples × dim tuples (§4.2).
-            for fid in fids {
-                let payload = fact_base.data.payload.row(fid);
-                if check_vis && !fact_mvt.visible(payload[0] as u32, snap) {
-                    continue;
+                if count == 0 {
+                    return;
                 }
-                input_row.clear();
-                input_row.resize(input_width, 0);
-                fill_from_base(field_map, key, payload, &mut input_row);
-                if self.stage.residuals.iter().all(|p| p.matches(|c| input_row[c])) {
-                    self.emit_cross(&input_row, &dim_buf, stride, count);
+                // Cross product of fact tuples × dim tuples (§4.2).
+                for fid in fids {
+                    let payload = fact_base.data.payload.row(fid);
+                    if check_vis && !fact_mvt.visible(payload[0] as u32, snap) {
+                        continue;
+                    }
+                    input_row.clear();
+                    input_row.resize(input_width, 0);
+                    fill_from_base(field_map, key, payload, &mut input_row);
+                    if self
+                        .stage
+                        .residuals
+                        .iter()
+                        .all(|p| p.matches(|c| input_row[c]))
+                    {
+                        self.emit_cross(&input_row, &dim_buf, stride, count);
+                    }
                 }
+            };
+        match range {
+            None => sync_scan_indexes(&fact_base.data.index, dim_acc.index(), visit),
+            Some(r) => {
+                sync_scan_indexes_range(&fact_base.data.index, dim_acc.index(), r.lo, r.hi, visit)
             }
-        });
+        }
     }
 
     /// Stage-k synchronous scan: previous intermediate × main dim index.
@@ -560,7 +778,11 @@ impl<'a, 'p, 'g> StageRun<'a, 'p, 'g> {
 
     /// Fused select-join (§4.3): stream the main dimension's selection and
     /// point-probe the fact base index with batched lookups through the
-    /// selection buffer.
+    /// selection buffer. With a [`KeyRange`] morsel, only selection tuples
+    /// whose join key falls inside the range probe the fact index; a
+    /// pre-materialized [`FusedSelection`] replaces the per-call selection
+    /// scan so morsel workers do not re-evaluate the predicates.
+    #[allow(clippy::too_many_arguments)]
     fn select_probe(
         &mut self,
         db: &Database,
@@ -568,6 +790,8 @@ impl<'a, 'p, 'g> StageRun<'a, 'p, 'g> {
         fact_mvt: &MvccTable,
         field_map: &[FieldSrc],
         dim: &ResolvedDim,
+        range: Option<KeyRange>,
+        fused: Option<&FusedSelection>,
     ) -> Result<(), QpptError> {
         let input_width = self.stage.input_layout.width();
         let cap = self.cap;
@@ -578,11 +802,29 @@ impl<'a, 'p, 'g> StageRun<'a, 'p, 'g> {
 
         // The selection stream is drained through a bounded buffer; each
         // chunk performs one batched probe into the fact index (§2.3).
-        let opts = self.plan.opts;
-        scan_dim_selection(db, snap, &opts, dim, |key, c| {
-            probe_keys.push(key);
-            probe_carried.extend_from_slice(c);
-        })?;
+        match fused {
+            Some(fs) => {
+                debug_assert_eq!(fs.stride, stride);
+                // Binary-searched slice: work is proportional to the
+                // morsel's population, not the whole selection.
+                let span = fs.slice(range);
+                probe_keys.extend_from_slice(&fs.keys[span.clone()]);
+                probe_carried
+                    .extend_from_slice(&fs.carried[span.start * stride..span.end * stride]);
+            }
+            None => {
+                let opts = self.plan.opts;
+                scan_dim_selection(db, snap, &opts, dim, |key, c| {
+                    if let Some(r) = range {
+                        if !r.contains(key) {
+                            return;
+                        }
+                    }
+                    probe_keys.push(key);
+                    probe_carried.extend_from_slice(c);
+                })?;
+            }
+        }
         let mut input_row: Vec<u64> = vec![0u64; input_width];
         let check_vis = !fact_mvt.fully_visible(snap);
         let mut start = 0usize;
@@ -597,9 +839,19 @@ impl<'a, 'p, 'g> StageRun<'a, 'p, 'g> {
                 input_row.clear();
                 input_row.resize(input_width, 0);
                 fill_from_base(field_map, keys[job], payload, &mut input_row);
-                if self.stage.residuals.iter().all(|p| p.matches(|c| input_row[c])) {
+                if self
+                    .stage
+                    .residuals
+                    .iter()
+                    .all(|p| p.matches(|c| input_row[c]))
+                {
                     let g = start + job;
-                    self.emit_cross(&input_row, &probe_carried[g * stride..(g + 1) * stride], stride, 1);
+                    self.emit_cross(
+                        &input_row,
+                        &probe_carried[g * stride..(g + 1) * stride],
+                        stride,
+                        1,
+                    );
                 }
             });
             start = end;
@@ -629,7 +881,10 @@ pub fn scan_dim_selection(
         let carried_pos: Vec<usize> = dim
             .carried_names
             .iter()
-            .map(|c| bi.payload_pos_by_name(c).expect("index carries the columns"))
+            .map(|c| {
+                bi.payload_pos_by_name(c)
+                    .expect("index carries the columns")
+            })
             .collect();
         let mut carried = vec![0u64; carried_pos.len()];
         bi.data.index.for_each(|key, pid| {
@@ -657,7 +912,10 @@ pub fn scan_dim_selection(
         let carried_pos: Vec<usize> = dim
             .carried_names
             .iter()
-            .map(|c| ci.payload_pos_by_name(c).expect("composite index carries the columns"))
+            .map(|c| {
+                ci.payload_pos_by_name(c)
+                    .expect("composite index carries the columns")
+            })
             .collect();
         let mut carried = vec![0u64; carried_pos.len()];
         ci.data.index.range_each(lo, hi, |_, pid| {
@@ -691,7 +949,10 @@ pub fn scan_dim_selection(
     let carried_pos: Vec<usize> = dim
         .carried_names
         .iter()
-        .map(|c| bi.payload_pos_by_name(c).expect("index carries the columns"))
+        .map(|c| {
+            bi.payload_pos_by_name(c)
+                .expect("index carries the columns")
+        })
         .collect();
     let mut carried = vec![0u64; carried_pos.len()];
     let mut visit = |pid: u32| {

@@ -109,6 +109,22 @@ impl AggTable {
         self.groups
     }
 
+    /// Accumulators per group.
+    pub fn agg_width(&self) -> usize {
+        self.naggs
+    }
+
+    /// Folds another aggregation table into this one — the parallel
+    /// executor's partition merge. Group keys present in both tables have
+    /// their accumulators added; keys only in `other` are created. Because
+    /// the accumulators are sums, the merged table is independent of the
+    /// merge order, and ordered iteration afterwards is byte-identical to a
+    /// sequential execution over the union of the partitions.
+    pub fn merge_from(&mut self, other: &AggTable) {
+        debug_assert_eq!(self.naggs, other.naggs);
+        other.for_each_ordered(|key, accs| self.merge(key, accs));
+    }
+
     /// Iterates `(key, accumulators)` in ascending key order — the result
     /// "is already sorted" because it is physically a prefix tree (§3).
     pub fn for_each_ordered(&self, mut f: impl FnMut(u64, &[i64])) {
@@ -175,6 +191,42 @@ mod tests {
         let mut sums = Vec::new();
         a.for_each_ordered(|_, accs| sums.push(accs[0]));
         assert_eq!(sums, vec![12]);
+    }
+
+    #[test]
+    fn agg_table_merge_from_partitions() {
+        // Three "partitions" with overlapping group keys must merge into
+        // exactly the table a sequential run would have built.
+        let mut seq = AggTable::new(TreeIndex::new_kiss(), 2);
+        let mut parts: Vec<AggTable> = (0..3)
+            .map(|_| AggTable::new(TreeIndex::new_kiss(), 2))
+            .collect();
+        for (i, (key, a, b)) in [
+            (5u64, 10i64, 1i64),
+            (3, 7, 1),
+            (5, 32, 1),
+            (9, -4, 2),
+            (3, 1, 1),
+            (5, 0, 1),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            seq.merge(key, &[a, b]);
+            parts[i % 3].merge(key, &[a, b]);
+        }
+        let mut merged = parts.remove(0);
+        for p in &parts {
+            merged.merge_from(p);
+        }
+        assert_eq!(merged.group_count(), seq.group_count());
+        assert_eq!(merged.agg_width(), 2);
+        let collect = |t: &AggTable| {
+            let mut v = Vec::new();
+            t.for_each_ordered(|k, accs| v.push((k, accs.to_vec())));
+            v
+        };
+        assert_eq!(collect(&merged), collect(&seq));
     }
 
     #[test]

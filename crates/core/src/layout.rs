@@ -76,7 +76,11 @@ impl Layout {
             .iter()
             .map(|(src, name)| match src {
                 Src::Fact => name.clone(),
-                Src::Dim(i) => format!("{}.{}", dim_names.get(*i).map(String::as_str).unwrap_or("?"), name),
+                Src::Dim(i) => format!(
+                    "{}.{}",
+                    dim_names.get(*i).map(String::as_str).unwrap_or("?"),
+                    name
+                ),
             })
             .collect();
         format!("[{}]", parts.join(", "))

@@ -46,6 +46,7 @@ pub mod plan;
 pub mod stats;
 
 pub use engine::QpptEngine;
+pub use exec::KeyRange;
 pub use options::PlanOptions;
 pub use plan::{build_plan, prepare_indexes, Plan};
 pub use stats::{ExecStats, OpStats};

@@ -5,6 +5,14 @@
 //! (1 = unbuffered, 64, 512, 2048), and the maximum multi-way/star join
 //! width (2-way … multi-way). Two extra switches cover §2.2's index choice
 //! (KISS vs. prefix tree) and §4.1's set-operator selection strategy.
+//!
+//! On top of the paper's knobs sit the **parallel execution** knobs consumed
+//! by the `qppt-par` subsystem: worker count ([`PlanOptions::parallelism`]),
+//! morsel granularity ([`PlanOptions::morsel_bits`]), and per-operator-class
+//! switches ([`PlanOptions::par_selections`], [`PlanOptions::par_scans`],
+//! [`PlanOptions::par_joins`]). They default to `parallelism = 1`, i.e. the
+//! paper's single-threaded execution model, so existing callers are
+//! unaffected unless they opt in.
 
 /// Plan options for the QPPT engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +38,29 @@ pub struct PlanOptions {
     /// operate on a multidimensional index as input"). Eligible = equality
     /// predicates on all leading columns, at most a range on the last.
     pub multidim_selections: bool,
+    /// Worker count for the morsel-driven parallel executor (`qppt-par`).
+    /// `1` (the default) is sequential execution; `QpptEngine::run` ignores
+    /// this knob entirely — only the parallel entry points consult it.
+    pub parallelism: usize,
+    /// Morsel granularity: the key domain of the stage-1 join attribute is
+    /// split on its top `morsel_bits` bits, i.e. into up to
+    /// `2^morsel_bits` top-level prefix ranges. More morsels give better
+    /// load balancing (workers steal whole morsels) at slightly higher
+    /// scheduling overhead. Must be in `1..=16`; the default of 6 yields up
+    /// to 64 morsels.
+    pub morsel_bits: u8,
+    /// Parallelize the *selection* operator class: materialized dimension
+    /// selections run as one task per dimension on the worker pool.
+    pub par_selections: bool,
+    /// Parallelize the *synchronous index scan* operator class: a stage-1
+    /// sync-scan pipeline is partitioned into [`KeyRange`](crate::KeyRange)
+    /// morsels. When off, plans whose first stage is a sync scan run their
+    /// pipeline sequentially even under `run_parallel`.
+    pub par_scans: bool,
+    /// Parallelize the *composed join* operator class: a stage-1 fused
+    /// select-join (select-probe) pipeline is partitioned into morsels.
+    /// When off, such pipelines run sequentially even under `run_parallel`.
+    pub par_joins: bool,
 }
 
 impl Default for PlanOptions {
@@ -41,6 +72,11 @@ impl Default for PlanOptions {
             prefer_kiss: true,
             selection_via_set_ops: false,
             multidim_selections: false,
+            parallelism: 1,
+            morsel_bits: 6,
+            par_selections: true,
+            par_scans: true,
+            par_joins: true,
         }
     }
 }
@@ -59,6 +95,16 @@ impl PlanOptions {
         if self.max_join_ways < 2 {
             return Err(crate::QpptError::InvalidOptions(
                 "max_join_ways must be >= 2".into(),
+            ));
+        }
+        if self.parallelism == 0 {
+            return Err(crate::QpptError::InvalidOptions(
+                "parallelism must be >= 1".into(),
+            ));
+        }
+        if self.morsel_bits == 0 || self.morsel_bits > 16 {
+            return Err(crate::QpptError::InvalidOptions(
+                "morsel_bits must be in 1..=16".into(),
             ));
         }
         Ok(())
@@ -99,6 +145,27 @@ impl PlanOptions {
         self.multidim_selections = on;
         self
     }
+
+    /// Builder-style setter for the parallel worker count.
+    pub fn with_parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = workers;
+        self
+    }
+
+    /// Builder-style setter for the morsel granularity.
+    pub fn with_morsel_bits(mut self, bits: u8) -> Self {
+        self.morsel_bits = bits;
+        self
+    }
+
+    /// Builder-style setter for the per-operator-class parallel switches
+    /// (selections, synchronous scans, composed joins).
+    pub fn with_par_ops(mut self, selections: bool, scans: bool, joins: bool) -> Self {
+        self.par_selections = selections;
+        self.par_scans = scans;
+        self.par_joins = joins;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -114,13 +181,39 @@ mod tests {
         assert!(o.prefer_kiss);
         assert!(!o.selection_via_set_ops);
         assert!(!o.multidim_selections);
+        assert_eq!(o.parallelism, 1);
+        assert_eq!(o.morsel_bits, 6);
+        assert!(o.par_selections && o.par_scans && o.par_joins);
         assert!(o.validate().is_ok());
     }
 
     #[test]
     fn invalid_options_rejected() {
-        assert!(PlanOptions::default().with_join_buffer(0).validate().is_err());
-        assert!(PlanOptions::default().with_max_join_ways(1).validate().is_err());
+        assert!(PlanOptions::default()
+            .with_join_buffer(0)
+            .validate()
+            .is_err());
+        assert!(PlanOptions::default()
+            .with_max_join_ways(1)
+            .validate()
+            .is_err());
+        assert!(PlanOptions::default()
+            .with_parallelism(0)
+            .validate()
+            .is_err());
+        assert!(PlanOptions::default()
+            .with_morsel_bits(0)
+            .validate()
+            .is_err());
+        assert!(PlanOptions::default()
+            .with_morsel_bits(17)
+            .validate()
+            .is_err());
+        assert!(PlanOptions::default()
+            .with_parallelism(8)
+            .with_morsel_bits(16)
+            .validate()
+            .is_ok());
     }
 
     #[test]
@@ -131,12 +224,18 @@ mod tests {
             .with_max_join_ways(2)
             .with_prefer_kiss(false)
             .with_set_ops(true)
-            .with_multidim(true);
+            .with_multidim(true)
+            .with_parallelism(4)
+            .with_morsel_bits(8)
+            .with_par_ops(false, true, false);
         assert!(!o.select_join);
         assert!(o.multidim_selections);
         assert_eq!(o.join_buffer, 64);
         assert_eq!(o.max_join_ways, 2);
         assert!(!o.prefer_kiss);
         assert!(o.selection_via_set_ops);
+        assert_eq!(o.parallelism, 4);
+        assert_eq!(o.morsel_bits, 8);
+        assert!(!o.par_selections && o.par_scans && !o.par_joins);
     }
 }

@@ -202,24 +202,33 @@ impl Plan {
         use std::fmt::Write as _;
         let mut s = String::new();
         let dim_names: Vec<String> = self.dims.iter().map(|d| d.table.clone()).collect();
-        let _ = writeln!(s, "QPPT plan for {} (select_join={}, join_buffer={}, max_ways={}, kiss={})",
-            self.spec.id, self.opts.select_join, self.opts.join_buffer, self.opts.max_join_ways,
-            self.opts.prefer_kiss);
+        let _ = writeln!(
+            s,
+            "QPPT plan for {} (select_join={}, join_buffer={}, max_ways={}, kiss={})",
+            self.spec.id,
+            self.opts.select_join,
+            self.opts.join_buffer,
+            self.opts.max_join_ways,
+            self.opts.prefer_kiss
+        );
         for d in &self.dims {
             let what = match d.handle {
                 DimHandleKind::Base => format!("base index on {}.{}", d.table, d.join_col_name),
                 DimHandleKind::Materialized => format!(
                     "σ({}){} → intermediate index on {}.{} carrying {:?}",
                     d.pred_cols.join(","),
-                    if d.multidim.is_some() { " via multidim index" } else { "" },
+                    if d.multidim.is_some() {
+                        " via multidim index"
+                    } else {
+                        ""
+                    },
                     d.table,
                     d.join_col_name,
                     d.carried_names
                 ),
-                DimHandleKind::Fused => format!(
-                    "σ({}) fused into join (select-join)",
-                    d.pred_cols.join(",")
-                ),
+                DimHandleKind::Fused => {
+                    format!("σ({}) fused into join (select-join)", d.pred_cols.join(","))
+                }
             };
             let _ = writeln!(s, "  dim {}: {}", d.table, what);
         }
@@ -240,7 +249,11 @@ impl Plan {
                     format!("select-probe({}) → fact index", self.dims[main].table)
                 }
             };
-            let assist: Vec<&str> = st.assisting.iter().map(|&a| self.dims[a].table.as_str()).collect();
+            let assist: Vec<&str> = st
+                .assisting
+                .iter()
+                .map(|&a| self.dims[a].table.as_str())
+                .collect();
             let out = match &st.output {
                 StageOutput::Inter { next } => format!(
                     "intermediate index on {} {}",
@@ -383,7 +396,11 @@ pub fn build_plan(db: &Database, spec: &QuerySpec, opts: &PlanOptions) -> Result
             join_col_name: d.join_col.clone(),
             fact_col_name: d.fact_col.clone(),
             preds,
-            pred_cols: d.predicates.iter().map(|p| p.column().to_string()).collect(),
+            pred_cols: d
+                .predicates
+                .iter()
+                .map(|p| p.column().to_string())
+                .collect(),
             carried_names: d.carried.clone(),
             handle,
             join_key_max: if stats.min > stats.max { 0 } else { stats.max },
@@ -518,7 +535,9 @@ pub fn build_plan(db: &Database, spec: &QuerySpec, opts: &PlanOptions) -> Result
         let t = db.table(&d.table)?.table();
         let col = t.schema().col(&g.column)?;
         let max_code = match t.schema().column(col).ty {
-            ColumnType::Str => t.dict(col).map_or(0, |dd| dd.len().saturating_sub(1) as u64),
+            ColumnType::Str => t
+                .dict(col)
+                .map_or(0, |dd| dd.len().saturating_sub(1) as u64),
             ColumnType::Int => {
                 let s = t.stats(col);
                 if s.min > s.max {
@@ -604,7 +623,11 @@ fn eligible_multidim(
         }
     }
     Some(MultidimScan {
-        key_names: d.predicates.iter().map(|p| p.column().to_string()).collect(),
+        key_names: d
+            .predicates
+            .iter()
+            .map(|p| p.column().to_string())
+            .collect(),
         bounds,
     })
 }

@@ -21,6 +21,29 @@ pub struct OpStats {
     pub micros: u128,
 }
 
+impl OpStats {
+    /// Folds another partition's record of the **same operator** into this
+    /// one (parallel execution: one record per worker/morsel). Output sizes
+    /// and memory add up; `micros` becomes summed *CPU* time across workers
+    /// rather than wall time. Deterministic given the same partition set,
+    /// whatever order the partitions finished in.
+    ///
+    /// Caveat: summed `out_keys` counts a key once **per partition** it
+    /// appears in. Partitions are disjoint in the stage-1 join key, but an
+    /// operator keyed on a *different* attribute (later-stage intermediates,
+    /// the final join-group) can see the same key in several partitions, so
+    /// its summed `out_keys` is an upper bound on distinct keys. The
+    /// parallel engine re-reports the final join-group from the merged
+    /// index, where the exact count is available.
+    pub fn absorb_partition(&mut self, other: &OpStats) {
+        debug_assert_eq!(self.label, other.label, "partition stats must align");
+        self.out_keys += other.out_keys;
+        self.out_tuples += other.out_tuples;
+        self.memory_bytes += other.memory_bytes;
+        self.micros += other.micros;
+    }
+}
+
 /// Statistics of a whole query execution.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecStats {
@@ -39,6 +62,24 @@ impl ExecStats {
     /// Total time spent inside operators.
     pub fn operator_micros(&self) -> u128 {
         self.ops.iter().map(|o| o.micros).sum()
+    }
+
+    /// Folds one partition's operator records into this execution's, record
+    /// by record (parallel execution). The two lists must describe the same
+    /// operator sequence; a partition that reports more operators than seen
+    /// so far (e.g. the first partition merged into an empty `ExecStats`)
+    /// contributes its extra records verbatim.
+    ///
+    /// Merging partitions in worker-index order makes the merged statistics
+    /// deterministic for a given partition set — no dependence on which
+    /// worker finished first.
+    pub fn merge_partition(&mut self, part: &ExecStats) {
+        for (i, op) in part.ops.iter().enumerate() {
+            match self.ops.get_mut(i) {
+                Some(mine) => mine.absorb_partition(op),
+                None => self.ops.push(op.clone()),
+            }
+        }
     }
 
     /// Share of operator time spent in the given operator (0..=1).
@@ -93,6 +134,31 @@ mod tests {
         let total: f64 = (0..3).map(|i| s.share(i)).sum();
         assert!((total - 1.0).abs() < 1e-9);
         assert_eq!(s.operator_micros(), 1000);
+    }
+
+    #[test]
+    fn partition_merge_aligns_and_sums() {
+        let op = |label: &str, keys: usize, micros: u128| OpStats {
+            label: label.into(),
+            out_keys: keys,
+            out_tuples: keys * 2,
+            index_kind: "KISS-Tree".into(),
+            memory_bytes: 64,
+            micros,
+        };
+        let part = |a: usize, b: usize| ExecStats {
+            ops: vec![op("σ(date)", a, 10), op("3-way star join-group", b, 20)],
+            total_micros: 0,
+        };
+        let mut merged = ExecStats::default();
+        merged.merge_partition(&part(3, 5));
+        merged.merge_partition(&part(4, 6));
+        assert_eq!(merged.ops.len(), 2);
+        assert_eq!(merged.ops[0].out_keys, 7);
+        assert_eq!(merged.ops[1].out_keys, 11);
+        assert_eq!(merged.ops[1].out_tuples, 22);
+        assert_eq!(merged.ops[0].micros, 20);
+        assert_eq!(merged.ops[0].memory_bytes, 128);
     }
 
     #[test]

@@ -30,7 +30,9 @@ fn all_queries_match_reference_default_options() {
     // City- and nation-level Q3/Q4 drill-downs can be legitimately empty at
     // tiny scale factors (only `SF × 2000` suppliers exist); equality with
     // the oracle is asserted for all, non-emptiness where scale permits.
-    let must_be_nonempty = ["Q1.1", "Q1.2", "Q1.3", "Q2.1", "Q2.2", "Q2.3", "Q3.1", "Q4.1", "Q4.2"];
+    let must_be_nonempty = [
+        "Q1.1", "Q1.2", "Q1.3", "Q2.1", "Q2.2", "Q2.3", "Q3.1", "Q4.1", "Q4.2",
+    ];
     for q in queries::all_queries() {
         let expect = run_reference(&ssb.db, &q, snap).unwrap();
         let got = engine.run(&q, &opts).unwrap();
@@ -52,10 +54,14 @@ fn city_in_lists_match_reference_with_rows() {
     let us_cities: Vec<qppt_storage::Value> = (0..10)
         .map(|d| qppt_storage::Value::Str(format!("UNITED ST{d}")))
         .collect();
-    q.dims[0].predicates =
-        vec![qppt_storage::Predicate::is_in("c_city", [uk_cities.clone(), us_cities.clone()].concat())];
-    q.dims[1].predicates =
-        vec![qppt_storage::Predicate::is_in("s_city", [uk_cities, us_cities].concat())];
+    q.dims[0].predicates = vec![qppt_storage::Predicate::is_in(
+        "c_city",
+        [uk_cities.clone(), us_cities.clone()].concat(),
+    )];
+    q.dims[1].predicates = vec![qppt_storage::Predicate::is_in(
+        "s_city",
+        [uk_cities, us_cities].concat(),
+    )];
     q.id = "Q3.3-wide".into();
 
     let opts = PlanOptions::default();
@@ -66,7 +72,10 @@ fn city_in_lists_match_reference_with_rows() {
     let expect = run_reference(&ssb.db, &q, snap).unwrap();
     let got = engine.run(&q, &opts).unwrap();
     assert_same(&got, &expect, "Q3.3-wide");
-    assert!(!got.rows.is_empty(), "wide city lists select rows at SF 0.05");
+    assert!(
+        !got.rows.is_empty(),
+        "wide city lists select rows at SF 0.05"
+    );
 }
 
 #[test]
@@ -106,7 +115,12 @@ fn all_join_way_limits_agree() {
     let ssb = prepared_db(0.01, 13, &base);
     let snap = ssb.db.snapshot();
     let engine = QpptEngine::new(&ssb.db);
-    for q in [queries::q4_1(), queries::q4_2(), queries::q3_1(), queries::q2_3()] {
+    for q in [
+        queries::q4_1(),
+        queries::q4_2(),
+        queries::q3_1(),
+        queries::q2_3(),
+    ] {
         let expect = run_reference(&ssb.db, &q, snap).unwrap();
         for ways in 2..=5 {
             let got = engine.run(&q, &base.with_max_join_ways(ways)).unwrap();
@@ -183,7 +197,10 @@ fn multidim_selections_agree() {
     let explain_plain = engine
         .explain(&queries::q1_3(), &multidim.with_select_join(false))
         .unwrap();
-    assert!(explain_plain.contains("via multidim index"), "{explain_plain}");
+    assert!(
+        explain_plain.contains("via multidim index"),
+        "{explain_plain}"
+    );
 }
 
 #[test]

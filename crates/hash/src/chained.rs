@@ -7,8 +7,30 @@ const NONE: u32 = u32::MAX;
 /// Prime bucket counts, roughly doubling — the sizing policy GLib's
 /// `GHashTable` uses.
 const PRIMES: &[usize] = &[
-    11, 23, 47, 97, 193, 389, 769, 1543, 3079, 6151, 12289, 24593, 49157, 98317, 196_613, 393_241,
-    786_433, 1_572_869, 3_145_739, 6_291_469, 12_582_917, 25_165_843, 50_331_653, 100_663_319,
+    11,
+    23,
+    47,
+    97,
+    193,
+    389,
+    769,
+    1543,
+    3079,
+    6151,
+    12289,
+    24593,
+    49157,
+    98317,
+    196_613,
+    393_241,
+    786_433,
+    1_572_869,
+    3_145_739,
+    6_291_469,
+    12_582_917,
+    25_165_843,
+    50_331_653,
+    100_663_319,
     201_326_611,
 ];
 
@@ -156,8 +178,7 @@ impl<V> ChainedHashMap<V> {
     }
 
     fn grow_if_needed(&mut self) {
-        if self.nodes.len() < self.buckets.len() * 3 / 4 || self.prime_idx + 1 >= PRIMES.len()
-        {
+        if self.nodes.len() < self.buckets.len() * 3 / 4 || self.prime_idx + 1 >= PRIMES.len() {
             return;
         }
         self.prime_idx += 1;

@@ -134,7 +134,9 @@ impl<V> OpenHashMap<V> {
 
     /// Iterates `(key, &value)` in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
-        self.slots.iter().filter_map(|s| s.as_ref().map(|(k, v)| (*k, v)))
+        self.slots
+            .iter()
+            .filter_map(|s| s.as_ref().map(|(k, v)| (*k, v)))
     }
 
     fn grow_if_needed(&mut self) {

@@ -127,15 +127,23 @@ mod tests {
     #[test]
     fn batch_insert_equals_scalar_insert() {
         let mut rng = Xoshiro256StarStar::new(22);
-        let pairs: Vec<(u32, u32)> = (0..3000u32).map(|i| ((rng.below(1 << 13)) as u32, i)).collect();
+        let pairs: Vec<(u32, u32)> = (0..3000u32)
+            .map(|i| ((rng.below(1 << 13)) as u32, i))
+            .collect();
         let mut scalar = KissTree::<u32>::new(KissConfig::small(false));
         for &(k, v) in &pairs {
             scalar.insert(k, v);
         }
         let mut batched = KissTree::<u32>::new(KissConfig::small(false));
         batched.batch_insert(&pairs);
-        let a: Vec<(u32, Vec<u32>)> = scalar.iter().map(|(k, v)| (k, v.copied().collect())).collect();
-        let b: Vec<(u32, Vec<u32>)> = batched.iter().map(|(k, v)| (k, v.copied().collect())).collect();
+        let a: Vec<(u32, Vec<u32>)> = scalar
+            .iter()
+            .map(|(k, v)| (k, v.copied().collect()))
+            .collect();
+        let b: Vec<(u32, Vec<u32>)> = batched
+            .iter()
+            .map(|(k, v)| (k, v.copied().collect()))
+            .collect();
         assert_eq!(a, b);
     }
 
@@ -151,6 +159,9 @@ mod tests {
         let mut t = KissTree::<u32>::new(KissConfig::small(false));
         t.insert(10, 0);
         t.insert(20, 0);
-        assert_eq!(t.batch_contains(&[10, 11, 20, 21]), vec![true, false, true, false]);
+        assert_eq!(
+            t.batch_contains(&[10, 11, 20, 21]),
+            vec![true, false, true, false]
+        );
     }
 }

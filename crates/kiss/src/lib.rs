@@ -32,7 +32,7 @@ mod batch;
 mod scan;
 mod tree;
 
-pub use scan::{kiss_intersect, kiss_sync_scan};
+pub use scan::{kiss_intersect, kiss_sync_scan, kiss_sync_scan_range};
 pub use tree::{KissIter, KissStats, KissTree, Values};
 
 /// Configuration of a [`KissTree`].

@@ -17,7 +17,10 @@ const EMPTY: u32 = 0;
 enum L2Node {
     /// Start offset of this node's 64 slots in the arena.
     Uncompressed(u32),
-    Compressed { bitmap: u64, entries: Box<[u32]> },
+    Compressed {
+        bitmap: u64,
+        entries: Box<[u32]>,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -554,7 +557,8 @@ mod tests {
                 t.insert(k, i);
                 model.entry(k).or_default().push(i);
             }
-            let got: Vec<(u32, Vec<u32>)> = t.iter().map(|(k, v)| (k, v.copied().collect())).collect();
+            let got: Vec<(u32, Vec<u32>)> =
+                t.iter().map(|(k, v)| (k, v.copied().collect())).collect();
             let expect: Vec<(u32, Vec<u32>)> = model.into_iter().collect();
             assert_eq!(got, expect);
         }
@@ -573,14 +577,24 @@ mod tests {
                     i
                 });
             }
-            for (lo, hi) in [(0u32, u32::MAX), (100, 5000), (777, 777), (16000, 20000), (5, 3)] {
+            for (lo, hi) in [
+                (0u32, u32::MAX),
+                (100, 5000),
+                (777, 777),
+                (16000, 20000),
+                (5, 3),
+            ] {
                 let got: Vec<u32> = t.range(lo, hi).map(|(k, _)| k).collect();
                 let expect: Vec<u32> = if lo <= hi {
                     model.range(lo..=hi).map(|(&k, _)| k).collect()
                 } else {
                     Vec::new()
                 };
-                assert_eq!(got, expect, "range [{lo},{hi}] compressed={}", cfg.compressed);
+                assert_eq!(
+                    got, expect,
+                    "range [{lo},{hi}] compressed={}",
+                    cfg.compressed
+                );
             }
         }
     }

@@ -7,7 +7,12 @@ use std::collections::{BTreeMap, BTreeSet};
 
 /// Small-root domain (16-bit keys) so random cases hit collisions.
 fn key() -> impl Strategy<Value = u32> {
-    prop_oneof![0u32..=1024, 0u32..=u16::MAX as u32, Just(0), Just(u16::MAX as u32)]
+    prop_oneof![
+        0u32..=1024,
+        0u32..=u16::MAX as u32,
+        Just(0),
+        Just(u16::MAX as u32)
+    ]
 }
 
 fn build(compressed: bool, pairs: &[(u32, u32)]) -> (KissTree<u32>, BTreeMap<u32, Vec<u32>>) {

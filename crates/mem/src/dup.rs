@@ -118,7 +118,9 @@ impl<V: Copy + Default> DupArena<V> {
             self.segs[head as usize].len = len + 1;
         } else {
             // Grow: double up to the page limit, prepend the new segment.
-            let next_cap = (cap as usize * 2).min(self.elems_per_page).max(self.min_seg_elems);
+            let next_cap = (cap as usize * 2)
+                .min(self.elems_per_page)
+                .max(self.min_seg_elems);
             let seg = self.alloc_seg(next_cap, head);
             self.write(seg, 0, value);
             self.segs[seg as usize].len = 1;
@@ -194,7 +196,10 @@ impl<V: Copy + Default> DupArena<V> {
 
     /// Total heap bytes held by the arena's slabs.
     pub fn allocated_bytes(&self) -> usize {
-        self.slabs.iter().map(|s| s.capacity() * core::mem::size_of::<V>()).sum()
+        self.slabs
+            .iter()
+            .map(|s| s.capacity() * core::mem::size_of::<V>())
+            .sum()
     }
 
     #[inline]

@@ -1,0 +1,299 @@
+//! # qppt-par — morsel-driven parallel execution over prefix-tree partitions
+//!
+//! QPPT's indexed table-at-a-time model exchanges *clustered prefix-tree
+//! indexes* between operators — and a prefix tree is naturally partitionable
+//! by key prefix: the subtree under a top-level prefix holds exactly the
+//! keys of one contiguous range, independent of every other subtree. This
+//! crate exploits that to parallelize the engine in `qppt-core` without
+//! changing its operator semantics:
+//!
+//! 1. **Partition** ([`Partitioner`]) — the key domain of the stage-1 join
+//!    attribute is split on its top [`morsel_bits`](qppt_core::PlanOptions)
+//!    bits into prefix-aligned [`KeyRange`](qppt_core::KeyRange) *morsels*.
+//!    Because both index structures resolve the most significant bits
+//!    first, each morsel corresponds to whole subtrees, and the partitioned
+//!    cursors (`qppt_trie::sync_scan_range`,
+//!    `qppt_kiss::kiss_sync_scan_range`) walk only those subtrees.
+//! 2. **Schedule** (the morsel-driven pool) — `parallelism` std threads
+//!    pull morsel indexes from an atomic dispenser; each worker runs the
+//!    *entire* fact pipeline — synchronous index scan or fused select-join,
+//!    assisting probes, all later stages — restricted to its morsel, into a
+//!    **private** aggregation index. Work-pulling self-balances skewed
+//!    subtrees; nothing is shared mutably.
+//! 3. **Merge** — per-worker aggregation tables are folded with
+//!    [`AggTable::merge_from`](qppt_core::inter::AggTable::merge_from) and
+//!    per-worker [`OpStats`](qppt_core::OpStats) with
+//!    [`ExecStats::merge_partition`](qppt_core::ExecStats::merge_partition),
+//!    both in worker-index order. Accumulators are sums, so the merged
+//!    index — and therefore the decoded, ordered
+//!    [`QueryResult`](qppt_storage::QueryResult) — is byte-identical to a
+//!    sequential run, whatever the thread timing.
+//!
+//! Dimension selections (σ) are materialized **once**, before the pool
+//! starts, optionally in parallel (one task per dimension,
+//! [`par_selections`](qppt_core::PlanOptions::par_selections)), and shared
+//! read-only by all workers. The per-class switches
+//! [`par_scans`](qppt_core::PlanOptions::par_scans) /
+//! [`par_joins`](qppt_core::PlanOptions::par_joins) gate whether a
+//! sync-scan-led or select-join-led pipeline is partitioned at all.
+//!
+//! ## Example
+//!
+//! ```
+//! use qppt_core::{prepare_indexes, PlanOptions, QpptEngine};
+//! use qppt_par::{ParEngine, RunParallel};
+//! use qppt_ssb::{queries, SsbDb};
+//!
+//! let mut ssb = SsbDb::generate(0.01, 42);
+//! let opts = PlanOptions::default().with_parallelism(4).with_morsel_bits(5);
+//! let spec = queries::q2_3();
+//! prepare_indexes(&mut ssb.db, &spec, &opts).unwrap();
+//!
+//! // Either the dedicated engine …
+//! let par = ParEngine::new(&ssb.db);
+//! let parallel = par.run(&spec, &opts).unwrap();
+//!
+//! // … or the extension method on the sequential engine.
+//! let engine = QpptEngine::new(&ssb.db);
+//! let sequential = engine.run(&spec, &opts).unwrap();
+//! assert_eq!(engine.run_parallel(&spec, &opts).unwrap(), parallel);
+//! assert_eq!(parallel, sequential); // byte-identical, morsels or not
+//! ```
+
+mod morsel;
+mod scheduler;
+
+pub use morsel::Partitioner;
+
+use std::thread;
+use std::time::Instant;
+
+use qppt_core::exec::{
+    decode_result, materialize_dim, materialize_fused_selection, new_agg_table, run_pipeline,
+};
+use qppt_core::inter::InterTable;
+use qppt_core::plan::MainInput;
+use qppt_core::{build_plan, ExecStats, Plan, PlanOptions, QpptEngine, QpptError};
+use qppt_storage::{Database, QueryResult, QuerySpec, Snapshot};
+
+/// The parallel QPPT engine: same contract as
+/// [`QpptEngine`](qppt_core::QpptEngine), executed morsel-parallel according
+/// to the [`PlanOptions`] parallel knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ParEngine<'a> {
+    db: &'a Database,
+}
+
+impl<'a> ParEngine<'a> {
+    /// Creates a parallel engine over `db`.
+    pub fn new(db: &'a Database) -> Self {
+        Self { db }
+    }
+
+    /// Runs a query at the latest snapshot with `opts.parallelism` workers.
+    pub fn run(&self, spec: &QuerySpec, opts: &PlanOptions) -> Result<QueryResult, QpptError> {
+        Ok(self.run_with_stats(spec, opts)?.0)
+    }
+
+    /// Runs a query, returning merged per-operator statistics too. Operator
+    /// `micros` are summed across workers (CPU time, not wall time);
+    /// `total_micros` remains end-to-end wall time.
+    pub fn run_with_stats(
+        &self,
+        spec: &QuerySpec,
+        opts: &PlanOptions,
+    ) -> Result<(QueryResult, ExecStats), QpptError> {
+        self.run_at(spec, opts, self.db.snapshot())
+    }
+
+    /// Runs a query at an explicit snapshot (MVCC reads).
+    pub fn run_at(
+        &self,
+        spec: &QuerySpec,
+        opts: &PlanOptions,
+        snap: Snapshot,
+    ) -> Result<(QueryResult, ExecStats), QpptError> {
+        let plan = build_plan(self.db, spec, opts)?;
+        let started = Instant::now();
+        let mut stats = ExecStats::default();
+
+        // 1. Materialize dimension selections once, shared by all workers.
+        let dim_tables = self.materialize_dims(snap, &plan, &mut stats)?;
+
+        // 2. Fact pipeline: morsel-parallel when the stage-1 operator's
+        //    class is enabled, sequential otherwise.
+        let (agg, pipeline_stats) = if self.pipeline_workers(&plan) > 1 {
+            // The fused select-join stream (if any) is materialized once
+            // and shared, so morsel workers do not re-evaluate the
+            // selection predicates per morsel.
+            let fused = materialize_fused_selection(self.db, snap, &plan)?;
+            let morsels = self.partition(&plan)?;
+            let workers = self.pipeline_workers(&plan).min(morsels.len()).max(1);
+            scheduler::run_morsels(
+                self.db,
+                snap,
+                &plan,
+                &dim_tables,
+                fused.as_ref(),
+                &morsels,
+                workers,
+            )?
+        } else {
+            let mut agg = new_agg_table(&plan);
+            let ops = run_pipeline(self.db, snap, &plan, &dim_tables, None, None, &mut agg)?;
+            (
+                agg,
+                ExecStats {
+                    ops,
+                    total_micros: 0,
+                },
+            )
+        };
+        stats.ops.extend(pipeline_stats.ops);
+
+        // Merged `out_keys`/`out_tuples`/`memory_bytes` are per-partition
+        // sums. For the final join-group operator the same group key can
+        // appear in many partitions, so the sum overcounts — overwrite it
+        // with the merged index's true numbers. The last stage is always
+        // the aggregating one by plan construction, and its record is
+        // always the last operator pushed. Intermediate-stage records keep
+        // the summed semantics (their `out_keys` is an upper bound on
+        // distinct keys when a stage-2+ join key spans partitions); see
+        // `OpStats::absorb_partition`.
+        debug_assert!(matches!(
+            plan.stages.last().map(|s| &s.output),
+            Some(qppt_core::plan::StageOutput::Agg)
+        ));
+        if let Some(last) = stats.ops.last_mut() {
+            last.out_keys = agg.group_count();
+            last.out_tuples = agg.group_count();
+            last.memory_bytes = agg.memory_bytes();
+        }
+
+        // 3. Decode the merged aggregation index.
+        let result = decode_result(self.db, &plan, &agg);
+        stats.total_micros = started.elapsed().as_micros();
+        Ok((result, stats))
+    }
+
+    /// Worker count for the fact pipeline: `opts.parallelism` if the
+    /// stage-1 operator's class is switched on, else 1 (sequential).
+    fn pipeline_workers(&self, plan: &Plan) -> usize {
+        let class_on = match plan.stages[0].main {
+            MainInput::SyncScan { .. } => plan.opts.par_scans,
+            MainInput::SelectProbe { .. } => plan.opts.par_joins,
+        };
+        if class_on {
+            plan.opts.parallelism.max(1)
+        } else {
+            1
+        }
+    }
+
+    /// Morsels over the populated key interval of the stage-1 fact index.
+    fn partition(&self, plan: &Plan) -> Result<Vec<qppt_core::KeyRange>, QpptError> {
+        let fact_base = self
+            .db
+            .find_index(&plan.spec.fact, &plan.dims[0].fact_col_name)?;
+        let (Some(min), Some(max)) = (
+            fact_base.data.index.min_key(),
+            fact_base.data.index.max_key(),
+        ) else {
+            // Empty fact index: one full-range morsel keeps the pipeline
+            // shape (and its statistics records) intact.
+            return Ok(vec![qppt_core::KeyRange::full()]);
+        };
+        Ok(Partitioner::new(min, max, plan.opts.morsel_bits)
+            .morsels()
+            .to_vec())
+    }
+
+    /// Materializes every `Materialized` dimension selection — in parallel
+    /// (one task per dimension) when `par_selections` is on and more than
+    /// one worker is configured. Statistics are appended in dimension
+    /// order either way.
+    fn materialize_dims(
+        &self,
+        snap: Snapshot,
+        plan: &Plan,
+        stats: &mut ExecStats,
+    ) -> Result<Vec<Option<InterTable>>, QpptError> {
+        let n = plan.dims.len();
+        let materialized: Vec<usize> = (0..n)
+            .filter(|&di| plan.dims[di].handle == qppt_core::plan::DimHandleKind::Materialized)
+            .collect();
+        let results: Vec<Option<(InterTable, qppt_core::OpStats)>> =
+            if plan.opts.par_selections && plan.opts.parallelism > 1 && materialized.len() > 1 {
+                // One task per *materialized* dimension (Base/Fused handles
+                // have no materialization step, so spawning for them would
+                // be pure overhead), in chunks of at most `parallelism`
+                // concurrent tasks so the configured worker budget also
+                // bounds this phase.
+                let db = self.db;
+                let mut results: Vec<Option<(InterTable, qppt_core::OpStats)>> =
+                    (0..n).map(|_| None).collect();
+                for chunk in materialized.chunks(plan.opts.parallelism) {
+                    let done = thread::scope(|scope| {
+                        let handles: Vec<_> = chunk
+                            .iter()
+                            .map(|&di| scope.spawn(move || materialize_dim(db, snap, plan, di)))
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("selection tasks do not panic"))
+                            .collect::<Result<Vec<_>, QpptError>>()
+                    })?;
+                    for (&di, r) in chunk.iter().zip(done) {
+                        results[di] = r;
+                    }
+                }
+                results
+            } else {
+                (0..n)
+                    .map(|di| materialize_dim(self.db, snap, plan, di))
+                    .collect::<Result<Vec<_>, QpptError>>()?
+            };
+        let mut dim_tables = Vec::with_capacity(n);
+        for r in results {
+            match r {
+                Some((table, op)) => {
+                    stats.push(op);
+                    dim_tables.push(Some(table));
+                }
+                None => dim_tables.push(None),
+            }
+        }
+        Ok(dim_tables)
+    }
+}
+
+/// Extension trait adding parallel entry points to the sequential
+/// [`QpptEngine`], so call sites choose per query:
+/// `engine.run(..)` vs `engine.run_parallel(..)`.
+pub trait RunParallel {
+    /// Runs the query with `opts.parallelism` morsel workers; results are
+    /// byte-identical to the sequential [`QpptEngine::run`].
+    fn run_parallel(&self, spec: &QuerySpec, opts: &PlanOptions) -> Result<QueryResult, QpptError>;
+
+    /// Like [`run_parallel`](Self::run_parallel), also returning merged
+    /// per-operator statistics.
+    fn run_parallel_with_stats(
+        &self,
+        spec: &QuerySpec,
+        opts: &PlanOptions,
+    ) -> Result<(QueryResult, ExecStats), QpptError>;
+}
+
+impl RunParallel for QpptEngine<'_> {
+    fn run_parallel(&self, spec: &QuerySpec, opts: &PlanOptions) -> Result<QueryResult, QpptError> {
+        ParEngine::new(self.db()).run(spec, opts)
+    }
+
+    fn run_parallel_with_stats(
+        &self,
+        spec: &QuerySpec,
+        opts: &PlanOptions,
+    ) -> Result<(QueryResult, ExecStats), QpptError> {
+        ParEngine::new(self.db()).run_with_stats(spec, opts)
+    }
+}

@@ -1,0 +1,79 @@
+//! The morsel-driven scheduler: a pool of std threads pulling morsels from
+//! a shared atomic dispenser.
+//!
+//! Scheduling is *work-pulling* (Leis et al.'s morsel-driven model): workers
+//! grab the next unclaimed morsel index from an atomic counter, so skewed
+//! partitions self-balance — a worker stuck in a dense subtree simply claims
+//! fewer morsels. Each worker accumulates into a **private** aggregation
+//! table and operator statistics; nothing is shared mutably, so there are no
+//! locks on the hot path. After the pool joins, partials are merged in
+//! worker-index order, which (with commutative accumulator sums) makes the
+//! merged result independent of thread timing.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+use qppt_core::exec::{new_agg_table, run_pipeline, FusedSelection};
+use qppt_core::inter::{AggTable, InterTable};
+use qppt_core::stats::ExecStats;
+use qppt_core::{KeyRange, Plan, QpptError};
+use qppt_storage::{Database, Snapshot};
+
+/// Runs the fact pipeline over `morsels` on `workers` threads, returning
+/// the merged aggregation table and the merged per-operator statistics.
+///
+/// `dim_tables` (materialized dimension selections) and `fused` (the
+/// pre-materialized stage-1 select-join stream, if the plan has one) are
+/// shared read-only by every worker.
+pub(crate) fn run_morsels(
+    db: &Database,
+    snap: Snapshot,
+    plan: &Plan,
+    dim_tables: &[Option<InterTable>],
+    fused: Option<&FusedSelection>,
+    morsels: &[KeyRange],
+    workers: usize,
+) -> Result<(AggTable, ExecStats), QpptError> {
+    debug_assert!(workers >= 1);
+    let next = AtomicUsize::new(0);
+    let worker = |wid: usize| -> Result<(usize, AggTable, ExecStats), QpptError> {
+        let mut agg = new_agg_table(plan);
+        let mut stats = ExecStats::default();
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            let Some(&morsel) = morsels.get(i) else {
+                break;
+            };
+            let ops = run_pipeline(db, snap, plan, dim_tables, Some(morsel), fused, &mut agg)?;
+            stats.merge_partition(&ExecStats {
+                ops,
+                total_micros: 0,
+            });
+        }
+        Ok((wid, agg, stats))
+    };
+
+    let mut parts: Vec<(usize, AggTable, ExecStats)> = if workers == 1 {
+        vec![worker(0)?]
+    } else {
+        thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|wid| scope.spawn(move || worker(wid)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker threads do not panic"))
+                .collect::<Result<Vec<_>, QpptError>>()
+        })?
+    };
+
+    // Deterministic merge: worker-index order, not completion order.
+    parts.sort_by_key(|(wid, _, _)| *wid);
+    let mut iter = parts.into_iter();
+    let (_, mut agg, mut stats) = iter.next().expect("at least one worker");
+    for (_, part_agg, part_stats) in iter {
+        agg.merge_from(&part_agg);
+        stats.merge_partition(&part_stats);
+    }
+    Ok((agg, stats))
+}

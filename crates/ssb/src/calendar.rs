@@ -2,8 +2,18 @@
 
 /// Month names as the SSB `d_month` column spells them.
 pub const MONTH_NAMES: [&str; 12] = [
-    "January", "February", "March", "April", "May", "June", "July", "August", "September",
-    "October", "November", "December",
+    "January",
+    "February",
+    "March",
+    "April",
+    "May",
+    "June",
+    "July",
+    "August",
+    "September",
+    "October",
+    "November",
+    "December",
 ];
 
 /// Three-letter abbreviations used by `d_yearmonth` (e.g. `Dec1997`).
@@ -13,7 +23,13 @@ pub const MONTH_ABBREV: [&str; 12] = [
 
 /// Day-of-week names for `d_dayofweek` (SSB week starts on Sunday).
 pub const DAY_NAMES: [&str; 7] = [
-    "Sunday", "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday",
+    "Sunday",
+    "Monday",
+    "Tuesday",
+    "Wednesday",
+    "Thursday",
+    "Friday",
+    "Saturday",
 ];
 
 /// `true` for Gregorian leap years.

@@ -53,7 +53,13 @@ pub const NATIONS: [(&str, &str); 25] = [
 
 const MFGRS: [&str; 5] = ["MFGR#1", "MFGR#2", "MFGR#3", "MFGR#4", "MFGR#5"];
 const SHIP_MODES: [&str; 7] = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"];
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
 const COLORS: [&str; 12] = [
     "almond", "azure", "beige", "blue", "coral", "cream", "forest", "ghost", "honey", "ivory",
     "lime", "plum",
@@ -124,7 +130,12 @@ impl SsbDb {
             sizes.part,
             seed ^ 0x6c69_6e65,
         ));
-        Self { db, sf, seed, sizes }
+        Self {
+            db,
+            sf,
+            seed,
+            sizes,
+        }
     }
 }
 
@@ -208,7 +219,10 @@ pub fn gen_part(rows: usize, seed: u64) -> Table {
             Value::Str(category),
             Value::Str(brand1),
             Value::str(color),
-            Value::Str(format!("STANDARD POLISHED TYPE{}", rng.range_inclusive(1, 25))),
+            Value::Str(format!(
+                "STANDARD POLISHED TYPE{}",
+                rng.range_inclusive(1, 25)
+            )),
             Value::Int(rng.range_inclusive(1, 50) as i64),
             Value::Str(format!("CONTAINER{}", rng.range_inclusive(1, 40))),
         ])

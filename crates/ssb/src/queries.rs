@@ -7,7 +7,13 @@
 
 use qppt_storage::{AggExpr, ColRef, DimSpec, Expr, OrderKey, Predicate, QuerySpec, Value};
 
-fn dim(table: &str, join_col: &str, fact_col: &str, predicates: Vec<Predicate>, carried: &[&str]) -> DimSpec {
+fn dim(
+    table: &str,
+    join_col: &str,
+    fact_col: &str,
+    predicates: Vec<Predicate>,
+    carried: &[&str],
+) -> DimSpec {
     DimSpec {
         table: table.to_string(),
         join_col: join_col.to_string(),
@@ -103,7 +109,13 @@ fn q2(id: &str, part_pred: Predicate, supplier_region: &str) -> QuerySpec {
         id: id.into(),
         fact: "lineorder".into(),
         dims: vec![
-            dim("part", "p_partkey", "lo_partkey", vec![part_pred], &["p_brand1"]),
+            dim(
+                "part",
+                "p_partkey",
+                "lo_partkey",
+                vec![part_pred],
+                &["p_brand1"],
+            ),
             dim(
                 "supplier",
                 "s_suppkey",
@@ -151,8 +163,20 @@ fn q3(
         id: id.into(),
         fact: "lineorder".into(),
         dims: vec![
-            dim("customer", "c_custkey", "lo_custkey", cust_pred, &[cust_col]),
-            dim("supplier", "s_suppkey", "lo_suppkey", supp_pred, &[supp_col]),
+            dim(
+                "customer",
+                "c_custkey",
+                "lo_custkey",
+                cust_pred,
+                &[cust_col],
+            ),
+            dim(
+                "supplier",
+                "s_suppkey",
+                "lo_suppkey",
+                supp_pred,
+                &[supp_col],
+            ),
             dim("date", "d_datekey", "lo_orderdate", date_pred, &["d_year"]),
         ],
         fact_predicates: vec![],
@@ -279,7 +303,13 @@ pub fn q4_2() -> QuerySpec {
                 vec![Predicate::eq("s_region", "AMERICA")],
                 &["s_nation"],
             ),
-            dim("part", "p_partkey", "lo_partkey", vec![mfgr_12()], &["p_category"]),
+            dim(
+                "part",
+                "p_partkey",
+                "lo_partkey",
+                vec![mfgr_12()],
+                &["p_category"],
+            ),
             dim(
                 "date",
                 "d_datekey",
@@ -292,7 +322,11 @@ pub fn q4_2() -> QuerySpec {
             ),
         ],
         fact_predicates: vec![],
-        group_by: group(&[("date", "d_year"), ("supplier", "s_nation"), ("part", "p_category")]),
+        group_by: group(&[
+            ("date", "d_year"),
+            ("supplier", "s_nation"),
+            ("part", "p_category"),
+        ]),
         aggregates: profit_agg(),
         order_by: vec![OrderKey::group(0), OrderKey::group(1), OrderKey::group(2)],
     }
@@ -337,7 +371,11 @@ pub fn q4_3() -> QuerySpec {
             ),
         ],
         fact_predicates: vec![],
-        group_by: group(&[("date", "d_year"), ("supplier", "s_city"), ("part", "p_brand1")]),
+        group_by: group(&[
+            ("date", "d_year"),
+            ("supplier", "s_city"),
+            ("part", "p_brand1"),
+        ]),
         aggregates: profit_agg(),
         order_by: vec![OrderKey::group(0), OrderKey::group(1), OrderKey::group(2)],
     }

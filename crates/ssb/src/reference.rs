@@ -77,7 +77,10 @@ pub fn run_reference(
             .iter()
             .position(|c| *c == g.column)
             .ok_or_else(|| StorageError::UnknownColumn(g.column.clone()))?;
-        group_sources.push(GroupSource { dim: di, carried_pos: pos });
+        group_sources.push(GroupSource {
+            dim: di,
+            carried_pos: pos,
+        });
     }
 
     let mut groups: HashMap<Vec<u64>, Vec<i64>> = HashMap::new();
@@ -142,11 +145,7 @@ pub fn run_reference(
 }
 
 /// Decodes an encoded field back to a [`qppt_storage::Value`].
-pub fn decode_code(
-    t: &qppt_storage::Table,
-    col: usize,
-    code: u64,
-) -> qppt_storage::Value {
+pub fn decode_code(t: &qppt_storage::Table, col: usize, code: u64) -> qppt_storage::Value {
     match t.schema().column(col).ty {
         qppt_storage::ColumnType::Int => qppt_storage::Value::Int(code as i64),
         qppt_storage::ColumnType::Str => qppt_storage::Value::Str(

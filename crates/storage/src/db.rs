@@ -129,7 +129,13 @@ impl Database {
             self.indexes[existing] = rebuilt;
             return Ok(existing);
         }
-        let built = BaseIndex::build(t_idx, &self.tables[t_idx], key_col, carried, self.prefer_kiss);
+        let built = BaseIndex::build(
+            t_idx,
+            &self.tables[t_idx],
+            key_col,
+            carried,
+            self.prefer_kiss,
+        );
         let pos = self.indexes.len();
         self.indexes.push(built);
         self.index_lookup.insert((t_idx, key_col), pos);
@@ -166,9 +172,14 @@ impl Database {
     ) -> Result<usize, StorageError> {
         let t_idx = self.table_idx(table)?;
         let schema = self.tables[t_idx].table().schema();
-        let key_cols: Vec<usize> = keys.iter().map(|k| schema.col(k)).collect::<Result<_, _>>()?;
-        let carried_cols: Vec<usize> =
-            carried.iter().map(|c| schema.col(c)).collect::<Result<_, _>>()?;
+        let key_cols: Vec<usize> = keys
+            .iter()
+            .map(|k| schema.col(k))
+            .collect::<Result<_, _>>()?;
+        let carried_cols: Vec<usize> = carried
+            .iter()
+            .map(|c| schema.col(c))
+            .collect::<Result<_, _>>()?;
         let lookup_key = (t_idx, key_cols.clone());
         if let Some(&existing) = self.composite_lookup.get(&lookup_key) {
             let have = &self.composite_indexes[existing];
@@ -212,7 +223,10 @@ impl Database {
     ) -> Result<&CompositeIndex, StorageError> {
         let t_idx = self.table_idx(table)?;
         let schema = self.tables[t_idx].table().schema();
-        let key_cols: Vec<usize> = keys.iter().map(|k| schema.col(k)).collect::<Result<_, _>>()?;
+        let key_cols: Vec<usize> = keys
+            .iter()
+            .map(|k| schema.col(k))
+            .collect::<Result<_, _>>()?;
         self.composite_lookup
             .get(&(t_idx, key_cols))
             .map(|&i| &self.composite_indexes[i])
@@ -229,7 +243,11 @@ impl Database {
 
     /// Inserts a row transactionally: appends the version and maintains
     /// every index on the table. Returns `(rid, commit timestamp)`.
-    pub fn insert_row(&mut self, table: &str, values: &[Value]) -> Result<(u32, u64), StorageError> {
+    pub fn insert_row(
+        &mut self,
+        table: &str,
+        values: &[Value],
+    ) -> Result<(u32, u64), StorageError> {
         let t_idx = self.table_idx(table)?;
         let ts = self.txn.next_commit_ts();
         let rid = self.tables[t_idx].insert(ts, values)?;
@@ -283,7 +301,8 @@ mod tests {
     #[test]
     fn create_and_find_index() {
         let mut db = db_with_table();
-        db.create_index(&IndexDef::new("part", "brand", &["partkey"])).unwrap();
+        db.create_index(&IndexDef::new("part", "brand", &["partkey"]))
+            .unwrap();
         let idx = db.find_index("part", "brand").unwrap();
         assert_eq!(idx.data.tuple_count(), 3);
         assert!(db.find_index("part", "size").is_err());
@@ -293,10 +312,15 @@ mod tests {
     #[test]
     fn index_lookup_finds_rows_by_key() {
         let mut db = db_with_table();
-        db.create_index(&IndexDef::new("part", "brand", &["partkey"])).unwrap();
+        db.create_index(&IndexDef::new("part", "brand", &["partkey"]))
+            .unwrap();
         let idx = db.find_index("part", "brand").unwrap();
         let table = db.table("part").unwrap();
-        let code = table.table().encode_value(1, &Value::str("B#1")).unwrap().unwrap();
+        let code = table
+            .table()
+            .encode_value(1, &Value::str("B#1"))
+            .unwrap()
+            .unwrap();
         let mut partkeys = Vec::new();
         idx.data.rows_for_key(code, |row| partkeys.push(row[1]));
         assert_eq!(partkeys, vec![1, 3]);
@@ -305,8 +329,12 @@ mod tests {
     #[test]
     fn duplicate_create_index_is_idempotent() {
         let mut db = db_with_table();
-        let a = db.create_index(&IndexDef::new("part", "brand", &["partkey"])).unwrap();
-        let b = db.create_index(&IndexDef::new("part", "brand", &["partkey"])).unwrap();
+        let a = db
+            .create_index(&IndexDef::new("part", "brand", &["partkey"]))
+            .unwrap();
+        let b = db
+            .create_index(&IndexDef::new("part", "brand", &["partkey"]))
+            .unwrap();
         assert_eq!(a, b);
         assert_eq!(db.indexes().len(), 1);
     }
@@ -314,8 +342,12 @@ mod tests {
     #[test]
     fn create_index_widens_carried_set() {
         let mut db = db_with_table();
-        let a = db.create_index(&IndexDef::new("part", "brand", &["partkey"])).unwrap();
-        let b = db.create_index(&IndexDef::new("part", "brand", &["size"])).unwrap();
+        let a = db
+            .create_index(&IndexDef::new("part", "brand", &["partkey"]))
+            .unwrap();
+        let b = db
+            .create_index(&IndexDef::new("part", "brand", &["size"]))
+            .unwrap();
         assert_eq!(a, b);
         let idx = db.find_index("part", "brand").unwrap();
         assert_eq!(idx.carried.len(), 2);
@@ -324,7 +356,8 @@ mod tests {
     #[test]
     fn insert_maintains_indexes_and_visibility() {
         let mut db = db_with_table();
-        db.create_index(&IndexDef::new("part", "brand", &["partkey"])).unwrap();
+        db.create_index(&IndexDef::new("part", "brand", &["partkey"]))
+            .unwrap();
         let before = db.snapshot();
         let (rid, _ts) = db
             .insert_row("part", &[Value::Int(4), Value::str("B#2"), Value::Int(40)])
@@ -336,14 +369,25 @@ mod tests {
         assert!(table.visible(rid, after));
 
         // The index already contains the new rid; visibility filters it.
-        let code = table.table().encode_value(1, &Value::str("B#2")).unwrap().unwrap();
+        let code = table
+            .table()
+            .encode_value(1, &Value::str("B#2"))
+            .unwrap()
+            .unwrap();
         let idx = db.find_index("part", "brand").unwrap();
         let mut rids = Vec::new();
         idx.data.rows_for_key(code, |row| rids.push(row[0] as u32));
         assert!(rids.contains(&rid));
-        let visible_now: Vec<u32> = rids.iter().copied().filter(|&r| table.visible(r, after)).collect();
-        let visible_before: Vec<u32> =
-            rids.iter().copied().filter(|&r| table.visible(r, before)).collect();
+        let visible_now: Vec<u32> = rids
+            .iter()
+            .copied()
+            .filter(|&r| table.visible(r, after))
+            .collect();
+        let visible_before: Vec<u32> = rids
+            .iter()
+            .copied()
+            .filter(|&r| table.visible(r, before))
+            .collect();
         assert!(visible_now.contains(&rid));
         assert!(!visible_before.contains(&rid));
     }
@@ -362,7 +406,8 @@ mod tests {
     #[test]
     fn composite_index_roundtrip() {
         let mut db = db_with_table();
-        db.create_composite_index("part", &["brand", "size"], &["partkey"]).unwrap();
+        db.create_composite_index("part", &["brand", "size"], &["partkey"])
+            .unwrap();
         let ci = db.find_composite_index("part", &["brand", "size"]).unwrap();
         assert_eq!(ci.data.tuple_count(), 3);
         // Point range over (brand = "B#1", size ∈ [10, 30]).
@@ -384,10 +429,16 @@ mod tests {
     #[test]
     fn composite_index_is_idempotent_and_widens() {
         let mut db = db_with_table();
-        let a = db.create_composite_index("part", &["brand", "size"], &["partkey"]).unwrap();
-        let b = db.create_composite_index("part", &["brand", "size"], &["partkey"]).unwrap();
+        let a = db
+            .create_composite_index("part", &["brand", "size"], &["partkey"])
+            .unwrap();
+        let b = db
+            .create_composite_index("part", &["brand", "size"], &["partkey"])
+            .unwrap();
         assert_eq!(a, b);
-        let c = db.create_composite_index("part", &["brand", "size"], &["size"]).unwrap();
+        let c = db
+            .create_composite_index("part", &["brand", "size"], &["size"])
+            .unwrap();
         assert_eq!(a, c);
         let ci = db.find_composite_index("part", &["brand", "size"]).unwrap();
         assert!(ci.payload_pos_by_name("partkey").is_some());
@@ -399,7 +450,8 @@ mod tests {
     #[test]
     fn composite_index_maintained_on_insert() {
         let mut db = db_with_table();
-        db.create_composite_index("part", &["brand", "size"], &["partkey"]).unwrap();
+        db.create_composite_index("part", &["brand", "size"], &["partkey"])
+            .unwrap();
         db.insert_row("part", &[Value::Int(9), Value::str("B#1"), Value::Int(15)])
             .unwrap();
         let ci = db.find_composite_index("part", &["brand", "size"]).unwrap();
@@ -411,8 +463,6 @@ mod tests {
         let mut db = Database::new();
         assert!(db.table("x").is_err());
         assert!(db.insert_row("x", &[]).is_err());
-        assert!(db
-            .create_index(&IndexDef::new("x", "y", &[]))
-            .is_err());
+        assert!(db.create_index(&IndexDef::new("x", "y", &[])).is_err());
     }
 }

@@ -110,7 +110,7 @@ mod tests {
         assert_eq!(d.lower_bound("b"), 0);
         assert_eq!(d.lower_bound("c"), 1);
         assert_eq!(d.lower_bound("g"), 3); // past the end
-        // upper_bound: last code with value <= bound.
+                                           // upper_bound: last code with value <= bound.
         assert_eq!(d.upper_bound("a"), None);
         assert_eq!(d.upper_bound("b"), Some(0));
         assert_eq!(d.upper_bound("e"), Some(1));

@@ -13,8 +13,8 @@
 //! row is `[rid, carried columns...]` for base indexes and
 //! `[carried columns...]` for intermediates.
 
-use qppt_kiss::{kiss_sync_scan, KissConfig, KissTree};
-use qppt_trie::{sync_scan, PrefixTree, TrieConfig};
+use qppt_kiss::{kiss_sync_scan, kiss_sync_scan_range, KissConfig, KissTree};
+use qppt_trie::{sync_scan, sync_scan_range, PrefixTree, TrieConfig};
 
 use crate::mvcc::MvccTable;
 use crate::types::StorageError;
@@ -130,7 +130,10 @@ impl TreeIndex {
         match self {
             TreeIndex::Kiss(t) => {
                 // Out-of-domain keys can never be present; probe the rest.
-                let narrowed: Vec<u32> = keys.iter().map(|&k| k.min(u32::MAX as u64) as u32).collect();
+                let narrowed: Vec<u32> = keys
+                    .iter()
+                    .map(|&k| k.min(u32::MAX as u64) as u32)
+                    .collect();
                 let mut out = t.batch_contains(&narrowed);
                 for (i, &k) in keys.iter().enumerate() {
                     if k > u32::MAX as u64 {
@@ -141,7 +144,10 @@ impl TreeIndex {
             }
             TreeIndex::Pt(t) => {
                 let limit = t.config().key_limit().unwrap_or(u64::MAX);
-                let narrowed: Vec<u64> = keys.iter().map(|&k| k.min(limit.saturating_sub(1))).collect();
+                let narrowed: Vec<u64> = keys
+                    .iter()
+                    .map(|&k| k.min(limit.saturating_sub(1)))
+                    .collect();
                 let mut out = t.batch_contains(&narrowed);
                 for (i, &k) in keys.iter().enumerate() {
                     if k >= limit {
@@ -158,7 +164,10 @@ impl TreeIndex {
     pub fn batch_get_each(&self, keys: &[u64], mut f: impl FnMut(usize, u32)) {
         match self {
             TreeIndex::Kiss(t) => {
-                let narrowed: Vec<u32> = keys.iter().map(|&k| k.min(u32::MAX as u64) as u32).collect();
+                let narrowed: Vec<u32> = keys
+                    .iter()
+                    .map(|&k| k.min(u32::MAX as u64) as u32)
+                    .collect();
                 t.batch_get(&narrowed, |i, vs| {
                     if keys[i] <= u32::MAX as u64 {
                         vs.for_each(|v| f(i, *v));
@@ -167,7 +176,10 @@ impl TreeIndex {
             }
             TreeIndex::Pt(t) => {
                 let limit = t.config().key_limit().unwrap_or(u64::MAX);
-                let narrowed: Vec<u64> = keys.iter().map(|&k| k.min(limit.saturating_sub(1))).collect();
+                let narrowed: Vec<u64> = keys
+                    .iter()
+                    .map(|&k| k.min(limit.saturating_sub(1)))
+                    .collect();
                 t.batch_get(&narrowed, |i, vs| {
                     if keys[i] < limit {
                         vs.for_each(|v| f(i, *v));
@@ -192,8 +204,13 @@ impl TreeIndex {
                 if lo >= limit {
                     return;
                 }
-                let hi = if limit == u64::MAX { hi } else { hi.min(limit - 1) };
-                t.range(lo, hi).for_each(|(k, vs)| vs.for_each(|v| f(k, *v)));
+                let hi = if limit == u64::MAX {
+                    hi
+                } else {
+                    hi.min(limit - 1)
+                };
+                t.range(lo, hi)
+                    .for_each(|(k, vs)| vs.for_each(|v| f(k, *v)));
             }
         }
     }
@@ -201,7 +218,9 @@ impl TreeIndex {
     /// Ordered full scan: `f(key, value)` for every pair.
     pub fn for_each(&self, mut f: impl FnMut(u64, u32)) {
         match self {
-            TreeIndex::Kiss(t) => t.iter().for_each(|(k, vs)| vs.for_each(|v| f(k as u64, *v))),
+            TreeIndex::Kiss(t) => t
+                .iter()
+                .for_each(|(k, vs)| vs.for_each(|v| f(k as u64, *v))),
             TreeIndex::Pt(t) => t.iter().for_each(|(k, vs)| vs.for_each(|v| f(k, *v))),
         }
     }
@@ -217,6 +236,62 @@ impl TreeIndex {
                 let mut it = vs.copied();
                 f(k, &mut it);
             }),
+        }
+    }
+
+    /// Ordered per-key scan restricted to keys in `[lo, hi]` — the
+    /// partitioned-cursor form of [`for_each_key`](Self::for_each_key).
+    pub fn for_each_key_range(
+        &self,
+        lo: u64,
+        hi: u64,
+        mut f: impl FnMut(u64, &mut dyn Iterator<Item = u32>),
+    ) {
+        if lo > hi {
+            return;
+        }
+        match self {
+            TreeIndex::Kiss(t) => {
+                if lo > u32::MAX as u64 {
+                    return;
+                }
+                t.range(lo as u32, hi.min(u32::MAX as u64) as u32)
+                    .for_each(|(k, vs)| {
+                        let mut it = vs.copied();
+                        f(k as u64, &mut it);
+                    });
+            }
+            TreeIndex::Pt(t) => {
+                let limit = t.config().key_limit().unwrap_or(u64::MAX);
+                if lo >= limit {
+                    return;
+                }
+                let hi = if limit == u64::MAX {
+                    hi
+                } else {
+                    hi.min(limit - 1)
+                };
+                t.range(lo, hi).for_each(|(k, vs)| {
+                    let mut it = vs.copied();
+                    f(k, &mut it);
+                });
+            }
+        }
+    }
+
+    /// Smallest stored key, if any.
+    pub fn min_key(&self) -> Option<u64> {
+        match self {
+            TreeIndex::Kiss(t) => t.min_key().map(u64::from),
+            TreeIndex::Pt(t) => t.min_key(),
+        }
+    }
+
+    /// Largest stored key, if any.
+    pub fn max_key(&self) -> Option<u64> {
+        match self {
+            TreeIndex::Kiss(t) => t.max_key().map(u64::from),
+            TreeIndex::Pt(t) => t.max_key(),
         }
     }
 
@@ -266,7 +341,10 @@ impl TreeIndex {
 
 #[inline]
 fn key_as_u32(key: u64) -> u32 {
-    debug_assert!(key <= u32::MAX as u64, "planner chose KISS for a >32-bit key");
+    debug_assert!(
+        key <= u32::MAX as u64,
+        "planner chose KISS for a >32-bit key"
+    );
     key as u32
 }
 
@@ -305,6 +383,72 @@ pub fn sync_scan_indexes(
             // right side. Key order (and thus output) is identical.
             let mut rbuf: Vec<u32> = Vec::new();
             left.for_each_key(|k, lvals| {
+                rbuf.clear();
+                right.get_each(k, |v| rbuf.push(v));
+                if !rbuf.is_empty() {
+                    let mut ri = rbuf.iter().copied();
+                    f(k, lvals, &mut ri);
+                }
+            });
+        }
+    }
+}
+
+/// Range-restricted synchronous index scan over two [`TreeIndex`]es — the
+/// partitioned-cursor form of [`sync_scan_indexes`] used by the
+/// morsel-driven parallel executor: each morsel co-walks only the subtrees
+/// whose key interval intersects `[lo, hi]`.
+///
+/// Matching structures use the structure-specific range kernels
+/// ([`qppt_trie::sync_scan_range`], [`qppt_kiss::kiss_sync_scan_range`]);
+/// mismatched structures fall back to a range-iterate-and-probe with the
+/// same key sequence.
+pub fn sync_scan_indexes_range(
+    left: &TreeIndex,
+    right: &TreeIndex,
+    lo: u64,
+    hi: u64,
+    mut f: impl FnMut(u64, &mut dyn Iterator<Item = u32>, &mut dyn Iterator<Item = u32>),
+) {
+    if lo > hi {
+        return;
+    }
+    match (left, right) {
+        (TreeIndex::Kiss(l), TreeIndex::Kiss(r)) => {
+            if lo > u32::MAX as u64 {
+                return;
+            }
+            kiss_sync_scan_range(
+                l,
+                r,
+                lo as u32,
+                hi.min(u32::MAX as u64) as u32,
+                |k, lv, rv| {
+                    let mut li = lv.copied();
+                    let mut ri = rv.copied();
+                    f(k as u64, &mut li, &mut ri);
+                },
+            );
+        }
+        (TreeIndex::Pt(l), TreeIndex::Pt(r)) if l.config() == r.config() => {
+            let limit = l.config().key_limit().unwrap_or(u64::MAX);
+            if lo >= limit {
+                return;
+            }
+            let hi = if limit == u64::MAX {
+                hi
+            } else {
+                hi.min(limit - 1)
+            };
+            sync_scan_range(l, r, lo, hi, |k, lv, rv| {
+                let mut li = lv.copied();
+                let mut ri = rv.copied();
+                f(k, &mut li, &mut ri);
+            });
+        }
+        _ => {
+            let mut rbuf: Vec<u32> = Vec::new();
+            left.for_each_key_range(lo, hi, |k, lvals| {
                 rbuf.clear();
                 right.get_each(k, |v| rbuf.push(v));
                 if !rbuf.is_empty() {
@@ -503,7 +647,10 @@ impl BaseIndex {
 
     /// Position of a carried column, by name (rid is position 0).
     pub fn payload_pos_by_name(&self, name: &str) -> Option<usize> {
-        self.carried_names.iter().position(|c| c == name).map(|p| p + 1)
+        self.carried_names
+            .iter()
+            .position(|c| c == name)
+            .map(|p| p + 1)
     }
 }
 
@@ -557,7 +704,11 @@ impl CompositeIndex {
                 key_cols
             )));
         }
-        let max_key = if total >= 64 { u64::MAX } else { (1u64 << total) - 1 };
+        let max_key = if total >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << total) - 1
+        };
         let key_names: Vec<String> = key_cols
             .iter()
             .map(|&c| t.schema().column(c).name.clone())
@@ -566,7 +717,10 @@ impl CompositeIndex {
             .iter()
             .map(|&c| t.schema().column(c).name.clone())
             .collect();
-        let mut data = IndexedTable::new(TreeIndex::for_domain(max_key, prefer_kiss), 1 + carried.len());
+        let mut data = IndexedTable::new(
+            TreeIndex::for_domain(max_key, prefer_kiss),
+            1 + carried.len(),
+        );
         let pack = |rid: u32| -> u64 {
             let mut key = 0u64;
             let mut used = 0u8;
@@ -617,7 +771,10 @@ impl CompositeIndex {
 
     /// Position of a carried column, by name (rid is position 0).
     pub fn payload_pos_by_name(&self, name: &str) -> Option<usize> {
-        self.carried_names.iter().position(|c| c == name).map(|p| p + 1)
+        self.carried_names
+            .iter()
+            .position(|c| c == name)
+            .map(|p| p + 1)
     }
 
     /// Index maintenance hook for a newly appended row version.
@@ -630,7 +787,11 @@ impl CompositeIndex {
             used += self.widths[i];
             // New codes may exceed the planned width; clamp defensively (a
             // rebuild would re-derive widths — acceptable for this hook).
-            let mask = if self.widths[i] == 64 { u64::MAX } else { (1u64 << self.widths[i]) - 1 };
+            let mask = if self.widths[i] == 64 {
+                u64::MAX
+            } else {
+                (1u64 << self.widths[i]) - 1
+            };
             key |= (t.get(rid, c) & mask) << (total - used);
         }
         let mut row = Vec::with_capacity(1 + self.carried.len());
@@ -659,7 +820,10 @@ mod tests {
         assert!(TreeIndex::for_domain(100, true).is_kiss());
         assert!(!TreeIndex::for_domain(100, false).is_kiss());
         assert!(!TreeIndex::for_domain(1 << 40, true).is_kiss());
-        assert_eq!(TreeIndex::for_domain(1 << 40, true).kind_name(), "PrefixTree<64>");
+        assert_eq!(
+            TreeIndex::for_domain(1 << 40, true).kind_name(),
+            "PrefixTree<64>"
+        );
     }
 
     #[test]
@@ -727,13 +891,22 @@ mod tests {
             idx
         };
         let cases = [
-            (build(TreeIndex::new_kiss()), build_odd(TreeIndex::new_kiss())),
+            (
+                build(TreeIndex::new_kiss()),
+                build_odd(TreeIndex::new_kiss()),
+            ),
             (
                 build(TreeIndex::new_pt(KeyWidth::W32)),
                 build_odd(TreeIndex::new_pt(KeyWidth::W32)),
             ),
-            (build(TreeIndex::new_kiss()), build_odd(TreeIndex::new_pt(KeyWidth::W32))),
-            (build(TreeIndex::new_pt(KeyWidth::W64)), build_odd(TreeIndex::new_kiss())),
+            (
+                build(TreeIndex::new_kiss()),
+                build_odd(TreeIndex::new_pt(KeyWidth::W32)),
+            ),
+            (
+                build(TreeIndex::new_pt(KeyWidth::W64)),
+                build_odd(TreeIndex::new_kiss()),
+            ),
         ];
         for (l, r) in &cases {
             let mut hits = Vec::new();
@@ -743,6 +916,79 @@ mod tests {
                 hits.push(k);
             });
             assert_eq!(hits, vec![4, 8], "{} × {}", l.kind_name(), r.kind_name());
+        }
+    }
+
+    #[test]
+    fn sync_scan_range_matches_filtered_full_scan_all_variants() {
+        let build = |mut idx: TreeIndex, keys: &[u64]| {
+            for &k in keys {
+                idx.insert(k, k as u32);
+            }
+            idx
+        };
+        let lk: Vec<u64> = (0..400).map(|i| i * 3).collect();
+        let rk: Vec<u64> = (0..400).map(|i| i * 5).collect();
+        let cases = [
+            (
+                build(TreeIndex::new_kiss(), &lk),
+                build(TreeIndex::new_kiss(), &rk),
+            ),
+            (
+                build(TreeIndex::new_pt(KeyWidth::W32), &lk),
+                build(TreeIndex::new_pt(KeyWidth::W32), &rk),
+            ),
+            (
+                build(TreeIndex::new_pt(KeyWidth::W64), &lk),
+                build(TreeIndex::new_pt(KeyWidth::W64), &rk),
+            ),
+            (
+                build(TreeIndex::new_kiss(), &lk),
+                build(TreeIndex::new_pt(KeyWidth::W64), &rk),
+            ),
+        ];
+        for (l, r) in &cases {
+            let mut full = Vec::new();
+            sync_scan_indexes(l, r, |k, _, _| full.push(k));
+            for (lo, hi) in [
+                (0u64, u64::MAX),
+                (0, 599),
+                (600, 1199),
+                (45, 45),
+                (2000, 1000),
+            ] {
+                let expect: Vec<u64> = full
+                    .iter()
+                    .copied()
+                    .filter(|&k| k >= lo && k <= hi)
+                    .collect();
+                let mut got = Vec::new();
+                sync_scan_indexes_range(l, r, lo, hi, |k, _, _| got.push(k));
+                assert_eq!(
+                    got,
+                    expect,
+                    "{} × {} [{lo},{hi}]",
+                    l.kind_name(),
+                    r.kind_name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_key_range_and_key_bounds() {
+        for mut idx in [TreeIndex::new_kiss(), TreeIndex::new_pt(KeyWidth::W64)] {
+            assert_eq!(idx.min_key(), None);
+            assert_eq!(idx.max_key(), None);
+            for k in [40u64, 10, 30, 20] {
+                idx.insert(k, 1);
+                idx.insert(k, 2);
+            }
+            assert_eq!(idx.min_key(), Some(10));
+            assert_eq!(idx.max_key(), Some(40));
+            let mut got = Vec::new();
+            idx.for_each_key_range(15, 35, |k, vs| got.push((k, vs.count())));
+            assert_eq!(got, vec![(20, 2), (30, 2)], "{}", idx.kind_name());
         }
     }
 

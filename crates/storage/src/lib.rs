@@ -34,11 +34,14 @@ pub mod types;
 
 pub use db::{Database, IndexDef};
 pub use dict::Dictionary;
-pub use index::{sync_scan_indexes, BaseIndex, CompositeIndex, IndexedTable, KeyWidth, PayloadBuf, TreeIndex};
+pub use index::{
+    sync_scan_indexes, sync_scan_indexes_range, BaseIndex, CompositeIndex, IndexedTable, KeyWidth,
+    PayloadBuf, TreeIndex,
+};
 pub use mvcc::{MvccTable, Snapshot, TxnManager};
-pub use query::{compile_predicate, CompiledPred, 
-    AggExpr, AggOp, ColRef, DimSpec, Expr, OrderKey, OrderTerm, Predicate, QueryResult, QuerySpec,
-    ResultRow,
+pub use query::{
+    compile_predicate, AggExpr, AggOp, ColRef, CompiledPred, DimSpec, Expr, OrderKey, OrderTerm,
+    Predicate, QueryResult, QuerySpec, ResultRow,
 };
 pub use table::{ColumnStats, Table, TableBuilder};
 pub use types::{ColumnDef, ColumnType, Schema, StorageError, Value};

@@ -63,7 +63,10 @@ impl TxnManager {
     /// A snapshot that sees everything committed so far.
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {
-            ts: self.next.load(std::sync::atomic::Ordering::Relaxed).saturating_sub(1),
+            ts: self
+                .next
+                .load(std::sync::atomic::Ordering::Relaxed)
+                .saturating_sub(1),
         }
     }
 }
@@ -127,7 +130,10 @@ impl MvccTable {
     pub fn insert(&mut self, ts: Ts, values: &[Value]) -> Result<u32, StorageError> {
         let row = self.table.encode_row(values)?;
         let rid = self.table.push_encoded(&row);
-        self.versions.push(VersionMeta { begin: ts, end: LIVE });
+        self.versions.push(VersionMeta {
+            begin: ts,
+            end: LIVE,
+        });
         self.max_begin = self.max_begin.max(ts);
         Ok(rid)
     }

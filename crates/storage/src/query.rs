@@ -42,7 +42,11 @@ pub enum Predicate {
     /// `column IN (values)`
     In { column: String, values: Vec<Value> },
     /// `column BETWEEN lo AND hi` (inclusive)
-    Between { column: String, lo: Value, hi: Value },
+    Between {
+        column: String,
+        lo: Value,
+        hi: Value,
+    },
     /// `column < value`
     Lt { column: String, value: Value },
 }
@@ -286,7 +290,11 @@ pub fn compile_predicate(
         Predicate::Eq { column, value } => {
             let col = schema.col(column)?;
             Ok(match table.encode_value(col, value)? {
-                Some(code) => CompiledPred::Range { col, lo: code, hi: code },
+                Some(code) => CompiledPred::Range {
+                    col,
+                    lo: code,
+                    hi: code,
+                },
                 None => CompiledPred::Never,
             })
         }
@@ -319,7 +327,11 @@ pub fn compile_predicate(
                 Value::Int(v) => Ok(if *v <= 0 {
                     CompiledPred::Never
                 } else {
-                    CompiledPred::Range { col, lo: 0, hi: (*v - 1) as u64 }
+                    CompiledPred::Range {
+                        col,
+                        lo: 0,
+                        hi: (*v - 1) as u64,
+                    }
                 }),
                 Value::Str(s) => {
                     let d = table.dict(col).expect("str column has dictionary");
@@ -327,7 +339,11 @@ pub fn compile_predicate(
                     Ok(if ub == 0 {
                         CompiledPred::Never
                     } else {
-                        CompiledPred::Range { col, lo: 0, hi: (ub - 1) as u64 }
+                        CompiledPred::Range {
+                            col,
+                            lo: 0,
+                            hi: (ub - 1) as u64,
+                        }
                     })
                 }
             }
@@ -445,9 +461,18 @@ mod tests {
             group_cols: vec!["year".into()],
             agg_cols: vec!["revenue".into()],
             rows: vec![
-                ResultRow { key_values: vec![Value::Int(1993)], agg_values: vec![50] },
-                ResultRow { key_values: vec![Value::Int(1992)], agg_values: vec![70] },
-                ResultRow { key_values: vec![Value::Int(1994)], agg_values: vec![70] },
+                ResultRow {
+                    key_values: vec![Value::Int(1993)],
+                    agg_values: vec![50],
+                },
+                ResultRow {
+                    key_values: vec![Value::Int(1992)],
+                    agg_values: vec![70],
+                },
+                ResultRow {
+                    key_values: vec![Value::Int(1994)],
+                    agg_values: vec![70],
+                },
             ],
         };
         // Order by revenue desc, tie-broken by group key.
@@ -466,8 +491,14 @@ mod tests {
             group_cols: vec!["g".into()],
             agg_cols: vec![],
             rows: vec![
-                ResultRow { key_values: vec![Value::str("b")], agg_values: vec![] },
-                ResultRow { key_values: vec![Value::str("a")], agg_values: vec![] },
+                ResultRow {
+                    key_values: vec![Value::str("b")],
+                    agg_values: vec![],
+                },
+                ResultRow {
+                    key_values: vec![Value::str("a")],
+                    agg_values: vec![],
+                },
             ],
         }
         .canonicalized();
@@ -505,7 +536,14 @@ mod tests {
         let t = b.finish();
 
         let eq = compile_predicate(&t, &Predicate::eq("n", 10i64)).unwrap();
-        assert_eq!(eq, CompiledPred::Range { col: 0, lo: 10, hi: 10 });
+        assert_eq!(
+            eq,
+            CompiledPred::Range {
+                col: 0,
+                lo: 10,
+                hi: 10
+            }
+        );
         assert!(eq.matches(|_| 10));
         assert!(!eq.matches(|_| 11));
 
@@ -513,31 +551,58 @@ mod tests {
         assert_eq!(eq_missing_str, CompiledPred::Never);
 
         let lt = compile_predicate(&t, &Predicate::lt("n", 15i64)).unwrap();
-        assert_eq!(lt, CompiledPred::Range { col: 0, lo: 0, hi: 14 });
+        assert_eq!(
+            lt,
+            CompiledPred::Range {
+                col: 0,
+                lo: 0,
+                hi: 14
+            }
+        );
         let lt0 = compile_predicate(&t, &Predicate::lt("n", 0i64)).unwrap();
         assert_eq!(lt0, CompiledPred::Never);
 
         let lt_str = compile_predicate(&t, &Predicate::lt("s", "d")).unwrap();
         // codes: b=0, d=1, f=2 → s < "d" ⇔ code <= 0
-        assert_eq!(lt_str, CompiledPred::Range { col: 1, lo: 0, hi: 0 });
+        assert_eq!(
+            lt_str,
+            CompiledPred::Range {
+                col: 1,
+                lo: 0,
+                hi: 0
+            }
+        );
 
-        let between = compile_predicate(
-            &t,
-            &Predicate::between("s", "a", "e"),
-        )
-        .unwrap();
-        assert_eq!(between, CompiledPred::Range { col: 1, lo: 0, hi: 1 });
+        let between = compile_predicate(&t, &Predicate::between("s", "a", "e")).unwrap();
+        assert_eq!(
+            between,
+            CompiledPred::Range {
+                col: 1,
+                lo: 0,
+                hi: 1
+            }
+        );
 
         let inset = compile_predicate(
             &t,
-            &Predicate::is_in("s", vec![Value::str("f"), Value::str("b"), Value::str("nope")]),
+            &Predicate::is_in(
+                "s",
+                vec![Value::str("f"), Value::str("b"), Value::str("nope")],
+            ),
         )
         .unwrap();
-        assert_eq!(inset, CompiledPred::InSet { col: 1, codes: vec![0, 2] });
+        assert_eq!(
+            inset,
+            CompiledPred::InSet {
+                col: 1,
+                codes: vec![0, 2]
+            }
+        );
         assert!(inset.matches(|_| 2));
         assert!(!inset.matches(|_| 1));
 
-        let in_empty = compile_predicate(&t, &Predicate::is_in("s", vec![Value::str("q")])).unwrap();
+        let in_empty =
+            compile_predicate(&t, &Predicate::is_in("s", vec![Value::str("q")])).unwrap();
         assert_eq!(in_empty, CompiledPred::Never);
         assert!(!CompiledPred::Never.matches(|_| 0));
     }
@@ -564,6 +629,9 @@ mod tests {
         };
         assert!(spec.dim_by_fact_col("fk").is_some());
         assert!(spec.dim_by_fact_col("zz").is_none());
-        assert_eq!(spec.agg_input_columns(), vec!["p".to_string(), "q".to_string()]);
+        assert_eq!(
+            spec.agg_input_columns(),
+            vec!["p".to_string(), "q".to_string()]
+        );
     }
 }

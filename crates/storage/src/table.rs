@@ -279,9 +279,8 @@ impl TableBuilder {
             match def.ty {
                 ColumnType::Int => dicts.push(None),
                 ColumnType::Str => {
-                    let dict = Dictionary::build(
-                        (0..nrows).map(|r| self.raw[r * width + c].as_str()),
-                    );
+                    let dict =
+                        Dictionary::build((0..nrows).map(|r| self.raw[r * width + c].as_str()));
                     dicts.push(Some(dict));
                 }
             }
@@ -302,7 +301,8 @@ impl TableBuilder {
                         .as_ref()
                         .expect("str column has dict")
                         .encode(s)
-                        .expect("dictionary was built from these values") as u64,
+                        .expect("dictionary was built from these values")
+                        as u64,
                 };
                 let s = &mut stats[c];
                 s.min = s.min.min(code);
@@ -381,13 +381,20 @@ mod tests {
     fn encode_range_clamps_to_domain() {
         let t = sample();
         // String range partially outside the dictionary.
-        let r = t.encode_range(1, &Value::str("AACHEN"), &Value::str("AZORES")).unwrap();
+        let r = t
+            .encode_range(1, &Value::str("AACHEN"), &Value::str("AZORES"))
+            .unwrap();
         assert_eq!(r, Some((0, 1))); // AMERICA..=ASIA
-        let none = t.encode_range(1, &Value::str("X"), &Value::str("Z")).unwrap();
+        let none = t
+            .encode_range(1, &Value::str("X"), &Value::str("Z"))
+            .unwrap();
         assert_eq!(none, None);
         let ints = t.encode_range(0, &Value::Int(-5), &Value::Int(2)).unwrap();
         assert_eq!(ints, Some((0, 2)));
-        assert_eq!(t.encode_range(0, &Value::Int(5), &Value::Int(2)).unwrap(), None);
+        assert_eq!(
+            t.encode_range(0, &Value::Int(5), &Value::Int(2)).unwrap(),
+            None
+        );
     }
 
     #[test]

@@ -149,11 +149,27 @@ pub enum StorageError {
     DuplicateColumn(String),
     UnknownColumn(String),
     UnknownTable(String),
-    UnknownIndex { table: String, key: String },
-    TypeMismatch { column: String, expected: ColumnType, got: ColumnType },
-    ArityMismatch { expected: usize, got: usize },
-    NegativeInt { column: String, value: i64 },
-    ValueNotInDictionary { column: String, value: String },
+    UnknownIndex {
+        table: String,
+        key: String,
+    },
+    TypeMismatch {
+        column: String,
+        expected: ColumnType,
+        got: ColumnType,
+    },
+    ArityMismatch {
+        expected: usize,
+        got: usize,
+    },
+    NegativeInt {
+        column: String,
+        value: i64,
+    },
+    ValueNotInDictionary {
+        column: String,
+        value: String,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -165,17 +181,27 @@ impl fmt::Display for StorageError {
             StorageError::UnknownIndex { table, key } => {
                 write!(f, "no base index on {table}.{key}")
             }
-            StorageError::TypeMismatch { column, expected, got } => {
+            StorageError::TypeMismatch {
+                column,
+                expected,
+                got,
+            } => {
                 write!(f, "column {column:?} expects {expected:?}, got {got:?}")
             }
             StorageError::ArityMismatch { expected, got } => {
                 write!(f, "row has {got} values, schema has {expected} columns")
             }
             StorageError::NegativeInt { column, value } => {
-                write!(f, "column {column:?} got negative value {value} (unsupported)")
+                write!(
+                    f,
+                    "column {column:?} got negative value {value} (unsupported)"
+                )
             }
             StorageError::ValueNotInDictionary { column, value } => {
-                write!(f, "value {value:?} is not in the dictionary of column {column:?}")
+                write!(
+                    f,
+                    "value {value:?} is not in the dictionary of column {column:?}"
+                )
             }
         }
     }

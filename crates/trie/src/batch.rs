@@ -215,8 +215,14 @@ mod tests {
         assert_eq!(stats.new_keys + stats.appended, pairs.len());
         assert_eq!(batched.len(), scalar.len());
         assert_eq!(batched.total_values(), scalar.total_values());
-        let a: Vec<(u64, Vec<u32>)> = scalar.iter().map(|(k, v)| (k, v.copied().collect())).collect();
-        let b: Vec<(u64, Vec<u32>)> = batched.iter().map(|(k, v)| (k, v.copied().collect())).collect();
+        let a: Vec<(u64, Vec<u32>)> = scalar
+            .iter()
+            .map(|(k, v)| (k, v.copied().collect()))
+            .collect();
+        let b: Vec<(u64, Vec<u32>)> = batched
+            .iter()
+            .map(|(k, v)| (k, v.copied().collect()))
+            .collect();
         assert_eq!(a, b);
     }
 
@@ -235,7 +241,10 @@ mod tests {
         let mut t = PrefixTree::<u32>::pt4_32();
         t.insert(1, 0);
         t.insert(100, 0);
-        assert_eq!(t.batch_contains(&[1, 2, 100, 101]), vec![true, false, true, false]);
+        assert_eq!(
+            t.batch_contains(&[1, 2, 100, 101]),
+            vec![true, false, true, false]
+        );
     }
 
     #[test]

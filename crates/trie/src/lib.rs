@@ -30,7 +30,7 @@ mod stats;
 mod tree;
 
 pub use iter::{Iter, RangeIter};
-pub use scan::{intersect, sync_scan, sync_union_scan, union_distinct};
+pub use scan::{intersect, sync_scan, sync_scan_range, sync_union_scan, union_distinct};
 pub use stats::TrieStats;
 pub use tree::{PrefixTree, Values};
 
@@ -46,7 +46,9 @@ pub enum TrieError {
 impl core::fmt::Display for TrieError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
-            TrieError::InvalidKPrime(k) => write!(f, "invalid prefix length k'={k} (must be 1..=16)"),
+            TrieError::InvalidKPrime(k) => {
+                write!(f, "invalid prefix length k'={k} (must be 1..=16)")
+            }
             TrieError::InvalidKeyBits { key_bits, kprime } => write!(
                 f,
                 "key width {key_bits} must be in 1..=64 and a multiple of k'={kprime}"
@@ -83,12 +85,18 @@ impl TrieConfig {
 
     /// The paper's default: 32-bit keys, `k′ = 4` ("PT4").
     pub fn pt4_32() -> Self {
-        Self { key_bits: 32, kprime: 4 }
+        Self {
+            key_bits: 32,
+            kprime: 4,
+        }
     }
 
     /// 64-bit keys, `k′ = 4` (used for composite keys).
     pub fn pt4_64() -> Self {
-        Self { key_bits: 64, kprime: 4 }
+        Self {
+            key_bits: 64,
+            kprime: 4,
+        }
     }
 
     /// Key width in bits.
@@ -141,7 +149,15 @@ mod config_tests {
 
     #[test]
     fn valid_configs() {
-        for (bits, k) in [(32, 4), (64, 4), (32, 8), (64, 8), (32, 2), (16, 16), (64, 1)] {
+        for (bits, k) in [
+            (32, 4),
+            (64, 4),
+            (32, 8),
+            (64, 8),
+            (32, 2),
+            (16, 16),
+            (64, 1),
+        ] {
             let c = TrieConfig::new(bits, k).unwrap();
             assert_eq!(c.levels() * k as u32, bits as u32);
         }
@@ -149,8 +165,14 @@ mod config_tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        assert!(matches!(TrieConfig::new(32, 0), Err(TrieError::InvalidKPrime(0))));
-        assert!(matches!(TrieConfig::new(32, 17), Err(TrieError::InvalidKPrime(17))));
+        assert!(matches!(
+            TrieConfig::new(32, 0),
+            Err(TrieError::InvalidKPrime(0))
+        ));
+        assert!(matches!(
+            TrieConfig::new(32, 17),
+            Err(TrieError::InvalidKPrime(17))
+        ));
         assert!(matches!(
             TrieConfig::new(0, 4),
             Err(TrieError::InvalidKeyBits { .. })

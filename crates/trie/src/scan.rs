@@ -79,6 +79,107 @@ fn sync_rec<'l, 'r, VL, VR>(
     }
 }
 
+/// Range-restricted synchronous index scan: like [`sync_scan`], but visits
+/// only keys in `[lo, hi]`.
+///
+/// This is the **partitioned cursor** of the parallel executor: a morsel is
+/// a top-level prefix range of the key domain, and each worker co-walks only
+/// the subtrees whose key interval intersects its morsel. Subtrees entirely
+/// outside `[lo, hi]` are pruned exactly like [`RangeIter`](crate::RangeIter)
+/// prunes them, so the per-partition work is proportional to the partition's
+/// population, not the whole tree.
+pub fn sync_scan_range<'l, 'r, VL, VR>(
+    left: &'l PrefixTree<VL>,
+    right: &'r PrefixTree<VR>,
+    lo: u64,
+    hi: u64,
+    mut f: impl FnMut(u64, Values<'l, VL>, Values<'r, VR>),
+) where
+    VL: Copy + Default,
+    VR: Copy + Default,
+{
+    assert_eq!(
+        left.config(),
+        right.config(),
+        "synchronous scan requires identical tree geometry"
+    );
+    if left.is_empty() || right.is_empty() || lo > hi {
+        return;
+    }
+    sync_rec_range(left, right, 0, 0, 0, 0, lo, hi, &mut f);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sync_rec_range<'l, 'r, VL, VR>(
+    left: &'l PrefixTree<VL>,
+    right: &'r PrefixTree<VR>,
+    lnode: u32,
+    rnode: u32,
+    level: u32,
+    prefix: u64,
+    lo: u64,
+    hi: u64,
+    f: &mut impl FnMut(u64, Values<'l, VL>, Values<'r, VR>),
+) where
+    VL: Copy + Default,
+    VR: Copy + Default,
+{
+    let cfg = left.config();
+    let fanout = cfg.fanout();
+    let kprime = cfg.kprime() as u32;
+    let key_bits = cfg.key_bits() as u32;
+    for b in 0..fanout {
+        // Key interval covered by bucket `b` of this node:
+        // [base, base + 2^rem - 1] where `rem` bits remain below.
+        let rem = key_bits - (level + 1) * kprime;
+        let base = ((prefix << kprime) | b as u64) << rem;
+        let span_max = base | if rem == 0 { 0 } else { (1u64 << rem) - 1 };
+        if span_max < lo || base > hi {
+            continue;
+        }
+        let ls = decode(left.slots[left.slot_index(lnode, b)]);
+        let rs = decode(right.slots[right.slot_index(rnode, b)]);
+        match (ls, rs) {
+            (Slot::Empty, _) | (_, Slot::Empty) => {}
+            (Slot::Node(ln), Slot::Node(rn)) => {
+                sync_rec_range(
+                    left,
+                    right,
+                    ln,
+                    rn,
+                    level + 1,
+                    (prefix << kprime) | b as u64,
+                    lo,
+                    hi,
+                    f,
+                );
+            }
+            (Slot::Node(ln), Slot::Content(rc)) => {
+                let key = right.key_of(rc);
+                if key >= lo && key <= hi {
+                    if let Some(lc) = left.find_content_from(ln, level + 1, key) {
+                        f(key, left.values_of(lc), right.values_of(rc));
+                    }
+                }
+            }
+            (Slot::Content(lc), Slot::Node(rn)) => {
+                let key = left.key_of(lc);
+                if key >= lo && key <= hi {
+                    if let Some(rc) = right.find_content_from(rn, level + 1, key) {
+                        f(key, left.values_of(lc), right.values_of(rc));
+                    }
+                }
+            }
+            (Slot::Content(lc), Slot::Content(rc)) => {
+                let key = left.key_of(lc);
+                if key == right.key_of(rc) && key >= lo && key <= hi {
+                    f(key, left.values_of(lc), right.values_of(rc));
+                }
+            }
+        }
+    }
+}
+
 /// Scans the *union* of two trees' keys in ascending order, invoking `f`
 /// with the values present on each side.
 ///
@@ -184,6 +285,83 @@ mod tests {
         let mut got = Vec::new();
         sync_scan(&ta, &tb, |k, _, _| got.push(k));
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn sync_scan_range_matches_filtered_full_scan() {
+        let mut rng = Xoshiro256StarStar::new(11);
+        let a: Vec<u64> = (0..4000).map(|_| rng.below(1 << 20)).collect();
+        let b: Vec<u64> = (0..4000).map(|_| rng.below(1 << 20)).collect();
+        let ta = tree_of(&a);
+        let tb = tree_of(&b);
+        let mut full = Vec::new();
+        sync_scan(&ta, &tb, |k, _, _| full.push(k));
+        for (lo, hi) in [
+            (0u64, u32::MAX as u64),
+            (0, (1 << 19) - 1),
+            (1 << 19, (1 << 20) - 1),
+            (12_345, 678_901),
+            (7, 7),
+            (1 << 21, 1 << 22), // beyond the populated domain
+        ] {
+            let expect: Vec<u64> = full
+                .iter()
+                .copied()
+                .filter(|&k| k >= lo && k <= hi)
+                .collect();
+            let mut got = Vec::new();
+            sync_scan_range(&ta, &tb, lo, hi, |k, _, _| got.push(k));
+            assert_eq!(got, expect, "range [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn sync_scan_range_partitions_cover_exactly_once() {
+        // Disjoint top-level prefix ranges must tile the full scan: this is
+        // the invariant the morsel-driven executor relies on.
+        let mut rng = Xoshiro256StarStar::new(13);
+        let a: Vec<u64> = (0..3000).map(|_| rng.below(1 << 16)).collect();
+        let b: Vec<u64> = (0..3000).map(|_| rng.below(1 << 16)).collect();
+        let ta = tree_of(&a);
+        let tb = tree_of(&b);
+        let mut full = Vec::new();
+        sync_scan(&ta, &tb, |k, _, _| full.push(k));
+        let parts = 8u64;
+        let span = (1u64 << 16) / parts;
+        let mut tiled = Vec::new();
+        for p in 0..parts {
+            sync_scan_range(&ta, &tb, p * span, (p + 1) * span - 1, |k, _, _| {
+                tiled.push(k)
+            });
+        }
+        assert_eq!(tiled, full);
+    }
+
+    #[test]
+    fn sync_scan_range_inverted_and_empty() {
+        let ta = tree_of(&[1, 2, 3]);
+        let tb = tree_of(&[2, 3, 4]);
+        let empty = PrefixTree::<u32>::pt4_32();
+        let mut n = 0;
+        sync_scan_range(&ta, &tb, 10, 5, |_, _, _| n += 1);
+        sync_scan_range(&ta, &empty, 0, u32::MAX as u64, |_, _, _| n += 1);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn sync_scan_range_64bit_keys() {
+        let mut ta = PrefixTree::<u32>::pt4_64();
+        let mut tb = PrefixTree::<u32>::pt4_64();
+        for k in [1u64 << 40, (1 << 40) + 1, 1 << 50, u64::MAX] {
+            ta.insert(k, 0);
+            tb.insert(k, 1);
+        }
+        let mut got = Vec::new();
+        sync_scan_range(&ta, &tb, 1 << 40, 1 << 50, |k, _, _| got.push(k));
+        assert_eq!(got, vec![1 << 40, (1 << 40) + 1, 1 << 50]);
+        let mut top = Vec::new();
+        sync_scan_range(&ta, &tb, (1 << 50) + 1, u64::MAX, |k, _, _| top.push(k));
+        assert_eq!(top, vec![u64::MAX]);
     }
 
     #[test]
@@ -294,7 +472,10 @@ mod tests {
         sync_union_scan(&ta, &tb, |k, l, r| {
             seen.push((k, l.is_some(), r.is_some()));
         });
-        assert_eq!(seen, vec![(1, true, false), (2, false, true), (3, true, true)]);
+        assert_eq!(
+            seen,
+            vec![(1, true, false), (2, false, true), (3, true, true)]
+        );
     }
 
     #[test]

@@ -123,14 +123,19 @@ impl<V: Copy + Default> PrefixTree<V> {
     #[inline]
     pub(crate) fn check_key(&self, key: u64) {
         if let Some(limit) = self.cfg.key_limit() {
-            assert!(key < limit, "key {key:#x} exceeds {}-bit domain", self.cfg.key_bits());
+            assert!(
+                key < limit,
+                "key {key:#x} exceeds {}-bit domain",
+                self.cfg.key_bits()
+            );
         }
     }
 
     #[inline]
     fn alloc_node(&mut self) -> u32 {
         let idx = (self.slots.len() / self.cfg.fanout()) as u32;
-        self.slots.resize(self.slots.len() + self.cfg.fanout(), EMPTY);
+        self.slots
+            .resize(self.slots.len() + self.cfg.fanout(), EMPTY);
         idx
     }
 
@@ -238,12 +243,22 @@ impl<V: Copy + Default> PrefixTree<V> {
 
     /// Replaces the content at `slot` with a chain of inner nodes deep enough
     /// to separate `existing`'s key from `key`, then stores both.
-    fn expand_and_insert(&mut self, mut slot: usize, existing: u32, key: u64, value: V, mut level: u32) {
+    fn expand_and_insert(
+        &mut self,
+        mut slot: usize,
+        existing: u32,
+        key: u64,
+        value: V,
+        mut level: u32,
+    ) {
         let existing_key = self.contents[existing as usize].key;
         debug_assert_ne!(existing_key, key);
         loop {
             level += 1;
-            debug_assert!(level < self.cfg.levels(), "distinct keys must diverge within levels");
+            debug_assert!(
+                level < self.cfg.levels(),
+                "distinct keys must diverge within levels"
+            );
             let node = self.alloc_node();
             self.slots[slot] = enc_node(node);
             let old_frag = self.cfg.fragment(existing_key, level);
@@ -300,7 +315,8 @@ impl<V: Copy + Default> PrefixTree<V> {
     /// Looks up a key, returning its first value (insertion order). For
     /// unique indexes this is *the* value.
     pub fn get_first(&self, key: u64) -> Option<V> {
-        self.get(key).map(|mut vs| *vs.next().expect("content entries hold ≥1 value"))
+        self.get(key)
+            .map(|mut vs| *vs.next().expect("content entries hold ≥1 value"))
     }
 
     /// `true` if the key is present.

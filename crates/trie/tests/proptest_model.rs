@@ -16,7 +16,11 @@ fn build(cfg: TrieConfig, pairs: &[(u64, u32)]) -> (PrefixTree<u32>, BTreeMap<u6
 }
 
 fn key_strategy(bits: u8) -> impl Strategy<Value = u64> {
-    let max = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    let max = if bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    };
     // Mix dense-low keys (forces deep expansion) with full-domain keys.
     prop_oneof![0..=max.min(1024), 0..=max, Just(0), Just(max)]
 }

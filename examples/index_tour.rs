@@ -29,7 +29,12 @@ fn prefix_tree_basics() {
     let in_range: Vec<u64> = t.range(8, 100).map(|(k, _)| k).collect();
     println!("  range [8,100]:  {in_range:?}");
     let s = t.stats();
-    println!("  nodes={} max_depth={} bytes={}\n", s.nodes, s.max_depth, s.total_bytes());
+    println!(
+        "  nodes={} max_depth={} bytes={}\n",
+        s.nodes,
+        s.max_depth,
+        s.total_bytes()
+    );
 }
 
 fn kiss_tree_basics() {
@@ -44,7 +49,11 @@ fn kiss_tree_basics() {
         s.root_virtual_bytes >> 20,
         s.root_touched_bytes >> 10
     );
-    println!("  min={:?} max={:?} (kept for bounded scans)\n", t.min_key(), t.max_key());
+    println!(
+        "  min={:?} max={:?} (kept for bounded scans)\n",
+        t.min_key(),
+        t.max_key()
+    );
 }
 
 fn batch_processing() {
@@ -58,7 +67,11 @@ fn batch_processing() {
     let probes: Vec<u64> = keys.iter().step_by(7).copied().collect();
     let batched = t.batch_get_first(&probes);
     let hits = batched.iter().filter(|v| v.is_some()).count();
-    println!("  batch of {} lookups → {} hits (identical to scalar gets)\n", probes.len(), hits);
+    println!(
+        "  batch of {} lookups → {} hits (identical to scalar gets)\n",
+        probes.len(),
+        hits
+    );
 }
 
 fn duplicates() {
@@ -87,9 +100,17 @@ fn synchronous_scan() {
     }
     let mut matches = 0;
     sync_scan(&a, &b, |_, _, _| matches += 1);
-    println!("  trees of {} / {} keys share {} keys", a.len(), b.len(), matches);
+    println!(
+        "  trees of {} / {} keys share {} keys",
+        a.len(),
+        b.len(),
+        matches
+    );
     let i = intersect(&a, &b);
-    println!("  intersect() materializes them as a new tree: {} keys", i.len());
+    println!(
+        "  intersect() materializes them as a new tree: {} keys",
+        i.len()
+    );
 
     // The KISS variant bounds the root scan by [max(min), min(max)].
     let mut ka = KissTree::<u32>::new(KissConfig::paper());

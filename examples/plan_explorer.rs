@@ -12,16 +12,24 @@ use qppt::core::{prepare_indexes, PlanOptions, QpptEngine};
 use qppt::ssb::{queries, SsbDb};
 
 fn arg(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let query_id = arg(&args, "--query").unwrap_or_else(|| "Q2.3".to_string());
-    let sf: f64 = arg(&args, "--sf").map(|v| v.parse().unwrap()).unwrap_or(0.02);
+    let sf: f64 = arg(&args, "--sf")
+        .map(|v| v.parse().unwrap())
+        .unwrap_or(0.02);
     let select_join = !matches!(arg(&args, "--select-join").as_deref(), Some("off"));
-    let buffer: usize = arg(&args, "--buffer").map(|v| v.parse().unwrap()).unwrap_or(512);
-    let ways: usize = arg(&args, "--ways").map(|v| v.parse().unwrap()).unwrap_or(5);
+    let buffer: usize = arg(&args, "--buffer")
+        .map(|v| v.parse().unwrap())
+        .unwrap_or(512);
+    let ways: usize = arg(&args, "--ways")
+        .map(|v| v.parse().unwrap())
+        .unwrap_or(5);
     let multidim = matches!(arg(&args, "--multidim").as_deref(), Some("on"));
     let set_ops = matches!(arg(&args, "--set-ops").as_deref(), Some("on"));
     let kiss = !matches!(arg(&args, "--kiss").as_deref(), Some("off"));

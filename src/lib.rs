@@ -25,6 +25,9 @@
 //!   engines of §5.
 //! * [`mem`] — arenas, segmented duplicate storage, prefetching, and the
 //!   deterministic PRNG underneath everything.
+//! * [`par`] — morsel-driven parallel execution over prefix-tree
+//!   partitions: [`par::ParEngine`] / [`par::RunParallel`] run the same
+//!   plans as [`core`] on a worker pool, byte-identical results.
 //!
 //! ## Quickstart
 //!
@@ -52,6 +55,7 @@ pub use qppt_core as core;
 pub use qppt_hash as hash;
 pub use qppt_kiss as kiss;
 pub use qppt_mem as mem;
+pub use qppt_par as par;
 pub use qppt_ssb as ssb;
 pub use qppt_storage as storage;
 pub use qppt_trie as trie;

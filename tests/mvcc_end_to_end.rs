@@ -26,10 +26,10 @@ fn insert_matching_row(ssb: &mut SsbDb) -> i64 {
                 Value::Int(1),
                 Value::Int(1),
                 Value::Int(19930301),
-                Value::Int(20),                    // quantity < 25
-                Value::Int(extended),              // extendedprice
-                Value::Int(extended),              // ordtotalprice
-                Value::Int(discount),              // discount in [1,3]
+                Value::Int(20),       // quantity < 25
+                Value::Int(extended), // extendedprice
+                Value::Int(extended), // ordtotalprice
+                Value::Int(discount), // discount in [1,3]
                 Value::Int(extended * (100 - discount) / 100),
                 Value::Int(100),
                 Value::Int(0),
@@ -123,7 +123,9 @@ fn update_moves_a_tuple_between_groups() {
     // Update part rid 0 via delete+insert through the MVCC API.
     let old_row: Vec<Value> = {
         let part = ssb.db.table("part").unwrap().table();
-        (0..part.schema().width()).map(|c| part.value(0, c)).collect()
+        (0..part.schema().width())
+            .map(|c| part.value(0, c))
+            .collect()
     };
     // Change its category to something matched by Q2.1 only if it was not;
     // either way the update must keep engines consistent with the oracle.
