@@ -25,6 +25,17 @@ fn main() {
     let workers = arg_usize_list(&args, "--workers", &[1, 2, 4, 8]);
     let out_path = arg_str(&args, "--out").unwrap_or_else(|| "BENCH_PAR_SCALING.json".to_string());
 
+    // Recorded in the JSON so readers can tell real scaling runs from
+    // overhead-only runs without chasing footnotes.
+    let cores = qppt_server::detected_cores();
+    if cores == 1 {
+        eprintln!(
+            "warning: only 1 hardware core detected — these numbers measure \
+             scheduling overhead, not scaling; rerun on a multicore host for \
+             speedup claims"
+        );
+    }
+
     eprintln!("generating SSB at sf={sf} …");
     let db = BenchDb::prepare(sf, 42);
     let spec = queries::q2_3();
@@ -70,7 +81,7 @@ fn main() {
         .map(|(w, t, s)| format!("    {{\"workers\": {w}, \"ms\": {t:.3}, \"speedup\": {s:.3}}}"))
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"par_scaling\",\n  \"query\": \"Q2.3\",\n  \"sf\": {sf},\n  \"reps\": {reps},\n  \"series\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"par_scaling\",\n  \"query\": \"Q2.3\",\n  \"sf\": {sf},\n  \"reps\": {reps},\n  \"cores\": {cores},\n  \"series\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );
     let mut f = std::fs::File::create(&out_path).expect("create output file");

@@ -48,7 +48,7 @@ pub mod stats;
 pub use engine::QpptEngine;
 pub use exec::KeyRange;
 pub use options::PlanOptions;
-pub use plan::{build_plan, prepare_indexes, Plan};
+pub use plan::{build_plan, planned_indexes, prepare_indexes, Plan, PlannedIndexes};
 pub use stats::{ExecStats, OpStats};
 
 /// Errors from planning or execution.

@@ -61,6 +61,15 @@ pub struct PlanOptions {
     /// select-join (select-probe) pipeline is partitioned into morsels.
     /// When off, such pipelines run sequentially even under `run_parallel`.
     pub par_joins: bool,
+    /// Build base/composite indexes with partitioned parallel sorts on a
+    /// shared worker pool (`qppt_par::prepare_indexes_pooled`): row ids are
+    /// bucketed on the top [`morsel_bits`](Self::morsel_bits) of the key
+    /// domain — the same prefix partitioning scans use — and each bucket
+    /// sorts as one pool task. Off by default (sequential builds); the
+    /// resulting indexes are bit-identical either way, and
+    /// [`prepare_indexes`](crate::plan::prepare_indexes) ignores the switch
+    /// entirely (it has no pool).
+    pub par_index_build: bool,
 }
 
 impl Default for PlanOptions {
@@ -77,6 +86,7 @@ impl Default for PlanOptions {
             par_selections: true,
             par_scans: true,
             par_joins: true,
+            par_index_build: false,
         }
     }
 }
@@ -166,6 +176,12 @@ impl PlanOptions {
         self.par_joins = joins;
         self
     }
+
+    /// Builder-style setter for the parallel index-build switch.
+    pub fn with_par_index_build(mut self, on: bool) -> Self {
+        self.par_index_build = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -184,6 +200,7 @@ mod tests {
         assert_eq!(o.parallelism, 1);
         assert_eq!(o.morsel_bits, 6);
         assert!(o.par_selections && o.par_scans && o.par_joins);
+        assert!(!o.par_index_build);
         assert!(o.validate().is_ok());
     }
 
@@ -227,7 +244,9 @@ mod tests {
             .with_multidim(true)
             .with_parallelism(4)
             .with_morsel_bits(8)
-            .with_par_ops(false, true, false);
+            .with_par_ops(false, true, false)
+            .with_par_index_build(true);
+        assert!(o.par_index_build);
         assert!(!o.select_join);
         assert!(o.multidim_selections);
         assert_eq!(o.join_buffer, 64);

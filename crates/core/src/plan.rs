@@ -276,14 +276,37 @@ impl Plan {
     }
 }
 
-/// Creates (or widens) every base index the plan needs — "indexes are
-/// created once and remain in the data pool for future queries" (§3).
-pub fn prepare_indexes(
-    db: &mut Database,
+/// A multidimensional index a plan needs (see
+/// [`Database::create_composite_index`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompositeDef {
+    pub table: String,
+    /// Key columns, most significant first.
+    pub keys: Vec<String>,
+    pub carried: Vec<String>,
+}
+
+/// The full index set a query needs, as declarative definitions — computed
+/// once so sequential ([`prepare_indexes`]) and pool-parallel
+/// (`qppt_par::prepare_indexes_pooled`) builders create exactly the same
+/// indexes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlannedIndexes {
+    pub base: Vec<IndexDef>,
+    pub composite: Vec<CompositeDef>,
+}
+
+/// Computes every base/composite index definition the query needs under
+/// the given options (fact index on the first FK carrying the stream
+/// columns, one selection index per dimension, per-predicate rid-set
+/// indexes for `selection_via_set_ops`, composite indexes for eligible
+/// `multidim_selections` conjunctions).
+pub fn planned_indexes(
+    db: &Database,
     spec: &QuerySpec,
     opts: &PlanOptions,
-) -> Result<(), QpptError> {
-    db.prefer_kiss = opts.prefer_kiss;
+) -> Result<PlannedIndexes, QpptError> {
+    let mut planned = PlannedIndexes::default();
     // Fact index on the first dimension's FK, carrying everything the
     // stream needs (partially clustered, §3).
     let first = spec
@@ -296,21 +319,25 @@ pub fn prepare_indexes(
         .filter(|c| **c != first.fact_col)
         .map(String::as_str)
         .collect();
-    db.create_index(&IndexDef::new(&spec.fact, &first.fact_col, &carried))?;
+    planned
+        .base
+        .push(IndexDef::new(&spec.fact, &first.fact_col, &carried));
 
     for d in &spec.dims {
         let carried: Vec<String> = dim_index_carried(d);
         let carried_refs: Vec<&str> = carried.iter().map(String::as_str).collect();
         if let Some(p) = d.predicates.first() {
-            db.create_index(&IndexDef::new(&d.table, p.column(), &carried_refs))?;
+            planned
+                .base
+                .push(IndexDef::new(&d.table, p.column(), &carried_refs));
         } else {
             // No predicates: join through the base index on the join column.
             let c: Vec<&str> = d.carried.iter().map(String::as_str).collect();
-            db.create_index(&IndexDef::new(&d.table, &d.join_col, &c))?;
+            planned.base.push(IndexDef::new(&d.table, &d.join_col, &c));
         }
         if opts.selection_via_set_ops && d.predicates.len() >= 2 {
             for p in &d.predicates {
-                db.create_index(&IndexDef::new(&d.table, p.column(), &[]))?;
+                planned.base.push(IndexDef::new(&d.table, p.column(), &[]));
             }
         }
         if opts.multidim_selections && d.predicates.len() >= 2 {
@@ -321,12 +348,40 @@ pub fn prepare_indexes(
                 .map(|p| compile_predicate(t, p))
                 .collect::<Result<_, StorageError>>()?;
             if eligible_multidim(t, &preds, d).is_some() {
-                let keys: Vec<&str> = d.predicates.iter().map(|p| p.column()).collect();
-                let mut carried: Vec<&str> = vec![d.join_col.as_str()];
-                carried.extend(d.carried.iter().map(String::as_str));
-                db.create_composite_index(&d.table, &keys, &carried)?;
+                let keys: Vec<String> = d
+                    .predicates
+                    .iter()
+                    .map(|p| p.column().to_string())
+                    .collect();
+                let mut carried: Vec<String> = vec![d.join_col.clone()];
+                carried.extend(d.carried.iter().cloned());
+                planned.composite.push(CompositeDef {
+                    table: d.table.clone(),
+                    keys,
+                    carried,
+                });
             }
         }
+    }
+    Ok(planned)
+}
+
+/// Creates (or widens) every base index the plan needs — "indexes are
+/// created once and remain in the data pool for future queries" (§3).
+pub fn prepare_indexes(
+    db: &mut Database,
+    spec: &QuerySpec,
+    opts: &PlanOptions,
+) -> Result<(), QpptError> {
+    db.prefer_kiss = opts.prefer_kiss;
+    let planned = planned_indexes(db, spec, opts)?;
+    for def in &planned.base {
+        db.create_index(def)?;
+    }
+    for c in &planned.composite {
+        let keys: Vec<&str> = c.keys.iter().map(String::as_str).collect();
+        let carried: Vec<&str> = c.carried.iter().map(String::as_str).collect();
+        db.create_composite_index(&c.table, &keys, &carried)?;
     }
     Ok(())
 }

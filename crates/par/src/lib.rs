@@ -14,34 +14,47 @@
 //!    first, each morsel corresponds to whole subtrees, and the partitioned
 //!    cursors (`qppt_trie::sync_scan_range`,
 //!    `qppt_kiss::kiss_sync_scan_range`) walk only those subtrees.
-//! 2. **Schedule** (the morsel-driven pool) — `parallelism` std threads
-//!    pull morsel indexes from an atomic dispenser; each worker runs the
-//!    *entire* fact pipeline — synchronous index scan or fused select-join,
-//!    assisting probes, all later stages — restricted to its morsel, into a
-//!    **private** aggregation index. Work-pulling self-balances skewed
-//!    subtrees; nothing is shared mutably.
+//! 2. **Schedule** — workers pull morsel indexes from an atomic dispenser;
+//!    each worker runs the *entire* fact pipeline — synchronous index scan
+//!    or fused select-join, assisting probes, all later stages — restricted
+//!    to its morsel, into a **private** aggregation index. Work-pulling
+//!    self-balances skewed subtrees; nothing is shared mutably.
 //! 3. **Merge** — per-worker aggregation tables are folded with
 //!    [`AggTable::merge_from`](qppt_core::inter::AggTable::merge_from) and
 //!    per-worker [`OpStats`](qppt_core::OpStats) with
 //!    [`ExecStats::merge_partition`](qppt_core::ExecStats::merge_partition),
-//!    both in worker-index order. Accumulators are sums, so the merged
-//!    index — and therefore the decoded, ordered
+//!    in participant order. Accumulators are sums, so the merged index —
+//!    and therefore the decoded, ordered
 //!    [`QueryResult`](qppt_storage::QueryResult) — is byte-identical to a
 //!    sequential run, whatever the thread timing.
 //!
-//! Dimension selections (σ) are materialized **once**, before the pool
-//! starts, optionally in parallel (one task per dimension,
+//! Two engines drive that machinery:
+//!
+//! * [`ParEngine`] — the embedded, one-shot path: a **scoped** thread pool
+//!   spawned per query. Zero setup, but per-query spawn cost — the
+//!   spawn-per-query baseline of `BENCH_SERVER_THROUGHPUT.json`.
+//! * [`PooledEngine`] — the serving path: queries submit their morsel
+//!   queues as jobs to a persistent shared [`WorkerPool`] (std threads
+//!   created once, priority + admission budget), so N concurrent queries
+//!   share one fixed set of threads instead of spawning N×P. This is what
+//!   `qppt-server` runs on.
+//!
+//! Dimension selections (σ) are materialized **once**, before the fact
+//! pipeline starts, optionally in parallel (one task per dimension,
 //! [`par_selections`](qppt_core::PlanOptions::par_selections)), and shared
 //! read-only by all workers. The per-class switches
 //! [`par_scans`](qppt_core::PlanOptions::par_scans) /
 //! [`par_joins`](qppt_core::PlanOptions::par_joins) gate whether a
-//! sync-scan-led or select-join-led pipeline is partitioned at all.
+//! sync-scan-led or select-join-led pipeline is partitioned at all. Base
+//! and composite index *builds* can also ride the shared pool — see
+//! [`prepare_indexes_pooled`] ([`par_index_build`](qppt_core::PlanOptions::par_index_build)).
 //!
 //! ## Example
 //!
 //! ```
+//! use std::sync::Arc;
 //! use qppt_core::{prepare_indexes, PlanOptions, QpptEngine};
-//! use qppt_par::{ParEngine, RunParallel};
+//! use qppt_par::{ParEngine, PooledEngine, RunParallel, WorkerPool};
 //! use qppt_ssb::{queries, SsbDb};
 //!
 //! let mut ssb = SsbDb::generate(0.01, 42);
@@ -49,21 +62,33 @@
 //! let spec = queries::q2_3();
 //! prepare_indexes(&mut ssb.db, &spec, &opts).unwrap();
 //!
-//! // Either the dedicated engine …
+//! // The one-shot engine (scoped threads per query) …
 //! let par = ParEngine::new(&ssb.db);
 //! let parallel = par.run(&spec, &opts).unwrap();
 //!
-//! // … or the extension method on the sequential engine.
+//! // … the extension method on the sequential engine …
 //! let engine = QpptEngine::new(&ssb.db);
 //! let sequential = engine.run(&spec, &opts).unwrap();
 //! assert_eq!(engine.run_parallel(&spec, &opts).unwrap(), parallel);
-//! assert_eq!(parallel, sequential); // byte-identical, morsels or not
+//!
+//! // … and the serving path: a persistent pool shared across queries.
+//! let db = Arc::new(ssb.db);
+//! let pool = WorkerPool::new(4, 8);
+//! let pooled = PooledEngine::new(db, pool.clone());
+//! assert_eq!(pooled.run(&spec, &opts).unwrap(), sequential);
+//! pool.shutdown(); // started queries finish; threads join
 //! ```
 
 mod morsel;
+mod pool;
+mod pooled;
+mod prepare;
 mod scheduler;
 
 pub use morsel::Partitioner;
+pub use pool::{JobAborted, JobHandle, PoolJob, WorkerPool};
+pub use pooled::PooledEngine;
+pub use prepare::prepare_indexes_pooled;
 
 use std::thread;
 use std::time::Instant;
@@ -71,14 +96,71 @@ use std::time::Instant;
 use qppt_core::exec::{
     decode_result, materialize_dim, materialize_fused_selection, new_agg_table, run_pipeline,
 };
-use qppt_core::inter::InterTable;
+use qppt_core::inter::{AggTable, InterTable};
 use qppt_core::plan::MainInput;
 use qppt_core::{build_plan, ExecStats, Plan, PlanOptions, QpptEngine, QpptError};
 use qppt_storage::{Database, QueryResult, QuerySpec, Snapshot};
 
+/// Worker count for the fact pipeline: `opts.parallelism` if the stage-1
+/// operator's class is switched on, else 1 (sequential).
+pub(crate) fn pipeline_workers(plan: &Plan) -> usize {
+    let class_on = match plan.stages[0].main {
+        MainInput::SyncScan { .. } => plan.opts.par_scans,
+        MainInput::SelectProbe { .. } => plan.opts.par_joins,
+    };
+    if class_on {
+        plan.opts.parallelism.max(1)
+    } else {
+        1
+    }
+}
+
+/// Morsels over the populated key interval of the stage-1 fact index.
+pub(crate) fn partition_morsels(
+    db: &Database,
+    plan: &Plan,
+) -> Result<Vec<qppt_core::KeyRange>, QpptError> {
+    let fact_base = db.find_index(&plan.spec.fact, &plan.dims[0].fact_col_name)?;
+    let (Some(min), Some(max)) = (
+        fact_base.data.index.min_key(),
+        fact_base.data.index.max_key(),
+    ) else {
+        // Empty fact index: one full-range morsel keeps the pipeline
+        // shape (and its statistics records) intact.
+        return Ok(vec![qppt_core::KeyRange::full()]);
+    };
+    Ok(Partitioner::new(min, max, plan.opts.morsel_bits)
+        .morsels()
+        .to_vec())
+}
+
+/// Post-merge statistics fixup shared by both parallel engines.
+///
+/// Merged `out_keys`/`out_tuples`/`memory_bytes` are per-partition sums.
+/// For the final join-group operator the same group key can appear in many
+/// partitions, so the sum overcounts — overwrite it with the merged index's
+/// true numbers. The last stage is always the aggregating one by plan
+/// construction, and its record is always the last operator pushed.
+/// Intermediate-stage records keep the summed semantics (their `out_keys`
+/// is an upper bound on distinct keys when a stage-2+ join key spans
+/// partitions); see `OpStats::absorb_partition`.
+pub(crate) fn fix_merged_agg_stats(plan: &Plan, agg: &AggTable, stats: &mut ExecStats) {
+    debug_assert!(matches!(
+        plan.stages.last().map(|s| &s.output),
+        Some(qppt_core::plan::StageOutput::Agg)
+    ));
+    if let Some(last) = stats.ops.last_mut() {
+        last.out_keys = agg.group_count();
+        last.out_tuples = agg.group_count();
+        last.memory_bytes = agg.memory_bytes();
+    }
+}
+
 /// The parallel QPPT engine: same contract as
 /// [`QpptEngine`](qppt_core::QpptEngine), executed morsel-parallel according
-/// to the [`PlanOptions`] parallel knobs.
+/// to the [`PlanOptions`] parallel knobs on a **scoped, per-query** thread
+/// pool. For a shared pool serving concurrent queries, see
+/// [`PooledEngine`].
 #[derive(Debug, Clone, Copy)]
 pub struct ParEngine<'a> {
     db: &'a Database,
@@ -122,13 +204,13 @@ impl<'a> ParEngine<'a> {
 
         // 2. Fact pipeline: morsel-parallel when the stage-1 operator's
         //    class is enabled, sequential otherwise.
-        let (agg, pipeline_stats) = if self.pipeline_workers(&plan) > 1 {
+        let (agg, pipeline_stats) = if pipeline_workers(&plan) > 1 {
             // The fused select-join stream (if any) is materialized once
             // and shared, so morsel workers do not re-evaluate the
             // selection predicates per morsel.
             let fused = materialize_fused_selection(self.db, snap, &plan)?;
-            let morsels = self.partition(&plan)?;
-            let workers = self.pipeline_workers(&plan).min(morsels.len()).max(1);
+            let morsels = partition_morsels(self.db, &plan)?;
+            let workers = pipeline_workers(&plan).min(morsels.len()).max(1);
             scheduler::run_morsels(
                 self.db,
                 snap,
@@ -150,62 +232,12 @@ impl<'a> ParEngine<'a> {
             )
         };
         stats.ops.extend(pipeline_stats.ops);
-
-        // Merged `out_keys`/`out_tuples`/`memory_bytes` are per-partition
-        // sums. For the final join-group operator the same group key can
-        // appear in many partitions, so the sum overcounts — overwrite it
-        // with the merged index's true numbers. The last stage is always
-        // the aggregating one by plan construction, and its record is
-        // always the last operator pushed. Intermediate-stage records keep
-        // the summed semantics (their `out_keys` is an upper bound on
-        // distinct keys when a stage-2+ join key spans partitions); see
-        // `OpStats::absorb_partition`.
-        debug_assert!(matches!(
-            plan.stages.last().map(|s| &s.output),
-            Some(qppt_core::plan::StageOutput::Agg)
-        ));
-        if let Some(last) = stats.ops.last_mut() {
-            last.out_keys = agg.group_count();
-            last.out_tuples = agg.group_count();
-            last.memory_bytes = agg.memory_bytes();
-        }
+        fix_merged_agg_stats(&plan, &agg, &mut stats);
 
         // 3. Decode the merged aggregation index.
         let result = decode_result(self.db, &plan, &agg);
         stats.total_micros = started.elapsed().as_micros();
         Ok((result, stats))
-    }
-
-    /// Worker count for the fact pipeline: `opts.parallelism` if the
-    /// stage-1 operator's class is switched on, else 1 (sequential).
-    fn pipeline_workers(&self, plan: &Plan) -> usize {
-        let class_on = match plan.stages[0].main {
-            MainInput::SyncScan { .. } => plan.opts.par_scans,
-            MainInput::SelectProbe { .. } => plan.opts.par_joins,
-        };
-        if class_on {
-            plan.opts.parallelism.max(1)
-        } else {
-            1
-        }
-    }
-
-    /// Morsels over the populated key interval of the stage-1 fact index.
-    fn partition(&self, plan: &Plan) -> Result<Vec<qppt_core::KeyRange>, QpptError> {
-        let fact_base = self
-            .db
-            .find_index(&plan.spec.fact, &plan.dims[0].fact_col_name)?;
-        let (Some(min), Some(max)) = (
-            fact_base.data.index.min_key(),
-            fact_base.data.index.max_key(),
-        ) else {
-            // Empty fact index: one full-range morsel keeps the pipeline
-            // shape (and its statistics records) intact.
-            return Ok(vec![qppt_core::KeyRange::full()]);
-        };
-        Ok(Partitioner::new(min, max, plan.opts.morsel_bits)
-            .morsels()
-            .to_vec())
     }
 
     /// Materializes every `Materialized` dimension selection — in parallel

@@ -1,0 +1,528 @@
+//! The persistent, shared worker pool: std threads created **once**,
+//! serving the morsel queues of many concurrent queries.
+//!
+//! `ParEngine` (the original, embedded entry point) spawns a scoped thread
+//! pool per query — fine for one-shot library use, but under concurrent
+//! load N queries × P workers means N×P thread spawns per batch, and spawn
+//! cost dominates at small scale factors. [`WorkerPool`] is the serving-path
+//! alternative (Leis et al.'s shared morsel-driven pool): a fixed set of
+//! workers created at startup, to which queries submit *jobs* — bundles of
+//! pull-able tasks (morsels, dimension selections, index-build partitions).
+//!
+//! Scheduling model:
+//!
+//! * **Work pulling within a job** — a job exposes an atomic task dispenser
+//!   through [`PoolJob::work`]; every worker that *joins* the job pulls
+//!   tasks until none remain, so skewed tasks self-balance exactly as in
+//!   the scoped scheduler.
+//! * **Priority across jobs** — idle workers join the admitted job with the
+//!   highest `priority` (ties: submission order, i.e. FIFO). A job never
+//!   uses more than [`PoolJob::max_workers`] workers, so one wide query
+//!   cannot monopolize the pool against a concurrent narrow one any harder
+//!   than its own parallelism setting allows.
+//! * **Admission budget** — at most `max_active` jobs are admitted at once;
+//!   [`WorkerPool::submit`] blocks until a slot frees. This bounds memory
+//!   (per-query partial aggregation tables) and keeps tail latency sane
+//!   under overload, which is the server's admission control.
+//!
+//! Determinism: the pool adds no nondeterminism of its own — jobs own their
+//! task dispensers and merge their partials in participant order, and all
+//! QPPT partials merge commutatively (accumulator sums), so results are
+//! byte-identical no matter which worker ran which task (see
+//! `par_equivalence` and the `serve_equivalence` integration test).
+//!
+//! Shutdown semantics: jobs that have started (≥ 1 worker joined) run to
+//! completion; jobs still queued unstarted are aborted, and waiting on them
+//! returns [`JobAborted`](JobHandle::wait). [`WorkerPool::shutdown`] then
+//! joins every worker thread.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+
+/// A bundle of pull-able tasks submitted to the [`WorkerPool`].
+///
+/// Implementations hold their own atomic task dispenser and per-participant
+/// result slots; the pool only decides *which workers* call [`work`] and
+/// *when the job is finished* (no unclaimed tasks and no worker still
+/// inside `work`).
+///
+/// [`work`]: PoolJob::work
+pub trait PoolJob: Send + Sync {
+    /// Upper bound on concurrently useful workers (e.g. the query's
+    /// `parallelism`, clamped to its task count). The pool never lets more
+    /// than this many workers join.
+    fn max_workers(&self) -> usize;
+
+    /// `true` while unclaimed tasks remain. Once this returns `false` it
+    /// must stay `false` (jobs may flip it early to abort, e.g. on error).
+    fn has_work(&self) -> bool;
+
+    /// Pull tasks from the job's dispenser and run them until none remain.
+    /// Called by up to [`max_workers`](PoolJob::max_workers) pool threads;
+    /// must not panic (worker threads treat panics as fatal).
+    fn work(&self);
+}
+
+/// Completion ticket for a submitted job.
+#[derive(Debug)]
+pub struct JobHandle {
+    slot: Arc<DoneSlot>,
+}
+
+impl JobHandle {
+    /// Blocks until the job finished (all tasks executed and every
+    /// participating worker returned). Returns `Err(JobAborted)` if the
+    /// pool shut down before the job started.
+    pub fn wait(self) -> Result<(), JobAborted> {
+        let mut st = self.slot.state.lock().expect("pool lock");
+        while *st == SlotState::Pending {
+            st = self.slot.cv.wait(st).expect("pool lock");
+        }
+        match *st {
+            SlotState::Done => Ok(()),
+            SlotState::Aborted => Err(JobAborted),
+            SlotState::Pending => unreachable!(),
+        }
+    }
+}
+
+/// The pool shut down before the job ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobAborted;
+
+impl std::fmt::Display for JobAborted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker pool shut down before the job ran")
+    }
+}
+
+impl std::error::Error for JobAborted {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    Pending,
+    Done,
+    Aborted,
+}
+
+#[derive(Debug)]
+struct DoneSlot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+impl DoneSlot {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(SlotState::Pending),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn finish(&self, state: SlotState) {
+        *self.state.lock().expect("pool lock") = state;
+        self.cv.notify_all();
+    }
+}
+
+struct Entry {
+    seq: u64,
+    priority: i32,
+    /// Workers that ever joined (never decremented; capped at
+    /// `job.max_workers()`).
+    joined: usize,
+    /// Workers currently inside `job.work()`.
+    active: usize,
+    job: Arc<dyn PoolJob>,
+    slot: Arc<DoneSlot>,
+}
+
+struct PoolState {
+    queue: Vec<Entry>,
+    next_seq: u64,
+    shutdown: bool,
+}
+
+struct Inner {
+    state: Mutex<PoolState>,
+    /// Workers wait here for admitted work.
+    work_cv: Condvar,
+    /// Submitters wait here for an admission slot.
+    admit_cv: Condvar,
+    max_active: usize,
+}
+
+/// The shared worker pool (see module docs).
+pub struct WorkerPool {
+    inner: Arc<Inner>,
+    threads: Mutex<Vec<thread::JoinHandle<()>>>,
+    size: usize,
+    threads_created: AtomicUsize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("size", &self.size)
+            .field("max_active", &self.inner.max_active)
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Creates a pool of `size` worker threads (≥ 1) admitting at most
+    /// `max_active` concurrent jobs (≥ 1). All threads are spawned here —
+    /// queries never spawn again.
+    pub fn new(size: usize, max_active: usize) -> Arc<Self> {
+        let size = size.max(1);
+        let inner = Arc::new(Inner {
+            state: Mutex::new(PoolState {
+                queue: Vec::new(),
+                next_seq: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            admit_cv: Condvar::new(),
+            max_active: max_active.max(1),
+        });
+        let pool = Arc::new(Self {
+            inner: inner.clone(),
+            threads: Mutex::new(Vec::with_capacity(size)),
+            size,
+            threads_created: AtomicUsize::new(0),
+        });
+        let mut threads = pool.threads.lock().expect("pool lock");
+        for wid in 0..size {
+            let inner = inner.clone();
+            pool.threads_created.fetch_add(1, Ordering::Relaxed);
+            threads.push(
+                thread::Builder::new()
+                    .name(format!("qppt-pool-{wid}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn pool worker"),
+            );
+        }
+        drop(threads);
+        pool
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Admission budget (max concurrently admitted jobs).
+    pub fn max_active(&self) -> usize {
+        self.inner.max_active
+    }
+
+    /// Total worker threads ever spawned by this pool — exactly
+    /// [`size`](Self::size), however many queries ran. The
+    /// `serve_equivalence` test asserts on this to pin down the
+    /// "one pool, not queries × parallelism threads" contract.
+    pub fn threads_created(&self) -> usize {
+        self.threads_created.load(Ordering::Relaxed)
+    }
+
+    /// Submits a job at `priority` (higher runs first; FIFO within a
+    /// priority). Blocks while the admission budget is exhausted. The job
+    /// starts executing as soon as a worker is free; call
+    /// [`JobHandle::wait`] for completion.
+    ///
+    /// A job with no work at submission completes immediately; a submission
+    /// after [`shutdown`](Self::shutdown) is aborted.
+    pub fn submit(&self, job: Arc<dyn PoolJob>, priority: i32) -> JobHandle {
+        let slot = DoneSlot::new();
+        let mut st = self.inner.state.lock().expect("pool lock");
+        while st.queue.len() >= self.inner.max_active && !st.shutdown {
+            st = self.inner.admit_cv.wait(st).expect("pool lock");
+        }
+        if st.shutdown {
+            slot.finish(SlotState::Aborted);
+        } else if !job.has_work() {
+            slot.finish(SlotState::Done);
+        } else {
+            let seq = st.next_seq;
+            st.next_seq += 1;
+            st.queue.push(Entry {
+                seq,
+                priority,
+                joined: 0,
+                active: 0,
+                job,
+                slot: slot.clone(),
+            });
+            self.inner.work_cv.notify_all();
+        }
+        drop(st);
+        JobHandle { slot }
+    }
+
+    /// Convenience: submit and wait.
+    pub fn run(&self, job: Arc<dyn PoolJob>, priority: i32) -> Result<(), JobAborted> {
+        self.submit(job, priority).wait()
+    }
+
+    /// Stops the pool: started jobs run to completion, unstarted queued
+    /// jobs are aborted, worker threads are joined. Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.inner.state.lock().expect("pool lock");
+            if st.shutdown {
+                return;
+            }
+            st.shutdown = true;
+            // Abort jobs nobody has started; in-flight jobs retire normally.
+            st.queue.retain(|e| {
+                if e.joined == 0 {
+                    e.slot.finish(SlotState::Aborted);
+                    false
+                } else {
+                    true
+                }
+            });
+            self.inner.work_cv.notify_all();
+            self.inner.admit_cv.notify_all();
+        }
+        let mut threads = self.threads.lock().expect("pool lock");
+        for t in threads.drain(..) {
+            t.join().expect("pool worker does not panic");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        // Pick the best joinable job: has unclaimed work, worker cap not
+        // reached, highest priority, earliest submission.
+        let (job, seq) = {
+            let mut st = inner.state.lock().expect("pool lock");
+            loop {
+                let best = st
+                    .queue
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.joined < e.job.max_workers() && e.job.has_work())
+                    .max_by_key(|(_, e)| (e.priority, std::cmp::Reverse(e.seq)))
+                    .map(|(i, _)| i);
+                if let Some(i) = best {
+                    st.queue[i].joined += 1;
+                    st.queue[i].active += 1;
+                    break (st.queue[i].job.clone(), st.queue[i].seq);
+                }
+                if st.shutdown {
+                    // Nothing joinable remains; in-flight entries are
+                    // retired by their own last active worker.
+                    return;
+                }
+                st = inner.work_cv.wait(st).expect("pool lock");
+            }
+        };
+
+        // Work-pull until the job's dispenser is empty.
+        job.work();
+
+        // Retire the job when its last active worker returns.
+        let mut st = inner.state.lock().expect("pool lock");
+        let i = st
+            .queue
+            .iter()
+            .position(|e| e.seq == seq)
+            .expect("in-flight jobs stay queued");
+        st.queue[i].active -= 1;
+        if st.queue[i].active == 0 && !st.queue[i].job.has_work() {
+            let e = st.queue.remove(i);
+            e.slot.finish(SlotState::Done);
+            // A freed admission slot may unblock a submitter; new workers
+            // cannot be needed (retiring adds no work).
+            inner.admit_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A job whose tasks increment a counter, with optional per-task spin
+    /// to force contention.
+    struct CountJob {
+        next: AtomicUsize,
+        tasks: usize,
+        done: AtomicUsize,
+        max_workers: usize,
+        spin: u32,
+        participants: AtomicUsize,
+    }
+
+    impl CountJob {
+        fn new(tasks: usize, max_workers: usize, spin: u32) -> Arc<Self> {
+            Arc::new(Self {
+                next: AtomicUsize::new(0),
+                tasks,
+                done: AtomicUsize::new(0),
+                max_workers,
+                spin,
+                participants: AtomicUsize::new(0),
+            })
+        }
+    }
+
+    impl PoolJob for CountJob {
+        fn max_workers(&self) -> usize {
+            self.max_workers
+        }
+
+        fn has_work(&self) -> bool {
+            self.next.load(Ordering::Relaxed) < self.tasks
+        }
+
+        fn work(&self) {
+            self.participants.fetch_add(1, Ordering::Relaxed);
+            loop {
+                let i = self.next.fetch_add(1, Ordering::Relaxed);
+                if i >= self.tasks {
+                    break;
+                }
+                for s in 0..self.spin {
+                    std::hint::black_box(s);
+                }
+                self.done.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    #[test]
+    fn runs_every_task_exactly_once() {
+        let pool = WorkerPool::new(4, 8);
+        let job = CountJob::new(1000, 4, 0);
+        pool.run(job.clone(), 0).unwrap();
+        assert_eq!(job.done.load(Ordering::Relaxed), 1000);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn many_concurrent_jobs_share_the_fixed_pool() {
+        let pool = WorkerPool::new(3, 16);
+        let jobs: Vec<_> = (0..12).map(|_| CountJob::new(50, 4, 100)).collect();
+        let handles: Vec<_> = jobs
+            .iter()
+            .map(|j| pool.submit(j.clone() as Arc<dyn PoolJob>, 0))
+            .collect();
+        for h in handles {
+            h.wait().unwrap();
+        }
+        for j in &jobs {
+            assert_eq!(j.done.load(Ordering::Relaxed), 50);
+            // Never more participants than the per-job cap or the pool.
+            assert!(j.participants.load(Ordering::Relaxed) <= 3);
+        }
+        assert_eq!(pool.threads_created(), 3);
+        pool.shutdown();
+        assert_eq!(pool.threads_created(), 3);
+    }
+
+    #[test]
+    fn empty_job_completes_immediately() {
+        let pool = WorkerPool::new(2, 2);
+        let job = CountJob::new(0, 4, 0);
+        pool.run(job.clone(), 0).unwrap();
+        assert_eq!(job.done.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn max_workers_one_serializes_job() {
+        let pool = WorkerPool::new(4, 4);
+        let job = CountJob::new(200, 1, 50);
+        pool.run(job.clone(), 0).unwrap();
+        assert_eq!(job.done.load(Ordering::Relaxed), 200);
+        assert_eq!(job.participants.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn admission_budget_blocks_but_preserves_all_work() {
+        // Budget of 1: submissions serialize, everything still completes.
+        let pool = WorkerPool::new(2, 1);
+        let jobs: Vec<_> = (0..6).map(|_| CountJob::new(40, 2, 20)).collect();
+        thread::scope(|s| {
+            for j in &jobs {
+                let pool = &pool;
+                s.spawn(move || pool.run(j.clone() as Arc<dyn PoolJob>, 0).unwrap());
+            }
+        });
+        for j in &jobs {
+            assert_eq!(j.done.load(Ordering::Relaxed), 40);
+        }
+    }
+
+    #[test]
+    fn submit_after_shutdown_aborts() {
+        let pool = WorkerPool::new(1, 1);
+        pool.shutdown();
+        let job = CountJob::new(10, 1, 0);
+        assert_eq!(pool.run(job.clone(), 0), Err(JobAborted));
+        assert_eq!(job.done.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn priority_orders_pending_jobs() {
+        // One worker, saturated by a long job; then a low- and a
+        // high-priority job are queued. The high one must run first.
+        let pool = WorkerPool::new(1, 8);
+        let blocker = CountJob::new(1, 1, 2_000_000);
+        let lo = CountJob::new(1, 1, 0);
+        let hi = CountJob::new(1, 1, 0);
+        let order: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+
+        struct Tagged {
+            inner: Arc<CountJob>,
+            tag: &'static str,
+            order: Arc<Mutex<Vec<&'static str>>>,
+        }
+        impl PoolJob for Tagged {
+            fn max_workers(&self) -> usize {
+                self.inner.max_workers()
+            }
+            fn has_work(&self) -> bool {
+                self.inner.has_work()
+            }
+            fn work(&self) {
+                self.order.lock().unwrap().push(self.tag);
+                self.inner.work();
+            }
+        }
+
+        let hb = pool.submit(blocker.clone(), 0);
+        // Give the worker a moment to join the blocker, then queue the rest.
+        while blocker.participants.load(Ordering::Relaxed) == 0 {
+            thread::yield_now();
+        }
+        let hl = pool.submit(
+            Arc::new(Tagged {
+                inner: lo,
+                tag: "lo",
+                order: order.clone(),
+            }),
+            -1,
+        );
+        let hh = pool.submit(
+            Arc::new(Tagged {
+                inner: hi,
+                tag: "hi",
+                order: order.clone(),
+            }),
+            1,
+        );
+        hb.wait().unwrap();
+        hh.wait().unwrap();
+        hl.wait().unwrap();
+        assert_eq!(*order.lock().unwrap(), vec!["hi", "lo"]);
+    }
+}

@@ -1,0 +1,298 @@
+//! [`PooledEngine`]: the serving-path engine — same plans, same
+//! byte-identical results as [`QpptEngine`](qppt_core::QpptEngine) and
+//! [`ParEngine`](crate::ParEngine), executed on a persistent shared
+//! [`WorkerPool`] instead of a scoped per-query pool.
+//!
+//! N concurrent queries submit their morsel queues (and, with
+//! `par_selections`, their dimension-selection tasks) as [`PoolJob`]s; the
+//! pool's fixed workers interleave them under the priority/admission policy.
+//! Total threads are bounded by the pool size, not queries × parallelism —
+//! the property `qppt-server` is built on.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use qppt_core::exec::{
+    decode_result, materialize_dim, materialize_fused_selection, new_agg_table, run_pipeline,
+    FusedSelection,
+};
+use qppt_core::inter::{AggTable, InterTable};
+use qppt_core::{build_plan, ExecStats, KeyRange, OpStats, Plan, PlanOptions, QpptError};
+use qppt_storage::{Database, QueryResult, QuerySpec, Snapshot};
+
+use crate::pool::{PoolJob, WorkerPool};
+use crate::scheduler::{drain_morsels, merge_partials};
+use crate::{partition_morsels, pipeline_workers};
+
+/// The shared-pool QPPT engine (see module docs). Cheap to clone; clones
+/// share the database and the pool.
+#[derive(Debug, Clone)]
+pub struct PooledEngine {
+    db: Arc<Database>,
+    pool: Arc<WorkerPool>,
+}
+
+impl PooledEngine {
+    /// Creates an engine over a shared database and worker pool.
+    pub fn new(db: Arc<Database>, pool: Arc<WorkerPool>) -> Self {
+        Self { db, pool }
+    }
+
+    /// The shared database.
+    pub fn db(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// The shared worker pool.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
+    /// Runs a query at the latest snapshot (priority 0).
+    pub fn run(&self, spec: &QuerySpec, opts: &PlanOptions) -> Result<QueryResult, QpptError> {
+        Ok(self.run_with_stats(spec, opts)?.0)
+    }
+
+    /// Runs a query, returning merged per-operator statistics (priority 0).
+    pub fn run_with_stats(
+        &self,
+        spec: &QuerySpec,
+        opts: &PlanOptions,
+    ) -> Result<(QueryResult, ExecStats), QpptError> {
+        self.run_at(spec, opts, self.db.snapshot(), 0)
+    }
+
+    /// Runs a query at an explicit snapshot with an explicit pool priority
+    /// (higher preempts lower for idle workers; in-flight morsels are never
+    /// preempted).
+    pub fn run_at(
+        &self,
+        spec: &QuerySpec,
+        opts: &PlanOptions,
+        snap: Snapshot,
+        priority: i32,
+    ) -> Result<(QueryResult, ExecStats), QpptError> {
+        let plan = Arc::new(build_plan(&self.db, spec, opts)?);
+        let started = Instant::now();
+        let mut stats = ExecStats::default();
+
+        // 1. Dimension selections — as a pool job when parallel selections
+        //    are on and there is more than one to build.
+        let dim_tables = Arc::new(self.materialize_dims(snap, &plan, priority, &mut stats)?);
+
+        // 2. Fact pipeline: a morsel job on the shared pool when the
+        //    stage-1 operator class is parallel-enabled, inline otherwise.
+        let workers = pipeline_workers(&plan).min(self.pool.size());
+        let (agg, pipeline_stats) = if workers > 1 {
+            let fused = materialize_fused_selection(&self.db, snap, &plan)?;
+            let morsels = partition_morsels(&self.db, &plan)?;
+            let max_workers = workers.min(morsels.len()).max(1);
+            let job = Arc::new(MorselJob {
+                db: self.db.clone(),
+                snap,
+                plan: plan.clone(),
+                dim_tables: dim_tables.clone(),
+                fused,
+                morsels,
+                next: AtomicUsize::new(0),
+                participants: AtomicUsize::new(0),
+                partials: Mutex::new(Vec::new()),
+                error: Mutex::new(None),
+                aborted: AtomicBool::new(false),
+                max_workers,
+            });
+            self.pool
+                .submit(job.clone() as Arc<dyn PoolJob>, priority)
+                .wait()
+                .map_err(|_| pool_down())?;
+            if let Some(e) = job.error.lock().expect("job lock").take() {
+                return Err(e);
+            }
+            let partials = std::mem::take(&mut *job.partials.lock().expect("job lock"));
+            if partials.is_empty() {
+                (new_agg_table(&plan), ExecStats::default())
+            } else {
+                merge_partials(partials)
+            }
+        } else {
+            let mut agg = new_agg_table(&plan);
+            let ops = run_pipeline(&self.db, snap, &plan, &dim_tables, None, None, &mut agg)?;
+            (
+                agg,
+                ExecStats {
+                    ops,
+                    total_micros: 0,
+                },
+            )
+        };
+        stats.ops.extend(pipeline_stats.ops);
+        crate::fix_merged_agg_stats(&plan, &agg, &mut stats);
+
+        // 3. Decode the merged aggregation index.
+        let result = decode_result(&self.db, &plan, &agg);
+        stats.total_micros = started.elapsed().as_micros();
+        Ok((result, stats))
+    }
+
+    /// Materializes every `Materialized` dimension selection — as one pool
+    /// job (one task per dimension) when `par_selections` is on, inline
+    /// otherwise. Statistics are appended in dimension order either way.
+    fn materialize_dims(
+        &self,
+        snap: Snapshot,
+        plan: &Arc<Plan>,
+        priority: i32,
+        stats: &mut ExecStats,
+    ) -> Result<Vec<Option<InterTable>>, QpptError> {
+        let n = plan.dims.len();
+        let materialized: Vec<usize> = (0..n)
+            .filter(|&di| plan.dims[di].handle == qppt_core::plan::DimHandleKind::Materialized)
+            .collect();
+        let pooled = plan.opts.par_selections
+            && plan.opts.parallelism > 1
+            && materialized.len() > 1
+            && self.pool.size() > 1;
+        let results: Vec<Option<(InterTable, OpStats)>> = if pooled {
+            let max_workers = plan.opts.parallelism.min(materialized.len());
+            let job = Arc::new(DimJob {
+                db: self.db.clone(),
+                snap,
+                plan: plan.clone(),
+                tasks: materialized,
+                next: AtomicUsize::new(0),
+                results: Mutex::new((0..n).map(|_| None).collect()),
+                error: Mutex::new(None),
+                aborted: AtomicBool::new(false),
+                max_workers,
+            });
+            self.pool
+                .submit(job.clone() as Arc<dyn PoolJob>, priority)
+                .wait()
+                .map_err(|_| pool_down())?;
+            if let Some(e) = job.error.lock().expect("job lock").take() {
+                return Err(e);
+            }
+            let results = std::mem::take(&mut *job.results.lock().expect("job lock"));
+            results
+        } else {
+            (0..n)
+                .map(|di| materialize_dim(&self.db, snap, plan, di))
+                .collect::<Result<Vec<_>, QpptError>>()?
+        };
+        let mut dim_tables = Vec::with_capacity(n);
+        for r in results {
+            match r {
+                Some((table, op)) => {
+                    stats.push(op);
+                    dim_tables.push(Some(table));
+                }
+                None => dim_tables.push(None),
+            }
+        }
+        Ok(dim_tables)
+    }
+}
+
+fn pool_down() -> QpptError {
+    QpptError::Internal("worker pool shut down while the query was queued".into())
+}
+
+/// The fact-pipeline job: a per-query morsel queue on the shared pool.
+struct MorselJob {
+    db: Arc<Database>,
+    snap: Snapshot,
+    plan: Arc<Plan>,
+    dim_tables: Arc<Vec<Option<InterTable>>>,
+    fused: Option<FusedSelection>,
+    morsels: Vec<KeyRange>,
+    /// Atomic morsel dispenser (work pulling).
+    next: AtomicUsize,
+    /// Participant ids for the deterministic merge order.
+    participants: AtomicUsize,
+    partials: Mutex<Vec<(usize, AggTable, ExecStats)>>,
+    error: Mutex<Option<QpptError>>,
+    aborted: AtomicBool,
+    max_workers: usize,
+}
+
+impl PoolJob for MorselJob {
+    fn max_workers(&self) -> usize {
+        self.max_workers
+    }
+
+    fn has_work(&self) -> bool {
+        !self.aborted.load(Ordering::Relaxed)
+            && self.next.load(Ordering::Relaxed) < self.morsels.len()
+    }
+
+    fn work(&self) {
+        let pid = self.participants.fetch_add(1, Ordering::Relaxed);
+        match drain_morsels(
+            &self.db,
+            self.snap,
+            &self.plan,
+            &self.dim_tables,
+            self.fused.as_ref(),
+            &self.morsels,
+            &self.next,
+        ) {
+            Ok(Some((agg, stats))) => {
+                self.partials
+                    .lock()
+                    .expect("job lock")
+                    .push((pid, agg, stats));
+            }
+            Ok(None) => {}
+            Err(e) => {
+                self.aborted.store(true, Ordering::Relaxed);
+                let mut err = self.error.lock().expect("job lock");
+                err.get_or_insert(e);
+            }
+        }
+    }
+}
+
+/// The dimension-selection job: one task per materialized dimension.
+struct DimJob {
+    db: Arc<Database>,
+    snap: Snapshot,
+    plan: Arc<Plan>,
+    /// Dimension indexes to materialize.
+    tasks: Vec<usize>,
+    next: AtomicUsize,
+    /// Slot per dimension (not per task), so output stays in dim order.
+    results: Mutex<Vec<Option<(InterTable, OpStats)>>>,
+    error: Mutex<Option<QpptError>>,
+    aborted: AtomicBool,
+    max_workers: usize,
+}
+
+impl PoolJob for DimJob {
+    fn max_workers(&self) -> usize {
+        self.max_workers
+    }
+
+    fn has_work(&self) -> bool {
+        !self.aborted.load(Ordering::Relaxed)
+            && self.next.load(Ordering::Relaxed) < self.tasks.len()
+    }
+
+    fn work(&self) {
+        loop {
+            let t = self.next.fetch_add(1, Ordering::Relaxed);
+            let Some(&di) = self.tasks.get(t) else {
+                break;
+            };
+            match materialize_dim(&self.db, self.snap, &self.plan, di) {
+                Ok(r) => self.results.lock().expect("job lock")[di] = r,
+                Err(e) => {
+                    self.aborted.store(true, Ordering::Relaxed);
+                    let mut err = self.error.lock().expect("job lock");
+                    err.get_or_insert(e);
+                    break;
+                }
+            }
+        }
+    }
+}

@@ -1,14 +1,24 @@
-//! The morsel-driven scheduler: a pool of std threads pulling morsels from
-//! a shared atomic dispenser.
+//! The morsel-driven scheduler: workers pulling morsels from a shared
+//! atomic dispenser.
 //!
 //! Scheduling is *work-pulling* (Leis et al.'s morsel-driven model): workers
 //! grab the next unclaimed morsel index from an atomic counter, so skewed
 //! partitions self-balance — a worker stuck in a dense subtree simply claims
 //! fewer morsels. Each worker accumulates into a **private** aggregation
 //! table and operator statistics; nothing is shared mutably, so there are no
-//! locks on the hot path. After the pool joins, partials are merged in
+//! locks on the hot path. After all workers finish, partials are merged in
 //! worker-index order, which (with commutative accumulator sums) makes the
 //! merged result independent of thread timing.
+//!
+//! Two execution substrates share this logic:
+//!
+//! * [`run_morsels`] — the embedded path: a **scoped** thread pool spawned
+//!   for this one query (`ParEngine`). Simple, but pays thread-spawn cost
+//!   per query.
+//! * [`drain_morsels`] — the per-worker loop itself, also driven by the
+//!   persistent [`WorkerPool`](crate::WorkerPool) through
+//!   [`PooledEngine`](crate::PooledEngine)'s morsel job, where N concurrent
+//!   queries share one fixed set of threads.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
@@ -19,8 +29,58 @@ use qppt_core::stats::ExecStats;
 use qppt_core::{KeyRange, Plan, QpptError};
 use qppt_storage::{Database, Snapshot};
 
-/// Runs the fact pipeline over `morsels` on `workers` threads, returning
-/// the merged aggregation table and the merged per-operator statistics.
+/// One worker's morsel loop: pull unclaimed morsel indexes from `next` and
+/// run the fact pipeline over each, accumulating into a private aggregation
+/// table. Returns `None` if no morsel was claimed (late-arriving worker).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn drain_morsels(
+    db: &Database,
+    snap: Snapshot,
+    plan: &Plan,
+    dim_tables: &[Option<InterTable>],
+    fused: Option<&FusedSelection>,
+    morsels: &[KeyRange],
+    next: &AtomicUsize,
+) -> Result<Option<(AggTable, ExecStats)>, QpptError> {
+    let mut agg: Option<AggTable> = None;
+    let mut stats = ExecStats::default();
+    loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        let Some(&morsel) = morsels.get(i) else {
+            break;
+        };
+        let acc = agg.get_or_insert_with(|| new_agg_table(plan));
+        let ops = run_pipeline(db, snap, plan, dim_tables, Some(morsel), fused, acc)?;
+        stats.merge_partition(&ExecStats {
+            ops,
+            total_micros: 0,
+        });
+    }
+    Ok(agg.map(|a| (a, stats)))
+}
+
+/// Merges per-worker partials, in ascending participant order, into the
+/// final aggregation table and statistics. `partials` entries are
+/// `(participant id, agg, stats)`; at least one entry is required.
+pub(crate) fn merge_partials(
+    mut partials: Vec<(usize, AggTable, ExecStats)>,
+) -> (AggTable, ExecStats) {
+    // Deterministic merge: participant order, not completion order. (The
+    // accumulators are commutative sums, so this is belt-and-braces — but
+    // it keeps statistics ordering reproducible too.)
+    partials.sort_by_key(|(pid, _, _)| *pid);
+    let mut iter = partials.into_iter();
+    let (_, mut agg, mut stats) = iter.next().expect("at least one partial");
+    for (_, part_agg, part_stats) in iter {
+        agg.merge_from(&part_agg);
+        stats.merge_partition(&part_stats);
+    }
+    (agg, stats)
+}
+
+/// Runs the fact pipeline over `morsels` on `workers` **scoped** threads
+/// (the embedded, spawn-per-query path), returning the merged aggregation
+/// table and the merged per-operator statistics.
 ///
 /// `dim_tables` (materialized dimension selections) and `fused` (the
 /// pre-materialized stage-1 select-join stream, if the plan has one) are
@@ -36,29 +96,19 @@ pub(crate) fn run_morsels(
 ) -> Result<(AggTable, ExecStats), QpptError> {
     debug_assert!(workers >= 1);
     let next = AtomicUsize::new(0);
-    let worker = |wid: usize| -> Result<(usize, AggTable, ExecStats), QpptError> {
-        let mut agg = new_agg_table(plan);
-        let mut stats = ExecStats::default();
-        loop {
-            let i = next.fetch_add(1, Ordering::Relaxed);
-            let Some(&morsel) = morsels.get(i) else {
-                break;
-            };
-            let ops = run_pipeline(db, snap, plan, dim_tables, Some(morsel), fused, &mut agg)?;
-            stats.merge_partition(&ExecStats {
-                ops,
-                total_micros: 0,
-            });
-        }
-        Ok((wid, agg, stats))
+    let worker = |pid: usize| -> Result<Option<(usize, AggTable, ExecStats)>, QpptError> {
+        Ok(
+            drain_morsels(db, snap, plan, dim_tables, fused, morsels, &next)?
+                .map(|(agg, stats)| (pid, agg, stats)),
+        )
     };
 
-    let mut parts: Vec<(usize, AggTable, ExecStats)> = if workers == 1 {
+    let parts: Vec<Option<(usize, AggTable, ExecStats)>> = if workers == 1 {
         vec![worker(0)?]
     } else {
         thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
-                .map(|wid| scope.spawn(move || worker(wid)))
+                .map(|pid| scope.spawn(move || worker(pid)))
                 .collect();
             handles
                 .into_iter()
@@ -67,13 +117,11 @@ pub(crate) fn run_morsels(
         })?
     };
 
-    // Deterministic merge: worker-index order, not completion order.
-    parts.sort_by_key(|(wid, _, _)| *wid);
-    let mut iter = parts.into_iter();
-    let (_, mut agg, mut stats) = iter.next().expect("at least one worker");
-    for (_, part_agg, part_stats) in iter {
-        agg.merge_from(&part_agg);
-        stats.merge_partition(&part_stats);
+    let mut partials: Vec<(usize, AggTable, ExecStats)> = parts.into_iter().flatten().collect();
+    if partials.is_empty() {
+        // Every worker lost the race for the (≥1) morsels — impossible, but
+        // keep the invariant locally obvious.
+        partials.push((0, new_agg_table(plan), ExecStats::default()));
     }
-    Ok((agg, stats))
+    Ok(merge_partials(partials))
 }

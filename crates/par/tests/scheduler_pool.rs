@@ -1,0 +1,235 @@
+//! Direct scheduler coverage: work pulling under contention, empty
+//! partitions, deterministic merges across worker orders, and the
+//! pool-parallel index build — properties `par_equivalence` only exercises
+//! indirectly.
+
+use std::sync::Arc;
+
+use qppt_core::inter::AggTable;
+use qppt_core::{prepare_indexes, PlanOptions, QpptEngine};
+use qppt_par::{prepare_indexes_pooled, PooledEngine, WorkerPool};
+use qppt_ssb::{queries, SsbDb};
+use qppt_storage::{ColumnType, Database, Schema, TableBuilder, TreeIndex, Value};
+
+fn prepared_db(sf: f64, seed: u64) -> SsbDb {
+    let mut ssb = SsbDb::generate(sf, seed);
+    for q in queries::all_queries() {
+        prepare_indexes(&mut ssb.db, &q, &PlanOptions::default()).unwrap();
+    }
+    ssb
+}
+
+#[test]
+fn pooled_engine_matches_sequential_for_all_queries() {
+    let ssb = prepared_db(0.02, 42);
+    let db = Arc::new(ssb.db);
+    let sequential = QpptEngine::new(&db);
+    let pool = WorkerPool::new(3, 8);
+    let pooled = PooledEngine::new(db.clone(), pool.clone());
+    for q in queries::all_queries() {
+        let expected = sequential.run(&q, &PlanOptions::default()).unwrap();
+        for workers in [1usize, 2, 8] {
+            let opts = PlanOptions::default().with_parallelism(workers);
+            let got = pooled.run(&q, &opts).unwrap();
+            assert_eq!(got, expected, "{} @ {workers} workers (pooled)", q.id);
+        }
+    }
+    // However many queries ran, the pool never grew.
+    assert_eq!(pool.threads_created(), 3);
+    pool.shutdown();
+}
+
+#[test]
+fn work_pulling_under_contention() {
+    // Many concurrent queries × fine-grained morsels (up to 4096 per
+    // query) on a tiny pool: every claim races, results must not.
+    let ssb = prepared_db(0.01, 7);
+    let db = Arc::new(ssb.db);
+    let sequential = QpptEngine::new(&db);
+    let pool = WorkerPool::new(2, 16);
+    let pooled = PooledEngine::new(db.clone(), pool.clone());
+    let specs = [queries::q1_1(), queries::q2_3(), queries::q4_1()];
+    let expected: Vec<_> = specs
+        .iter()
+        .map(|q| sequential.run(q, &PlanOptions::default()).unwrap())
+        .collect();
+    std::thread::scope(|s| {
+        for round in 0..4 {
+            for (qi, q) in specs.iter().enumerate() {
+                let pooled = &pooled;
+                let expected = &expected;
+                s.spawn(move || {
+                    let opts = PlanOptions::default()
+                        .with_parallelism(4)
+                        .with_morsel_bits(12);
+                    let got = pooled
+                        .run_at(q, &opts, pooled.db().snapshot(), (round + qi) as i32 % 3)
+                        .unwrap()
+                        .0;
+                    assert_eq!(got, expected[qi], "{} under contention", q.id);
+                });
+            }
+        }
+    });
+    assert_eq!(pool.threads_created(), 2);
+    pool.shutdown();
+}
+
+/// A one-dim star over an **empty** fact table: the partitioner falls back
+/// to a single full-range morsel and both engines return the empty result.
+#[test]
+fn empty_fact_partitions_handled() {
+    let mut db = Database::new();
+    let dim_schema = Schema::of(&[("d_key", ColumnType::Int), ("d_year", ColumnType::Int)]);
+    let mut b = TableBuilder::new("dim", dim_schema);
+    for k in 1..=5i64 {
+        b.push_row(vec![Value::Int(k), Value::Int(1990 + k)])
+            .unwrap();
+    }
+    db.add_table(b.finish());
+    let fact_schema = Schema::of(&[("f_dim", ColumnType::Int), ("f_rev", ColumnType::Int)]);
+    db.add_table(TableBuilder::new("fact", fact_schema).finish());
+
+    let spec = qppt_storage::QuerySpec {
+        id: "empty".into(),
+        fact: "fact".into(),
+        dims: vec![qppt_storage::DimSpec {
+            table: "dim".into(),
+            join_col: "d_key".into(),
+            fact_col: "f_dim".into(),
+            predicates: vec![],
+            carried: vec!["d_year".into()],
+        }],
+        fact_predicates: vec![],
+        group_by: vec![qppt_storage::ColRef::new("dim", "d_year")],
+        aggregates: vec![qppt_storage::AggExpr::sum(
+            qppt_storage::Expr::Col("f_rev".into()),
+            "revenue",
+        )],
+        order_by: vec![],
+    };
+    let opts = PlanOptions::default().with_parallelism(4);
+    prepare_indexes(&mut db, &spec, &opts).unwrap();
+    let db = Arc::new(db);
+    let expected = QpptEngine::new(&db).run(&spec, &opts).unwrap();
+    assert!(expected.rows.is_empty());
+    let pool = WorkerPool::new(2, 4);
+    let got = PooledEngine::new(db.clone(), pool.clone())
+        .run(&spec, &opts)
+        .unwrap();
+    assert_eq!(got, expected);
+    pool.shutdown();
+}
+
+/// `AggTable::merge_from` must give the same table for **every** worker
+/// completion order, not just the sorted one the scheduler happens to use.
+#[test]
+fn merge_from_deterministic_across_worker_orders() {
+    let partial = |entries: &[(u64, i64, i64)]| {
+        let mut t = AggTable::new(TreeIndex::new_kiss(), 2);
+        for &(k, a, b) in entries {
+            t.merge(k, &[a, b]);
+        }
+        t
+    };
+    let collect = |t: &AggTable| {
+        let mut v = Vec::new();
+        t.for_each_ordered(|k, accs| v.push((k, accs.to_vec())));
+        v
+    };
+    // Overlapping group keys across "workers", including negatives.
+    let parts = [
+        partial(&[(3, 10, 1), (7, -5, 2), (12, 100, 1)]),
+        partial(&[(7, 5, 1), (3, 1, 1)]),
+        partial(&[(12, -100, 3), (1, 9, 9)]),
+        partial(&[]),
+    ];
+    let mut reference: Option<Vec<(u64, Vec<i64>)>> = None;
+    // All 24 permutations of 4 partials.
+    let perms = permutations(&[0, 1, 2, 3]);
+    for perm in perms {
+        let mut merged = AggTable::new(TreeIndex::new_kiss(), 2);
+        for &i in &perm {
+            merged.merge_from(&parts[i]);
+        }
+        let got = collect(&merged);
+        match &reference {
+            None => reference = Some(got),
+            Some(r) => assert_eq!(&got, r, "merge order {perm:?} diverged"),
+        }
+    }
+    let r = reference.unwrap();
+    assert_eq!(
+        r,
+        vec![
+            (1, vec![9, 9]),
+            (3, vec![11, 2]),
+            (7, vec![0, 3]),
+            (12, vec![0, 4]),
+        ]
+    );
+}
+
+fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
+    if items.len() <= 1 {
+        return vec![items.to_vec()];
+    }
+    let mut out = Vec::new();
+    for (i, &x) in items.iter().enumerate() {
+        let mut rest = items.to_vec();
+        rest.remove(i);
+        for mut p in permutations(&rest) {
+            p.insert(0, x);
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// The pool-parallel index build must produce bit-identical indexes: same
+/// clustered insertion order, same query answers — including composite
+/// (multidim) and per-predicate (set-ops) indexes.
+#[test]
+fn parallel_index_build_bit_identical() {
+    let opts_seq = PlanOptions::default()
+        .with_set_ops(true)
+        .with_multidim(true);
+    let opts_par = opts_seq.with_par_index_build(true).with_parallelism(4);
+
+    let mut seq = SsbDb::generate(0.01, 99);
+    for q in queries::all_queries() {
+        prepare_indexes(&mut seq.db, &q, &opts_seq).unwrap();
+    }
+
+    let pool = WorkerPool::new(3, 4);
+    let mut par = SsbDb::generate(0.01, 99);
+    for q in queries::all_queries() {
+        prepare_indexes_pooled(&mut par.db, &q, &opts_par, &pool).unwrap();
+    }
+
+    // Same index count, same per-index clustered (key, payload) sequence.
+    assert_eq!(seq.db.indexes().len(), par.db.indexes().len());
+    for (a, b) in seq.db.indexes().iter().zip(par.db.indexes()) {
+        assert_eq!(a.table_idx, b.table_idx);
+        assert_eq!(a.key_col, b.key_col);
+        assert_eq!(a.carried, b.carried);
+        assert_eq!(a.data.tuple_count(), b.data.tuple_count());
+        let dump = |bi: &qppt_storage::BaseIndex| {
+            let mut v: Vec<(u64, Vec<u64>)> = Vec::new();
+            bi.data.for_each_row(|k, row| v.push((k, row.to_vec())));
+            v
+        };
+        assert_eq!(dump(a), dump(b), "index on col {} diverged", a.key_col);
+    }
+
+    // And the answers agree on every query, for both engines.
+    let seq_engine = QpptEngine::new(&seq.db);
+    let par_db = Arc::new(par.db);
+    let pooled = PooledEngine::new(par_db.clone(), pool.clone());
+    for q in queries::all_queries() {
+        let expected = seq_engine.run(&q, &opts_seq).unwrap();
+        let got = pooled.run(&q, &opts_par).unwrap();
+        assert_eq!(got, expected, "{} on parallel-built indexes", q.id);
+    }
+    pool.shutdown();
+}

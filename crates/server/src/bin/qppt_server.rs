@@ -1,0 +1,70 @@
+//! The qppt-server binary: generate SSB, prepare every index on the shared
+//! worker pool, and serve the line protocol until a client sends
+//! `SHUTDOWN`.
+//!
+//! ```text
+//! cargo run --release --bin qppt-server -- \
+//!     --addr 127.0.0.1:7878 --sf 0.05 --seed 42 \
+//!     --threads 4 --admission 8 --parallelism 4
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use qppt_core::PlanOptions;
+use qppt_par::WorkerPool;
+use qppt_server::{detected_cores, serve, ServeEngine};
+
+fn arg<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("bad value for {flag}: {v}"))
+        })
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr: String = arg(&args, "--addr", "127.0.0.1:7878".to_string());
+    let sf: f64 = arg(&args, "--sf", 0.05);
+    let seed: u64 = arg(&args, "--seed", 42);
+    let cores = detected_cores();
+    let threads: usize = arg(&args, "--threads", cores);
+    let admission: usize = arg(&args, "--admission", (2 * threads).max(4));
+    let parallelism: usize = arg(&args, "--parallelism", threads);
+    let seq_index_build = args.iter().any(|a| a == "--seq-index-build");
+
+    if cores == 1 {
+        eprintln!(
+            "warning: only 1 hardware core detected — the pool still bounds \
+             threads and serves concurrent queries, but intra-query speedups \
+             are impossible on this host"
+        );
+    }
+
+    let pool = WorkerPool::new(threads, admission);
+    let defaults = PlanOptions::default()
+        .with_parallelism(parallelism)
+        .with_par_index_build(!seq_index_build);
+
+    eprintln!("generating SSB at sf={sf} (seed {seed}) and preparing indexes …");
+    let t0 = Instant::now();
+    let engine = ServeEngine::with_ssb(sf, seed, pool.clone(), defaults).expect("SSB prepares");
+    eprintln!(
+        "ready in {:.1}s ({} pool threads, admission {}, parallel index build: {})",
+        t0.elapsed().as_secs_f64(),
+        threads,
+        admission,
+        !seq_index_build
+    );
+
+    let server = serve(Arc::new(engine), &addr).expect("bind listener");
+    println!("qppt-server listening on {}", server.addr());
+    // Runs until a client sends SHUTDOWN; then drains connections.
+    server.join();
+    pool.shutdown();
+    eprintln!("qppt-server stopped");
+}

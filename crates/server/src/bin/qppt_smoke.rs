@@ -1,0 +1,92 @@
+//! The CI smoke probe: connect to a running qppt-server, learn its
+//! `sf`/`seed` from `INFO`, regenerate the same SSB instance locally, and
+//! assert the served answers are byte-identical to the local sequential
+//! engine's. Exits non-zero on any mismatch.
+//!
+//! ```text
+//! cargo run --release --bin qppt-smoke -- --addr 127.0.0.1:7878 --shutdown
+//! ```
+
+use std::process::exit;
+use std::time::Duration;
+
+use qppt_core::{prepare_indexes, PlanOptions, QpptEngine};
+use qppt_server::QpptClient;
+use qppt_ssb::{queries, SsbDb};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = args
+        .iter()
+        .position(|a| a == "--addr")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let shutdown = args.iter().any(|a| a == "--shutdown");
+
+    eprintln!("smoke: connecting to {addr} (retrying up to 120s while the server warms up) …");
+    let mut client = match QpptClient::connect_retry(&addr, Duration::from_secs(120)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("smoke: FAIL — cannot connect: {e}");
+            exit(1);
+        }
+    };
+
+    let info = client.info().expect("INFO answers");
+    let get = |k: &str| {
+        info.iter()
+            .find(|(key, _)| key == k)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_else(|| panic!("INFO is missing {k}"))
+    };
+    let sf: f64 = get("sf").parse().expect("sf parses");
+    let seed: u64 = get("seed").parse().expect("seed parses");
+    eprintln!("smoke: server runs SSB sf={sf} seed={seed}; rebuilding locally for the oracle …");
+
+    let opts = PlanOptions::default();
+    let mut ssb = SsbDb::generate(sf, seed);
+    for q in queries::all_queries() {
+        prepare_indexes(&mut ssb.db, &q, &opts).expect("indexes build");
+    }
+    let engine = QpptEngine::new(&ssb.db);
+
+    let mut failed = 0usize;
+    for (name, spec) in [
+        ("q1.1", queries::q1_1()),
+        ("q2.3", queries::q2_3()),
+        ("q4.1", queries::q4_1()),
+    ] {
+        let expected = engine.run(&spec, &opts).expect("sequential oracle runs");
+        match client.run(name, &[("parallelism", "2")]) {
+            Ok(served) if served.result == expected => {
+                eprintln!(
+                    "smoke: {name} OK — {} rows byte-identical (server total {} µs)",
+                    expected.rows.len(),
+                    served.stats.total_micros
+                );
+            }
+            Ok(served) => {
+                eprintln!(
+                    "smoke: {name} MISMATCH — served {} rows, expected {}",
+                    served.result.rows.len(),
+                    expected.rows.len()
+                );
+                failed += 1;
+            }
+            Err(e) => {
+                eprintln!("smoke: {name} FAIL — {e}");
+                failed += 1;
+            }
+        }
+    }
+
+    if shutdown {
+        eprintln!("smoke: sending SHUTDOWN");
+        let _ = client.shutdown();
+    }
+    if failed > 0 {
+        eprintln!("smoke: FAIL ({failed} mismatches)");
+        exit(1);
+    }
+    eprintln!("smoke: PASS");
+}

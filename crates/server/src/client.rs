@@ -1,0 +1,117 @@
+//! A blocking client for the qppt-server protocol — used by the
+//! integration tests, the throughput bench, and the `qppt-smoke` CI probe.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use qppt_storage::QueryResult;
+
+use crate::protocol::{read_run_body, read_status, read_text_body, ClientError, ServedStats};
+
+/// A served query result plus its execution statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Served {
+    pub result: QueryResult,
+    pub stats: ServedStats,
+}
+
+/// One protocol connection.
+#[derive(Debug)]
+pub struct QpptClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl QpptClient {
+    /// Connects once.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Self {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Connects with retries until `timeout` — for racing a just-spawned
+    /// server (the CI smoke probe).
+    pub fn connect_retry(addr: &str, timeout: Duration) -> Result<Self, ClientError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match Self::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(100)),
+            }
+        }
+    }
+
+    fn send(&mut self, line: &str) -> Result<(), ClientError> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// `PING` → server liveness.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.send("PING")?;
+        read_status(&mut self.reader).map(|_| ())
+    }
+
+    /// `INFO` → raw `key=value` descriptor fields.
+    pub fn info(&mut self) -> Result<Vec<(String, String)>, ClientError> {
+        self.send("INFO")?;
+        let line = read_status(&mut self.reader)?;
+        Ok(line
+            .split_whitespace()
+            .filter_map(|kv| kv.split_once('='))
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect())
+    }
+
+    /// `LIST` → registered query names.
+    pub fn list(&mut self) -> Result<Vec<String>, ClientError> {
+        self.send("LIST")?;
+        read_status(&mut self.reader)?;
+        read_text_body(&mut self.reader)
+    }
+
+    /// `EXPLAIN <query>` → rendered plan.
+    pub fn explain(&mut self, query: &str) -> Result<String, ClientError> {
+        self.send(&format!("EXPLAIN {query}"))?;
+        read_status(&mut self.reader)?;
+        Ok(read_text_body(&mut self.reader)?.join("\n"))
+    }
+
+    /// `RUN <query> [key=value …]` → decoded result + statistics.
+    /// `options` are plan-option overrides (and `priority`), e.g.
+    /// `&[("parallelism", "4")]`.
+    pub fn run(&mut self, query: &str, options: &[(&str, &str)]) -> Result<Served, ClientError> {
+        let mut line = format!("RUN {query}");
+        for (k, v) in options {
+            line.push_str(&format!(" {k}={v}"));
+        }
+        self.send(&line)?;
+        let status = read_status(&mut self.reader)?;
+        let rows: usize = status
+            .split_whitespace()
+            .next()
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| ClientError::Protocol(format!("bad RUN status: {status}")))?;
+        let (result, stats) = read_run_body(&mut self.reader, rows)?;
+        Ok(Served { result, stats })
+    }
+
+    /// `QUIT` → closes this connection server-side.
+    pub fn quit(mut self) -> Result<(), ClientError> {
+        self.send("QUIT")?;
+        read_status(&mut self.reader).map(|_| ())
+    }
+
+    /// `SHUTDOWN` → asks the server to stop (graceful).
+    pub fn shutdown(mut self) -> Result<(), ClientError> {
+        self.send("SHUTDOWN")?;
+        read_status(&mut self.reader).map(|_| ())
+    }
+}

@@ -1,0 +1,170 @@
+//! [`ServeEngine`]: the shared, process-wide query service state — one
+//! database, one worker pool, one registry of named queries — that every
+//! connection handler (and in-process caller) executes against.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use qppt_core::{ExecStats, PlanOptions, QpptEngine, QpptError};
+use qppt_par::{prepare_indexes_pooled, PooledEngine, WorkerPool};
+use qppt_ssb::{queries, SsbDb};
+use qppt_storage::{Database, QueryResult, QuerySpec};
+
+/// Static facts about the serving instance, reported by `INFO`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeInfo {
+    /// SSB scale factor the database was generated at.
+    pub sf: f64,
+    /// Generator seed.
+    pub seed: u64,
+    /// Worker-pool threads.
+    pub pool_threads: usize,
+    /// Admission budget (max concurrently executing queries).
+    pub admission: usize,
+    /// Detected hardware parallelism (1 means intra-query speedups are
+    /// impossible on this host — the `par_scaling` caveat).
+    pub cores: usize,
+}
+
+/// The shared query-service engine (see module docs). Wrap it in an
+/// [`Arc`] and hand clones to connection handlers; everything inside is
+/// already shared.
+#[derive(Debug)]
+pub struct ServeEngine {
+    engine: PooledEngine,
+    queries: BTreeMap<String, QuerySpec>,
+    defaults: PlanOptions,
+    info: ServeInfo,
+}
+
+impl ServeEngine {
+    /// Generates an SSB instance at `sf`/`seed`, prepares every index the
+    /// 13 queries need (on the pool when
+    /// [`par_index_build`](PlanOptions::par_index_build) is set in
+    /// `defaults`), and registers the queries by lowercase id
+    /// (`"q1.1"` … `"q4.3"`).
+    pub fn with_ssb(
+        sf: f64,
+        seed: u64,
+        pool: Arc<WorkerPool>,
+        defaults: PlanOptions,
+    ) -> Result<Self, QpptError> {
+        let mut ssb = SsbDb::generate(sf, seed);
+        for q in queries::all_queries() {
+            prepare_indexes_pooled(&mut ssb.db, &q, &defaults, &pool)?;
+        }
+        Ok(Self::over_db(Arc::new(ssb.db), pool, defaults, sf, seed))
+    }
+
+    /// Serves an already prepared database (indexes for every registered
+    /// query must exist). `sf`/`seed` are only echoed through `INFO`.
+    pub fn over_db(
+        db: Arc<Database>,
+        pool: Arc<WorkerPool>,
+        defaults: PlanOptions,
+        sf: f64,
+        seed: u64,
+    ) -> Self {
+        let queries: BTreeMap<String, QuerySpec> = queries::all_queries()
+            .into_iter()
+            .map(|q| (q.id.to_ascii_lowercase(), q))
+            .collect();
+        let info = ServeInfo {
+            sf,
+            seed,
+            pool_threads: pool.size(),
+            admission: pool.max_active(),
+            cores: detected_cores(),
+        };
+        Self {
+            engine: PooledEngine::new(db, pool),
+            queries,
+            defaults,
+            info,
+        }
+    }
+
+    /// The serving descriptor.
+    pub fn info(&self) -> ServeInfo {
+        self.info
+    }
+
+    /// The default plan options overrides are applied on top of.
+    pub fn defaults(&self) -> PlanOptions {
+        self.defaults
+    }
+
+    /// The underlying pooled engine.
+    pub fn pooled(&self) -> &PooledEngine {
+        &self.engine
+    }
+
+    /// Registered query names, in order.
+    pub fn query_names(&self) -> Vec<&str> {
+        self.queries.keys().map(String::as_str).collect()
+    }
+
+    /// The spec registered under `name` (lowercase id).
+    pub fn query(&self, name: &str) -> Option<&QuerySpec> {
+        self.queries.get(name)
+    }
+
+    /// Runs a registered query on the shared pool. `opts` is the fully
+    /// resolved option set (defaults + overrides, see
+    /// [`apply_overrides`](crate::protocol::apply_overrides)); `priority`
+    /// orders this query against concurrent ones for idle workers.
+    pub fn run(
+        &self,
+        name: &str,
+        opts: &PlanOptions,
+        priority: i32,
+    ) -> Result<(QueryResult, ExecStats), ServeError> {
+        let spec = self
+            .queries
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownQuery(name.to_string()))?;
+        let snap = self.engine.db().snapshot();
+        self.engine
+            .run_at(spec, opts, snap, priority)
+            .map_err(ServeError::Engine)
+    }
+
+    /// Renders the physical plan of a registered query under the default
+    /// options.
+    pub fn explain(&self, name: &str) -> Result<String, ServeError> {
+        let spec = self
+            .queries
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownQuery(name.to_string()))?;
+        QpptEngine::new(self.engine.db())
+            .explain(spec, &self.defaults)
+            .map_err(ServeError::Engine)
+    }
+}
+
+/// Detected hardware parallelism (1 when the probe fails).
+pub fn detected_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Service-level errors (all reported to clients as `ERR` lines).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    UnknownQuery(String),
+    Engine(QpptError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownQuery(q) => {
+                write!(f, "unknown query {q} (LIST shows the registered names)")
+            }
+            ServeError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

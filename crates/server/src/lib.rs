@@ -1,0 +1,54 @@
+//! # qppt-server — a shared-worker-pool query service
+//!
+//! The path from "hardware-speed single query" to "heavy traffic": this
+//! crate serves the 13 named SSB queries over a small line-oriented TCP
+//! protocol, executing every query on one persistent
+//! [`WorkerPool`](qppt_par::WorkerPool) shared across connections
+//! (inter-query parallelism) while each query is itself morsel-partitioned
+//! across that pool (intra-query parallelism). Results are byte-identical
+//! to the sequential [`QpptEngine`](qppt_core::QpptEngine) — the
+//! `serve_equivalence` integration test pins that down under ≥ 8
+//! concurrent connections.
+//!
+//! * [`ServeEngine`] — database + pool + named-query registry.
+//! * [`serve`] / [`ServerHandle`] — the `std::net` acceptor,
+//!   thread-per-connection, graceful shutdown.
+//! * [`protocol`] — the wire grammar (`RUN q4.1 parallelism=4`, …) and its
+//!   parser/serializer, shared by server and client.
+//! * [`QpptClient`] — a blocking client for tests, benches, and the
+//!   `qppt-smoke` CI probe.
+//!
+//! Binaries: `qppt-server` (generate SSB, prepare indexes on the pool,
+//! listen) and `qppt-smoke` (connect, re-derive the expected answer
+//! locally, assert byte-equality — the CI smoke test).
+//!
+//! ## In-process example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use qppt_core::PlanOptions;
+//! use qppt_par::WorkerPool;
+//! use qppt_server::{serve, QpptClient, ServeEngine};
+//!
+//! let pool = WorkerPool::new(2, 4);
+//! let defaults = PlanOptions::default().with_parallelism(2).with_par_index_build(true);
+//! let engine = ServeEngine::with_ssb(0.01, 42, pool.clone(), defaults).unwrap();
+//! let server = serve(Arc::new(engine), "127.0.0.1:0").unwrap();
+//!
+//! let mut client = QpptClient::connect(server.addr()).unwrap();
+//! let served = client.run("q2.3", &[("parallelism", "2")]).unwrap();
+//! assert!(!served.result.rows.is_empty());
+//!
+//! server.stop();     // graceful: in-flight queries finish first
+//! pool.shutdown();   // the pool outlives the server by design
+//! ```
+
+mod client;
+mod engine;
+pub mod protocol;
+mod server;
+
+pub use client::{QpptClient, Served};
+pub use engine::{detected_cores, ServeEngine, ServeError, ServeInfo};
+pub use protocol::{ClientError, ServedStats};
+pub use server::{serve, ServerHandle};

@@ -1,0 +1,499 @@
+//! The qppt-server wire protocol: line-oriented text over TCP.
+//!
+//! Designed for `nc`-debuggability and zero dependencies. Every request is
+//! one `\n`-terminated line; every response starts with an `OK …` or
+//! `ERR <message>` status line, optionally followed by body lines and a
+//! terminating `END` line (exactly the multi-line responses say so below).
+//!
+//! ## Grammar
+//!
+//! ```text
+//! request   = run | explain | list | info | ping | quit | shutdown
+//! run       = "RUN" query-name *( SP option ) ; multi-line response
+//! explain   = "EXPLAIN" query-name           ; multi-line response
+//! list      = "LIST"                          ; multi-line response
+//! info      = "INFO"                          ; single-line response
+//! ping      = "PING"                          ; single-line response
+//! quit      = "QUIT"                          ; single-line, closes conn
+//! shutdown  = "SHUTDOWN"                      ; single-line, stops server
+//!
+//! query-name = "q1.1" … "q4.3"                ; case-insensitive
+//! option     = key "=" value
+//! key        = "parallelism" | "morsel_bits" | "join_buffer"
+//!            | "select_join" | "par_selections" | "par_scans"
+//!            | "par_joins" | "priority"
+//! ```
+//!
+//! ## RUN response
+//!
+//! ```text
+//! OK <row-count>
+//! COLS <group-cols|-> <agg-cols>
+//! ROW <field> *( TAB <field> )
+//! …
+//! # total_micros=<n> workers=<n>
+//! # op <label> | micros=<n> keys=<n> tuples=<n> index=<kind>
+//! …
+//! END
+//! ```
+//!
+//! `COLS` lists comma-separated group column labels (`-` when the query is
+//! a scalar aggregate with no group-by), then aggregate labels. `ROW`
+//! fields are tab-separated: group values typed as `i:<int>` / `s:<str>`,
+//! then aggregate values as plain decimal `i64`. (Dictionary strings must
+//! not contain tabs or newlines — true for SSB and enforced nowhere else;
+//! this is a demonstrator protocol, not an escaping showcase.) `#` lines
+//! carry execution statistics and are informational.
+//!
+//! Verbs are case-insensitive; unknown verbs, unknown queries, and unknown
+//! or malformed options produce `ERR <message>` and leave the connection
+//! open. See the README for an example session.
+
+use std::io::{self, BufRead, Write};
+
+use qppt_core::{ExecStats, PlanOptions};
+use qppt_storage::{QueryResult, ResultRow, Value};
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Run a named query with plan-option overrides.
+    Run {
+        query: String,
+        options: Vec<(String, String)>,
+    },
+    /// Render the physical plan of a named query.
+    Explain { query: String },
+    /// List the registered query names.
+    List,
+    /// One-line server descriptor (scale factor, seed, pool geometry).
+    Info,
+    /// Liveness probe.
+    Ping,
+    /// Close this connection.
+    Quit,
+    /// Graceful server shutdown: in-flight queries finish, the acceptor
+    /// stops, every connection closes.
+    Shutdown,
+}
+
+/// Parses one request line (without the trailing newline).
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let mut parts = line.split_whitespace();
+    let verb = parts.next().ok_or_else(|| "empty request".to_string())?;
+    match verb.to_ascii_uppercase().as_str() {
+        "PING" => Ok(Request::Ping),
+        "INFO" => Ok(Request::Info),
+        "LIST" => Ok(Request::List),
+        "QUIT" => Ok(Request::Quit),
+        "SHUTDOWN" => Ok(Request::Shutdown),
+        "EXPLAIN" => {
+            let query = parts
+                .next()
+                .ok_or_else(|| "EXPLAIN needs a query name".to_string())?
+                .to_ascii_lowercase();
+            if let Some(extra) = parts.next() {
+                return Err(format!("unexpected token after query name: {extra}"));
+            }
+            Ok(Request::Explain { query })
+        }
+        "RUN" => {
+            let query = parts
+                .next()
+                .ok_or_else(|| "RUN needs a query name".to_string())?
+                .to_ascii_lowercase();
+            let mut options = Vec::new();
+            for opt in parts {
+                let (k, v) = opt
+                    .split_once('=')
+                    .ok_or_else(|| format!("malformed option (want key=value): {opt}"))?;
+                options.push((k.to_ascii_lowercase(), v.to_string()));
+            }
+            Ok(Request::Run { query, options })
+        }
+        other => Err(format!(
+            "unknown verb {other} (try RUN, EXPLAIN, LIST, INFO, PING, QUIT, SHUTDOWN)"
+        )),
+    }
+}
+
+/// Priority extracted from `RUN` options (not a [`PlanOptions`] knob).
+pub const PRIORITY_KEY: &str = "priority";
+
+/// Applies `RUN` option overrides onto the server's default plan options.
+/// Returns the effective options plus the pool priority. Only
+/// execution-strategy knobs are accepted — knobs that change which base
+/// indexes must exist (`prefer_kiss`, `selection_via_set_ops`,
+/// `multidim_selections`) are rejected, since the server prepared its
+/// indexes at startup.
+pub fn apply_overrides(
+    base: PlanOptions,
+    options: &[(String, String)],
+) -> Result<(PlanOptions, i32), String> {
+    let mut opts = base;
+    let mut priority = 0i32;
+    for (k, v) in options {
+        let bad = |what: &str| format!("bad value for {k} (want {what}): {v}");
+        match k.as_str() {
+            "parallelism" => opts.parallelism = v.parse().map_err(|_| bad("positive integer"))?,
+            "morsel_bits" => opts.morsel_bits = v.parse().map_err(|_| bad("1..=16"))?,
+            "join_buffer" => opts.join_buffer = v.parse().map_err(|_| bad("positive integer"))?,
+            "select_join" => opts.select_join = parse_bool(v).ok_or_else(|| bad("bool"))?,
+            "par_selections" => opts.par_selections = parse_bool(v).ok_or_else(|| bad("bool"))?,
+            "par_scans" => opts.par_scans = parse_bool(v).ok_or_else(|| bad("bool"))?,
+            "par_joins" => opts.par_joins = parse_bool(v).ok_or_else(|| bad("bool"))?,
+            PRIORITY_KEY => priority = v.parse().map_err(|_| bad("integer"))?,
+            other => {
+                return Err(format!(
+                    "unknown option {other} (try parallelism, morsel_bits, join_buffer, \
+                     select_join, par_selections, par_scans, par_joins, priority)"
+                ))
+            }
+        }
+    }
+    opts.validate().map_err(|e| e.to_string())?;
+    Ok((opts, priority))
+}
+
+fn parse_bool(v: &str) -> Option<bool> {
+    match v {
+        "true" | "1" | "on" => Some(true),
+        "false" | "0" | "off" => Some(false),
+        _ => None,
+    }
+}
+
+/// Execution statistics as served to clients (the `#` lines of a `RUN`
+/// response, parsed back).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServedStats {
+    /// End-to-end wall micros on the server (plan + execute + decode).
+    pub total_micros: u128,
+    /// Workers the pipeline was allowed (`min(parallelism, pool size)`).
+    pub workers: usize,
+    /// One rendered line per operator.
+    pub op_lines: Vec<String>,
+}
+
+/// Writes a full `RUN` response (status, columns, rows, stats, `END`).
+pub fn write_run_response(
+    w: &mut impl Write,
+    result: &QueryResult,
+    stats: &ExecStats,
+    workers: usize,
+) -> io::Result<()> {
+    writeln!(w, "OK {}", result.rows.len())?;
+    let groups = if result.group_cols.is_empty() {
+        "-".to_string()
+    } else {
+        result.group_cols.join(",")
+    };
+    writeln!(w, "COLS {} {}", groups, result.agg_cols.join(","))?;
+    for row in &result.rows {
+        write!(w, "ROW")?;
+        for v in &row.key_values {
+            match v {
+                Value::Int(i) => write!(w, "\ti:{i}")?,
+                Value::Str(s) => write!(w, "\ts:{s}")?,
+            }
+        }
+        for a in &row.agg_values {
+            write!(w, "\t{a}")?;
+        }
+        writeln!(w)?;
+    }
+    writeln!(
+        w,
+        "# total_micros={} workers={}",
+        stats.total_micros, workers
+    )?;
+    for op in &stats.ops {
+        writeln!(
+            w,
+            "# op {} | micros={} keys={} tuples={} index={}",
+            op.label, op.micros, op.out_keys, op.out_tuples, op.index_kind
+        )?;
+    }
+    writeln!(w, "END")
+}
+
+/// Client-side error.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server answered `ERR <message>`.
+    Server(String),
+    /// The server answered something the client cannot parse.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+fn read_line(r: &mut impl BufRead) -> Result<String, ClientError> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Err(ClientError::Protocol(
+            "connection closed mid-response".into(),
+        ));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// Reads the status line of any response; `Ok` payload is the text after
+/// `OK `, `ERR` becomes [`ClientError::Server`].
+pub fn read_status(r: &mut impl BufRead) -> Result<String, ClientError> {
+    let line = read_line(r)?;
+    if let Some(rest) = line.strip_prefix("OK") {
+        Ok(rest.trim_start().to_string())
+    } else if let Some(msg) = line.strip_prefix("ERR ") {
+        Err(ClientError::Server(msg.to_string()))
+    } else {
+        Err(ClientError::Protocol(format!("unexpected status: {line}")))
+    }
+}
+
+/// Reads the body of a `RUN` response (everything after the status line),
+/// reconstructing the [`QueryResult`] exactly as the server decoded it.
+pub fn read_run_body(
+    r: &mut impl BufRead,
+    row_count: usize,
+) -> Result<(QueryResult, ServedStats), ClientError> {
+    let cols = read_line(r)?;
+    let rest = cols
+        .strip_prefix("COLS ")
+        .ok_or_else(|| ClientError::Protocol(format!("expected COLS line, got: {cols}")))?;
+    let (groups, aggs) = rest
+        .split_once(' ')
+        .ok_or_else(|| ClientError::Protocol(format!("malformed COLS line: {cols}")))?;
+    let group_cols: Vec<String> = if groups == "-" {
+        Vec::new()
+    } else {
+        groups.split(',').map(str::to_string).collect()
+    };
+    let agg_cols: Vec<String> = aggs.split(',').map(str::to_string).collect();
+
+    let mut rows = Vec::with_capacity(row_count);
+    let mut stats = ServedStats::default();
+    loop {
+        let line = read_line(r)?;
+        if line == "END" {
+            break;
+        }
+        if let Some(row) = line.strip_prefix("ROW") {
+            let mut key_values = Vec::with_capacity(group_cols.len());
+            let mut agg_values = Vec::with_capacity(agg_cols.len());
+            for field in row.split('\t').skip(1) {
+                if let Some(i) = field.strip_prefix("i:") {
+                    key_values.push(Value::Int(i.parse().map_err(|_| {
+                        ClientError::Protocol(format!("bad int field: {field}"))
+                    })?));
+                } else if let Some(s) = field.strip_prefix("s:") {
+                    key_values.push(Value::Str(s.to_string()));
+                } else {
+                    agg_values.push(field.parse().map_err(|_| {
+                        ClientError::Protocol(format!("bad aggregate field: {field}"))
+                    })?);
+                }
+            }
+            rows.push(ResultRow {
+                key_values,
+                agg_values,
+            });
+        } else if let Some(meta) = line.strip_prefix("# ") {
+            if let Some(op) = meta.strip_prefix("op ") {
+                stats.op_lines.push(op.to_string());
+            } else {
+                for kv in meta.split_whitespace() {
+                    match kv.split_once('=') {
+                        Some(("total_micros", v)) => {
+                            stats.total_micros = v.parse().unwrap_or_default()
+                        }
+                        Some(("workers", v)) => stats.workers = v.parse().unwrap_or_default(),
+                        _ => {}
+                    }
+                }
+            }
+        } else {
+            return Err(ClientError::Protocol(format!(
+                "unexpected line in RUN response: {line}"
+            )));
+        }
+    }
+    if rows.len() != row_count {
+        return Err(ClientError::Protocol(format!(
+            "row count mismatch: status said {row_count}, body had {}",
+            rows.len()
+        )));
+    }
+    Ok((
+        QueryResult {
+            group_cols,
+            agg_cols,
+            rows,
+        },
+        stats,
+    ))
+}
+
+/// Reads a multi-line text body (LIST/EXPLAIN): every line up to `END`.
+pub fn read_text_body(r: &mut impl BufRead) -> Result<Vec<String>, ClientError> {
+    let mut lines = Vec::new();
+    loop {
+        let line = read_line(r)?;
+        if line == "END" {
+            return Ok(lines);
+        }
+        lines.push(line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parse_requests() {
+        assert_eq!(parse_request("PING").unwrap(), Request::Ping);
+        assert_eq!(parse_request("info").unwrap(), Request::Info);
+        assert_eq!(parse_request("  LIST  ").unwrap(), Request::List);
+        assert_eq!(parse_request("QUIT").unwrap(), Request::Quit);
+        assert_eq!(parse_request("Shutdown").unwrap(), Request::Shutdown);
+        assert_eq!(
+            parse_request("EXPLAIN Q2.3").unwrap(),
+            Request::Explain {
+                query: "q2.3".into()
+            }
+        );
+        assert_eq!(
+            parse_request("run q4.1 parallelism=4 priority=2").unwrap(),
+            Request::Run {
+                query: "q4.1".into(),
+                options: vec![
+                    ("parallelism".into(), "4".into()),
+                    ("priority".into(), "2".into())
+                ],
+            }
+        );
+        assert!(parse_request("").is_err());
+        assert!(parse_request("FLY q1.1").is_err());
+        assert!(parse_request("RUN").is_err());
+        assert!(parse_request("RUN q1.1 nonsense").is_err());
+        assert!(parse_request("EXPLAIN q1.1 extra").is_err());
+    }
+
+    #[test]
+    fn apply_overrides_accepts_exec_knobs_only() {
+        let base = PlanOptions::default();
+        let (opts, prio) = apply_overrides(
+            base,
+            &[
+                ("parallelism".into(), "8".into()),
+                ("morsel_bits".into(), "9".into()),
+                ("select_join".into(), "off".into()),
+                ("priority".into(), "-3".into()),
+            ],
+        )
+        .unwrap();
+        assert_eq!(opts.parallelism, 8);
+        assert_eq!(opts.morsel_bits, 9);
+        assert!(!opts.select_join);
+        assert_eq!(prio, -3);
+
+        assert!(apply_overrides(base, &[("prefer_kiss".into(), "false".into())]).is_err());
+        assert!(apply_overrides(base, &[("parallelism".into(), "zero".into())]).is_err());
+        // Values are validated, not just parsed.
+        assert!(apply_overrides(base, &[("morsel_bits".into(), "40".into())]).is_err());
+        assert!(apply_overrides(base, &[("parallelism".into(), "0".into())]).is_err());
+    }
+
+    #[test]
+    fn run_response_roundtrip() {
+        let result = QueryResult {
+            group_cols: vec!["d_year".into(), "p_brand1".into()],
+            agg_cols: vec!["revenue".into()],
+            rows: vec![
+                ResultRow {
+                    key_values: vec![Value::Int(1997), Value::str("MFGR#12 X")],
+                    agg_values: vec![1234567],
+                },
+                ResultRow {
+                    key_values: vec![Value::Int(1998), Value::str("MFGR#45")],
+                    agg_values: vec![-42],
+                },
+            ],
+        };
+        let stats = ExecStats {
+            ops: vec![qppt_core::OpStats {
+                label: "4-way star join-group".into(),
+                out_keys: 2,
+                out_tuples: 2,
+                index_kind: "KISS-Tree".into(),
+                memory_bytes: 64,
+                micros: 1500,
+            }],
+            total_micros: 2000,
+        };
+        let mut buf = Vec::new();
+        write_run_response(&mut buf, &result, &stats, 4).unwrap();
+        let mut r = BufReader::new(&buf[..]);
+        let status = read_status(&mut r).unwrap();
+        let n: usize = status.parse().unwrap();
+        assert_eq!(n, 2);
+        let (parsed, served) = read_run_body(&mut r, n).unwrap();
+        assert_eq!(parsed, result);
+        assert_eq!(served.total_micros, 2000);
+        assert_eq!(served.workers, 4);
+        assert_eq!(served.op_lines.len(), 1);
+        assert!(served.op_lines[0].contains("star join-group"));
+    }
+
+    #[test]
+    fn scalar_result_roundtrip() {
+        // Q1.x shape: no group columns.
+        let result = QueryResult {
+            group_cols: Vec::new(),
+            agg_cols: vec!["revenue".into()],
+            rows: vec![ResultRow {
+                key_values: Vec::new(),
+                agg_values: vec![99],
+            }],
+        };
+        let mut buf = Vec::new();
+        write_run_response(&mut buf, &result, &ExecStats::default(), 1).unwrap();
+        let mut r = BufReader::new(&buf[..]);
+        let n: usize = read_status(&mut r).unwrap().parse().unwrap();
+        let (parsed, _) = read_run_body(&mut r, n).unwrap();
+        assert_eq!(parsed, result);
+    }
+
+    #[test]
+    fn err_status_surfaces_as_server_error() {
+        let buf = b"ERR unknown query q9.9\n".to_vec();
+        let mut r = BufReader::new(&buf[..]);
+        match read_status(&mut r) {
+            Err(ClientError::Server(m)) => assert!(m.contains("q9.9")),
+            other => panic!("want server error, got {other:?}"),
+        }
+    }
+}

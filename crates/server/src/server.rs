@@ -1,0 +1,220 @@
+//! The TCP frontend: a `std::net` acceptor with one thread per connection,
+//! feeding every query into the shared [`ServeEngine`] pool.
+//!
+//! Threading model: the acceptor thread plus one thread per live
+//! connection. Connection threads only parse/serialize — query execution
+//! happens on the engine's fixed [`WorkerPool`](qppt_par::WorkerPool)
+//! (sequential fallbacks run inline on the connection thread), so the
+//! pool's priority/admission policy governs the actual CPU, and total
+//! *worker* threads stay bounded by the pool size however many clients
+//! connect.
+//!
+//! Shutdown semantics (`SHUTDOWN` command or [`ServerHandle::shutdown`]):
+//! the acceptor stops taking connections, every connection handler notices
+//! within one read-timeout tick and closes after finishing its in-flight
+//! request, and [`ServerHandle::join`] returns once all of them exited.
+//! The worker pool itself is owned by the caller and outlives the server
+//! (so several servers — or in-process work — can share one pool).
+
+use std::io::{self, BufRead, BufReader, BufWriter, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use crate::engine::ServeEngine;
+use crate::protocol::{apply_overrides, parse_request, write_run_response, Request};
+
+/// How often blocked accept/read loops re-check the shutdown flag.
+const POLL_TICK: Duration = Duration::from_millis(25);
+
+/// A running server instance.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful shutdown (idempotent; also triggered by a
+    /// client `SHUTDOWN`).
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once shutdown was requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the acceptor and every connection thread exited.
+    pub fn join(mut self) {
+        if let Some(t) = self.acceptor.take() {
+            t.join().expect("acceptor does not panic");
+        }
+    }
+
+    /// [`shutdown`](Self::shutdown) + [`join`](Self::join).
+    pub fn stop(self) {
+        self.shutdown();
+        self.join();
+    }
+}
+
+/// Binds `addr` and starts serving `engine`. Returns once the listener is
+/// accepting (port 0 is resolved in [`ServerHandle::addr`]).
+pub fn serve(engine: Arc<ServeEngine>, addr: &str) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let flag = shutdown.clone();
+    let acceptor = thread::Builder::new()
+        .name("qppt-acceptor".into())
+        .spawn(move || accept_loop(listener, engine, flag))?;
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        acceptor: Some(acceptor),
+    })
+}
+
+fn accept_loop(listener: TcpListener, engine: Arc<ServeEngine>, shutdown: Arc<AtomicBool>) {
+    let conns: Mutex<Vec<thread::JoinHandle<()>>> = Mutex::new(Vec::new());
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                let engine = engine.clone();
+                let flag = shutdown.clone();
+                let t = thread::Builder::new()
+                    .name(format!("qppt-conn-{peer}"))
+                    .spawn(move || {
+                        // A connection error only kills this connection.
+                        let _ = handle_connection(stream, &engine, &flag);
+                    })
+                    .expect("spawn connection thread");
+                let mut conns = conns.lock().expect("conn list lock");
+                conns.push(t);
+                // Opportunistically reap finished handlers so a long-lived
+                // server does not accumulate joinable thread handles.
+                conns.retain(|t| !t.is_finished());
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(POLL_TICK),
+            Err(_) => thread::sleep(POLL_TICK),
+        }
+    }
+    // Graceful: wait for in-flight connections (they observe the flag
+    // within one read-timeout tick).
+    for t in conns.into_inner().expect("conn list lock").drain(..) {
+        t.join().expect("connection threads do not panic");
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    engine: &ServeEngine,
+    shutdown: &AtomicBool,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(POLL_TICK))?;
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        // Retry timeouts *without* clearing: a request that arrives in
+        // several TCP segments more than one poll tick apart accumulates
+        // into `line` across read_line calls (read_line appends).
+        loop {
+            match reader.read_line(&mut line) {
+                Ok(0) => return Ok(()), // client closed
+                Ok(_) => break,
+                Err(e)
+                    if e.kind() == ErrorKind::WouldBlock
+                        || e.kind() == ErrorKind::TimedOut
+                        || e.kind() == ErrorKind::Interrupted =>
+                {
+                    if shutdown.load(Ordering::SeqCst) {
+                        return Ok(()); // server is draining; drop idle conns
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        match parse_request(trimmed) {
+            Err(msg) => writeln!(writer, "ERR {msg}")?,
+            Ok(Request::Ping) => writeln!(writer, "OK pong")?,
+            Ok(Request::Quit) => {
+                writeln!(writer, "OK bye")?;
+                writer.flush()?;
+                return Ok(());
+            }
+            Ok(Request::Shutdown) => {
+                // Flag first, acknowledge second: once a client has read
+                // the OK, `is_shutting_down()` is already observable.
+                shutdown.store(true, Ordering::SeqCst);
+                writeln!(writer, "OK shutting down")?;
+                writer.flush()?;
+                return Ok(());
+            }
+            Ok(Request::Info) => {
+                let i = engine.info();
+                writeln!(
+                    writer,
+                    "OK sf={} seed={} pool_threads={} admission={} cores={} queries={}",
+                    i.sf,
+                    i.seed,
+                    i.pool_threads,
+                    i.admission,
+                    i.cores,
+                    engine.query_names().len()
+                )?;
+            }
+            Ok(Request::List) => {
+                let names = engine.query_names();
+                writeln!(writer, "OK {}", names.len())?;
+                for n in names {
+                    writeln!(writer, "{n}")?;
+                }
+                writeln!(writer, "END")?;
+            }
+            Ok(Request::Explain { query }) => match engine.explain(&query) {
+                Err(e) => writeln!(writer, "ERR {e}")?,
+                Ok(plan) => {
+                    writeln!(writer, "OK explain")?;
+                    for l in plan.lines() {
+                        writeln!(writer, "{l}")?;
+                    }
+                    writeln!(writer, "END")?;
+                }
+            },
+            Ok(Request::Run { query, options }) => {
+                match apply_overrides(engine.defaults(), &options) {
+                    Err(msg) => writeln!(writer, "ERR {msg}")?,
+                    Ok((opts, priority)) => match engine.run(&query, &opts, priority) {
+                        Err(e) => writeln!(writer, "ERR {e}")?,
+                        Ok((result, stats)) => {
+                            let workers = opts.parallelism.min(engine.info().pool_threads).max(1);
+                            write_run_response(&mut writer, &result, &stats, workers)?;
+                        }
+                    },
+                }
+            }
+        }
+        writer.flush()?;
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+    }
+}

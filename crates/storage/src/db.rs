@@ -107,6 +107,22 @@ impl Database {
     /// Creates a base index (no-op if an index on the same key column
     /// already exists and carries at least the requested columns).
     pub fn create_index(&mut self, def: &IndexDef) -> Result<usize, StorageError> {
+        self.create_index_with(def, crate::index::key_sorted_rids)
+    }
+
+    /// Like [`create_index`](Self::create_index), with the clustered
+    /// insertion order supplied by `order` — the hook for parallel index
+    /// builds. `order(table, key_col)` must return exactly the stable
+    /// key-sorted rid order of
+    /// [`key_sorted_rids`](crate::index::key_sorted_rids) (however it was
+    /// computed), so the resulting index is bit-identical to a sequential
+    /// build. Idempotency and carried-set widening behave as in
+    /// `create_index`.
+    pub fn create_index_with(
+        &mut self,
+        def: &IndexDef,
+        order: impl Fn(&MvccTable, usize) -> Vec<u32>,
+    ) -> Result<usize, StorageError> {
         let t_idx = self.table_idx(&def.table)?;
         let schema = self.tables[t_idx].table().schema();
         let key_col = schema.col(&def.key)?;
@@ -124,17 +140,26 @@ impl Database {
                     union.push(c);
                 }
             }
-            let rebuilt =
-                BaseIndex::build(t_idx, &self.tables[t_idx], key_col, union, self.prefer_kiss);
+            let rids = order(&self.tables[t_idx], key_col);
+            let rebuilt = BaseIndex::build_with_order(
+                t_idx,
+                &self.tables[t_idx],
+                key_col,
+                union,
+                self.prefer_kiss,
+                &rids,
+            );
             self.indexes[existing] = rebuilt;
             return Ok(existing);
         }
-        let built = BaseIndex::build(
+        let rids = order(&self.tables[t_idx], key_col);
+        let built = BaseIndex::build_with_order(
             t_idx,
             &self.tables[t_idx],
             key_col,
             carried,
             self.prefer_kiss,
+            &rids,
         );
         let pos = self.indexes.len();
         self.indexes.push(built);
@@ -170,6 +195,24 @@ impl Database {
         keys: &[&str],
         carried: &[&str],
     ) -> Result<usize, StorageError> {
+        self.create_composite_index_with(table, keys, carried, |t, key_cols| {
+            let packed = CompositeIndex::packed_keys(t, key_cols)?;
+            let mut order: Vec<u32> = (0..t.version_count() as u32).collect();
+            order.sort_by_key(|&rid| packed[rid as usize]);
+            Ok(order)
+        })
+    }
+
+    /// Like [`create_composite_index`](Self::create_composite_index), with
+    /// the packed-key-sorted rid order supplied by `order` (see
+    /// [`create_index_with`](Self::create_index_with) for the contract).
+    pub fn create_composite_index_with(
+        &mut self,
+        table: &str,
+        keys: &[&str],
+        carried: &[&str],
+        order: impl Fn(&MvccTable, &[usize]) -> Result<Vec<u32>, StorageError>,
+    ) -> Result<usize, StorageError> {
         let t_idx = self.table_idx(table)?;
         let schema = self.tables[t_idx].table().schema();
         let key_cols: Vec<usize> = keys
@@ -192,22 +235,26 @@ impl Database {
                     union.push(c);
                 }
             }
-            let rebuilt = CompositeIndex::build(
+            let rids = order(&self.tables[t_idx], &key_cols)?;
+            let rebuilt = CompositeIndex::build_with_order(
                 t_idx,
                 &self.tables[t_idx],
                 key_cols,
                 union,
                 self.prefer_kiss,
+                &rids,
             )?;
             self.composite_indexes[existing] = rebuilt;
             return Ok(existing);
         }
-        let built = CompositeIndex::build(
+        let rids = order(&self.tables[t_idx], &key_cols)?;
+        let built = CompositeIndex::build_with_order(
             t_idx,
             &self.tables[t_idx],
             key_cols.clone(),
             carried_cols,
             self.prefer_kiss,
+            &rids,
         )?;
         let pos = self.composite_indexes.len();
         self.composite_indexes.push(built);

@@ -596,6 +596,30 @@ impl BaseIndex {
         carried: Vec<usize>,
         prefer_kiss: bool,
     ) -> Self {
+        let order = key_sorted_rids(table, key_col);
+        Self::build_with_order(table_idx, table, key_col, carried, prefer_kiss, &order)
+    }
+
+    /// Like [`build`](Self::build), but with the key-sorted rid order
+    /// supplied by the caller — the hook the parallel index builder uses:
+    /// it produces the identical order with partitioned parallel sorts
+    /// (see `qppt-par`'s `prepare_indexes_pooled`) and only the final
+    /// clustered insertion runs here. `order` must be every row version's
+    /// rid exactly once, stably sorted by the key column (ties in rid
+    /// order), or the index will not be clustered the way [`build`] makes
+    /// it.
+    pub fn build_with_order(
+        table_idx: usize,
+        table: &MvccTable,
+        key_col: usize,
+        carried: Vec<usize>,
+        prefer_kiss: bool,
+        order: &[u32],
+    ) -> Self {
+        debug_assert_eq!(order.len(), table.version_count());
+        debug_assert!(order
+            .windows(2)
+            .all(|w| table.table().get(w[0], key_col) <= table.table().get(w[1], key_col)));
         let stats = table.table().stats(key_col);
         let max_key = if stats.min > stats.max { 0 } else { stats.max };
         let index = TreeIndex::for_domain(max_key, prefer_kiss);
@@ -604,10 +628,8 @@ impl BaseIndex {
             .map(|&c| table.table().schema().column(c).name.clone())
             .collect();
         let mut data = IndexedTable::new(index, 1 + carried.len());
-        let mut order: Vec<u32> = (0..table.version_count() as u32).collect();
-        order.sort_by_key(|&rid| table.table().get(rid, key_col));
         let mut row = vec![0u64; 1 + carried.len()];
-        for rid in order {
+        for &rid in order {
             let key = table.table().get(rid, key_col);
             row[0] = rid as u64;
             for (i, &c) in carried.iter().enumerate() {
@@ -688,22 +710,44 @@ impl CompositeIndex {
         carried: Vec<usize>,
         prefer_kiss: bool,
     ) -> Result<Self, StorageError> {
+        let packed = Self::packed_keys(table, &key_cols)?;
+        let mut order: Vec<u32> = (0..table.version_count() as u32).collect();
+        order.sort_by_key(|&rid| packed[rid as usize]);
+        Self::build_with_order(table_idx, table, key_cols, carried, prefer_kiss, &order)
+    }
+
+    /// The packed composite key of every row version, in rid order — what
+    /// the parallel index builder sorts by (partitioned) before calling
+    /// [`build_with_order`](Self::build_with_order).
+    pub fn packed_keys(table: &MvccTable, key_cols: &[usize]) -> Result<Vec<u64>, StorageError> {
         let t = table.table();
-        let widths: Vec<u8> = key_cols
-            .iter()
-            .map(|&c| {
-                let s = t.stats(c);
-                let max = if s.min > s.max { 0 } else { s.max };
-                ((64 - max.leading_zeros()).max(1)) as u8
+        let (widths, total) = Self::key_widths(table, key_cols)?;
+        Ok((0..table.version_count() as u32)
+            .map(|rid| {
+                let mut key = 0u64;
+                let mut used = 0u8;
+                for (i, &c) in key_cols.iter().enumerate() {
+                    used += widths[i];
+                    key |= t.get(rid, c) << (total - used);
+                }
+                key
             })
-            .collect();
-        let total: u32 = widths.iter().map(|&w| w as u32).sum();
-        if total > 64 {
-            return Err(StorageError::UnknownColumn(format!(
-                "composite key over {:?} needs {total} bits (max 64)",
-                key_cols
-            )));
-        }
+            .collect())
+    }
+
+    /// Like [`build`](Self::build) with a caller-supplied packed-key-sorted
+    /// rid order (see [`BaseIndex::build_with_order`] for the contract).
+    pub fn build_with_order(
+        table_idx: usize,
+        table: &MvccTable,
+        key_cols: Vec<usize>,
+        carried: Vec<usize>,
+        prefer_kiss: bool,
+        order: &[u32],
+    ) -> Result<Self, StorageError> {
+        debug_assert_eq!(order.len(), table.version_count());
+        let t = table.table();
+        let (widths, total) = Self::key_widths(table, &key_cols)?;
         let max_key = if total >= 64 {
             u64::MAX
         } else {
@@ -726,14 +770,12 @@ impl CompositeIndex {
             let mut used = 0u8;
             for (i, &c) in key_cols.iter().enumerate() {
                 used += widths[i];
-                key |= t.get(rid, c) << (total as u8 - used);
+                key |= t.get(rid, c) << (total - used);
             }
             key
         };
-        let mut order: Vec<u32> = (0..table.version_count() as u32).collect();
-        order.sort_by_key(|&rid| pack(rid));
         let mut row = vec![0u64; 1 + carried.len()];
-        for rid in order {
+        for &rid in order {
             row[0] = rid as u64;
             for (i, &c) in carried.iter().enumerate() {
                 row[1 + i] = t.get(rid, c);
@@ -749,6 +791,27 @@ impl CompositeIndex {
             carried_names,
             data,
         })
+    }
+
+    /// Per-part bit widths and total width of the packed composite key.
+    fn key_widths(table: &MvccTable, key_cols: &[usize]) -> Result<(Vec<u8>, u8), StorageError> {
+        let t = table.table();
+        let widths: Vec<u8> = key_cols
+            .iter()
+            .map(|&c| {
+                let s = t.stats(c);
+                let max = if s.min > s.max { 0 } else { s.max };
+                ((64 - max.leading_zeros()).max(1)) as u8
+            })
+            .collect();
+        let total: u32 = widths.iter().map(|&w| w as u32).sum();
+        if total > 64 {
+            return Err(StorageError::UnknownColumn(format!(
+                "composite key over {:?} needs {total} bits (max 64)",
+                key_cols
+            )));
+        }
+        Ok((widths, total as u8))
     }
 
     /// Packs per-part `[lo, hi]` bounds into the composite key range that
@@ -801,6 +864,16 @@ impl CompositeIndex {
         }
         self.data.insert_row(key, &row);
     }
+}
+
+/// Every row version's rid, stably sorted by the key column (ties keep rid
+/// order) — the clustered insertion order of [`BaseIndex::build`]. Exposed
+/// so alternative builders (the parallel, partitioned sort of `qppt-par`)
+/// can reproduce it exactly.
+pub fn key_sorted_rids(table: &MvccTable, key_col: usize) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..table.version_count() as u32).collect();
+    order.sort_by_key(|&rid| table.table().get(rid, key_col));
+    order
 }
 
 /// Validation helper shared by catalog code.

@@ -27,7 +27,12 @@
 //!   deterministic PRNG underneath everything.
 //! * [`par`] — morsel-driven parallel execution over prefix-tree
 //!   partitions: [`par::ParEngine`] / [`par::RunParallel`] run the same
-//!   plans as [`core`] on a worker pool, byte-identical results.
+//!   plans as [`core`] on a worker pool, byte-identical results;
+//!   [`par::PooledEngine`] runs them on a persistent shared
+//!   [`par::WorkerPool`] serving many concurrent queries.
+//! * [`server`] — the TCP query service on top: named SSB queries over a
+//!   line protocol, thread-per-connection frontend, every query executed
+//!   on the shared pool ([`server::ServeEngine`], [`server::QpptClient`]).
 //!
 //! ## Quickstart
 //!
@@ -56,6 +61,7 @@ pub use qppt_hash as hash;
 pub use qppt_kiss as kiss;
 pub use qppt_mem as mem;
 pub use qppt_par as par;
+pub use qppt_server as server;
 pub use qppt_ssb as ssb;
 pub use qppt_storage as storage;
 pub use qppt_trie as trie;
