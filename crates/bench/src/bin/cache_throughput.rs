@@ -1,0 +1,156 @@
+//! Query-cache throughput: cold (empty cache) vs warm (result-tier hits)
+//! queries/second on a repeated SSB mix through the serving engine, plus
+//! the re-warm cost after an invalidating MVCC write.
+//!
+//! Three phases, all through `ServeEngine::run` (the exact `RUN` hot
+//! path — fingerprint, tiers, pooled execution):
+//!
+//! 1. **cold** — every query of the mix once into an empty cache
+//!    (misses: plan + materialize + execute + decode);
+//! 2. **warm** — the mix repeated `--warm` times (result-tier hits: no
+//!    planning, no pool, no execution);
+//! 3. **re-warm** — one `delete_row` on `part` bumps that table's
+//!    version, then the mix runs once more: part-joining queries
+//!    invalidate + recompute, the rest keep hitting.
+//!
+//! Every phase asserts byte-equality against a fresh sequential engine at
+//! the current snapshot before timing is trusted. Writes
+//! `BENCH_QUERY_CACHE.json`:
+//!
+//! ```text
+//! cargo run --release --bin cache_throughput -- \
+//!     --sf 0.05 --warm 30 --out BENCH_QUERY_CACHE.json
+//! ```
+
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use qppt_bench::{arg_f64, arg_str, arg_usize, print_table};
+use qppt_cache::QueryCache;
+use qppt_core::{prepare_indexes, PlanOptions, QpptEngine};
+use qppt_par::WorkerPool;
+use qppt_server::{detected_cores, ServeEngine};
+use qppt_ssb::{queries, SsbDb};
+use qppt_storage::QuerySpec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sf = arg_f64(&args, "--sf", 0.05);
+    let seed = 42u64;
+    let cores = detected_cores();
+    let threads = arg_usize(&args, "--threads", cores.max(2));
+    let warm_reps = arg_usize(&args, "--warm", 30);
+    let parallelism = arg_usize(&args, "--parallelism", 2);
+    let out_path = arg_str(&args, "--out").unwrap_or_else(|| "BENCH_QUERY_CACHE.json".to_string());
+
+    // The mix: all 13 SSB queries (the full registered surface).
+    let mix: Vec<QuerySpec> = queries::all_queries();
+
+    eprintln!("generating SSB at sf={sf} and preparing indexes …");
+    let mut ssb = SsbDb::generate(sf, seed);
+    for q in &mix {
+        prepare_indexes(&mut ssb.db, q, &PlanOptions::default()).expect("SSB prepares");
+    }
+    let mut db = Arc::new(ssb.db);
+
+    let pool = WorkerPool::new(threads, 8);
+    let cache = Arc::new(QueryCache::default());
+    let opts = PlanOptions::default().with_parallelism(parallelism);
+    let engine =
+        ServeEngine::over_db_with_cache(db.clone(), pool.clone(), opts, sf, seed, cache.clone());
+
+    let names: Vec<String> = mix.iter().map(|q| q.id.to_ascii_lowercase()).collect();
+    let check = |engine: &ServeEngine, db: &Arc<qppt_storage::Database>, phase: &str| {
+        let oracle = QpptEngine::new(db);
+        for (q, name) in mix.iter().zip(&names) {
+            let (got, _) = engine.run(name, &opts, 0).expect("serving run");
+            let expected = oracle.run(q, &PlanOptions::default()).expect("oracle run");
+            assert_eq!(got, expected, "{} diverged in phase {phase}", q.id);
+        }
+    };
+
+    // Phase 1: cold — time the very first pass over the empty cache.
+    let t0 = Instant::now();
+    for name in &names {
+        engine.run(name, &opts, 0).expect("cold run");
+    }
+    let cold_qps = names.len() as f64 / t0.elapsed().as_secs_f64();
+    check(&engine, &db, "cold");
+
+    // Phase 2: warm — the mix repeated, every run a result-tier hit.
+    let t0 = Instant::now();
+    for _ in 0..warm_reps {
+        for name in &names {
+            engine.run(name, &opts, 0).expect("warm run");
+        }
+    }
+    let warm_qps = (warm_reps * names.len()) as f64 / t0.elapsed().as_secs_f64();
+    let warm_over_cold = warm_qps / cold_qps;
+
+    // Phase 3: invalidating write, then re-warm. The cache outlives the
+    // engine (it is externally owned); only the engine is rebuilt around
+    // the mutated database.
+    drop(engine);
+    let s_before = cache.stats();
+    {
+        let db_mut = Arc::get_mut(&mut db).expect("engine dropped, Arc unique");
+        db_mut.delete_row("part", 0).expect("invalidating write");
+    }
+    let engine =
+        ServeEngine::over_db_with_cache(db.clone(), pool.clone(), opts, sf, seed, cache.clone());
+    let t0 = Instant::now();
+    for name in &names {
+        engine.run(name, &opts, 0).expect("re-warm run");
+    }
+    let rewarm_qps = names.len() as f64 / t0.elapsed().as_secs_f64();
+    check(&engine, &db, "re-warm");
+    let s_after = cache.stats();
+    let invalidated = s_after.results.invalidations - s_before.results.invalidations;
+    let still_hit = s_after.results.hits - s_before.results.hits - names.len() as u64;
+
+    print_table(
+        &["phase", "q/s", "vs cold"],
+        &[
+            vec!["cold".into(), format!("{cold_qps:.1}"), "1.00x".into()],
+            vec![
+                "warm (result hits)".into(),
+                format!("{warm_qps:.1}"),
+                format!("{warm_over_cold:.2}x"),
+            ],
+            vec![
+                "re-warm (after write)".into(),
+                format!("{rewarm_qps:.1}"),
+                format!("{:.2}x", rewarm_qps / cold_qps),
+            ],
+        ],
+    );
+    println!(
+        "invalidating write touched `part`: {invalidated}/{} entries invalidated, \
+         {still_hit} unaffected entries still hit during the first re-warm pass",
+        names.len()
+    );
+
+    if warm_over_cold < 5.0 {
+        eprintln!(
+            "warning: warm/cold = {warm_over_cold:.2}x is below the expected ≥ 5x \
+             (result hits should skip planning, materialization, and execution)"
+        );
+    }
+
+    // Hand-rolled JSON (the workspace is dependency-free by design).
+    let json = format!(
+        "{{\n  \"bench\": \"cache_throughput\",\n  \"sf\": {sf},\n  \"cores\": {cores},\n  \
+         \"pool_threads\": {threads},\n  \"parallelism\": {parallelism},\n  \
+         \"queries\": {nq},\n  \"warm_reps\": {warm_reps},\n  \
+         \"cold_qps\": {cold_qps:.3},\n  \"warm_qps\": {warm_qps:.3},\n  \
+         \"warm_over_cold\": {warm_over_cold:.3},\n  \"rewarm\": {{\n    \
+         \"qps\": {rewarm_qps:.3},\n    \"invalidated\": {invalidated},\n    \
+         \"still_hit\": {still_hit}\n  }}\n}}\n",
+        nq = names.len(),
+    );
+    let mut f = std::fs::File::create(&out_path).expect("create output file");
+    f.write_all(json.as_bytes()).expect("write output file");
+    eprintln!("wrote {out_path}");
+    pool.shutdown();
+}

@@ -4,10 +4,15 @@
 //!
 //! The served path runs a real in-process TCP server: C client threads,
 //! each on its own connection, round-robin over a query mix; every query
-//! executes on the one shared `WorkerPool`. The baseline runs the same
-//! mix on C threads that each call `ParEngine::run` — i.e. each query
-//! spawns (and joins) its own scoped worker threads, the cost the shared
-//! pool exists to amortize.
+//! executes on the one shared `WorkerPool`. Each client count is measured
+//! twice — once with `cache=off` (the pure pool-vs-spawn engine
+//! comparison: connection threads participate in their own morsel jobs,
+//! so a lone client pays no pool round-trip) and once on the default
+//! cached path (the real serving hot path, where the repeated mix is
+//! served from the result tier). The baseline runs the same mix on C
+//! threads that each call `ParEngine::run` — i.e. each query spawns (and
+//! joins) its own scoped worker threads, the cost the shared pool exists
+//! to amortize.
 //!
 //! Writes `BENCH_SERVER_THROUGHPUT.json`:
 //!
@@ -91,8 +96,7 @@ fn main() {
     let run_opts = PlanOptions::default().with_parallelism(parallelism);
     let mut rows = Vec::new();
     let mut series = Vec::new();
-    for &c in &clients {
-        // Served: C connections hammering the shared pool.
+    let serve_pass = |c: usize, cache: &'static str| {
         let t0 = Instant::now();
         std::thread::scope(|s| {
             for ci in 0..c {
@@ -103,13 +107,34 @@ fn main() {
                     for i in 0..queries_per_client {
                         let q = &mix[(ci + i) % mix.len()];
                         client
-                            .run(&q.id.to_ascii_lowercase(), &[("parallelism", &par)])
+                            .run(
+                                &q.id.to_ascii_lowercase(),
+                                &[("parallelism", &par), ("cache", cache)],
+                            )
                             .expect("served query");
                     }
                 });
             }
         });
-        let served_qps = (c * queries_per_client) as f64 / t0.elapsed().as_secs_f64();
+        (c * queries_per_client) as f64 / t0.elapsed().as_secs_f64()
+    };
+    // One untimed pass fills the result tier, so every timed cached pass
+    // below measures the same thing (warm hits) at every client count.
+    {
+        let mut warm = QpptClient::connect(addr).expect("connect");
+        let par = parallelism.to_string();
+        for q in &mix {
+            warm.run(&q.id.to_ascii_lowercase(), &[("parallelism", &par)])
+                .expect("warming query");
+        }
+    }
+
+    for &c in &clients {
+        // Served, engine-only: C connections hammering the shared pool
+        // with the query cache bypassed.
+        let served_qps = serve_pass(c, "off");
+        // Served, hot path: same load on the default cached path.
+        let cached_qps = serve_pass(c, "on");
 
         // Baseline: same offered load, but every query spawns its own
         // scoped worker pool (`ParEngine`).
@@ -137,10 +162,11 @@ fn main() {
         rows.push(vec![
             c.to_string(),
             format!("{served_qps:.1}"),
+            format!("{cached_qps:.1}"),
             format!("{baseline_qps:.1}"),
             format!("{ratio:.2}x"),
         ]);
-        series.push((c, served_qps, baseline_qps, ratio));
+        series.push((c, served_qps, cached_qps, baseline_qps, ratio));
     }
 
     println!(
@@ -150,7 +176,8 @@ fn main() {
     print_table(
         &[
             "clients",
-            "served q/s",
+            "served q/s (cache=off)",
+            "served q/s (cached)",
             "spawn-per-query q/s",
             "served/baseline",
         ],
@@ -160,9 +187,9 @@ fn main() {
     // Hand-rolled JSON (the workspace is dependency-free by design).
     let entries: Vec<String> = series
         .iter()
-        .map(|(c, s, b, r)| {
+        .map(|(c, s, cc, b, r)| {
             format!(
-                "    {{\"clients\": {c}, \"served_qps\": {s:.3}, \"baseline_qps\": {b:.3}, \"served_over_baseline\": {r:.3}}}"
+                "    {{\"clients\": {c}, \"served_qps\": {s:.3}, \"served_cached_qps\": {cc:.3}, \"baseline_qps\": {b:.3}, \"served_over_baseline\": {r:.3}}}"
             )
         })
         .collect();

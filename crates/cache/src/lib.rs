@@ -1,0 +1,344 @@
+//! # qppt-cache — snapshot-keyed caching for the serving hot path
+//!
+//! QPPT's intermediates are ordered, canonical index structures: at an
+//! unchanged snapshot the engine rebuilds byte-identical plans, dimension
+//! selections, and results on every run. This crate makes that reuse
+//! explicit with a three-tier, bounded, sharded LRU keyed by the *snapshot
+//! fingerprint* `(query structure, plan options, table versions)`:
+//!
+//! 1. **Plan tier** — `Arc<Plan>`: a hit skips `build_plan`.
+//! 2. **Selection tier** — `Arc<PreparedQuery>`: a hit additionally skips
+//!    every `materialize_dim` call and the fused-selection scan; pooled
+//!    executions then run morsels straight off the shared `InterTable`s.
+//! 3. **Result tier** — `Arc<CachedResult>`: a hit returns the decoded
+//!    rows without touching the worker pool at all.
+//!
+//! ## Coherence
+//!
+//! [`Database`] bumps a monotonic per-table version on every MVCC write
+//! and index build. Fingerprints embed the version vector of exactly the
+//! tables a query reads (fact + dimensions, O(dims) to collect), so:
+//!
+//! * a write to any table a cached entry depends on changes the entry's
+//!   expected versions → the next lookup detects the mismatch, drops the
+//!   entry, and counts an **invalidation** (stale results are never
+//!   served);
+//! * entries over untouched tables keep hitting — invalidation is exact,
+//!   not a global flush.
+//!
+//! Under a shared `Arc<Database>` (the serving path), versions cannot
+//! change *during* a query — writes need `&mut Database` — so a
+//! fingerprint computed at `RUN` time stays valid for the whole execution.
+//!
+//! Counters (hits / misses / invalidations / evictions / insertions) are
+//! kept per tier and surfaced through the server's `CACHE STATS` command
+//! and per-query `ExecStats` operator lines.
+
+mod lru;
+
+use std::sync::Arc;
+
+use qppt_core::{fingerprint_query, ExecStats, Plan, PlanOptions, PreparedQuery};
+use qppt_storage::{Database, QueryResult, QuerySpec, StorageError};
+
+pub use lru::{ShardedLru, TierSnapshot};
+
+/// The snapshot fingerprint every tier is keyed on: one 64-bit hash over
+/// `(database identity, query structure, options)` plus the version
+/// vector of the tables the query reads (fact first, then dimensions in
+/// spec order).
+///
+/// The [`Database::instance_id`] is folded into the key so a cache shared
+/// across engine rebuilds can never serve one database's rows for a
+/// *different* database, even when their version vectors coincide (two
+/// freshly loaded instances both sit at version 1 everywhere). Mutating a
+/// database in place keeps its identity — that is the supported
+/// cache-outlives-engine pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryFingerprint {
+    /// `fingerprint_query(spec, opts)` ⊕ database identity.
+    pub key: u64,
+    /// Per-table versions at computation time.
+    pub versions: Vec<u64>,
+}
+
+impl QueryFingerprint {
+    /// Computes the fingerprint — O(dims): one structural hash (cheap,
+    /// no catalog access) plus one version lookup per involved table.
+    pub fn compute(
+        db: &Database,
+        spec: &QuerySpec,
+        opts: &PlanOptions,
+    ) -> Result<Self, StorageError> {
+        let mut versions = Vec::with_capacity(1 + spec.dims.len());
+        versions.push(db.table_version(&spec.fact)?);
+        for d in &spec.dims {
+            versions.push(db.table_version(&d.table)?);
+        }
+        let mut key = qppt_core::Fnv64::new();
+        key.write_u64(db.instance_id())
+            .write_u64(fingerprint_query(spec, opts));
+        Ok(Self {
+            key: key.finish(),
+            versions,
+        })
+    }
+}
+
+/// A cached full result: decoded rows plus the statistics of the execution
+/// that produced them.
+#[derive(Debug, Clone)]
+pub struct CachedResult {
+    pub result: QueryResult,
+    pub stats: ExecStats,
+}
+
+/// Capacity/geometry of a [`QueryCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Max cached plans (cheap: a plan is a few KiB of resolved metadata).
+    pub plan_capacity: usize,
+    /// Max cached [`PreparedQuery`]s (expensive: materialized dimension
+    /// selections — keep this the smallest tier).
+    pub selection_capacity: usize,
+    /// Max cached results (decoded rows; SSB results are ≤ a few hundred
+    /// rows).
+    pub result_capacity: usize,
+    /// Shard count per tier (rounded up to a power of two).
+    pub shards: usize,
+    /// `false` turns every lookup into a pass-through miss and every
+    /// insert into a no-op.
+    pub enabled: bool,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            plan_capacity: 256,
+            selection_capacity: 64,
+            result_capacity: 256,
+            shards: 8,
+            enabled: true,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// A configuration with caching switched off entirely.
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// Point-in-time statistics of all three tiers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub plans: TierSnapshot,
+    pub selections: TierSnapshot,
+    pub results: TierSnapshot,
+}
+
+/// The three-tier snapshot-keyed query cache (see module docs). Internally
+/// synchronized — share it behind an `Arc` across connections.
+#[derive(Debug)]
+pub struct QueryCache {
+    plans: ShardedLru<Arc<Plan>>,
+    selections: ShardedLru<Arc<PreparedQuery>>,
+    results: ShardedLru<Arc<CachedResult>>,
+    enabled: bool,
+}
+
+impl Default for QueryCache {
+    fn default() -> Self {
+        Self::new(CacheConfig::default())
+    }
+}
+
+impl QueryCache {
+    /// Creates a cache with the given geometry.
+    pub fn new(config: CacheConfig) -> Self {
+        Self {
+            plans: ShardedLru::new(config.plan_capacity, config.shards),
+            selections: ShardedLru::new(config.selection_capacity, config.shards),
+            results: ShardedLru::new(config.result_capacity, config.shards),
+            enabled: config.enabled,
+        }
+    }
+
+    /// `false` when the cache was built disabled (every get misses without
+    /// counting, every put is dropped).
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Result-tier lookup.
+    pub fn get_result(&self, fp: &QueryFingerprint) -> Option<Arc<CachedResult>> {
+        if !self.enabled {
+            return None;
+        }
+        self.results.get(fp)
+    }
+
+    /// Result-tier insert.
+    pub fn put_result(&self, fp: &QueryFingerprint, value: Arc<CachedResult>) {
+        if self.enabled {
+            self.results.put(fp, value);
+        }
+    }
+
+    /// Plan-tier lookup.
+    pub fn get_plan(&self, fp: &QueryFingerprint) -> Option<Arc<Plan>> {
+        if !self.enabled {
+            return None;
+        }
+        self.plans.get(fp)
+    }
+
+    /// Plan-tier insert.
+    pub fn put_plan(&self, fp: &QueryFingerprint, value: Arc<Plan>) {
+        if self.enabled {
+            self.plans.put(fp, value);
+        }
+    }
+
+    /// Selection-tier lookup.
+    pub fn get_selections(&self, fp: &QueryFingerprint) -> Option<Arc<PreparedQuery>> {
+        if !self.enabled {
+            return None;
+        }
+        self.selections.get(fp)
+    }
+
+    /// Selection-tier insert.
+    pub fn put_selections(&self, fp: &QueryFingerprint, value: Arc<PreparedQuery>) {
+        if self.enabled {
+            self.selections.put(fp, value);
+        }
+    }
+
+    /// Drops every entry in every tier (lifetime counters survive).
+    pub fn clear(&self) {
+        self.plans.clear();
+        self.selections.clear();
+        self.results.clear();
+    }
+
+    /// Counters and entry counts of all tiers.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            plans: self.plans.snapshot(),
+            selections: self.selections.snapshot(),
+            results: self.results.snapshot(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qppt_core::{prepare_indexes, QpptEngine};
+    use qppt_ssb::{queries, SsbDb};
+
+    #[test]
+    fn fingerprint_tracks_only_involved_tables() {
+        let mut ssb = SsbDb::generate(0.005, 42);
+        let opts = PlanOptions::default();
+        let q11 = queries::q1_1(); // fact + date
+        let q23 = queries::q2_3(); // fact + part, supplier, date
+        for q in [&q11, &q23] {
+            prepare_indexes(&mut ssb.db, q, &opts).unwrap();
+        }
+        let f11 = QueryFingerprint::compute(&ssb.db, &q11, &opts).unwrap();
+        let f23 = QueryFingerprint::compute(&ssb.db, &q23, &opts).unwrap();
+        assert_ne!(f11.key, f23.key);
+        assert_eq!(f11.versions.len(), 2);
+        assert_eq!(f23.versions.len(), 4);
+
+        // A write to part changes q2.3's fingerprint but not q1.1's.
+        ssb.db.delete_row("part", 0).unwrap();
+        let f11b = QueryFingerprint::compute(&ssb.db, &q11, &opts).unwrap();
+        let f23b = QueryFingerprint::compute(&ssb.db, &q23, &opts).unwrap();
+        assert_eq!(f11, f11b);
+        assert_ne!(f23.versions, f23b.versions);
+        assert_eq!(f23.key, f23b.key);
+    }
+
+    #[test]
+    fn tiers_roundtrip_and_invalidate_independently() {
+        let mut ssb = SsbDb::generate(0.005, 42);
+        let opts = PlanOptions::default();
+        let q = queries::q2_1();
+        prepare_indexes(&mut ssb.db, &q, &opts).unwrap();
+        let cache = QueryCache::new(CacheConfig {
+            shards: 2,
+            ..CacheConfig::default()
+        });
+        let fp = QueryFingerprint::compute(&ssb.db, &q, &opts).unwrap();
+        assert!(cache.get_result(&fp).is_none());
+
+        let engine = QpptEngine::new(&ssb.db);
+        let (result, stats) = engine.run_with_stats(&q, &opts).unwrap();
+        cache.put_result(&fp, Arc::new(CachedResult { result, stats }));
+        cache.put_plan(&fp, Arc::new(engine.plan(&q, &opts).unwrap()));
+        assert!(cache.get_result(&fp).is_some());
+        assert!(cache.get_plan(&fp).is_some());
+
+        // A write to the fact table invalidates on next lookup.
+        ssb.db.delete_row("lineorder", 0).unwrap();
+        let fp2 = QueryFingerprint::compute(&ssb.db, &q, &opts).unwrap();
+        assert!(cache.get_result(&fp2).is_none());
+        let s = cache.stats();
+        assert_eq!(s.results.invalidations, 1);
+        assert_eq!(s.results.hits, 1);
+        // The plan tier was never probed with the new fingerprint.
+        assert_eq!(s.plans.invalidations, 0);
+    }
+
+    #[test]
+    fn fingerprints_never_cross_databases() {
+        // Two freshly built databases have identical version vectors (all
+        // 1s) — the instance id must still keep their fingerprints apart,
+        // so a cache shared across engines cannot serve A's rows for B.
+        let opts = PlanOptions::default();
+        let q = queries::q1_1();
+        let mut a = SsbDb::generate(0.005, 42);
+        let mut b = SsbDb::generate(0.005, 7);
+        prepare_indexes(&mut a.db, &q, &opts).unwrap();
+        prepare_indexes(&mut b.db, &q, &opts).unwrap();
+        let fa = QueryFingerprint::compute(&a.db, &q, &opts).unwrap();
+        let fb = QueryFingerprint::compute(&b.db, &q, &opts).unwrap();
+        assert_eq!(fa.versions, fb.versions, "test premise: same versions");
+        assert_ne!(fa.key, fb.key, "instance id must separate databases");
+        // Mutating in place keeps the identity (the supported pattern).
+        a.db.delete_row("date", 0).unwrap();
+        let fa2 = QueryFingerprint::compute(&a.db, &q, &opts).unwrap();
+        assert_eq!(fa.key, fa2.key);
+        assert_ne!(fa.versions, fa2.versions);
+    }
+
+    #[test]
+    fn disabled_cache_is_a_pass_through() {
+        let ssb = SsbDb::generate(0.005, 42);
+        let q = queries::q1_1();
+        let opts = PlanOptions::default();
+        let cache = QueryCache::new(CacheConfig::disabled());
+        assert!(!cache.enabled());
+        let fp = QueryFingerprint::compute(&ssb.db, &q, &opts).unwrap();
+        cache.put_result(
+            &fp,
+            Arc::new(CachedResult {
+                result: QueryResult {
+                    group_cols: vec![],
+                    agg_cols: vec![],
+                    rows: vec![],
+                },
+                stats: ExecStats::default(),
+            }),
+        );
+        assert!(cache.get_result(&fp).is_none());
+        assert_eq!(cache.stats().results.insertions, 0);
+    }
+}

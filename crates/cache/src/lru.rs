@@ -1,0 +1,258 @@
+//! A bounded, sharded, version-checked LRU map — the storage behind every
+//! [`QueryCache`](crate::QueryCache) tier.
+//!
+//! * **Sharded** — the 64-bit fingerprint key picks a shard (power-of-two
+//!   shard count, low bits), each shard behind its own `Mutex`, so
+//!   concurrent connections on different queries rarely contend.
+//! * **Version-checked** — every entry stores the table-version vector it
+//!   was computed at. A lookup whose fingerprint carries *different*
+//!   versions removes the entry and reports an **invalidation** (distinct
+//!   from a plain miss): MVCC writes don't have to walk the cache —
+//!   staleness is detected at the key, O(#tables) per lookup.
+//! * **LRU** — each access stamps the entry from a shard-local clock;
+//!   inserting into a full shard evicts the smallest stamp. Eviction scans
+//!   the shard (capacities are small; an intrusive list is not worth the
+//!   unsafe code here — noted as a ROADMAP follow-on).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::QueryFingerprint;
+
+/// Monotonic counters of one cache tier. All relaxed: the counters are
+/// observability, not synchronization.
+#[derive(Debug, Default)]
+pub struct TierCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+    evictions: AtomicU64,
+    insertions: AtomicU64,
+}
+
+/// A point-in-time copy of one tier's counters plus its live entry count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierSnapshot {
+    pub hits: u64,
+    pub misses: u64,
+    pub invalidations: u64,
+    pub evictions: u64,
+    pub insertions: u64,
+    pub entries: usize,
+}
+
+#[derive(Debug)]
+struct Entry<V> {
+    versions: Vec<u64>,
+    value: V,
+    stamp: u64,
+}
+
+#[derive(Debug)]
+struct Shard<V> {
+    map: HashMap<u64, Entry<V>>,
+    clock: u64,
+    capacity: usize,
+}
+
+impl<V> Shard<V> {
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+}
+
+/// The sharded LRU (see module docs). `V` is cheap to clone — tiers store
+/// `Arc`s.
+#[derive(Debug)]
+pub struct ShardedLru<V> {
+    shards: Vec<Mutex<Shard<V>>>,
+    /// `shards.len() - 1`; shard count is a power of two.
+    mask: u64,
+    counters: TierCounters,
+}
+
+impl<V: Clone> ShardedLru<V> {
+    /// A cache of at most `capacity` entries spread over `shards` shards
+    /// (rounded up to a power of two; each shard gets an equal slice).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let nshards = shards.max(1).next_power_of_two();
+        let per_shard = capacity.div_ceil(nshards).max(1);
+        Self {
+            shards: (0..nshards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        clock: 0,
+                        capacity: per_shard,
+                    })
+                })
+                .collect(),
+            mask: (nshards - 1) as u64,
+            counters: TierCounters::default(),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<Shard<V>> {
+        &self.shards[(key & self.mask) as usize]
+    }
+
+    /// Looks up `fp`. Same key + same versions → hit (entry freshened);
+    /// same key + different versions → the entry is stale: it is removed
+    /// and the lookup counts as an invalidation; absent → miss.
+    pub fn get(&self, fp: &QueryFingerprint) -> Option<V> {
+        let mut shard = self.shard(fp.key).lock().expect("cache shard lock");
+        let stamp = shard.tick();
+        match shard.map.get_mut(&fp.key) {
+            Some(e) if e.versions == fp.versions => {
+                e.stamp = stamp;
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                Some(e.value.clone())
+            }
+            Some(_) => {
+                shard.map.remove(&fp.key);
+                self.counters.invalidations.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) the entry for `fp`, evicting the
+    /// least-recently-used entry of the shard if it is full.
+    pub fn put(&self, fp: &QueryFingerprint, value: V) {
+        let mut shard = self.shard(fp.key).lock().expect("cache shard lock");
+        let stamp = shard.tick();
+        if shard.map.len() >= shard.capacity && !shard.map.contains_key(&fp.key) {
+            if let Some(&oldest) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k)
+            {
+                shard.map.remove(&oldest);
+                self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.map.insert(
+            fp.key,
+            Entry {
+                versions: fp.versions.clone(),
+                value,
+                stamp,
+            },
+        );
+        self.counters.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drops every entry (counters are preserved — they are lifetime
+    /// totals).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().expect("cache shard lock").map.clear();
+        }
+    }
+
+    /// Live entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard lock").map.len())
+            .sum()
+    }
+
+    /// `true` when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counters + entry count, copied at once.
+    pub fn snapshot(&self) -> TierSnapshot {
+        TierSnapshot {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            invalidations: self.counters.invalidations.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
+            insertions: self.counters.insertions.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(key: u64, versions: &[u64]) -> QueryFingerprint {
+        QueryFingerprint {
+            key,
+            versions: versions.to_vec(),
+        }
+    }
+
+    #[test]
+    fn hit_miss_invalidation_lifecycle() {
+        let lru: ShardedLru<u32> = ShardedLru::new(8, 2);
+        assert_eq!(lru.get(&fp(1, &[1])), None); // miss
+        lru.put(&fp(1, &[1]), 10);
+        assert_eq!(lru.get(&fp(1, &[1])), Some(10)); // hit
+        assert_eq!(lru.get(&fp(1, &[2])), None); // invalidation (stale)
+        assert_eq!(lru.get(&fp(1, &[2])), None); // now a plain miss
+        let s = lru.snapshot();
+        assert_eq!((s.hits, s.misses, s.invalidations), (1, 2, 1));
+        assert_eq!(s.entries, 0);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_per_shard() {
+        // One shard, capacity 2: touching key 1 makes key 2 the victim.
+        let lru: ShardedLru<u32> = ShardedLru::new(2, 1);
+        lru.put(&fp(1, &[1]), 1);
+        lru.put(&fp(2, &[1]), 2);
+        assert_eq!(lru.get(&fp(1, &[1])), Some(1));
+        lru.put(&fp(3, &[1]), 3);
+        assert_eq!(lru.get(&fp(2, &[1])), None, "LRU entry not evicted");
+        assert_eq!(lru.get(&fp(1, &[1])), Some(1));
+        assert_eq!(lru.get(&fp(3, &[1])), Some(3));
+        assert_eq!(lru.snapshot().evictions, 1);
+    }
+
+    #[test]
+    fn replace_same_key_does_not_evict_others() {
+        let lru: ShardedLru<u32> = ShardedLru::new(2, 1);
+        lru.put(&fp(1, &[1]), 1);
+        lru.put(&fp(2, &[1]), 2);
+        lru.put(&fp(1, &[2]), 10); // replace, shard full but same key
+        assert_eq!(lru.snapshot().evictions, 0);
+        assert_eq!(lru.get(&fp(2, &[1])), Some(2));
+        assert_eq!(lru.get(&fp(1, &[2])), Some(10));
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counters() {
+        let lru: ShardedLru<u32> = ShardedLru::new(8, 4);
+        for k in 0..6 {
+            lru.put(&fp(k, &[1]), k as u32);
+        }
+        assert_eq!(lru.len(), 6);
+        lru.clear();
+        assert!(lru.is_empty());
+        assert_eq!(lru.snapshot().insertions, 6);
+    }
+
+    #[test]
+    fn shards_partition_the_key_space() {
+        let lru: ShardedLru<u32> = ShardedLru::new(64, 8);
+        for k in 0..64u64 {
+            lru.put(&fp(k, &[1]), k as u32);
+        }
+        assert_eq!(lru.len(), 64);
+        for k in 0..64u64 {
+            assert_eq!(lru.get(&fp(k, &[1])), Some(k as u32));
+        }
+    }
+}

@@ -39,16 +39,20 @@
 
 pub mod engine;
 pub mod exec;
+pub mod fingerprint;
 pub mod inter;
 pub mod layout;
 pub mod options;
 pub mod plan;
+pub mod prepared;
 pub mod stats;
 
 pub use engine::QpptEngine;
 pub use exec::KeyRange;
+pub use fingerprint::{fingerprint_opts, fingerprint_query, fingerprint_spec, Fnv64};
 pub use options::PlanOptions;
 pub use plan::{build_plan, planned_indexes, prepare_indexes, Plan, PlannedIndexes};
+pub use prepared::PreparedQuery;
 pub use stats::{ExecStats, OpStats};
 
 /// Errors from planning or execution.

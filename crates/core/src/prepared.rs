@@ -1,0 +1,115 @@
+//! [`PreparedQuery`]: a query's reusable execution state — built plan,
+//! materialized dimension selections, and the fused stage-1 selection
+//! stream — computed once and shared (via `Arc`) across repeated
+//! executions and concurrent connections.
+//!
+//! QPPT intermediates are ordered, canonical index structures: at an
+//! unchanged snapshot, re-running the same query rebuilds byte-identical
+//! dimension selections and plans from scratch. A `PreparedQuery` captures
+//! exactly that recomputable state. Coherence is the caller's contract
+//! (enforced by `qppt-cache` via per-table versions): a prepared query may
+//! only be executed while the versions of every table it reads are
+//! unchanged since [`build`](PreparedQuery::build) — then `snap` sees the
+//! same rows as any later snapshot, and execution is byte-identical to
+//! planning + materializing from scratch.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use qppt_storage::{Database, QueryResult, QuerySpec, Snapshot};
+
+use crate::exec::{
+    decode_result, materialize_dim, materialize_fused_selection, new_agg_table, run_pipeline,
+    FusedSelection,
+};
+use crate::inter::InterTable;
+use crate::options::PlanOptions;
+use crate::plan::{build_plan, Plan};
+use crate::stats::{ExecStats, OpStats};
+use crate::QpptError;
+
+/// Reusable per-query execution state (see module docs). Everything is
+/// behind `Arc`s, so clones are cheap and executions on other threads (the
+/// `qppt-par` pooled engine) share rather than copy.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    /// The physical plan.
+    pub plan: Arc<Plan>,
+    /// Materialized dimension selections, one slot per plan dimension
+    /// (`None` for base/fused handles), shared read-only by executions.
+    pub dim_tables: Arc<Vec<Option<InterTable>>>,
+    /// The pre-materialized stage-1 fused selection stream, if the plan
+    /// leads with a select-probe.
+    pub fused: Arc<Option<FusedSelection>>,
+    /// Build-time statistics of the dimension materializations (replayed
+    /// into every execution's stats so operator lists keep their shape).
+    pub dim_stats: Vec<OpStats>,
+    /// The snapshot the selections were materialized at.
+    pub snap: Snapshot,
+}
+
+impl PreparedQuery {
+    /// Plans `spec` and materializes its dimension state at `snap`.
+    pub fn build(
+        db: &Database,
+        spec: &QuerySpec,
+        opts: &PlanOptions,
+        snap: Snapshot,
+    ) -> Result<Self, QpptError> {
+        Self::from_plan(db, Arc::new(build_plan(db, spec, opts)?), snap)
+    }
+
+    /// Materializes the dimension state for an already-built plan at
+    /// `snap` — the entry point when a plan-cache tier hit skipped
+    /// [`build_plan`].
+    pub fn from_plan(db: &Database, plan: Arc<Plan>, snap: Snapshot) -> Result<Self, QpptError> {
+        let mut dim_tables = Vec::with_capacity(plan.dims.len());
+        let mut dim_stats = Vec::new();
+        for di in 0..plan.dims.len() {
+            match materialize_dim(db, snap, &plan, di)? {
+                Some((table, op)) => {
+                    dim_stats.push(op);
+                    dim_tables.push(Some(table));
+                }
+                None => dim_tables.push(None),
+            }
+        }
+        let fused = materialize_fused_selection(db, snap, &plan)?;
+        Ok(Self {
+            plan,
+            dim_tables: Arc::new(dim_tables),
+            fused: Arc::new(fused),
+            dim_stats,
+            snap,
+        })
+    }
+
+    /// Runs the fact pipeline sequentially on the calling thread from the
+    /// prepared state — no planning, no dimension materialization, no
+    /// selection-predicate evaluation (the fused stream replays). Results
+    /// are byte-identical to [`QpptEngine::run`](crate::QpptEngine::run)
+    /// under the coherence contract (module docs).
+    pub fn execute_sequential(&self, db: &Database) -> Result<(QueryResult, ExecStats), QpptError> {
+        let started = Instant::now();
+        let mut stats = ExecStats {
+            ops: self.dim_stats.clone(),
+            total_micros: 0,
+        };
+        let mut agg = new_agg_table(&self.plan);
+        let ops = run_pipeline(
+            db,
+            self.snap,
+            &self.plan,
+            &self.dim_tables,
+            None,
+            self.fused.as_ref().as_ref(),
+            &mut agg,
+        )?;
+        for op in ops {
+            stats.push(op);
+        }
+        let result = decode_result(db, &self.plan, &agg);
+        stats.total_micros = started.elapsed().as_micros();
+        Ok((result, stats))
+    }
+}

@@ -233,7 +233,23 @@ impl WorkerPool {
     /// A job with no work at submission completes immediately; a submission
     /// after [`shutdown`](Self::shutdown) is aborted.
     pub fn submit(&self, job: Arc<dyn PoolJob>, priority: i32) -> JobHandle {
+        self.submit_inner(job, priority, false).0
+    }
+
+    /// [`submit`](Self::submit), also returning the queue sequence number
+    /// when the job was actually enqueued (`None`: aborted or completed
+    /// immediately). With `participating`, the entry starts with the
+    /// *caller* pre-joined (`joined = active = 1`): pool workers then fill
+    /// only the remaining `max_workers - 1` slots, and shutdown treats the
+    /// job as started (it runs to completion instead of aborting).
+    fn submit_inner(
+        &self,
+        job: Arc<dyn PoolJob>,
+        priority: i32,
+        participating: bool,
+    ) -> (JobHandle, Option<u64>) {
         let slot = DoneSlot::new();
+        let mut enqueued = None;
         let mut st = self.inner.state.lock().expect("pool lock");
         while st.queue.len() >= self.inner.max_active && !st.shutdown {
             st = self.inner.admit_cv.wait(st).expect("pool lock");
@@ -245,23 +261,70 @@ impl WorkerPool {
         } else {
             let seq = st.next_seq;
             st.next_seq += 1;
+            let caller = participating as usize;
             st.queue.push(Entry {
                 seq,
                 priority,
-                joined: 0,
-                active: 0,
+                joined: caller,
+                active: caller,
                 job,
                 slot: slot.clone(),
             });
             self.inner.work_cv.notify_all();
+            enqueued = Some(seq);
         }
         drop(st);
-        JobHandle { slot }
+        (JobHandle { slot }, enqueued)
     }
 
     /// Convenience: submit and wait.
     pub fn run(&self, job: Arc<dyn PoolJob>, priority: i32) -> Result<(), JobAborted> {
         self.submit(job, priority).wait()
+    }
+
+    /// Submits `job` and **participates**: the calling thread runs
+    /// [`PoolJob::work`] itself — counting as one of the job's
+    /// [`max_workers`](PoolJob::max_workers) participants — while free pool
+    /// workers fill the remaining slots; then waits for completion.
+    ///
+    /// This is the serving-path latency fix for low concurrency: the caller
+    /// starts pulling tasks immediately instead of paying a condvar
+    /// round-trip to a (possibly busy) pool thread. At one client the query
+    /// effectively runs inline on the connection thread; under load the
+    /// pool still balances, and results stay byte-identical because the
+    /// job's partial merge is participant-ordered and commutative.
+    /// Admission is unchanged: the call blocks while the budget is
+    /// exhausted; after [`shutdown`](Self::shutdown) the job is aborted
+    /// without the caller working.
+    pub fn run_participating(
+        &self,
+        job: Arc<dyn PoolJob>,
+        priority: i32,
+    ) -> Result<(), JobAborted> {
+        let (handle, enqueued) = self.submit_inner(job.clone(), priority, true);
+        if let Some(seq) = enqueued {
+            job.work();
+            self.leave(seq);
+        }
+        handle.wait()
+    }
+
+    /// The caller's counterpart of the worker-loop retirement: drops the
+    /// caller's `active` slot for entry `seq` and retires the job if the
+    /// caller was the last participant inside `work()`.
+    fn leave(&self, seq: u64) {
+        let mut st = self.inner.state.lock().expect("pool lock");
+        let i = st
+            .queue
+            .iter()
+            .position(|e| e.seq == seq)
+            .expect("participating jobs stay queued until their last worker leaves");
+        st.queue[i].active -= 1;
+        if st.queue[i].active == 0 && !st.queue[i].job.has_work() {
+            let e = st.queue.remove(i);
+            e.slot.finish(SlotState::Done);
+            self.inner.admit_cv.notify_all();
+        }
     }
 
     /// Stops the pool: started jobs run to completion, unstarted queued
@@ -469,6 +532,58 @@ mod tests {
         let job = CountJob::new(10, 1, 0);
         assert_eq!(pool.run(job.clone(), 0), Err(JobAborted));
         assert_eq!(job.done.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn participating_caller_drains_and_completes() {
+        let pool = WorkerPool::new(2, 4);
+        let job = CountJob::new(500, 3, 10);
+        pool.run_participating(job.clone(), 0).unwrap();
+        assert_eq!(job.done.load(Ordering::Relaxed), 500);
+        // Caller + at most (max_workers - 1) pool workers.
+        assert!(job.participants.load(Ordering::Relaxed) <= 3);
+        assert!(job.participants.load(Ordering::Relaxed) >= 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn participating_with_max_workers_one_runs_caller_only() {
+        let pool = WorkerPool::new(4, 4);
+        let job = CountJob::new(100, 1, 0);
+        pool.run_participating(job.clone(), 0).unwrap();
+        assert_eq!(job.done.load(Ordering::Relaxed), 100);
+        assert_eq!(job.participants.load(Ordering::Relaxed), 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn participating_after_shutdown_aborts_without_working() {
+        let pool = WorkerPool::new(1, 1);
+        pool.shutdown();
+        let job = CountJob::new(10, 2, 0);
+        assert_eq!(pool.run_participating(job.clone(), 0), Err(JobAborted));
+        assert_eq!(job.done.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn participating_under_contention_completes_every_job() {
+        let pool = WorkerPool::new(2, 8);
+        let jobs: Vec<_> = (0..8).map(|_| CountJob::new(60, 3, 50)).collect();
+        thread::scope(|s| {
+            for j in &jobs {
+                let pool = &pool;
+                s.spawn(move || {
+                    pool.run_participating(j.clone() as Arc<dyn PoolJob>, 0)
+                        .unwrap()
+                });
+            }
+        });
+        for j in &jobs {
+            assert_eq!(j.done.load(Ordering::Relaxed), 60);
+            assert!(j.participants.load(Ordering::Relaxed) <= 3);
+        }
+        assert_eq!(pool.threads_created(), 2);
+        pool.shutdown();
     }
 
     #[test]

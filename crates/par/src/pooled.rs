@@ -8,17 +8,38 @@
 //! pool's fixed workers interleave them under the priority/admission policy.
 //! Total threads are bounded by the pool size, not queries × parallelism —
 //! the property `qppt-server` is built on.
+//!
+//! Two latency paths matter for serving:
+//!
+//! * **Inline fast path** — `parallelism = 1` queries never touch the pool:
+//!   they run the whole sequential executor on the calling (connection)
+//!   thread, so a single-client workload pays zero cross-thread
+//!   round-trips.
+//! * **Caller participation** — parallel queries submit their jobs with
+//!   [`WorkerPool::run_participating`]: the calling thread counts as one
+//!   of the job's workers and starts pulling tasks immediately; free pool
+//!   workers fill the remaining slots. At low concurrency the query runs
+//!   mostly inline, under load the pool balances as before.
+//!
+//! The engine can also execute from a cached
+//! [`PreparedQuery`](qppt_core::PreparedQuery)
+//! ([`run_prepared`](PooledEngine::run_prepared)): planning, dimension
+//! materialization, and the fused-selection scan are all skipped, and the
+//! prepared `InterTable`s are shared read-only across every morsel worker
+//! of every execution — the `qppt-cache` selection-tier hot path.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use qppt_core::exec::{
-    decode_result, materialize_dim, materialize_fused_selection, new_agg_table, run_pipeline,
-    FusedSelection,
+    decode_result, execute, materialize_dim, materialize_fused_selection, new_agg_table,
+    run_pipeline, FusedSelection,
 };
 use qppt_core::inter::{AggTable, InterTable};
-use qppt_core::{build_plan, ExecStats, KeyRange, OpStats, Plan, PlanOptions, QpptError};
+use qppt_core::{
+    build_plan, ExecStats, KeyRange, OpStats, Plan, PlanOptions, PreparedQuery, QpptError,
+};
 use qppt_storage::{Database, QueryResult, QuerySpec, Snapshot};
 
 use crate::pool::{PoolJob, WorkerPool};
@@ -73,59 +94,35 @@ impl PooledEngine {
         snap: Snapshot,
         priority: i32,
     ) -> Result<(QueryResult, ExecStats), QpptError> {
-        let plan = Arc::new(build_plan(&self.db, spec, opts)?);
+        let plan = build_plan(&self.db, spec, opts)?;
+
+        // Inline fast path: a sequential query runs the whole executor on
+        // the calling thread — no jobs, no handles, no pool wakeups. This
+        // is byte-identical by construction (it *is* the sequential
+        // engine's code path).
+        if plan.opts.parallelism == 1 {
+            return execute(&self.db, snap, &plan);
+        }
+
+        let plan = Arc::new(plan);
         let started = Instant::now();
         let mut stats = ExecStats::default();
 
-        // 1. Dimension selections — as a pool job when parallel selections
-        //    are on and there is more than one to build.
+        // 1. Dimension selections — as a participating pool job when
+        //    parallel selections are on and there is more than one to
+        //    build.
         let dim_tables = Arc::new(self.materialize_dims(snap, &plan, priority, &mut stats)?);
 
-        // 2. Fact pipeline: a morsel job on the shared pool when the
-        //    stage-1 operator class is parallel-enabled, inline otherwise.
-        let workers = pipeline_workers(&plan).min(self.pool.size());
-        let (agg, pipeline_stats) = if workers > 1 {
-            let fused = materialize_fused_selection(&self.db, snap, &plan)?;
-            let morsels = partition_morsels(&self.db, &plan)?;
-            let max_workers = workers.min(morsels.len()).max(1);
-            let job = Arc::new(MorselJob {
-                db: self.db.clone(),
-                snap,
-                plan: plan.clone(),
-                dim_tables: dim_tables.clone(),
-                fused,
-                morsels,
-                next: AtomicUsize::new(0),
-                participants: AtomicUsize::new(0),
-                partials: Mutex::new(Vec::new()),
-                error: Mutex::new(None),
-                aborted: AtomicBool::new(false),
-                max_workers,
-            });
-            self.pool
-                .submit(job.clone() as Arc<dyn PoolJob>, priority)
-                .wait()
-                .map_err(|_| pool_down())?;
-            if let Some(e) = job.error.lock().expect("job lock").take() {
-                return Err(e);
-            }
-            let partials = std::mem::take(&mut *job.partials.lock().expect("job lock"));
-            if partials.is_empty() {
-                (new_agg_table(&plan), ExecStats::default())
-            } else {
-                merge_partials(partials)
-            }
+        // 2. Fact pipeline. The fused stage-1 stream is materialized once
+        //    (shared by all morsel workers) only when the pipeline is
+        //    actually partitioned.
+        let fused = if self.pipeline_participants(&plan) > 1 {
+            Arc::new(materialize_fused_selection(&self.db, snap, &plan)?)
         } else {
-            let mut agg = new_agg_table(&plan);
-            let ops = run_pipeline(&self.db, snap, &plan, &dim_tables, None, None, &mut agg)?;
-            (
-                agg,
-                ExecStats {
-                    ops,
-                    total_micros: 0,
-                },
-            )
+            Arc::new(None)
         };
+        let (agg, pipeline_stats) =
+            self.execute_pipeline(snap, &plan, &dim_tables, &fused, priority)?;
         stats.ops.extend(pipeline_stats.ops);
         crate::fix_merged_agg_stats(&plan, &agg, &mut stats);
 
@@ -135,9 +132,117 @@ impl PooledEngine {
         Ok((result, stats))
     }
 
-    /// Materializes every `Materialized` dimension selection — as one pool
-    /// job (one task per dimension) when `par_selections` is on, inline
-    /// otherwise. Statistics are appended in dimension order either way.
+    /// Executes a query from prepared, shared state (the `qppt-cache`
+    /// selection-tier hit): no planning, no dimension materialization, no
+    /// selection-predicate evaluation — the pipeline runs straight off the
+    /// prepared `InterTable`s and fused stream, which are shared (`Arc`)
+    /// across concurrent executions.
+    ///
+    /// Coherence contract (see [`PreparedQuery`]): only call this while
+    /// the versions of every table the plan reads are unchanged since the
+    /// prepared state was built; execution then happens at the *prepared*
+    /// snapshot, which sees the same rows as any current one.
+    pub fn run_prepared(
+        &self,
+        prepared: &PreparedQuery,
+        priority: i32,
+    ) -> Result<(QueryResult, ExecStats), QpptError> {
+        // Inline fast path, as in `run_at`.
+        if prepared.plan.opts.parallelism == 1 {
+            return prepared.execute_sequential(&self.db);
+        }
+
+        let started = Instant::now();
+        let mut stats = ExecStats {
+            ops: prepared.dim_stats.clone(),
+            total_micros: 0,
+        };
+        let (agg, pipeline_stats) = self.execute_pipeline(
+            prepared.snap,
+            &prepared.plan,
+            &prepared.dim_tables,
+            &prepared.fused,
+            priority,
+        )?;
+        stats.ops.extend(pipeline_stats.ops);
+        crate::fix_merged_agg_stats(&prepared.plan, &agg, &mut stats);
+        let result = decode_result(&self.db, &prepared.plan, &agg);
+        stats.total_micros = started.elapsed().as_micros();
+        Ok((result, stats))
+    }
+
+    /// Workers the fact pipeline may use, caller included (the calling
+    /// thread participates in its own jobs, so the bound is pool + 1).
+    fn pipeline_participants(&self, plan: &Plan) -> usize {
+        pipeline_workers(plan).min(self.pool.size() + 1)
+    }
+
+    /// Runs the fact pipeline — as a participating morsel job on the
+    /// shared pool when the stage-1 operator class allows more than one
+    /// worker, inline on the calling thread otherwise.
+    fn execute_pipeline(
+        &self,
+        snap: Snapshot,
+        plan: &Arc<Plan>,
+        dim_tables: &Arc<Vec<Option<InterTable>>>,
+        fused: &Arc<Option<FusedSelection>>,
+        priority: i32,
+    ) -> Result<(AggTable, ExecStats), QpptError> {
+        let workers = self.pipeline_participants(plan);
+        if workers > 1 {
+            let morsels = partition_morsels(&self.db, plan)?;
+            let max_workers = workers.min(morsels.len()).max(1);
+            let job = Arc::new(MorselJob {
+                db: self.db.clone(),
+                snap,
+                plan: plan.clone(),
+                dim_tables: dim_tables.clone(),
+                fused: fused.clone(),
+                morsels,
+                next: AtomicUsize::new(0),
+                participants: AtomicUsize::new(0),
+                partials: Mutex::new(Vec::new()),
+                error: Mutex::new(None),
+                aborted: AtomicBool::new(false),
+                max_workers,
+            });
+            self.pool
+                .run_participating(job.clone() as Arc<dyn PoolJob>, priority)
+                .map_err(|_| pool_down())?;
+            if let Some(e) = job.error.lock().expect("job lock").take() {
+                return Err(e);
+            }
+            let partials = std::mem::take(&mut *job.partials.lock().expect("job lock"));
+            if partials.is_empty() {
+                Ok((new_agg_table(plan), ExecStats::default()))
+            } else {
+                Ok(merge_partials(partials))
+            }
+        } else {
+            let mut agg = new_agg_table(plan);
+            let ops = run_pipeline(
+                &self.db,
+                snap,
+                plan,
+                dim_tables,
+                None,
+                fused.as_ref().as_ref(),
+                &mut agg,
+            )?;
+            Ok((
+                agg,
+                ExecStats {
+                    ops,
+                    total_micros: 0,
+                },
+            ))
+        }
+    }
+
+    /// Materializes every `Materialized` dimension selection — as one
+    /// participating pool job (one task per dimension) when
+    /// `par_selections` is on, inline otherwise. Statistics are appended
+    /// in dimension order either way.
     fn materialize_dims(
         &self,
         snap: Snapshot,
@@ -149,10 +254,10 @@ impl PooledEngine {
         let materialized: Vec<usize> = (0..n)
             .filter(|&di| plan.dims[di].handle == qppt_core::plan::DimHandleKind::Materialized)
             .collect();
-        let pooled = plan.opts.par_selections
-            && plan.opts.parallelism > 1
-            && materialized.len() > 1
-            && self.pool.size() > 1;
+        // Even a size-1 pool is worth submitting to: the caller
+        // participates, so the job always has ≥ 2 potential workers.
+        let pooled =
+            plan.opts.par_selections && plan.opts.parallelism > 1 && materialized.len() > 1;
         let results: Vec<Option<(InterTable, OpStats)>> = if pooled {
             let max_workers = plan.opts.parallelism.min(materialized.len());
             let job = Arc::new(DimJob {
@@ -167,8 +272,7 @@ impl PooledEngine {
                 max_workers,
             });
             self.pool
-                .submit(job.clone() as Arc<dyn PoolJob>, priority)
-                .wait()
+                .run_participating(job.clone() as Arc<dyn PoolJob>, priority)
                 .map_err(|_| pool_down())?;
             if let Some(e) = job.error.lock().expect("job lock").take() {
                 return Err(e);
@@ -204,7 +308,7 @@ struct MorselJob {
     snap: Snapshot,
     plan: Arc<Plan>,
     dim_tables: Arc<Vec<Option<InterTable>>>,
-    fused: Option<FusedSelection>,
+    fused: Arc<Option<FusedSelection>>,
     morsels: Vec<KeyRange>,
     /// Atomic morsel dispenser (work pulling).
     next: AtomicUsize,
@@ -233,7 +337,7 @@ impl PoolJob for MorselJob {
             self.snap,
             &self.plan,
             &self.dim_tables,
-            self.fused.as_ref(),
+            self.fused.as_ref().as_ref(),
             &self.morsels,
             &self.next,
         ) {

@@ -40,6 +40,45 @@ fn pooled_engine_matches_sequential_for_all_queries() {
 }
 
 #[test]
+fn run_prepared_matches_sequential_for_all_queries() {
+    // Executing from a shared PreparedQuery — cached plan, cached dim
+    // selections, replayed fused stream — must stay byte-identical to the
+    // sequential engine at every parallelism, including repeated and
+    // concurrent executions off the *same* prepared state.
+    use qppt_core::PreparedQuery;
+    let ssb = prepared_db(0.02, 42);
+    let db = Arc::new(ssb.db);
+    let sequential = QpptEngine::new(&db);
+    let pool = WorkerPool::new(3, 8);
+    let pooled = PooledEngine::new(db.clone(), pool.clone());
+    let snap = db.snapshot();
+    for q in queries::all_queries() {
+        let expected = sequential.run(&q, &PlanOptions::default()).unwrap();
+        for workers in [1usize, 2, 8] {
+            let opts = PlanOptions::default().with_parallelism(workers);
+            let prepared = Arc::new(PreparedQuery::build(&db, &q, &opts, snap).unwrap());
+            let (first, _) = pooled.run_prepared(&prepared, 0).unwrap();
+            assert_eq!(first, expected, "{} @ {workers} workers (prepared)", q.id);
+            // Concurrent executions sharing one prepared state.
+            std::thread::scope(|s| {
+                for _ in 0..3 {
+                    let pooled = &pooled;
+                    let prepared = &prepared;
+                    let expected = &expected;
+                    let id = q.id.clone();
+                    s.spawn(move || {
+                        let (got, _) = pooled.run_prepared(prepared, 0).unwrap();
+                        assert_eq!(got, *expected, "{id} concurrent prepared run");
+                    });
+                }
+            });
+        }
+    }
+    assert_eq!(pool.threads_created(), 3);
+    pool.shutdown();
+}
+
+#[test]
 fn work_pulling_under_contention() {
     // Many concurrent queries × fine-grained morsels (up to 4096 per
     // query) on a tiny pool: every claim races, results must not.

@@ -36,6 +36,7 @@ fn main() {
     let admission: usize = arg(&args, "--admission", (2 * threads).max(4));
     let parallelism: usize = arg(&args, "--parallelism", threads);
     let seq_index_build = args.iter().any(|a| a == "--seq-index-build");
+    let no_cache = args.iter().any(|a| a == "--no-cache");
 
     if cores == 1 {
         eprintln!(
@@ -52,13 +53,33 @@ fn main() {
 
     eprintln!("generating SSB at sf={sf} (seed {seed}) and preparing indexes …");
     let t0 = Instant::now();
-    let engine = ServeEngine::with_ssb(sf, seed, pool.clone(), defaults).expect("SSB prepares");
+    let engine = if no_cache {
+        // Same SSB build, but served through a disabled cache.
+        let mut ssb = qppt_ssb::SsbDb::generate(sf, seed);
+        for q in qppt_ssb::queries::all_queries() {
+            qppt_par::prepare_indexes_pooled(&mut ssb.db, &q, &defaults, &pool)
+                .expect("SSB prepares");
+        }
+        ServeEngine::over_db_with_cache(
+            std::sync::Arc::new(ssb.db),
+            pool.clone(),
+            defaults,
+            sf,
+            seed,
+            std::sync::Arc::new(qppt_cache::QueryCache::new(
+                qppt_cache::CacheConfig::disabled(),
+            )),
+        )
+    } else {
+        ServeEngine::with_ssb(sf, seed, pool.clone(), defaults).expect("SSB prepares")
+    };
     eprintln!(
-        "ready in {:.1}s ({} pool threads, admission {}, parallel index build: {})",
+        "ready in {:.1}s ({} pool threads, admission {}, parallel index build: {}, query cache: {})",
         t0.elapsed().as_secs_f64(),
         threads,
         admission,
-        !seq_index_build
+        !seq_index_build,
+        !no_cache
     );
 
     let server = serve(Arc::new(engine), &addr).expect("bind listener");

@@ -103,6 +103,23 @@ impl QpptClient {
         Ok(Served { result, stats })
     }
 
+    /// `CACHE STATS` → per-tier cache counters as raw `key=value` fields.
+    pub fn cache_stats(&mut self) -> Result<Vec<(String, String)>, ClientError> {
+        self.send("CACHE STATS")?;
+        let line = read_status(&mut self.reader)?;
+        Ok(line
+            .split_whitespace()
+            .filter_map(|kv| kv.split_once('='))
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect())
+    }
+
+    /// `CACHE CLEAR` → drops every cached entry server-side.
+    pub fn cache_clear(&mut self) -> Result<(), ClientError> {
+        self.send("CACHE CLEAR")?;
+        read_status(&mut self.reader).map(|_| ())
+    }
+
     /// `QUIT` → closes this connection server-side.
     pub fn quit(mut self) -> Result<(), ClientError> {
         self.send("QUIT")?;

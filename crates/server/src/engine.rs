@@ -1,11 +1,29 @@
 //! [`ServeEngine`]: the shared, process-wide query service state — one
-//! database, one worker pool, one registry of named queries — that every
-//! connection handler (and in-process caller) executes against.
+//! database, one worker pool, one query cache, one registry of named
+//! queries — that every connection handler (and in-process caller)
+//! executes against.
+//!
+//! The `RUN` hot path consults the snapshot-keyed
+//! [`QueryCache`](qppt_cache::QueryCache) tiers in order:
+//!
+//! 1. **result hit** — return the cached rows without touching the pool;
+//! 2. **selection hit** — execute from the cached
+//!    [`PreparedQuery`](qppt_core::PreparedQuery) (skips `build_plan` and
+//!    every `materialize_dim`);
+//! 3. **plan hit** — skip `build_plan`, re-materialize selections;
+//! 4. **cold** — plan, materialize, execute; populate all three tiers.
+//!
+//! Coherence: fingerprints embed per-table versions
+//! ([`Database::table_version`]), and the database sits behind an `Arc`
+//! while serving — writes need `&mut Database`, so versions cannot move
+//! under a running query and stale entries die on their next lookup.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Instant;
 
-use qppt_core::{ExecStats, PlanOptions, QpptEngine, QpptError};
+use qppt_cache::{CacheStats, CachedResult, QueryCache, QueryFingerprint};
+use qppt_core::{ExecStats, OpStats, PlanOptions, PreparedQuery, QpptEngine, QpptError};
 use qppt_par::{prepare_indexes_pooled, PooledEngine, WorkerPool};
 use qppt_ssb::{queries, SsbDb};
 use qppt_storage::{Database, QueryResult, QuerySpec};
@@ -35,6 +53,7 @@ pub struct ServeEngine {
     queries: BTreeMap<String, QuerySpec>,
     defaults: PlanOptions,
     info: ServeInfo,
+    cache: Arc<QueryCache>,
 }
 
 impl ServeEngine {
@@ -57,13 +76,37 @@ impl ServeEngine {
     }
 
     /// Serves an already prepared database (indexes for every registered
-    /// query must exist). `sf`/`seed` are only echoed through `INFO`.
+    /// query must exist) with a default-capacity query cache. `sf`/`seed`
+    /// are only echoed through `INFO`.
     pub fn over_db(
         db: Arc<Database>,
         pool: Arc<WorkerPool>,
         defaults: PlanOptions,
         sf: f64,
         seed: u64,
+    ) -> Self {
+        Self::over_db_with_cache(
+            db,
+            pool,
+            defaults,
+            sf,
+            seed,
+            Arc::new(QueryCache::default()),
+        )
+    }
+
+    /// [`over_db`](Self::over_db) with an externally owned cache — so the
+    /// cache can outlive engine rebuilds (benches that write between
+    /// phases) or be shared/sized by the caller. Pass a cache built from
+    /// [`CacheConfig::disabled`](qppt_cache::CacheConfig::disabled) to
+    /// serve uncached.
+    pub fn over_db_with_cache(
+        db: Arc<Database>,
+        pool: Arc<WorkerPool>,
+        defaults: PlanOptions,
+        sf: f64,
+        seed: u64,
+        cache: Arc<QueryCache>,
     ) -> Self {
         let queries: BTreeMap<String, QuerySpec> = queries::all_queries()
             .into_iter()
@@ -81,6 +124,7 @@ impl ServeEngine {
             queries,
             defaults,
             info,
+            cache,
         }
     }
 
@@ -109,24 +153,111 @@ impl ServeEngine {
         self.queries.get(name)
     }
 
-    /// Runs a registered query on the shared pool. `opts` is the fully
-    /// resolved option set (defaults + overrides, see
-    /// [`apply_overrides`](crate::protocol::apply_overrides)); `priority`
-    /// orders this query against concurrent ones for idle workers.
+    /// The shared query cache.
+    pub fn cache(&self) -> &Arc<QueryCache> {
+        &self.cache
+    }
+
+    /// Counters of all cache tiers.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drops every cached entry (the `CACHE CLEAR` command).
+    pub fn cache_clear(&self) {
+        self.cache.clear();
+    }
+
+    /// Runs a registered query on the shared pool, through the query
+    /// cache. `opts` is the fully resolved option set (defaults +
+    /// overrides, see [`apply_overrides`](crate::protocol::apply_overrides));
+    /// `priority` orders this query against concurrent ones for idle
+    /// workers.
     pub fn run(
         &self,
         name: &str,
         opts: &PlanOptions,
         priority: i32,
     ) -> Result<(QueryResult, ExecStats), ServeError> {
+        self.run_cached(name, opts, priority, true)
+    }
+
+    /// [`run`](Self::run) with an explicit cache switch (`use_cache =
+    /// false` is the per-request `cache=off` bypass: no lookups, no
+    /// insertions).
+    pub fn run_cached(
+        &self,
+        name: &str,
+        opts: &PlanOptions,
+        priority: i32,
+        use_cache: bool,
+    ) -> Result<(QueryResult, ExecStats), ServeError> {
         let spec = self
             .queries
             .get(name)
             .ok_or_else(|| ServeError::UnknownQuery(name.to_string()))?;
-        let snap = self.engine.db().snapshot();
-        self.engine
-            .run_at(spec, opts, snap, priority)
-            .map_err(ServeError::Engine)
+        if !use_cache || !self.cache.enabled() {
+            let snap = self.engine.db().snapshot();
+            return self
+                .engine
+                .run_at(spec, opts, snap, priority)
+                .map_err(ServeError::Engine);
+        }
+
+        let started = Instant::now();
+        let db = self.engine.db();
+        let fp = QueryFingerprint::compute(db, spec, opts)
+            .map_err(|e| ServeError::Engine(QpptError::Storage(e)))?;
+
+        // Tier 3: full result — served without touching the pool.
+        if let Some(hit) = self.cache.get_result(&fp) {
+            let mut stats = hit.stats.clone();
+            stats.push(cache_op("cache: result hit", hit.result.rows.len()));
+            stats.total_micros = started.elapsed().as_micros();
+            return Ok((hit.result.clone(), stats));
+        }
+
+        // Tier 2: materialized dimension selections + fused stream (a hit
+        // skips build_plan AND every materialize_dim — the PreparedQuery
+        // already owns its plan, so the plan tier is only consulted on a
+        // selection miss).
+        let (prepared, tier_label) = match self.cache.get_selections(&fp) {
+            Some(p) => (p, "cache: selection hit"),
+            None => {
+                // Tier 1: plan (skips build_plan on hit).
+                let (plan, label) = match self.cache.get_plan(&fp) {
+                    Some(p) => (p, "cache: plan hit"),
+                    None => {
+                        let p = Arc::new(
+                            qppt_core::build_plan(db, spec, opts).map_err(ServeError::Engine)?,
+                        );
+                        self.cache.put_plan(&fp, p.clone());
+                        (p, "cache: cold")
+                    }
+                };
+                let p = Arc::new(
+                    PreparedQuery::from_plan(db, plan, db.snapshot())
+                        .map_err(ServeError::Engine)?,
+                );
+                self.cache.put_selections(&fp, p.clone());
+                (p, label)
+            }
+        };
+
+        let (result, mut stats) = self
+            .engine
+            .run_prepared(&prepared, priority)
+            .map_err(ServeError::Engine)?;
+        self.cache.put_result(
+            &fp,
+            Arc::new(CachedResult {
+                result: result.clone(),
+                stats: stats.clone(),
+            }),
+        );
+        stats.push(cache_op(tier_label, result.rows.len()));
+        stats.total_micros = started.elapsed().as_micros();
+        Ok((result, stats))
     }
 
     /// Renders the physical plan of a registered query under the default
@@ -140,6 +271,37 @@ impl ServeEngine {
             .explain(spec, &self.defaults)
             .map_err(ServeError::Engine)
     }
+}
+
+/// A synthetic operator record surfacing a cache event through
+/// [`ExecStats`] (rendered as a `# op` line in `RUN` responses).
+fn cache_op(label: &str, rows: usize) -> OpStats {
+    OpStats {
+        label: label.to_string(),
+        out_keys: rows,
+        out_tuples: rows,
+        index_kind: "cache".to_string(),
+        memory_bytes: 0,
+        micros: 0,
+    }
+}
+
+/// Renders [`CacheStats`] as the one-line `key=value` body of a
+/// `CACHE STATS` response.
+pub fn render_cache_stats(s: &CacheStats) -> String {
+    let tier = |name: &str, t: &qppt_cache::TierSnapshot| {
+        format!(
+            "{name}_hits={} {name}_misses={} {name}_invalidations={} \
+             {name}_evictions={} {name}_entries={}",
+            t.hits, t.misses, t.invalidations, t.evictions, t.entries
+        )
+    };
+    format!(
+        "{} {} {}",
+        tier("result", &s.results),
+        tier("selection", &s.selections),
+        tier("plan", &s.plans)
+    )
 }
 
 /// Detected hardware parallelism (1 when the probe fails).

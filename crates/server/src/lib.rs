@@ -10,9 +10,17 @@
 //! `serve_equivalence` integration test pins that down under ≥ 8
 //! concurrent connections.
 //!
-//! * [`ServeEngine`] — database + pool + named-query registry.
-//! * [`serve`] / [`ServerHandle`] — the `std::net` acceptor,
-//!   thread-per-connection, graceful shutdown.
+//! Every `RUN` goes through the snapshot-keyed
+//! [`QueryCache`](qppt_cache::QueryCache): repeated queries at unchanged
+//! per-table versions serve straight from the result tier without
+//! touching the pool, and MVCC writes invalidate exactly the affected
+//! entries (`cache_equivalence` proves stale results are never served).
+//!
+//! * [`ServeEngine`] — database + pool + query cache + named-query
+//!   registry.
+//! * [`serve`] / [`serve_with`] / [`ServerHandle`] — the `std::net`
+//!   acceptor, thread-per-connection, graceful shutdown
+//!   ([`ServerConfig`]: poll tick, request-line cap).
 //! * [`protocol`] — the wire grammar (`RUN q4.1 parallelism=4`, …) and its
 //!   parser/serializer, shared by server and client.
 //! * [`QpptClient`] — a blocking client for tests, benches, and the
@@ -49,6 +57,6 @@ pub mod protocol;
 mod server;
 
 pub use client::{QpptClient, Served};
-pub use engine::{detected_cores, ServeEngine, ServeError, ServeInfo};
-pub use protocol::{ClientError, ServedStats};
-pub use server::{serve, ServerHandle};
+pub use engine::{detected_cores, render_cache_stats, ServeEngine, ServeError, ServeInfo};
+pub use protocol::{CacheCmd, ClientError, RunControls, ServedStats};
+pub use server::{serve, serve_with, ServerConfig, ServerHandle};

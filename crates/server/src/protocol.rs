@@ -8,12 +8,13 @@
 //! ## Grammar
 //!
 //! ```text
-//! request   = run | explain | list | info | ping | quit | shutdown
+//! request   = run | explain | list | info | ping | cache | quit | shutdown
 //! run       = "RUN" query-name *( SP option ) ; multi-line response
 //! explain   = "EXPLAIN" query-name           ; multi-line response
 //! list      = "LIST"                          ; multi-line response
 //! info      = "INFO"                          ; single-line response
 //! ping      = "PING"                          ; single-line response
+//! cache     = "CACHE" ( "STATS" | "CLEAR" )   ; single-line response
 //! quit      = "QUIT"                          ; single-line, closes conn
 //! shutdown  = "SHUTDOWN"                      ; single-line, stops server
 //!
@@ -21,8 +22,13 @@
 //! option     = key "=" value
 //! key        = "parallelism" | "morsel_bits" | "join_buffer"
 //!            | "select_join" | "par_selections" | "par_scans"
-//!            | "par_joins" | "priority"
+//!            | "par_joins" | "priority" | "cache"
 //! ```
+//!
+//! `CACHE STATS` answers one `OK` line of `key=value` counters (per-tier
+//! hits/misses/invalidations/evictions/entries); `CACHE CLEAR` drops every
+//! cached entry. `cache=off` on a `RUN` bypasses the query cache for that
+//! request only (no lookups, no insertions).
 //!
 //! ## RUN response
 //!
@@ -70,11 +76,22 @@ pub enum Request {
     Info,
     /// Liveness probe.
     Ping,
+    /// Query-cache introspection/control (`CACHE STATS` / `CACHE CLEAR`).
+    Cache(CacheCmd),
     /// Close this connection.
     Quit,
     /// Graceful server shutdown: in-flight queries finish, the acceptor
     /// stops, every connection closes.
     Shutdown,
+}
+
+/// Subcommands of the `CACHE` verb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheCmd {
+    /// Report per-tier counters.
+    Stats,
+    /// Drop every cached entry (counters survive).
+    Clear,
 }
 
 /// Parses one request line (without the trailing newline).
@@ -87,6 +104,24 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "LIST" => Ok(Request::List),
         "QUIT" => Ok(Request::Quit),
         "SHUTDOWN" => Ok(Request::Shutdown),
+        "CACHE" => {
+            let sub = parts
+                .next()
+                .ok_or_else(|| "CACHE needs a subcommand (STATS or CLEAR)".to_string())?;
+            let cmd = match sub.to_ascii_uppercase().as_str() {
+                "STATS" => CacheCmd::Stats,
+                "CLEAR" => CacheCmd::Clear,
+                other => {
+                    return Err(format!(
+                        "unknown CACHE subcommand {other} (try STATS, CLEAR)"
+                    ))
+                }
+            };
+            if let Some(extra) = parts.next() {
+                return Err(format!("unexpected token after CACHE subcommand: {extra}"));
+            }
+            Ok(Request::Cache(cmd))
+        }
         "EXPLAIN" => {
             let query = parts
                 .next()
@@ -112,7 +147,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Ok(Request::Run { query, options })
         }
         other => Err(format!(
-            "unknown verb {other} (try RUN, EXPLAIN, LIST, INFO, PING, QUIT, SHUTDOWN)"
+            "unknown verb {other} (try RUN, EXPLAIN, LIST, INFO, PING, CACHE, QUIT, SHUTDOWN)"
         )),
     }
 }
@@ -120,18 +155,40 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
 /// Priority extracted from `RUN` options (not a [`PlanOptions`] knob).
 pub const PRIORITY_KEY: &str = "priority";
 
+/// Cache bypass extracted from `RUN` options (not a [`PlanOptions`] knob).
+pub const CACHE_KEY: &str = "cache";
+
+/// Per-request controls that ride on a `RUN` line but are not plan
+/// options: pool priority and the query-cache switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunControls {
+    /// Pool priority (higher preempts lower for idle workers).
+    pub priority: i32,
+    /// `false` bypasses the query cache for this request only.
+    pub use_cache: bool,
+}
+
+impl Default for RunControls {
+    fn default() -> Self {
+        Self {
+            priority: 0,
+            use_cache: true,
+        }
+    }
+}
+
 /// Applies `RUN` option overrides onto the server's default plan options.
-/// Returns the effective options plus the pool priority. Only
-/// execution-strategy knobs are accepted — knobs that change which base
-/// indexes must exist (`prefer_kiss`, `selection_via_set_ops`,
-/// `multidim_selections`) are rejected, since the server prepared its
-/// indexes at startup.
+/// Returns the effective options plus the per-request controls (pool
+/// priority, cache switch). Only execution-strategy knobs are accepted —
+/// knobs that change which base indexes must exist (`prefer_kiss`,
+/// `selection_via_set_ops`, `multidim_selections`) are rejected, since the
+/// server prepared its indexes at startup.
 pub fn apply_overrides(
     base: PlanOptions,
     options: &[(String, String)],
-) -> Result<(PlanOptions, i32), String> {
+) -> Result<(PlanOptions, RunControls), String> {
     let mut opts = base;
-    let mut priority = 0i32;
+    let mut controls = RunControls::default();
     for (k, v) in options {
         let bad = |what: &str| format!("bad value for {k} (want {what}): {v}");
         match k.as_str() {
@@ -142,17 +199,18 @@ pub fn apply_overrides(
             "par_selections" => opts.par_selections = parse_bool(v).ok_or_else(|| bad("bool"))?,
             "par_scans" => opts.par_scans = parse_bool(v).ok_or_else(|| bad("bool"))?,
             "par_joins" => opts.par_joins = parse_bool(v).ok_or_else(|| bad("bool"))?,
-            PRIORITY_KEY => priority = v.parse().map_err(|_| bad("integer"))?,
+            PRIORITY_KEY => controls.priority = v.parse().map_err(|_| bad("integer"))?,
+            CACHE_KEY => controls.use_cache = parse_bool(v).ok_or_else(|| bad("bool"))?,
             other => {
                 return Err(format!(
                     "unknown option {other} (try parallelism, morsel_bits, join_buffer, \
-                     select_join, par_selections, par_scans, par_joins, priority)"
+                     select_join, par_selections, par_scans, par_joins, priority, cache)"
                 ))
             }
         }
     }
     opts.validate().map_err(|e| e.to_string())?;
-    Ok((opts, priority))
+    Ok((opts, controls))
 }
 
 fn parse_bool(v: &str) -> Option<bool> {
@@ -395,6 +453,17 @@ mod tests {
                 ],
             }
         );
+        assert_eq!(
+            parse_request("cache stats").unwrap(),
+            Request::Cache(CacheCmd::Stats)
+        );
+        assert_eq!(
+            parse_request("CACHE Clear").unwrap(),
+            Request::Cache(CacheCmd::Clear)
+        );
+        assert!(parse_request("CACHE").is_err());
+        assert!(parse_request("CACHE FLUSH").is_err());
+        assert!(parse_request("CACHE STATS extra").is_err());
         assert!(parse_request("").is_err());
         assert!(parse_request("FLY q1.1").is_err());
         assert!(parse_request("RUN").is_err());
@@ -405,7 +474,7 @@ mod tests {
     #[test]
     fn apply_overrides_accepts_exec_knobs_only() {
         let base = PlanOptions::default();
-        let (opts, prio) = apply_overrides(
+        let (opts, controls) = apply_overrides(
             base,
             &[
                 ("parallelism".into(), "8".into()),
@@ -418,7 +487,12 @@ mod tests {
         assert_eq!(opts.parallelism, 8);
         assert_eq!(opts.morsel_bits, 9);
         assert!(!opts.select_join);
-        assert_eq!(prio, -3);
+        assert_eq!(controls.priority, -3);
+        assert!(controls.use_cache, "cache defaults to on");
+
+        let (_, controls) = apply_overrides(base, &[("cache".into(), "off".into())]).unwrap();
+        assert!(!controls.use_cache);
+        assert!(apply_overrides(base, &[("cache".into(), "maybe".into())]).is_err());
 
         assert!(apply_overrides(base, &[("prefer_kiss".into(), "false".into())]).is_err());
         assert!(apply_overrides(base, &[("parallelism".into(), "zero".into())]).is_err());

@@ -4,17 +4,23 @@
 //! Threading model: the acceptor thread plus one thread per live
 //! connection. Connection threads only parse/serialize — query execution
 //! happens on the engine's fixed [`WorkerPool`](qppt_par::WorkerPool)
-//! (sequential fallbacks run inline on the connection thread), so the
-//! pool's priority/admission policy governs the actual CPU, and total
-//! *worker* threads stay bounded by the pool size however many clients
-//! connect.
+//! (sequential fallbacks and the calling thread's share of participating
+//! jobs run inline on the connection thread), so the pool's
+//! priority/admission policy governs the actual CPU, and total *worker*
+//! threads stay bounded by the pool size however many clients connect.
+//!
+//! Robustness: request lines are read incrementally with a hard length cap
+//! ([`ServerConfig::max_line_bytes`]) — an oversized or non-UTF-8 line
+//! produces an `ERR` response and the connection keeps serving; it is
+//! never a reason to kill the connection, let alone the server.
 //!
 //! Shutdown semantics (`SHUTDOWN` command or [`ServerHandle::shutdown`]):
 //! the acceptor stops taking connections, every connection handler notices
-//! within one read-timeout tick and closes after finishing its in-flight
-//! request, and [`ServerHandle::join`] returns once all of them exited.
-//! The worker pool itself is owned by the caller and outlives the server
-//! (so several servers — or in-process work — can share one pool).
+//! within one poll tick ([`ServerConfig::poll_tick`]) and closes after
+//! finishing its in-flight request, and [`ServerHandle::join`] returns
+//! once all of them exited. The worker pool itself is owned by the caller
+//! and outlives the server (so several servers — or in-process work — can
+//! share one pool).
 
 use std::io::{self, BufRead, BufReader, BufWriter, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -23,11 +29,28 @@ use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Duration;
 
-use crate::engine::ServeEngine;
-use crate::protocol::{apply_overrides, parse_request, write_run_response, Request};
+use crate::engine::{render_cache_stats, ServeEngine};
+use crate::protocol::{apply_overrides, parse_request, write_run_response, CacheCmd, Request};
 
-/// How often blocked accept/read loops re-check the shutdown flag.
-const POLL_TICK: Duration = Duration::from_millis(25);
+/// Tunables of the TCP frontend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// How often blocked accept/read loops re-check the shutdown flag —
+    /// the upper bound each idle connection adds to drain latency.
+    pub poll_tick: Duration,
+    /// Hard cap on one request line; longer lines are drained and answered
+    /// with `ERR` instead of buffering without bound.
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            poll_tick: Duration::from_millis(10),
+            max_line_bytes: 64 * 1024,
+        }
+    }
+}
 
 /// A running server instance.
 #[derive(Debug)]
@@ -68,9 +91,19 @@ impl ServerHandle {
     }
 }
 
-/// Binds `addr` and starts serving `engine`. Returns once the listener is
-/// accepting (port 0 is resolved in [`ServerHandle::addr`]).
+/// Binds `addr` and starts serving `engine` under the default
+/// [`ServerConfig`]. Returns once the listener is accepting (port 0 is
+/// resolved in [`ServerHandle::addr`]).
 pub fn serve(engine: Arc<ServeEngine>, addr: &str) -> io::Result<ServerHandle> {
+    serve_with(engine, addr, ServerConfig::default())
+}
+
+/// [`serve`] with explicit frontend tunables.
+pub fn serve_with(
+    engine: Arc<ServeEngine>,
+    addr: &str,
+    config: ServerConfig,
+) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
@@ -78,7 +111,7 @@ pub fn serve(engine: Arc<ServeEngine>, addr: &str) -> io::Result<ServerHandle> {
     let flag = shutdown.clone();
     let acceptor = thread::Builder::new()
         .name("qppt-acceptor".into())
-        .spawn(move || accept_loop(listener, engine, flag))?;
+        .spawn(move || accept_loop(listener, engine, flag, config))?;
     Ok(ServerHandle {
         addr,
         shutdown,
@@ -86,7 +119,12 @@ pub fn serve(engine: Arc<ServeEngine>, addr: &str) -> io::Result<ServerHandle> {
     })
 }
 
-fn accept_loop(listener: TcpListener, engine: Arc<ServeEngine>, shutdown: Arc<AtomicBool>) {
+fn accept_loop(
+    listener: TcpListener,
+    engine: Arc<ServeEngine>,
+    shutdown: Arc<AtomicBool>,
+    config: ServerConfig,
+) {
     let conns: Mutex<Vec<thread::JoinHandle<()>>> = Mutex::new(Vec::new());
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
@@ -97,7 +135,7 @@ fn accept_loop(listener: TcpListener, engine: Arc<ServeEngine>, shutdown: Arc<At
                     .name(format!("qppt-conn-{peer}"))
                     .spawn(move || {
                         // A connection error only kills this connection.
-                        let _ = handle_connection(stream, &engine, &flag);
+                        let _ = handle_connection(stream, &engine, &flag, config);
                     })
                     .expect("spawn connection thread");
                 let mut conns = conns.lock().expect("conn list lock");
@@ -106,8 +144,8 @@ fn accept_loop(listener: TcpListener, engine: Arc<ServeEngine>, shutdown: Arc<At
                 // server does not accumulate joinable thread handles.
                 conns.retain(|t| !t.is_finished());
             }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(POLL_TICK),
-            Err(_) => thread::sleep(POLL_TICK),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(config.poll_tick),
+            Err(_) => thread::sleep(config.poll_tick),
         }
     }
     // Graceful: wait for in-flight connections (they observe the flag
@@ -117,37 +155,108 @@ fn accept_loop(listener: TcpListener, engine: Arc<ServeEngine>, shutdown: Arc<At
     }
 }
 
-fn handle_connection(
-    stream: TcpStream,
-    engine: &ServeEngine,
+/// Outcome of reading one request line.
+enum LineRead {
+    /// A complete line (without the newline), lossily decoded.
+    Line(String),
+    /// The peer closed the connection.
+    Closed,
+    /// The server is draining; drop the (idle) connection.
+    Draining,
+    /// The line exceeded [`ServerConfig::max_line_bytes`]; its bytes were
+    /// discarded up to and including the newline.
+    TooLong,
+}
+
+/// Reads one `\n`-terminated request line incrementally: accumulates
+/// across read-timeout ticks (a request split over slow TCP segments still
+/// parses as one line), enforces the length cap without unbounded
+/// buffering, and tolerates non-UTF-8 bytes (lossy decode — the parser
+/// then rejects the verb with a plain `ERR`).
+fn read_request_line(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
     shutdown: &AtomicBool,
-) -> io::Result<()> {
-    stream.set_read_timeout(Some(POLL_TICK))?;
-    stream.set_nodelay(true).ok();
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    let mut line = String::new();
+    max_line_bytes: usize,
+) -> io::Result<LineRead> {
+    buf.clear();
+    let mut too_long = false;
     loop {
-        line.clear();
-        // Retry timeouts *without* clearing: a request that arrives in
-        // several TCP segments more than one poll tick apart accumulates
-        // into `line` across read_line calls (read_line appends).
-        loop {
-            match reader.read_line(&mut line) {
-                Ok(0) => return Ok(()), // client closed
-                Ok(_) => break,
+        let (advance, complete) = {
+            let available = match reader.fill_buf() {
+                Ok(b) => b,
                 Err(e)
                     if e.kind() == ErrorKind::WouldBlock
                         || e.kind() == ErrorKind::TimedOut
                         || e.kind() == ErrorKind::Interrupted =>
                 {
                     if shutdown.load(Ordering::SeqCst) {
-                        return Ok(()); // server is draining; drop idle conns
+                        return Ok(LineRead::Draining);
                     }
+                    continue;
                 }
                 Err(e) => return Err(e),
+            };
+            if available.is_empty() {
+                return Ok(LineRead::Closed); // EOF
             }
+            match available.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    if !too_long {
+                        buf.extend_from_slice(&available[..pos]);
+                    }
+                    (pos + 1, true)
+                }
+                None => {
+                    if !too_long {
+                        buf.extend_from_slice(available);
+                    }
+                    (available.len(), false)
+                }
+            }
+        };
+        reader.consume(advance);
+        if buf.len() > max_line_bytes {
+            // Stop buffering; keep draining until the newline arrives.
+            too_long = true;
+            buf.clear();
         }
+        if complete {
+            return Ok(if too_long {
+                LineRead::TooLong
+            } else {
+                LineRead::Line(String::from_utf8_lossy(buf).into_owned())
+            });
+        }
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    engine: &ServeEngine,
+    shutdown: &AtomicBool,
+    config: ServerConfig,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(config.poll_tick))?;
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let line = match read_request_line(&mut reader, &mut buf, shutdown, config.max_line_bytes)?
+        {
+            LineRead::Line(l) => l,
+            LineRead::Closed | LineRead::Draining => return Ok(()),
+            LineRead::TooLong => {
+                writeln!(
+                    writer,
+                    "ERR request line exceeds {} bytes",
+                    config.max_line_bytes
+                )?;
+                writer.flush()?;
+                continue;
+            }
+        };
         let trimmed = line.trim();
         if trimmed.is_empty() {
             continue;
@@ -181,6 +290,13 @@ fn handle_connection(
                     engine.query_names().len()
                 )?;
             }
+            Ok(Request::Cache(CacheCmd::Stats)) => {
+                writeln!(writer, "OK {}", render_cache_stats(&engine.cache_stats()))?;
+            }
+            Ok(Request::Cache(CacheCmd::Clear)) => {
+                engine.cache_clear();
+                writeln!(writer, "OK cleared")?;
+            }
             Ok(Request::List) => {
                 let names = engine.query_names();
                 writeln!(writer, "OK {}", names.len())?;
@@ -202,13 +318,21 @@ fn handle_connection(
             Ok(Request::Run { query, options }) => {
                 match apply_overrides(engine.defaults(), &options) {
                     Err(msg) => writeln!(writer, "ERR {msg}")?,
-                    Ok((opts, priority)) => match engine.run(&query, &opts, priority) {
-                        Err(e) => writeln!(writer, "ERR {e}")?,
-                        Ok((result, stats)) => {
-                            let workers = opts.parallelism.min(engine.info().pool_threads).max(1);
-                            write_run_response(&mut writer, &result, &stats, workers)?;
+                    Ok((opts, controls)) => {
+                        match engine.run_cached(
+                            &query,
+                            &opts,
+                            controls.priority,
+                            controls.use_cache,
+                        ) {
+                            Err(e) => writeln!(writer, "ERR {e}")?,
+                            Ok((result, stats)) => {
+                                let workers =
+                                    opts.parallelism.min(engine.info().pool_threads).max(1);
+                                write_run_response(&mut writer, &result, &stats, workers)?;
+                            }
                         }
-                    },
+                    }
                 }
             }
         }

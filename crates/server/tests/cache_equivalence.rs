@@ -1,0 +1,228 @@
+//! The caching contract, end to end:
+//!
+//! * all 13 SSB queries are **byte-identical** with the cache on vs off
+//!   (cold fill, warm result hits, per-request `cache=off` bypass);
+//! * an MVCC write invalidates **exactly** the affected entries — queries
+//!   over written tables recompute (stale results are never served),
+//!   queries over untouched tables keep hitting;
+//! * 10 concurrent TCP connections sharing one cache still match the
+//!   sequential engine.
+
+use std::sync::Arc;
+
+use qppt_cache::{CacheConfig, QueryCache};
+use qppt_core::{PlanOptions, QpptEngine};
+use qppt_par::WorkerPool;
+use qppt_server::{serve, QpptClient, ServeEngine};
+use qppt_ssb::{queries, SsbDb};
+use qppt_storage::{Database, Value};
+
+fn ssb_db(sf: f64) -> Arc<Database> {
+    let mut ssb = SsbDb::generate(sf, 42);
+    for q in queries::all_queries() {
+        qppt_core::prepare_indexes(&mut ssb.db, &q, &PlanOptions::default()).unwrap();
+    }
+    Arc::new(ssb.db)
+}
+
+#[test]
+fn thirteen_queries_byte_identical_cache_on_vs_off() {
+    let db = ssb_db(0.01);
+    let pool = WorkerPool::new(2, 8);
+    let engine = ServeEngine::over_db(db.clone(), pool.clone(), PlanOptions::default(), 0.01, 42);
+    let oracle = QpptEngine::new(&db);
+
+    for parallelism in [1usize, 2] {
+        let opts = PlanOptions::default().with_parallelism(parallelism);
+        for q in queries::all_queries() {
+            let name = q.id.to_ascii_lowercase();
+            let expected = oracle.run(&q, &PlanOptions::default()).unwrap();
+            // cache=off bypass, cold fill, then a warm result hit.
+            let (bypass, _) = engine.run_cached(&name, &opts, 0, false).unwrap();
+            let (cold, _) = engine.run_cached(&name, &opts, 0, true).unwrap();
+            let (warm, warm_stats) = engine.run_cached(&name, &opts, 0, true).unwrap();
+            assert_eq!(bypass, expected, "{} cache=off @ p={parallelism}", q.id);
+            assert_eq!(cold, expected, "{} cold @ p={parallelism}", q.id);
+            assert_eq!(warm, expected, "{} warm @ p={parallelism}", q.id);
+            assert!(
+                warm_stats
+                    .ops
+                    .iter()
+                    .any(|op| op.label == "cache: result hit"),
+                "{} warm run did not report a result hit",
+                q.id
+            );
+        }
+    }
+    let stats = engine.cache_stats();
+    // 13 queries × 2 option sets: one cold miss + one warm hit each.
+    assert_eq!(stats.results.hits, 26);
+    assert_eq!(stats.results.misses, 26);
+    assert_eq!(stats.results.invalidations, 0);
+    pool.shutdown();
+}
+
+/// Deletes every part row (visible at the current snapshot) whose
+/// `p_brand1` equals `brand`, returning how many were terminated.
+fn delete_brand_rows(db: &mut Database, brand: &str) -> usize {
+    let rids: Vec<u32> = {
+        let mvt = db.table("part").unwrap();
+        let t = mvt.table();
+        let col = t.schema().col("p_brand1").unwrap();
+        let Some(code) = t.encode_value(col, &Value::str(brand)).unwrap() else {
+            return 0;
+        };
+        let snap = db.snapshot();
+        mvt.scan_visible(snap)
+            .filter(|&rid| t.get(rid, col) == code)
+            .collect()
+    };
+    for &rid in &rids {
+        db.delete_row("part", rid).unwrap();
+    }
+    rids.len()
+}
+
+#[test]
+fn mvcc_write_invalidates_exactly_the_affected_entries() {
+    let mut ssb = SsbDb::generate(0.01, 42);
+    for q in queries::all_queries() {
+        qppt_core::prepare_indexes(&mut ssb.db, &q, &PlanOptions::default()).unwrap();
+    }
+    let mut db = Arc::new(ssb.db);
+    let pool = WorkerPool::new(2, 8);
+    let cache = Arc::new(QueryCache::new(CacheConfig::default()));
+    let opts = PlanOptions::default();
+
+    // q1.1 reads lineorder+date; q2.3 reads lineorder+part+supplier+date.
+    let q23 = queries::q2_3();
+
+    let engine =
+        ServeEngine::over_db_with_cache(db.clone(), pool.clone(), opts, 0.01, 42, cache.clone());
+    let (r11_before, _) = engine.run("q1.1", &opts, 0).unwrap();
+    let (r23_before, _) = engine.run("q2.3", &opts, 0).unwrap();
+    assert_eq!(r23_before, QpptEngine::new(&db).run(&q23, &opts).unwrap());
+    // Warm both entries.
+    assert_eq!(engine.run("q1.1", &opts, 0).unwrap().0, r11_before);
+    assert_eq!(engine.run("q2.3", &opts, 0).unwrap().0, r23_before);
+    let s0 = engine.cache_stats();
+    assert_eq!(s0.results.hits, 2);
+
+    // Write to `part`: delete every row of the brand q2.3 aggregates, so
+    // the fresh q2.3 answer provably differs from the stale one.
+    drop(engine);
+    {
+        let db_mut = Arc::get_mut(&mut db).expect("engine dropped, Arc unique");
+        let deleted = delete_brand_rows(db_mut, "MFGR#2221");
+        assert!(deleted > 0, "test needs at least one matching part row");
+    }
+
+    let engine =
+        ServeEngine::over_db_with_cache(db.clone(), pool.clone(), opts, 0.01, 42, cache.clone());
+    let oracle = QpptEngine::new(&db);
+
+    // Untouched tables: q1.1 still hits and still matches.
+    let (r11_after, stats11) = engine.run("q1.1", &opts, 0).unwrap();
+    assert_eq!(r11_after, r11_before);
+    assert!(
+        stats11.ops.iter().any(|op| op.label == "cache: result hit"),
+        "q1.1 should still be served from the result cache"
+    );
+
+    // Affected tables: q2.3 is invalidated, recomputed, and fresh — the
+    // stale (pre-delete) result is never served.
+    let (r23_after, stats23) = engine.run("q2.3", &opts, 0).unwrap();
+    let fresh = oracle.run(&q23, &opts).unwrap();
+    assert_eq!(
+        r23_after, fresh,
+        "q2.3 must be recomputed at the new snapshot"
+    );
+    assert_ne!(
+        r23_after, r23_before,
+        "the delete changes q2.3's answer; serving the old bytes would be stale"
+    );
+    assert!(
+        !stats23.ops.iter().any(|op| op.label == "cache: result hit"),
+        "q2.3 must not be served from the stale result entry"
+    );
+
+    let s1 = engine.cache_stats();
+    assert_eq!(
+        s1.results.invalidations, 1,
+        "exactly the q2.3 result entry is invalidated"
+    );
+    assert_eq!(s1.results.hits, s0.results.hits + 1, "q1.1 hit again");
+
+    // And the recomputed entry serves hits again.
+    assert_eq!(engine.run("q2.3", &opts, 0).unwrap().0, fresh);
+    assert_eq!(engine.cache_stats().results.hits, s1.results.hits + 1);
+    pool.shutdown();
+}
+
+#[test]
+fn ten_concurrent_connections_sharing_the_cache_match_sequential() {
+    let db = ssb_db(0.01);
+    let pool = WorkerPool::new(3, 8);
+    let defaults = PlanOptions::default().with_parallelism(2);
+    let engine = Arc::new(ServeEngine::over_db(
+        db.clone(),
+        pool.clone(),
+        defaults,
+        0.01,
+        42,
+    ));
+    let server = serve(engine.clone(), "127.0.0.1:0").expect("bind loopback");
+    let addr = server.addr();
+
+    let oracle = QpptEngine::new(&db);
+    let all = queries::all_queries();
+    let expected: Vec<_> = all
+        .iter()
+        .map(|q| oracle.run(q, &PlanOptions::default()).unwrap())
+        .collect();
+
+    // 10 connections × 2 rounds over all 13 queries; mixed parallelism and
+    // an occasional cache bypass, all racing on one shared cache.
+    std::thread::scope(|s| {
+        for c in 0..10usize {
+            let all = &all;
+            let expected = &expected;
+            s.spawn(move || {
+                let mut client = QpptClient::connect(addr).expect("connect");
+                for round in 0..2 {
+                    for (qi, q) in all.iter().enumerate() {
+                        let par = ["1", "2", "4"][(c + qi) % 3];
+                        let cache = if (c + qi + round) % 5 == 0 {
+                            "off"
+                        } else {
+                            "on"
+                        };
+                        let served = client
+                            .run(
+                                &q.id.to_ascii_lowercase(),
+                                &[("parallelism", par), ("cache", cache)],
+                            )
+                            .unwrap_or_else(|e| panic!("{} via client {c}: {e}", q.id));
+                        assert_eq!(
+                            served.result, expected[qi],
+                            "{} via client {c} (parallelism {par}, cache {cache})",
+                            q.id
+                        );
+                    }
+                }
+                client.quit().expect("clean quit");
+            });
+        }
+    });
+
+    // The shared cache served a decent share of the 260 runs.
+    let stats = engine.cache_stats();
+    assert!(
+        stats.results.hits > 0,
+        "concurrent connections never hit the shared cache: {stats:?}"
+    );
+    assert_eq!(stats.results.invalidations, 0);
+
+    server.stop();
+    pool.shutdown();
+}

@@ -154,7 +154,20 @@ fn protocol_surface_and_errors() {
 
 #[test]
 fn shutdown_command_drains_gracefully() {
-    let (_engine, pool, server) = started_server();
+    // An explicit (low) poll tick: idle connections must notice the drain
+    // within one tick, so shutdown latency is bounded by ticks, not
+    // seconds.
+    let pool = WorkerPool::new(POOL_THREADS, 8);
+    let defaults = PlanOptions::default()
+        .with_parallelism(2)
+        .with_par_index_build(true);
+    let engine =
+        Arc::new(ServeEngine::with_ssb(0.01, 42, pool.clone(), defaults).expect("SSB prepares"));
+    let config = qppt_server::ServerConfig {
+        poll_tick: Duration::from_millis(5),
+        ..Default::default()
+    };
+    let server = qppt_server::serve_with(engine, "127.0.0.1:0", config).expect("bind loopback");
     let addr = server.addr();
 
     // An idle second connection must not hang the drain.
@@ -166,8 +179,15 @@ fn shutdown_command_drains_gracefully() {
 
     assert!(server.is_shutting_down());
     // join() returns only after the acceptor and every connection thread
-    // (including the idle one) exited.
+    // (including the idle one) exited — within a few poll ticks, not
+    // seconds (generous bound for loaded CI boxes).
+    let t0 = std::time::Instant::now();
     server.join();
+    let drain = t0.elapsed();
+    assert!(
+        drain < Duration::from_millis(1500),
+        "drain took {drain:?} with a 5 ms poll tick"
+    );
     drop(idle);
 
     // New connections are refused once the listener is gone.

@@ -38,6 +38,16 @@ impl IndexDef {
 #[derive(Debug)]
 pub struct Database {
     tables: Vec<MvccTable>,
+    /// Monotonic per-table versions, parallel to `tables`: bumped by every
+    /// MVCC write (insert/delete) and every index build/rebuild touching
+    /// the table. A snapshot fingerprint over the version vector of a
+    /// query's tables is therefore O(#tables) to compute, and unchanged
+    /// versions guarantee bit-identical scan output — the coherence
+    /// contract of `qppt-cache`.
+    versions: Vec<u64>,
+    /// Process-unique identity of this `Database` instance (see
+    /// [`instance_id`](Self::instance_id)).
+    instance_id: u64,
     by_name: HashMap<String, usize>,
     indexes: Vec<BaseIndex>,
     /// (table idx, key col idx) → index position, for planner lookups.
@@ -60,8 +70,11 @@ impl Default for Database {
 impl Database {
     /// An empty database.
     pub fn new() -> Self {
+        static NEXT_INSTANCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
         Self {
             tables: Vec::new(),
+            versions: Vec::new(),
+            instance_id: NEXT_INSTANCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             by_name: HashMap::new(),
             indexes: Vec::new(),
             index_lookup: HashMap::new(),
@@ -78,7 +91,33 @@ impl Database {
         let idx = self.tables.len();
         self.by_name.insert(table.name().to_string(), idx);
         self.tables.push(MvccTable::from_bulk_load(table, ts));
+        self.versions.push(1);
         idx
+    }
+
+    /// A process-unique id assigned at construction. Mutating a database
+    /// in place (inserts, deletes, index builds) keeps its id; building a
+    /// *different* database never reuses one. Cache fingerprints fold this
+    /// in so entries can never cross databases, even when their per-table
+    /// version vectors coincide (e.g. two freshly loaded instances).
+    pub fn instance_id(&self) -> u64 {
+        self.instance_id
+    }
+
+    /// The monotonic version of a table (see the `versions` field): starts
+    /// at 1 on load, bumped by every MVCC write and index build/rebuild.
+    pub fn table_version(&self, name: &str) -> Result<u64, StorageError> {
+        Ok(self.versions[self.table_idx(name)?])
+    }
+
+    /// [`table_version`](Self::table_version) by catalog position.
+    pub fn table_version_at(&self, idx: usize) -> u64 {
+        self.versions[idx]
+    }
+
+    #[inline]
+    fn bump_version(&mut self, idx: usize) {
+        self.versions[idx] += 1;
     }
 
     /// Catalog position of a table.
@@ -150,6 +189,7 @@ impl Database {
                 &rids,
             );
             self.indexes[existing] = rebuilt;
+            self.bump_version(t_idx);
             return Ok(existing);
         }
         let rids = order(&self.tables[t_idx], key_col);
@@ -164,6 +204,7 @@ impl Database {
         let pos = self.indexes.len();
         self.indexes.push(built);
         self.index_lookup.insert((t_idx, key_col), pos);
+        self.bump_version(t_idx);
         Ok(pos)
     }
 
@@ -245,6 +286,7 @@ impl Database {
                 &rids,
             )?;
             self.composite_indexes[existing] = rebuilt;
+            self.bump_version(t_idx);
             return Ok(existing);
         }
         let rids = order(&self.tables[t_idx], &key_cols)?;
@@ -259,6 +301,7 @@ impl Database {
         let pos = self.composite_indexes.len();
         self.composite_indexes.push(built);
         self.composite_lookup.insert(lookup_key, pos);
+        self.bump_version(t_idx);
         Ok(pos)
     }
 
@@ -308,6 +351,7 @@ impl Database {
         {
             index.on_insert(&self.tables[t_idx], rid);
         }
+        self.bump_version(t_idx);
         Ok((rid, ts))
     }
 
@@ -317,6 +361,7 @@ impl Database {
         let t_idx = self.table_idx(table)?;
         let ts = self.txn.next_commit_ts();
         self.tables[t_idx].delete(ts, rid);
+        self.bump_version(t_idx);
         Ok(ts)
     }
 }
@@ -503,6 +548,43 @@ mod tests {
             .unwrap();
         let ci = db.find_composite_index("part", &["brand", "size"]).unwrap();
         assert_eq!(ci.data.tuple_count(), 4);
+    }
+
+    #[test]
+    fn table_versions_bump_on_writes_and_index_builds() {
+        let mut db = db_with_table();
+        let v0 = db.table_version("part").unwrap();
+        assert_eq!(v0, 1);
+
+        // A fresh index build bumps; the idempotent re-create does not.
+        db.create_index(&IndexDef::new("part", "brand", &["partkey"]))
+            .unwrap();
+        let v1 = db.table_version("part").unwrap();
+        assert!(v1 > v0);
+        db.create_index(&IndexDef::new("part", "brand", &["partkey"]))
+            .unwrap();
+        assert_eq!(db.table_version("part").unwrap(), v1);
+        // Widening the carried set rebuilds → bumps.
+        db.create_index(&IndexDef::new("part", "brand", &["size"]))
+            .unwrap();
+        let v2 = db.table_version("part").unwrap();
+        assert!(v2 > v1);
+
+        // MVCC writes bump.
+        db.insert_row("part", &[Value::Int(7), Value::str("B#1"), Value::Int(70)])
+            .unwrap();
+        let v3 = db.table_version("part").unwrap();
+        assert!(v3 > v2);
+        db.delete_row("part", 0).unwrap();
+        let v4 = db.table_version("part").unwrap();
+        assert!(v4 > v3);
+
+        // Composite index builds bump too; versions are per table.
+        db.create_composite_index("part", &["brand", "size"], &["partkey"])
+            .unwrap();
+        assert!(db.table_version("part").unwrap() > v4);
+        assert_eq!(db.table_version_at(0), db.table_version("part").unwrap());
+        assert!(db.table_version("nope").is_err());
     }
 
     #[test]

@@ -30,9 +30,14 @@
 //!   plans as [`core`] on a worker pool, byte-identical results;
 //!   [`par::PooledEngine`] runs them on a persistent shared
 //!   [`par::WorkerPool`] serving many concurrent queries.
+//! * [`cache`] — the snapshot-keyed query cache: bounded sharded LRU
+//!   tiers for plans, materialized dimension selections, and full results,
+//!   invalidated exactly by per-table versions
+//!   ([`cache::QueryCache`], [`cache::QueryFingerprint`]).
 //! * [`server`] — the TCP query service on top: named SSB queries over a
 //!   line protocol, thread-per-connection frontend, every query executed
-//!   on the shared pool ([`server::ServeEngine`], [`server::QpptClient`]).
+//!   on the shared pool through the cache ([`server::ServeEngine`],
+//!   [`server::QpptClient`]).
 //!
 //! ## Quickstart
 //!
@@ -55,6 +60,7 @@
 //! assert!(result.rows.windows(2).all(|w| w[0].key_values <= w[1].key_values));
 //! ```
 
+pub use qppt_cache as cache;
 pub use qppt_columnar as columnar;
 pub use qppt_core as core;
 pub use qppt_hash as hash;
