@@ -1,8 +1,9 @@
 //! Query-cache throughput: cold (empty cache) vs warm (result-tier hits)
-//! queries/second on a repeated SSB mix through the serving engine, plus
-//! the re-warm cost after an invalidating MVCC write.
+//! queries/second on a repeated SSB mix through the serving engine, the
+//! re-warm cost after an invalidating MVCC write, and the cross-query
+//! σ-sharing of the dimension tier.
 //!
-//! Three phases, all through `ServeEngine::run` (the exact `RUN` hot
+//! Four phases, all through `ServeEngine::run` (the exact `RUN` hot
 //! path — fingerprint, tiers, pooled execution):
 //!
 //! 1. **cold** — every query of the mix once into an empty cache
@@ -11,7 +12,12 @@
 //!    planning, no pool, no execution);
 //! 3. **re-warm** — one `delete_row` on `part` bumps that table's
 //!    version, then the mix runs once more: part-joining queries
-//!    invalidate + recompute, the rest keep hitting.
+//!    invalidate + recompute, the rest keep hitting;
+//! 4. **σ-sharing** — shared-σ query families run cold-in-sequence
+//!    (q3.1→q3.2→q3.3 share the date range σ, q4.2→q4.3 share the
+//!    d_year∈{1997,1998} σ, and q3.1 re-planned at another parallelism
+//!    shares *every* σ): the dim-tier hit counters prove the later family
+//!    members skip `materialize_dim` for the shared selections.
 //!
 //! Every phase asserts byte-equality against a fresh sequential engine at
 //! the current snapshot before timing is trusted. Writes
@@ -109,6 +115,80 @@ fn main() {
     let invalidated = s_after.results.invalidations - s_before.results.invalidations;
     let still_hit = s_after.results.hits - s_before.results.hits - names.len() as u64;
 
+    // Phase 4: σ-sharing families, cold in sequence on an emptied cache.
+    // Per family: the first query builds its σ, the later ones share every
+    // σ they have in common — measured by the dim-tier hit delta.
+    let families: [(&str, Vec<(&str, PlanOptions)>); 3] = [
+        (
+            "q3.1->q3.2->q3.3 (shared date range σ)",
+            vec![("q3.1", opts), ("q3.2", opts), ("q3.3", opts)],
+        ),
+        (
+            "q4.2->q4.3 (shared d_year∈{1997,1998} σ)",
+            vec![("q4.2", opts), ("q4.3", opts)],
+        ),
+        (
+            "q3.1 p=1 -> p=2 (all σ shared across options)",
+            vec![
+                ("q3.1", opts.with_parallelism(1)),
+                ("q3.1", opts.with_parallelism(2)),
+            ],
+        ),
+    ];
+    let mut family_rows: Vec<Vec<String>> = Vec::new();
+    let mut family_json = String::new();
+    for (fi, (name, members)) in families.iter().enumerate() {
+        cache.clear();
+        let before = cache.stats().dims;
+        let mut lead_micros = 0u128;
+        let mut rest_micros = 0u128;
+        for (mi, (q, o)) in members.iter().enumerate() {
+            let t0 = Instant::now();
+            engine.run(q, o, 0).expect("family run");
+            let dt = t0.elapsed().as_micros();
+            if mi == 0 {
+                lead_micros = dt;
+            } else {
+                rest_micros += dt;
+            }
+        }
+        let after = cache.stats().dims;
+        let (hits, built) = (
+            after.hits - before.hits,
+            after.insertions - before.insertions,
+        );
+        assert!(
+            hits > 0,
+            "family `{name}` never hit the dim tier — σ sharing is broken"
+        );
+        let rest_avg = rest_micros as f64 / (members.len() - 1) as f64 / 1000.0;
+        family_rows.push(vec![
+            (*name).to_string(),
+            format!("{hits}"),
+            format!("{built}"),
+            format!("{:.2} ms", lead_micros as f64 / 1000.0),
+            format!("{rest_avg:.2} ms"),
+        ]);
+        family_json.push_str(&format!(
+            "    {{ \"family\": \"{name}\", \"dim_hits\": {hits}, \"dim_built\": {built}, \
+             \"lead_ms\": {:.3}, \"rest_avg_ms\": {rest_avg:.3} }}{}\n",
+            lead_micros as f64 / 1000.0,
+            if fi + 1 < families.len() { "," } else { "" },
+        ));
+    }
+    check(&engine, &db, "sigma-sharing");
+    let dims_total = cache.stats().dims;
+
+    print_table(
+        &[
+            "σ family",
+            "dim hits",
+            "σ built",
+            "lead query",
+            "followers avg",
+        ],
+        &family_rows,
+    );
     print_table(
         &["phase", "q/s", "vs cold"],
         &[
@@ -146,8 +226,15 @@ fn main() {
          \"cold_qps\": {cold_qps:.3},\n  \"warm_qps\": {warm_qps:.3},\n  \
          \"warm_over_cold\": {warm_over_cold:.3},\n  \"rewarm\": {{\n    \
          \"qps\": {rewarm_qps:.3},\n    \"invalidated\": {invalidated},\n    \
-         \"still_hit\": {still_hit}\n  }}\n}}\n",
+         \"still_hit\": {still_hit}\n  }},\n  \"sigma_sharing\": {{\n    \
+         \"families\": [\n{family_json}    ],\n    \
+         \"dim_hits_lifetime\": {dim_hits},\n    \
+         \"dim_misses_lifetime\": {dim_misses},\n    \
+         \"dim_bytes\": {dim_bytes}\n  }}\n}}\n",
         nq = names.len(),
+        dim_hits = dims_total.hits,
+        dim_misses = dims_total.misses,
+        dim_bytes = dims_total.bytes,
     );
     let mut f = std::fs::File::create(&out_path).expect("create output file");
     f.write_all(json.as_bytes()).expect("write output file");

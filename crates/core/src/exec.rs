@@ -22,6 +22,7 @@
 //! [`execute`] composes the three sequentially (one morsel covering the
 //! whole key domain), which is the paper's single-threaded execution model.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use qppt_storage::{
@@ -103,6 +104,45 @@ pub fn materialize_dim(
     Ok(Some((out, stats)))
 }
 
+/// One materialized dimension selection σ as an independently shareable
+/// artifact: the intermediate `InterTable` plus the build-time operator
+/// statistics (replayed into every execution that reuses the selection, so
+/// operator lists keep their shape).
+///
+/// This is the unit the `qppt-cache` **dimension tier** stores: keyed by
+/// [`fingerprint_dim`](crate::fingerprint::fingerprint_dim) + table
+/// version, one entry is shared (via `Arc`) by every query — and every
+/// concurrent execution — whose plan contains the same σ. The table is
+/// read-only after construction; an `Arc` clone held by an executing query
+/// keeps the data alive whatever the cache decides to evict.
+#[derive(Debug)]
+pub struct DimSelection {
+    /// The materialized selection, keyed on the join attribute.
+    pub table: InterTable,
+    /// Build-time statistics of the materialization.
+    pub op: OpStats,
+}
+
+impl DimSelection {
+    /// Resident bytes of the materialized table (cache byte accounting).
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.table.memory_bytes() + self.op.label.len()
+    }
+}
+
+/// [`materialize_dim`] wrapped into the shareable [`DimSelection`] form —
+/// the constructor used by every execution path and by the cache's
+/// dimension tier on a miss.
+pub fn materialize_dim_selection(
+    db: &Database,
+    snap: Snapshot,
+    plan: &Plan,
+    dim_idx: usize,
+) -> Result<Option<Arc<DimSelection>>, QpptError> {
+    Ok(materialize_dim(db, snap, plan, dim_idx)?
+        .map(|(table, op)| Arc::new(DimSelection { table, op })))
+}
+
 /// A pre-materialized fused (select-join) dimension selection: the
 /// `(join key, carried values)` tuples `scan_dim_selection` would yield for
 /// the stage-1 `SelectProbe` dimension, **sorted by join key**.
@@ -124,6 +164,12 @@ pub struct FusedSelection {
 }
 
 impl FusedSelection {
+    /// Resident bytes of the sorted selection stream (cache byte
+    /// accounting: this is the *query-private* part of a prepared query).
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + (self.keys.capacity() + self.carried.capacity()) * 8
+    }
+
     /// The index range of keys within `[range.lo, range.hi]`.
     fn slice(&self, range: Option<KeyRange>) -> std::ops::Range<usize> {
         match range {
@@ -188,7 +234,9 @@ pub fn new_agg_table(plan: &Plan) -> AggTable {
 /// Runs the fact-side pipeline: the optional materialized fact selection
 /// (Fig. 8's non-fused plan) followed by every composed join stage,
 /// aggregating into `agg`. `dim_tables` holds the materialized dimension
-/// selections (shared, read-only across partitions).
+/// selections, one slot per plan dimension (`None` for base/fused
+/// handles) — `Arc` handles shared read-only across partitions, executions,
+/// and (through the cache's dimension tier) entire queries.
 ///
 /// With `range = Some(r)`, the stage-1 fact access — synchronous base-index
 /// scan, fused select-probe, or fact selection — is restricted to join keys
@@ -205,7 +253,7 @@ pub fn run_pipeline(
     db: &Database,
     snap: Snapshot,
     plan: &Plan,
-    dim_tables: &[Option<InterTable>],
+    dim_tables: &[Option<Arc<DimSelection>>],
     range: Option<KeyRange>,
     fused: Option<&FusedSelection>,
     agg: &mut AggTable,
@@ -424,12 +472,12 @@ pub fn execute(
     let mut stats = ExecStats::default();
 
     // 1. Materialize dimension selections (σ operators of Fig. 5).
-    let mut dim_tables: Vec<Option<InterTable>> = Vec::with_capacity(plan.dims.len());
+    let mut dim_tables: Vec<Option<Arc<DimSelection>>> = Vec::with_capacity(plan.dims.len());
     for di in 0..plan.dims.len() {
-        match materialize_dim(db, snap, plan, di)? {
-            Some((table, op)) => {
-                stats.push(op);
-                dim_tables.push(Some(table));
+        match materialize_dim_selection(db, snap, plan, di)? {
+            Some(sel) => {
+                stats.push(sel.op.clone());
+                dim_tables.push(Some(sel));
             }
             None => dim_tables.push(None),
         }
@@ -553,13 +601,14 @@ fn dim_access<'a>(
     db: &'a Database,
     snap: Snapshot,
     dim: &ResolvedDim,
-    dim_tables: &'a [Option<InterTable>],
+    dim_tables: &'a [Option<Arc<DimSelection>>],
 ) -> Result<DimAccess<'a>, QpptError> {
     match dim.handle {
         DimHandleKind::Materialized => Ok(DimAccess::Inter {
-            it: dim_tables[dim.spec_idx]
+            it: &dim_tables[dim.spec_idx]
                 .as_ref()
-                .expect("materialized dims have tables"),
+                .expect("materialized dims have tables")
+                .table,
         }),
         DimHandleKind::Base | DimHandleKind::Fused => {
             let bi = db.find_index(&dim.table, &dim.join_col_name)?;

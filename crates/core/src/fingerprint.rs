@@ -14,9 +14,10 @@
 //! so the byte stream — and therefore the fingerprint — is stable across
 //! Rust versions and independent of `HashMap` seeding.
 
-use qppt_storage::{AggOp, Expr, OrderTerm, Predicate, QuerySpec, Value};
+use qppt_storage::{AggOp, CompiledPred, Expr, OrderTerm, Predicate, QuerySpec, Value};
 
 use crate::options::PlanOptions;
+use crate::plan::ResolvedDim;
 
 /// A 64-bit FNV-1a hasher (offset basis / prime per the reference spec).
 #[derive(Debug, Clone, Copy)]
@@ -187,6 +188,76 @@ pub fn fingerprint_query(spec: &QuerySpec, opts: &PlanOptions) -> u64 {
     let mut h = Fnv64::new();
     h.write_u64(fingerprint_spec(spec))
         .write_u64(fingerprint_opts(opts));
+    h.finish()
+}
+
+fn write_compiled_pred(h: &mut Fnv64, p: &CompiledPred) {
+    // Column *positions* are omitted on purpose: the column identity is
+    // hashed as the `pred_cols` name alongside, and positions are derived
+    // from it via the (version-covered) schema.
+    match p {
+        CompiledPred::Range { lo, hi, .. } => {
+            h.write_u64(0).write_u64(*lo).write_u64(*hi);
+        }
+        CompiledPred::InSet { codes, .. } => {
+            h.write_u64(1).write_u64(codes.len() as u64);
+            for &c in codes {
+                h.write_u64(c);
+            }
+        }
+        CompiledPred::Never => {
+            h.write_u64(2);
+        }
+    }
+}
+
+/// Fingerprints one resolved dimension selection σ: everything
+/// [`materialize_dim`](crate::exec::materialize_dim) reads to build the
+/// dimension `InterTable` — table, join column, compiled predicate set
+/// (constants are dictionary codes, deterministic per table version),
+/// carried columns in payload order, the multidimensional-scan shape, the
+/// key domain that drives the §2.2 index-structure choice, and the three
+/// [`PlanOptions`] knobs that change the materialization procedure
+/// (`prefer_kiss`, `selection_via_set_ops`, `multidim_selections`).
+///
+/// Deliberately *excluded*: the query the dimension came from (group-by,
+/// aggregates, other dims), the fact-side join column, the dimension's
+/// position in the spec, and every parallelism knob — none of them change
+/// the materialized bytes, so two different queries touching the same σ
+/// fingerprint identically and can share one cached `InterTable`. Combined
+/// with the dimension table's version this is the `qppt-cache` dim-tier
+/// key.
+pub fn fingerprint_dim(dim: &ResolvedDim, opts: &PlanOptions) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str(&dim.table)
+        .write_str(&dim.join_col_name)
+        .write_u64(dim.join_key_max)
+        .write_u64(dim.preds.len() as u64);
+    for (col, p) in dim.pred_cols.iter().zip(&dim.preds) {
+        h.write_str(col);
+        write_compiled_pred(&mut h, p);
+    }
+    h.write_u64(dim.carried_names.len() as u64);
+    for c in &dim.carried_names {
+        h.write_str(c);
+    }
+    match &dim.multidim {
+        None => {
+            h.write_u64(0);
+        }
+        Some(md) => {
+            h.write_u64(1).write_u64(md.key_names.len() as u64);
+            for k in &md.key_names {
+                h.write_str(k);
+            }
+            for &(lo, hi) in &md.bounds {
+                h.write_u64(lo).write_u64(hi);
+            }
+        }
+    }
+    h.write_u64(opts.prefer_kiss as u64)
+        .write_u64(opts.selection_via_set_ops as u64)
+        .write_u64(opts.multidim_selections as u64);
     h.finish()
 }
 

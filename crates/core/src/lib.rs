@@ -48,8 +48,10 @@ pub mod prepared;
 pub mod stats;
 
 pub use engine::QpptEngine;
-pub use exec::KeyRange;
-pub use fingerprint::{fingerprint_opts, fingerprint_query, fingerprint_spec, Fnv64};
+pub use exec::{DimSelection, KeyRange};
+pub use fingerprint::{
+    fingerprint_dim, fingerprint_opts, fingerprint_query, fingerprint_spec, Fnv64,
+};
 pub use options::PlanOptions;
 pub use plan::{build_plan, planned_indexes, prepare_indexes, Plan, PlannedIndexes};
 pub use prepared::PreparedQuery;

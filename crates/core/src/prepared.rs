@@ -6,12 +6,16 @@
 //! QPPT intermediates are ordered, canonical index structures: at an
 //! unchanged snapshot, re-running the same query rebuilds byte-identical
 //! dimension selections and plans from scratch. A `PreparedQuery` captures
-//! exactly that recomputable state. Coherence is the caller's contract
-//! (enforced by `qppt-cache` via per-table versions): a prepared query may
-//! only be executed while the versions of every table it reads are
-//! unchanged since [`build`](PreparedQuery::build) — then `snap` sees the
-//! same rows as any later snapshot, and execution is byte-identical to
-//! planning + materializing from scratch.
+//! exactly that recomputable state — and since PR 4 it is a *cheap
+//! composition*: each dimension selection is an independently cacheable
+//! [`DimSelection`] handle (shared across every query with the same σ
+//! through the `qppt-cache` dimension tier), and only the fused stage-1
+//! stream is query-private. Coherence is the caller's contract (enforced
+//! by `qppt-cache` via per-table versions): a prepared query may only be
+//! executed while the versions of every table it reads are unchanged since
+//! its parts were materialized — then `snap` sees the same rows as any
+//! later snapshot, and execution is byte-identical to planning +
+//! materializing from scratch.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -19,10 +23,9 @@ use std::time::Instant;
 use qppt_storage::{Database, QueryResult, QuerySpec, Snapshot};
 
 use crate::exec::{
-    decode_result, materialize_dim, materialize_fused_selection, new_agg_table, run_pipeline,
-    FusedSelection,
+    decode_result, materialize_dim_selection, materialize_fused_selection, new_agg_table,
+    run_pipeline, DimSelection, FusedSelection,
 };
-use crate::inter::InterTable;
 use crate::options::PlanOptions;
 use crate::plan::{build_plan, Plan};
 use crate::stats::{ExecStats, OpStats};
@@ -30,21 +33,22 @@ use crate::QpptError;
 
 /// Reusable per-query execution state (see module docs). Everything is
 /// behind `Arc`s, so clones are cheap and executions on other threads (the
-/// `qppt-par` pooled engine) share rather than copy.
+/// `qppt-par` pooled engine) share rather than copy; the dimension handles
+/// may additionally be shared with *other* prepared queries.
 #[derive(Debug, Clone)]
 pub struct PreparedQuery {
     /// The physical plan.
     pub plan: Arc<Plan>,
     /// Materialized dimension selections, one slot per plan dimension
-    /// (`None` for base/fused handles), shared read-only by executions.
-    pub dim_tables: Arc<Vec<Option<InterTable>>>,
+    /// (`None` for base/fused handles). Each handle is shared read-only
+    /// across executions and, via the cache's dimension tier, across
+    /// queries with the same σ.
+    pub dims: Arc<Vec<Option<Arc<DimSelection>>>>,
     /// The pre-materialized stage-1 fused selection stream, if the plan
-    /// leads with a select-probe.
+    /// leads with a select-probe. Query-private (it depends on the fact
+    /// residuals' stage placement, not just the dimension).
     pub fused: Arc<Option<FusedSelection>>,
-    /// Build-time statistics of the dimension materializations (replayed
-    /// into every execution's stats so operator lists keep their shape).
-    pub dim_stats: Vec<OpStats>,
-    /// The snapshot the selections were materialized at.
+    /// The snapshot the query-private parts were materialized at.
     pub snap: Snapshot,
 }
 
@@ -63,25 +67,50 @@ impl PreparedQuery {
     /// `snap` — the entry point when a plan-cache tier hit skipped
     /// [`build_plan`].
     pub fn from_plan(db: &Database, plan: Arc<Plan>, snap: Snapshot) -> Result<Self, QpptError> {
-        let mut dim_tables = Vec::with_capacity(plan.dims.len());
-        let mut dim_stats = Vec::new();
-        for di in 0..plan.dims.len() {
-            match materialize_dim(db, snap, &plan, di)? {
-                Some((table, op)) => {
-                    dim_stats.push(op);
-                    dim_tables.push(Some(table));
-                }
-                None => dim_tables.push(None),
-            }
-        }
+        let dims = (0..plan.dims.len())
+            .map(|di| materialize_dim_selection(db, snap, &plan, di))
+            .collect::<Result<Vec<_>, QpptError>>()?;
+        Self::from_parts(db, plan, dims, snap)
+    }
+
+    /// Composes a prepared query from already-materialized dimension
+    /// handles (cache hits and fresh builds alike), materializing only the
+    /// query-private fused stream — the `qppt-cache` assemble-from-parts
+    /// path. `dims` must hold one slot per plan dimension, `Some` exactly
+    /// for the `Materialized` handles, each built at a snapshot whose
+    /// per-table version still matches `snap`'s.
+    pub fn from_parts(
+        db: &Database,
+        plan: Arc<Plan>,
+        dims: Vec<Option<Arc<DimSelection>>>,
+        snap: Snapshot,
+    ) -> Result<Self, QpptError> {
+        debug_assert_eq!(dims.len(), plan.dims.len());
         let fused = materialize_fused_selection(db, snap, &plan)?;
         Ok(Self {
             plan,
-            dim_tables: Arc::new(dim_tables),
+            dims: Arc::new(dims),
             fused: Arc::new(fused),
-            dim_stats,
             snap,
         })
+    }
+
+    /// Build-time statistics of the dimension materializations, in
+    /// dimension order — replayed into every execution's stats so operator
+    /// lists keep their shape whether the σ was built or shared.
+    pub fn dim_stats(&self) -> Vec<OpStats> {
+        self.dims.iter().flatten().map(|d| d.op.clone()).collect()
+    }
+
+    /// Heap bytes of the *query-private* state (plan + fused stream). The
+    /// dimension tables are excluded: they are shared handles — callers
+    /// that need the full retained footprint (the cache's selection-tier
+    /// accounting) add the σ tables' `memory_bytes` on top.
+    pub fn private_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.plan.memory_bytes()
+            + self.fused.as_ref().as_ref().map_or(0, |f| f.memory_bytes())
+            + self.dims.len() * std::mem::size_of::<Option<Arc<DimSelection>>>()
     }
 
     /// Runs the fact pipeline sequentially on the calling thread from the
@@ -92,7 +121,7 @@ impl PreparedQuery {
     pub fn execute_sequential(&self, db: &Database) -> Result<(QueryResult, ExecStats), QpptError> {
         let started = Instant::now();
         let mut stats = ExecStats {
-            ops: self.dim_stats.clone(),
+            ops: self.dim_stats(),
             total_micros: 0,
         };
         let mut agg = new_agg_table(&self.plan);
@@ -100,7 +129,7 @@ impl PreparedQuery {
             db,
             self.snap,
             &self.plan,
-            &self.dim_tables,
+            &self.dims,
             None,
             self.fused.as_ref().as_ref(),
             &mut agg,

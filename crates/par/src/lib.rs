@@ -90,13 +90,15 @@ pub use pool::{JobAborted, JobHandle, PoolJob, WorkerPool};
 pub use pooled::PooledEngine;
 pub use prepare::prepare_indexes_pooled;
 
+use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
 
 use qppt_core::exec::{
-    decode_result, materialize_dim, materialize_fused_selection, new_agg_table, run_pipeline,
+    decode_result, materialize_dim_selection, materialize_fused_selection, new_agg_table,
+    run_pipeline, DimSelection,
 };
-use qppt_core::inter::{AggTable, InterTable};
+use qppt_core::inter::AggTable;
 use qppt_core::plan::MainInput;
 use qppt_core::{build_plan, ExecStats, Plan, PlanOptions, QpptEngine, QpptError};
 use qppt_storage::{Database, QueryResult, QuerySpec, Snapshot};
@@ -249,12 +251,12 @@ impl<'a> ParEngine<'a> {
         snap: Snapshot,
         plan: &Plan,
         stats: &mut ExecStats,
-    ) -> Result<Vec<Option<InterTable>>, QpptError> {
+    ) -> Result<Vec<Option<Arc<DimSelection>>>, QpptError> {
         let n = plan.dims.len();
         let materialized: Vec<usize> = (0..n)
             .filter(|&di| plan.dims[di].handle == qppt_core::plan::DimHandleKind::Materialized)
             .collect();
-        let results: Vec<Option<(InterTable, qppt_core::OpStats)>> =
+        let results: Vec<Option<Arc<DimSelection>>> =
             if plan.opts.par_selections && plan.opts.parallelism > 1 && materialized.len() > 1 {
                 // One task per *materialized* dimension (Base/Fused handles
                 // have no materialization step, so spawning for them would
@@ -262,13 +264,14 @@ impl<'a> ParEngine<'a> {
                 // concurrent tasks so the configured worker budget also
                 // bounds this phase.
                 let db = self.db;
-                let mut results: Vec<Option<(InterTable, qppt_core::OpStats)>> =
-                    (0..n).map(|_| None).collect();
+                let mut results: Vec<Option<Arc<DimSelection>>> = (0..n).map(|_| None).collect();
                 for chunk in materialized.chunks(plan.opts.parallelism) {
                     let done = thread::scope(|scope| {
                         let handles: Vec<_> = chunk
                             .iter()
-                            .map(|&di| scope.spawn(move || materialize_dim(db, snap, plan, di)))
+                            .map(|&di| {
+                                scope.spawn(move || materialize_dim_selection(db, snap, plan, di))
+                            })
                             .collect();
                         handles
                             .into_iter()
@@ -282,15 +285,15 @@ impl<'a> ParEngine<'a> {
                 results
             } else {
                 (0..n)
-                    .map(|di| materialize_dim(self.db, snap, plan, di))
+                    .map(|di| materialize_dim_selection(self.db, snap, plan, di))
                     .collect::<Result<Vec<_>, QpptError>>()?
             };
         let mut dim_tables = Vec::with_capacity(n);
         for r in results {
             match r {
-                Some((table, op)) => {
-                    stats.push(op);
-                    dim_tables.push(Some(table));
+                Some(sel) => {
+                    stats.push(sel.op.clone());
+                    dim_tables.push(Some(sel));
                 }
                 None => dim_tables.push(None),
             }

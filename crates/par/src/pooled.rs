@@ -33,13 +33,11 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use qppt_core::exec::{
-    decode_result, execute, materialize_dim, materialize_fused_selection, new_agg_table,
-    run_pipeline, FusedSelection,
+    decode_result, execute, materialize_dim_selection, materialize_fused_selection, new_agg_table,
+    run_pipeline, DimSelection, FusedSelection,
 };
-use qppt_core::inter::{AggTable, InterTable};
-use qppt_core::{
-    build_plan, ExecStats, KeyRange, OpStats, Plan, PlanOptions, PreparedQuery, QpptError,
-};
+use qppt_core::inter::AggTable;
+use qppt_core::{build_plan, ExecStats, KeyRange, Plan, PlanOptions, PreparedQuery, QpptError};
 use qppt_storage::{Database, QueryResult, QuerySpec, Snapshot};
 
 use crate::pool::{PoolJob, WorkerPool};
@@ -154,13 +152,13 @@ impl PooledEngine {
 
         let started = Instant::now();
         let mut stats = ExecStats {
-            ops: prepared.dim_stats.clone(),
+            ops: prepared.dim_stats(),
             total_micros: 0,
         };
         let (agg, pipeline_stats) = self.execute_pipeline(
             prepared.snap,
             &prepared.plan,
-            &prepared.dim_tables,
+            &prepared.dims,
             &prepared.fused,
             priority,
         )?;
@@ -184,7 +182,7 @@ impl PooledEngine {
         &self,
         snap: Snapshot,
         plan: &Arc<Plan>,
-        dim_tables: &Arc<Vec<Option<InterTable>>>,
+        dim_tables: &Arc<Vec<Option<Arc<DimSelection>>>>,
         fused: &Arc<Option<FusedSelection>>,
         priority: i32,
     ) -> Result<(AggTable, ExecStats), QpptError> {
@@ -249,7 +247,7 @@ impl PooledEngine {
         plan: &Arc<Plan>,
         priority: i32,
         stats: &mut ExecStats,
-    ) -> Result<Vec<Option<InterTable>>, QpptError> {
+    ) -> Result<Vec<Option<Arc<DimSelection>>>, QpptError> {
         let n = plan.dims.len();
         let materialized: Vec<usize> = (0..n)
             .filter(|&di| plan.dims[di].handle == qppt_core::plan::DimHandleKind::Materialized)
@@ -258,7 +256,7 @@ impl PooledEngine {
         // participates, so the job always has ≥ 2 potential workers.
         let pooled =
             plan.opts.par_selections && plan.opts.parallelism > 1 && materialized.len() > 1;
-        let results: Vec<Option<(InterTable, OpStats)>> = if pooled {
+        let results: Vec<Option<Arc<DimSelection>>> = if pooled {
             let max_workers = plan.opts.parallelism.min(materialized.len());
             let job = Arc::new(DimJob {
                 db: self.db.clone(),
@@ -281,15 +279,15 @@ impl PooledEngine {
             results
         } else {
             (0..n)
-                .map(|di| materialize_dim(&self.db, snap, plan, di))
+                .map(|di| materialize_dim_selection(&self.db, snap, plan, di))
                 .collect::<Result<Vec<_>, QpptError>>()?
         };
         let mut dim_tables = Vec::with_capacity(n);
         for r in results {
             match r {
-                Some((table, op)) => {
-                    stats.push(op);
-                    dim_tables.push(Some(table));
+                Some(sel) => {
+                    stats.push(sel.op.clone());
+                    dim_tables.push(Some(sel));
                 }
                 None => dim_tables.push(None),
             }
@@ -307,7 +305,7 @@ struct MorselJob {
     db: Arc<Database>,
     snap: Snapshot,
     plan: Arc<Plan>,
-    dim_tables: Arc<Vec<Option<InterTable>>>,
+    dim_tables: Arc<Vec<Option<Arc<DimSelection>>>>,
     fused: Arc<Option<FusedSelection>>,
     morsels: Vec<KeyRange>,
     /// Atomic morsel dispenser (work pulling).
@@ -366,7 +364,7 @@ struct DimJob {
     tasks: Vec<usize>,
     next: AtomicUsize,
     /// Slot per dimension (not per task), so output stays in dim order.
-    results: Mutex<Vec<Option<(InterTable, OpStats)>>>,
+    results: Mutex<Vec<Option<Arc<DimSelection>>>>,
     error: Mutex<Option<QpptError>>,
     aborted: AtomicBool,
     max_workers: usize,
@@ -388,7 +386,7 @@ impl PoolJob for DimJob {
             let Some(&di) = self.tasks.get(t) else {
                 break;
             };
-            match materialize_dim(&self.db, self.snap, &self.plan, di) {
+            match materialize_dim_selection(&self.db, self.snap, &self.plan, di) {
                 Ok(r) => self.results.lock().expect("job lock")[di] = r,
                 Err(e) => {
                     self.aborted.store(true, Ordering::Relaxed);

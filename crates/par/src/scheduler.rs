@@ -21,10 +21,11 @@
 //!   queries share one fixed set of threads.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::thread;
 
-use qppt_core::exec::{new_agg_table, run_pipeline, FusedSelection};
-use qppt_core::inter::{AggTable, InterTable};
+use qppt_core::exec::{new_agg_table, run_pipeline, DimSelection, FusedSelection};
+use qppt_core::inter::AggTable;
 use qppt_core::stats::ExecStats;
 use qppt_core::{KeyRange, Plan, QpptError};
 use qppt_storage::{Database, Snapshot};
@@ -37,7 +38,7 @@ pub(crate) fn drain_morsels(
     db: &Database,
     snap: Snapshot,
     plan: &Plan,
-    dim_tables: &[Option<InterTable>],
+    dim_tables: &[Option<Arc<DimSelection>>],
     fused: Option<&FusedSelection>,
     morsels: &[KeyRange],
     next: &AtomicUsize,
@@ -89,7 +90,7 @@ pub(crate) fn run_morsels(
     db: &Database,
     snap: Snapshot,
     plan: &Plan,
-    dim_tables: &[Option<InterTable>],
+    dim_tables: &[Option<Arc<DimSelection>>],
     fused: Option<&FusedSelection>,
     morsels: &[KeyRange],
     workers: usize,

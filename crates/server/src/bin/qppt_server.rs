@@ -5,12 +5,18 @@
 //! ```text
 //! cargo run --release --bin qppt-server -- \
 //!     --addr 127.0.0.1:7878 --sf 0.05 --seed 42 \
-//!     --threads 4 --admission 8 --parallelism 4
+//!     --threads 4 --admission 8 --parallelism 4 \
+//!     --cache-dim-mb 256 --cache-ttl-secs 600
 //! ```
+//!
+//! Cache flags: `--no-cache` serves every `RUN` uncached,
+//! `--cache-dim-mb` sizes the shared dimension-σ tier's byte budget, and
+//! `--cache-ttl-secs` reclaims entries idle for longer (0 = no age limit).
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use qppt_cache::CacheConfig;
 use qppt_core::PlanOptions;
 use qppt_par::WorkerPool;
 use qppt_server::{detected_cores, serve, ServeEngine};
@@ -37,6 +43,8 @@ fn main() {
     let parallelism: usize = arg(&args, "--parallelism", threads);
     let seq_index_build = args.iter().any(|a| a == "--seq-index-build");
     let no_cache = args.iter().any(|a| a == "--no-cache");
+    let cache_dim_mb: usize = arg(&args, "--cache-dim-mb", 256);
+    let cache_ttl_secs: f64 = arg(&args, "--cache-ttl-secs", 0.0);
 
     if cores == 1 {
         eprintln!(
@@ -51,35 +59,49 @@ fn main() {
         .with_parallelism(parallelism)
         .with_par_index_build(!seq_index_build);
 
+    let cache_config = if no_cache {
+        CacheConfig::disabled()
+    } else {
+        CacheConfig {
+            dim_budget: cache_dim_mb << 20,
+            ttl: (cache_ttl_secs > 0.0).then(|| Duration::from_secs_f64(cache_ttl_secs)),
+            ..CacheConfig::default()
+        }
+    };
+
     eprintln!("generating SSB at sf={sf} (seed {seed}) and preparing indexes …");
     let t0 = Instant::now();
-    let engine = if no_cache {
-        // Same SSB build, but served through a disabled cache.
-        let mut ssb = qppt_ssb::SsbDb::generate(sf, seed);
-        for q in qppt_ssb::queries::all_queries() {
-            qppt_par::prepare_indexes_pooled(&mut ssb.db, &q, &defaults, &pool)
-                .expect("SSB prepares");
-        }
-        ServeEngine::over_db_with_cache(
-            std::sync::Arc::new(ssb.db),
-            pool.clone(),
-            defaults,
-            sf,
-            seed,
-            std::sync::Arc::new(qppt_cache::QueryCache::new(
-                qppt_cache::CacheConfig::disabled(),
-            )),
-        )
-    } else {
-        ServeEngine::with_ssb(sf, seed, pool.clone(), defaults).expect("SSB prepares")
-    };
+    let mut ssb = qppt_ssb::SsbDb::generate(sf, seed);
+    for q in qppt_ssb::queries::all_queries() {
+        qppt_par::prepare_indexes_pooled(&mut ssb.db, &q, &defaults, &pool).expect("SSB prepares");
+    }
+    let engine = ServeEngine::over_db_with_config(
+        Arc::new(ssb.db),
+        pool.clone(),
+        defaults,
+        sf,
+        seed,
+        cache_config,
+    );
     eprintln!(
-        "ready in {:.1}s ({} pool threads, admission {}, parallel index build: {}, query cache: {})",
+        "ready in {:.1}s ({} pool threads, admission {}, parallel index build: {}, query cache: \
+         {})",
         t0.elapsed().as_secs_f64(),
         threads,
         admission,
         !seq_index_build,
-        !no_cache
+        if no_cache {
+            "off".to_string()
+        } else {
+            format!(
+                "on (dim tier {cache_dim_mb} MiB, ttl {})",
+                if cache_ttl_secs > 0.0 {
+                    format!("{cache_ttl_secs}s")
+                } else {
+                    "off".to_string()
+                }
+            )
+        }
     );
 
     let server = serve(Arc::new(engine), &addr).expect("bind listener");

@@ -120,6 +120,12 @@ impl QpptClient {
         read_status(&mut self.reader).map(|_| ())
     }
 
+    /// `CACHE CLEAR dims` → drops only the shared dimension-σ tier.
+    pub fn cache_clear_dims(&mut self) -> Result<(), ClientError> {
+        self.send("CACHE CLEAR dims")?;
+        read_status(&mut self.reader).map(|_| ())
+    }
+
     /// `QUIT` → closes this connection server-side.
     pub fn quit(mut self) -> Result<(), ClientError> {
         self.send("QUIT")?;

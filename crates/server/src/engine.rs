@@ -10,8 +10,16 @@
 //! 2. **selection hit** — execute from the cached
 //!    [`PreparedQuery`](qppt_core::PreparedQuery) (skips `build_plan` and
 //!    every `materialize_dim`);
-//! 3. **plan hit** — skip `build_plan`, re-materialize selections;
-//! 4. **cold** — plan, materialize, execute; populate all three tiers.
+//! 3. **plan hit / cold** — build or fetch the plan, then **assemble from
+//!    parts**: every `Materialized` dimension σ is looked up in the
+//!    *dimension tier* (keyed per `(table, predicates, carried columns,
+//!    table version)`, so a σ materialized by a *different* query hits —
+//!    Q3.2 reuses the date selection Q3.1 built); only the missing σ and
+//!    the query-private fused stream are materialized, and all four tiers
+//!    are (re)populated.
+//!
+//! `cache=off` requests bypass **all** tiers, the dimension tier
+//! included: no lookups, no insertions, fully independent execution.
 //!
 //! Coherence: fingerprints embed per-table versions
 //! ([`Database::table_version`]), and the database sits behind an `Arc`
@@ -22,8 +30,8 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-use qppt_cache::{CacheStats, CachedResult, QueryCache, QueryFingerprint};
-use qppt_core::{ExecStats, OpStats, PlanOptions, PreparedQuery, QpptEngine, QpptError};
+use qppt_cache::{CacheConfig, CacheStats, CachedResult, QueryCache, QueryFingerprint};
+use qppt_core::{ExecStats, OpStats, PlanOptions, QpptEngine, QpptError};
 use qppt_par::{prepare_indexes_pooled, PooledEngine, WorkerPool};
 use qppt_ssb::{queries, SsbDb};
 use qppt_storage::{Database, QueryResult, QuerySpec};
@@ -92,6 +100,27 @@ impl ServeEngine {
             sf,
             seed,
             Arc::new(QueryCache::default()),
+        )
+    }
+
+    /// [`over_db`](Self::over_db) with the cache built from an explicit
+    /// [`CacheConfig`] — byte budgets per tier, idle TTL, shard count, or
+    /// [`CacheConfig::disabled`] to serve uncached.
+    pub fn over_db_with_config(
+        db: Arc<Database>,
+        pool: Arc<WorkerPool>,
+        defaults: PlanOptions,
+        sf: f64,
+        seed: u64,
+        config: CacheConfig,
+    ) -> Self {
+        Self::over_db_with_cache(
+            db,
+            pool,
+            defaults,
+            sf,
+            seed,
+            Arc::new(QueryCache::new(config)),
         )
     }
 
@@ -168,6 +197,11 @@ impl ServeEngine {
         self.cache.clear();
     }
 
+    /// Drops only the dimension tier (the `CACHE CLEAR dims` command).
+    pub fn cache_clear_dims(&self) {
+        self.cache.clear_dims();
+    }
+
     /// Runs a registered query on the shared pool, through the query
     /// cache. `opts` is the fully resolved option set (defaults +
     /// overrides, see [`apply_overrides`](crate::protocol::apply_overrides));
@@ -217,12 +251,12 @@ impl ServeEngine {
             return Ok((hit.result.clone(), stats));
         }
 
-        // Tier 2: materialized dimension selections + fused stream (a hit
-        // skips build_plan AND every materialize_dim — the PreparedQuery
-        // already owns its plan, so the plan tier is only consulted on a
-        // selection miss).
-        let (prepared, tier_label) = match self.cache.get_selections(&fp) {
-            Some(p) => (p, "cache: selection hit"),
+        // Tier 2: the composed PreparedQuery (a hit skips build_plan, the
+        // per-dimension cache walk, and the fused-selection scan — the
+        // PreparedQuery already owns its plan and σ handles, so the plan
+        // and dimension tiers are only consulted on a selection miss).
+        let (prepared, tier_label, assembly) = match self.cache.get_selections(&fp) {
+            Some(p) => (p, "cache: selection hit", None),
             None => {
                 // Tier 1: plan (skips build_plan on hit).
                 let (plan, label) = match self.cache.get_plan(&fp) {
@@ -235,12 +269,15 @@ impl ServeEngine {
                         (p, "cache: cold")
                     }
                 };
-                let p = Arc::new(
-                    PreparedQuery::from_plan(db, plan, db.snapshot())
-                        .map_err(ServeError::Engine)?,
-                );
+                // Assemble from parts: shared σ handles out of the
+                // dimension tier, missing ones materialized + cached.
+                let (prepared, assembly) = self
+                    .cache
+                    .prepare_from_parts(db, plan, opts, db.snapshot())
+                    .map_err(ServeError::Engine)?;
+                let p = Arc::new(prepared);
                 self.cache.put_selections(&fp, p.clone());
-                (p, label)
+                (p, label, Some(assembly))
             }
         };
 
@@ -256,6 +293,17 @@ impl ServeEngine {
             }),
         );
         stats.push(cache_op(tier_label, result.rows.len()));
+        if let Some(a) = assembly {
+            if a.shared + a.built > 0 {
+                // keys = σ served from the dim tier, tuples = σ built now.
+                let mut op = cache_op(
+                    &format!("cache: dims {} shared / {} built", a.shared, a.built),
+                    a.shared,
+                );
+                op.out_tuples = a.built;
+                stats.push(op);
+            }
+        }
         stats.total_micros = started.elapsed().as_micros();
         Ok((result, stats))
     }
@@ -287,18 +335,21 @@ fn cache_op(label: &str, rows: usize) -> OpStats {
 }
 
 /// Renders [`CacheStats`] as the one-line `key=value` body of a
-/// `CACHE STATS` response.
+/// `CACHE STATS` response: per tier (result / dim / selection / plan) the
+/// hit/miss/invalidation/eviction/expiration counters plus live entries
+/// and resident bytes.
 pub fn render_cache_stats(s: &CacheStats) -> String {
     let tier = |name: &str, t: &qppt_cache::TierSnapshot| {
         format!(
             "{name}_hits={} {name}_misses={} {name}_invalidations={} \
-             {name}_evictions={} {name}_entries={}",
-            t.hits, t.misses, t.invalidations, t.evictions, t.entries
+             {name}_evictions={} {name}_expirations={} {name}_entries={} {name}_bytes={}",
+            t.hits, t.misses, t.invalidations, t.evictions, t.expirations, t.entries, t.bytes
         )
     };
     format!(
-        "{} {} {}",
+        "{} {} {} {}",
         tier("result", &s.results),
+        tier("dim", &s.dims),
         tier("selection", &s.selections),
         tier("plan", &s.plans)
     )

@@ -14,7 +14,7 @@
 //! list      = "LIST"                          ; multi-line response
 //! info      = "INFO"                          ; single-line response
 //! ping      = "PING"                          ; single-line response
-//! cache     = "CACHE" ( "STATS" | "CLEAR" )   ; single-line response
+//! cache     = "CACHE" ( "STATS" | "CLEAR" [ "dims" ] ) ; single-line
 //! quit      = "QUIT"                          ; single-line, closes conn
 //! shutdown  = "SHUTDOWN"                      ; single-line, stops server
 //!
@@ -25,10 +25,13 @@
 //!            | "par_joins" | "priority" | "cache"
 //! ```
 //!
-//! `CACHE STATS` answers one `OK` line of `key=value` counters (per-tier
-//! hits/misses/invalidations/evictions/entries); `CACHE CLEAR` drops every
-//! cached entry. `cache=off` on a `RUN` bypasses the query cache for that
-//! request only (no lookups, no insertions).
+//! `CACHE STATS` answers one `OK` line of `key=value` counters (per tier —
+//! result / dim / selection / plan —
+//! hits/misses/invalidations/evictions/expirations/entries/bytes);
+//! `CACHE CLEAR` drops every cached entry, `CACHE CLEAR dims` only the
+//! shared dimension-selection tier. `cache=off` on a `RUN` bypasses every
+//! cache tier — the dimension tier included — for that request only (no
+//! lookups, no insertions).
 //!
 //! ## RUN response
 //!
@@ -76,7 +79,8 @@ pub enum Request {
     Info,
     /// Liveness probe.
     Ping,
-    /// Query-cache introspection/control (`CACHE STATS` / `CACHE CLEAR`).
+    /// Query-cache introspection/control (`CACHE STATS`, `CACHE CLEAR`,
+    /// `CACHE CLEAR dims`).
     Cache(CacheCmd),
     /// Close this connection.
     Quit,
@@ -92,6 +96,8 @@ pub enum CacheCmd {
     Stats,
     /// Drop every cached entry (counters survive).
     Clear,
+    /// Drop only the dimension tier (shared σ entries).
+    ClearDims,
 }
 
 /// Parses one request line (without the trailing newline).
@@ -110,10 +116,18 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 .ok_or_else(|| "CACHE needs a subcommand (STATS or CLEAR)".to_string())?;
             let cmd = match sub.to_ascii_uppercase().as_str() {
                 "STATS" => CacheCmd::Stats,
-                "CLEAR" => CacheCmd::Clear,
+                "CLEAR" => match parts.next().map(str::to_ascii_uppercase).as_deref() {
+                    None => CacheCmd::Clear,
+                    Some("DIMS") => CacheCmd::ClearDims,
+                    Some(other) => {
+                        return Err(format!(
+                            "unknown CACHE CLEAR target {other} (try CLEAR or CLEAR dims)"
+                        ))
+                    }
+                },
                 other => {
                     return Err(format!(
-                        "unknown CACHE subcommand {other} (try STATS, CLEAR)"
+                        "unknown CACHE subcommand {other} (try STATS, CLEAR, CLEAR dims)"
                     ))
                 }
             };
@@ -461,9 +475,19 @@ mod tests {
             parse_request("CACHE Clear").unwrap(),
             Request::Cache(CacheCmd::Clear)
         );
+        assert_eq!(
+            parse_request("CACHE CLEAR dims").unwrap(),
+            Request::Cache(CacheCmd::ClearDims)
+        );
+        assert_eq!(
+            parse_request("cache clear DIMS").unwrap(),
+            Request::Cache(CacheCmd::ClearDims)
+        );
         assert!(parse_request("CACHE").is_err());
         assert!(parse_request("CACHE FLUSH").is_err());
         assert!(parse_request("CACHE STATS extra").is_err());
+        assert!(parse_request("CACHE CLEAR plans").is_err());
+        assert!(parse_request("CACHE CLEAR dims extra").is_err());
         assert!(parse_request("").is_err());
         assert!(parse_request("FLY q1.1").is_err());
         assert!(parse_request("RUN").is_err());

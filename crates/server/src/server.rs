@@ -297,6 +297,10 @@ fn handle_connection(
                 engine.cache_clear();
                 writeln!(writer, "OK cleared")?;
             }
+            Ok(Request::Cache(CacheCmd::ClearDims)) => {
+                engine.cache_clear_dims();
+                writeln!(writer, "OK cleared dims")?;
+            }
             Ok(Request::List) => {
                 let names = engine.query_names();
                 writeln!(writer, "OK {}", names.len())?;

@@ -1,21 +1,37 @@
 //! The caching contract, end to end:
 //!
-//! * all 13 SSB queries are **byte-identical** with the cache on vs off
-//!   (cold fill, warm result hits, per-request `cache=off` bypass);
+//! * all 13 SSB queries are **byte-identical** with the cache (dimension
+//!   tier included) on vs off (cold fill, warm result hits, per-request
+//!   `cache=off` bypass);
+//! * the dimension tier shares materialized σ **across queries**
+//!   (Q3.2/Q3.3 reuse the date selection Q3.1 built) and across plan
+//!   options (parallelism never splits a σ key);
 //! * an MVCC write invalidates **exactly** the affected entries — queries
 //!   over written tables recompute (stale results are never served),
-//!   queries over untouched tables keep hitting;
+//!   queries over untouched tables keep hitting, and of an invalidated
+//!   query's dimensions only the *written* table's σ is rebuilt;
+//! * `cache=off` bypasses every tier including the dimension tier, and
+//!   `CACHE CLEAR dims` drops exactly that tier;
 //! * 10 concurrent TCP connections sharing one cache still match the
-//!   sequential engine.
+//!   sequential engine, with exact counters, and byte-pressure eviction
+//!   churn never corrupts results.
 
 use std::sync::Arc;
 
 use qppt_cache::{CacheConfig, QueryCache};
-use qppt_core::{PlanOptions, QpptEngine};
+use qppt_core::{ExecStats, PlanOptions, QpptEngine};
 use qppt_par::WorkerPool;
 use qppt_server::{serve, QpptClient, ServeEngine};
 use qppt_ssb::{queries, SsbDb};
 use qppt_storage::{Database, Value};
+
+/// The `# op cache: dims …` entry of one run's stats, if any.
+fn dim_assembly_op(stats: &ExecStats) -> Option<&qppt_core::OpStats> {
+    stats
+        .ops
+        .iter()
+        .find(|op| op.label.starts_with("cache: dims"))
+}
 
 fn ssb_db(sf: f64) -> Arc<Database> {
     let mut ssb = SsbDb::generate(sf, 42);
@@ -59,6 +75,120 @@ fn thirteen_queries_byte_identical_cache_on_vs_off() {
     assert_eq!(stats.results.hits, 26);
     assert_eq!(stats.results.misses, 26);
     assert_eq!(stats.results.invalidations, 0);
+    // Dimension tier, exact: the 13 queries contain 19 materialized σ of
+    // which 14 are distinct (q3.2/q3.3 share q3.1's date range, q3.4
+    // shares q3.3's supplier cities, q4.1 shares q2.1's supplier region,
+    // q4.3 shares q4.2's date set). Parallelism is excluded from σ keys,
+    // so the whole second option pass shares all 19.
+    assert_eq!(stats.dims.misses, 14);
+    assert_eq!(stats.dims.insertions, 14);
+    assert_eq!(stats.dims.hits, 5 + 19);
+    assert_eq!(stats.dims.invalidations, 0);
+    assert_eq!(stats.dims.entries, 14);
+    assert!(stats.dims.bytes > 0, "dim tier must account its bytes");
+    pool.shutdown();
+}
+
+#[test]
+fn shared_sigma_family_skips_materialization() {
+    // The q3 family: one date σ (d_year ∈ [1992,1997], carried d_year)
+    // serves q3.1, q3.2, and q3.3 — only the first query materializes it.
+    let db = ssb_db(0.01);
+    let pool = WorkerPool::new(2, 8);
+    let engine = ServeEngine::over_db(db.clone(), pool.clone(), PlanOptions::default(), 0.01, 42);
+    let oracle = QpptEngine::new(&db);
+    let opts = PlanOptions::default();
+
+    let (r31, s31) = engine.run("q3.1", &opts, 0).unwrap();
+    let a31 = dim_assembly_op(&s31).expect("q3.1 assembles dims");
+    assert_eq!((a31.out_keys, a31.out_tuples), (0, 2), "cold: 2 σ built");
+
+    let (r32, s32) = engine.run("q3.2", &opts, 0).unwrap();
+    let a32 = dim_assembly_op(&s32).expect("q3.2 assembles dims");
+    assert_eq!(
+        (a32.out_keys, a32.out_tuples),
+        (1, 1),
+        "q3.2 shares the date σ and builds only its supplier σ"
+    );
+
+    let (r33, s33) = engine.run("q3.3", &opts, 0).unwrap();
+    let a33 = dim_assembly_op(&s33).expect("q3.3 assembles dims");
+    assert_eq!((a33.out_keys, a33.out_tuples), (1, 1));
+
+    // Same query at a different parallelism: new query fingerprint, but
+    // every σ comes from the dim tier (σ keys ignore parallelism knobs).
+    let par2 = PlanOptions::default().with_parallelism(2);
+    let (r31p, s31p) = engine.run("q3.1", &par2, 0).unwrap();
+    let a31p = dim_assembly_op(&s31p).expect("q3.1@p2 assembles dims");
+    assert_eq!((a31p.out_keys, a31p.out_tuples), (2, 0), "all σ shared");
+
+    // Everything byte-identical to fresh sequential runs.
+    for (got, q) in [
+        (&r31, queries::q3_1()),
+        (&r32, queries::q3_2()),
+        (&r33, queries::q3_3()),
+        (&r31p, queries::q3_1()),
+    ] {
+        assert_eq!(
+            got,
+            &oracle.run(&q, &PlanOptions::default()).unwrap(),
+            "{}",
+            q.id
+        );
+    }
+
+    let s = engine.cache_stats();
+    assert_eq!(s.dims.hits, 4, "date σ ×2 + both q3.1 σ at p=2");
+    assert_eq!(s.dims.misses, 4, "supplier ×3 + date ×1");
+    assert_eq!(s.dims.entries, 4);
+
+    // CACHE CLEAR dims drops exactly that tier: the next assembly
+    // rebuilds σ, while untouched result entries keep serving.
+    engine.cache_clear_dims();
+    assert_eq!(engine.cache_stats().dims.entries, 0);
+    assert!(engine.cache_stats().results.entries > 0);
+    let (r31w, s31w) = engine.run("q3.1", &opts, 0).unwrap();
+    assert_eq!(&r31w, &r31);
+    assert!(
+        s31w.ops.iter().any(|op| op.label == "cache: result hit"),
+        "result tier unaffected by CACHE CLEAR dims"
+    );
+    pool.shutdown();
+}
+
+#[test]
+fn cache_off_bypasses_every_tier_including_dims() {
+    let db = ssb_db(0.01);
+    let pool = WorkerPool::new(2, 8);
+    let engine = ServeEngine::over_db(db.clone(), pool.clone(), PlanOptions::default(), 0.01, 42);
+    let opts = PlanOptions::default();
+    let oracle = QpptEngine::new(&db);
+
+    for name in ["q3.1", "q3.2", "q4.2"] {
+        let (got, stats) = engine.run_cached(name, &opts, 0, false).unwrap();
+        let q = queries::all_queries()
+            .into_iter()
+            .find(|q| q.id.eq_ignore_ascii_case(name))
+            .unwrap();
+        assert_eq!(got, oracle.run(&q, &opts).unwrap(), "{name} cache=off");
+        assert!(
+            !stats.ops.iter().any(|op| op.label.starts_with("cache:")),
+            "{name}: cache=off must not report cache ops"
+        );
+    }
+    let s = engine.cache_stats();
+    for (tier, t) in [
+        ("results", s.results),
+        ("dims", s.dims),
+        ("selections", s.selections),
+        ("plans", s.plans),
+    ] {
+        assert_eq!(
+            (t.hits, t.misses, t.insertions, t.entries),
+            (0, 0, 0, 0),
+            "{tier}: cache=off must not touch the {tier} tier"
+        );
+    }
     pool.shutdown();
 }
 
@@ -152,10 +282,84 @@ fn mvcc_write_invalidates_exactly_the_affected_entries() {
         "exactly the q2.3 result entry is invalidated"
     );
     assert_eq!(s1.results.hits, s0.results.hits + 1, "q1.1 hit again");
+    // The write hit `part`, whose σ in q2.3 is fused (never cached): the
+    // supplier σ — on an untouched table — must survive and be shared
+    // into the recomputation instead of being rebuilt.
+    assert_eq!(s1.dims.invalidations, 0);
+    assert_eq!(s1.dims.hits, 1, "q2.3's supplier σ reused after the write");
+    assert_eq!(s1.dims.misses, 1, "only the original cold build missed");
 
     // And the recomputed entry serves hits again.
     assert_eq!(engine.run("q2.3", &opts, 0).unwrap().0, fresh);
     assert_eq!(engine.cache_stats().results.hits, s1.results.hits + 1);
+    pool.shutdown();
+}
+
+#[test]
+fn dim_write_invalidates_exactly_that_tables_sigma() {
+    // q4.2 materializes three σ (supplier, part, date). A write to `date`
+    // must rebuild only the date σ — supplier and part keep hitting — and
+    // an unrelated date-σ-free query (q2.1) must keep hitting everywhere.
+    let mut ssb = SsbDb::generate(0.01, 42);
+    for q in queries::all_queries() {
+        qppt_core::prepare_indexes(&mut ssb.db, &q, &PlanOptions::default()).unwrap();
+    }
+    let mut db = Arc::new(ssb.db);
+    let pool = WorkerPool::new(2, 8);
+    let cache = Arc::new(QueryCache::new(CacheConfig::default()));
+    let opts = PlanOptions::default();
+
+    let engine =
+        ServeEngine::over_db_with_cache(db.clone(), pool.clone(), opts, 0.01, 42, cache.clone());
+    let (r42_before, s42) = engine.run("q4.2", &opts, 0).unwrap();
+    let a42 = dim_assembly_op(&s42).expect("q4.2 assembles dims");
+    assert_eq!((a42.out_keys, a42.out_tuples), (0, 3), "3 σ built cold");
+    engine.run("q2.1", &opts, 0).unwrap(); // builds its supplier σ
+    let s0 = engine.cache_stats();
+    assert_eq!(s0.dims.insertions, 4);
+
+    drop(engine);
+    {
+        let db_mut = Arc::get_mut(&mut db).expect("engine dropped, Arc unique");
+        db_mut.delete_row("date", 0).unwrap();
+    }
+    let engine =
+        ServeEngine::over_db_with_cache(db.clone(), pool.clone(), opts, 0.01, 42, cache.clone());
+    let oracle = QpptEngine::new(&db);
+
+    // q4.2 recomputes — but only the date σ is rebuilt.
+    let (r42_after, s42b) = engine.run("q4.2", &opts, 0).unwrap();
+    assert_eq!(r42_after, oracle.run(&queries::q4_2(), &opts).unwrap());
+    let a42b = dim_assembly_op(&s42b).expect("q4.2 reassembles");
+    assert_eq!(
+        (a42b.out_keys, a42b.out_tuples),
+        (2, 1),
+        "supplier + part σ shared, only the date σ rebuilt"
+    );
+    let s1 = engine.cache_stats();
+    assert_eq!(
+        s1.dims.invalidations - s0.dims.invalidations,
+        1,
+        "exactly the stale date σ entry dies"
+    );
+
+    // q2.1 touches date only through a predicate-free Base handle — its
+    // result entry invalidates (the version vector covers date), but its
+    // supplier σ still hits.
+    let (r21, s21) = engine.run("q2.1", &opts, 0).unwrap();
+    assert_eq!(r21, oracle.run(&queries::q2_1(), &opts).unwrap());
+    let a21 = dim_assembly_op(&s21).expect("q2.1 reassembles");
+    assert_eq!((a21.out_keys, a21.out_tuples), (1, 0), "σ fully shared");
+
+    // The stale q4.2 answer is provably different only if the deleted row
+    // mattered; either way the stale bytes were never served — assert the
+    // recomputation happened at the new snapshot.
+    assert_eq!(
+        engine.run("q4.2", &opts, 0).unwrap().0,
+        r42_after,
+        "recomputed entry serves consistent hits"
+    );
+    let _ = r42_before;
     pool.shutdown();
 }
 
@@ -215,14 +419,102 @@ fn ten_concurrent_connections_sharing_the_cache_match_sequential() {
         }
     });
 
-    // The shared cache served a decent share of the 260 runs.
+    // Counter exactness under concurrency: every cache=on run does exactly
+    // one result-tier lookup, every result miss exactly one selection-tier
+    // lookup, and every dim-tier miss exactly one insertion — races may
+    // shift the hit/miss split, never the totals.
+    let on_runs: u64 = (0..10usize)
+        .flat_map(|c| (0..2usize).flat_map(move |round| (0..13usize).map(move |qi| (c, round, qi))))
+        .filter(|(c, round, qi)| (c + qi + round) % 5 != 0)
+        .count() as u64;
     let stats = engine.cache_stats();
+    assert_eq!(stats.results.hits + stats.results.misses, on_runs);
+    assert_eq!(
+        stats.selections.hits + stats.selections.misses,
+        stats.results.misses
+    );
+    assert_eq!(stats.dims.misses, stats.dims.insertions);
     assert!(
         stats.results.hits > 0,
         "concurrent connections never hit the shared cache: {stats:?}"
     );
     assert_eq!(stats.results.invalidations, 0);
+    assert!(stats.dims.hits > 0, "σ sharing must kick in across clients");
+    assert!(stats.dims.bytes > 0 && stats.results.bytes > 0);
+
+    // The wire-level CACHE STATS report carries the dim tier and bytes.
+    let mut client = QpptClient::connect(addr).expect("connect");
+    let kv = client.cache_stats().expect("CACHE STATS");
+    for key in ["dim_hits", "dim_bytes", "result_bytes", "dim_expirations"] {
+        assert!(
+            kv.iter().any(|(k, _)| k == key),
+            "CACHE STATS missing {key}: {kv:?}"
+        );
+    }
+    let wire_dim_hits: u64 = kv
+        .iter()
+        .find(|(k, _)| k == "dim_hits")
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap();
+    assert!(wire_dim_hits >= stats.dims.hits);
+    client.cache_clear_dims().expect("CACHE CLEAR dims");
+    let kv = client.cache_stats().expect("CACHE STATS");
+    let dim_entries: u64 = kv
+        .iter()
+        .find(|(k, _)| k == "dim_entries")
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap();
+    assert_eq!(dim_entries, 0, "CACHE CLEAR dims empties the dim tier");
+    client.quit().expect("clean quit");
 
     server.stop();
+    pool.shutdown();
+}
+
+#[test]
+fn eviction_churn_under_tiny_budgets_stays_correct() {
+    // Pathologically small byte budgets: every tier is under constant
+    // eviction pressure, entries pinned by the composed prepared query (or
+    // by in-flight executions) are skipped rather than ripped out, and
+    // every answer stays byte-identical to the sequential oracle.
+    let db = ssb_db(0.01);
+    let pool = WorkerPool::new(2, 8);
+    let cache = Arc::new(QueryCache::new(CacheConfig {
+        plan_budget: 1,
+        dim_budget: 4 << 10,
+        selection_budget: 1,
+        result_budget: 1,
+        shards: 1,
+        ..CacheConfig::default()
+    }));
+    let engine = ServeEngine::over_db_with_cache(
+        db.clone(),
+        pool.clone(),
+        PlanOptions::default(),
+        0.01,
+        42,
+        cache.clone(),
+    );
+    let oracle = QpptEngine::new(&db);
+    for _ in 0..3 {
+        for q in queries::all_queries() {
+            let (got, _) = engine
+                .run(&q.id.to_ascii_lowercase(), &PlanOptions::default(), 0)
+                .unwrap();
+            assert_eq!(
+                got,
+                oracle.run(&q, &PlanOptions::default()).unwrap(),
+                "{} under eviction churn",
+                q.id
+            );
+        }
+    }
+    let s = engine.cache_stats();
+    let evictions =
+        s.results.evictions + s.dims.evictions + s.selections.evictions + s.plans.evictions;
+    assert!(evictions > 0, "tiny budgets must evict: {s:?}");
+    // A 1-byte result budget keeps at most one (over-budget) entry
+    // resident: the put-path reclaim evicted everything unpinned first.
+    assert!(s.results.entries <= 1, "result tier runaway: {s:?}");
     pool.shutdown();
 }

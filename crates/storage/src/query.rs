@@ -369,6 +369,27 @@ pub struct QueryResult {
 }
 
 impl QueryResult {
+    /// Rough resident bytes of the decoded rows (labels, group values,
+    /// accumulators) — the cache's result-tier byte accounting.
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut b = size_of::<Self>();
+        for s in self.group_cols.iter().chain(&self.agg_cols) {
+            b += size_of::<String>() + s.len();
+        }
+        for row in &self.rows {
+            b += size_of::<ResultRow>() + row.agg_values.len() * size_of::<i64>();
+            for v in &row.key_values {
+                b += size_of::<Value>()
+                    + match v {
+                        Value::Str(s) => s.len(),
+                        Value::Int(_) => 0,
+                    };
+            }
+        }
+        b
+    }
+
     /// Applies the query's order-by (stable sort; ties keep group-key
     /// order, making the result deterministic across engines).
     pub fn apply_order(&mut self, order_by: &[OrderKey]) {
