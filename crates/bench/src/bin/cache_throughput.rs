@@ -17,7 +17,11 @@
 //!    (q3.1→q3.2→q3.3 share the date range σ, q4.2→q4.3 share the
 //!    d_year∈{1997,1998} σ, and q3.1 re-planned at another parallelism
 //!    shares *every* σ): the dim-tier hit counters prove the later family
-//!    members skip `materialize_dim` for the shared selections.
+//!    members skip `materialize_dim` for the shared selections;
+//! 5. **ad-hoc σ-sharing** — a query the server has no name for, written
+//!    in the `qppt-query` language and served through `run_spec` (the
+//!    `QUERY` verb's pipeline), joins q3.1's σ family: it must compose
+//!    the date σ the named lead materialized (dim-tier hit, zero builds).
 //!
 //! Every phase asserts byte-equality against a fresh sequential engine at
 //! the current snapshot before timing is trusted. Writes
@@ -177,6 +181,47 @@ fn main() {
         ));
     }
     check(&engine, &db, "sigma-sharing");
+
+    // Phase 5: the ad-hoc frontend joins a named σ family. Parsed from
+    // query-language text (exactly what a `QUERY` line carries), served
+    // through the same validate→plan→cache→execute pipeline.
+    let adhoc_text = "fact=lineorder \
+         dim=supplier[join=s_suppkey:lo_suppkey;s_region='ASIA';carry=s_nation] \
+         dim=date[join=d_datekey:lo_orderdate;d_year between 1992 and 1997;carry=d_year] \
+         agg=sum(lo_revenue):revenue group=supplier.s_nation,date.d_year \
+         order=group:1,agg:0:desc id=adhoc-asia";
+    let adhoc = qppt_query::parse(adhoc_text).expect("ad-hoc text parses");
+    cache.clear();
+    let t0 = Instant::now();
+    engine.run("q3.1", &opts, 0).expect("named σ-family lead");
+    let adhoc_lead_ms = t0.elapsed().as_micros() as f64 / 1000.0;
+    let before_adhoc = cache.stats().dims;
+    let t0 = Instant::now();
+    let (adhoc_result, _) = engine
+        .run_spec(&adhoc, &opts, 0, true)
+        .expect("ad-hoc family member");
+    let adhoc_ms = t0.elapsed().as_micros() as f64 / 1000.0;
+    let after_adhoc = cache.stats().dims;
+    let adhoc_hits = after_adhoc.hits - before_adhoc.hits;
+    let adhoc_built = after_adhoc.insertions - before_adhoc.insertions;
+    assert_eq!(
+        (adhoc_hits, adhoc_built),
+        (1, 0),
+        "the ad-hoc query must share the named lead's date σ and build nothing"
+    );
+    assert_eq!(
+        adhoc_result,
+        QpptEngine::new(&db)
+            .run(&adhoc, &PlanOptions::default())
+            .expect("ad-hoc oracle"),
+        "ad-hoc result diverged from the sequential oracle"
+    );
+    println!(
+        "ad-hoc σ-sharing: `{}` after q3.1 — {adhoc_hits} dim hit / {adhoc_built} built, \
+         lead {adhoc_lead_ms:.2} ms, ad-hoc {adhoc_ms:.2} ms",
+        adhoc.id
+    );
+
     let dims_total = cache.stats().dims;
 
     print_table(
@@ -228,6 +273,9 @@ fn main() {
          \"qps\": {rewarm_qps:.3},\n    \"invalidated\": {invalidated},\n    \
          \"still_hit\": {still_hit}\n  }},\n  \"sigma_sharing\": {{\n    \
          \"families\": [\n{family_json}    ],\n    \
+         \"adhoc\": {{ \"family\": \"q3.1 date σ via QUERY text\", \
+         \"dim_hits\": {adhoc_hits}, \"dim_built\": {adhoc_built}, \
+         \"lead_ms\": {adhoc_lead_ms:.3}, \"adhoc_ms\": {adhoc_ms:.3} }},\n    \
          \"dim_hits_lifetime\": {dim_hits},\n    \
          \"dim_misses_lifetime\": {dim_misses},\n    \
          \"dim_bytes\": {dim_bytes}\n  }}\n}}\n",

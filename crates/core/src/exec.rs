@@ -263,7 +263,12 @@ pub fn run_pipeline(
 
     // Optional separate fact selection (the non-fused plan of Fig. 8).
     let fact_base = db.find_index(&plan.spec.fact, &plan.dims[0].fact_col_name)?;
-    let fact_field_map = base_field_map(fact_base, &plan.fact_layout, &plan.dims[0].fact_col_name)?;
+    let fact_field_map = base_field_map(
+        fact_base,
+        &plan.spec.fact,
+        &plan.fact_layout,
+        &plan.dims[0].fact_col_name,
+    )?;
     let mut stream: Option<InterTable> = None;
     if let Some(fs) = &plan.fact_select {
         let t0 = Instant::now();
@@ -507,6 +512,21 @@ fn decode_code(t: &qppt_storage::Table, col: usize, code: u64) -> Value {
     }
 }
 
+/// Resolves a payload column on a base/composite index, failing with the
+/// typed [`PlanError`](crate::validate::PlanError) the validate pass uses —
+/// reachable only when a caller skipped
+/// [`validate_indexes`](crate::validate::validate_indexes) against an
+/// index set that predates the query.
+fn payload_pos(pos: Option<usize>, table: &str, key: &str, col: &str) -> Result<usize, QpptError> {
+    pos.ok_or_else(|| {
+        QpptError::Plan(crate::validate::PlanError::IndexMissingColumn {
+            table: table.to_string(),
+            key: key.to_string(),
+            column: col.to_string(),
+        })
+    })
+}
+
 /// How each layout column of a base-index stream is obtained.
 #[derive(Debug, Clone, Copy)]
 enum FieldSrc {
@@ -518,6 +538,7 @@ enum FieldSrc {
 
 fn base_field_map(
     bi: &BaseIndex,
+    table: &str,
     layout: &Layout,
     key_name: &str,
 ) -> Result<Vec<FieldSrc>, QpptError> {
@@ -529,11 +550,8 @@ fn base_field_map(
             if name == key_name {
                 Ok(FieldSrc::Key)
             } else {
-                bi.payload_pos_by_name(name)
+                payload_pos(bi.payload_pos_by_name(name), table, key_name, name)
                     .map(FieldSrc::Payload)
-                    .ok_or_else(|| {
-                        QpptError::Internal(format!("base index payload is missing column {name}"))
-                    })
             }
         })
         .collect()
@@ -615,11 +633,8 @@ fn dim_access<'a>(
             let carried_pos: Vec<usize> = dim
                 .carried_names
                 .iter()
-                .map(|c| {
-                    bi.payload_pos_by_name(c)
-                        .expect("prepare_indexes carried the dim columns")
-                })
-                .collect();
+                .map(|c| payload_pos(bi.payload_pos_by_name(c), &dim.table, &dim.join_col_name, c))
+                .collect::<Result<_, _>>()?;
             let mvt = db.table(&dim.table)?;
             Ok(DimAccess::Base {
                 bi,
@@ -930,11 +945,8 @@ pub fn scan_dim_selection(
         let carried_pos: Vec<usize> = dim
             .carried_names
             .iter()
-            .map(|c| {
-                bi.payload_pos_by_name(c)
-                    .expect("index carries the columns")
-            })
-            .collect();
+            .map(|c| payload_pos(bi.payload_pos_by_name(c), &dim.table, &dim.join_col_name, c))
+            .collect::<Result<_, _>>()?;
         let mut carried = vec![0u64; carried_pos.len()];
         bi.data.index.for_each(|key, pid| {
             let row = bi.data.payload.row(pid);
@@ -955,17 +967,18 @@ pub fn scan_dim_selection(
         let keys: Vec<&str> = md.key_names.iter().map(String::as_str).collect();
         let ci = db.find_composite_index(&dim.table, &keys)?;
         let (lo, hi) = ci.pack_range(&md.bounds);
-        let join_pos = ci
-            .payload_pos_by_name(&dim.join_col_name)
-            .expect("composite index carries the join column");
+        let ckey = md.key_names.join("+");
+        let join_pos = payload_pos(
+            ci.payload_pos_by_name(&dim.join_col_name),
+            &dim.table,
+            &ckey,
+            &dim.join_col_name,
+        )?;
         let carried_pos: Vec<usize> = dim
             .carried_names
             .iter()
-            .map(|c| {
-                ci.payload_pos_by_name(c)
-                    .expect("composite index carries the columns")
-            })
-            .collect();
+            .map(|c| payload_pos(ci.payload_pos_by_name(c), &dim.table, &ckey, c))
+            .collect::<Result<_, _>>()?;
         let mut carried = vec![0u64; carried_pos.len()];
         ci.data.index.range_each(lo, hi, |_, pid| {
             let row = ci.data.payload.row(pid);
@@ -985,24 +998,22 @@ pub fn scan_dim_selection(
     }
 
     let bi = db.find_index(&dim.table, &dim.pred_cols[0])?;
-    let join_pos = bi
-        .payload_pos_by_name(&dim.join_col_name)
-        .expect("index carries the join column");
+    let key = dim.pred_cols[0].as_str();
+    let join_pos = payload_pos(
+        bi.payload_pos_by_name(&dim.join_col_name),
+        &dim.table,
+        key,
+        &dim.join_col_name,
+    )?;
     let residual_pos: Vec<usize> = dim.pred_cols[1..]
         .iter()
-        .map(|c| {
-            bi.payload_pos_by_name(c)
-                .expect("index carries residual columns")
-        })
-        .collect();
+        .map(|c| payload_pos(bi.payload_pos_by_name(c), &dim.table, key, c))
+        .collect::<Result<_, _>>()?;
     let carried_pos: Vec<usize> = dim
         .carried_names
         .iter()
-        .map(|c| {
-            bi.payload_pos_by_name(c)
-                .expect("index carries the columns")
-        })
-        .collect();
+        .map(|c| payload_pos(bi.payload_pos_by_name(c), &dim.table, key, c))
+        .collect::<Result<_, _>>()?;
     let mut carried = vec![0u64; carried_pos.len()];
     let mut visit = |pid: u32| {
         let row = bi.data.payload.row(pid);

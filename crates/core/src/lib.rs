@@ -46,6 +46,7 @@ pub mod options;
 pub mod plan;
 pub mod prepared;
 pub mod stats;
+pub mod validate;
 
 pub use engine::QpptEngine;
 pub use exec::{DimSelection, KeyRange};
@@ -56,12 +57,17 @@ pub use options::PlanOptions;
 pub use plan::{build_plan, planned_indexes, prepare_indexes, Plan, PlannedIndexes};
 pub use prepared::PreparedQuery;
 pub use stats::{ExecStats, OpStats};
+pub use validate::{validate, validate_indexes, validate_spec, PlanError};
 
 /// Errors from planning or execution.
 #[derive(Debug, Clone, PartialEq)]
 pub enum QpptError {
     /// Invalid [`PlanOptions`].
     InvalidOptions(String),
+    /// A malformed user-supplied query, rejected by the
+    /// [`validate`](crate::validate) pass (unknown tables/columns, type
+    /// mismatches, bad group/order references, missing indexes).
+    Plan(validate::PlanError),
     /// Catalog/type errors from the storage layer.
     Storage(qppt_storage::StorageError),
     /// The query shape is outside QPPT's star-query class.
@@ -76,6 +82,7 @@ impl core::fmt::Display for QpptError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             QpptError::InvalidOptions(m) => write!(f, "invalid plan options: {m}"),
+            QpptError::Plan(e) => write!(f, "invalid query: {e}"),
             QpptError::Storage(e) => write!(f, "storage error: {e}"),
             QpptError::Unsupported(m) => write!(f, "unsupported query: {m}"),
             QpptError::GroupKeyTooWide { bits } => {
@@ -90,6 +97,7 @@ impl std::error::Error for QpptError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             QpptError::Storage(e) => Some(e),
+            QpptError::Plan(e) => Some(e),
             _ => None,
         }
     }

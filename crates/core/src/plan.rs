@@ -440,14 +440,13 @@ fn dim_index_carried(d: &qppt_storage::DimSpec) -> Vec<String> {
     cols
 }
 
-/// Builds the physical plan.
+/// Builds the physical plan. Starts with
+/// [`validate_spec`](crate::validate::validate_spec), so a malformed
+/// user-supplied spec gets a typed [`PlanError`](crate::validate::PlanError)
+/// instead of driving the layout/type resolution below into a panic.
 pub fn build_plan(db: &Database, spec: &QuerySpec, opts: &PlanOptions) -> Result<Plan, QpptError> {
     opts.validate()?;
-    if spec.dims.is_empty() {
-        return Err(QpptError::Unsupported(
-            "star queries need at least one dimension".into(),
-        ));
-    }
+    crate::validate::validate_spec(db, spec)?;
     // Resolve dimensions.
     let mut dims = Vec::with_capacity(spec.dims.len());
     for (i, d) in spec.dims.iter().enumerate() {
@@ -563,7 +562,11 @@ pub fn build_plan(db: &Database, spec: &QuerySpec, opts: &PlanOptions) -> Result
         } else {
             let next_dim = groups[gi + 1].0;
             let key_name = dims[next_dim].fact_col_name.clone();
-            let key_pos = work_layout.expect(Src::Fact, &key_name);
+            let key_pos = work_layout.find(Src::Fact, &key_name).ok_or_else(|| {
+                QpptError::Internal(format!(
+                    "stage {gi} layout lost the next join key {key_name}"
+                ))
+            })?;
             // Output keeps: fact cols needed by later stages/aggregates
             // (minus the consumed keys) and all dim carried cols so far.
             let consumed: Vec<String> = std::iter::once(*main)
@@ -630,7 +633,13 @@ pub fn build_plan(db: &Database, spec: &QuerySpec, opts: &PlanOptions) -> Result
             }
         };
         let bits = (64 - max_code.leading_zeros()).max(1) as u8;
-        positions.push(final_work.expect(Src::Dim(di), &g.column));
+        let pos = final_work.find(Src::Dim(di), &g.column).ok_or_else(|| {
+            crate::validate::PlanError::GroupColumnNotCarried {
+                table: g.table.clone(),
+                column: g.column.clone(),
+            }
+        })?;
+        positions.push(pos);
         widths.push(bits);
         sources.push((di, g.column.clone()));
     }
@@ -650,14 +659,18 @@ pub fn build_plan(db: &Database, spec: &QuerySpec, opts: &PlanOptions) -> Result
         .aggregates
         .iter()
         .map(|a| {
-            let pos = |c: &str| final_work.expect(Src::Fact, c);
-            match &a.expr {
-                qppt_storage::Expr::Col(c) => ResolvedAgg::Col(pos(c)),
-                qppt_storage::Expr::Mul(a, b) => ResolvedAgg::Mul(pos(a), pos(b)),
-                qppt_storage::Expr::Sub(a, b) => ResolvedAgg::Sub(pos(a), pos(b)),
-            }
+            let pos = |c: &str| {
+                final_work.find(Src::Fact, c).ok_or_else(|| {
+                    QpptError::Internal(format!("final layout lost aggregate input {c}"))
+                })
+            };
+            Ok(match &a.expr {
+                qppt_storage::Expr::Col(c) => ResolvedAgg::Col(pos(c)?),
+                qppt_storage::Expr::Mul(a, b) => ResolvedAgg::Mul(pos(a)?, pos(b)?),
+                qppt_storage::Expr::Sub(a, b) => ResolvedAgg::Sub(pos(a)?, pos(b)?),
+            })
         })
-        .collect();
+        .collect::<Result<Vec<_>, QpptError>>()?;
 
     Ok(Plan {
         spec: spec.clone(),

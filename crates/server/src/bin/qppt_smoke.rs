@@ -1,7 +1,9 @@
 //! The CI smoke probe: connect to a running qppt-server, learn its
 //! `sf`/`seed` from `INFO`, regenerate the same SSB instance locally, and
 //! assert the served answers are byte-identical to the local sequential
-//! engine's. Exits non-zero on any mismatch.
+//! engine's — named aliases *and* one ad-hoc `QUERY` (plus one
+//! deliberately malformed `QUERY`, which must be a clean `ERR`). Exits
+//! non-zero on any mismatch.
 //!
 //! ```text
 //! cargo run --release --bin qppt-smoke -- --addr 127.0.0.1:7878 --shutdown
@@ -77,6 +79,56 @@ fn main() {
                 eprintln!("smoke: {name} FAIL — {e}");
                 failed += 1;
             }
+        }
+    }
+
+    // Ad-hoc frontend probe: a query the server has no name for, written
+    // in the qppt-query language, checked against the locally parsed spec.
+    let adhoc_text = "fact=lineorder \
+         dim=supplier[join=s_suppkey:lo_suppkey;s_region='ASIA';carry=s_nation] \
+         dim=date[join=d_datekey:lo_orderdate;d_year between 1992 and 1997;carry=d_year] \
+         agg=sum(lo_revenue):revenue group=supplier.s_nation,date.d_year \
+         order=group:1,agg:0:desc id=smoke-adhoc";
+    let adhoc_spec = qppt_query::parse(adhoc_text).expect("smoke ad-hoc text parses");
+    let expected = engine.run(&adhoc_spec, &opts).expect("ad-hoc oracle runs");
+    match client.query(adhoc_text, &[("parallelism", "2")]) {
+        Ok(served) if served.result == expected => {
+            eprintln!(
+                "smoke: ad-hoc QUERY OK — {} rows byte-identical (server total {} µs)",
+                expected.rows.len(),
+                served.stats.total_micros
+            );
+        }
+        Ok(served) => {
+            eprintln!(
+                "smoke: ad-hoc QUERY MISMATCH — served {} rows, expected {}",
+                served.result.rows.len(),
+                expected.rows.len()
+            );
+            failed += 1;
+        }
+        Err(e) => {
+            eprintln!("smoke: ad-hoc QUERY FAIL — {e}");
+            failed += 1;
+        }
+    }
+
+    // And a deliberately malformed QUERY must come back as a structured
+    // ERR on a connection that keeps serving.
+    match client.query(
+        "fact=lineorder dim=date[join=d_datekey:lo_orderdate;d_frob=1] agg=sum(lo_revenue):r",
+        &[],
+    ) {
+        Err(qppt_server::ClientError::Server(msg)) => {
+            eprintln!("smoke: malformed QUERY OK — ERR {msg}");
+            if client.ping().is_err() {
+                eprintln!("smoke: FAIL — connection died after malformed QUERY");
+                failed += 1;
+            }
+        }
+        other => {
+            eprintln!("smoke: malformed QUERY FAIL — want server ERR, got {other:?}");
+            failed += 1;
         }
     }
 

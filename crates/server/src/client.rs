@@ -103,6 +103,32 @@ impl QpptClient {
         Ok(Served { result, stats })
     }
 
+    /// `QUERY <text> [key=value …]` → runs an ad-hoc query written in the
+    /// `qppt-query` language, with the same per-request options as
+    /// [`run`](Self::run) (`parallelism`, `priority`, `cache=off`, …).
+    pub fn query(&mut self, text: &str, options: &[(&str, &str)]) -> Result<Served, ClientError> {
+        let mut line = format!("QUERY {text}");
+        for (k, v) in options {
+            line.push_str(&format!(" {k}={v}"));
+        }
+        self.send(&line)?;
+        let status = read_status(&mut self.reader)?;
+        let rows: usize = status
+            .split_whitespace()
+            .next()
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| ClientError::Protocol(format!("bad QUERY status: {status}")))?;
+        let (result, stats) = read_run_body(&mut self.reader, rows)?;
+        Ok(Served { result, stats })
+    }
+
+    /// `EXPLAIN <inline query text>` → rendered plan of an ad-hoc query.
+    pub fn explain_query(&mut self, text: &str) -> Result<String, ClientError> {
+        self.send(&format!("EXPLAIN {text}"))?;
+        read_status(&mut self.reader)?;
+        Ok(read_text_body(&mut self.reader)?.join("\n"))
+    }
+
     /// `CACHE STATS` → per-tier cache counters as raw `key=value` fields.
     pub fn cache_stats(&mut self) -> Result<Vec<(String, String)>, ClientError> {
         self.send("CACHE STATS")?;

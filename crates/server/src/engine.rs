@@ -1,9 +1,26 @@
 //! [`ServeEngine`]: the shared, process-wide query service state — one
-//! database, one worker pool, one query cache, one registry of named
-//! queries — that every connection handler (and in-process caller)
+//! database, one worker pool, one query cache, one table of named-query
+//! *aliases* — that every connection handler (and in-process caller)
 //! executes against.
 //!
-//! The `RUN` hot path consults the snapshot-keyed
+//! Since the ad-hoc frontend, **every query is an arbitrary
+//! [`QuerySpec`]**: the 13 SSB names are mere aliases resolved by
+//! [`resolve`](ServeEngine::resolve), and both `RUN <name>` and
+//! `QUERY <text>` converge on the single
+//! [`run_spec`](ServeEngine::run_spec) pipeline —
+//! **validate → plan → cache → execute**. The validate pass
+//! ([`qppt_core::validate`]) turns malformed specs (unknown
+//! tables/columns, type mismatches, bad group/order references, indexes
+//! the startup preparation never built) into typed
+//! [`PlanError`](qppt_core::PlanError)s surfaced as one `ERR` line.
+//!
+//! Because every cache tier is keyed on *structure* (not names — see
+//! [`fingerprint_dim`](qppt_core::fingerprint_dim)), ad-hoc queries share
+//! cached work with named ones: an ad-hoc spec whose date σ matches
+//! Q3.1's predicate set hits the dimension tier Q3.1 warmed, and a
+//! re-submitted ad-hoc text hits the result tier whatever its `id=` says.
+//!
+//! The hot path consults the snapshot-keyed
 //! [`QueryCache`](qppt_cache::QueryCache) tiers in order:
 //!
 //! 1. **result hit** — return the cached rows without touching the pool;
@@ -172,7 +189,7 @@ impl ServeEngine {
         &self.engine
     }
 
-    /// Registered query names, in order.
+    /// Registered alias names, in order.
     pub fn query_names(&self) -> Vec<&str> {
         self.queries.keys().map(String::as_str).collect()
     }
@@ -180,6 +197,14 @@ impl ServeEngine {
     /// The spec registered under `name` (lowercase id).
     pub fn query(&self, name: &str) -> Option<&QuerySpec> {
         self.queries.get(name)
+    }
+
+    /// Resolves a named-query alias to its spec — the *only* thing a name
+    /// does; everything downstream operates on the spec.
+    pub fn resolve(&self, name: &str) -> Result<&QuerySpec, ServeError> {
+        self.queries
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownQuery(name.to_string()))
     }
 
     /// The shared query cache.
@@ -202,11 +227,11 @@ impl ServeEngine {
         self.cache.clear_dims();
     }
 
-    /// Runs a registered query on the shared pool, through the query
-    /// cache. `opts` is the fully resolved option set (defaults +
-    /// overrides, see [`apply_overrides`](crate::protocol::apply_overrides));
-    /// `priority` orders this query against concurrent ones for idle
-    /// workers.
+    /// Runs a named query (an alias, see [`resolve`](Self::resolve)) on
+    /// the shared pool, through the query cache. `opts` is the fully
+    /// resolved option set (defaults + overrides, see
+    /// [`apply_overrides`](crate::protocol::apply_overrides)); `priority`
+    /// orders this query against concurrent ones for idle workers.
     pub fn run(
         &self,
         name: &str,
@@ -226,12 +251,34 @@ impl ServeEngine {
         priority: i32,
         use_cache: bool,
     ) -> Result<(QueryResult, ExecStats), ServeError> {
-        let spec = self
-            .queries
-            .get(name)
-            .ok_or_else(|| ServeError::UnknownQuery(name.to_string()))?;
+        self.run_spec(self.resolve(name)?, opts, priority, use_cache)
+    }
+
+    /// **The** serving pipeline — named aliases and ad-hoc `QUERY` specs
+    /// both land here: validate → plan → cache tiers → execute on the
+    /// pool. Malformed user-supplied specs (unknown tables/columns, type
+    /// mismatches, bad group/order indices, predicates on columns the
+    /// startup index preparation never saw) fail with one typed
+    /// [`ServeError`] before any execution work happens — but validation
+    /// is folded into the *miss* paths, so cache hits pay nothing for it:
+    /// a hit's entry can only have been inserted by a previous validated
+    /// execution of the same `(instance, structure, options, versions)`
+    /// key, which makes re-validating it pure overhead (the frontend's
+    /// warm throughput would otherwise drop measurably; see
+    /// `BENCH_QUERY_CACHE.json`).
+    pub fn run_spec(
+        &self,
+        spec: &QuerySpec,
+        opts: &PlanOptions,
+        priority: i32,
+        use_cache: bool,
+    ) -> Result<(QueryResult, ExecStats), ServeError> {
+        let db = self.engine.db();
         if !use_cache || !self.cache.enabled() {
-            let snap = self.engine.db().snapshot();
+            // The bypass path plans and materializes from scratch — run
+            // the full pre-flight (catalog, then index availability).
+            qppt_core::validate(db, spec, opts).map_err(ServeError::Engine)?;
+            let snap = db.snapshot();
             return self
                 .engine
                 .run_at(spec, opts, snap, priority)
@@ -239,9 +286,15 @@ impl ServeEngine {
         }
 
         let started = Instant::now();
-        let db = self.engine.db();
-        let fp = QueryFingerprint::compute(db, spec, opts)
-            .map_err(|e| ServeError::Engine(QpptError::Storage(e)))?;
+        let fp = match QueryFingerprint::compute(db, spec, opts) {
+            Ok(fp) => fp,
+            // Fingerprinting fails only on catalog errors (unknown
+            // tables); prefer the validate pass's typed report.
+            Err(e) => {
+                qppt_core::validate(db, spec, opts).map_err(ServeError::Engine)?;
+                return Err(ServeError::Engine(QpptError::Storage(e)));
+            }
+        };
 
         // Tier 3: full result — served without touching the pool.
         if let Some(hit) = self.cache.get_result(&fp) {
@@ -258,13 +311,22 @@ impl ServeEngine {
         let (prepared, tier_label, assembly) = match self.cache.get_selections(&fp) {
             Some(p) => (p, "cache: selection hit", None),
             None => {
-                // Tier 1: plan (skips build_plan on hit).
+                // Tier 1: plan (skips build_plan on hit — and with it the
+                // whole validate pass: a cached plan at this fingerprint
+                // proves the spec and its indexes validated at these very
+                // table versions).
                 let (plan, label) = match self.cache.get_plan(&fp) {
                     Some(p) => (p, "cache: plan hit"),
                     None => {
+                        // Cold: build_plan runs the catalog validation
+                        // itself (typed errors first — an unknown column
+                        // beats a missing index on that column); the
+                        // index-availability check layers on top before
+                        // any materialization, execution, or caching.
                         let p = Arc::new(
                             qppt_core::build_plan(db, spec, opts).map_err(ServeError::Engine)?,
                         );
+                        qppt_core::validate_indexes(db, spec, opts).map_err(ServeError::Engine)?;
                         self.cache.put_plan(&fp, p.clone());
                         (p, "cache: cold")
                     }
@@ -308,16 +370,24 @@ impl ServeEngine {
         Ok((result, stats))
     }
 
-    /// Renders the physical plan of a registered query under the default
+    /// Renders the physical plan of a named query under the default
     /// options.
     pub fn explain(&self, name: &str) -> Result<String, ServeError> {
-        let spec = self
-            .queries
-            .get(name)
-            .ok_or_else(|| ServeError::UnknownQuery(name.to_string()))?;
-        QpptEngine::new(self.engine.db())
-            .explain(spec, &self.defaults)
-            .map_err(ServeError::Engine)
+        let defaults = self.defaults;
+        self.explain_spec(self.resolve(name)?, &defaults)
+    }
+
+    /// Renders the physical plan of an arbitrary spec (the inline
+    /// `EXPLAIN` form). Planning itself performs the catalog validation;
+    /// index availability is checked on top so `EXPLAIN` agrees with
+    /// `QUERY` about whether the query can actually run.
+    pub fn explain_spec(&self, spec: &QuerySpec, opts: &PlanOptions) -> Result<String, ServeError> {
+        let db = self.engine.db();
+        let rendered = QpptEngine::new(db)
+            .explain(spec, opts)
+            .map_err(ServeError::Engine)?;
+        qppt_core::validate_indexes(db, spec, opts).map_err(ServeError::Engine)?;
+        Ok(rendered)
     }
 }
 

@@ -1,8 +1,12 @@
 //! # qppt-server — a shared-worker-pool query service
 //!
 //! The path from "hardware-speed single query" to "heavy traffic": this
-//! crate serves the 13 named SSB queries over a small line-oriented TCP
-//! protocol, executing every query on one persistent
+//! crate serves **arbitrary ad-hoc star queries** — written in the
+//! `qppt-query` language and submitted with the `QUERY` verb — over a
+//! small line-oriented TCP protocol; the 13 SSB names are aliases for
+//! pre-registered specs and take the exact same
+//! validate→plan→cache→execute path (`RUN q3.1` ≡ `QUERY <q3.1's
+//! text>`, byte for byte). Every query executes on one persistent
 //! [`WorkerPool`](qppt_par::WorkerPool) shared across connections
 //! (inter-query parallelism) while each query is itself morsel-partitioned
 //! across that pool (intra-query parallelism). Results are byte-identical
@@ -17,7 +21,9 @@
 //! entries (`cache_equivalence` proves stale results are never served).
 //!
 //! * [`ServeEngine`] — database + pool + query cache + named-query
-//!   registry.
+//!   aliases; [`ServeEngine::run_spec`] is the one pipeline every query
+//!   goes through, with `qppt_core::validate` turning malformed specs
+//!   into structured `ERR`s.
 //! * [`serve`] / [`serve_with`] / [`ServerHandle`] — the `std::net`
 //!   acceptor, thread-per-connection, graceful shutdown
 //!   ([`ServerConfig`]: poll tick, request-line cap).

@@ -8,22 +8,36 @@
 //! ## Grammar
 //!
 //! ```text
-//! request   = run | explain | list | info | ping | cache | quit | shutdown
-//! run       = "RUN" query-name *( SP option ) ; multi-line response
-//! explain   = "EXPLAIN" query-name           ; multi-line response
-//! list      = "LIST"                          ; multi-line response
-//! info      = "INFO"                          ; single-line response
-//! ping      = "PING"                          ; single-line response
+//! request   = run | query | explain | list | info | ping | cache
+//!           | quit | shutdown
+//! run       = "RUN" query-name *( SP option )  ; multi-line response
+//! query     = "QUERY" *( SP clause / SP option ); ad-hoc spec, multi-line
+//! explain   = "EXPLAIN" query-name             ; multi-line response
+//!           | "EXPLAIN" *( SP clause / SP option ) ; inline query text
+//! list      = "LIST"                           ; multi-line response
+//! info      = "INFO"                           ; single-line response
+//! ping      = "PING"                           ; single-line response
 //! cache     = "CACHE" ( "STATS" | "CLEAR" [ "dims" ] ) ; single-line
-//! quit      = "QUIT"                          ; single-line, closes conn
-//! shutdown  = "SHUTDOWN"                      ; single-line, stops server
+//! quit      = "QUIT"                           ; single-line, closes conn
+//! shutdown  = "SHUTDOWN"                       ; single-line, stops server
 //!
-//! query-name = "q1.1" … "q4.3"                ; case-insensitive
+//! query-name = "q1.1" … "q4.3"                 ; case-insensitive aliases
+//! clause     = "fact=…" | "dim=…[…]" | "where=[…]" | "agg=…"
+//!            | "group=…" | "order=…" | "id=…"  ; see qppt-query
 //! option     = key "=" value
 //! key        = "parallelism" | "morsel_bits" | "join_buffer"
 //!            | "select_join" | "par_selections" | "par_scans"
 //!            | "par_joins" | "priority" | "cache"
 //! ```
+//!
+//! `QUERY` carries an arbitrary ad-hoc query in the `qppt-query` language
+//! (the named SSB queries are mere aliases for such specs — `RUN q3.1`
+//! and `QUERY <q3.1's text>` take the same validate→plan→cache→execute
+//! path and return byte-identical bytes). Clause and option tokens may be
+//! interleaved: the token key decides (the two key sets are disjoint), so
+//! `QUERY fact=lineorder … parallelism=4 cache=off` works. `EXPLAIN`
+//! accepts either an alias or inline query text — any `=` in its argument
+//! selects the inline form.
 //!
 //! `CACHE STATS` answers one `OK` line of `key=value` counters (per tier —
 //! result / dim / selection / plan —
@@ -61,18 +75,29 @@
 use std::io::{self, BufRead, Write};
 
 use qppt_core::{ExecStats, PlanOptions};
-use qppt_storage::{QueryResult, ResultRow, Value};
+use qppt_storage::{QueryResult, QuerySpec, ResultRow, Value};
 
 /// A parsed client request.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Run a named query with plan-option overrides.
     Run {
         query: String,
         options: Vec<(String, String)>,
     },
+    /// Run an ad-hoc query parsed from inline `qppt-query` text, with
+    /// plan-option overrides (the `QUERY` verb).
+    Query {
+        spec: Box<QuerySpec>,
+        options: Vec<(String, String)>,
+    },
     /// Render the physical plan of a named query.
     Explain { query: String },
+    /// Render the physical plan of an ad-hoc query (inline `EXPLAIN`).
+    ExplainSpec {
+        spec: Box<QuerySpec>,
+        options: Vec<(String, String)>,
+    },
     /// List the registered query names.
     List,
     /// One-line server descriptor (scale factor, seed, pool geometry).
@@ -102,8 +127,15 @@ pub enum CacheCmd {
 
 /// Parses one request line (without the trailing newline).
 pub fn parse_request(line: &str) -> Result<Request, String> {
-    let mut parts = line.split_whitespace();
-    let verb = parts.next().ok_or_else(|| "empty request".to_string())?;
+    let line = line.trim();
+    let (verb, rest) = match line.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r.trim()),
+        None => (line, ""),
+    };
+    if verb.is_empty() {
+        return Err("empty request".to_string());
+    }
+    let mut parts = rest.split_whitespace();
     match verb.to_ascii_uppercase().as_str() {
         "PING" => Ok(Request::Ping),
         "INFO" => Ok(Request::Info),
@@ -136,10 +168,19 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             }
             Ok(Request::Cache(cmd))
         }
+        "QUERY" => {
+            let (spec, options) = parse_inline_query(rest)?;
+            Ok(Request::Query { spec, options })
+        }
         "EXPLAIN" => {
+            if rest.contains('=') {
+                // Inline query text (clauses are key=value; names are not).
+                let (spec, options) = parse_inline_query(rest)?;
+                return Ok(Request::ExplainSpec { spec, options });
+            }
             let query = parts
                 .next()
-                .ok_or_else(|| "EXPLAIN needs a query name".to_string())?
+                .ok_or_else(|| "EXPLAIN needs a query name or inline query text".to_string())?
                 .to_ascii_lowercase();
             if let Some(extra) = parts.next() {
                 return Err(format!("unexpected token after query name: {extra}"));
@@ -161,9 +202,40 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Ok(Request::Run { query, options })
         }
         other => Err(format!(
-            "unknown verb {other} (try RUN, EXPLAIN, LIST, INFO, PING, CACHE, QUIT, SHUTDOWN)"
+            "unknown verb {other} (try RUN, QUERY, EXPLAIN, LIST, INFO, PING, CACHE, QUIT, \
+             SHUTDOWN)"
         )),
     }
+}
+
+/// Parses the body of a `QUERY` (or inline `EXPLAIN`) request: tokens are
+/// split bracket/quote-aware by `qppt-query`, then partitioned by key —
+/// query-language clauses (`fact=`, `dim=`, …) go to the parser, every
+/// other `key=value` token is a per-request option for
+/// [`apply_overrides`]. The two key sets are disjoint, so clauses and
+/// options may interleave freely on the wire.
+type InlineQuery = (Box<QuerySpec>, Vec<(String, String)>);
+
+fn parse_inline_query(body: &str) -> Result<InlineQuery, String> {
+    let tokens = qppt_query::tokenize(body).map_err(|e| e.to_string())?;
+    if tokens.is_empty() {
+        return Err("QUERY needs inline query text (fact=…, dim=…, agg=…)".to_string());
+    }
+    let mut clauses: Vec<String> = Vec::new();
+    let mut options: Vec<(String, String)> = Vec::new();
+    for t in tokens {
+        let key = t.split('=').next().expect("split yields at least one part");
+        if qppt_query::is_clause_key(key) {
+            clauses.push(t);
+        } else {
+            let (k, v) = t
+                .split_once('=')
+                .ok_or_else(|| format!("malformed token (want clause or option key=value): {t}"))?;
+            options.push((k.to_ascii_lowercase(), v.to_string()));
+        }
+    }
+    let spec = qppt_query::parse_tokens(&clauses).map_err(|e| e.to_string())?;
+    Ok((Box::new(spec), options))
 }
 
 /// Priority extracted from `RUN` options (not a [`PlanOptions`] knob).
@@ -493,6 +565,53 @@ mod tests {
         assert!(parse_request("RUN").is_err());
         assert!(parse_request("RUN q1.1 nonsense").is_err());
         assert!(parse_request("EXPLAIN q1.1 extra").is_err());
+    }
+
+    #[test]
+    fn parse_query_and_inline_explain_requests() {
+        // Clause and option tokens interleave; the token key decides.
+        let req = parse_request(
+            "QUERY fact=lineorder dim=date[join=d_datekey:lo_orderdate;d_year=1993] \
+             parallelism=4 agg=sum(lo_revenue):r cache=off",
+        )
+        .unwrap();
+        match req {
+            Request::Query { spec, options } => {
+                assert_eq!(spec.fact, "lineorder");
+                assert_eq!(spec.dims.len(), 1);
+                assert_eq!(spec.aggregates.len(), 1);
+                assert_eq!(
+                    options,
+                    vec![
+                        ("parallelism".to_string(), "4".to_string()),
+                        ("cache".to_string(), "off".to_string())
+                    ]
+                );
+            }
+            other => panic!("want Query, got {other:?}"),
+        }
+        assert!(parse_request("QUERY").is_err());
+        assert!(parse_request("QUERY fact=9bad").is_err());
+        assert!(parse_request("QUERY fact=f dim=d[oops").is_err());
+        assert!(parse_request("QUERY fact=f garbage").is_err());
+
+        // EXPLAIN dispatches on '=': names stay names, text parses.
+        assert!(matches!(
+            parse_request("EXPLAIN q2.3"),
+            Ok(Request::Explain { .. })
+        ));
+        match parse_request("EXPLAIN fact=f dim=d[join=k:fk] agg=sum(a):x select_join=off") {
+            Ok(Request::ExplainSpec { spec, options }) => {
+                assert_eq!(spec.fact, "f");
+                assert_eq!(options.len(), 1);
+            }
+            other => panic!("want ExplainSpec, got {other:?}"),
+        }
+        assert!(
+            parse_request("EXPLAIN fact=f oops=1 agg=sum(a):x").is_ok(),
+            "unknown option keys are deferred to apply_overrides"
+        );
+        assert!(parse_request("EXPLAIN").is_err());
     }
 
     #[test]

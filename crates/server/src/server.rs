@@ -155,6 +155,15 @@ fn accept_loop(
     }
 }
 
+/// Writes an `EXPLAIN` response (`OK explain`, plan lines, `END`).
+fn write_explain(writer: &mut impl Write, plan: &str) -> io::Result<()> {
+    writeln!(writer, "OK explain")?;
+    for l in plan.lines() {
+        writeln!(writer, "{l}")?;
+    }
+    writeln!(writer, "END")
+}
+
 /// Outcome of reading one request line.
 enum LineRead {
     /// A complete line (without the newline), lossily decoded.
@@ -311,14 +320,17 @@ fn handle_connection(
             }
             Ok(Request::Explain { query }) => match engine.explain(&query) {
                 Err(e) => writeln!(writer, "ERR {e}")?,
-                Ok(plan) => {
-                    writeln!(writer, "OK explain")?;
-                    for l in plan.lines() {
-                        writeln!(writer, "{l}")?;
-                    }
-                    writeln!(writer, "END")?;
-                }
+                Ok(plan) => write_explain(&mut writer, &plan)?,
             },
+            Ok(Request::ExplainSpec { spec, options }) => {
+                match apply_overrides(engine.defaults(), &options) {
+                    Err(msg) => writeln!(writer, "ERR {msg}")?,
+                    Ok((opts, _controls)) => match engine.explain_spec(&spec, &opts) {
+                        Err(e) => writeln!(writer, "ERR {e}")?,
+                        Ok(plan) => write_explain(&mut writer, &plan)?,
+                    },
+                }
+            }
             Ok(Request::Run { query, options }) => {
                 match apply_overrides(engine.defaults(), &options) {
                     Err(msg) => writeln!(writer, "ERR {msg}")?,
@@ -329,6 +341,23 @@ fn handle_connection(
                             controls.priority,
                             controls.use_cache,
                         ) {
+                            Err(e) => writeln!(writer, "ERR {e}")?,
+                            Ok((result, stats)) => {
+                                let workers =
+                                    opts.parallelism.min(engine.info().pool_threads).max(1);
+                                write_run_response(&mut writer, &result, &stats, workers)?;
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(Request::Query { spec, options }) => {
+                // The ad-hoc path: same overrides, same single
+                // validate→plan→cache→execute pipeline as named aliases.
+                match apply_overrides(engine.defaults(), &options) {
+                    Err(msg) => writeln!(writer, "ERR {msg}")?,
+                    Ok((opts, controls)) => {
+                        match engine.run_spec(&spec, &opts, controls.priority, controls.use_cache) {
                             Err(e) => writeln!(writer, "ERR {e}")?,
                             Ok((result, stats)) => {
                                 let workers =

@@ -53,6 +53,16 @@ fn garbage_requests_error_but_connection_survives() {
         b"CACHE STATS extra\n",         // trailing token
         b"EXPLAIN q1.1 extra\n",        // trailing token
         b"\xff\xfe\xfd garbage\x80\n",  // non-UTF-8 junk
+        // The QUERY verb: grammar, catalog, and encoding failures are all
+        // one ERR line, never a dropped connection.
+        b"QUERY\n",                                    // missing query text
+        b"QUERY fact=lineorder agg=nope\n",            // malformed grammar
+        b"QUERY fact=lineorder dim=date[oops\n",       // unbalanced bracket
+        b"QUERY fact=lineorder dim=date[join=d_datekey:lo_orderdate;d_year='x\n", // unterminated quote
+        b"QUERY fact=nosuch dim=date[join=d_datekey:lo_orderdate] agg=sum(lo_revenue):r\n", // unknown table
+        b"QUERY fact=lineorder dim=date[join=d_datekey:lo_orderdate;d_frob=1] agg=sum(lo_revenue):r\n", // unknown column
+        b"QUERY fact=lineorder dim=date[join=d_datekey:lo_orderdate] agg=sum(lo_revenue):r parallelism=zero\n", // bad option
+        b"QUERY fact=\xff\xfe dim=d[join=k:fk] agg=sum(a):x\n", // non-UTF-8 body
     ];
     for case in cases {
         stream.write_all(case).expect("send");
@@ -121,6 +131,66 @@ fn oversized_line_is_drained_and_rejected() {
     stream.flush().unwrap();
     let resp = read_line(&mut reader);
     assert!(resp.starts_with("OK 13"), "got: {resp}");
+
+    server.stop();
+    pool.shutdown();
+}
+
+#[test]
+fn oversized_query_body_is_drained_and_rejected() {
+    // The satellite contract: a QUERY body past the (default 64 KiB) line
+    // cap answers ERR without unbounded buffering, and the connection
+    // keeps serving — including a real ad-hoc query right after.
+    let pool = WorkerPool::new(2, 8);
+    let engine = Arc::new(
+        ServeEngine::with_ssb(0.01, 42, pool.clone(), PlanOptions::default())
+            .expect("SSB prepares"),
+    );
+    let config = ServerConfig {
+        poll_tick: Duration::from_millis(5),
+        ..ServerConfig::default()
+    };
+    assert_eq!(config.max_line_bytes, 64 * 1024, "default cap is 64 KiB");
+    let server = serve_with(engine, "127.0.0.1:0", config).expect("bind loopback");
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+    // A syntactically plausible QUERY whose IN-list alone exceeds the cap.
+    let mut big =
+        String::from("QUERY fact=lineorder dim=date[join=d_datekey:lo_orderdate;d_year in ");
+    big.push_str(
+        &(0..20_000)
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    big.push_str("] agg=sum(lo_revenue):r\n");
+    assert!(big.len() > 64 * 1024);
+    stream
+        .write_all(big.as_bytes())
+        .expect("send oversized QUERY");
+    stream.flush().unwrap();
+    let resp = read_line(&mut reader);
+    assert!(
+        resp.starts_with("ERR ") && resp.contains("exceeds"),
+        "got: {resp}"
+    );
+
+    // Still serving: an in-cap ad-hoc query answers rows.
+    stream
+        .write_all(
+            b"QUERY fact=lineorder dim=date[join=d_datekey:lo_orderdate;d_year=1993] \
+              agg=sum(lo_extendedprice):r\n",
+        )
+        .unwrap();
+    stream.flush().unwrap();
+    let resp = read_line(&mut reader);
+    assert!(resp.starts_with("OK "), "got: {resp}");
+    loop {
+        if read_line(&mut reader) == "END" {
+            break;
+        }
+    }
 
     server.stop();
     pool.shutdown();

@@ -323,8 +323,9 @@ pub fn compile_predicate(
         }
         Predicate::Lt { column, value } => {
             let col = schema.col(column)?;
-            match value {
-                Value::Int(v) => Ok(if *v <= 0 {
+            let ty = schema.column(col).ty;
+            match (ty, value) {
+                (crate::types::ColumnType::Int, Value::Int(v)) => Ok(if *v <= 0 {
                     CompiledPred::Never
                 } else {
                     CompiledPred::Range {
@@ -333,7 +334,7 @@ pub fn compile_predicate(
                         hi: (*v - 1) as u64,
                     }
                 }),
-                Value::Str(s) => {
+                (crate::types::ColumnType::Str, Value::Str(s)) => {
                     let d = table.dict(col).expect("str column has dictionary");
                     let ub = d.lower_bound(s); // first code >= s
                     Ok(if ub == 0 {
@@ -346,6 +347,11 @@ pub fn compile_predicate(
                         }
                     })
                 }
+                (expected, got) => Err(crate::types::StorageError::TypeMismatch {
+                    column: column.clone(),
+                    expected,
+                    got: got.column_type(),
+                }),
             }
         }
     }
@@ -582,6 +588,16 @@ mod tests {
         );
         let lt0 = compile_predicate(&t, &Predicate::lt("n", 0i64)).unwrap();
         assert_eq!(lt0, CompiledPred::Never);
+
+        // A string bound on an int column is a typed error, not a panic.
+        assert!(matches!(
+            compile_predicate(&t, &Predicate::lt("n", "x")),
+            Err(crate::types::StorageError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            compile_predicate(&t, &Predicate::lt("s", 3i64)),
+            Err(crate::types::StorageError::TypeMismatch { .. })
+        ));
 
         let lt_str = compile_predicate(&t, &Predicate::lt("s", "d")).unwrap();
         // codes: b=0, d=1, f=2 → s < "d" ⇔ code <= 0

@@ -34,10 +34,13 @@
 //!   tiers for plans, materialized dimension selections, and full results,
 //!   invalidated exactly by per-table versions
 //!   ([`cache::QueryCache`], [`cache::QueryFingerprint`]).
-//! * [`server`] — the TCP query service on top: named SSB queries over a
-//!   line protocol, thread-per-connection frontend, every query executed
-//!   on the shared pool through the cache ([`server::ServeEngine`],
-//!   [`server::QpptClient`]).
+//! * [`query`] — the textual query language: a line-oriented grammar over
+//!   [`storage::QuerySpec`] with a lossless parser/pretty-printer pair
+//!   ([`query::parse`], [`query::print`]) — the server's `QUERY` verb.
+//! * [`server`] — the TCP query service on top: ad-hoc `QUERY` text and
+//!   named SSB aliases over a line protocol, thread-per-connection
+//!   frontend, every query validated and executed on the shared pool
+//!   through the cache ([`server::ServeEngine`], [`server::QpptClient`]).
 //!
 //! ## Quickstart
 //!
@@ -67,6 +70,7 @@ pub use qppt_hash as hash;
 pub use qppt_kiss as kiss;
 pub use qppt_mem as mem;
 pub use qppt_par as par;
+pub use qppt_query as query;
 pub use qppt_server as server;
 pub use qppt_ssb as ssb;
 pub use qppt_storage as storage;
