@@ -1,0 +1,193 @@
+//! Scatter/gather cost of the sharded serving path: queries/second through
+//! a `qppt-router` fronting 1/2/4 prefix-sharded `qppt-server` instances
+//! vs. the same load served directly by one unsharded server — all
+//! in-process over loopback, all on the one shared `WorkerPool`, so the
+//! delta is the router's own work (forwarding, per-shard partials,
+//! deterministic merge) rather than hardware.
+//!
+//! Every timed pass runs with `cache=off` so each request really scatters
+//! and merges; a correctness anchor first asserts every merged answer is
+//! byte-identical to the sequential oracle.
+//!
+//! Writes `BENCH_ROUTER_SCATTER.json`:
+//!
+//! ```text
+//! cargo run --release --bin router_scatter -- \
+//!     --sf 0.05 --threads 4 --shards 1,2,4 --clients 4 --queries 30 \
+//!     --out BENCH_ROUTER_SCATTER.json
+//! ```
+
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use qppt_bench::{arg_f64, arg_str, arg_usize, arg_usize_list, print_table};
+use qppt_core::{prepare_indexes, PlanOptions, QpptEngine};
+use qppt_par::WorkerPool;
+use qppt_router::{serve_router, Router, RouterConfig};
+use qppt_server::{detected_cores, serve, QpptClient, ServeEngine, ServerHandle};
+use qppt_ssb::{queries, SsbDb};
+use qppt_storage::QuerySpec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sf = arg_f64(&args, "--sf", 0.05);
+    let seed = 42u64;
+    let cores = detected_cores();
+    let threads = arg_usize(&args, "--threads", cores.max(2));
+    let shard_counts = arg_usize_list(&args, "--shards", &[1, 2, 4]);
+    let clients = arg_usize(&args, "--clients", 4);
+    let queries_per_client = arg_usize(&args, "--queries", 30);
+    let parallelism = arg_usize(&args, "--parallelism", 2);
+    let out_path =
+        arg_str(&args, "--out").unwrap_or_else(|| "BENCH_ROUTER_SCATTER.json".to_string());
+
+    // One light and one heavy query per SSB flight.
+    let mix: Vec<QuerySpec> = vec![
+        queries::q1_1(),
+        queries::q2_3(),
+        queries::q3_2(),
+        queries::q4_1(),
+    ];
+
+    // The oracle: the sequential engine over the full, unsharded instance.
+    eprintln!("generating SSB at sf={sf} and preparing the oracle …");
+    let opts = PlanOptions::default();
+    let mut ssb = SsbDb::generate(sf, seed);
+    for q in queries::all_queries() {
+        prepare_indexes(&mut ssb.db, &q, &opts).expect("SSB prepares");
+    }
+    let oracle = QpptEngine::new(&ssb.db);
+    let expected: Vec<_> = mix
+        .iter()
+        .map(|q| oracle.run(q, &opts).expect("oracle runs"))
+        .collect();
+
+    let pool = WorkerPool::new(threads, clients.max(4) * 2);
+    let defaults = PlanOptions::default().with_parallelism(parallelism);
+
+    // Direct baseline: one unsharded server on the same pool.
+    let direct = serve(
+        Arc::new(
+            ServeEngine::with_ssb_shard(sf, seed, pool.clone(), defaults, 0, 1)
+                .expect("direct engine builds"),
+        ),
+        "127.0.0.1:0",
+    )
+    .expect("direct server binds");
+    let direct_addr = direct.addr().to_string();
+    let baseline_qps = timed_pass(&direct_addr, &mix, clients, queries_per_client, parallelism);
+
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for &shards in &shard_counts {
+        // The fleet: `shards` prefix-sharded servers plus the router.
+        let mut handles: Vec<ServerHandle> = Vec::new();
+        let mut addrs = Vec::new();
+        for i in 0..shards {
+            let engine = ServeEngine::with_ssb_shard(sf, seed, pool.clone(), defaults, i, shards)
+                .expect("shard engine builds");
+            let h = serve(Arc::new(engine), "127.0.0.1:0").expect("shard binds");
+            addrs.push(h.addr().to_string());
+            handles.push(h);
+        }
+        let router = Arc::new(Router::new(RouterConfig::new(addrs)));
+        router
+            .wait_for_shards(std::time::Duration::from_secs(60))
+            .expect("shards answer PING");
+        let rh = serve_router(router, "127.0.0.1:0").expect("router binds");
+        let raddr = rh.addr().to_string();
+
+        // Correctness anchor before timing anything.
+        {
+            let mut probe = QpptClient::connect(&*raddr).expect("connect router");
+            for (qi, q) in mix.iter().enumerate() {
+                let served = probe
+                    .run(&q.id.to_ascii_lowercase(), &[])
+                    .expect("probe query");
+                assert_eq!(
+                    served.result, expected[qi],
+                    "{} merged result diverged at {shards} shards",
+                    q.id
+                );
+            }
+        }
+
+        let qps = timed_pass(&raddr, &mix, clients, queries_per_client, parallelism);
+        let ratio = if baseline_qps > 0.0 {
+            qps / baseline_qps
+        } else {
+            0.0
+        };
+        rows.push(vec![
+            shards.to_string(),
+            format!("{qps:.1}"),
+            format!("{baseline_qps:.1}"),
+            format!("{ratio:.2}x"),
+        ]);
+        series.push((shards, qps, ratio));
+
+        rh.stop();
+        for h in handles {
+            h.stop();
+        }
+    }
+    direct.stop();
+    pool.shutdown();
+
+    println!(
+        "router scatter/gather, sf={sf}, pool={threads} threads, parallelism={parallelism}, \
+         {clients} clients × {queries_per_client} queries (cache=off):"
+    );
+    print_table(
+        &["shards", "routed q/s", "direct q/s", "routed/direct"],
+        &rows,
+    );
+
+    // Hand-rolled JSON (the workspace is dependency-free by design).
+    let entries: Vec<String> = series
+        .iter()
+        .map(|(s, q, r)| {
+            format!(
+                "    {{\"shards\": {s}, \"routed_qps\": {q:.3}, \"routed_over_direct\": {r:.3}}}"
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"router_scatter\",\n  \"sf\": {sf},\n  \"cores\": {cores},\n  \"pool_threads\": {threads},\n  \"parallelism\": {parallelism},\n  \"clients\": {clients},\n  \"queries_per_client\": {queries_per_client},\n  \"mix\": [\"Q1.1\", \"Q2.3\", \"Q3.2\", \"Q4.1\"],\n  \"direct_qps\": {baseline_qps:.3},\n  \"series\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let mut f = std::fs::File::create(&out_path).expect("create output file");
+    f.write_all(json.as_bytes()).expect("write output file");
+    eprintln!("wrote {out_path}");
+}
+
+/// C clients, each on its own connection, round-robin over the mix with
+/// the cache bypassed. Returns queries/second.
+fn timed_pass(
+    addr: &str,
+    mix: &[QuerySpec],
+    clients: usize,
+    queries_per_client: usize,
+    parallelism: usize,
+) -> f64 {
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for ci in 0..clients {
+            s.spawn(move || {
+                let mut client = QpptClient::connect(addr).expect("connect");
+                let par = parallelism.to_string();
+                for i in 0..queries_per_client {
+                    let q = &mix[(ci + i) % mix.len()];
+                    client
+                        .run(
+                            &q.id.to_ascii_lowercase(),
+                            &[("parallelism", &par), ("cache", "off")],
+                        )
+                        .expect("timed query");
+                }
+            });
+        }
+    });
+    (clients * queries_per_client) as f64 / t0.elapsed().as_secs_f64()
+}

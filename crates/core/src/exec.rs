@@ -465,14 +465,16 @@ pub fn decode_result(db: &Database, plan: &Plan, agg: &AggTable) -> QueryResult 
     result
 }
 
-/// Runs a plan sequentially, returning the result and per-operator
-/// statistics: materialize every dimension selection, run the fact pipeline
-/// over the whole key domain, decode the aggregation index.
-pub fn execute(
+/// Runs a plan sequentially up to (and including) the aggregating index,
+/// without decoding it: materialize every dimension selection, run the fact
+/// pipeline over the whole key domain. The undecoded [`AggTable`] is what a
+/// shard ships to the router as a partial aggregate; `total_micros` covers
+/// the work done here (decode time, when it happens, is the caller's).
+pub fn execute_agg(
     db: &Database,
     snap: Snapshot,
     plan: &Plan,
-) -> Result<(QueryResult, ExecStats), QpptError> {
+) -> Result<(AggTable, ExecStats), QpptError> {
     let started = Instant::now();
     let mut stats = ExecStats::default();
 
@@ -493,14 +495,26 @@ pub fn execute(
     for op in run_pipeline(db, snap, plan, &dim_tables, None, None, &mut agg)? {
         stats.push(op);
     }
+    stats.total_micros = started.elapsed().as_micros();
+    Ok((agg, stats))
+}
 
-    // 4. Decode the aggregation index into the shared result format.
+/// Runs a plan sequentially, returning the result and per-operator
+/// statistics: [`execute_agg`] plus the final decode of the aggregation
+/// index into the shared result format.
+pub fn execute(
+    db: &Database,
+    snap: Snapshot,
+    plan: &Plan,
+) -> Result<(QueryResult, ExecStats), QpptError> {
+    let started = Instant::now();
+    let (agg, mut stats) = execute_agg(db, snap, plan)?;
     let result = decode_result(db, plan, &agg);
     stats.total_micros = started.elapsed().as_micros();
     Ok((result, stats))
 }
 
-fn decode_code(t: &qppt_storage::Table, col: usize, code: u64) -> Value {
+pub(crate) fn decode_code(t: &qppt_storage::Table, col: usize, code: u64) -> Value {
     match t.schema().column(col).ty {
         qppt_storage::ColumnType::Int => Value::Int(code as i64),
         qppt_storage::ColumnType::Str => Value::Str(

@@ -43,6 +43,7 @@ pub mod fingerprint;
 pub mod inter;
 pub mod layout;
 pub mod options;
+pub mod partial;
 pub mod plan;
 pub mod prepared;
 pub mod stats;
@@ -54,6 +55,7 @@ pub use fingerprint::{
     fingerprint_dim, fingerprint_opts, fingerprint_query, fingerprint_spec, Fnv64,
 };
 pub use options::PlanOptions;
+pub use partial::{PartialAggregate, PartialRow};
 pub use plan::{build_plan, planned_indexes, prepare_indexes, Plan, PlannedIndexes};
 pub use prepared::PreparedQuery;
 pub use stats::{ExecStats, OpStats};

@@ -120,6 +120,20 @@ impl PreparedQuery {
     /// under the coherence contract (module docs).
     pub fn execute_sequential(&self, db: &Database) -> Result<(QueryResult, ExecStats), QpptError> {
         let started = Instant::now();
+        let (agg, mut stats) = self.execute_sequential_agg(db)?;
+        let result = decode_result(db, &self.plan, &agg);
+        stats.total_micros = started.elapsed().as_micros();
+        Ok((result, stats))
+    }
+
+    /// Like [`execute_sequential`](Self::execute_sequential), but stops at
+    /// the merged aggregation index — the shard-side entry point for
+    /// partial-aggregate serving, where decode happens at the router.
+    pub fn execute_sequential_agg(
+        &self,
+        db: &Database,
+    ) -> Result<(crate::inter::AggTable, ExecStats), QpptError> {
+        let started = Instant::now();
         let mut stats = ExecStats {
             ops: self.dim_stats(),
             total_micros: 0,
@@ -137,8 +151,7 @@ impl PreparedQuery {
         for op in ops {
             stats.push(op);
         }
-        let result = decode_result(db, &self.plan, &agg);
         stats.total_micros = started.elapsed().as_micros();
-        Ok((result, stats))
+        Ok((agg, stats))
     }
 }

@@ -33,8 +33,8 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use qppt_core::exec::{
-    decode_result, execute, materialize_dim_selection, materialize_fused_selection, new_agg_table,
-    run_pipeline, DimSelection, FusedSelection,
+    decode_result, execute_agg, materialize_dim_selection, materialize_fused_selection,
+    new_agg_table, run_pipeline, DimSelection, FusedSelection,
 };
 use qppt_core::inter::AggTable;
 use qppt_core::{build_plan, ExecStats, KeyRange, Plan, PlanOptions, PreparedQuery, QpptError};
@@ -92,6 +92,25 @@ impl PooledEngine {
         snap: Snapshot,
         priority: i32,
     ) -> Result<(QueryResult, ExecStats), QpptError> {
+        let started = Instant::now();
+        let (plan, agg, mut stats) = self.run_at_agg(spec, opts, snap, priority)?;
+        // Decode the merged aggregation index.
+        let result = decode_result(&self.db, &plan, &agg);
+        stats.total_micros = started.elapsed().as_micros();
+        Ok((result, stats))
+    }
+
+    /// Like [`run_at`](Self::run_at), but stops at the merged aggregation
+    /// index — the shard-side entry point when a router performs the final
+    /// decode after the cross-shard merge. Also returns the plan, which the
+    /// partial-aggregate encoding needs.
+    pub fn run_at_agg(
+        &self,
+        spec: &QuerySpec,
+        opts: &PlanOptions,
+        snap: Snapshot,
+        priority: i32,
+    ) -> Result<(Arc<Plan>, AggTable, ExecStats), QpptError> {
         let plan = build_plan(&self.db, spec, opts)?;
 
         // Inline fast path: a sequential query runs the whole executor on
@@ -99,7 +118,9 @@ impl PooledEngine {
         // is byte-identical by construction (it *is* the sequential
         // engine's code path).
         if plan.opts.parallelism == 1 {
-            return execute(&self.db, snap, &plan);
+            let plan = Arc::new(plan);
+            let (agg, stats) = execute_agg(&self.db, snap, &plan)?;
+            return Ok((plan, agg, stats));
         }
 
         let plan = Arc::new(plan);
@@ -123,11 +144,8 @@ impl PooledEngine {
             self.execute_pipeline(snap, &plan, &dim_tables, &fused, priority)?;
         stats.ops.extend(pipeline_stats.ops);
         crate::fix_merged_agg_stats(&plan, &agg, &mut stats);
-
-        // 3. Decode the merged aggregation index.
-        let result = decode_result(&self.db, &plan, &agg);
         stats.total_micros = started.elapsed().as_micros();
-        Ok((result, stats))
+        Ok((plan, agg, stats))
     }
 
     /// Executes a query from prepared, shared state (the `qppt-cache`
@@ -145,9 +163,24 @@ impl PooledEngine {
         prepared: &PreparedQuery,
         priority: i32,
     ) -> Result<(QueryResult, ExecStats), QpptError> {
+        let started = Instant::now();
+        let (agg, mut stats) = self.run_prepared_agg(prepared, priority)?;
+        let result = decode_result(&self.db, &prepared.plan, &agg);
+        stats.total_micros = started.elapsed().as_micros();
+        Ok((result, stats))
+    }
+
+    /// Like [`run_prepared`](Self::run_prepared), but stops at the merged
+    /// aggregation index — the cached shard-side entry point for
+    /// partial-aggregate serving.
+    pub fn run_prepared_agg(
+        &self,
+        prepared: &PreparedQuery,
+        priority: i32,
+    ) -> Result<(AggTable, ExecStats), QpptError> {
         // Inline fast path, as in `run_at`.
         if prepared.plan.opts.parallelism == 1 {
-            return prepared.execute_sequential(&self.db);
+            return prepared.execute_sequential_agg(&self.db);
         }
 
         let started = Instant::now();
@@ -164,9 +197,8 @@ impl PooledEngine {
         )?;
         stats.ops.extend(pipeline_stats.ops);
         crate::fix_merged_agg_stats(&prepared.plan, &agg, &mut stats);
-        let result = decode_result(&self.db, &prepared.plan, &agg);
         stats.total_micros = started.elapsed().as_micros();
-        Ok((result, stats))
+        Ok((agg, stats))
     }
 
     /// Workers the fact pipeline may use, caller included (the calling

@@ -1,0 +1,83 @@
+//! The qppt-router binary: front an ordered fleet of `qppt-server` shards
+//! and serve the same line protocol with scatter/gather semantics.
+//!
+//! ```text
+//! # shard 0 and shard 1 of a 2-node deployment (same sf and seed!)
+//! cargo run --release --bin qppt-server -- --addr 127.0.0.1:7878 --shard 0/2 --sf 0.05
+//! cargo run --release --bin qppt-server -- --addr 127.0.0.1:7879 --shard 1/2 --sf 0.05
+//!
+//! # the router in front of them
+//! cargo run --release --bin qppt-router -- \
+//!     --addr 127.0.0.1:7900 --shards 127.0.0.1:7878,127.0.0.1:7879
+//! ```
+//!
+//! `--shards` lists the shard addresses **in shard order** (entry *i* must
+//! be the server started with `--shard i/n`). `--wait-secs` (default 120)
+//! bounds how long the router waits at startup for every shard to answer
+//! `PING` before serving. `SHUTDOWN` stops the router only — the shards
+//! keep running.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use qppt_router::{serve_router, Router, RouterConfig};
+
+fn arg<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("bad value for {flag}: {v}"))
+        })
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr: String = arg(&args, "--addr", "127.0.0.1:7900".to_string());
+    let shards_flag: String = arg(&args, "--shards", String::new());
+    let connect_timeout: f64 = arg(&args, "--connect-timeout-secs", 5.0);
+    let read_timeout: f64 = arg(&args, "--read-timeout-secs", 60.0);
+    let conns_per_shard: usize = arg(&args, "--conns-per-shard", 4);
+    let wait_secs: f64 = arg(&args, "--wait-secs", 120.0);
+
+    let shard_addrs: Vec<String> = shards_flag
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    if shard_addrs.is_empty() {
+        eprintln!(
+            "qppt-router: --shards is required (comma-separated shard addresses in shard order)"
+        );
+        std::process::exit(2);
+    }
+
+    let mut config = RouterConfig::new(shard_addrs.clone());
+    config.connect_timeout = Duration::from_secs_f64(connect_timeout);
+    config.read_timeout = Duration::from_secs_f64(read_timeout);
+    config.conns_per_shard = conns_per_shard;
+    let router = Arc::new(Router::new(config));
+
+    eprintln!(
+        "qppt-router: waiting up to {wait_secs}s for {} shard(s) to answer PING …",
+        shard_addrs.len()
+    );
+    if let Err(e) = router.wait_for_shards(Duration::from_secs_f64(wait_secs)) {
+        eprintln!("qppt-router: {e}");
+        std::process::exit(1);
+    }
+
+    let server = serve_router(router, &addr).expect("bind listener");
+    println!(
+        "qppt-router listening on {} over {} shard(s): {}",
+        server.addr(),
+        shard_addrs.len(),
+        shard_addrs.join(", ")
+    );
+    // Runs until a client sends SHUTDOWN (router only; shards stay up).
+    server.join();
+    eprintln!("qppt-router stopped");
+}

@@ -8,6 +8,12 @@
 //! ```text
 //! cargo run --release --bin qppt-smoke -- --addr 127.0.0.1:7878 --shutdown
 //! ```
+//!
+//! `--router` runs a self-contained sharded smoke instead: it spawns two
+//! in-process `qppt-server` shards plus a `qppt-router` on loopback, then
+//! drives the same named + ad-hoc + malformed probes through the router —
+//! the merged answers must be byte-identical to the same sequential
+//! oracle (`--addr`/`--shutdown` are ignored in this mode).
 
 use std::process::exit;
 use std::time::Duration;
@@ -24,6 +30,10 @@ fn main() {
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "127.0.0.1:7878".to_string());
     let shutdown = args.iter().any(|a| a == "--shutdown");
+    if args.iter().any(|a| a == "--router") {
+        router_smoke();
+        return;
+    }
 
     eprintln!("smoke: connecting to {addr} (retrying up to 120s while the server warms up) …");
     let mut client = match QpptClient::connect_retry(&addr, Duration::from_secs(120)) {
@@ -52,13 +62,99 @@ fn main() {
     }
     let engine = QpptEngine::new(&ssb.db);
 
+    let failed = run_probes(&mut client, &engine, &opts);
+
+    if shutdown {
+        eprintln!("smoke: sending SHUTDOWN");
+        let _ = client.shutdown();
+    }
+    if failed > 0 {
+        eprintln!("smoke: FAIL ({failed} mismatches)");
+        exit(1);
+    }
+    eprintln!("smoke: PASS");
+}
+
+/// The self-contained sharded smoke (`--router`): two in-process shards
+/// plus a router on loopback, probed through the router against the same
+/// sequential single-node oracle.
+fn router_smoke() {
+    use qppt_par::WorkerPool;
+    use qppt_router::{serve_router, Router, RouterConfig};
+    use qppt_server::{serve, ServeEngine};
+    use std::sync::Arc;
+
+    let (sf, seed) = (0.01, 42);
+    eprintln!("smoke: router mode — 2 shards + router on loopback (sf={sf} seed={seed}) …");
+    let pool = WorkerPool::new(2, 8);
+    let defaults = PlanOptions::default()
+        .with_parallelism(2)
+        .with_par_index_build(true);
+    let mut shard_handles = Vec::new();
+    let mut shard_addrs = Vec::new();
+    for i in 0..2 {
+        let engine = ServeEngine::with_ssb_shard(sf, seed, pool.clone(), defaults, i, 2)
+            .expect("shard engine builds");
+        let h = serve(Arc::new(engine), "127.0.0.1:0").expect("shard binds");
+        shard_addrs.push(h.addr().to_string());
+        shard_handles.push(h);
+    }
+    let router = Arc::new(Router::new(RouterConfig::new(shard_addrs)));
+    router
+        .wait_for_shards(Duration::from_secs(30))
+        .expect("shards answer PING");
+    let rh = serve_router(router, "127.0.0.1:0").expect("router binds");
+
+    // The oracle is the *full* unsharded instance on the sequential engine.
+    let opts = PlanOptions::default();
+    let mut ssb = SsbDb::generate(sf, seed);
+    for q in queries::all_queries() {
+        prepare_indexes(&mut ssb.db, &q, &opts).expect("indexes build");
+    }
+    let engine = QpptEngine::new(&ssb.db);
+
+    let mut client = QpptClient::connect_retry(&rh.addr().to_string(), Duration::from_secs(30))
+        .expect("router reachable");
+    let mut failed = 0usize;
+    let info = client.info().expect("router INFO answers");
+    match info
+        .iter()
+        .find(|(k, _)| k == "shards")
+        .map(|(_, v)| v.as_str())
+    {
+        Some("2") => eprintln!("smoke: router INFO OK — shards=2"),
+        other => {
+            eprintln!("smoke: FAIL — router INFO shards={other:?}, want 2");
+            failed += 1;
+        }
+    }
+    failed += run_probes(&mut client, &engine, &opts);
+
+    eprintln!("smoke: sending SHUTDOWN (router only; shards are stopped directly)");
+    let _ = client.shutdown();
+    rh.join();
+    for h in shard_handles {
+        h.stop();
+    }
+    pool.shutdown();
+    if failed > 0 {
+        eprintln!("smoke: FAIL ({failed} mismatches)");
+        exit(1);
+    }
+    eprintln!("smoke: PASS (router)");
+}
+
+/// The shared probe set: three named aliases, one ad-hoc `QUERY`, one
+/// deliberately malformed `QUERY` — all checked against the sequential
+/// oracle. Returns the number of failures.
+fn run_probes(client: &mut QpptClient, engine: &QpptEngine, opts: &PlanOptions) -> usize {
     let mut failed = 0usize;
     for (name, spec) in [
         ("q1.1", queries::q1_1()),
         ("q2.3", queries::q2_3()),
         ("q4.1", queries::q4_1()),
     ] {
-        let expected = engine.run(&spec, &opts).expect("sequential oracle runs");
+        let expected = engine.run(&spec, opts).expect("sequential oracle runs");
         match client.run(name, &[("parallelism", "2")]) {
             Ok(served) if served.result == expected => {
                 eprintln!(
@@ -90,7 +186,7 @@ fn main() {
          agg=sum(lo_revenue):revenue group=supplier.s_nation,date.d_year \
          order=group:1,agg:0:desc id=smoke-adhoc";
     let adhoc_spec = qppt_query::parse(adhoc_text).expect("smoke ad-hoc text parses");
-    let expected = engine.run(&adhoc_spec, &opts).expect("ad-hoc oracle runs");
+    let expected = engine.run(&adhoc_spec, opts).expect("ad-hoc oracle runs");
     match client.query(adhoc_text, &[("parallelism", "2")]) {
         Ok(served) if served.result == expected => {
             eprintln!(
@@ -132,13 +228,5 @@ fn main() {
         }
     }
 
-    if shutdown {
-        eprintln!("smoke: sending SHUTDOWN");
-        let _ = client.shutdown();
-    }
-    if failed > 0 {
-        eprintln!("smoke: FAIL ({failed} mismatches)");
-        exit(1);
-    }
-    eprintln!("smoke: PASS");
+    failed
 }

@@ -1,0 +1,62 @@
+//! # qppt-router — distributed prefix-sharded serving
+//!
+//! Scale-out for the qppt-server frontend: N `qppt-server` shards each own
+//! a contiguous range of the fact table's canonical partition key
+//! (`lo_orderdate`, the stage-1 prefix of every SSB plan's fact tree —
+//! [`qppt_ssb::shard_bounds`]), with dimension tables replicated in full.
+//! The router speaks the exact same line protocol both ways: clients
+//! connect to it as if it were a single server, and it fans each query out
+//! to the fleet.
+//!
+//! ## Scatter / gather / deterministic merge
+//!
+//! A `RUN`/`QUERY` is forwarded to **every** shard with `mode=partial`
+//! appended, over pooled persistent connections — all shards execute
+//! concurrently. Each answers a `PARTIAL` response: its aggregation index
+//! serialized as (packed group key, decoded group values, accumulator
+//! sums) in ascending key order, *without* ORDER BY. The router merges
+//! the partials by raw key in the same deterministic order
+//! [`AggTable::merge_from`](qppt_core::inter::AggTable::merge_from)
+//! guarantees for intra-node parallelism (see
+//! [`qppt_par::merge_partial_aggregates`]), then applies the query's
+//! ORDER BY — producing output **byte-identical** to a single unsharded
+//! server, at any shard count and any per-shard parallelism
+//! (`router_equivalence` pins this down for all 13 SSB queries × {1, 2,
+//! 4} shards).
+//!
+//! This works because the packed group keys and their decoded values
+//! derive only from the *dimension* tables, which every shard replicates
+//! bit-identically — the same group packs to the same `u64` everywhere,
+//! whatever fact rows a shard holds.
+//!
+//! ## Robustness
+//!
+//! Connect and read timeouts bound every shard exchange; an unreachable
+//! or mid-stream-dead shard gets exactly one reconnect retry (queries are
+//! idempotent reads), then the client receives a structured
+//! `ERR shard <i> unavailable (<detail>)` — never a hang, and never a
+//! partial gather served as a complete answer. The router process itself
+//! stays up throughout, and a restarted shard is picked up transparently
+//! by the next request's fresh dial (`router_robustness` exercises all of
+//! this).
+//!
+//! ## Verbs
+//!
+//! | verb | routing |
+//! |---|---|
+//! | `RUN` / `QUERY` | scatter `mode=partial`, gather, merge |
+//! | `INFO` | fan-out: summed `rows=`, `shards=N`, per-shard map |
+//! | `CACHE STATS` | fan-out: counters summed across shards |
+//! | `CACHE CLEAR [dims]` | fan-out to every shard |
+//! | `LIST` / `EXPLAIN` | relayed to shard 0 (identical on all shards) |
+//! | `PING` | answered locally |
+//! | `SHUTDOWN` | stops the router only — shards keep serving |
+//!
+//! The TCP frontend is literally qppt-server's ([`Router`] implements
+//! [`qppt_server::LineService`]), so oversized and malformed request
+//! lines get the same drain-and-`ERR` treatment as on a shard.
+
+mod pool;
+mod router;
+
+pub use router::{serve_router, serve_router_with, Router, RouterConfig, RouterError};

@@ -1,0 +1,118 @@
+//! Pooled persistent connections to one shard.
+//!
+//! Each [`ShardPool`] keeps a small stack of idle, already-connected
+//! protocol connections to its shard. A request checks one out (or dials a
+//! fresh one under [`RouterConfig::connect_timeout`]), and checks it back
+//! in only after a *complete* response was consumed — a connection that
+//! failed mid-exchange is dropped, never reused, so a desynchronized
+//! stream can never poison a later request. [`ShardPool::clear`] empties
+//! the idle stack, which is how the router forces fresh dials on its one
+//! bounded retry after a shard came back from a restart.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use qppt_server::protocol::{read_status, ClientError};
+
+/// One persistent protocol connection to a shard.
+#[derive(Debug)]
+pub(crate) struct ShardConn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl ShardConn {
+    fn dial(addr: &str, connect_timeout: Duration, read_timeout: Duration) -> io::Result<Self> {
+        let sock = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "address resolves empty"))?;
+        let stream = TcpStream::connect_timeout(&sock, connect_timeout)?;
+        stream.set_read_timeout(Some(read_timeout))?;
+        stream.set_nodelay(true).ok();
+        Ok(Self {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request line.
+    pub(crate) fn send_line(&mut self, line: &str) -> io::Result<()> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()
+    }
+
+    /// Reads the response status line (`OK <text>` → text, `ERR <msg>` →
+    /// [`ClientError::Server`]). A socket read timeout surfaces as
+    /// [`ClientError::Io`], which the router maps to shard-unavailable.
+    pub(crate) fn read_status(&mut self) -> Result<String, ClientError> {
+        read_status(&mut self.reader)
+    }
+
+    /// The buffered reader, for body-reading protocol helpers.
+    pub(crate) fn reader(&mut self) -> &mut impl BufRead {
+        &mut self.reader
+    }
+}
+
+/// The connection pool of one shard: its address plus a bounded stack of
+/// idle connections.
+#[derive(Debug)]
+pub(crate) struct ShardPool {
+    addr: String,
+    idle: Mutex<Vec<ShardConn>>,
+    cap: usize,
+    connect_timeout: Duration,
+    read_timeout: Duration,
+}
+
+impl ShardPool {
+    pub(crate) fn new(
+        addr: String,
+        cap: usize,
+        connect_timeout: Duration,
+        read_timeout: Duration,
+    ) -> Self {
+        Self {
+            addr,
+            idle: Mutex::new(Vec::new()),
+            cap,
+            connect_timeout,
+            read_timeout,
+        }
+    }
+
+    pub(crate) fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// An idle connection if one exists, else a fresh dial.
+    pub(crate) fn checkout(&self) -> io::Result<ShardConn> {
+        let reused = self.idle.lock().unwrap_or_else(|e| e.into_inner()).pop();
+        match reused {
+            Some(conn) => Ok(conn),
+            None => self.dial(),
+        }
+    }
+
+    /// Always a fresh dial — the retry path, after [`clear`](Self::clear).
+    pub(crate) fn dial(&self) -> io::Result<ShardConn> {
+        ShardConn::dial(&self.addr, self.connect_timeout, self.read_timeout)
+    }
+
+    /// Returns a connection that finished a complete exchange.
+    pub(crate) fn checkin(&self, conn: ShardConn) {
+        let mut idle = self.idle.lock().unwrap_or_else(|e| e.into_inner());
+        if idle.len() < self.cap {
+            idle.push(conn);
+        }
+    }
+
+    /// Drops every idle connection (they may be half-dead after a shard
+    /// restart); the next checkout dials fresh.
+    pub(crate) fn clear(&self) {
+        self.idle.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+}

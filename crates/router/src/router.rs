@@ -1,0 +1,533 @@
+//! The router proper: verb dispatch, scatter/gather, deterministic merge.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{self, Write};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use qppt_core::{ExecStats, OpStats, PartialAggregate, PlanOptions};
+use qppt_par::merge_partial_aggregates;
+use qppt_server::protocol::{
+    apply_overrides, parse_partial_status, parse_request, read_partial_body, read_text_body,
+    write_run_response, CacheCmd, ClientError, Request, ServedStats, MODE_KEY,
+};
+use qppt_server::{serve_lines, LineService, Reply, ServerConfig, ServerHandle};
+use qppt_ssb::queries;
+use qppt_storage::{OrderKey, QueryResult, QuerySpec};
+
+use crate::pool::{ShardConn, ShardPool};
+
+/// Router tunables: the shard fleet plus per-shard transport limits.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Shard addresses **in shard order** — entry `i` must be the server
+    /// started with `--shard i/n`.
+    pub shard_addrs: Vec<String>,
+    /// Per-dial TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Per-read socket timeout — a shard that stops mid-response fails the
+    /// request (after the one retry) instead of hanging the client.
+    pub read_timeout: Duration,
+    /// Idle pooled connections kept per shard.
+    pub conns_per_shard: usize,
+}
+
+impl RouterConfig {
+    /// Defaults: 5 s connect, 60 s read, 4 pooled connections per shard.
+    pub fn new(shard_addrs: Vec<String>) -> Self {
+        Self {
+            shard_addrs,
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(60),
+            conns_per_shard: 4,
+        }
+    }
+}
+
+/// Router-side failure of one request.
+#[derive(Debug)]
+pub enum RouterError {
+    /// A shard could not be dialed, timed out, or broke protocol — even
+    /// after the one bounded reconnect retry. Rendered on the wire as
+    /// `ERR shard <i> unavailable (<detail>)`.
+    ShardUnavailable { shard: usize, detail: String },
+    /// The shards answered `ERR` (a query/validation error, relayed
+    /// verbatim), or their partials disagreed structurally.
+    Query(String),
+}
+
+impl fmt::Display for RouterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ShardUnavailable { shard, detail } => {
+                write!(f, "shard {shard} unavailable ({detail})")
+            }
+            Self::Query(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RouterError {}
+
+/// One shard's gathered partial plus its served statistics.
+struct Gathered {
+    partial: PartialAggregate,
+    stats: ServedStats,
+}
+
+/// Per-shard failure before it is attributed to a shard index.
+enum GatherError {
+    Query(String),
+    Unavailable(String),
+}
+
+impl GatherError {
+    fn at(self, shard: usize) -> RouterError {
+        match self {
+            Self::Query(msg) => RouterError::Query(msg),
+            Self::Unavailable(detail) => RouterError::ShardUnavailable { shard, detail },
+        }
+    }
+}
+
+/// A request line sent (or not) to one shard during the scatter phase.
+enum SendOutcome {
+    /// The line is in flight; `retried` records whether the one reconnect
+    /// retry was already spent getting it there.
+    Sent { conn: ShardConn, retried: bool },
+    /// Even the retry dial failed.
+    Failed(String),
+}
+
+/// The scatter/gather router over an ordered shard fleet. Implements
+/// [`LineService`], so [`serve_router`] gives it the exact same TCP
+/// frontend (length-capped lines, drain-and-`ERR`, graceful shutdown) as
+/// the shards themselves.
+pub struct Router {
+    shards: Vec<ShardPool>,
+    /// The SSB named-query registry — resolved locally so the router knows
+    /// each alias's ORDER BY for the merge (and can reject unknown names
+    /// without touching the fleet).
+    queries: BTreeMap<String, QuerySpec>,
+}
+
+impl Router {
+    /// Builds the router. Panics if `shard_addrs` is empty — a router
+    /// without shards cannot answer anything.
+    pub fn new(config: RouterConfig) -> Self {
+        assert!(
+            !config.shard_addrs.is_empty(),
+            "RouterConfig.shard_addrs must name at least one shard"
+        );
+        let shards = config
+            .shard_addrs
+            .iter()
+            .map(|addr| {
+                ShardPool::new(
+                    addr.clone(),
+                    config.conns_per_shard,
+                    config.connect_timeout,
+                    config.read_timeout,
+                )
+            })
+            .collect();
+        let queries = queries::all_queries()
+            .into_iter()
+            .map(|q| (q.id.to_ascii_lowercase(), q))
+            .collect();
+        Self { shards, queries }
+    }
+
+    /// Number of shards fronted.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Blocks until every shard answers `PING` (dialing fresh each
+    /// attempt), or `timeout` elapses — for racing just-spawned shards.
+    pub fn wait_for_shards(&self, timeout: Duration) -> Result<(), RouterError> {
+        let deadline = Instant::now() + timeout;
+        for (i, pool) in self.shards.iter().enumerate() {
+            loop {
+                let attempt = pool.dial().map_err(|e| e.to_string()).and_then(|mut c| {
+                    c.send_line("PING").map_err(|e| e.to_string())?;
+                    c.read_status().map_err(|e| e.to_string())?;
+                    Ok(c)
+                });
+                match attempt {
+                    Ok(c) => {
+                        pool.checkin(c);
+                        break;
+                    }
+                    Err(detail) if Instant::now() >= deadline => {
+                        return Err(RouterError::ShardUnavailable { shard: i, detail })
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(100)),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Scatters `forward` (a `RUN`/`QUERY` line already carrying
+    /// `mode=partial`) to every shard, gathers the partials in shard
+    /// order, merges them, and applies `order_by` — the merged result is
+    /// byte-identical to a single node running the same query.
+    pub fn scatter_partial(
+        &self,
+        forward: &str,
+        order_by: &[OrderKey],
+    ) -> Result<(QueryResult, ExecStats, usize), RouterError> {
+        let started = Instant::now();
+        // Scatter first: every shard has the request in flight before any
+        // response is read, so shards execute concurrently.
+        let in_flight: Vec<SendOutcome> = self
+            .shards
+            .iter()
+            .map(|pool| send_request(pool, forward))
+            .collect();
+        // Gather in shard order (the deterministic merge order). Every
+        // in-flight response is consumed even after an earlier shard
+        // failed, so surviving pooled connections stay synchronized.
+        let mut query_err: Option<String> = None;
+        let mut unavailable: Option<(usize, String)> = None;
+        let mut gathered: Vec<Gathered> = Vec::with_capacity(self.shards.len());
+        for (i, sent) in in_flight.into_iter().enumerate() {
+            match exchange(&self.shards[i], sent, forward, read_partial_response) {
+                Ok(g) => gathered.push(g),
+                Err(GatherError::Query(msg)) => {
+                    if query_err.is_none() {
+                        query_err = Some(msg);
+                    }
+                }
+                Err(GatherError::Unavailable(detail)) => {
+                    if unavailable.is_none() {
+                        unavailable = Some((i, detail));
+                    }
+                }
+            }
+        }
+        // A query error is deterministic across the fleet (same spec, same
+        // replicated dims) — relay it even if some other shard was also
+        // down; a partial gather is *never* served as a complete answer.
+        if let Some(msg) = query_err {
+            return Err(RouterError::Query(msg));
+        }
+        if let Some((shard, detail)) = unavailable {
+            return Err(RouterError::ShardUnavailable { shard, detail });
+        }
+
+        let workers = gathered.iter().map(|g| g.stats.workers).max().unwrap_or(1);
+        let mut stats = ExecStats::default();
+        for (i, g) in gathered.iter().enumerate() {
+            stats.push(OpStats {
+                label: format!("gather: shard {i} @ {}", self.shards[i].addr()),
+                out_keys: g.partial.group_count(),
+                out_tuples: g.partial.group_count(),
+                index_kind: "wire".to_string(),
+                memory_bytes: 0,
+                micros: g.stats.total_micros,
+            });
+        }
+        let parts: Vec<PartialAggregate> = gathered.into_iter().map(|g| g.partial).collect();
+        let merged = merge_partial_aggregates(parts)
+            .map_err(|e| RouterError::Query(e.to_string()))?
+            .expect("at least one shard gathered");
+        let result = merged.into_result(order_by);
+        stats.total_micros = started.elapsed().as_micros();
+        Ok((result, stats, workers))
+    }
+
+    /// Sends a single-line-response command (`INFO`, `CACHE …`) to every
+    /// shard; returns the `OK` payloads in shard order.
+    fn fanout_status(&self, line: &str) -> Result<Vec<String>, RouterError> {
+        let in_flight: Vec<SendOutcome> = self
+            .shards
+            .iter()
+            .map(|pool| send_request(pool, line))
+            .collect();
+        let mut payloads = Vec::with_capacity(self.shards.len());
+        for (i, sent) in in_flight.into_iter().enumerate() {
+            let read = |c: &mut ShardConn| c.read_status();
+            payloads.push(exchange(&self.shards[i], sent, line, read).map_err(|e| e.at(i))?);
+        }
+        Ok(payloads)
+    }
+
+    /// Forwards a text-bodied command (`LIST`, `EXPLAIN`) to shard 0 and
+    /// relays the response. Plans and the query registry are identical on
+    /// every shard (same specs, same replicated dimension tables), so one
+    /// shard speaks for the fleet.
+    fn relay_text(&self, line: &str, w: &mut dyn Write) -> io::Result<()> {
+        let pool = &self.shards[0];
+        let sent = send_request(pool, line);
+        let read = |c: &mut ShardConn| {
+            let status = c.read_status()?;
+            let body = read_text_body(c.reader())?;
+            Ok((status, body))
+        };
+        match exchange(pool, sent, line, read) {
+            Err(e) => writeln!(w, "ERR {}", e.at(0)),
+            Ok((status, body)) => {
+                writeln!(w, "OK {status}")?;
+                for l in &body {
+                    writeln!(w, "{l}")?;
+                }
+                writeln!(w, "END")
+            }
+        }
+    }
+
+    /// `INFO` fan-out: fleet-level `shards=`/`rows=` (summed), the shared
+    /// descriptor fields from shard 0, and the per-shard map
+    /// (`shard<i>=<addr> rows<i>=<n>`).
+    fn handle_info(&self, w: &mut dyn Write) -> io::Result<()> {
+        match self.fanout_status("INFO") {
+            Err(e) => writeln!(w, "ERR {e}"),
+            Ok(lines) => {
+                let rows: Vec<u64> = lines
+                    .iter()
+                    .map(|l| {
+                        l.split_whitespace()
+                            .find_map(|kv| kv.strip_prefix("rows="))
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or(0)
+                    })
+                    .collect();
+                write!(
+                    w,
+                    "OK shards={} rows={}",
+                    self.shards.len(),
+                    rows.iter().sum::<u64>()
+                )?;
+                for kv in lines[0].split_whitespace() {
+                    match kv.split_once('=') {
+                        // Fleet-level or per-shard fields replace these.
+                        Some(("rows" | "shard" | "shards", _)) => {}
+                        Some(_) => write!(w, " {kv}")?,
+                        None => {}
+                    }
+                }
+                for (i, (pool, n)) in self.shards.iter().zip(&rows).enumerate() {
+                    write!(w, " shard{i}={} rows{i}={n}", pool.addr())?;
+                }
+                writeln!(w)
+            }
+        }
+    }
+
+    /// `CACHE` fan-out: `STATS` sums every per-tier counter across shards
+    /// (and appends `shards=N`); `CLEAR`/`CLEAR dims` clears everywhere.
+    fn handle_cache(&self, cmd: CacheCmd, w: &mut dyn Write) -> io::Result<()> {
+        let line = match cmd {
+            CacheCmd::Stats => "CACHE STATS",
+            CacheCmd::Clear => "CACHE CLEAR",
+            CacheCmd::ClearDims => "CACHE CLEAR dims",
+        };
+        match self.fanout_status(line) {
+            Err(e) => writeln!(w, "ERR {e}"),
+            Ok(lines) => match cmd {
+                CacheCmd::Clear => writeln!(w, "OK cleared"),
+                CacheCmd::ClearDims => writeln!(w, "OK cleared dims"),
+                CacheCmd::Stats => {
+                    // Sum counters key-wise, keeping shard 0's field order
+                    // so the line shape matches a single node's.
+                    let mut keys: Vec<&str> = Vec::new();
+                    let mut sums: BTreeMap<&str, u64> = BTreeMap::new();
+                    for l in &lines {
+                        for kv in l.split_whitespace() {
+                            if let Some((k, v)) = kv.split_once('=') {
+                                if !sums.contains_key(k) {
+                                    keys.push(k);
+                                }
+                                *sums.entry(k).or_insert(0) += v.parse::<u64>().unwrap_or(0);
+                            }
+                        }
+                    }
+                    write!(w, "OK")?;
+                    for k in keys {
+                        write!(w, " {k}={}", sums[k])?;
+                    }
+                    writeln!(w, " shards={}", self.shards.len())
+                }
+            },
+        }
+    }
+
+    /// Validates client options locally: `mode` is router-reserved, and
+    /// anything `apply_overrides` would reject on a shard is rejected here
+    /// without touching the fleet.
+    fn check_options(&self, options: &[(String, String)]) -> Result<(), String> {
+        if options.iter().any(|(k, _)| k == MODE_KEY) {
+            return Err(
+                "option mode is reserved on the router (it always gathers partials)".to_string(),
+            );
+        }
+        apply_overrides(PlanOptions::default(), options).map(|_| ())
+    }
+
+    /// Scatters the client's own `RUN`/`QUERY` line (plus `mode=partial`)
+    /// and writes the merged full response.
+    fn scatter_and_respond(
+        &self,
+        line: &str,
+        order_by: &[OrderKey],
+        mut w: &mut dyn Write,
+    ) -> io::Result<()> {
+        let forward = format!("{line} {MODE_KEY}=partial");
+        match self.scatter_partial(&forward, order_by) {
+            Err(e) => writeln!(w, "ERR {e}"),
+            Ok((result, stats, workers)) => write_run_response(&mut w, &result, &stats, workers),
+        }
+    }
+}
+
+impl LineService for Router {
+    fn handle(&self, line: &str, mut w: &mut dyn Write) -> io::Result<Reply> {
+        match parse_request(line) {
+            Err(msg) => writeln!(w, "ERR {msg}")?,
+            Ok(Request::Ping) => writeln!(w, "OK pong")?,
+            Ok(Request::Quit) => {
+                writeln!(w, "OK bye")?;
+                return Ok(Reply::Close);
+            }
+            Ok(Request::Shutdown) => {
+                // Stops the router only; shards are long-lived and keep
+                // serving (their own clients, or a restarted router).
+                writeln!(w, "OK shutting down")?;
+                return Ok(Reply::Shutdown);
+            }
+            Ok(Request::Info) => self.handle_info(&mut w)?,
+            Ok(Request::Cache(cmd)) => self.handle_cache(cmd, &mut w)?,
+            Ok(Request::List) | Ok(Request::Explain { .. }) | Ok(Request::ExplainSpec { .. }) => {
+                self.relay_text(line, &mut w)?
+            }
+            Ok(Request::Run { query, options }) => {
+                if let Err(msg) = self.check_options(&options) {
+                    writeln!(w, "ERR {msg}")?;
+                } else {
+                    match self.queries.get(&query) {
+                        // Mirrors the shard-side unknown-name error so
+                        // clients see one message either way.
+                        None => writeln!(
+                            w,
+                            "ERR unknown query {query} (LIST shows the registered names)"
+                        )?,
+                        Some(spec) => {
+                            let order_by = spec.order_by.clone();
+                            self.scatter_and_respond(line, &order_by, &mut w)?;
+                        }
+                    }
+                }
+            }
+            Ok(Request::Query { spec, options }) => {
+                if let Err(msg) = self.check_options(&options) {
+                    writeln!(w, "ERR {msg}")?;
+                } else {
+                    self.scatter_and_respond(line, &spec.order_by, &mut w)?;
+                }
+            }
+        }
+        Ok(Reply::Continue)
+    }
+}
+
+/// Serves `router` on `addr` under the default frontend tunables.
+pub fn serve_router(router: Arc<Router>, addr: &str) -> io::Result<ServerHandle> {
+    serve_router_with(router, addr, ServerConfig::default())
+}
+
+/// [`serve_router`] with explicit frontend tunables — the same
+/// [`ServerConfig`] (poll tick, request-line cap) as qppt-server, because
+/// it is literally the same frontend.
+pub fn serve_router_with(
+    router: Arc<Router>,
+    addr: &str,
+    config: ServerConfig,
+) -> io::Result<ServerHandle> {
+    serve_lines(router, addr, config)
+}
+
+/// Scatter-phase send: a pooled connection if possible, else the one
+/// bounded retry on a fresh dial (idle conns are cleared first — they date
+/// from before whatever broke).
+fn send_request(pool: &ShardPool, line: &str) -> SendOutcome {
+    let first = pool
+        .checkout()
+        .and_then(|mut c| c.send_line(line).map(|()| c));
+    match first {
+        Ok(conn) => SendOutcome::Sent {
+            conn,
+            retried: false,
+        },
+        Err(_) => {
+            pool.clear();
+            match pool.dial().and_then(|mut c| c.send_line(line).map(|()| c)) {
+                Ok(conn) => SendOutcome::Sent {
+                    conn,
+                    retried: true,
+                },
+                Err(e) => SendOutcome::Failed(e.to_string()),
+            }
+        }
+    }
+}
+
+/// Gather-phase read with the retry budget: a transport/protocol failure
+/// on a not-yet-retried shard gets one fresh dial + resend + reread (the
+/// request is an idempotent read). A shard `ERR` is a clean, complete
+/// exchange — the connection is checked back in and the error surfaces as
+/// [`GatherError::Query`].
+fn exchange<T>(
+    pool: &ShardPool,
+    sent: SendOutcome,
+    line: &str,
+    read: impl Fn(&mut ShardConn) -> Result<T, ClientError>,
+) -> Result<T, GatherError> {
+    let (mut conn, retried) = match sent {
+        SendOutcome::Sent { conn, retried } => (conn, retried),
+        SendOutcome::Failed(detail) => return Err(GatherError::Unavailable(detail)),
+    };
+    match read(&mut conn) {
+        Ok(v) => {
+            pool.checkin(conn);
+            Ok(v)
+        }
+        Err(ClientError::Server(msg)) => {
+            pool.checkin(conn);
+            Err(GatherError::Query(msg))
+        }
+        Err(e) => {
+            if retried {
+                return Err(GatherError::Unavailable(e.to_string()));
+            }
+            pool.clear();
+            let fresh = pool.dial().and_then(|mut c| c.send_line(line).map(|()| c));
+            match fresh {
+                Err(e2) => Err(GatherError::Unavailable(e2.to_string())),
+                Ok(mut c2) => match read(&mut c2) {
+                    Ok(v) => {
+                        pool.checkin(c2);
+                        Ok(v)
+                    }
+                    Err(ClientError::Server(msg)) => {
+                        pool.checkin(c2);
+                        Err(GatherError::Query(msg))
+                    }
+                    Err(e2) => Err(GatherError::Unavailable(e2.to_string())),
+                },
+            }
+        }
+    }
+}
+
+/// Reads one complete `PARTIAL` response off a shard connection.
+fn read_partial_response(conn: &mut ShardConn) -> Result<Gathered, ClientError> {
+    let status = conn.read_status()?;
+    let rows = parse_partial_status(&status).ok_or_else(|| {
+        ClientError::Protocol(format!("expected a partial status, got: {status}"))
+    })?;
+    let (partial, stats) = read_partial_body(conn.reader(), rows)?;
+    Ok(Gathered { partial, stats })
+}

@@ -1,0 +1,214 @@
+//! The distributed serving contract, end to end over real TCP:
+//!
+//! * all 13 SSB queries through a {1, 2, 4}-shard router, at per-request
+//!   parallelism {1, 4}, every merged response **byte-identical** to the
+//!   sequential single-node engine;
+//! * `INFO` fan-out reports the exact fleet row total and shard map;
+//! * ad-hoc `QUERY` through the router hits the shard-local dimension-σ
+//!   cache tier with exact counters (σ families are shared per shard,
+//!   across distinct queries).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use qppt_core::{prepare_indexes, PlanOptions, QpptEngine};
+use qppt_par::WorkerPool;
+use qppt_router::{serve_router, Router, RouterConfig};
+use qppt_server::{serve, QpptClient, ServeEngine, ServerHandle};
+use qppt_ssb::{queries, SsbDb};
+
+const SF: f64 = 0.01;
+const SEED: u64 = 42;
+
+struct Fleet {
+    pool: Arc<WorkerPool>,
+    shards: Vec<ServerHandle>,
+    router: ServerHandle,
+}
+
+fn start_fleet(shards: usize) -> Fleet {
+    let pool = WorkerPool::new(4, 16);
+    let defaults = PlanOptions::default()
+        .with_parallelism(2)
+        .with_par_index_build(true);
+    let mut handles = Vec::new();
+    let mut addrs = Vec::new();
+    for i in 0..shards {
+        let engine = ServeEngine::with_ssb_shard(SF, SEED, pool.clone(), defaults, i, shards)
+            .expect("shard engine builds");
+        let h = serve(Arc::new(engine), "127.0.0.1:0").expect("shard binds");
+        addrs.push(h.addr().to_string());
+        handles.push(h);
+    }
+    let router = Arc::new(Router::new(RouterConfig::new(addrs)));
+    router
+        .wait_for_shards(Duration::from_secs(30))
+        .expect("shards answer PING");
+    let router = serve_router(router, "127.0.0.1:0").expect("router binds");
+    Fleet {
+        pool,
+        shards: handles,
+        router,
+    }
+}
+
+impl Fleet {
+    fn stop(self) {
+        self.router.stop();
+        for h in self.shards {
+            h.stop();
+        }
+        self.pool.shutdown();
+    }
+}
+
+fn field<'a>(kvs: &'a [(String, String)], key: &str) -> &'a str {
+    kvs.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+        .unwrap_or_else(|| panic!("missing field {key} in {kvs:?}"))
+}
+
+#[test]
+fn thirteen_queries_byte_identical_at_every_shard_count() {
+    // The oracle: the sequential engine over the full, unsharded instance.
+    let opts = PlanOptions::default();
+    let mut ssb = SsbDb::generate(SF, SEED);
+    for q in queries::all_queries() {
+        prepare_indexes(&mut ssb.db, &q, &opts).expect("indexes build");
+    }
+    let total_rows = ssb
+        .db
+        .table("lineorder")
+        .expect("fact table")
+        .table()
+        .row_count();
+    let oracle = QpptEngine::new(&ssb.db);
+    let all = queries::all_queries();
+    let expected: Vec<_> = all
+        .iter()
+        .map(|q| oracle.run(q, &opts).expect("oracle runs"))
+        .collect();
+
+    for shards in [1usize, 2, 4] {
+        let fleet = start_fleet(shards);
+        let mut client = QpptClient::connect(fleet.router.addr()).expect("connect router");
+
+        // INFO fan-out: the shard row counts must sum to the full table.
+        let info = client.info().expect("router INFO");
+        assert_eq!(field(&info, "shards"), shards.to_string());
+        assert_eq!(
+            field(&info, "rows"),
+            total_rows.to_string(),
+            "fleet rows must sum to the unsharded instance at {shards} shards"
+        );
+        for i in 0..shards {
+            assert_eq!(
+                field(&info, &format!("shard{i}")),
+                fleet.shards[i].addr().to_string()
+            );
+        }
+
+        for par in ["1", "4"] {
+            for (qi, q) in all.iter().enumerate() {
+                let served = client
+                    .run(&q.id.to_ascii_lowercase(), &[("parallelism", par)])
+                    .unwrap_or_else(|e| {
+                        panic!(
+                            "{} via {shards}-shard router (parallelism {par}): {e}",
+                            q.id
+                        )
+                    });
+                // Byte-identical: same labels, same rows in the same
+                // order, same aggregate values — whatever the shard count
+                // and per-shard parallelism.
+                assert_eq!(
+                    served.result, expected[qi],
+                    "{} through {shards}-shard router at parallelism {par}",
+                    q.id
+                );
+            }
+        }
+        client.quit().expect("clean quit");
+        fleet.stop();
+    }
+}
+
+#[test]
+fn adhoc_queries_share_shard_local_sigma_families() {
+    // Two distinct ad-hoc queries with identical dimension σ families
+    // (same predicates, same carried columns) but a different group-key
+    // order — a different plan, a different selection fingerprint. The
+    // second must hit the dimension tier on *every* shard.
+    let adhoc_a = "fact=lineorder \
+         dim=supplier[join=s_suppkey:lo_suppkey;s_region='ASIA';carry=s_nation] \
+         dim=date[join=d_datekey:lo_orderdate;d_year between 1993 and 1996;carry=d_year] \
+         agg=sum(lo_revenue):rev group=supplier.s_nation,date.d_year \
+         order=group:0,group:1 id=sigma-a";
+    let adhoc_b = "fact=lineorder \
+         dim=supplier[join=s_suppkey:lo_suppkey;s_region='ASIA';carry=s_nation] \
+         dim=date[join=d_datekey:lo_orderdate;d_year between 1993 and 1996;carry=d_year] \
+         agg=sum(lo_revenue):rev group=date.d_year,supplier.s_nation \
+         order=group:0,group:1 id=sigma-b";
+    // Dim 0 (supplier) is *fused* into the select-join under the default
+    // plan options and never touches the dimension tier; only the date σ
+    // is materialized and cached. So: one dim-tier event per query per
+    // shard.
+    const CACHED_DIMS: u64 = 1;
+    const SHARDS: u64 = 2;
+
+    let opts = PlanOptions::default();
+    let mut ssb = SsbDb::generate(SF, SEED);
+    for q in queries::all_queries() {
+        prepare_indexes(&mut ssb.db, &q, &opts).expect("indexes build");
+    }
+    let spec_a = qppt_query::parse(adhoc_a).expect("ad-hoc A parses");
+    let spec_b = qppt_query::parse(adhoc_b).expect("ad-hoc B parses");
+    prepare_indexes(&mut ssb.db, &spec_a, &opts).expect("A indexes build");
+    prepare_indexes(&mut ssb.db, &spec_b, &opts).expect("B indexes build");
+    let oracle = QpptEngine::new(&ssb.db);
+    let expected_a = oracle.run(&spec_a, &opts).expect("oracle runs A");
+    let expected_b = oracle.run(&spec_b, &opts).expect("oracle runs B");
+
+    let fleet = start_fleet(SHARDS as usize);
+    let mut client = QpptClient::connect(fleet.router.addr()).expect("connect router");
+
+    let stat = |kvs: &[(String, String)], key: &str| -> u64 {
+        field(kvs, key)
+            .parse()
+            .unwrap_or_else(|_| panic!("non-numeric {key}"))
+    };
+    let s0 = client.cache_stats().expect("stats");
+    assert_eq!(field(&s0, "shards"), SHARDS.to_string());
+
+    let served_a = client.query(adhoc_a, &[]).expect("A through router");
+    assert_eq!(served_a.result, expected_a, "ad-hoc A through router");
+    let s1 = client.cache_stats().expect("stats");
+    // First sighting of the σ family: every shard materializes both
+    // dimension selections itself — summed across the fleet by STATS.
+    assert_eq!(
+        stat(&s1, "dim_misses") - stat(&s0, "dim_misses"),
+        CACHED_DIMS * SHARDS,
+        "ad-hoc A must build {CACHED_DIMS} σ selection(s) on each of {SHARDS} shards"
+    );
+    assert_eq!(stat(&s1, "dim_hits"), stat(&s0, "dim_hits"));
+
+    let served_b = client.query(adhoc_b, &[]).expect("B through router");
+    assert_eq!(served_b.result, expected_b, "ad-hoc B through router");
+    let s2 = client.cache_stats().expect("stats");
+    // Same σ families, different query: shard-local sharing, exactly once
+    // per family per shard.
+    assert_eq!(
+        stat(&s2, "dim_hits") - stat(&s1, "dim_hits"),
+        CACHED_DIMS * SHARDS,
+        "ad-hoc B must share {CACHED_DIMS} σ selection(s) on each of {SHARDS} shards"
+    );
+    assert_eq!(
+        stat(&s2, "dim_misses"),
+        stat(&s1, "dim_misses"),
+        "ad-hoc B must not rebuild any σ selection"
+    );
+
+    client.quit().expect("clean quit");
+    fleet.stop();
+}

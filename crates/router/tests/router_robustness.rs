@@ -1,0 +1,182 @@
+//! Failure behavior of the router, end to end over real TCP:
+//!
+//! * killing a shard turns the next query into a structured
+//!   `ERR shard <i> unavailable (…)` — the router connection keeps
+//!   serving, and the surviving shard is unaffected;
+//! * restarting the shard at the same address heals the fleet on the very
+//!   next request (fresh dial after the pooled connections were dropped);
+//! * malformed and oversized request lines at the router get the same
+//!   drain-and-`ERR` treatment as on a shard — never a dead connection.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use qppt_core::{prepare_indexes, PlanOptions, QpptEngine};
+use qppt_par::WorkerPool;
+use qppt_router::{serve_router, Router, RouterConfig};
+use qppt_server::{serve, ClientError, QpptClient, ServeEngine};
+use qppt_ssb::{queries, SsbDb};
+
+const SF: f64 = 0.005;
+const SEED: u64 = 42;
+
+#[test]
+fn shard_death_is_structured_and_restart_heals() {
+    let pool = WorkerPool::new(2, 8);
+    let defaults = PlanOptions::default()
+        .with_parallelism(2)
+        .with_par_index_build(true);
+    // Keep the engines so shard 1 can be restarted on the same address
+    // with the same data.
+    let engines: Vec<Arc<ServeEngine>> = (0..2)
+        .map(|i| {
+            Arc::new(
+                ServeEngine::with_ssb_shard(SF, SEED, pool.clone(), defaults, i, 2)
+                    .expect("shard engine builds"),
+            )
+        })
+        .collect();
+    let shard0 = serve(engines[0].clone(), "127.0.0.1:0").expect("shard 0 binds");
+    let shard1 = serve(engines[1].clone(), "127.0.0.1:0").expect("shard 1 binds");
+    let shard0_addr = shard0.addr().to_string();
+    let shard1_addr = shard1.addr().to_string();
+
+    // Tight timeouts: a dead shard must fail fast, not hang the client.
+    let mut config = RouterConfig::new(vec![shard0_addr.clone(), shard1_addr.clone()]);
+    config.connect_timeout = Duration::from_secs(2);
+    config.read_timeout = Duration::from_secs(10);
+    let router = Arc::new(Router::new(config));
+    router
+        .wait_for_shards(Duration::from_secs(30))
+        .expect("shards answer PING");
+    let rh = serve_router(router, "127.0.0.1:0").expect("router binds");
+
+    let opts = PlanOptions::default();
+    let mut ssb = SsbDb::generate(SF, SEED);
+    for q in queries::all_queries() {
+        prepare_indexes(&mut ssb.db, &q, &opts).expect("indexes build");
+    }
+    let oracle = QpptEngine::new(&ssb.db);
+    let expected = oracle.run(&queries::q2_3(), &opts).expect("oracle runs");
+
+    let mut client = QpptClient::connect(rh.addr()).expect("connect router");
+    let served = client.run("q2.3", &[]).expect("baseline through 2 shards");
+    assert_eq!(served.result, expected, "baseline merged answer");
+
+    // Kill shard 1. The router still holds pooled connections to it, so
+    // the next scatter exercises the stale-conn path: read fails, the one
+    // reconnect retry dials a dead address, and the client gets the
+    // structured error — bounded, never a hang, never a partial answer.
+    shard1.stop();
+    let t0 = Instant::now();
+    match client.run("q2.3", &[]) {
+        Err(ClientError::Server(msg)) => {
+            assert!(
+                msg.contains("shard 1 unavailable"),
+                "want structured shard error, got: {msg}"
+            );
+        }
+        other => panic!("want ERR shard 1 unavailable, got {other:?}"),
+    }
+    assert!(
+        t0.elapsed() < Duration::from_secs(20),
+        "shard death must fail fast, took {:?}",
+        t0.elapsed()
+    );
+
+    // The router connection keeps serving …
+    client
+        .ping()
+        .expect("router connection alive after shard death");
+    // … and the survivor is genuinely unaffected: direct queries to
+    // shard 0 still work (its own shard-local answer).
+    let mut direct = QpptClient::connect(&*shard0_addr).expect("connect shard 0");
+    direct.run("q1.1", &[]).expect("survivor still serves");
+    direct.quit().expect("clean quit");
+
+    // Restart shard 1 at the same address with the same engine. The
+    // listener port was just freed; a short retry absorbs the race.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let shard1 = loop {
+        match serve(engines[1].clone(), &shard1_addr) {
+            Ok(h) => break h,
+            Err(e) if Instant::now() >= deadline => panic!("rebind {shard1_addr}: {e}"),
+            Err(_) => std::thread::sleep(Duration::from_millis(100)),
+        }
+    };
+
+    // The next query heals via a fresh dial — same merged bytes as before.
+    let served = client.run("q2.3", &[]).expect("healed after shard restart");
+    assert_eq!(served.result, expected, "merged answer after restart");
+
+    client.quit().expect("clean quit");
+    rh.stop();
+    shard0.stop();
+    shard1.stop();
+    pool.shutdown();
+}
+
+#[test]
+fn malformed_and_oversized_lines_get_drain_and_err() {
+    let pool = WorkerPool::new(2, 8);
+    let defaults = PlanOptions::default()
+        .with_parallelism(2)
+        .with_par_index_build(true);
+    let engine = Arc::new(
+        ServeEngine::with_ssb_shard(SF, SEED, pool.clone(), defaults, 0, 1)
+            .expect("shard engine builds"),
+    );
+    let shard = serve(engine, "127.0.0.1:0").expect("shard binds");
+    let router = Arc::new(Router::new(RouterConfig::new(vec![shard
+        .addr()
+        .to_string()])));
+    router
+        .wait_for_shards(Duration::from_secs(30))
+        .expect("shard answers PING");
+    let rh = serve_router(router, "127.0.0.1:0").expect("router binds");
+
+    let stream = TcpStream::connect(rh.addr()).expect("raw connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let mut line = String::new();
+    let mut ask = |w: &mut TcpStream, r: &mut BufReader<TcpStream>, req: &[u8]| -> String {
+        w.write_all(req).expect("send");
+        w.flush().expect("flush");
+        line.clear();
+        r.read_line(&mut line).expect("response line");
+        line.trim_end().to_string()
+    };
+
+    // Unknown verb: structured ERR, connection keeps serving.
+    let resp = ask(&mut writer, &mut reader, b"FROBNICATE now\n");
+    assert!(resp.starts_with("ERR unknown verb"), "got: {resp}");
+
+    // Client-supplied mode is rejected at the router (it owns the partial
+    // protocol with its shards).
+    let resp = ask(&mut writer, &mut reader, b"RUN q1.1 mode=partial\n");
+    assert!(
+        resp.starts_with("ERR") && resp.contains("mode"),
+        "got: {resp}"
+    );
+
+    // Unknown query name is resolved locally — same message as a shard's.
+    let resp = ask(&mut writer, &mut reader, b"RUN q9.9\n");
+    assert!(resp.contains("unknown query q9.9"), "got: {resp}");
+
+    // An oversized line (> 64 KiB default cap) is drained and answered
+    // with ERR, not buffered without bound and not a dead connection.
+    let mut big = vec![b'a'; 80 * 1024];
+    big.push(b'\n');
+    let resp = ask(&mut writer, &mut reader, &big);
+    assert!(resp.starts_with("ERR request line exceeds"), "got: {resp}");
+
+    // Still alive, still correct.
+    let resp = ask(&mut writer, &mut reader, b"PING\n");
+    assert_eq!(resp, "OK pong");
+
+    rh.stop();
+    shard.stop();
+    pool.shutdown();
+}

@@ -12,6 +12,12 @@
 //! Cache flags: `--no-cache` serves every `RUN` uncached,
 //! `--cache-dim-mb` sizes the shared dimension-σ tier's byte budget, and
 //! `--cache-ttl-secs` reclaims entries idle for longer (0 = no age limit).
+//!
+//! Sharding: `--shard i/n` makes this server shard *i* of an *n*-node
+//! deployment behind `qppt-router` — the generator keeps only the fact
+//! rows whose `lo_orderdate` falls in `shard_bounds(i, n)` (dimension
+//! tables are replicated in full), and `INFO` reports `shard=i/n`. All
+//! shards must share `--sf` and `--seed`.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -32,6 +38,15 @@ fn arg<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
         .unwrap_or(default)
 }
 
+fn parse_shard(spec: &str) -> (usize, usize) {
+    let parse = || -> Option<(usize, usize)> {
+        let (i, n) = spec.split_once('/')?;
+        let (i, n) = (i.trim().parse().ok()?, n.trim().parse().ok()?);
+        (n >= 1 && i < n).then_some((i, n))
+    };
+    parse().unwrap_or_else(|| panic!("bad value for --shard: {spec} (expected i/n with i < n)"))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let addr: String = arg(&args, "--addr", "127.0.0.1:7878".to_string());
@@ -45,6 +60,8 @@ fn main() {
     let no_cache = args.iter().any(|a| a == "--no-cache");
     let cache_dim_mb: usize = arg(&args, "--cache-dim-mb", 256);
     let cache_ttl_secs: f64 = arg(&args, "--cache-ttl-secs", 0.0);
+    let shard_spec: String = arg(&args, "--shard", "0/1".to_string());
+    let (shard, shards) = parse_shard(&shard_spec);
 
     if cores == 1 {
         eprintln!(
@@ -69,9 +86,16 @@ fn main() {
         }
     };
 
-    eprintln!("generating SSB at sf={sf} (seed {seed}) and preparing indexes …");
+    if shards > 1 {
+        eprintln!(
+            "generating SSB shard {shard}/{shards} at sf={sf} (seed {seed}) and preparing \
+             indexes …"
+        );
+    } else {
+        eprintln!("generating SSB at sf={sf} (seed {seed}) and preparing indexes …");
+    }
     let t0 = Instant::now();
-    let mut ssb = qppt_ssb::SsbDb::generate(sf, seed);
+    let mut ssb = qppt_ssb::SsbDb::generate_shard(sf, seed, shard, shards);
     for q in qppt_ssb::queries::all_queries() {
         qppt_par::prepare_indexes_pooled(&mut ssb.db, &q, &defaults, &pool).expect("SSB prepares");
     }
@@ -82,7 +106,8 @@ fn main() {
         sf,
         seed,
         cache_config,
-    );
+    )
+    .with_shard_info(shard, shards);
     eprintln!(
         "ready in {:.1}s ({} pool threads, admission {}, parallel index build: {}, query cache: \
          {})",

@@ -5,14 +5,26 @@ use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
+use qppt_core::PartialAggregate;
 use qppt_storage::QueryResult;
 
-use crate::protocol::{read_run_body, read_status, read_text_body, ClientError, ServedStats};
+use crate::protocol::{
+    parse_partial_status, read_partial_body, read_run_body, read_status, read_text_body,
+    ClientError, ServedStats,
+};
 
 /// A served query result plus its execution statistics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Served {
     pub result: QueryResult,
+    pub stats: ServedStats,
+}
+
+/// A served *partial* aggregate (`mode=partial`) plus its statistics —
+/// what the router gathers from each shard before merging.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServedPartial {
+    pub partial: PartialAggregate,
     pub stats: ServedStats,
 }
 
@@ -120,6 +132,48 @@ impl QpptClient {
             .ok_or_else(|| ClientError::Protocol(format!("bad QUERY status: {status}")))?;
         let (result, stats) = read_run_body(&mut self.reader, rows)?;
         Ok(Served { result, stats })
+    }
+
+    /// `RUN <query> … mode=partial` → the shard-local partial aggregate.
+    /// This is the gather half of the router's scatter; plain clients can
+    /// call it too (the partial of an unsharded server is its full
+    /// answer, just undecoded and unordered).
+    pub fn run_partial(
+        &mut self,
+        query: &str,
+        options: &[(&str, &str)],
+    ) -> Result<ServedPartial, ClientError> {
+        let mut line = format!("RUN {query}");
+        for (k, v) in options {
+            line.push_str(&format!(" {k}={v}"));
+        }
+        line.push_str(" mode=partial");
+        self.send(&line)?;
+        let status = read_status(&mut self.reader)?;
+        let rows = parse_partial_status(&status)
+            .ok_or_else(|| ClientError::Protocol(format!("bad partial RUN status: {status}")))?;
+        let (partial, stats) = read_partial_body(&mut self.reader, rows)?;
+        Ok(ServedPartial { partial, stats })
+    }
+
+    /// `QUERY <text> … mode=partial` → the shard-local partial aggregate
+    /// of an ad-hoc query.
+    pub fn query_partial(
+        &mut self,
+        text: &str,
+        options: &[(&str, &str)],
+    ) -> Result<ServedPartial, ClientError> {
+        let mut line = format!("QUERY {text}");
+        for (k, v) in options {
+            line.push_str(&format!(" {k}={v}"));
+        }
+        line.push_str(" mode=partial");
+        self.send(&line)?;
+        let status = read_status(&mut self.reader)?;
+        let rows = parse_partial_status(&status)
+            .ok_or_else(|| ClientError::Protocol(format!("bad partial QUERY status: {status}")))?;
+        let (partial, stats) = read_partial_body(&mut self.reader, rows)?;
+        Ok(ServedPartial { partial, stats })
     }
 
     /// `EXPLAIN <inline query text>` → rendered plan of an ad-hoc query.

@@ -48,7 +48,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use qppt_cache::{CacheConfig, CacheStats, CachedResult, QueryCache, QueryFingerprint};
-use qppt_core::{ExecStats, OpStats, PlanOptions, QpptEngine, QpptError};
+use qppt_core::{ExecStats, OpStats, PartialAggregate, PlanOptions, QpptEngine, QpptError};
 use qppt_par::{prepare_indexes_pooled, PooledEngine, WorkerPool};
 use qppt_ssb::{queries, SsbDb};
 use qppt_storage::{Database, QueryResult, QuerySpec};
@@ -67,6 +67,13 @@ pub struct ServeInfo {
     /// Detected hardware parallelism (1 means intra-query speedups are
     /// impossible on this host — the `par_scaling` caveat).
     pub cores: usize,
+    /// Fact (`lineorder`) rows this instance holds — the shard's share in
+    /// a sharded deployment, the whole table otherwise.
+    pub rows: usize,
+    /// Shard index this instance owns (0 for an unsharded server).
+    pub shard: usize,
+    /// Total shard count of the deployment (1 for an unsharded server).
+    pub shards: usize,
 }
 
 /// The shared query-service engine (see module docs). Wrap it in an
@@ -93,11 +100,37 @@ impl ServeEngine {
         pool: Arc<WorkerPool>,
         defaults: PlanOptions,
     ) -> Result<Self, QpptError> {
-        let mut ssb = SsbDb::generate(sf, seed);
+        Self::with_ssb_shard(sf, seed, pool, defaults, 0, 1)
+    }
+
+    /// [`with_ssb`](Self::with_ssb) for shard `shard` of `shards`: the
+    /// generator keeps only the fact rows whose `lo_orderdate` falls in
+    /// [`qppt_ssb::shard_bounds`]`(shard, shards)` (dimension tables are
+    /// replicated in full), and `INFO` reports the shard position.
+    pub fn with_ssb_shard(
+        sf: f64,
+        seed: u64,
+        pool: Arc<WorkerPool>,
+        defaults: PlanOptions,
+        shard: usize,
+        shards: usize,
+    ) -> Result<Self, QpptError> {
+        let mut ssb = SsbDb::generate_shard(sf, seed, shard, shards);
         for q in queries::all_queries() {
             prepare_indexes_pooled(&mut ssb.db, &q, &defaults, &pool)?;
         }
-        Ok(Self::over_db(Arc::new(ssb.db), pool, defaults, sf, seed))
+        Ok(
+            Self::over_db(Arc::new(ssb.db), pool, defaults, sf, seed)
+                .with_shard_info(shard, shards),
+        )
+    }
+
+    /// Stamps the shard position reported by `INFO` (builder-style, for
+    /// callers that assemble the engine via the `over_db*` constructors).
+    pub fn with_shard_info(mut self, shard: usize, shards: usize) -> Self {
+        self.info.shard = shard;
+        self.info.shards = shards;
+        self
     }
 
     /// Serves an already prepared database (indexes for every registered
@@ -164,6 +197,12 @@ impl ServeEngine {
             pool_threads: pool.size(),
             admission: pool.max_active(),
             cores: detected_cores(),
+            rows: db
+                .table("lineorder")
+                .map(|t| t.table().row_count())
+                .unwrap_or(0),
+            shard: 0,
+            shards: 1,
         };
         Self {
             engine: PooledEngine::new(db, pool),
@@ -304,44 +343,7 @@ impl ServeEngine {
             return Ok((hit.result.clone(), stats));
         }
 
-        // Tier 2: the composed PreparedQuery (a hit skips build_plan, the
-        // per-dimension cache walk, and the fused-selection scan — the
-        // PreparedQuery already owns its plan and σ handles, so the plan
-        // and dimension tiers are only consulted on a selection miss).
-        let (prepared, tier_label, assembly) = match self.cache.get_selections(&fp) {
-            Some(p) => (p, "cache: selection hit", None),
-            None => {
-                // Tier 1: plan (skips build_plan on hit — and with it the
-                // whole validate pass: a cached plan at this fingerprint
-                // proves the spec and its indexes validated at these very
-                // table versions).
-                let (plan, label) = match self.cache.get_plan(&fp) {
-                    Some(p) => (p, "cache: plan hit"),
-                    None => {
-                        // Cold: build_plan runs the catalog validation
-                        // itself (typed errors first — an unknown column
-                        // beats a missing index on that column); the
-                        // index-availability check layers on top before
-                        // any materialization, execution, or caching.
-                        let p = Arc::new(
-                            qppt_core::build_plan(db, spec, opts).map_err(ServeError::Engine)?,
-                        );
-                        qppt_core::validate_indexes(db, spec, opts).map_err(ServeError::Engine)?;
-                        self.cache.put_plan(&fp, p.clone());
-                        (p, "cache: cold")
-                    }
-                };
-                // Assemble from parts: shared σ handles out of the
-                // dimension tier, missing ones materialized + cached.
-                let (prepared, assembly) = self
-                    .cache
-                    .prepare_from_parts(db, plan, opts, db.snapshot())
-                    .map_err(ServeError::Engine)?;
-                let p = Arc::new(prepared);
-                self.cache.put_selections(&fp, p.clone());
-                (p, label, Some(assembly))
-            }
-        };
+        let (prepared, tier_label, assembly) = self.assemble_prepared(&fp, spec, opts)?;
 
         let (result, mut stats) = self
             .engine
@@ -355,19 +357,107 @@ impl ServeEngine {
             }),
         );
         stats.push(cache_op(tier_label, result.rows.len()));
-        if let Some(a) = assembly {
-            if a.shared + a.built > 0 {
-                // keys = σ served from the dim tier, tuples = σ built now.
-                let mut op = cache_op(
-                    &format!("cache: dims {} shared / {} built", a.shared, a.built),
-                    a.shared,
-                );
-                op.out_tuples = a.built;
-                stats.push(op);
-            }
-        }
+        push_assembly_op(&mut stats, assembly);
         stats.total_micros = started.elapsed().as_micros();
         Ok((result, stats))
+    }
+
+    /// The partial-mode serving pipeline (`mode=partial` — what shards run
+    /// for `qppt-router`): same validate → plan → cache → execute path as
+    /// [`run_spec`](Self::run_spec), but execution stops at the merged
+    /// aggregation index, serialized as a [`PartialAggregate`] for the
+    /// router to merge and decode. The plan, dimension, and selection
+    /// tiers all participate exactly as in full mode — a shard-local σ
+    /// family warmed by one routed query is shared with the next — only
+    /// the *result* tier is skipped (it stores decoded, ordered results;
+    /// partials are merged upstream, so caching them here would never be
+    /// consulted by full-mode runs).
+    pub fn run_spec_partial(
+        &self,
+        spec: &QuerySpec,
+        opts: &PlanOptions,
+        priority: i32,
+        use_cache: bool,
+    ) -> Result<(PartialAggregate, ExecStats), ServeError> {
+        let db = self.engine.db();
+        if !use_cache || !self.cache.enabled() {
+            qppt_core::validate(db, spec, opts).map_err(ServeError::Engine)?;
+            let snap = db.snapshot();
+            let (plan, agg, stats) = self
+                .engine
+                .run_at_agg(spec, opts, snap, priority)
+                .map_err(ServeError::Engine)?;
+            return Ok((PartialAggregate::from_agg(db, &plan, &agg), stats));
+        }
+
+        let started = Instant::now();
+        let fp = match QueryFingerprint::compute(db, spec, opts) {
+            Ok(fp) => fp,
+            Err(e) => {
+                qppt_core::validate(db, spec, opts).map_err(ServeError::Engine)?;
+                return Err(ServeError::Engine(QpptError::Storage(e)));
+            }
+        };
+        let (prepared, tier_label, assembly) = self.assemble_prepared(&fp, spec, opts)?;
+        let (agg, mut stats) = self
+            .engine
+            .run_prepared_agg(&prepared, priority)
+            .map_err(ServeError::Engine)?;
+        let partial = PartialAggregate::from_agg(db, &prepared.plan, &agg);
+        stats.push(cache_op(tier_label, partial.rows.len()));
+        push_assembly_op(&mut stats, assembly);
+        stats.total_micros = started.elapsed().as_micros();
+        Ok((partial, stats))
+    }
+
+    /// Tiers 1–2 of the cached pipeline, shared by full and partial mode:
+    /// fetch or compose the [`PreparedQuery`](qppt_core::PreparedQuery)
+    /// through the selection, plan, and dimension tiers.
+    fn assemble_prepared(
+        &self,
+        fp: &QueryFingerprint,
+        spec: &QuerySpec,
+        opts: &PlanOptions,
+    ) -> Result<PreparedParts, ServeError> {
+        let db = self.engine.db();
+        // Tier 2: the composed PreparedQuery (a hit skips build_plan, the
+        // per-dimension cache walk, and the fused-selection scan — the
+        // PreparedQuery already owns its plan and σ handles, so the plan
+        // and dimension tiers are only consulted on a selection miss).
+        match self.cache.get_selections(fp) {
+            Some(p) => Ok((p, "cache: selection hit", None)),
+            None => {
+                // Tier 1: plan (skips build_plan on hit — and with it the
+                // whole validate pass: a cached plan at this fingerprint
+                // proves the spec and its indexes validated at these very
+                // table versions).
+                let (plan, label) = match self.cache.get_plan(fp) {
+                    Some(p) => (p, "cache: plan hit"),
+                    None => {
+                        // Cold: build_plan runs the catalog validation
+                        // itself (typed errors first — an unknown column
+                        // beats a missing index on that column); the
+                        // index-availability check layers on top before
+                        // any materialization, execution, or caching.
+                        let p = Arc::new(
+                            qppt_core::build_plan(db, spec, opts).map_err(ServeError::Engine)?,
+                        );
+                        qppt_core::validate_indexes(db, spec, opts).map_err(ServeError::Engine)?;
+                        self.cache.put_plan(fp, p.clone());
+                        (p, "cache: cold")
+                    }
+                };
+                // Assemble from parts: shared σ handles out of the
+                // dimension tier, missing ones materialized + cached.
+                let (prepared, assembly) = self
+                    .cache
+                    .prepare_from_parts(db, plan, opts, db.snapshot())
+                    .map_err(ServeError::Engine)?;
+                let p = Arc::new(prepared);
+                self.cache.put_selections(fp, p.clone());
+                Ok((p, label, Some(assembly)))
+            }
+        }
     }
 
     /// Renders the physical plan of a named query under the default
@@ -388,6 +478,30 @@ impl ServeEngine {
             .map_err(ServeError::Engine)?;
         qppt_core::validate_indexes(db, spec, opts).map_err(ServeError::Engine)?;
         Ok(rendered)
+    }
+}
+
+/// The product of [`ServeEngine::assemble_prepared`]: the prepared query,
+/// the tier that produced it, and (on the assemble-from-parts path) the
+/// dimension-tier share/build counts.
+type PreparedParts = (
+    Arc<qppt_core::PreparedQuery>,
+    &'static str,
+    Option<qppt_cache::DimAssembly>,
+);
+
+/// Appends the dimension-assembly `# op` record, when σ work happened.
+fn push_assembly_op(stats: &mut ExecStats, assembly: Option<qppt_cache::DimAssembly>) {
+    if let Some(a) = assembly {
+        if a.shared + a.built > 0 {
+            // keys = σ served from the dim tier, tuples = σ built now.
+            let mut op = cache_op(
+                &format!("cache: dims {} shared / {} built", a.shared, a.built),
+                a.shared,
+            );
+            op.out_tuples = a.built;
+            stats.push(op);
+        }
     }
 }
 

@@ -62,7 +62,7 @@ mod engine;
 pub mod protocol;
 mod server;
 
-pub use client::{QpptClient, Served};
+pub use client::{QpptClient, Served, ServedPartial};
 pub use engine::{detected_cores, render_cache_stats, ServeEngine, ServeError, ServeInfo};
 pub use protocol::{CacheCmd, ClientError, RunControls, ServedStats};
-pub use server::{serve, serve_with, ServerConfig, ServerHandle};
+pub use server::{serve, serve_lines, serve_with, LineService, Reply, ServerConfig, ServerHandle};

@@ -27,7 +27,7 @@
 //! option     = key "=" value
 //! key        = "parallelism" | "morsel_bits" | "join_buffer"
 //!            | "select_join" | "par_selections" | "par_scans"
-//!            | "par_joins" | "priority" | "cache"
+//!            | "par_joins" | "priority" | "cache" | "mode"
 //! ```
 //!
 //! `QUERY` carries an arbitrary ad-hoc query in the `qppt-query` language
@@ -68,13 +68,36 @@
 //! this is a demonstrator protocol, not an escaping showcase.) `#` lines
 //! carry execution statistics and are informational.
 //!
+//! ## PARTIAL response (`mode=partial`)
+//!
+//! A `RUN`/`QUERY` with the option `mode=partial` — what `qppt-router`
+//! sends to its shards — answers the *undecoded* aggregation index instead
+//! of the ordered result:
+//!
+//! ```text
+//! OK partial <group-count>
+//! COLS <group-cols|-> <agg-cols>
+//! P TAB <packed-key> *( TAB <field> )
+//! …
+//! # total_micros=<n> workers=<n>
+//! # op <label> | micros=<n> keys=<n> tuples=<n> index=<kind>
+//! …
+//! END
+//! ```
+//!
+//! `P` lines are emitted in ascending packed-key order (the aggregation
+//! index's own iteration order): the raw `u64` group key first, then the
+//! decoded group values (typed like `ROW` fields) and the accumulator sums
+//! as plain decimals. The query's ORDER BY is *not* applied — the router
+//! merges shards by key and orders once, after the merge.
+//!
 //! Verbs are case-insensitive; unknown verbs, unknown queries, and unknown
 //! or malformed options produce `ERR <message>` and leave the connection
 //! open. See the README for an example session.
 
 use std::io::{self, BufRead, Write};
 
-use qppt_core::{ExecStats, PlanOptions};
+use qppt_core::{ExecStats, PartialAggregate, PartialRow, PlanOptions};
 use qppt_storage::{QueryResult, QuerySpec, ResultRow, Value};
 
 /// A parsed client request.
@@ -244,14 +267,22 @@ pub const PRIORITY_KEY: &str = "priority";
 /// Cache bypass extracted from `RUN` options (not a [`PlanOptions`] knob).
 pub const CACHE_KEY: &str = "cache";
 
+/// Response-mode switch extracted from `RUN` options (not a
+/// [`PlanOptions`] knob): `mode=partial` requests the undecoded
+/// partial-aggregate response the router consumes.
+pub const MODE_KEY: &str = "mode";
+
 /// Per-request controls that ride on a `RUN` line but are not plan
-/// options: pool priority and the query-cache switch.
+/// options: pool priority, the query-cache switch, and the response mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunControls {
     /// Pool priority (higher preempts lower for idle workers).
     pub priority: i32,
     /// `false` bypasses the query cache for this request only.
     pub use_cache: bool,
+    /// `true` answers the undecoded partial aggregate (`mode=partial`)
+    /// instead of the ordered, decoded result.
+    pub partial: bool,
 }
 
 impl Default for RunControls {
@@ -259,6 +290,7 @@ impl Default for RunControls {
         Self {
             priority: 0,
             use_cache: true,
+            partial: false,
         }
     }
 }
@@ -287,10 +319,17 @@ pub fn apply_overrides(
             "par_joins" => opts.par_joins = parse_bool(v).ok_or_else(|| bad("bool"))?,
             PRIORITY_KEY => controls.priority = v.parse().map_err(|_| bad("integer"))?,
             CACHE_KEY => controls.use_cache = parse_bool(v).ok_or_else(|| bad("bool"))?,
+            MODE_KEY => {
+                controls.partial = match v.as_str() {
+                    "partial" => true,
+                    "full" => false,
+                    _ => return Err(bad("full or partial")),
+                }
+            }
             other => {
                 return Err(format!(
                     "unknown option {other} (try parallelism, morsel_bits, join_buffer, \
-                     select_join, par_selections, par_scans, par_joins, priority, cache)"
+                     select_join, par_selections, par_scans, par_joins, priority, cache, mode)"
                 ))
             }
         }
@@ -346,6 +385,11 @@ pub fn write_run_response(
         }
         writeln!(w)?;
     }
+    write_stats_lines(w, stats, workers)?;
+    writeln!(w, "END")
+}
+
+fn write_stats_lines(w: &mut impl Write, stats: &ExecStats, workers: usize) -> io::Result<()> {
     writeln!(
         w,
         "# total_micros={} workers={}",
@@ -358,7 +402,142 @@ pub fn write_run_response(
             op.label, op.micros, op.out_keys, op.out_tuples, op.index_kind
         )?;
     }
+    Ok(())
+}
+
+/// Writes a full `PARTIAL` response (status, columns, `P` rows, stats,
+/// `END`) — the shard-side answer to `mode=partial`.
+pub fn write_partial_response(
+    w: &mut impl Write,
+    partial: &PartialAggregate,
+    stats: &ExecStats,
+    workers: usize,
+) -> io::Result<()> {
+    writeln!(w, "OK partial {}", partial.rows.len())?;
+    let groups = if partial.group_cols.is_empty() {
+        "-".to_string()
+    } else {
+        partial.group_cols.join(",")
+    };
+    writeln!(w, "COLS {} {}", groups, partial.agg_cols.join(","))?;
+    for row in &partial.rows {
+        write!(w, "P\t{}", row.key)?;
+        for v in &row.group_values {
+            match v {
+                Value::Int(i) => write!(w, "\ti:{i}")?,
+                Value::Str(s) => write!(w, "\ts:{s}")?,
+            }
+        }
+        for a in &row.accs {
+            write!(w, "\t{a}")?;
+        }
+        writeln!(w)?;
+    }
+    write_stats_lines(w, stats, workers)?;
     writeln!(w, "END")
+}
+
+/// Parses the payload of a `PARTIAL` status line (`partial <group-count>`),
+/// as returned by [`read_status`]. `None` if it is not a partial status.
+pub fn parse_partial_status(status: &str) -> Option<usize> {
+    status.strip_prefix("partial ")?.trim().parse().ok()
+}
+
+/// Reads the body of a `PARTIAL` response (everything after the status
+/// line), reconstructing the [`PartialAggregate`] exactly as the shard
+/// serialized it — `P` rows arrive, and stay, in ascending key order.
+pub fn read_partial_body(
+    r: &mut impl BufRead,
+    row_count: usize,
+) -> Result<(PartialAggregate, ServedStats), ClientError> {
+    let cols = read_line(r)?;
+    let rest = cols
+        .strip_prefix("COLS ")
+        .ok_or_else(|| ClientError::Protocol(format!("expected COLS line, got: {cols}")))?;
+    let (groups, aggs) = rest
+        .split_once(' ')
+        .ok_or_else(|| ClientError::Protocol(format!("malformed COLS line: {cols}")))?;
+    let group_cols: Vec<String> = if groups == "-" {
+        Vec::new()
+    } else {
+        groups.split(',').map(str::to_string).collect()
+    };
+    let agg_cols: Vec<String> = aggs.split(',').map(str::to_string).collect();
+
+    let mut rows: Vec<PartialRow> = Vec::with_capacity(row_count);
+    let mut stats = ServedStats::default();
+    loop {
+        let line = read_line(r)?;
+        if line == "END" {
+            break;
+        }
+        if let Some(row) = line.strip_prefix("P\t") {
+            let mut fields = row.split('\t');
+            let key: u64 = fields
+                .next()
+                .and_then(|k| k.parse().ok())
+                .ok_or_else(|| ClientError::Protocol(format!("bad P key in: {line}")))?;
+            let mut group_values = Vec::with_capacity(group_cols.len());
+            let mut accs = Vec::with_capacity(agg_cols.len());
+            for field in fields {
+                if let Some(i) = field.strip_prefix("i:") {
+                    group_values.push(Value::Int(
+                        i.parse().map_err(|_| {
+                            ClientError::Protocol(format!("bad int field: {field}"))
+                        })?,
+                    ));
+                } else if let Some(s) = field.strip_prefix("s:") {
+                    group_values.push(Value::Str(s.to_string()));
+                } else {
+                    accs.push(field.parse().map_err(|_| {
+                        ClientError::Protocol(format!("bad accumulator field: {field}"))
+                    })?);
+                }
+            }
+            if rows.last().is_some_and(|prev: &PartialRow| prev.key >= key) {
+                return Err(ClientError::Protocol(format!(
+                    "P rows out of ascending key order at key {key}"
+                )));
+            }
+            rows.push(PartialRow {
+                key,
+                group_values,
+                accs,
+            });
+        } else if let Some(meta) = line.strip_prefix("# ") {
+            if let Some(op) = meta.strip_prefix("op ") {
+                stats.op_lines.push(op.to_string());
+            } else {
+                for kv in meta.split_whitespace() {
+                    match kv.split_once('=') {
+                        Some(("total_micros", v)) => {
+                            stats.total_micros = v.parse().unwrap_or_default()
+                        }
+                        Some(("workers", v)) => stats.workers = v.parse().unwrap_or_default(),
+                        _ => {}
+                    }
+                }
+            }
+        } else {
+            return Err(ClientError::Protocol(format!(
+                "unexpected line in PARTIAL response: {line}"
+            )));
+        }
+    }
+    if rows.len() != row_count {
+        return Err(ClientError::Protocol(format!(
+            "group count mismatch: status said {row_count}, body had {}",
+            rows.len()
+        )));
+    }
+    Ok((
+        PartialAggregate {
+            group_cols,
+            agg_cols,
+            rows,
+        },
+        stats,
+    ))
 }
 
 /// Client-side error.
@@ -683,6 +862,71 @@ mod tests {
         assert_eq!(served.workers, 4);
         assert_eq!(served.op_lines.len(), 1);
         assert!(served.op_lines[0].contains("star join-group"));
+    }
+
+    #[test]
+    fn partial_response_roundtrip() {
+        let partial = PartialAggregate {
+            group_cols: vec!["d_year".into(), "p_brand1".into()],
+            agg_cols: vec!["revenue".into()],
+            rows: vec![
+                PartialRow {
+                    key: 3,
+                    group_values: vec![Value::Int(1997), Value::str("MFGR#12 X")],
+                    accs: vec![1234567],
+                },
+                PartialRow {
+                    key: 77,
+                    group_values: vec![Value::Int(1998), Value::str("MFGR#45")],
+                    accs: vec![-42],
+                },
+            ],
+        };
+        let stats = ExecStats {
+            ops: Vec::new(),
+            total_micros: 321,
+        };
+        let mut buf = Vec::new();
+        write_partial_response(&mut buf, &partial, &stats, 2).unwrap();
+        let mut r = BufReader::new(&buf[..]);
+        let status = read_status(&mut r).unwrap();
+        let n = parse_partial_status(&status).expect("partial status");
+        assert_eq!(n, 2);
+        let (parsed, served) = read_partial_body(&mut r, n).unwrap();
+        assert_eq!(parsed, partial);
+        assert_eq!(served.total_micros, 321);
+        assert_eq!(served.workers, 2);
+        assert!(
+            parse_partial_status("2").is_none(),
+            "RUN status is not partial"
+        );
+
+        // Scalar partial: no group columns, key 0.
+        let scalar = PartialAggregate {
+            group_cols: Vec::new(),
+            agg_cols: vec!["revenue".into()],
+            rows: vec![PartialRow {
+                key: 0,
+                group_values: Vec::new(),
+                accs: vec![99],
+            }],
+        };
+        let mut buf = Vec::new();
+        write_partial_response(&mut buf, &scalar, &ExecStats::default(), 1).unwrap();
+        let mut r = BufReader::new(&buf[..]);
+        let n = parse_partial_status(&read_status(&mut r).unwrap()).unwrap();
+        let (parsed, _) = read_partial_body(&mut r, n).unwrap();
+        assert_eq!(parsed, scalar);
+    }
+
+    #[test]
+    fn mode_option_sets_partial_control() {
+        let base = PlanOptions::default();
+        let (_, controls) = apply_overrides(base, &[("mode".into(), "partial".into())]).unwrap();
+        assert!(controls.partial);
+        let (_, controls) = apply_overrides(base, &[("mode".into(), "full".into())]).unwrap();
+        assert!(!controls.partial);
+        assert!(apply_overrides(base, &[("mode".into(), "sideways".into())]).is_err());
     }
 
     #[test]

@@ -1,6 +1,17 @@
 //! The TCP frontend: a `std::net` acceptor with one thread per connection,
 //! feeding every query into the shared [`ServeEngine`] pool.
 //!
+//! The frontend is split in two layers:
+//!
+//! * [`serve_lines`] — the protocol-agnostic line loop: accept, read
+//!   length-capped `\n`-terminated request lines, hand each to a
+//!   [`LineService`], flush, repeat. `qppt-router` reuses this layer
+//!   verbatim, which is how the router inherits the exact drain-and-`ERR`
+//!   robustness behavior of the shard servers.
+//! * [`serve`] / [`serve_with`] — the qppt-server dispatch
+//!   ([`LineService`] over a [`ServeEngine`]): the RUN/QUERY/EXPLAIN/…
+//!   verb handling.
+//!
 //! Threading model: the acceptor thread plus one thread per live
 //! connection. Connection threads only parse/serialize — query execution
 //! happens on the engine's fixed [`WorkerPool`](qppt_par::WorkerPool)
@@ -12,7 +23,11 @@
 //! Robustness: request lines are read incrementally with a hard length cap
 //! ([`ServerConfig::max_line_bytes`]) — an oversized or non-UTF-8 line
 //! produces an `ERR` response and the connection keeps serving; it is
-//! never a reason to kill the connection, let alone the server.
+//! never a reason to kill the connection, let alone the server. The
+//! acceptor itself is equally paranoid: a failed `thread::spawn` (fd or
+//! thread pressure) rejects that one connection and keeps accepting, and a
+//! poisoned connection-list lock is recovered rather than propagated —
+//! nothing a single connection does can take the acceptor down.
 //!
 //! Shutdown semantics (`SHUTDOWN` command or [`ServerHandle::shutdown`]):
 //! the acceptor stops taking connections, every connection handler notices
@@ -30,7 +45,9 @@ use std::thread;
 use std::time::Duration;
 
 use crate::engine::{render_cache_stats, ServeEngine};
-use crate::protocol::{apply_overrides, parse_request, write_run_response, CacheCmd, Request};
+use crate::protocol::{
+    apply_overrides, parse_request, write_partial_response, write_run_response, CacheCmd, Request,
+};
 
 /// Tunables of the TCP frontend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,6 +108,32 @@ impl ServerHandle {
     }
 }
 
+/// How the connection loop proceeds after a [`LineService`] handled one
+/// request line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reply {
+    /// Keep reading request lines on this connection.
+    Continue,
+    /// Close this connection (e.g. `QUIT`); others are unaffected.
+    Close,
+    /// Stop the whole server after acknowledging (e.g. `SHUTDOWN`).
+    Shutdown,
+}
+
+/// One request line in, one response out — the protocol-agnostic contract
+/// between the accept/line loop and a dispatcher. `qppt-server` implements
+/// it over a [`ServeEngine`]; `qppt-router` implements it over a shard
+/// fleet and thereby inherits this frontend's drain-and-`ERR` handling of
+/// oversized and malformed lines unchanged.
+///
+/// `handle` receives one trimmed, non-empty request line and writes the
+/// complete response (status line, body, `END`) to `w`; the loop flushes
+/// after each call, so implementations need not. Returning `Err` closes
+/// this connection only.
+pub trait LineService: Send + Sync + 'static {
+    fn handle(&self, line: &str, w: &mut dyn Write) -> io::Result<Reply>;
+}
+
 /// Binds `addr` and starts serving `engine` under the default
 /// [`ServerConfig`]. Returns once the listener is accepting (port 0 is
 /// resolved in [`ServerHandle::addr`]).
@@ -104,6 +147,17 @@ pub fn serve_with(
     addr: &str,
     config: ServerConfig,
 ) -> io::Result<ServerHandle> {
+    serve_lines(Arc::new(EngineService { engine }), addr, config)
+}
+
+/// Binds `addr` and runs the shared accept + line loop over an arbitrary
+/// [`LineService`]. This is the whole TCP frontend — qppt-server and
+/// qppt-router differ only in the service passed here.
+pub fn serve_lines(
+    service: Arc<dyn LineService>,
+    addr: &str,
+    config: ServerConfig,
+) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
@@ -111,7 +165,7 @@ pub fn serve_with(
     let flag = shutdown.clone();
     let acceptor = thread::Builder::new()
         .name("qppt-acceptor".into())
-        .spawn(move || accept_loop(listener, engine, flag, config))?;
+        .spawn(move || accept_loop(listener, service, flag, config))?;
     Ok(ServerHandle {
         addr,
         shutdown,
@@ -121,7 +175,7 @@ pub fn serve_with(
 
 fn accept_loop(
     listener: TcpListener,
-    engine: Arc<ServeEngine>,
+    service: Arc<dyn LineService>,
     shutdown: Arc<AtomicBool>,
     config: ServerConfig,
 ) {
@@ -129,16 +183,21 @@ fn accept_loop(
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, peer)) => {
-                let engine = engine.clone();
+                let service = service.clone();
                 let flag = shutdown.clone();
-                let t = thread::Builder::new()
+                let spawned = thread::Builder::new()
                     .name(format!("qppt-conn-{peer}"))
                     .spawn(move || {
                         // A connection error only kills this connection.
-                        let _ = handle_connection(stream, &engine, &flag, config);
-                    })
-                    .expect("spawn connection thread");
-                let mut conns = conns.lock().expect("conn list lock");
+                        let _ = handle_connection(stream, &*service, &flag, config);
+                    });
+                let t = match spawned {
+                    Ok(t) => t,
+                    // Thread/fd pressure: reject this one connection (the
+                    // dropped stream closes it) and keep accepting.
+                    Err(_) => continue,
+                };
+                let mut conns = conns.lock().unwrap_or_else(|e| e.into_inner());
                 conns.push(t);
                 // Opportunistically reap finished handlers so a long-lived
                 // server does not accumulate joinable thread handles.
@@ -149,9 +208,14 @@ fn accept_loop(
         }
     }
     // Graceful: wait for in-flight connections (they observe the flag
-    // within one read-timeout tick).
-    for t in conns.into_inner().expect("conn list lock").drain(..) {
-        t.join().expect("connection threads do not panic");
+    // within one read-timeout tick). A handler that somehow panicked is
+    // already gone — joining it must not take the acceptor with it.
+    for t in conns
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner())
+        .drain(..)
+    {
+        let _ = t.join();
     }
 }
 
@@ -242,7 +306,7 @@ fn read_request_line(
 
 fn handle_connection(
     stream: TcpStream,
-    engine: &ServeEngine,
+    service: &dyn LineService,
     shutdown: &AtomicBool,
     config: ServerConfig,
 ) -> io::Result<()> {
@@ -270,82 +334,124 @@ fn handle_connection(
         if trimmed.is_empty() {
             continue;
         }
-        match parse_request(trimmed) {
-            Err(msg) => writeln!(writer, "ERR {msg}")?,
-            Ok(Request::Ping) => writeln!(writer, "OK pong")?,
+        let reply = service.handle(trimmed, &mut writer)?;
+        if reply == Reply::Shutdown {
+            // Flag first, acknowledge second: the response is still in the
+            // BufWriter, so once a client has read the OK (flushed below),
+            // `is_shutting_down()` is already observable.
+            shutdown.store(true, Ordering::SeqCst);
+        }
+        writer.flush()?;
+        match reply {
+            Reply::Close | Reply::Shutdown => return Ok(()),
+            Reply::Continue => {}
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+    }
+}
+
+/// The qppt-server dispatcher: the full verb set over one [`ServeEngine`].
+struct EngineService {
+    engine: Arc<ServeEngine>,
+}
+
+impl LineService for EngineService {
+    fn handle(&self, line: &str, mut w: &mut dyn Write) -> io::Result<Reply> {
+        let engine = &*self.engine;
+        match parse_request(line) {
+            Err(msg) => writeln!(w, "ERR {msg}")?,
+            Ok(Request::Ping) => writeln!(w, "OK pong")?,
             Ok(Request::Quit) => {
-                writeln!(writer, "OK bye")?;
-                writer.flush()?;
-                return Ok(());
+                writeln!(w, "OK bye")?;
+                return Ok(Reply::Close);
             }
             Ok(Request::Shutdown) => {
-                // Flag first, acknowledge second: once a client has read
-                // the OK, `is_shutting_down()` is already observable.
-                shutdown.store(true, Ordering::SeqCst);
-                writeln!(writer, "OK shutting down")?;
-                writer.flush()?;
-                return Ok(());
+                writeln!(w, "OK shutting down")?;
+                return Ok(Reply::Shutdown);
             }
             Ok(Request::Info) => {
                 let i = engine.info();
                 writeln!(
-                    writer,
-                    "OK sf={} seed={} pool_threads={} admission={} cores={} queries={}",
+                    w,
+                    "OK sf={} seed={} pool_threads={} admission={} cores={} rows={} \
+                     shard={}/{} queries={}",
                     i.sf,
                     i.seed,
                     i.pool_threads,
                     i.admission,
                     i.cores,
+                    i.rows,
+                    i.shard,
+                    i.shards,
                     engine.query_names().len()
                 )?;
             }
             Ok(Request::Cache(CacheCmd::Stats)) => {
-                writeln!(writer, "OK {}", render_cache_stats(&engine.cache_stats()))?;
+                writeln!(w, "OK {}", render_cache_stats(&engine.cache_stats()))?;
             }
             Ok(Request::Cache(CacheCmd::Clear)) => {
                 engine.cache_clear();
-                writeln!(writer, "OK cleared")?;
+                writeln!(w, "OK cleared")?;
             }
             Ok(Request::Cache(CacheCmd::ClearDims)) => {
                 engine.cache_clear_dims();
-                writeln!(writer, "OK cleared dims")?;
+                writeln!(w, "OK cleared dims")?;
             }
             Ok(Request::List) => {
                 let names = engine.query_names();
-                writeln!(writer, "OK {}", names.len())?;
+                writeln!(w, "OK {}", names.len())?;
                 for n in names {
-                    writeln!(writer, "{n}")?;
+                    writeln!(w, "{n}")?;
                 }
-                writeln!(writer, "END")?;
+                writeln!(w, "END")?;
             }
             Ok(Request::Explain { query }) => match engine.explain(&query) {
-                Err(e) => writeln!(writer, "ERR {e}")?,
-                Ok(plan) => write_explain(&mut writer, &plan)?,
+                Err(e) => writeln!(w, "ERR {e}")?,
+                Ok(plan) => write_explain(&mut w, &plan)?,
             },
             Ok(Request::ExplainSpec { spec, options }) => {
                 match apply_overrides(engine.defaults(), &options) {
-                    Err(msg) => writeln!(writer, "ERR {msg}")?,
+                    Err(msg) => writeln!(w, "ERR {msg}")?,
                     Ok((opts, _controls)) => match engine.explain_spec(&spec, &opts) {
-                        Err(e) => writeln!(writer, "ERR {e}")?,
-                        Ok(plan) => write_explain(&mut writer, &plan)?,
+                        Err(e) => writeln!(w, "ERR {e}")?,
+                        Ok(plan) => write_explain(&mut w, &plan)?,
                     },
                 }
             }
             Ok(Request::Run { query, options }) => {
                 match apply_overrides(engine.defaults(), &options) {
-                    Err(msg) => writeln!(writer, "ERR {msg}")?,
+                    Err(msg) => writeln!(w, "ERR {msg}")?,
                     Ok((opts, controls)) => {
-                        match engine.run_cached(
-                            &query,
-                            &opts,
-                            controls.priority,
-                            controls.use_cache,
-                        ) {
-                            Err(e) => writeln!(writer, "ERR {e}")?,
-                            Ok((result, stats)) => {
-                                let workers =
-                                    opts.parallelism.min(engine.info().pool_threads).max(1);
-                                write_run_response(&mut writer, &result, &stats, workers)?;
+                        let workers = opts.parallelism.min(engine.info().pool_threads).max(1);
+                        if controls.partial {
+                            // Shard-side scatter path: resolve the alias,
+                            // then return undecoded partials.
+                            match engine.resolve(&query).and_then(|spec| {
+                                engine.run_spec_partial(
+                                    spec,
+                                    &opts,
+                                    controls.priority,
+                                    controls.use_cache,
+                                )
+                            }) {
+                                Err(e) => writeln!(w, "ERR {e}")?,
+                                Ok((partial, stats)) => {
+                                    write_partial_response(&mut w, &partial, &stats, workers)?;
+                                }
+                            }
+                        } else {
+                            match engine.run_cached(
+                                &query,
+                                &opts,
+                                controls.priority,
+                                controls.use_cache,
+                            ) {
+                                Err(e) => writeln!(w, "ERR {e}")?,
+                                Ok((result, stats)) => {
+                                    write_run_response(&mut w, &result, &stats, workers)?;
+                                }
                             }
                         }
                     }
@@ -355,23 +461,38 @@ fn handle_connection(
                 // The ad-hoc path: same overrides, same single
                 // validate→plan→cache→execute pipeline as named aliases.
                 match apply_overrides(engine.defaults(), &options) {
-                    Err(msg) => writeln!(writer, "ERR {msg}")?,
+                    Err(msg) => writeln!(w, "ERR {msg}")?,
                     Ok((opts, controls)) => {
-                        match engine.run_spec(&spec, &opts, controls.priority, controls.use_cache) {
-                            Err(e) => writeln!(writer, "ERR {e}")?,
-                            Ok((result, stats)) => {
-                                let workers =
-                                    opts.parallelism.min(engine.info().pool_threads).max(1);
-                                write_run_response(&mut writer, &result, &stats, workers)?;
+                        let workers = opts.parallelism.min(engine.info().pool_threads).max(1);
+                        if controls.partial {
+                            match engine.run_spec_partial(
+                                &spec,
+                                &opts,
+                                controls.priority,
+                                controls.use_cache,
+                            ) {
+                                Err(e) => writeln!(w, "ERR {e}")?,
+                                Ok((partial, stats)) => {
+                                    write_partial_response(&mut w, &partial, &stats, workers)?;
+                                }
+                            }
+                        } else {
+                            match engine.run_spec(
+                                &spec,
+                                &opts,
+                                controls.priority,
+                                controls.use_cache,
+                            ) {
+                                Err(e) => writeln!(w, "ERR {e}")?,
+                                Ok((result, stats)) => {
+                                    write_run_response(&mut w, &result, &stats, workers)?;
+                                }
                             }
                         }
                     }
                 }
             }
         }
-        writer.flush()?;
-        if shutdown.load(Ordering::SeqCst) {
-            return Ok(());
-        }
+        Ok(Reply::Continue)
     }
 }

@@ -104,6 +104,35 @@ impl SsbSizes {
     }
 }
 
+/// Smallest `lo_orderdate` any fact row can carry (Jan 1 1992).
+pub const DATEKEY_MIN: u64 = 19920101;
+
+/// Largest `lo_orderdate` any fact row can carry (Dec 31 1998).
+pub const DATEKEY_MAX: u64 = 19981231;
+
+/// Inclusive `lo_orderdate` bounds of shard `index` of `count` in a
+/// prefix-sharded deployment: the populated datekey domain is split into
+/// `count` contiguous, disjoint key ranges of (near-)equal width —
+/// range partitioning on the fact tree's canonical stage-1 prefix, the
+/// inter-process analogue of the `qppt-par` morsel `Partitioner` split.
+/// The edge shards absorb the rest of the `u64` domain so every key maps
+/// to exactly one shard.
+pub fn shard_bounds(index: usize, count: usize) -> (u64, u64) {
+    assert!(count >= 1, "shard count must be at least 1");
+    assert!(index < count, "shard index {index} out of range 0..{count}");
+    let domain = DATEKEY_MAX - DATEKEY_MIN + 1;
+    let span = domain / count as u64;
+    let rem = domain % count as u64;
+    let start = |i: u64| DATEKEY_MIN + i * span + i.min(rem);
+    let lo = if index == 0 { 0 } else { start(index as u64) };
+    let hi = if index == count - 1 {
+        u64::MAX
+    } else {
+        start(index as u64 + 1) - 1
+    };
+    (lo, hi)
+}
+
 /// A generated SSB database: catalog plus generation parameters.
 #[derive(Debug)]
 pub struct SsbDb {
@@ -111,30 +140,46 @@ pub struct SsbDb {
     pub sf: f64,
     pub seed: u64,
     pub sizes: SsbSizes,
+    /// `(index, count)` of the fact-table shard this database holds —
+    /// `(0, 1)` for an unsharded (whole-table) database.
+    pub shard: (usize, usize),
 }
 
 impl SsbDb {
     /// Generates the five SSB tables at scale factor `sf` and bulk-loads
     /// them into a fresh database. Deterministic in `(sf, seed)`.
     pub fn generate(sf: f64, seed: u64) -> Self {
+        Self::generate_shard(sf, seed, 0, 1)
+    }
+
+    /// Generates shard `shard` of `shards`: the dimension tables are
+    /// replicated in full (bit-identical to every other shard's), while
+    /// `lineorder` keeps only the fact rows whose `lo_orderdate` falls in
+    /// [`shard_bounds`]`(shard, shards)`. The generator consumes exactly
+    /// the same random stream as the unsharded [`generate`](Self::generate),
+    /// so the union of all shards is a disjoint partition of the full fact
+    /// table — row for row, value for value.
+    pub fn generate_shard(sf: f64, seed: u64, shard: usize, shards: usize) -> Self {
         let sizes = SsbSizes::for_scale_factor(sf);
         let mut db = Database::new();
         db.add_table(gen_date());
         db.add_table(gen_part(sizes.part, seed ^ 0x7061_7274));
         db.add_table(gen_supplier(sizes.supplier, seed ^ 0x7375_7070));
         db.add_table(gen_customer(sizes.customer, seed ^ 0x6375_7374));
-        db.add_table(gen_lineorder(
+        db.add_table(gen_lineorder_range(
             sizes.lineorder,
             sizes.customer,
             sizes.supplier,
             sizes.part,
             seed ^ 0x6c69_6e65,
+            shard_bounds(shard, shards),
         ));
         Self {
             db,
             sf,
             seed,
             sizes,
+            shard: (shard, shards),
         }
     }
 }
@@ -302,6 +347,22 @@ pub fn gen_lineorder(
     parts: usize,
     seed: u64,
 ) -> Table {
+    gen_lineorder_range(rows, customers, suppliers, parts, seed, (0, u64::MAX))
+}
+
+/// The `lineorder` fact table restricted to one shard's `lo_orderdate`
+/// range (`keep`, inclusive). Every row of the full table is still
+/// *generated* — the random stream is identical whatever `keep` is — but
+/// only rows whose datekey falls inside `keep` are loaded, so shard tables
+/// are exact row-subsets of the unsharded table.
+pub fn gen_lineorder_range(
+    rows: usize,
+    customers: usize,
+    suppliers: usize,
+    parts: usize,
+    seed: u64,
+    keep: (u64, u64),
+) -> Table {
     let schema = Schema::of(&[
         ("lo_orderkey", ColumnType::Int),
         ("lo_linenumber", ColumnType::Int),
@@ -332,28 +393,39 @@ pub fn gen_lineorder(
         }
         remaining_lines -= 1;
         line_no += 1;
+        // Every random draw happens for every row, in a fixed order, so the
+        // stream position is independent of `keep` (shard filtering).
         let quantity = rng.range_inclusive(1, 50);
         let discount = rng.range_inclusive(0, 10);
         // Spec: extendedprice ≤ 55,450 (price cents are dropped in SSB).
         let extendedprice = rng.range_inclusive(900, 55_450) / 100 * 100 + quantity; // pseudo spec-ish
         let revenue = extendedprice * (100 - discount) / 100;
         let supplycost = extendedprice * 6 / 10 / quantity.max(1);
+        let custkey = rng.range_inclusive(1, customers as u64);
+        let partkey = rng.range_inclusive(1, parts as u64);
+        let suppkey = rng.range_inclusive(1, suppliers as u64);
+        let datekey = *rng.choose(&datekeys) as u64;
+        let ordtotalprice = extendedprice * rng.range_inclusive(1, 7);
+        let tax = rng.range_inclusive(0, 8);
+        let shipmode = *rng.choose(&SHIP_MODES);
+        if datekey < keep.0 || datekey > keep.1 {
+            continue;
+        }
         b.push_row(vec![
             Value::Int(orderkey as i64),
             Value::Int(line_no as i64),
-            Value::Int(rng.range_inclusive(1, customers as u64) as i64),
-            Value::Int(rng.range_inclusive(1, parts as u64) as i64),
-            Value::Int(rng.range_inclusive(1, suppliers as u64) as i64),
-            Value::Int(*rng.choose(&datekeys) as i64),
+            Value::Int(custkey as i64),
+            Value::Int(partkey as i64),
+            Value::Int(suppkey as i64),
+            Value::Int(datekey as i64),
             Value::Int(quantity as i64),
             Value::Int(extendedprice as i64),
-            Value::Int((extendedprice * rng.range_inclusive(1, 7)) as i64),
+            Value::Int(ordtotalprice as i64),
             Value::Int(discount as i64),
             Value::Int(revenue as i64),
             Value::Int(supplycost as i64),
-            Value::Int(rng.range_inclusive(0, 8) as i64),
-            #[allow(clippy::explicit_auto_deref)] // deref drives choose()'s inference
-            Value::str(*rng.choose(&SHIP_MODES)),
+            Value::Int(tax as i64),
+            Value::str(shipmode),
         ])
         .expect("static schema");
     }
@@ -463,6 +535,56 @@ mod tests {
             let d = lo.get(rid, disc);
             assert_eq!(lo.get(rid, rev), e * (100 - d) / 100);
             assert!(d <= 10);
+        }
+    }
+
+    #[test]
+    fn shard_bounds_partition_the_domain() {
+        for count in [1, 2, 3, 4, 8] {
+            assert_eq!(shard_bounds(0, count).0, 0);
+            assert_eq!(shard_bounds(count - 1, count).1, u64::MAX);
+            for i in 1..count {
+                let (_, prev_hi) = shard_bounds(i - 1, count);
+                let (lo, hi) = shard_bounds(i, count);
+                assert_eq!(lo, prev_hi + 1, "shards {i}/{count} contiguous");
+                assert!(lo <= hi);
+            }
+        }
+        assert_eq!(shard_bounds(0, 1), (0, u64::MAX));
+    }
+
+    #[test]
+    fn shards_partition_the_fact_table() {
+        let full = SsbDb::generate(0.005, 42);
+        let lo = full.db.table("lineorder").unwrap().table();
+        let od = lo.schema().col("lo_orderdate").unwrap();
+        for count in [2usize, 3, 4] {
+            let mut total = 0;
+            for i in 0..count {
+                let shard = SsbDb::generate_shard(0.005, 42, i, count);
+                let (b_lo, b_hi) = shard_bounds(i, count);
+                let t = shard.db.table("lineorder").unwrap().table();
+                total += t.row_count();
+                // The shard is exactly the full table's rows with
+                // lo_orderdate in range, in generation order.
+                let expected: Vec<u32> = (0..lo.row_count() as u32)
+                    .filter(|&rid| (b_lo..=b_hi).contains(&lo.get(rid, od)))
+                    .collect();
+                assert_eq!(t.row_count(), expected.len(), "shard {i}/{count}");
+                for (rid, &full_rid) in expected.iter().enumerate().step_by(23) {
+                    assert_eq!(t.row(rid as u32), lo.row(full_rid), "shard {i}/{count}");
+                }
+                // Dimensions are replicated bit-identically.
+                for name in ["date", "part", "supplier", "customer"] {
+                    let ds = shard.db.table(name).unwrap().table();
+                    let df = full.db.table(name).unwrap().table();
+                    assert_eq!(ds.row_count(), df.row_count(), "{name}");
+                    for rid in (0..ds.row_count() as u32).step_by(97) {
+                        assert_eq!(ds.row(rid), df.row(rid), "{name} rid {rid}");
+                    }
+                }
+            }
+            assert_eq!(total, lo.row_count(), "{count} shards partition all rows");
         }
     }
 

@@ -18,5 +18,5 @@ pub mod gen;
 pub mod queries;
 pub mod reference;
 
-pub use gen::{SsbDb, SsbSizes, NATIONS, REGIONS};
+pub use gen::{shard_bounds, SsbDb, SsbSizes, DATEKEY_MAX, DATEKEY_MIN, NATIONS, REGIONS};
 pub use reference::{decode_code, run_reference};

@@ -41,6 +41,10 @@
 //!   named SSB aliases over a line protocol, thread-per-connection
 //!   frontend, every query validated and executed on the shared pool
 //!   through the cache ([`server::ServeEngine`], [`server::QpptClient`]).
+//! * [`router`] — distributed serving: a scatter/gather router over
+//!   prefix-sharded `qppt-server` fleets with a deterministic cross-shard
+//!   merge, byte-identical to single-node answers
+//!   ([`router::Router`], [`router::serve_router`]).
 //!
 //! ## Quickstart
 //!
@@ -71,6 +75,7 @@ pub use qppt_kiss as kiss;
 pub use qppt_mem as mem;
 pub use qppt_par as par;
 pub use qppt_query as query;
+pub use qppt_router as router;
 pub use qppt_server as server;
 pub use qppt_ssb as ssb;
 pub use qppt_storage as storage;
