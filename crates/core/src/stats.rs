@@ -162,6 +162,39 @@ mod tests {
     }
 
     #[test]
+    fn absorbed_out_keys_is_an_upper_bound_under_overlap() {
+        // Partitions are disjoint in the stage-1 join key, but a
+        // later-stage operator keyed on another attribute can see the
+        // same key in several partitions. Model a join-group keyed on
+        // d_year: partition A sees years {1992, 1993, 1994}, partition B
+        // sees {1993, 1994, 1995} — 4 distinct years overall.
+        let part = |keys: &[u32]| OpStats {
+            label: "3-way star join-group".into(),
+            out_keys: keys.len(),
+            out_tuples: keys.len() * 10,
+            index_kind: "KISS-Tree".into(),
+            memory_bytes: 256,
+            micros: 50,
+        };
+        let (a_keys, b_keys) = ([1992u32, 1993, 1994], [1993u32, 1994, 1995]);
+        let mut merged = part(&a_keys);
+        merged.absorb_partition(&part(&b_keys));
+
+        let distinct: std::collections::BTreeSet<u32> =
+            a_keys.iter().chain(b_keys.iter()).copied().collect();
+        // The documented caveat: summed out_keys counts 1993 and 1994
+        // once per partition, so 6 — a strict upper bound on the 4
+        // distinct keys, never the exact count under overlap.
+        assert_eq!(merged.out_keys, 6);
+        assert_eq!(distinct.len(), 4);
+        assert!(merged.out_keys >= distinct.len());
+        // The additive fields stay exact regardless of key overlap.
+        assert_eq!(merged.out_tuples, 60);
+        assert_eq!(merged.memory_bytes, 512);
+        assert_eq!(merged.micros, 100);
+    }
+
+    #[test]
     fn empty_stats_display() {
         let s = ExecStats::default();
         assert_eq!(s.share(0).to_bits(), 0f64.to_bits()); // no ops → 0 share, no panic path used

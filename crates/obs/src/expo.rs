@@ -1,0 +1,389 @@
+//! Prometheus text-format helpers: a strict parser/validator (used by
+//! tests and the CI smoke probe) and the fleet merge the router applies
+//! to per-shard scrapes.
+//!
+//! The parser accepts the subset of the format this stack emits: integer
+//! sample values, `# HELP`/`# TYPE` metadata preceding each family's
+//! samples, and `key="value"` labels with the standard escapes. Being
+//! strict is the point — the acceptance criterion is "valid exposition",
+//! and a lenient parser would hide framing bugs.
+
+use std::collections::BTreeMap;
+
+/// One sample line: `name{labels} value`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sample {
+    /// Full sample name, including any `_bucket`/`_sum`/`_count` suffix.
+    pub name: String,
+    /// Label pairs in appearance order.
+    pub labels: Vec<(String, String)>,
+    pub value: i64,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Declared family metadata (`# HELP` + `# TYPE`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FamilyMeta {
+    pub name: String,
+    pub help: String,
+    pub kind: String,
+}
+
+/// A parsed exposition: family metadata plus every sample, in input
+/// order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Exposition {
+    pub families: Vec<FamilyMeta>,
+    pub samples: Vec<Sample>,
+}
+
+impl Exposition {
+    /// The declared kind of family `name`, if any.
+    pub fn kind(&self, name: &str) -> Option<&str> {
+        self.families
+            .iter()
+            .find(|f| f.name == name)
+            .map(|f| f.kind.as_str())
+    }
+
+    /// The value of the sample with exactly `name` and the given label
+    /// pairs (order-insensitive), if present.
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        self.samples
+            .iter()
+            .find(|s| {
+                s.name == name
+                    && s.labels.len() == labels.len()
+                    && labels.iter().all(|(k, v)| s.label(k) == Some(*v))
+            })
+            .map(|s| s.value)
+    }
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+/// Strips a histogram sample suffix to recover the family name.
+fn family_of(sample_name: &str) -> &str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = sample_name.strip_suffix(suffix) {
+            return base;
+        }
+    }
+    sample_name
+}
+
+/// Parses and validates an exposition. Errors name the offending line.
+pub fn parse_exposition(text: &str) -> Result<Exposition, String> {
+    let mut expo = Exposition::default();
+    let mut helps: BTreeMap<String, String> = BTreeMap::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| format!("line {}: {msg}: {line:?}", lineno + 1);
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest.split_once(' ').ok_or_else(|| err("malformed HELP"))?;
+            if !valid_metric_name(name) {
+                return Err(err("invalid metric name in HELP"));
+            }
+            helps.insert(name.to_string(), help.to_string());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest.split_once(' ').ok_or_else(|| err("malformed TYPE"))?;
+            if !valid_metric_name(name) {
+                return Err(err("invalid metric name in TYPE"));
+            }
+            if !matches!(kind, "counter" | "gauge" | "histogram") {
+                return Err(err("unknown metric type"));
+            }
+            if expo.families.iter().any(|f| f.name == name) {
+                return Err(err("duplicate TYPE declaration"));
+            }
+            expo.families.push(FamilyMeta {
+                name: name.to_string(),
+                help: helps.get(name).cloned().unwrap_or_default(),
+                kind: kind.to_string(),
+            });
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // comment
+        }
+        let sample = parse_sample(line).map_err(|m| err(&m))?;
+        let family = family_of(&sample.name);
+        let declared = expo
+            .families
+            .iter()
+            .find(|f| f.name == family || f.name == sample.name);
+        match declared {
+            None => return Err(err("sample before TYPE declaration")),
+            Some(f) => {
+                if f.kind == "histogram" {
+                    if f.name == sample.name {
+                        return Err(err("bare sample for histogram family"));
+                    }
+                    if sample.name.ends_with("_bucket") && sample.label("le").is_none() {
+                        return Err(err("histogram bucket without le label"));
+                    }
+                } else if f.name != sample.name {
+                    // A counter/gauge family whose name happens to be a
+                    // prefix of this sample after suffix-stripping; fall
+                    // through only if the full name matched.
+                    return Err(err("sample before TYPE declaration"));
+                }
+            }
+        }
+        expo.samples.push(sample);
+    }
+    Ok(expo)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (name_labels, value) = line
+        .rsplit_once(' ')
+        .ok_or_else(|| "missing value".to_string())?;
+    let value: i64 = value
+        .parse()
+        .map_err(|_| format!("non-integer value {value:?}"))?;
+    let (name, labels) = match name_labels.split_once('{') {
+        None => (name_labels.to_string(), Vec::new()),
+        Some((name, rest)) => {
+            let body = rest
+                .strip_suffix('}')
+                .ok_or_else(|| "unterminated label set".to_string())?;
+            (name.to_string(), parse_labels(body)?)
+        }
+    };
+    if !valid_metric_name(&name) {
+        return Err(format!("invalid metric name {name:?}"));
+    }
+    Ok(Sample {
+        name,
+        labels,
+        value,
+    })
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut chars = body.chars().peekable();
+    loop {
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        if key.is_empty() {
+            return Err("empty label key".to_string());
+        }
+        if chars.next() != Some('"') {
+            return Err(format!("label {key} value not quoted"));
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                None => return Err("unterminated label value".to_string()),
+                Some('"') => break,
+                Some('\\') => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(c) => value.push(c),
+            }
+        }
+        labels.push((key, value));
+        match chars.next() {
+            None => return Ok(labels),
+            Some(',') => continue,
+            Some(c) => return Err(format!("unexpected {c:?} after label value")),
+        }
+    }
+}
+
+/// Merges per-shard expositions into one fleet exposition: every sample
+/// gains a `shard="<id>"` label, and for each distinct
+/// `(name, other labels)` a summed `shard="fleet"` sample is appended.
+/// Summing holds for every kind this stack emits — counters and
+/// histogram buckets are event counts, and the fleet reading of a gauge
+/// (total queue depth, total cache entries) is the sum too.
+pub fn merge_exposition(shards: &[(String, String)]) -> Result<String, String> {
+    let mut parsed = Vec::new();
+    for (shard, text) in shards {
+        let expo = parse_exposition(text).map_err(|e| format!("shard {shard} exposition: {e}"))?;
+        parsed.push((shard.clone(), expo));
+    }
+    // Family order: first appearance across shards.
+    let mut families: Vec<FamilyMeta> = Vec::new();
+    for (_, expo) in &parsed {
+        for f in &expo.families {
+            if !families.iter().any(|g| g.name == f.name) {
+                families.push(f.clone());
+            }
+        }
+    }
+    let mut out = String::new();
+    for family in &families {
+        out.push_str(&format!("# HELP {} {}\n", family.name, family.help));
+        out.push_str(&format!("# TYPE {} {}\n", family.name, family.kind));
+        // (sample name, non-shard labels) → summed value, in first-seen order.
+        type FleetSample = (String, Vec<(String, String)>, i64);
+        let mut fleet: Vec<FleetSample> = Vec::new();
+        for (shard, expo) in &parsed {
+            for s in &expo.samples {
+                if family_of(&s.name) != family.name && s.name != family.name {
+                    continue;
+                }
+                let mut labels = vec![("shard".to_string(), shard.clone())];
+                labels.extend(s.labels.iter().cloned());
+                out.push_str(&render_sample(&s.name, &labels, s.value));
+                match fleet
+                    .iter_mut()
+                    .find(|(n, l, _)| *n == s.name && *l == s.labels)
+                {
+                    Some((_, _, v)) => *v += s.value,
+                    None => fleet.push((s.name.clone(), s.labels.clone(), s.value)),
+                }
+            }
+        }
+        for (name, base_labels, value) in fleet {
+            let mut labels = vec![("shard".to_string(), "fleet".to_string())];
+            labels.extend(base_labels);
+            out.push_str(&render_sample(&name, &labels, value));
+        }
+    }
+    Ok(out)
+}
+
+fn render_sample(name: &str, labels: &[(String, String)], value: i64) -> String {
+    let mut line = String::from(name);
+    if !labels.is_empty() {
+        line.push('{');
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&format!("{k}=\"{}\"", crate::registry::escape_label(v)));
+        }
+        line.push('}');
+    }
+    line.push_str(&format!(" {value}\n"));
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SHARD_TEXT: &str = "\
+# HELP qppt_requests_total Requests served by verb.
+# TYPE qppt_requests_total counter
+qppt_requests_total{verb=\"QUERY\"} 4
+# HELP qppt_pool_queue_depth Jobs queued or running.
+# TYPE qppt_pool_queue_depth gauge
+qppt_pool_queue_depth 1
+";
+
+    #[test]
+    fn roundtrip_registry_render() {
+        let r = crate::Registry::new();
+        r.counter_with(
+            "qppt_requests_total",
+            "reqs",
+            vec![("verb", "QUERY".into())],
+        )
+        .add(4);
+        r.histogram("qppt_request_micros", "latency").record(12);
+        let text = r.render();
+        let expo = parse_exposition(&text).expect("registry output parses");
+        assert_eq!(expo.kind("qppt_requests_total"), Some("counter"));
+        assert_eq!(expo.kind("qppt_request_micros"), Some("histogram"));
+        assert_eq!(
+            expo.value("qppt_requests_total", &[("verb", "QUERY")]),
+            Some(4)
+        );
+        assert_eq!(expo.value("qppt_request_micros_count", &[]), Some(1));
+        assert_eq!(
+            expo.value("qppt_request_micros_bucket", &[("le", "25")]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn rejects_sample_without_type() {
+        assert!(parse_exposition("qppt_orphan_total 1\n").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_labels() {
+        let text = "# TYPE a counter\na{x=unquoted} 1\n";
+        assert!(parse_exposition(text).is_err());
+        let text = "# TYPE a counter\na{x=\"open} 1\n";
+        assert!(parse_exposition(text).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_type() {
+        let text = "# TYPE a counter\n# TYPE a counter\na 1\n";
+        assert!(parse_exposition(text).is_err());
+    }
+
+    #[test]
+    fn label_escape_roundtrip() {
+        let text = format!(
+            "# TYPE a counter\na{{k=\"{}\"}} 1\n",
+            crate::registry::escape_label("x\"y\\z")
+        );
+        let expo = parse_exposition(&text).expect("escaped labels parse");
+        assert_eq!(expo.samples[0].label("k"), Some("x\"y\\z"));
+    }
+
+    #[test]
+    fn merge_labels_and_sums() {
+        let shard1 = SHARD_TEXT.to_string();
+        let shard2 = SHARD_TEXT.replace(" 4\n", " 6\n").replace(" 1\n", " 2\n");
+        let merged =
+            merge_exposition(&[("0".to_string(), shard1), ("1".to_string(), shard2)]).unwrap();
+        let expo = parse_exposition(&merged).expect("merged output parses");
+        assert_eq!(
+            expo.value("qppt_requests_total", &[("shard", "0"), ("verb", "QUERY")]),
+            Some(4)
+        );
+        assert_eq!(
+            expo.value("qppt_requests_total", &[("shard", "1"), ("verb", "QUERY")]),
+            Some(6)
+        );
+        assert_eq!(
+            expo.value(
+                "qppt_requests_total",
+                &[("shard", "fleet"), ("verb", "QUERY")]
+            ),
+            Some(10)
+        );
+        assert_eq!(
+            expo.value("qppt_pool_queue_depth", &[("shard", "fleet")]),
+            Some(3)
+        );
+        // Metadata appears once per family in the merged output.
+        assert_eq!(merged.matches("# TYPE qppt_requests_total").count(), 1);
+    }
+}

@@ -1,0 +1,42 @@
+//! # qppt-obs — fleet-wide metrics and per-request tracing
+//!
+//! The QPPT paper's demonstrator (Appendix A) is built around live
+//! observability: execution-time share per operator, intermediate index
+//! sizes, index types overlaid on the plan. `OpStats` captures those
+//! numbers per query; this crate is the system-wide counterpart — the
+//! substrate the serving stack (server verbs, cache tiers, worker pool,
+//! router scatter/gather) reports into, and the self-tuning items on the
+//! ROADMAP read from.
+//!
+//! Three parts, all dependency-free:
+//!
+//! * [`metrics`] — sharded lock-free [`Counter`]s, [`Gauge`]s, and
+//!   fixed-bucket latency [`Histogram`]s with p50/p90/p99 summaries.
+//!   Recording is a relaxed atomic add on a per-thread shard; reading is
+//!   a sum over shards. No locks anywhere near a hot path.
+//! * [`registry`] — a named, labeled family registry rendering the
+//!   standard Prometheus text exposition format (`# HELP` / `# TYPE` /
+//!   `name{label="v"} value`), served by the `METRICS` wire verb.
+//! * [`trace`] — a per-request span tree (plan → σ materialize → exec →
+//!   decode/merge) surfaced as `# span` response lines by the `TRACE on`
+//!   request option, and stitched across processes by the router (shard
+//!   span trees re-parented under the router's scatter span).
+//!
+//! [`expo`] holds the text-format helpers shared by both directions: a
+//! writer used by the registry, a strict parser used by tests and the CI
+//! smoke probe, and the fleet merge the router uses to relabel per-shard
+//! scrapes and append summed `shard="fleet"` samples.
+//!
+//! [`Counter`]: metrics::Counter
+//! [`Gauge`]: metrics::Gauge
+//! [`Histogram`]: metrics::Histogram
+
+pub mod expo;
+pub mod metrics;
+pub mod registry;
+pub mod trace;
+
+pub use expo::{merge_exposition, parse_exposition, Exposition, Sample};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSummary};
+pub use registry::Registry;
+pub use trace::{validate_span_tree, SpanId, SpanRec, Trace};

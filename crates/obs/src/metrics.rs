@@ -1,0 +1,296 @@
+//! Lock-free metric primitives: sharded counters, gauges, and fixed-bucket
+//! latency histograms.
+//!
+//! Recording is a single relaxed atomic RMW on a cache-line-padded shard
+//! picked per thread, so concurrent connection handlers and pool workers
+//! never contend on one cell. Reads sum the shards — metrics are scraped
+//! orders of magnitude less often than they are written, so the asymmetry
+//! is the right one. All values are monotone (counters) or small (gauges);
+//! relaxed ordering is sufficient because scrapes are advisory snapshots,
+//! not synchronization points.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+
+/// Write shards per metric. 8 covers the pool sizes and connection counts
+/// this stack runs at; beyond that threads share shards round-robin.
+const SHARDS: usize = 8;
+
+/// One cache line per cell so two shards never false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct Cell(AtomicU64);
+
+fn shard_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: usize = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+    }
+    SHARD.with(|s| *s)
+}
+
+/// A monotonically increasing counter (events since process start).
+#[derive(Default)]
+pub struct Counter {
+    cells: [Cell; SHARDS],
+}
+
+impl Counter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.cells[shard_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total (sum over shards).
+    pub fn get(&self) -> u64 {
+        self.cells.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Counter").field(&self.get()).finish()
+    }
+}
+
+/// A signed instantaneous value (queue depths, entry counts). Gauges are
+/// read-modify-write from many threads, so they stay a single atomic —
+/// their update rates (job enqueue/retire) are far below counter rates.
+#[derive(Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Gauge").field(&self.get()).finish()
+    }
+}
+
+/// The fixed bucket upper bounds (microseconds) every latency histogram
+/// shares: a 1-2.5-5 ladder from 10 µs to 60 s. Fixed bounds keep
+/// recording branch-free-ish (one linear scan over 21 bounds), make
+/// cross-shard merging trivial (same bounds everywhere), and cover the
+/// stack's whole latency range — warm result hits are tens of µs, cold
+/// scatter/gathers tens of ms, index preparation seconds.
+pub const LATENCY_BUCKETS_MICROS: [u64; 21] = [
+    10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000,
+    500_000, 1_000_000, 2_500_000, 5_000_000, 10_000_000, 30_000_000, 60_000_000,
+];
+
+/// Quantile summary of a histogram at one point in time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Estimated quantiles (each reported as its bucket's upper bound).
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of recorded values (µs).
+    pub sum: u64,
+}
+
+/// A fixed-bucket latency histogram over [`LATENCY_BUCKETS_MICROS`], plus
+/// an overflow (`+Inf`) bucket. Buckets are stored *non*-cumulative and
+/// accumulated at render/summary time.
+pub struct Histogram {
+    /// One slot per finite bound, plus the overflow bucket at the end.
+    buckets: Vec<AtomicU64>,
+    sum: Counter,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..=LATENCY_BUCKETS_MICROS.len())
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            sum: Counter::new(),
+        }
+    }
+
+    /// Records one observation of `micros`.
+    pub fn record(&self, micros: u64) {
+        let i = LATENCY_BUCKETS_MICROS
+            .iter()
+            .position(|&b| micros <= b)
+            .unwrap_or(LATENCY_BUCKETS_MICROS.len());
+        self.buckets[i].fetch_add(1, Ordering::Relaxed);
+        self.sum.add(micros);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of recorded values (µs).
+    pub fn sum(&self) -> u64 {
+        self.sum.get()
+    }
+
+    /// A snapshot of the per-bucket counts (non-cumulative, overflow
+    /// bucket last).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// The value at quantile `q` (0..=1), reported as the upper bound of
+    /// the bucket the quantile falls in (the overflow bucket reports the
+    /// largest finite bound). 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = (q * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return LATENCY_BUCKETS_MICROS
+                    .get(i)
+                    .copied()
+                    .unwrap_or(*LATENCY_BUCKETS_MICROS.last().expect("non-empty bounds"));
+            }
+        }
+        *LATENCY_BUCKETS_MICROS.last().expect("non-empty bounds")
+    }
+
+    /// The p50/p90/p99 summary.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            count: self.count(),
+            sum: self.sum(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.summary();
+        f.debug_struct("Histogram")
+            .field("count", &s.count)
+            .field("p50", &s.p50)
+            .field("p99", &s.p99)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let c = Arc::new(Counter::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+        c.add(42);
+        assert_eq!(c.get(), 8042);
+    }
+
+    #[test]
+    fn gauge_tracks_depth() {
+        let g = Gauge::new();
+        g.add(5);
+        g.sub(2);
+        assert_eq!(g.get(), 3);
+        g.set(-1);
+        assert_eq!(g.get(), -1);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram quantile is 0");
+        // 90 fast (≤10 µs bucket), 9 medium (≤1 ms), 1 slow (≤1 s).
+        for _ in 0..90 {
+            h.record(7);
+        }
+        for _ in 0..9 {
+            h.record(800);
+        }
+        h.record(900_000);
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.sum, 90 * 7 + 9 * 800 + 900_000);
+        assert_eq!(s.p50, 10);
+        assert_eq!(s.p90, 10);
+        assert_eq!(s.p99, 1_000);
+        assert_eq!(h.quantile(1.0), 1_000_000);
+    }
+
+    #[test]
+    fn histogram_overflow_bucket() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 1);
+        // The overflow bucket reports the largest finite bound.
+        assert_eq!(h.quantile(0.5), 60_000_000);
+        let counts = h.bucket_counts();
+        assert_eq!(counts.len(), LATENCY_BUCKETS_MICROS.len() + 1);
+        assert_eq!(*counts.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn histogram_boundary_values_land_inclusive() {
+        let h = Histogram::new();
+        h.record(10); // exactly the first bound → first bucket (le semantics)
+        assert_eq!(h.bucket_counts()[0], 1);
+    }
+}

@@ -1,0 +1,355 @@
+//! Request-scoped span trees.
+//!
+//! A [`Trace`] is allocated per traced request and records a tree of
+//! named, timed spans: the server emits `request → plan → sigma → exec →
+//! decode`, the router emits `request → scatter → shard<i>… → merge` with
+//! each shard's own tree grafted under the scatter span. Spans carry
+//! *durations only* — no wall-clock timestamps — so stitching trees from
+//! different machines never needs clock synchronization; the child ≤
+//! parent invariant holds by physical containment (a shard's measured
+//! service time is a slice of the router's measured exchange time).
+//!
+//! Wire format (one response comment line per span):
+//!
+//! ```text
+//! # span id=<n> parent=<n|-> name=<ident> micros=<m>
+//! ```
+//!
+//! Parents always precede children in the line stream, so a single
+//! forward pass can rebuild (or re-parent) the tree.
+
+/// Span identifier, unique within one trace. The root is always id 0.
+pub type SpanId = u32;
+
+/// One finished span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRec {
+    pub id: SpanId,
+    /// `None` for the root span.
+    pub parent: Option<SpanId>,
+    /// Identifier-like name (no whitespace): `request`, `plan`, `sigma`,
+    /// `exec`, `decode`, `scatter`, `shard3`, `merge`, …
+    pub name: String,
+    /// Elapsed wall time of the span, microseconds.
+    pub micros: u64,
+}
+
+impl SpanRec {
+    /// Renders the span's wire body (the part after `# span `).
+    pub fn wire(&self) -> String {
+        let parent = match self.parent {
+            Some(p) => p.to_string(),
+            None => "-".to_string(),
+        };
+        format!(
+            "id={} parent={} name={} micros={}",
+            self.id, parent, self.name, self.micros
+        )
+    }
+
+    /// Parses a wire body produced by [`SpanRec::wire`].
+    pub fn parse(body: &str) -> Result<SpanRec, String> {
+        let mut id = None;
+        let mut parent = None;
+        let mut name = None;
+        let mut micros = None;
+        for field in body.split_whitespace() {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| format!("span field {field:?} missing '='"))?;
+            match key {
+                "id" => {
+                    id = Some(
+                        value
+                            .parse::<SpanId>()
+                            .map_err(|_| format!("bad span id {value:?}"))?,
+                    )
+                }
+                "parent" => {
+                    parent = Some(if value == "-" {
+                        None
+                    } else {
+                        Some(
+                            value
+                                .parse::<SpanId>()
+                                .map_err(|_| format!("bad span parent {value:?}"))?,
+                        )
+                    })
+                }
+                "name" => name = Some(value.to_string()),
+                "micros" => {
+                    micros = Some(
+                        value
+                            .parse::<u64>()
+                            .map_err(|_| format!("bad span micros {value:?}"))?,
+                    )
+                }
+                other => return Err(format!("unknown span field {other:?}")),
+            }
+        }
+        Ok(SpanRec {
+            id: id.ok_or("span missing id")?,
+            parent: parent.ok_or("span missing parent")?,
+            name: name.ok_or("span missing name")?,
+            micros: micros.ok_or("span missing micros")?,
+        })
+    }
+}
+
+/// A span tree under construction for one request.
+#[derive(Debug)]
+pub struct Trace {
+    id: u64,
+    spans: Vec<SpanRec>,
+    next: SpanId,
+}
+
+impl Trace {
+    /// Starts a trace: span 0 is the root `request` span; its duration
+    /// is stamped by [`Trace::finish`].
+    pub fn new(id: u64) -> Self {
+        Trace {
+            id,
+            spans: vec![SpanRec {
+                id: 0,
+                parent: None,
+                name: "request".to_string(),
+                micros: 0,
+            }],
+            next: 1,
+        }
+    }
+
+    /// The trace id carried in the `trace=<id>` wire option.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The root span's id (always 0).
+    pub fn root(&self) -> SpanId {
+        0
+    }
+
+    /// Appends a finished span under `parent` and returns its id.
+    pub fn add(&mut self, parent: SpanId, name: &str, micros: u64) -> SpanId {
+        debug_assert!(
+            !name.contains(char::is_whitespace),
+            "span names are identifiers"
+        );
+        let id = self.next;
+        self.next += 1;
+        self.spans.push(SpanRec {
+            id,
+            parent: Some(parent),
+            name: name.to_string(),
+            micros,
+        });
+        id
+    }
+
+    /// Grafts a foreign span tree (e.g. one shard's spans, parsed off the
+    /// wire) under `parent`: ids are offset into this trace's id space,
+    /// and the foreign root is renamed `root_name` (its duration is
+    /// kept). The foreign tree must itself be valid.
+    pub fn graft(
+        &mut self,
+        parent: SpanId,
+        root_name: &str,
+        foreign: &[SpanRec],
+    ) -> Result<SpanId, String> {
+        validate_span_tree(foreign).map_err(|e| format!("grafted subtree invalid: {e}"))?;
+        let offset = self.next;
+        let mut grafted_root = None;
+        for span in foreign {
+            let id = span
+                .id
+                .checked_add(offset)
+                .ok_or("span id overflow in graft")?;
+            self.next = self.next.max(id + 1);
+            match span.parent {
+                None => {
+                    self.spans.push(SpanRec {
+                        id,
+                        parent: Some(parent),
+                        name: root_name.to_string(),
+                        micros: span.micros,
+                    });
+                    grafted_root = Some(id);
+                }
+                Some(p) => self.spans.push(SpanRec {
+                    id,
+                    parent: Some(p + offset),
+                    name: span.name.clone(),
+                    micros: span.micros,
+                }),
+            }
+        }
+        grafted_root.ok_or_else(|| "grafted subtree has no root".to_string())
+    }
+
+    /// Stamps the root span with the request's total wall time and
+    /// returns the finished spans. The root is raised to the largest
+    /// direct-child duration if µs rounding would otherwise violate the
+    /// child ≤ parent invariant.
+    pub fn finish(mut self, total_micros: u64) -> Vec<SpanRec> {
+        let max_child = self
+            .spans
+            .iter()
+            .filter(|s| s.parent == Some(0))
+            .map(|s| s.micros)
+            .max()
+            .unwrap_or(0);
+        self.spans[0].micros = total_micros.max(max_child);
+        self.spans
+    }
+
+    /// The spans recorded so far (root duration still unstamped).
+    pub fn spans(&self) -> &[SpanRec] {
+        &self.spans
+    }
+}
+
+/// Validates a span tree: exactly one root, unique ids, every parent
+/// declared before its children, and every child's duration ≤ its
+/// parent's. This is the acceptance check for stitched routed traces.
+pub fn validate_span_tree(spans: &[SpanRec]) -> Result<(), String> {
+    if spans.is_empty() {
+        return Err("empty span tree".to_string());
+    }
+    let mut roots = 0usize;
+    let mut seen: Vec<(SpanId, u64)> = Vec::with_capacity(spans.len());
+    for span in spans {
+        if seen.iter().any(|(id, _)| *id == span.id) {
+            return Err(format!("duplicate span id {}", span.id));
+        }
+        match span.parent {
+            None => roots += 1,
+            Some(p) => {
+                let (_, parent_micros) = seen
+                    .iter()
+                    .find(|(id, _)| *id == p)
+                    .ok_or_else(|| format!("span {} references undeclared parent {p}", span.id))?;
+                if span.micros > *parent_micros {
+                    return Err(format!(
+                        "span {} ({}) micros {} exceeds parent {p} micros {parent_micros}",
+                        span.id, span.name, span.micros
+                    ));
+                }
+            }
+        }
+        seen.push((span.id, span.micros));
+    }
+    if roots != 1 {
+        return Err(format!("expected exactly 1 root span, found {roots}"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_roundtrip() {
+        let span = SpanRec {
+            id: 3,
+            parent: Some(1),
+            name: "exec".to_string(),
+            micros: 1234,
+        };
+        assert_eq!(span.wire(), "id=3 parent=1 name=exec micros=1234");
+        assert_eq!(SpanRec::parse(&span.wire()).unwrap(), span);
+        let root = SpanRec {
+            id: 0,
+            parent: None,
+            name: "request".to_string(),
+            micros: 9,
+        };
+        assert_eq!(SpanRec::parse(&root.wire()).unwrap(), root);
+        assert!(SpanRec::parse("id=1 name=x").is_err()); // missing fields
+        assert!(SpanRec::parse("id=x parent=- name=y micros=1").is_err());
+    }
+
+    #[test]
+    fn build_and_validate() {
+        let mut t = Trace::new(42);
+        let plan = t.add(t.root(), "plan", 10);
+        assert_eq!(plan, 1);
+        t.add(t.root(), "exec", 90);
+        let spans = t.finish(120);
+        assert_eq!(spans[0].micros, 120);
+        validate_span_tree(&spans).expect("valid tree");
+    }
+
+    #[test]
+    fn finish_raises_root_over_children() {
+        let mut t = Trace::new(1);
+        t.add(0, "exec", 50);
+        let spans = t.finish(49); // rounding artifact: child measured longer
+        assert_eq!(spans[0].micros, 50);
+        validate_span_tree(&spans).expect("clamped tree is valid");
+    }
+
+    #[test]
+    fn graft_offsets_and_reparents() {
+        // Shard-side tree, ids 0..3 in its own space.
+        let mut shard = Trace::new(7);
+        let plan = shard.add(0, "plan", 5);
+        assert_eq!(plan, 1);
+        shard.add(1, "lookup", 2);
+        let shard_spans = shard.finish(30);
+
+        let mut router = Trace::new(7);
+        let scatter = router.add(router.root(), "scatter", 100);
+        let grafted = router.graft(scatter, "shard0", &shard_spans).unwrap();
+        router.add(router.root(), "merge", 8);
+        let spans = router.finish(150);
+        validate_span_tree(&spans).expect("stitched tree is valid");
+
+        let shard_root = spans.iter().find(|s| s.id == grafted).unwrap();
+        assert_eq!(shard_root.name, "shard0");
+        assert_eq!(shard_root.parent, Some(scatter));
+        assert_eq!(shard_root.micros, 30);
+        // The shard's plan span survived, re-parented under shard0.
+        let plan = spans.iter().find(|s| s.name == "plan").unwrap();
+        assert_eq!(plan.parent, Some(grafted));
+        assert_eq!(plan.micros, 5);
+    }
+
+    #[test]
+    fn validate_rejects_bad_trees() {
+        let root = SpanRec {
+            id: 0,
+            parent: None,
+            name: "request".into(),
+            micros: 10,
+        };
+        assert!(validate_span_tree(&[]).is_err());
+        // Child exceeds parent.
+        let fat_child = SpanRec {
+            id: 1,
+            parent: Some(0),
+            name: "exec".into(),
+            micros: 11,
+        };
+        assert!(validate_span_tree(&[root.clone(), fat_child]).is_err());
+        // Duplicate id.
+        assert!(validate_span_tree(&[root.clone(), root.clone()]).is_err());
+        // Undeclared parent.
+        let orphan = SpanRec {
+            id: 2,
+            parent: Some(9),
+            name: "x".into(),
+            micros: 1,
+        };
+        assert!(validate_span_tree(&[root.clone(), orphan]).is_err());
+        // Two roots.
+        let root2 = SpanRec {
+            id: 1,
+            parent: None,
+            name: "request".into(),
+            micros: 1,
+        };
+        assert!(validate_span_tree(&[root, root2]).is_err());
+    }
+}

@@ -86,7 +86,7 @@ mod prepare;
 mod scheduler;
 
 pub use morsel::Partitioner;
-pub use pool::{JobAborted, JobHandle, PoolJob, WorkerPool};
+pub use pool::{JobAborted, JobHandle, PoolJob, PoolMetrics, WorkerPool};
 pub use pooled::PooledEngine;
 pub use prepare::prepare_indexes_pooled;
 

@@ -40,6 +40,55 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 
+use qppt_obs::{Counter, Gauge, Registry};
+
+/// Handles the pool records into when observability is enabled. Stored
+/// immutably inside the pool at construction, so the hot paths read an
+/// `Option` and touch relaxed atomics — no extra locking.
+#[derive(Clone)]
+pub struct PoolMetrics {
+    /// Jobs currently admitted (queued or executing).
+    pub queue_depth: Arc<Gauge>,
+    /// Jobs admitted into the queue (empty jobs count as started and
+    /// completed immediately, so `started == completed` at idle).
+    pub jobs_started: Arc<Counter>,
+    /// Jobs retired after running all their tasks.
+    pub jobs_completed: Arc<Counter>,
+    /// Submissions that had to block on the admission budget.
+    pub admission_waits: Arc<Counter>,
+    /// Jobs aborted by shutdown before any worker joined.
+    pub admission_rejections: Arc<Counter>,
+}
+
+impl PoolMetrics {
+    /// Registers the pool's metric families in `registry` under their
+    /// stable exported names.
+    pub fn register(registry: &Registry) -> Self {
+        Self {
+            queue_depth: registry.gauge(
+                "qppt_pool_queue_depth",
+                "Jobs currently admitted to the worker pool (queued or executing).",
+            ),
+            jobs_started: registry.counter(
+                "qppt_pool_jobs_started_total",
+                "Jobs admitted to the worker pool since start.",
+            ),
+            jobs_completed: registry.counter(
+                "qppt_pool_jobs_completed_total",
+                "Jobs that ran all their tasks to completion.",
+            ),
+            admission_waits: registry.counter(
+                "qppt_pool_admission_waits_total",
+                "Submissions that blocked on the admission budget.",
+            ),
+            admission_rejections: registry.counter(
+                "qppt_pool_admission_rejections_total",
+                "Jobs aborted by shutdown before any worker joined.",
+            ),
+        }
+    }
+}
+
 /// A bundle of pull-able tasks submitted to the [`WorkerPool`].
 ///
 /// Implementations hold their own atomic task dispenser and per-participant
@@ -151,6 +200,18 @@ struct Inner {
     /// Submitters wait here for an admission slot.
     admit_cv: Condvar,
     max_active: usize,
+    /// Observability handles, `None` when the pool runs uninstrumented.
+    metrics: Option<PoolMetrics>,
+}
+
+impl Inner {
+    /// Records a retired (completed) job.
+    fn job_retired(&self) {
+        if let Some(m) = &self.metrics {
+            m.queue_depth.sub(1);
+            m.jobs_completed.inc();
+        }
+    }
 }
 
 /// The shared worker pool (see module docs).
@@ -175,6 +236,16 @@ impl WorkerPool {
     /// `max_active` concurrent jobs (≥ 1). All threads are spawned here —
     /// queries never spawn again.
     pub fn new(size: usize, max_active: usize) -> Arc<Self> {
+        Self::new_with_metrics(size, max_active, None)
+    }
+
+    /// [`new`](Self::new) with observability: the pool reports queue depth
+    /// and job/admission counters through `metrics`.
+    pub fn new_with_metrics(
+        size: usize,
+        max_active: usize,
+        metrics: Option<PoolMetrics>,
+    ) -> Arc<Self> {
         let size = size.max(1);
         let inner = Arc::new(Inner {
             state: Mutex::new(PoolState {
@@ -185,6 +256,7 @@ impl WorkerPool {
             work_cv: Condvar::new(),
             admit_cv: Condvar::new(),
             max_active: max_active.max(1),
+            metrics,
         });
         let pool = Arc::new(Self {
             inner: inner.clone(),
@@ -251,12 +323,24 @@ impl WorkerPool {
         let slot = DoneSlot::new();
         let mut enqueued = None;
         let mut st = self.inner.state.lock().expect("pool lock");
+        if st.queue.len() >= self.inner.max_active && !st.shutdown {
+            if let Some(m) = &self.inner.metrics {
+                m.admission_waits.inc();
+            }
+        }
         while st.queue.len() >= self.inner.max_active && !st.shutdown {
             st = self.inner.admit_cv.wait(st).expect("pool lock");
         }
         if st.shutdown {
+            if let Some(m) = &self.inner.metrics {
+                m.admission_rejections.inc();
+            }
             slot.finish(SlotState::Aborted);
         } else if !job.has_work() {
+            if let Some(m) = &self.inner.metrics {
+                m.jobs_started.inc();
+                m.jobs_completed.inc();
+            }
             slot.finish(SlotState::Done);
         } else {
             let seq = st.next_seq;
@@ -270,6 +354,10 @@ impl WorkerPool {
                 job,
                 slot: slot.clone(),
             });
+            if let Some(m) = &self.inner.metrics {
+                m.queue_depth.add(1);
+                m.jobs_started.inc();
+            }
             self.inner.work_cv.notify_all();
             enqueued = Some(seq);
         }
@@ -323,6 +411,7 @@ impl WorkerPool {
         if st.queue[i].active == 0 && !st.queue[i].job.has_work() {
             let e = st.queue.remove(i);
             e.slot.finish(SlotState::Done);
+            self.inner.job_retired();
             self.inner.admit_cv.notify_all();
         }
     }
@@ -337,9 +426,14 @@ impl WorkerPool {
             }
             st.shutdown = true;
             // Abort jobs nobody has started; in-flight jobs retire normally.
+            let metrics = self.inner.metrics.as_ref();
             st.queue.retain(|e| {
                 if e.joined == 0 {
                     e.slot.finish(SlotState::Aborted);
+                    if let Some(m) = metrics {
+                        m.queue_depth.sub(1);
+                        m.admission_rejections.inc();
+                    }
                     false
                 } else {
                     true
@@ -403,6 +497,7 @@ fn worker_loop(inner: &Inner) {
         if st.queue[i].active == 0 && !st.queue[i].job.has_work() {
             let e = st.queue.remove(i);
             e.slot.finish(SlotState::Done);
+            inner.job_retired();
             // A freed admission slot may unblock a submitter; new workers
             // cannot be needed (retiring adds no work).
             inner.admit_cv.notify_all();
@@ -583,6 +678,84 @@ mod tests {
             assert!(j.participants.load(Ordering::Relaxed) <= 3);
         }
         assert_eq!(pool.threads_created(), 2);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn metrics_track_job_lifecycle() {
+        let registry = Registry::new();
+        let metrics = PoolMetrics::register(&registry);
+        let pool = WorkerPool::new_with_metrics(2, 8, Some(metrics.clone()));
+        let job = CountJob::new(100, 2, 0);
+        pool.run(job.clone(), 0).unwrap();
+        // Empty jobs complete immediately but still count.
+        pool.run(CountJob::new(0, 2, 0), 0).unwrap();
+        assert_eq!(metrics.jobs_started.get(), 2);
+        assert_eq!(metrics.jobs_completed.get(), 2);
+        assert_eq!(metrics.queue_depth.get(), 0);
+        assert_eq!(metrics.admission_rejections.get(), 0);
+        pool.shutdown();
+        // A post-shutdown submission is a rejection.
+        assert_eq!(pool.run(CountJob::new(5, 1, 0), 0), Err(JobAborted));
+        assert_eq!(metrics.admission_rejections.get(), 1);
+        assert_eq!(metrics.jobs_started.get(), 2);
+        let text = registry.render();
+        assert!(text.contains("qppt_pool_jobs_started_total 2"));
+        assert!(text.contains("qppt_pool_queue_depth 0"));
+    }
+
+    #[test]
+    fn metrics_count_admission_waits() {
+        let registry = Registry::new();
+        let metrics = PoolMetrics::register(&registry);
+        // Budget of 1: while the blocker occupies the only admission slot,
+        // a second submission must block (and be counted as a wait).
+        struct GateJob {
+            claimed: AtomicUsize,
+            release: AtomicUsize,
+        }
+        impl PoolJob for GateJob {
+            fn max_workers(&self) -> usize {
+                1
+            }
+            fn has_work(&self) -> bool {
+                self.claimed.load(Ordering::Relaxed) == 0
+            }
+            fn work(&self) {
+                self.claimed.store(1, Ordering::Relaxed);
+                while self.release.load(Ordering::Relaxed) == 0 {
+                    thread::yield_now();
+                }
+            }
+        }
+        let pool = WorkerPool::new_with_metrics(2, 1, Some(metrics.clone()));
+        let blocker = Arc::new(GateJob {
+            claimed: AtomicUsize::new(0),
+            release: AtomicUsize::new(0),
+        });
+        let handle = pool.submit(blocker.clone(), 0);
+        while blocker.claimed.load(Ordering::Relaxed) == 0 {
+            thread::yield_now();
+        }
+        assert_eq!(metrics.queue_depth.get(), 1);
+        let second = CountJob::new(1, 1, 0);
+        let waiter = {
+            let pool = pool.clone();
+            let second = second.clone();
+            thread::spawn(move || pool.run(second as Arc<dyn PoolJob>, 0).unwrap())
+        };
+        // The second submission is blocked on admission until the gate
+        // opens; wait until its blocked state is observable, then release.
+        while metrics.admission_waits.get() == 0 {
+            thread::yield_now();
+        }
+        blocker.release.store(1, Ordering::Relaxed);
+        handle.wait().unwrap();
+        waiter.join().unwrap();
+        assert_eq!(metrics.admission_waits.get(), 1);
+        assert_eq!(metrics.jobs_started.get(), 2);
+        assert_eq!(metrics.jobs_completed.get(), 2);
+        assert_eq!(metrics.queue_depth.get(), 0);
         pool.shutdown();
     }
 

@@ -16,11 +16,17 @@
 //! bounds how long the router waits at startup for every shard to answer
 //! `PING` before serving. `SHUTDOWN` stops the router only — the shards
 //! keep running.
+//!
+//! Observability: the `METRICS` verb serves the merged fleet exposition
+//! (every shard's families labeled `shard="<i>"`, summed `shard="fleet"`
+//! samples, plus the router's own `qppt_router_*` families) unless
+//! `--no-obs` disables the instrumentation; `--slow-query-micros <n>`
+//! logs routed queries at or above *n* µs wall time to stderr (0 = off).
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use qppt_router::{serve_router, Router, RouterConfig};
+use qppt_router::{serve_router, Router, RouterConfig, RouterObs};
 
 fn arg<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
     args.iter()
@@ -41,6 +47,8 @@ fn main() {
     let read_timeout: f64 = arg(&args, "--read-timeout-secs", 60.0);
     let conns_per_shard: usize = arg(&args, "--conns-per-shard", 4);
     let wait_secs: f64 = arg(&args, "--wait-secs", 120.0);
+    let no_obs = args.iter().any(|a| a == "--no-obs");
+    let slow_query_micros: u64 = arg(&args, "--slow-query-micros", 0);
 
     let shard_addrs: Vec<String> = shards_flag
         .split(',')
@@ -59,7 +67,14 @@ fn main() {
     config.connect_timeout = Duration::from_secs_f64(connect_timeout);
     config.read_timeout = Duration::from_secs_f64(read_timeout);
     config.conns_per_shard = conns_per_shard;
-    let router = Arc::new(Router::new(config));
+    let mut router = Router::new(config);
+    if !no_obs {
+        router = router.with_obs(RouterObs::new(
+            shard_addrs.len(),
+            (slow_query_micros > 0).then_some(slow_query_micros),
+        ));
+    }
+    let router = Arc::new(router);
 
     eprintln!(
         "qppt-router: waiting up to {wait_secs}s for {} shard(s) to answer PING …",

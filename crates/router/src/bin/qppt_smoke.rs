@@ -14,6 +14,13 @@
 //! drives the same named + ad-hoc + malformed probes through the router —
 //! the merged answers must be byte-identical to the same sequential
 //! oracle (`--addr`/`--shutdown` are ignored in this mode).
+//!
+//! Both modes end with a `METRICS` probe: the exposition must parse under
+//! the strict Prometheus checker and count the queries this very smoke
+//! just issued (in router mode: per-shard labels plus the summed
+//! `shard="fleet"` samples and the router's own families). A server that
+//! answers `ERR … --no-obs` skips the probe — that configuration has no
+//! metrics by design.
 
 use std::process::exit;
 use std::time::Duration;
@@ -62,7 +69,8 @@ fn main() {
     }
     let engine = QpptEngine::new(&ssb.db);
 
-    let failed = run_probes(&mut client, &engine, &opts);
+    let mut failed = run_probes(&mut client, &engine, &opts);
+    failed += metrics_probe(&mut client, None);
 
     if shutdown {
         eprintln!("smoke: sending SHUTDOWN");
@@ -80,8 +88,8 @@ fn main() {
 /// sequential single-node oracle.
 fn router_smoke() {
     use qppt_par::WorkerPool;
-    use qppt_router::{serve_router, Router, RouterConfig};
-    use qppt_server::{serve, ServeEngine};
+    use qppt_router::{serve_router, Router, RouterConfig, RouterObs};
+    use qppt_server::{serve, ServeEngine, ServeObs};
     use std::sync::Arc;
 
     let (sf, seed) = (0.01, 42);
@@ -94,12 +102,14 @@ fn router_smoke() {
     let mut shard_addrs = Vec::new();
     for i in 0..2 {
         let engine = ServeEngine::with_ssb_shard(sf, seed, pool.clone(), defaults, i, 2)
-            .expect("shard engine builds");
+            .expect("shard engine builds")
+            .with_obs(ServeObs::new(None));
         let h = serve(Arc::new(engine), "127.0.0.1:0").expect("shard binds");
         shard_addrs.push(h.addr().to_string());
         shard_handles.push(h);
     }
-    let router = Arc::new(Router::new(RouterConfig::new(shard_addrs)));
+    let router =
+        Arc::new(Router::new(RouterConfig::new(shard_addrs)).with_obs(RouterObs::new(2, None)));
     router
         .wait_for_shards(Duration::from_secs(30))
         .expect("shards answer PING");
@@ -129,6 +139,7 @@ fn router_smoke() {
         }
     }
     failed += run_probes(&mut client, &engine, &opts);
+    failed += metrics_probe(&mut client, Some(2));
 
     eprintln!("smoke: sending SHUTDOWN (router only; shards are stopped directly)");
     let _ = client.shutdown();
@@ -142,6 +153,103 @@ fn router_smoke() {
         exit(1);
     }
     eprintln!("smoke: PASS (router)");
+}
+
+/// The `METRICS` probe: the exposition must parse under the strict
+/// Prometheus checker and count the ≥ 3 named `RUN`s `run_probes` just
+/// issued. In router mode (`shards = Some(n)`) that count must appear per
+/// shard and the `shard="fleet"` sample must equal the shard sum, with
+/// the router's own `qppt_router_*` families alongside. A server built
+/// with `--no-obs` answers a structured `ERR` — reported as a skip, not a
+/// failure. Returns the number of failures.
+fn metrics_probe(client: &mut QpptClient, shards: Option<usize>) -> usize {
+    let text = match client.metrics() {
+        Ok(t) => t,
+        Err(qppt_server::ClientError::Server(msg)) if msg.contains("--no-obs") => {
+            eprintln!("smoke: METRICS skipped — server runs without observability ({msg})");
+            return 0;
+        }
+        Err(e) => {
+            eprintln!("smoke: METRICS FAIL — {e}");
+            return 1;
+        }
+    };
+    let expo = match qppt_obs::parse_exposition(&text) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("smoke: METRICS FAIL — exposition does not parse: {e}");
+            return 1;
+        }
+    };
+    let mut failed = 0usize;
+    let mut check = |what: &str, got: Option<i64>, ok: &dyn Fn(i64) -> bool| match got {
+        Some(v) if ok(v) => eprintln!("smoke: METRICS {what} OK ({v})"),
+        other => {
+            eprintln!("smoke: METRICS FAIL — {what} is {other:?}");
+            failed += 1;
+        }
+    };
+    match shards {
+        None => {
+            // `--addr` may point at a router rather than a server; a merged
+            // exposition labels every shard sample, so fall back to the
+            // `shard="fleet"` sums when the plain samples are absent.
+            check(
+                "qppt_requests_total{verb=RUN}",
+                expo.value("qppt_requests_total", &[("verb", "RUN")])
+                    .or_else(|| {
+                        expo.value(
+                            "qppt_requests_total",
+                            &[("shard", "fleet"), ("verb", "RUN")],
+                        )
+                    }),
+                &|v| v >= 3,
+            );
+            check(
+                "qppt_uptime_seconds",
+                expo.value("qppt_uptime_seconds", &[])
+                    .or_else(|| expo.value("qppt_uptime_seconds", &[("shard", "fleet")])),
+                &|v| v >= 0,
+            );
+        }
+        Some(n) => {
+            let per_shard: Vec<Option<i64>> = (0..n)
+                .map(|i| {
+                    expo.value(
+                        "qppt_requests_total",
+                        &[("shard", &i.to_string()), ("verb", "RUN")],
+                    )
+                })
+                .collect();
+            for (i, got) in per_shard.iter().enumerate() {
+                check(
+                    &format!("qppt_requests_total{{shard={i},verb=RUN}}"),
+                    *got,
+                    &|v| v >= 3,
+                );
+            }
+            let sum: Option<i64> = per_shard.into_iter().sum();
+            check(
+                "qppt_requests_total{shard=fleet,verb=RUN}",
+                expo.value(
+                    "qppt_requests_total",
+                    &[("shard", "fleet"), ("verb", "RUN")],
+                ),
+                &|v| Some(v) == sum,
+            );
+            check(
+                "qppt_router_requests_total{verb=RUN}",
+                expo.value("qppt_router_requests_total", &[("verb", "RUN")]),
+                &|v| v >= 3,
+            );
+            check(
+                "qppt_router_merge_micros_count",
+                expo.value("qppt_router_merge_micros_count", &[]),
+                &|v| v >= 3,
+            );
+        }
+    }
+    failed
 }
 
 /// The shared probe set: three named aliases, one ad-hoc `QUERY`, one

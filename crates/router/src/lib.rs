@@ -59,4 +59,7 @@
 mod pool;
 mod router;
 
+pub mod obs;
+
+pub use obs::RouterObs;
 pub use router::{serve_router, serve_router_with, Router, RouterConfig, RouterError};

@@ -3,19 +3,23 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use qppt_core::{ExecStats, OpStats, PartialAggregate, PlanOptions};
+use qppt_obs::{merge_exposition, SpanRec, Trace};
 use qppt_par::merge_partial_aggregates;
 use qppt_server::protocol::{
     apply_overrides, parse_partial_status, parse_request, read_partial_body, read_text_body,
-    write_run_response, CacheCmd, ClientError, Request, ServedStats, MODE_KEY,
+    write_run_response, CacheCmd, ClientError, Request, ServedStats, TraceMode, MODE_KEY,
+    TRACE_KEY,
 };
 use qppt_server::{serve_lines, LineService, Reply, ServerConfig, ServerHandle};
 use qppt_ssb::queries;
 use qppt_storage::{OrderKey, QueryResult, QuerySpec};
 
+use crate::obs::RouterObs;
 use crate::pool::{ShardConn, ShardPool};
 
 /// Router tunables: the shard fleet plus per-shard transport limits.
@@ -110,6 +114,8 @@ pub struct Router {
     /// each alias's ORDER BY for the merge (and can reject unknown names
     /// without touching the fleet).
     queries: BTreeMap<String, QuerySpec>,
+    started: Instant,
+    obs: Option<Arc<RouterObs>>,
 }
 
 impl Router {
@@ -120,7 +126,7 @@ impl Router {
             !config.shard_addrs.is_empty(),
             "RouterConfig.shard_addrs must name at least one shard"
         );
-        let shards = config
+        let shards: Vec<ShardPool> = config
             .shard_addrs
             .iter()
             .map(|addr| {
@@ -136,7 +142,37 @@ impl Router {
             .into_iter()
             .map(|q| (q.id.to_ascii_lowercase(), q))
             .collect();
-        Self { shards, queries }
+        Self {
+            shards,
+            queries,
+            started: Instant::now(),
+            obs: None,
+        }
+    }
+
+    /// Attaches observability state (builder-style): per-verb request
+    /// metrics, per-shard RTT histograms, the merged `METRICS`
+    /// exposition, and the slow-query log. Without it the router serves
+    /// uninstrumented (`--no-obs`) and `METRICS` answers `ERR`.
+    pub fn with_obs(mut self, obs: Arc<RouterObs>) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// The attached observability state, if any.
+    pub fn obs(&self) -> Option<&Arc<RouterObs>> {
+        self.obs.as_ref()
+    }
+
+    /// Seconds since this router was constructed (the `INFO`
+    /// `uptime_secs=` field).
+    pub fn uptime_secs(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
+    /// The crate version reported as `build=` by `INFO`.
+    pub fn build() -> &'static str {
+        env!("CARGO_PKG_VERSION")
     }
 
     /// Number of shards fronted.
@@ -179,13 +215,28 @@ impl Router {
         forward: &str,
         order_by: &[OrderKey],
     ) -> Result<(QueryResult, ExecStats, usize), RouterError> {
+        self.scatter_partial_traced(forward, order_by, None)
+    }
+
+    /// [`scatter_partial`](Self::scatter_partial) with request-scoped
+    /// tracing: the gather wall time becomes a `scatter` span, each
+    /// shard's own span tree (carried back on the partial response) is
+    /// grafted under it as `shard<i>`, and the merge gets its own span.
+    /// Result bytes are identical with and without a trace.
+    fn scatter_partial_traced(
+        &self,
+        forward: &str,
+        order_by: &[OrderKey],
+        mut trace: Option<&mut Trace>,
+    ) -> Result<(QueryResult, ExecStats, usize), RouterError> {
         let started = Instant::now();
+        let obs = self.obs.as_deref();
         // Scatter first: every shard has the request in flight before any
         // response is read, so shards execute concurrently.
         let in_flight: Vec<SendOutcome> = self
             .shards
             .iter()
-            .map(|pool| send_request(pool, forward))
+            .map(|pool| send_request(pool, forward, obs))
             .collect();
         // Gather in shard order (the deterministic merge order). Every
         // in-flight response is consumed even after an earlier shard
@@ -194,8 +245,13 @@ impl Router {
         let mut unavailable: Option<(usize, String)> = None;
         let mut gathered: Vec<Gathered> = Vec::with_capacity(self.shards.len());
         for (i, sent) in in_flight.into_iter().enumerate() {
-            match exchange(&self.shards[i], sent, forward, read_partial_response) {
-                Ok(g) => gathered.push(g),
+            match exchange(&self.shards[i], sent, forward, read_partial_response, obs) {
+                Ok(g) => {
+                    if let Some(o) = obs {
+                        o.record_rtt(i, elapsed_micros(started));
+                    }
+                    gathered.push(g);
+                }
                 Err(GatherError::Query(msg)) => {
                     if query_err.is_none() {
                         query_err = Some(msg);
@@ -217,6 +273,19 @@ impl Router {
         if let Some((shard, detail)) = unavailable {
             return Err(RouterError::ShardUnavailable { shard, detail });
         }
+        if let Some(t) = trace.as_deref_mut() {
+            // The scatter span's wall time covers every gather, so each
+            // grafted shard tree's root (the shard's request total, which
+            // excludes the network) stays ≤ its parent.
+            let scatter = t.add(t.root(), "scatter", elapsed_micros(started));
+            for (i, g) in gathered.iter().enumerate() {
+                if !g.stats.spans.is_empty() {
+                    // A malformed shard tree is dropped, never fatal —
+                    // tracing must not fail a query that produced rows.
+                    let _ = t.graft(scatter, &format!("shard{i}"), &g.stats.spans);
+                }
+            }
+        }
 
         let workers = gathered.iter().map(|g| g.stats.workers).max().unwrap_or(1);
         let mut stats = ExecStats::default();
@@ -230,11 +299,19 @@ impl Router {
                 micros: g.stats.total_micros,
             });
         }
+        let merge_started = Instant::now();
         let parts: Vec<PartialAggregate> = gathered.into_iter().map(|g| g.partial).collect();
         let merged = merge_partial_aggregates(parts)
             .map_err(|e| RouterError::Query(e.to_string()))?
             .expect("at least one shard gathered");
         let result = merged.into_result(order_by);
+        let merge_micros = elapsed_micros(merge_started);
+        if let Some(o) = obs {
+            o.record_merge(merge_micros);
+        }
+        if let Some(t) = trace {
+            t.add(t.root(), "merge", merge_micros);
+        }
         stats.total_micros = started.elapsed().as_micros();
         Ok((result, stats, workers))
     }
@@ -242,17 +319,67 @@ impl Router {
     /// Sends a single-line-response command (`INFO`, `CACHE …`) to every
     /// shard; returns the `OK` payloads in shard order.
     fn fanout_status(&self, line: &str) -> Result<Vec<String>, RouterError> {
+        let obs = self.obs.as_deref();
         let in_flight: Vec<SendOutcome> = self
             .shards
             .iter()
-            .map(|pool| send_request(pool, line))
+            .map(|pool| send_request(pool, line, obs))
             .collect();
         let mut payloads = Vec::with_capacity(self.shards.len());
         for (i, sent) in in_flight.into_iter().enumerate() {
             let read = |c: &mut ShardConn| c.read_status();
-            payloads.push(exchange(&self.shards[i], sent, line, read).map_err(|e| e.at(i))?);
+            payloads.push(exchange(&self.shards[i], sent, line, read, obs).map_err(|e| e.at(i))?);
         }
         Ok(payloads)
+    }
+
+    /// Fans `METRICS` out to every shard; returns `(shard id, exposition
+    /// text)` pairs in shard order, ready for
+    /// [`merge_exposition`](qppt_obs::merge_exposition).
+    fn fanout_metrics(&self) -> Result<Vec<(String, String)>, RouterError> {
+        let obs = self.obs.as_deref();
+        let in_flight: Vec<SendOutcome> = self
+            .shards
+            .iter()
+            .map(|pool| send_request(pool, "METRICS", obs))
+            .collect();
+        let mut out = Vec::with_capacity(self.shards.len());
+        for (i, sent) in in_flight.into_iter().enumerate() {
+            let read = |c: &mut ShardConn| {
+                c.read_status()?;
+                let body = read_text_body(c.reader())?;
+                let mut text = body.join("\n");
+                text.push('\n');
+                Ok(text)
+            };
+            let text =
+                exchange(&self.shards[i], sent, "METRICS", read, obs).map_err(|e| e.at(i))?;
+            out.push((i.to_string(), text));
+        }
+        Ok(out)
+    }
+
+    /// `METRICS` at the router: the merged fleet exposition — every shard
+    /// family re-labeled `shard="<i>"` plus summed `shard="fleet"`
+    /// samples — followed by the router's own `qppt_router_*` families.
+    fn handle_metrics(&self, w: &mut dyn Write) -> io::Result<()> {
+        let Some(obs) = &self.obs else {
+            return writeln!(w, "ERR metrics disabled (--no-obs)");
+        };
+        match self.fanout_metrics() {
+            Err(e) => writeln!(w, "ERR {e}"),
+            Ok(shard_expos) => match merge_exposition(&shard_expos) {
+                Err(e) => writeln!(w, "ERR metrics merge failed ({e})"),
+                Ok(mut merged) => {
+                    merged.push_str(&obs.render());
+                    writeln!(w, "OK metrics")?;
+                    for l in merged.lines() {
+                        writeln!(w, "{l}")?;
+                    }
+                    writeln!(w, "END")
+                }
+            },
+        }
     }
 
     /// Forwards a text-bodied command (`LIST`, `EXPLAIN`) to shard 0 and
@@ -260,14 +387,15 @@ impl Router {
     /// every shard (same specs, same replicated dimension tables), so one
     /// shard speaks for the fleet.
     fn relay_text(&self, line: &str, w: &mut dyn Write) -> io::Result<()> {
+        let obs = self.obs.as_deref();
         let pool = &self.shards[0];
-        let sent = send_request(pool, line);
+        let sent = send_request(pool, line, obs);
         let read = |c: &mut ShardConn| {
             let status = c.read_status()?;
             let body = read_text_body(c.reader())?;
             Ok((status, body))
         };
-        match exchange(pool, sent, line, read) {
+        match exchange(pool, sent, line, read, obs) {
             Err(e) => writeln!(w, "ERR {}", e.at(0)),
             Ok((status, body)) => {
                 writeln!(w, "OK {status}")?;
@@ -280,20 +408,27 @@ impl Router {
     }
 
     /// `INFO` fan-out: fleet-level `shards=`/`rows=` (summed), the shared
-    /// descriptor fields from shard 0, and the per-shard map
-    /// (`shard<i>=<addr> rows<i>=<n>`).
+    /// descriptor fields from shard 0, the router's own
+    /// `uptime_secs=`/`build=` plus the fleet's
+    /// `uptime_min_secs=`/`uptime_max_secs=` spread, and the per-shard
+    /// map (`shard<i>=<addr> rows<i>=<n>`).
     fn handle_info(&self, w: &mut dyn Write) -> io::Result<()> {
         match self.fanout_status("INFO") {
             Err(e) => writeln!(w, "ERR {e}"),
             Ok(lines) => {
+                let field = |l: &str, key: &str| -> Option<u64> {
+                    l.split_whitespace()
+                        .find_map(|kv| kv.strip_prefix(key))
+                        .and_then(|v| v.strip_prefix('='))
+                        .and_then(|v| v.parse().ok())
+                };
                 let rows: Vec<u64> = lines
                     .iter()
-                    .map(|l| {
-                        l.split_whitespace()
-                            .find_map(|kv| kv.strip_prefix("rows="))
-                            .and_then(|v| v.parse().ok())
-                            .unwrap_or(0)
-                    })
+                    .map(|l| field(l, "rows").unwrap_or(0))
+                    .collect();
+                let uptimes: Vec<u64> = lines
+                    .iter()
+                    .filter_map(|l| field(l, "uptime_secs"))
                     .collect();
                 write!(
                     w,
@@ -303,12 +438,21 @@ impl Router {
                 )?;
                 for kv in lines[0].split_whitespace() {
                     match kv.split_once('=') {
-                        // Fleet-level or per-shard fields replace these.
-                        Some(("rows" | "shard" | "shards", _)) => {}
+                        // Fleet-level, per-shard, or router-level fields
+                        // replace these shard-0 values.
+                        Some(("rows" | "shard" | "shards" | "uptime_secs" | "build", _)) => {}
                         Some(_) => write!(w, " {kv}")?,
                         None => {}
                     }
                 }
+                write!(
+                    w,
+                    " uptime_secs={} uptime_min_secs={} uptime_max_secs={} build={}",
+                    self.uptime_secs(),
+                    uptimes.iter().min().copied().unwrap_or(0),
+                    uptimes.iter().max().copied().unwrap_or(0),
+                    Self::build(),
+                )?;
                 for (i, (pool, n)) in self.shards.iter().zip(&rows).enumerate() {
                     write!(w, " shard{i}={} rows{i}={n}", pool.addr())?;
                 }
@@ -357,35 +501,137 @@ impl Router {
 
     /// Validates client options locally: `mode` is router-reserved, and
     /// anything `apply_overrides` would reject on a shard is rejected here
-    /// without touching the fleet.
-    fn check_options(&self, options: &[(String, String)]) -> Result<(), String> {
+    /// without touching the fleet. Returns the parsed request controls
+    /// (the router acts on `trace=`).
+    fn check_options(
+        &self,
+        options: &[(String, String)],
+    ) -> Result<qppt_server::RunControls, String> {
         if options.iter().any(|(k, _)| k == MODE_KEY) {
             return Err(
                 "option mode is reserved on the router (it always gathers partials)".to_string(),
             );
         }
-        apply_overrides(PlanOptions::default(), options).map(|_| ())
+        apply_overrides(PlanOptions::default(), options).map(|(_, controls)| controls)
     }
 
-    /// Scatters the client's own `RUN`/`QUERY` line (plus `mode=partial`)
-    /// and writes the merged full response.
+    /// Scatters the client's own `RUN`/`QUERY` line (plus `mode=partial`,
+    /// plus a pinned `trace=<id>` when the request is traced — appended
+    /// *after* the client's options, so the later duplicate wins on the
+    /// shards and every shard stamps its spans with the router's id) and
+    /// writes the merged full response.
     fn scatter_and_respond(
         &self,
+        verb: &'static str,
         line: &str,
         order_by: &[OrderKey],
+        trace_mode: TraceMode,
         mut w: &mut dyn Write,
     ) -> io::Result<()> {
-        let forward = format!("{line} {MODE_KEY}=partial");
-        match self.scatter_partial(&forward, order_by) {
+        let started = Instant::now();
+        let mut trace = make_trace(trace_mode);
+        let forward = match &trace {
+            Some(t) => format!("{line} {MODE_KEY}=partial {TRACE_KEY}={}", t.id()),
+            None => format!("{line} {MODE_KEY}=partial"),
+        };
+        let out = match self.scatter_partial_traced(&forward, order_by, trace.as_mut()) {
             Err(e) => writeln!(w, "ERR {e}"),
-            Ok((result, stats, workers)) => write_run_response(&mut w, &result, &stats, workers),
+            Ok((result, stats, workers)) => {
+                let spans = finish_trace(trace, stats.total_micros);
+                write_run_response(&mut w, &result, &stats, workers, &spans)
+            }
+        };
+        self.slow_log(verb, started);
+        out
+    }
+
+    /// Emits the router's slow-query log line (and counts it) when the
+    /// routed request's wall time reached the `--slow-query-micros`
+    /// threshold.
+    fn slow_log(&self, verb: &'static str, started: Instant) {
+        let Some(obs) = &self.obs else { return };
+        let Some(threshold) = obs.slow_threshold() else {
+            return;
+        };
+        let micros = elapsed_micros(started);
+        if micros < threshold {
+            return;
         }
+        obs.note_slow();
+        eprintln!(
+            "slow-query verb={verb} outcome=\"routed\" micros={micros} shards={}",
+            self.shards.len()
+        );
+    }
+}
+
+/// Process-wide source of router-picked trace ids (`trace=on` from a
+/// client). Monotonic, never reused within a process.
+static TRACE_SEQ: AtomicU64 = AtomicU64::new(1);
+
+/// Creates the request [`Trace`] demanded by the client's `trace=` option
+/// (a client-pinned numeric id is honored verbatim, `on` draws a fresh
+/// router-unique id). Independent of `--no-obs` — tracing is
+/// request-scoped state, not registry state.
+fn make_trace(mode: TraceMode) -> Option<Trace> {
+    match mode {
+        TraceMode::Off => None,
+        TraceMode::On => Some(Trace::new(TRACE_SEQ.fetch_add(1, Ordering::Relaxed))),
+        TraceMode::Id(id) => Some(Trace::new(id)),
+    }
+}
+
+/// Closes out a request trace into its wire-ordered span list (empty when
+/// untraced).
+fn finish_trace(trace: Option<Trace>, total_micros: u128) -> Vec<SpanRec> {
+    match trace {
+        None => Vec::new(),
+        Some(t) => t.finish(u64::try_from(total_micros).unwrap_or(u64::MAX)),
+    }
+}
+
+/// Saturating `u64` micros since `started`.
+fn elapsed_micros(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// The metrics label for a parsed request.
+fn verb_of(req: &Request) -> &'static str {
+    match req {
+        Request::Ping => "PING",
+        Request::Quit => "QUIT",
+        Request::Shutdown => "SHUTDOWN",
+        Request::Info => "INFO",
+        Request::Cache(_) => "CACHE",
+        Request::List => "LIST",
+        Request::Explain { .. } | Request::ExplainSpec { .. } => "EXPLAIN",
+        Request::Run { .. } => "RUN",
+        Request::Query { .. } => "QUERY",
+        Request::Metrics => "METRICS",
     }
 }
 
 impl LineService for Router {
-    fn handle(&self, line: &str, mut w: &mut dyn Write) -> io::Result<Reply> {
-        match parse_request(line) {
+    fn handle(&self, line: &str, w: &mut dyn Write) -> io::Result<Reply> {
+        let started = Instant::now();
+        let parsed = parse_request(line);
+        let verb = parsed.as_ref().ok().map(verb_of);
+        let reply = self.dispatch(parsed, line, w)?;
+        if let (Some(obs), Some(verb)) = (&self.obs, verb) {
+            obs.record_request(verb, elapsed_micros(started));
+        }
+        Ok(reply)
+    }
+}
+
+impl Router {
+    fn dispatch(
+        &self,
+        parsed: Result<Request, String>,
+        line: &str,
+        mut w: &mut dyn Write,
+    ) -> io::Result<Reply> {
+        match parsed {
             Err(msg) => writeln!(w, "ERR {msg}")?,
             Ok(Request::Ping) => writeln!(w, "OK pong")?,
             Ok(Request::Quit) => {
@@ -399,14 +645,14 @@ impl LineService for Router {
                 return Ok(Reply::Shutdown);
             }
             Ok(Request::Info) => self.handle_info(&mut w)?,
+            Ok(Request::Metrics) => self.handle_metrics(&mut w)?,
             Ok(Request::Cache(cmd)) => self.handle_cache(cmd, &mut w)?,
             Ok(Request::List) | Ok(Request::Explain { .. }) | Ok(Request::ExplainSpec { .. }) => {
                 self.relay_text(line, &mut w)?
             }
-            Ok(Request::Run { query, options }) => {
-                if let Err(msg) = self.check_options(&options) {
-                    writeln!(w, "ERR {msg}")?;
-                } else {
+            Ok(Request::Run { query, options }) => match self.check_options(&options) {
+                Err(msg) => writeln!(w, "ERR {msg}")?,
+                Ok(controls) => {
                     match self.queries.get(&query) {
                         // Mirrors the shard-side unknown-name error so
                         // clients see one message either way.
@@ -416,18 +662,29 @@ impl LineService for Router {
                         )?,
                         Some(spec) => {
                             let order_by = spec.order_by.clone();
-                            self.scatter_and_respond(line, &order_by, &mut w)?;
+                            self.scatter_and_respond(
+                                "RUN",
+                                line,
+                                &order_by,
+                                controls.trace,
+                                &mut w,
+                            )?;
                         }
                     }
                 }
-            }
-            Ok(Request::Query { spec, options }) => {
-                if let Err(msg) = self.check_options(&options) {
-                    writeln!(w, "ERR {msg}")?;
-                } else {
-                    self.scatter_and_respond(line, &spec.order_by, &mut w)?;
+            },
+            Ok(Request::Query { spec, options }) => match self.check_options(&options) {
+                Err(msg) => writeln!(w, "ERR {msg}")?,
+                Ok(controls) => {
+                    self.scatter_and_respond(
+                        "QUERY",
+                        line,
+                        &spec.order_by,
+                        controls.trace,
+                        &mut w,
+                    )?;
                 }
-            }
+            },
         }
         Ok(Reply::Continue)
     }
@@ -451,8 +708,9 @@ pub fn serve_router_with(
 
 /// Scatter-phase send: a pooled connection if possible, else the one
 /// bounded retry on a fresh dial (idle conns are cleared first — they date
-/// from before whatever broke).
-fn send_request(pool: &ShardPool, line: &str) -> SendOutcome {
+/// from before whatever broke). `obs` counts the retry attempt and, when
+/// the fresh dial lands, the reconnect.
+fn send_request(pool: &ShardPool, line: &str, obs: Option<&RouterObs>) -> SendOutcome {
     let first = pool
         .checkout()
         .and_then(|mut c| c.send_line(line).map(|()| c));
@@ -462,12 +720,20 @@ fn send_request(pool: &ShardPool, line: &str) -> SendOutcome {
             retried: false,
         },
         Err(_) => {
+            if let Some(o) = obs {
+                o.note_retry();
+            }
             pool.clear();
             match pool.dial().and_then(|mut c| c.send_line(line).map(|()| c)) {
-                Ok(conn) => SendOutcome::Sent {
-                    conn,
-                    retried: true,
-                },
+                Ok(conn) => {
+                    if let Some(o) = obs {
+                        o.note_reconnect();
+                    }
+                    SendOutcome::Sent {
+                        conn,
+                        retried: true,
+                    }
+                }
                 Err(e) => SendOutcome::Failed(e.to_string()),
             }
         }
@@ -484,6 +750,7 @@ fn exchange<T>(
     sent: SendOutcome,
     line: &str,
     read: impl Fn(&mut ShardConn) -> Result<T, ClientError>,
+    obs: Option<&RouterObs>,
 ) -> Result<T, GatherError> {
     let (mut conn, retried) = match sent {
         SendOutcome::Sent { conn, retried } => (conn, retried),
@@ -502,21 +769,29 @@ fn exchange<T>(
             if retried {
                 return Err(GatherError::Unavailable(e.to_string()));
             }
+            if let Some(o) = obs {
+                o.note_retry();
+            }
             pool.clear();
             let fresh = pool.dial().and_then(|mut c| c.send_line(line).map(|()| c));
             match fresh {
                 Err(e2) => Err(GatherError::Unavailable(e2.to_string())),
-                Ok(mut c2) => match read(&mut c2) {
-                    Ok(v) => {
-                        pool.checkin(c2);
-                        Ok(v)
+                Ok(mut c2) => {
+                    if let Some(o) = obs {
+                        o.note_reconnect();
                     }
-                    Err(ClientError::Server(msg)) => {
-                        pool.checkin(c2);
-                        Err(GatherError::Query(msg))
+                    match read(&mut c2) {
+                        Ok(v) => {
+                            pool.checkin(c2);
+                            Ok(v)
+                        }
+                        Err(ClientError::Server(msg)) => {
+                            pool.checkin(c2);
+                            Err(GatherError::Query(msg))
+                        }
+                        Err(e2) => Err(GatherError::Unavailable(e2.to_string())),
                     }
-                    Err(e2) => Err(GatherError::Unavailable(e2.to_string())),
-                },
+                }
             }
         }
     }

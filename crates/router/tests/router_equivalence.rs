@@ -108,6 +108,13 @@ fn thirteen_queries_byte_identical_at_every_shard_count() {
                 fleet.shards[i].addr().to_string()
             );
         }
+        // The router reports its own uptime and build, plus the fleet's
+        // uptime spread (shards started before the router dialed them).
+        let _router_uptime: u64 = field(&info, "uptime_secs").parse().expect("uptime parses");
+        let uptime_min: u64 = field(&info, "uptime_min_secs").parse().expect("min parses");
+        let uptime_max: u64 = field(&info, "uptime_max_secs").parse().expect("max parses");
+        assert!(uptime_min <= uptime_max, "shard uptime spread is ordered");
+        assert_eq!(field(&info, "build"), env!("CARGO_PKG_VERSION"));
 
         for par in ["1", "4"] {
             for (qi, q) in all.iter().enumerate() {

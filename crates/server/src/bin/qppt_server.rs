@@ -13,6 +13,12 @@
 //! `--cache-dim-mb` sizes the shared dimension-σ tier's byte budget, and
 //! `--cache-ttl-secs` reclaims entries idle for longer (0 = no age limit).
 //!
+//! Observability: the `METRICS` verb serves a Prometheus text exposition
+//! (per-verb request counters and latency histograms, worker-pool and
+//! cache-tier families) unless `--no-obs` disables the instrumentation;
+//! `--slow-query-micros <n>` additionally logs every request at or above
+//! *n* µs wall time to stderr with its query fingerprint (0 = off).
+//!
 //! Sharding: `--shard i/n` makes this server shard *i* of an *n*-node
 //! deployment behind `qppt-router` — the generator keeps only the fact
 //! rows whose `lo_orderdate` falls in `shard_bounds(i, n)` (dimension
@@ -25,7 +31,7 @@ use std::time::{Duration, Instant};
 use qppt_cache::CacheConfig;
 use qppt_core::PlanOptions;
 use qppt_par::WorkerPool;
-use qppt_server::{detected_cores, serve, ServeEngine};
+use qppt_server::{detected_cores, serve, ServeEngine, ServeObs};
 
 fn arg<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
     args.iter()
@@ -62,6 +68,8 @@ fn main() {
     let cache_ttl_secs: f64 = arg(&args, "--cache-ttl-secs", 0.0);
     let shard_spec: String = arg(&args, "--shard", "0/1".to_string());
     let (shard, shards) = parse_shard(&shard_spec);
+    let no_obs = args.iter().any(|a| a == "--no-obs");
+    let slow_query_micros: u64 = arg(&args, "--slow-query-micros", 0);
 
     if cores == 1 {
         eprintln!(
@@ -71,7 +79,10 @@ fn main() {
         );
     }
 
-    let pool = WorkerPool::new(threads, admission);
+    let obs =
+        (!no_obs).then(|| ServeObs::new((slow_query_micros > 0).then_some(slow_query_micros)));
+    let pool =
+        WorkerPool::new_with_metrics(threads, admission, obs.as_ref().map(|o| o.pool_metrics()));
     let defaults = PlanOptions::default()
         .with_parallelism(parallelism)
         .with_par_index_build(!seq_index_build);
@@ -99,7 +110,7 @@ fn main() {
     for q in qppt_ssb::queries::all_queries() {
         qppt_par::prepare_indexes_pooled(&mut ssb.db, &q, &defaults, &pool).expect("SSB prepares");
     }
-    let engine = ServeEngine::over_db_with_config(
+    let mut engine = ServeEngine::over_db_with_config(
         Arc::new(ssb.db),
         pool.clone(),
         defaults,
@@ -108,6 +119,9 @@ fn main() {
         cache_config,
     )
     .with_shard_info(shard, shards);
+    if let Some(obs) = obs {
+        engine = engine.with_obs(obs);
+    }
     eprintln!(
         "ready in {:.1}s ({} pool threads, admission {}, parallel index build: {}, query cache: \
          {})",

@@ -183,6 +183,18 @@ impl QpptClient {
         Ok(read_text_body(&mut self.reader)?.join("\n"))
     }
 
+    /// `METRICS` → the Prometheus text exposition, one `String` of
+    /// newline-terminated lines (the `OK metrics` / `END` framing is
+    /// stripped). `ERR metrics disabled (--no-obs)` surfaces as
+    /// [`ClientError::Server`].
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        self.send("METRICS")?;
+        read_status(&mut self.reader)?;
+        let mut text = read_text_body(&mut self.reader)?.join("\n");
+        text.push('\n');
+        Ok(text)
+    }
+
     /// `CACHE STATS` → per-tier cache counters as raw `key=value` fields.
     pub fn cache_stats(&mut self) -> Result<Vec<(String, String)>, ClientError> {
         self.send("CACHE STATS")?;

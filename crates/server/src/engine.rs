@@ -49,9 +49,12 @@ use std::time::Instant;
 
 use qppt_cache::{CacheConfig, CacheStats, CachedResult, QueryCache, QueryFingerprint};
 use qppt_core::{ExecStats, OpStats, PartialAggregate, PlanOptions, QpptEngine, QpptError};
+use qppt_obs::Trace;
 use qppt_par::{prepare_indexes_pooled, PooledEngine, WorkerPool};
 use qppt_ssb::{queries, SsbDb};
 use qppt_storage::{Database, QueryResult, QuerySpec};
+
+use crate::obs::ServeObs;
 
 /// Static facts about the serving instance, reported by `INFO`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -86,6 +89,8 @@ pub struct ServeEngine {
     defaults: PlanOptions,
     info: ServeInfo,
     cache: Arc<QueryCache>,
+    started: Instant,
+    obs: Option<Arc<ServeObs>>,
 }
 
 impl ServeEngine {
@@ -210,7 +215,40 @@ impl ServeEngine {
             defaults,
             info,
             cache,
+            started: Instant::now(),
+            obs: None,
         }
+    }
+
+    /// Attaches observability state (builder-style): per-verb request
+    /// metrics, the `METRICS` exposition, and the slow-query log. Without
+    /// it the engine serves uninstrumented (`--no-obs`).
+    pub fn with_obs(mut self, obs: Arc<ServeObs>) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// The attached observability state, if any.
+    pub fn obs(&self) -> Option<&Arc<ServeObs>> {
+        self.obs.as_ref()
+    }
+
+    /// Seconds since this engine was constructed (the `INFO`
+    /// `uptime_secs=` field).
+    pub fn uptime_secs(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
+    /// The crate version reported as `build=` by `INFO`.
+    pub fn build() -> &'static str {
+        env!("CARGO_PKG_VERSION")
+    }
+
+    /// Renders the Prometheus exposition (`METRICS` verb): registry
+    /// families plus cache-tier families from the same snapshot `CACHE
+    /// STATS` reads. `None` when serving without observability.
+    pub fn render_metrics(&self) -> Option<String> {
+        self.obs.as_ref().map(|o| o.render(&self.cache_stats()))
     }
 
     /// The serving descriptor.
@@ -312,19 +350,43 @@ impl ServeEngine {
         priority: i32,
         use_cache: bool,
     ) -> Result<(QueryResult, ExecStats), ServeError> {
+        self.run_spec_obs(spec, opts, priority, use_cache, "QUERY", None)
+    }
+
+    /// [`run_spec`](Self::run_spec) with request-scoped observability:
+    /// `verb` labels the slow-query log line, and a `trace` collects the
+    /// request's span tree (plan → sigma → exec → decode, under the root
+    /// `request` span the caller finishes). Result bytes are identical
+    /// with and without a trace — spans only ride as extra `#` lines.
+    pub fn run_spec_obs(
+        &self,
+        spec: &QuerySpec,
+        opts: &PlanOptions,
+        priority: i32,
+        use_cache: bool,
+        verb: &'static str,
+        mut trace: Option<&mut Trace>,
+    ) -> Result<(QueryResult, ExecStats), ServeError> {
         let db = self.engine.db();
+        let started = Instant::now();
         if !use_cache || !self.cache.enabled() {
             // The bypass path plans and materializes from scratch — run
             // the full pre-flight (catalog, then index availability).
             qppt_core::validate(db, spec, opts).map_err(ServeError::Engine)?;
             let snap = db.snapshot();
-            return self
+            let result = self
                 .engine
                 .run_at(spec, opts, snap, priority)
-                .map_err(ServeError::Engine);
+                .map_err(ServeError::Engine)?;
+            if let Some(t) = trace.as_deref_mut() {
+                // Planning and materialization happen inside run_at; the
+                // bypass trace has a single exec span covering them all.
+                t.add(t.root(), "exec", elapsed_micros(started));
+            }
+            self.slow_log(verb, "bypass", started, spec, opts);
+            return Ok(result);
         }
 
-        let started = Instant::now();
         let fp = match QueryFingerprint::compute(db, spec, opts) {
             Ok(fp) => fp,
             // Fingerprinting fails only on catalog errors (unknown
@@ -340,15 +402,32 @@ impl ServeEngine {
             let mut stats = hit.stats.clone();
             stats.push(cache_op("cache: result hit", hit.result.rows.len()));
             stats.total_micros = started.elapsed().as_micros();
+            if let Some(t) = trace.as_deref_mut() {
+                t.add(t.root(), "result_cache", elapsed_micros(started));
+            }
+            self.slow_log(verb, "cache: result hit", started, spec, opts);
             return Ok((hit.result.clone(), stats));
         }
 
-        let (prepared, tier_label, assembly) = self.assemble_prepared(&fp, spec, opts)?;
+        let (prepared, tier_label, assembly, phases) = self.assemble_prepared(&fp, spec, opts)?;
 
-        let (result, mut stats) = self
+        // run_prepared decomposed into its two halves (identical code
+        // path — see PooledEngine::run_prepared) so exec and decode get
+        // their own spans; total_micros is restamped below either way.
+        let exec_started = Instant::now();
+        let (agg, mut stats) = self
             .engine
-            .run_prepared(&prepared, priority)
+            .run_prepared_agg(&prepared, priority)
             .map_err(ServeError::Engine)?;
+        let exec_micros = elapsed_micros(exec_started);
+        let decode_started = Instant::now();
+        let result = qppt_core::exec::decode_result(db, &prepared.plan, &agg);
+        if let Some(t) = trace {
+            t.add(t.root(), "plan", phases.plan_micros);
+            t.add(t.root(), "sigma", phases.sigma_micros);
+            t.add(t.root(), "exec", exec_micros);
+            t.add(t.root(), "decode", elapsed_micros(decode_started));
+        }
         self.cache.put_result(
             &fp,
             Arc::new(CachedResult {
@@ -359,6 +438,7 @@ impl ServeEngine {
         stats.push(cache_op(tier_label, result.rows.len()));
         push_assembly_op(&mut stats, assembly);
         stats.total_micros = started.elapsed().as_micros();
+        self.slow_log(verb, tier_label, started, spec, opts);
         Ok((result, stats))
     }
 
@@ -379,7 +459,24 @@ impl ServeEngine {
         priority: i32,
         use_cache: bool,
     ) -> Result<(PartialAggregate, ExecStats), ServeError> {
+        self.run_spec_partial_obs(spec, opts, priority, use_cache, "RUN", None)
+    }
+
+    /// [`run_spec_partial`](Self::run_spec_partial) with request-scoped
+    /// observability — see [`run_spec_obs`](Self::run_spec_obs). The
+    /// decode span covers [`PartialAggregate::from_agg`] (the shard-side
+    /// group decoding).
+    pub fn run_spec_partial_obs(
+        &self,
+        spec: &QuerySpec,
+        opts: &PlanOptions,
+        priority: i32,
+        use_cache: bool,
+        verb: &'static str,
+        trace: Option<&mut Trace>,
+    ) -> Result<(PartialAggregate, ExecStats), ServeError> {
         let db = self.engine.db();
+        let started = Instant::now();
         if !use_cache || !self.cache.enabled() {
             qppt_core::validate(db, spec, opts).map_err(ServeError::Engine)?;
             let snap = db.snapshot();
@@ -387,10 +484,14 @@ impl ServeEngine {
                 .engine
                 .run_at_agg(spec, opts, snap, priority)
                 .map_err(ServeError::Engine)?;
-            return Ok((PartialAggregate::from_agg(db, &plan, &agg), stats));
+            let partial = PartialAggregate::from_agg(db, &plan, &agg);
+            if let Some(t) = trace {
+                t.add(t.root(), "exec", elapsed_micros(started));
+            }
+            self.slow_log(verb, "bypass", started, spec, opts);
+            return Ok((partial, stats));
         }
 
-        let started = Instant::now();
         let fp = match QueryFingerprint::compute(db, spec, opts) {
             Ok(fp) => fp,
             Err(e) => {
@@ -398,15 +499,25 @@ impl ServeEngine {
                 return Err(ServeError::Engine(QpptError::Storage(e)));
             }
         };
-        let (prepared, tier_label, assembly) = self.assemble_prepared(&fp, spec, opts)?;
+        let (prepared, tier_label, assembly, phases) = self.assemble_prepared(&fp, spec, opts)?;
+        let exec_started = Instant::now();
         let (agg, mut stats) = self
             .engine
             .run_prepared_agg(&prepared, priority)
             .map_err(ServeError::Engine)?;
+        let exec_micros = elapsed_micros(exec_started);
+        let decode_started = Instant::now();
         let partial = PartialAggregate::from_agg(db, &prepared.plan, &agg);
+        if let Some(t) = trace {
+            t.add(t.root(), "plan", phases.plan_micros);
+            t.add(t.root(), "sigma", phases.sigma_micros);
+            t.add(t.root(), "exec", exec_micros);
+            t.add(t.root(), "decode", elapsed_micros(decode_started));
+        }
         stats.push(cache_op(tier_label, partial.rows.len()));
         push_assembly_op(&mut stats, assembly);
         stats.total_micros = started.elapsed().as_micros();
+        self.slow_log(verb, tier_label, started, spec, opts);
         Ok((partial, stats))
     }
 
@@ -420,12 +531,19 @@ impl ServeEngine {
         opts: &PlanOptions,
     ) -> Result<PreparedParts, ServeError> {
         let db = self.engine.db();
+        let plan_started = Instant::now();
         // Tier 2: the composed PreparedQuery (a hit skips build_plan, the
         // per-dimension cache walk, and the fused-selection scan — the
         // PreparedQuery already owns its plan and σ handles, so the plan
         // and dimension tiers are only consulted on a selection miss).
         match self.cache.get_selections(fp) {
-            Some(p) => Ok((p, "cache: selection hit", None)),
+            Some(p) => {
+                let phases = AssemblyPhases {
+                    plan_micros: elapsed_micros(plan_started),
+                    sigma_micros: 0,
+                };
+                Ok((p, "cache: selection hit", None, phases))
+            }
             None => {
                 // Tier 1: plan (skips build_plan on hit — and with it the
                 // whole validate pass: a cached plan at this fingerprint
@@ -447,17 +565,49 @@ impl ServeEngine {
                         (p, "cache: cold")
                     }
                 };
+                let plan_micros = elapsed_micros(plan_started);
                 // Assemble from parts: shared σ handles out of the
                 // dimension tier, missing ones materialized + cached.
+                let sigma_started = Instant::now();
                 let (prepared, assembly) = self
                     .cache
                     .prepare_from_parts(db, plan, opts, db.snapshot())
                     .map_err(ServeError::Engine)?;
                 let p = Arc::new(prepared);
                 self.cache.put_selections(fp, p.clone());
-                Ok((p, label, Some(assembly)))
+                let phases = AssemblyPhases {
+                    plan_micros,
+                    sigma_micros: elapsed_micros(sigma_started),
+                };
+                Ok((p, label, Some(assembly), phases))
             }
         }
+    }
+
+    /// Emits the slow-query log line (and counts it) when the request's
+    /// wall time reached the `--slow-query-micros` threshold. The
+    /// fingerprint is computed lazily — only slow requests pay for it.
+    fn slow_log(
+        &self,
+        verb: &'static str,
+        outcome: &str,
+        started: Instant,
+        spec: &QuerySpec,
+        opts: &PlanOptions,
+    ) {
+        let Some(obs) = &self.obs else { return };
+        let Some(threshold) = obs.slow_threshold() else {
+            return;
+        };
+        let micros = elapsed_micros(started);
+        if micros < threshold {
+            return;
+        }
+        obs.note_slow();
+        let fp = QueryFingerprint::compute(self.engine.db(), spec, opts)
+            .map(|f| f.key)
+            .unwrap_or(0);
+        eprintln!("slow-query fp={fp:#018x} verb={verb} outcome=\"{outcome}\" micros={micros}");
     }
 
     /// Renders the physical plan of a named query under the default
@@ -482,13 +632,29 @@ impl ServeEngine {
 }
 
 /// The product of [`ServeEngine::assemble_prepared`]: the prepared query,
-/// the tier that produced it, and (on the assemble-from-parts path) the
-/// dimension-tier share/build counts.
+/// the tier that produced it, (on the assemble-from-parts path) the
+/// dimension-tier share/build counts, and the phase wall times feeding
+/// the request's plan/sigma trace spans.
 type PreparedParts = (
     Arc<qppt_core::PreparedQuery>,
     &'static str,
     Option<qppt_cache::DimAssembly>,
+    AssemblyPhases,
 );
+
+/// Wall micros of the two assembly phases (plan fetch/build, σ
+/// materialization), measured unconditionally — two `Instant` reads —
+/// and surfaced as spans when the request is traced.
+#[derive(Debug, Clone, Copy, Default)]
+struct AssemblyPhases {
+    plan_micros: u64,
+    sigma_micros: u64,
+}
+
+/// Saturating `u64` micros since `started`.
+fn elapsed_micros(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
 
 /// Appends the dimension-assembly `# op` record, when σ work happened.
 fn push_assembly_op(stats: &mut ExecStats, assembly: Option<qppt_cache::DimAssembly>) {

@@ -59,10 +59,12 @@
 
 mod client;
 mod engine;
+pub mod obs;
 pub mod protocol;
 mod server;
 
 pub use client::{QpptClient, Served, ServedPartial};
 pub use engine::{detected_cores, render_cache_stats, ServeEngine, ServeError, ServeInfo};
-pub use protocol::{CacheCmd, ClientError, RunControls, ServedStats};
+pub use obs::ServeObs;
+pub use protocol::{CacheCmd, ClientError, RunControls, ServedStats, TraceMode};
 pub use server::{serve, serve_lines, serve_with, LineService, Reply, ServerConfig, ServerHandle};

@@ -1,0 +1,245 @@
+//! Server-side observability state behind the `METRICS` verb and the
+//! slow-query log.
+//!
+//! One [`ServeObs`] per process: it owns the metric [`Registry`],
+//! pre-registers the per-verb request counters and latency histograms
+//! (so the hot path never takes the registry lock), and renders the full
+//! Prometheus exposition — registry families first, then the cache-tier
+//! families, which are produced *at scrape time from the same
+//! [`CacheStats`] snapshot `CACHE STATS` reads*. That construction is
+//! what makes the two surfaces agree by definition rather than by
+//! double-entry bookkeeping.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use qppt_cache::{CacheStats, TierSnapshot};
+use qppt_obs::{Counter, Gauge, Histogram, Registry};
+use qppt_par::PoolMetrics;
+
+/// Wire verbs instrumented with request counters and latency histograms.
+pub const VERBS: [&str; 8] = [
+    "RUN", "QUERY", "EXPLAIN", "LIST", "INFO", "PING", "CACHE", "METRICS",
+];
+
+/// The per-verb handles: request count + end-to-end latency.
+pub struct VerbMetrics {
+    pub requests: Arc<Counter>,
+    pub micros: Arc<Histogram>,
+}
+
+/// Process-wide observability state (see module docs).
+pub struct ServeObs {
+    registry: Registry,
+    started: Instant,
+    uptime: Arc<Gauge>,
+    slow_threshold: Option<u64>,
+    slow_queries: Arc<Counter>,
+    verbs: Vec<(&'static str, VerbMetrics)>,
+}
+
+impl std::fmt::Debug for ServeObs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeObs")
+            .field("slow_threshold", &self.slow_threshold)
+            .finish()
+    }
+}
+
+impl ServeObs {
+    /// Creates the observability state. `slow_threshold` is the
+    /// `--slow-query-micros` value: requests at or above it are logged to
+    /// stderr (`None` disables the log).
+    pub fn new(slow_threshold: Option<u64>) -> Arc<Self> {
+        let registry = Registry::new();
+        let uptime = registry.gauge(
+            "qppt_uptime_seconds",
+            "Seconds since this process started serving.",
+        );
+        let slow_queries = registry.counter(
+            "qppt_slow_queries_total",
+            "Requests that exceeded the --slow-query-micros threshold.",
+        );
+        let verbs = VERBS
+            .iter()
+            .map(|&verb| {
+                (
+                    verb,
+                    VerbMetrics {
+                        requests: registry.counter_with(
+                            "qppt_requests_total",
+                            "Requests served, by wire verb.",
+                            vec![("verb", verb.to_string())],
+                        ),
+                        micros: registry.histogram_with(
+                            "qppt_request_micros",
+                            "End-to-end request latency in microseconds, by wire verb.",
+                            vec![("verb", verb.to_string())],
+                        ),
+                    },
+                )
+            })
+            .collect();
+        Arc::new(Self {
+            registry,
+            started: Instant::now(),
+            uptime,
+            slow_threshold,
+            slow_queries,
+            verbs,
+        })
+    }
+
+    /// The underlying registry, for registering further families (pool,
+    /// router).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Registers and returns the worker-pool metric handles.
+    pub fn pool_metrics(&self) -> PoolMetrics {
+        PoolMetrics::register(&self.registry)
+    }
+
+    /// Records one served request of `verb` taking `micros`.
+    pub fn record_request(&self, verb: &str, micros: u64) {
+        if let Some((_, m)) = self.verbs.iter().find(|(v, _)| *v == verb) {
+            m.requests.inc();
+            m.micros.record(micros);
+        }
+    }
+
+    /// The slow-query threshold (µs), if the log is enabled.
+    pub fn slow_threshold(&self) -> Option<u64> {
+        self.slow_threshold
+    }
+
+    /// Counts one slow query (the caller writes the log line).
+    pub fn note_slow(&self) {
+        self.slow_queries.inc();
+    }
+
+    /// Seconds since this process started serving.
+    pub fn uptime_secs(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
+    /// Renders the full exposition: registry families (uptime refreshed
+    /// at scrape time), then the cache-tier families derived from
+    /// `cache` — the very snapshot `CACHE STATS` renders.
+    pub fn render(&self, cache: &CacheStats) -> String {
+        self.uptime.set(self.uptime_secs() as i64);
+        let mut out = self.registry.render();
+        out.push_str(&render_cache_metrics(cache));
+        out
+    }
+}
+
+/// Renders the cache tiers as Prometheus families with a `tier` label,
+/// mirroring [`render_cache_stats`](crate::engine::render_cache_stats)
+/// field for field.
+fn render_cache_metrics(s: &CacheStats) -> String {
+    let tiers: [(&str, &TierSnapshot); 4] = [
+        ("result", &s.results),
+        ("dim", &s.dims),
+        ("selection", &s.selections),
+        ("plan", &s.plans),
+    ];
+    let mut out = String::new();
+    let mut family = |name: &str, help: &str, kind: &str, get: &dyn Fn(&TierSnapshot) -> i64| {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+        for (tier, t) in &tiers {
+            out.push_str(&format!("{name}{{tier=\"{tier}\"}} {}\n", get(t)));
+        }
+    };
+    family(
+        "qppt_cache_hits_total",
+        "Cache lookups answered from the tier.",
+        "counter",
+        &|t| t.hits as i64,
+    );
+    family(
+        "qppt_cache_misses_total",
+        "Cache lookups the tier could not answer.",
+        "counter",
+        &|t| t.misses as i64,
+    );
+    family(
+        "qppt_cache_invalidations_total",
+        "Entries dropped because a table version moved.",
+        "counter",
+        &|t| t.invalidations as i64,
+    );
+    family(
+        "qppt_cache_evictions_total",
+        "Entries removed under byte pressure.",
+        "counter",
+        &|t| t.evictions as i64,
+    );
+    family(
+        "qppt_cache_expirations_total",
+        "Entries removed after sitting idle past the TTL.",
+        "counter",
+        &|t| t.expirations as i64,
+    );
+    family(
+        "qppt_cache_entries",
+        "Live entries resident in the tier.",
+        "gauge",
+        &|t| t.entries as i64,
+    );
+    family(
+        "qppt_cache_bytes",
+        "Heap bytes resident in the tier.",
+        "gauge",
+        &|t| t.bytes as i64,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qppt_obs::parse_exposition;
+
+    #[test]
+    fn render_is_valid_exposition_with_cache_families() {
+        let obs = ServeObs::new(Some(1000));
+        obs.record_request("RUN", 250);
+        obs.record_request("RUN", 90_000);
+        obs.record_request("PING", 5);
+        obs.note_slow();
+        let stats = CacheStats::default();
+        let text = obs.render(&stats);
+        let expo = parse_exposition(&text).expect("exposition parses");
+        assert_eq!(
+            expo.value("qppt_requests_total", &[("verb", "RUN")]),
+            Some(2)
+        );
+        assert_eq!(
+            expo.value("qppt_requests_total", &[("verb", "PING")]),
+            Some(1)
+        );
+        assert_eq!(expo.value("qppt_slow_queries_total", &[]), Some(1));
+        assert_eq!(
+            expo.value("qppt_request_micros_count", &[("verb", "RUN")]),
+            Some(2)
+        );
+        assert_eq!(
+            expo.value("qppt_cache_hits_total", &[("tier", "result")]),
+            Some(0)
+        );
+        assert_eq!(expo.value("qppt_cache_bytes", &[("tier", "plan")]), Some(0));
+        assert!(expo.value("qppt_uptime_seconds", &[]).is_some());
+        assert_eq!(expo.kind("qppt_request_micros"), Some("histogram"));
+    }
+
+    #[test]
+    fn unknown_verbs_are_ignored() {
+        let obs = ServeObs::new(None);
+        obs.record_request("BOGUS", 1);
+        let text = obs.render(&CacheStats::default());
+        assert!(!text.contains("BOGUS"));
+        assert_eq!(obs.slow_threshold(), None);
+    }
+}

@@ -9,7 +9,7 @@
 //!
 //! ```text
 //! request   = run | query | explain | list | info | ping | cache
-//!           | quit | shutdown
+//!           | metrics | quit | shutdown
 //! run       = "RUN" query-name *( SP option )  ; multi-line response
 //! query     = "QUERY" *( SP clause / SP option ); ad-hoc spec, multi-line
 //! explain   = "EXPLAIN" query-name             ; multi-line response
@@ -18,6 +18,7 @@
 //! info      = "INFO"                           ; single-line response
 //! ping      = "PING"                           ; single-line response
 //! cache     = "CACHE" ( "STATS" | "CLEAR" [ "dims" ] ) ; single-line
+//! metrics   = "METRICS"                        ; multi-line response
 //! quit      = "QUIT"                           ; single-line, closes conn
 //! shutdown  = "SHUTDOWN"                       ; single-line, stops server
 //!
@@ -27,8 +28,16 @@
 //! option     = key "=" value
 //! key        = "parallelism" | "morsel_bits" | "join_buffer"
 //!            | "select_join" | "par_selections" | "par_scans"
-//!            | "par_joins" | "priority" | "cache" | "mode"
+//!            | "par_joins" | "priority" | "cache" | "mode" | "trace"
 //! ```
+//!
+//! `METRICS` answers `OK metrics`, the server's full Prometheus text
+//! exposition (one line per sample), then `END`. `trace=on` enables
+//! request-scoped span tracing for that `RUN`/`QUERY` only (`trace=off`
+//! is the default); `trace=<id>` — any numeric value — also enables it
+//! while pinning the trace id, which is how the router propagates its
+//! own trace id to shards so shard span trees stitch under the router's
+//! scatter span.
 //!
 //! `QUERY` carries an arbitrary ad-hoc query in the `qppt-query` language
 //! (the named SSB queries are mere aliases for such specs — `RUN q3.1`
@@ -55,7 +64,9 @@
 //! ROW <field> *( TAB <field> )
 //! …
 //! # total_micros=<n> workers=<n>
-//! # op <label> | micros=<n> keys=<n> tuples=<n> index=<kind>
+//! # op <label> | micros=<n> keys=<n> tuples=<n> index=<kind> mem=<bytes>
+//! …
+//! # span id=<n> parent=<n|-> name=<ident> micros=<n>   ; trace=on only
 //! …
 //! END
 //! ```
@@ -80,7 +91,9 @@
 //! P TAB <packed-key> *( TAB <field> )
 //! …
 //! # total_micros=<n> workers=<n>
-//! # op <label> | micros=<n> keys=<n> tuples=<n> index=<kind>
+//! # op <label> | micros=<n> keys=<n> tuples=<n> index=<kind> mem=<bytes>
+//! …
+//! # span id=<n> parent=<n|-> name=<ident> micros=<n>   ; trace only
 //! …
 //! END
 //! ```
@@ -98,6 +111,7 @@
 use std::io::{self, BufRead, Write};
 
 use qppt_core::{ExecStats, PartialAggregate, PartialRow, PlanOptions};
+use qppt_obs::SpanRec;
 use qppt_storage::{QueryResult, QuerySpec, ResultRow, Value};
 
 /// A parsed client request.
@@ -130,6 +144,8 @@ pub enum Request {
     /// Query-cache introspection/control (`CACHE STATS`, `CACHE CLEAR`,
     /// `CACHE CLEAR dims`).
     Cache(CacheCmd),
+    /// Prometheus text exposition of the server's metric registry.
+    Metrics,
     /// Close this connection.
     Quit,
     /// Graceful server shutdown: in-flight queries finish, the acceptor
@@ -163,6 +179,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "PING" => Ok(Request::Ping),
         "INFO" => Ok(Request::Info),
         "LIST" => Ok(Request::List),
+        "METRICS" => Ok(Request::Metrics),
         "QUIT" => Ok(Request::Quit),
         "SHUTDOWN" => Ok(Request::Shutdown),
         "CACHE" => {
@@ -225,8 +242,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Ok(Request::Run { query, options })
         }
         other => Err(format!(
-            "unknown verb {other} (try RUN, QUERY, EXPLAIN, LIST, INFO, PING, CACHE, QUIT, \
-             SHUTDOWN)"
+            "unknown verb {other} (try RUN, QUERY, EXPLAIN, LIST, INFO, PING, CACHE, METRICS, \
+             QUIT, SHUTDOWN)"
         )),
     }
 }
@@ -272,8 +289,35 @@ pub const CACHE_KEY: &str = "cache";
 /// partial-aggregate response the router consumes.
 pub const MODE_KEY: &str = "mode";
 
+/// Request-tracing switch extracted from `RUN` options (not a
+/// [`PlanOptions`] knob): `trace=on|off`, or `trace=<id>` to pin the
+/// trace id (router→shard propagation).
+pub const TRACE_KEY: &str = "trace";
+
+/// The per-request tracing control parsed from the `trace=` option.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TraceMode {
+    /// No span collection (the default).
+    #[default]
+    Off,
+    /// Collect spans; the server assigns the trace id.
+    On,
+    /// Collect spans under a caller-assigned trace id — the router sets
+    /// this on shard requests so the shard's span tree stitches into the
+    /// router's trace.
+    Id(u64),
+}
+
+impl TraceMode {
+    /// `true` when spans should be collected.
+    pub fn enabled(&self) -> bool {
+        !matches!(self, TraceMode::Off)
+    }
+}
+
 /// Per-request controls that ride on a `RUN` line but are not plan
-/// options: pool priority, the query-cache switch, and the response mode.
+/// options: pool priority, the query-cache switch, the response mode,
+/// and the tracing switch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunControls {
     /// Pool priority (higher preempts lower for idle workers).
@@ -283,6 +327,8 @@ pub struct RunControls {
     /// `true` answers the undecoded partial aggregate (`mode=partial`)
     /// instead of the ordered, decoded result.
     pub partial: bool,
+    /// Span collection for this request (`trace=` option).
+    pub trace: TraceMode,
 }
 
 impl Default for RunControls {
@@ -291,6 +337,7 @@ impl Default for RunControls {
             priority: 0,
             use_cache: true,
             partial: false,
+            trace: TraceMode::Off,
         }
     }
 }
@@ -326,10 +373,23 @@ pub fn apply_overrides(
                     _ => return Err(bad("full or partial")),
                 }
             }
+            TRACE_KEY => {
+                // Booleans first so trace=1/trace=0 keep their on/off
+                // meaning; any other number pins the trace id.
+                controls.trace = match parse_bool(v) {
+                    Some(true) => TraceMode::On,
+                    Some(false) => TraceMode::Off,
+                    None => TraceMode::Id(
+                        v.parse()
+                            .map_err(|_| bad("on, off, or a numeric trace id"))?,
+                    ),
+                }
+            }
             other => {
                 return Err(format!(
                     "unknown option {other} (try parallelism, morsel_bits, join_buffer, \
-                     select_join, par_selections, par_scans, par_joins, priority, cache, mode)"
+                     select_join, par_selections, par_scans, par_joins, priority, cache, mode, \
+                     trace)"
                 ))
             }
         }
@@ -356,14 +416,19 @@ pub struct ServedStats {
     pub workers: usize,
     /// One rendered line per operator.
     pub op_lines: Vec<String>,
+    /// The request's span tree (`# span` lines), empty unless the
+    /// request carried `trace=on` / `trace=<id>`.
+    pub spans: Vec<SpanRec>,
 }
 
 /// Writes a full `RUN` response (status, columns, rows, stats, `END`).
+/// `spans` is the request's finished span tree (empty when untraced).
 pub fn write_run_response(
     w: &mut impl Write,
     result: &QueryResult,
     stats: &ExecStats,
     workers: usize,
+    spans: &[SpanRec],
 ) -> io::Result<()> {
     writeln!(w, "OK {}", result.rows.len())?;
     let groups = if result.group_cols.is_empty() {
@@ -385,11 +450,16 @@ pub fn write_run_response(
         }
         writeln!(w)?;
     }
-    write_stats_lines(w, stats, workers)?;
+    write_stats_lines(w, stats, workers, spans)?;
     writeln!(w, "END")
 }
 
-fn write_stats_lines(w: &mut impl Write, stats: &ExecStats, workers: usize) -> io::Result<()> {
+fn write_stats_lines(
+    w: &mut impl Write,
+    stats: &ExecStats,
+    workers: usize,
+    spans: &[SpanRec],
+) -> io::Result<()> {
     writeln!(
         w,
         "# total_micros={} workers={}",
@@ -398,20 +468,25 @@ fn write_stats_lines(w: &mut impl Write, stats: &ExecStats, workers: usize) -> i
     for op in &stats.ops {
         writeln!(
             w,
-            "# op {} | micros={} keys={} tuples={} index={}",
-            op.label, op.micros, op.out_keys, op.out_tuples, op.index_kind
+            "# op {} | micros={} keys={} tuples={} index={} mem={}",
+            op.label, op.micros, op.out_keys, op.out_tuples, op.index_kind, op.memory_bytes
         )?;
+    }
+    for span in spans {
+        writeln!(w, "# span {}", span.wire())?;
     }
     Ok(())
 }
 
 /// Writes a full `PARTIAL` response (status, columns, `P` rows, stats,
-/// `END`) — the shard-side answer to `mode=partial`.
+/// `END`) — the shard-side answer to `mode=partial`. `spans` is the
+/// request's finished span tree (empty when untraced).
 pub fn write_partial_response(
     w: &mut impl Write,
     partial: &PartialAggregate,
     stats: &ExecStats,
     workers: usize,
+    spans: &[SpanRec],
 ) -> io::Result<()> {
     writeln!(w, "OK partial {}", partial.rows.len())?;
     let groups = if partial.group_cols.is_empty() {
@@ -433,7 +508,7 @@ pub fn write_partial_response(
         }
         writeln!(w)?;
     }
-    write_stats_lines(w, stats, workers)?;
+    write_stats_lines(w, stats, workers, spans)?;
     writeln!(w, "END")
 }
 
@@ -507,6 +582,11 @@ pub fn read_partial_body(
         } else if let Some(meta) = line.strip_prefix("# ") {
             if let Some(op) = meta.strip_prefix("op ") {
                 stats.op_lines.push(op.to_string());
+            } else if let Some(span) = meta.strip_prefix("span ") {
+                stats.spans.push(
+                    SpanRec::parse(span)
+                        .map_err(|e| ClientError::Protocol(format!("bad span line: {e}")))?,
+                );
             } else {
                 for kv in meta.split_whitespace() {
                     match kv.split_once('=') {
@@ -645,6 +725,11 @@ pub fn read_run_body(
         } else if let Some(meta) = line.strip_prefix("# ") {
             if let Some(op) = meta.strip_prefix("op ") {
                 stats.op_lines.push(op.to_string());
+            } else if let Some(span) = meta.strip_prefix("span ") {
+                stats.spans.push(
+                    SpanRec::parse(span)
+                        .map_err(|e| ClientError::Protocol(format!("bad span line: {e}")))?,
+                );
             } else {
                 for kv in meta.split_whitespace() {
                     match kv.split_once('=') {
@@ -700,6 +785,7 @@ mod tests {
         assert_eq!(parse_request("PING").unwrap(), Request::Ping);
         assert_eq!(parse_request("info").unwrap(), Request::Info);
         assert_eq!(parse_request("  LIST  ").unwrap(), Request::List);
+        assert_eq!(parse_request("metrics").unwrap(), Request::Metrics);
         assert_eq!(parse_request("QUIT").unwrap(), Request::Quit);
         assert_eq!(parse_request("Shutdown").unwrap(), Request::Shutdown);
         assert_eq!(
@@ -851,7 +937,7 @@ mod tests {
             total_micros: 2000,
         };
         let mut buf = Vec::new();
-        write_run_response(&mut buf, &result, &stats, 4).unwrap();
+        write_run_response(&mut buf, &result, &stats, 4, &[]).unwrap();
         let mut r = BufReader::new(&buf[..]);
         let status = read_status(&mut r).unwrap();
         let n: usize = status.parse().unwrap();
@@ -862,6 +948,39 @@ mod tests {
         assert_eq!(served.workers, 4);
         assert_eq!(served.op_lines.len(), 1);
         assert!(served.op_lines[0].contains("star join-group"));
+        // The op line carries the operator's memory footprint.
+        assert!(
+            served.op_lines[0].contains("mem=64"),
+            "op line missing mem=: {}",
+            served.op_lines[0]
+        );
+        assert!(served.spans.is_empty(), "untraced responses have no spans");
+    }
+
+    #[test]
+    fn traced_response_roundtrips_spans() {
+        let result = QueryResult {
+            group_cols: Vec::new(),
+            agg_cols: vec!["revenue".into()],
+            rows: vec![ResultRow {
+                key_values: Vec::new(),
+                agg_values: vec![7],
+            }],
+        };
+        let mut trace = qppt_obs::Trace::new(99);
+        trace.add(0, "plan", 10);
+        trace.add(0, "exec", 50);
+        let spans = trace.finish(80);
+        let mut buf = Vec::new();
+        write_run_response(&mut buf, &result, &ExecStats::default(), 1, &spans).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.contains("# span id=0 parent=- name=request micros=80"));
+        let mut r = BufReader::new(&buf[..]);
+        let n: usize = read_status(&mut r).unwrap().parse().unwrap();
+        let (parsed, served) = read_run_body(&mut r, n).unwrap();
+        assert_eq!(parsed, result);
+        assert_eq!(served.spans, spans);
+        qppt_obs::validate_span_tree(&served.spans).expect("served spans form a valid tree");
     }
 
     #[test]
@@ -887,7 +1006,7 @@ mod tests {
             total_micros: 321,
         };
         let mut buf = Vec::new();
-        write_partial_response(&mut buf, &partial, &stats, 2).unwrap();
+        write_partial_response(&mut buf, &partial, &stats, 2, &[]).unwrap();
         let mut r = BufReader::new(&buf[..]);
         let status = read_status(&mut r).unwrap();
         let n = parse_partial_status(&status).expect("partial status");
@@ -912,7 +1031,7 @@ mod tests {
             }],
         };
         let mut buf = Vec::new();
-        write_partial_response(&mut buf, &scalar, &ExecStats::default(), 1).unwrap();
+        write_partial_response(&mut buf, &scalar, &ExecStats::default(), 1, &[]).unwrap();
         let mut r = BufReader::new(&buf[..]);
         let n = parse_partial_status(&read_status(&mut r).unwrap()).unwrap();
         let (parsed, _) = read_partial_body(&mut r, n).unwrap();
@@ -930,6 +1049,32 @@ mod tests {
     }
 
     #[test]
+    fn trace_option_parses_modes() {
+        let base = PlanOptions::default();
+        let (_, controls) = apply_overrides(base, &[]).unwrap();
+        assert_eq!(controls.trace, TraceMode::Off);
+        let (_, controls) = apply_overrides(base, &[("trace".into(), "on".into())]).unwrap();
+        assert_eq!(controls.trace, TraceMode::On);
+        assert!(controls.trace.enabled());
+        let (_, controls) = apply_overrides(base, &[("trace".into(), "off".into())]).unwrap();
+        assert_eq!(controls.trace, TraceMode::Off);
+        let (_, controls) = apply_overrides(base, &[("trace".into(), "12345".into())]).unwrap();
+        assert_eq!(controls.trace, TraceMode::Id(12345));
+        // Booleans win over numbers for 0/1.
+        let (_, controls) = apply_overrides(base, &[("trace".into(), "1".into())]).unwrap();
+        assert_eq!(controls.trace, TraceMode::On);
+        assert!(apply_overrides(base, &[("trace".into(), "maybe".into())]).is_err());
+        // A later duplicate wins — the router appends trace=<id> after
+        // client options, so its id overrides a client's trace=on.
+        let (_, controls) = apply_overrides(
+            base,
+            &[("trace".into(), "on".into()), ("trace".into(), "77".into())],
+        )
+        .unwrap();
+        assert_eq!(controls.trace, TraceMode::Id(77));
+    }
+
+    #[test]
     fn scalar_result_roundtrip() {
         // Q1.x shape: no group columns.
         let result = QueryResult {
@@ -941,7 +1086,7 @@ mod tests {
             }],
         };
         let mut buf = Vec::new();
-        write_run_response(&mut buf, &result, &ExecStats::default(), 1).unwrap();
+        write_run_response(&mut buf, &result, &ExecStats::default(), 1, &[]).unwrap();
         let mut r = BufReader::new(&buf[..]);
         let n: usize = read_status(&mut r).unwrap().parse().unwrap();
         let (parsed, _) = read_run_body(&mut r, n).unwrap();

@@ -39,14 +39,17 @@
 
 use std::io::{self, BufRead, BufReader, BufWriter, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use qppt_obs::Trace;
 
 use crate::engine::{render_cache_stats, ServeEngine};
 use crate::protocol::{
     apply_overrides, parse_request, write_partial_response, write_run_response, CacheCmd, Request,
+    TraceMode,
 };
 
 /// Tunables of the TCP frontend.
@@ -352,15 +355,77 @@ fn handle_connection(
     }
 }
 
+/// Process-wide source of server-picked trace ids (`trace=on` without a
+/// router-pinned id). Monotonic, never reused within a process.
+static TRACE_SEQ: AtomicU64 = AtomicU64::new(1);
+
+/// Creates the request [`Trace`] demanded by `controls.trace`: a
+/// router-pinned id is honored verbatim (so the router can stitch the
+/// shard's spans under its own tree), `on` draws a fresh process-unique
+/// id, `off` yields no trace. Tracing is independent of `--no-obs` — it
+/// is request-scoped state, not registry state.
+fn make_trace(mode: TraceMode) -> Option<Trace> {
+    match mode {
+        TraceMode::Off => None,
+        TraceMode::On => Some(Trace::new(TRACE_SEQ.fetch_add(1, Ordering::Relaxed))),
+        TraceMode::Id(id) => Some(Trace::new(id)),
+    }
+}
+
+/// Closes out a request trace: the root span absorbs the served
+/// `total_micros` and the flat wire-ordered span list comes back (empty
+/// when the request was untraced).
+fn finish_trace(trace: Option<Trace>, total_micros: u128) -> Vec<qppt_obs::SpanRec> {
+    match trace {
+        None => Vec::new(),
+        Some(t) => t.finish(u64::try_from(total_micros).unwrap_or(u64::MAX)),
+    }
+}
+
 /// The qppt-server dispatcher: the full verb set over one [`ServeEngine`].
 struct EngineService {
     engine: Arc<ServeEngine>,
 }
 
+/// The metrics label for a parsed request (`record_request` ignores
+/// verbs outside the instrumented set, e.g. QUIT/SHUTDOWN).
+fn verb_of(req: &Request) -> &'static str {
+    match req {
+        Request::Ping => "PING",
+        Request::Quit => "QUIT",
+        Request::Shutdown => "SHUTDOWN",
+        Request::Info => "INFO",
+        Request::Cache(_) => "CACHE",
+        Request::List => "LIST",
+        Request::Explain { .. } | Request::ExplainSpec { .. } => "EXPLAIN",
+        Request::Run { .. } => "RUN",
+        Request::Query { .. } => "QUERY",
+        Request::Metrics => "METRICS",
+    }
+}
+
 impl LineService for EngineService {
-    fn handle(&self, line: &str, mut w: &mut dyn Write) -> io::Result<Reply> {
+    fn handle(&self, line: &str, w: &mut dyn Write) -> io::Result<Reply> {
+        let started = Instant::now();
+        let parsed = parse_request(line);
+        let verb = parsed.as_ref().ok().map(verb_of);
+        let reply = self.dispatch(parsed, w)?;
+        if let (Some(obs), Some(verb)) = (self.engine.obs(), verb) {
+            let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            obs.record_request(verb, micros);
+        }
+        Ok(reply)
+    }
+}
+
+impl EngineService {
+    fn dispatch(
+        &self,
+        parsed: Result<Request, String>,
+        mut w: &mut dyn Write,
+    ) -> io::Result<Reply> {
         let engine = &*self.engine;
-        match parse_request(line) {
+        match parsed {
             Err(msg) => writeln!(w, "ERR {msg}")?,
             Ok(Request::Ping) => writeln!(w, "OK pong")?,
             Ok(Request::Quit) => {
@@ -376,7 +441,7 @@ impl LineService for EngineService {
                 writeln!(
                     w,
                     "OK sf={} seed={} pool_threads={} admission={} cores={} rows={} \
-                     shard={}/{} queries={}",
+                     shard={}/{} queries={} uptime_secs={} build={}",
                     i.sf,
                     i.seed,
                     i.pool_threads,
@@ -385,9 +450,21 @@ impl LineService for EngineService {
                     i.rows,
                     i.shard,
                     i.shards,
-                    engine.query_names().len()
+                    engine.query_names().len(),
+                    engine.uptime_secs(),
+                    ServeEngine::build(),
                 )?;
             }
+            Ok(Request::Metrics) => match engine.render_metrics() {
+                None => writeln!(w, "ERR metrics disabled (--no-obs)")?,
+                Some(text) => {
+                    writeln!(w, "OK metrics")?;
+                    for l in text.lines() {
+                        writeln!(w, "{l}")?;
+                    }
+                    writeln!(w, "END")?;
+                }
+            },
             Ok(Request::Cache(CacheCmd::Stats)) => {
                 writeln!(w, "OK {}", render_cache_stats(&engine.cache_stats()))?;
             }
@@ -425,32 +502,43 @@ impl LineService for EngineService {
                     Err(msg) => writeln!(w, "ERR {msg}")?,
                     Ok((opts, controls)) => {
                         let workers = opts.parallelism.min(engine.info().pool_threads).max(1);
+                        let mut trace = make_trace(controls.trace);
                         if controls.partial {
                             // Shard-side scatter path: resolve the alias,
                             // then return undecoded partials.
                             match engine.resolve(&query).and_then(|spec| {
-                                engine.run_spec_partial(
+                                engine.run_spec_partial_obs(
                                     spec,
                                     &opts,
                                     controls.priority,
                                     controls.use_cache,
+                                    "RUN",
+                                    trace.as_mut(),
                                 )
                             }) {
                                 Err(e) => writeln!(w, "ERR {e}")?,
                                 Ok((partial, stats)) => {
-                                    write_partial_response(&mut w, &partial, &stats, workers)?;
+                                    let spans = finish_trace(trace, stats.total_micros);
+                                    write_partial_response(
+                                        &mut w, &partial, &stats, workers, &spans,
+                                    )?;
                                 }
                             }
                         } else {
-                            match engine.run_cached(
-                                &query,
-                                &opts,
-                                controls.priority,
-                                controls.use_cache,
-                            ) {
+                            match engine.resolve(&query).and_then(|spec| {
+                                engine.run_spec_obs(
+                                    spec,
+                                    &opts,
+                                    controls.priority,
+                                    controls.use_cache,
+                                    "RUN",
+                                    trace.as_mut(),
+                                )
+                            }) {
                                 Err(e) => writeln!(w, "ERR {e}")?,
                                 Ok((result, stats)) => {
-                                    write_run_response(&mut w, &result, &stats, workers)?;
+                                    let spans = finish_trace(trace, stats.total_micros);
+                                    write_run_response(&mut w, &result, &stats, workers, &spans)?;
                                 }
                             }
                         }
@@ -464,28 +552,37 @@ impl LineService for EngineService {
                     Err(msg) => writeln!(w, "ERR {msg}")?,
                     Ok((opts, controls)) => {
                         let workers = opts.parallelism.min(engine.info().pool_threads).max(1);
+                        let mut trace = make_trace(controls.trace);
                         if controls.partial {
-                            match engine.run_spec_partial(
+                            match engine.run_spec_partial_obs(
                                 &spec,
                                 &opts,
                                 controls.priority,
                                 controls.use_cache,
+                                "QUERY",
+                                trace.as_mut(),
                             ) {
                                 Err(e) => writeln!(w, "ERR {e}")?,
                                 Ok((partial, stats)) => {
-                                    write_partial_response(&mut w, &partial, &stats, workers)?;
+                                    let spans = finish_trace(trace, stats.total_micros);
+                                    write_partial_response(
+                                        &mut w, &partial, &stats, workers, &spans,
+                                    )?;
                                 }
                             }
                         } else {
-                            match engine.run_spec(
+                            match engine.run_spec_obs(
                                 &spec,
                                 &opts,
                                 controls.priority,
                                 controls.use_cache,
+                                "QUERY",
+                                trace.as_mut(),
                             ) {
                                 Err(e) => writeln!(w, "ERR {e}")?,
                                 Ok((result, stats)) => {
-                                    write_run_response(&mut w, &result, &stats, workers)?;
+                                    let spans = finish_trace(trace, stats.total_micros);
+                                    write_run_response(&mut w, &result, &stats, workers, &spans)?;
                                 }
                             }
                         }

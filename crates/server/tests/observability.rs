@@ -1,0 +1,241 @@
+//! The single-node observability contract, end to end over real TCP:
+//!
+//! * `METRICS` serves a well-formed Prometheus text exposition (verified
+//!   by the strict parser in `qppt-obs`) whose per-verb counters match
+//!   the requests this very connection issued;
+//! * the cache-tier families agree **exactly** with `CACHE STATS` after a
+//!   fixed query sequence — both render from the same snapshot;
+//! * `trace=on` returns a valid span tree (unique ids, parents first,
+//!   child micros ≤ parent micros) covering plan/σ/exec/decode on a cold
+//!   run and `result_cache` on a warm one, with result bytes identical to
+//!   the untraced run;
+//! * `mem=` rides on every `# op` stats line;
+//! * serving without observability (`--no-obs`) answers `METRICS` with a
+//!   structured `ERR` while every other verb keeps working.
+
+use std::sync::Arc;
+
+use qppt_core::PlanOptions;
+use qppt_obs::{parse_exposition, validate_span_tree};
+use qppt_par::WorkerPool;
+use qppt_server::{serve, ClientError, QpptClient, ServeEngine, ServeObs};
+use qppt_ssb::{queries, SsbDb};
+
+const SF: f64 = 0.01;
+const SEED: u64 = 42;
+
+fn ssb_db() -> Arc<qppt_storage::Database> {
+    let mut ssb = SsbDb::generate(SF, SEED);
+    for q in queries::all_queries() {
+        qppt_core::prepare_indexes(&mut ssb.db, &q, &PlanOptions::default()).unwrap();
+    }
+    Arc::new(ssb.db)
+}
+
+fn tier_field(kvs: &[(String, String)], key: &str) -> i64 {
+    kvs.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.parse().expect("numeric CACHE STATS field"))
+        .unwrap_or_else(|| panic!("missing CACHE STATS field {key}"))
+}
+
+#[test]
+fn metrics_exposition_counts_requests_and_matches_cache_stats() {
+    let db = ssb_db();
+    let obs = ServeObs::new(Some(1)); // threshold 1µs: executed queries are "slow"
+    let pool = WorkerPool::new_with_metrics(2, 8, Some(obs.pool_metrics()));
+    let engine = ServeEngine::over_db(db, pool.clone(), PlanOptions::default(), SF, SEED)
+        .with_obs(obs.clone());
+    let server = serve(Arc::new(engine), "127.0.0.1:0").unwrap();
+    let mut client = QpptClient::connect(server.addr()).unwrap();
+
+    // A fixed sequence: 2 RUNs (cold + warm), 1 ad-hoc QUERY, 1 PING.
+    client.run("q2.3", &[]).expect("cold run");
+    client.run("q2.3", &[]).expect("warm run");
+    client
+        .query(
+            "fact=lineorder \
+             dim=supplier[join=s_suppkey:lo_suppkey;s_region='ASIA';carry=s_nation] \
+             dim=date[join=d_datekey:lo_orderdate;d_year between 1992 and 1997;carry=d_year] \
+             agg=sum(lo_revenue):rev group=supplier.s_nation,date.d_year \
+             order=group:1,agg:0:desc id=obs-adhoc",
+            &[],
+        )
+        .expect("ad-hoc query");
+    client.ping().expect("ping");
+
+    let text = client.metrics().expect("METRICS answers");
+    let expo = parse_exposition(&text).expect("exposition parses strictly");
+    assert_eq!(
+        expo.value("qppt_requests_total", &[("verb", "RUN")]),
+        Some(2)
+    );
+    assert_eq!(
+        expo.value("qppt_requests_total", &[("verb", "QUERY")]),
+        Some(1)
+    );
+    assert_eq!(
+        expo.value("qppt_requests_total", &[("verb", "PING")]),
+        Some(1)
+    );
+    assert_eq!(
+        expo.value("qppt_request_micros_count", &[("verb", "RUN")]),
+        Some(2)
+    );
+    // Threshold 1µs makes any executed query a slow one; the cold RUN and
+    // the ad-hoc QUERY execute for milliseconds (the warm hit may round
+    // to 0µs, so ≥ 2 is the safe exact-lower-bound).
+    let slow = expo
+        .value("qppt_slow_queries_total", &[])
+        .expect("slow counter present");
+    assert!((2..=3).contains(&slow), "slow queries: {slow}");
+    assert_eq!(expo.kind("qppt_request_micros"), Some("histogram"));
+    assert!(expo.value("qppt_uptime_seconds", &[]).is_some());
+    // Pool families are registered through the same registry.
+    assert!(expo.value("qppt_pool_jobs_started_total", &[]).is_some());
+    assert_eq!(expo.value("qppt_pool_queue_depth", &[]), Some(0));
+
+    // CACHE STATS and METRICS agree exactly: both render the same
+    // snapshot. (The METRICS scrape above does not touch cache counters.)
+    let stats = client.cache_stats().expect("CACHE STATS answers");
+    let text = client.metrics().expect("second scrape");
+    let expo = parse_exposition(&text).expect("second scrape parses");
+    for (tier, prefix) in [
+        ("result", "result"),
+        ("dim", "dim"),
+        ("selection", "selection"),
+        ("plan", "plan"),
+    ] {
+        for (family, field) in [
+            ("qppt_cache_hits_total", "hits"),
+            ("qppt_cache_misses_total", "misses"),
+            ("qppt_cache_invalidations_total", "invalidations"),
+            ("qppt_cache_evictions_total", "evictions"),
+            ("qppt_cache_expirations_total", "expirations"),
+            ("qppt_cache_entries", "entries"),
+            ("qppt_cache_bytes", "bytes"),
+        ] {
+            assert_eq!(
+                expo.value(family, &[("tier", tier)]),
+                Some(tier_field(&stats, &format!("{prefix}_{field}"))),
+                "{family}{{tier={tier}}} must equal CACHE STATS {prefix}_{field}"
+            );
+        }
+    }
+    // The sequence above demonstrably exercised the tiers.
+    assert_eq!(
+        expo.value("qppt_cache_hits_total", &[("tier", "result")]),
+        Some(1)
+    );
+    assert_eq!(
+        expo.value("qppt_cache_misses_total", &[("tier", "result")]),
+        Some(2)
+    );
+
+    client.quit().unwrap();
+    server.stop();
+    pool.shutdown();
+}
+
+#[test]
+fn traced_requests_return_valid_span_trees_and_identical_bytes() {
+    let db = ssb_db();
+    let pool = WorkerPool::new(2, 8);
+    let engine = ServeEngine::over_db(db, pool.clone(), PlanOptions::default(), SF, SEED)
+        .with_obs(ServeObs::new(None));
+    let server = serve(Arc::new(engine), "127.0.0.1:0").unwrap();
+    let mut client = QpptClient::connect(server.addr()).unwrap();
+
+    let untraced = client.run("q3.2", &[("cache", "off")]).expect("untraced");
+    assert!(untraced.stats.spans.is_empty(), "no trace ⇒ no spans");
+
+    // Cold traced run (fresh fingerprint via cache=off bypasses tiers —
+    // use a *cached* cold run instead so plan/σ/exec/decode all appear).
+    let cold = client.run("q3.2", &[("trace", "on")]).expect("cold traced");
+    assert_eq!(
+        cold.result, untraced.result,
+        "tracing must not change bytes"
+    );
+    validate_span_tree(&cold.stats.spans).expect("cold span tree validates");
+    let names: Vec<&str> = cold.stats.spans.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(names[0], "request", "root span first");
+    for want in ["plan", "sigma", "exec", "decode"] {
+        assert!(
+            names.contains(&want),
+            "cold trace must contain {want}: {names:?}"
+        );
+    }
+
+    // Warm traced run: served from the result tier.
+    let warm = client.run("q3.2", &[("trace", "on")]).expect("warm traced");
+    assert_eq!(warm.result, untraced.result);
+    validate_span_tree(&warm.stats.spans).expect("warm span tree validates");
+    assert!(
+        warm.stats.spans.iter().any(|s| s.name == "result_cache"),
+        "warm trace must mark the result-tier hit"
+    );
+
+    // Traced bypass run: a single exec span under the root.
+    let bypass = client
+        .run("q3.2", &[("cache", "off"), ("trace", "12345")])
+        .expect("traced bypass");
+    assert_eq!(bypass.result, untraced.result);
+    validate_span_tree(&bypass.stats.spans).expect("bypass span tree validates");
+    assert!(bypass.stats.spans.iter().any(|s| s.name == "exec"));
+
+    // Partial mode carries spans too (the shard side of a routed trace).
+    let partial = client
+        .run_partial("q3.2", &[("trace", "on")])
+        .expect("traced partial");
+    validate_span_tree(&partial.stats.spans).expect("partial span tree validates");
+
+    // mem= rides on every # op line (satellite: memory_bytes was dropped).
+    assert!(
+        cold.stats.op_lines.iter().all(|l| l.contains("mem=")),
+        "every op line must carry mem=: {:?}",
+        cold.stats.op_lines
+    );
+
+    client.quit().unwrap();
+    server.stop();
+    pool.shutdown();
+}
+
+#[test]
+fn no_obs_serves_queries_but_rejects_metrics() {
+    let db = ssb_db();
+    let pool = WorkerPool::new(2, 8);
+    // No with_obs: the --no-obs configuration.
+    let engine = ServeEngine::over_db(db, pool.clone(), PlanOptions::default(), SF, SEED);
+    let server = serve(Arc::new(engine), "127.0.0.1:0").unwrap();
+    let mut client = QpptClient::connect(server.addr()).unwrap();
+
+    match client.metrics() {
+        Err(ClientError::Server(msg)) => {
+            assert!(msg.contains("--no-obs"), "got: {msg}");
+        }
+        other => panic!("METRICS without obs must ERR, got {other:?}"),
+    }
+    // The connection (and tracing, which is request-scoped) still works.
+    let served = client
+        .run("q1.1", &[("trace", "on")])
+        .expect("query serves");
+    validate_span_tree(&served.stats.spans).expect("trace works without obs");
+
+    // INFO reports uptime and build unconditionally.
+    let info = client.info().expect("INFO answers");
+    let uptime = info
+        .iter()
+        .find(|(k, _)| k == "uptime_secs")
+        .expect("uptime_secs present");
+    let _secs: u64 = uptime.1.parse().expect("uptime parses");
+    let build = info
+        .iter()
+        .find(|(k, _)| k == "build")
+        .expect("build present");
+    assert_eq!(build.1, env!("CARGO_PKG_VERSION"));
+
+    client.quit().unwrap();
+    server.stop();
+    pool.shutdown();
+}

@@ -45,6 +45,10 @@
 //!   prefix-sharded `qppt-server` fleets with a deterministic cross-shard
 //!   merge, byte-identical to single-node answers
 //!   ([`router::Router`], [`router::serve_router`]).
+//! * [`obs`] — dependency-free observability: sharded lock-free metrics
+//!   with Prometheus text exposition behind the `METRICS` verb, and
+//!   request-scoped span traces stitched across the router fleet
+//!   ([`obs::Registry`], [`obs::Trace`]).
 //!
 //! ## Quickstart
 //!
@@ -73,6 +77,7 @@ pub use qppt_core as core;
 pub use qppt_hash as hash;
 pub use qppt_kiss as kiss;
 pub use qppt_mem as mem;
+pub use qppt_obs as obs;
 pub use qppt_par as par;
 pub use qppt_query as query;
 pub use qppt_router as router;
