@@ -9,22 +9,28 @@
 //! and merges; a correctness anchor first asserts every merged answer is
 //! byte-identical to the sequential oracle.
 //!
+//! A final `failover_latency` phase measures what a replica failover
+//! *costs* the request that hits it: a 2-range × 2-replica fleet (primary
+//! behind a chaos proxy, sibling direct), `--failover-cycles` kill → timed
+//! query → revive → probe-recovery rounds, reporting the p50/p99 latency
+//! the failover path adds over the healthy path.
+//!
 //! Writes `BENCH_ROUTER_SCATTER.json`:
 //!
 //! ```text
 //! cargo run --release --bin router_scatter -- \
 //!     --sf 0.05 --threads 4 --shards 1,2,4 --clients 4 --queries 30 \
-//!     --out BENCH_ROUTER_SCATTER.json
+//!     --failover-cycles 15 --out BENCH_ROUTER_SCATTER.json
 //! ```
 
 use std::io::Write as _;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use qppt_bench::{arg_f64, arg_str, arg_usize, arg_usize_list, print_table};
 use qppt_core::{prepare_indexes, PlanOptions, QpptEngine};
 use qppt_par::WorkerPool;
-use qppt_router::{serve_router, Router, RouterConfig};
+use qppt_router::{serve_router, ChaosProxy, Router, RouterConfig};
 use qppt_server::{detected_cores, serve, QpptClient, ServeEngine, ServerHandle};
 use qppt_ssb::{queries, SsbDb};
 use qppt_storage::QuerySpec;
@@ -39,6 +45,7 @@ fn main() {
     let clients = arg_usize(&args, "--clients", 4);
     let queries_per_client = arg_usize(&args, "--queries", 30);
     let parallelism = arg_usize(&args, "--parallelism", 2);
+    let failover_cycles = arg_usize(&args, "--failover-cycles", 15);
     let out_path =
         arg_str(&args, "--out").unwrap_or_else(|| "BENCH_ROUTER_SCATTER.json".to_string());
 
@@ -133,6 +140,10 @@ fn main() {
         }
     }
     direct.stop();
+
+    let (healthy_p50, added_p50, added_p99) =
+        failover_latency(sf, seed, &pool, defaults, parallelism, failover_cycles);
+
     pool.shutdown();
 
     println!(
@@ -142,6 +153,11 @@ fn main() {
     print_table(
         &["shards", "routed q/s", "direct q/s", "routed/direct"],
         &rows,
+    );
+    println!(
+        "failover latency ({failover_cycles} kill→query→revive cycles, 2 ranges × 2 replicas): \
+         healthy p50 {healthy_p50:.0} µs, failover adds p50 {added_p50:.0} µs / p99 \
+         {added_p99:.0} µs"
     );
 
     // Hand-rolled JSON (the workspace is dependency-free by design).
@@ -154,12 +170,115 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"router_scatter\",\n  \"sf\": {sf},\n  \"cores\": {cores},\n  \"pool_threads\": {threads},\n  \"parallelism\": {parallelism},\n  \"clients\": {clients},\n  \"queries_per_client\": {queries_per_client},\n  \"mix\": [\"Q1.1\", \"Q2.3\", \"Q3.2\", \"Q4.1\"],\n  \"direct_qps\": {baseline_qps:.3},\n  \"series\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"router_scatter\",\n  \"sf\": {sf},\n  \"cores\": {cores},\n  \"pool_threads\": {threads},\n  \"parallelism\": {parallelism},\n  \"clients\": {clients},\n  \"queries_per_client\": {queries_per_client},\n  \"mix\": [\"Q1.1\", \"Q2.3\", \"Q3.2\", \"Q4.1\"],\n  \"direct_qps\": {baseline_qps:.3},\n  \"series\": [\n{}\n  ],\n  \"failover_latency\": {{\"cycles\": {failover_cycles}, \"healthy_p50_micros\": {healthy_p50:.1}, \"added_p50_micros\": {added_p50:.1}, \"added_p99_micros\": {added_p99:.1}}}\n}}\n",
         entries.join(",\n")
     );
     let mut f = std::fs::File::create(&out_path).expect("create output file");
     f.write_all(json.as_bytes()).expect("write output file");
     eprintln!("wrote {out_path}");
+}
+
+/// The failover-latency phase: a 2-range × 2-replica fleet where each
+/// range's primary sits behind a [`ChaosProxy`] and its sibling is the
+/// shard's direct address. Each cycle kills the range-0 proxy, times the
+/// query that eats the failover (detection + backoff + sibling retry),
+/// revives the proxy, and waits for the health prober to flip the replica
+/// live again (polled through the router's own `INFO replicas_live=`
+/// field). Returns `(healthy_p50, added_p50, added_p99)` in microseconds,
+/// where *added* is the failover query's latency minus the healthy p50,
+/// floored at zero.
+fn failover_latency(
+    sf: f64,
+    seed: u64,
+    pool: &Arc<WorkerPool>,
+    defaults: PlanOptions,
+    parallelism: usize,
+    cycles: usize,
+) -> (f64, f64, f64) {
+    eprintln!("failover latency: 2 ranges × 2 replicas, {cycles} kill→query→revive cycles …");
+    let mut handles: Vec<ServerHandle> = Vec::new();
+    let mut proxies = Vec::new();
+    let mut fleet = Vec::new();
+    for i in 0..2 {
+        let engine = ServeEngine::with_ssb_shard(sf, seed, pool.clone(), defaults, i, 2)
+            .expect("shard engine builds");
+        let h = serve(Arc::new(engine), "127.0.0.1:0").expect("shard binds");
+        let proxy = ChaosProxy::start(h.addr().to_string()).expect("proxy binds");
+        fleet.push(vec![proxy.addr(), h.addr().to_string()]);
+        proxies.push(proxy);
+        handles.push(h);
+    }
+    let mut config = RouterConfig::with_fleet(fleet);
+    config.retry_backoff = Duration::from_millis(5);
+    config.retry_backoff_cap = Duration::from_millis(50);
+    config.probe_interval = Duration::from_millis(50);
+    config.probe_backoff_cap = Duration::from_millis(200);
+    let router = Arc::new(Router::new(config));
+    router
+        .wait_for_shards(Duration::from_secs(60))
+        .expect("fleet answers PING");
+    let rh = serve_router(router, "127.0.0.1:0").expect("router binds");
+    let mut client = QpptClient::connect(&*rh.addr().to_string()).expect("connect router");
+    let par = parallelism.to_string();
+
+    let wait_live = |client: &mut QpptClient, want: &str| {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let info = client.info().expect("router INFO answers");
+            let live = info
+                .iter()
+                .find(|(k, _)| k == "replicas_live")
+                .map(|(_, v)| v.as_str())
+                .expect("router INFO reports replicas_live")
+                .to_string();
+            if live == want {
+                return;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "replicas_live stuck at {live}, want {want}"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    };
+    let timed_query = |client: &mut QpptClient| -> f64 {
+        let t0 = Instant::now();
+        client
+            .run("q2.3", &[("parallelism", &par), ("cache", "off")])
+            .expect("failover-phase query");
+        t0.elapsed().as_secs_f64() * 1e6
+    };
+
+    // Healthy baseline through the same topology (primary = proxy hop).
+    let mut healthy: Vec<f64> = (0..20).map(|_| timed_query(&mut client)).collect();
+    let healthy_p50 = percentile(&mut healthy, 50.0);
+
+    let mut added: Vec<f64> = Vec::with_capacity(cycles);
+    for _ in 0..cycles {
+        proxies[0].kill();
+        added.push((timed_query(&mut client) - healthy_p50).max(0.0));
+        proxies[0].revive().expect("proxy rebinds its port");
+        wait_live(&mut client, "4");
+    }
+    let added_p50 = percentile(&mut added.clone(), 50.0);
+    let added_p99 = percentile(&mut added, 99.0);
+
+    rh.stop();
+    for p in &proxies {
+        p.kill();
+    }
+    for h in handles {
+        h.stop();
+    }
+    (healthy_p50, added_p50, added_p99)
+}
+
+/// Nearest-rank percentile over an unsorted sample (sorts in place).
+fn percentile(sample: &mut [f64], p: f64) -> f64 {
+    assert!(!sample.is_empty());
+    sample.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let idx = ((p / 100.0) * (sample.len() - 1) as f64).round() as usize;
+    sample[idx.min(sample.len() - 1)]
 }
 
 /// C clients, each on its own connection, round-robin over the mix with

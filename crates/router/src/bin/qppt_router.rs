@@ -1,32 +1,46 @@
-//! The qppt-router binary: front an ordered fleet of `qppt-server` shards
-//! and serve the same line protocol with scatter/gather semantics.
+//! The qppt-router binary: front a replicated fleet of `qppt-server`
+//! shards and serve the same line protocol with scatter/gather semantics
+//! and replica failover.
 //!
 //! ```text
-//! # shard 0 and shard 1 of a 2-node deployment (same sf and seed!)
+//! # shard 0 and shard 1 of a 2-range deployment (same sf and seed!),
+//! # each range served by two replicas
 //! cargo run --release --bin qppt-server -- --addr 127.0.0.1:7878 --shard 0/2 --sf 0.05
-//! cargo run --release --bin qppt-server -- --addr 127.0.0.1:7879 --shard 1/2 --sf 0.05
+//! cargo run --release --bin qppt-server -- --addr 127.0.0.1:7879 --shard 0/2 --replica 1 --sf 0.05
+//! cargo run --release --bin qppt-server -- --addr 127.0.0.1:7888 --shard 1/2 --sf 0.05
+//! cargo run --release --bin qppt-server -- --addr 127.0.0.1:7889 --shard 1/2 --replica 1 --sf 0.05
 //!
 //! # the router in front of them
-//! cargo run --release --bin qppt-router -- \
-//!     --addr 127.0.0.1:7900 --shards 127.0.0.1:7878,127.0.0.1:7879
+//! cargo run --release --bin qppt-router -- --addr 127.0.0.1:7900 \
+//!     --fleet 'range0=127.0.0.1:7878,127.0.0.1:7879;range1=127.0.0.1:7888,127.0.0.1:7889'
 //! ```
 //!
-//! `--shards` lists the shard addresses **in shard order** (entry *i* must
-//! be the server started with `--shard i/n`). `--wait-secs` (default 120)
-//! bounds how long the router waits at startup for every shard to answer
-//! `PING` before serving. `SHUTDOWN` stops the router only — the shards
-//! keep running.
+//! `--fleet` lists replica addresses per range (`;` between ranges, `,`
+//! between replicas, optional `range<i>=` labels) **in range order** —
+//! every replica of range *i* must be a server started with `--shard
+//! i/n`. The older `--shards a,b,c` flag is still accepted as shorthand
+//! for a single-replica fleet. `--wait-secs` (default 120) bounds how
+//! long the router waits at startup for the fleet to answer `PING`; it
+//! starts as long as every range has at least one live replica.
+//! `SHUTDOWN` stops the router only — the shards keep running.
+//!
+//! Failover tunables: `--retry-budget` caps failover attempts per
+//! request; `--retry-backoff-ms`/`--retry-backoff-cap-ms` shape the
+//! capped-exponential jittered delay between attempts;
+//! `--probe-interval-ms`/`--probe-backoff-cap-ms` pace the background
+//! health prober that flips suspect replicas back to live.
 //!
 //! Observability: the `METRICS` verb serves the merged fleet exposition
-//! (every shard's families labeled `shard="<i>"`, summed `shard="fleet"`
-//! samples, plus the router's own `qppt_router_*` families) unless
+//! (every range's families labeled `shard="<i>"`, summed `shard="fleet"`
+//! samples, plus the router's own `qppt_router_*` families — including
+//! `qppt_router_failovers_total` and `qppt_router_replicas_live`) unless
 //! `--no-obs` disables the instrumentation; `--slow-query-micros <n>`
 //! logs routed queries at or above *n* µs wall time to stderr (0 = off).
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use qppt_router::{serve_router, Router, RouterConfig, RouterObs};
+use qppt_router::{parse_fleet, serve_router, Router, RouterConfig, RouterObs};
 
 fn arg<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
     args.iter()
@@ -42,43 +56,68 @@ fn arg<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let addr: String = arg(&args, "--addr", "127.0.0.1:7900".to_string());
+    let fleet_flag: String = arg(&args, "--fleet", String::new());
     let shards_flag: String = arg(&args, "--shards", String::new());
     let connect_timeout: f64 = arg(&args, "--connect-timeout-secs", 5.0);
     let read_timeout: f64 = arg(&args, "--read-timeout-secs", 60.0);
     let conns_per_shard: usize = arg(&args, "--conns-per-shard", 4);
+    let retry_budget: usize = arg(&args, "--retry-budget", 4);
+    let retry_backoff_ms: u64 = arg(&args, "--retry-backoff-ms", 10);
+    let retry_backoff_cap_ms: u64 = arg(&args, "--retry-backoff-cap-ms", 500);
+    let probe_interval_ms: u64 = arg(&args, "--probe-interval-ms", 200);
+    let probe_backoff_cap_ms: u64 = arg(&args, "--probe-backoff-cap-ms", 5_000);
     let wait_secs: f64 = arg(&args, "--wait-secs", 120.0);
     let no_obs = args.iter().any(|a| a == "--no-obs");
     let slow_query_micros: u64 = arg(&args, "--slow-query-micros", 0);
 
-    let shard_addrs: Vec<String> = shards_flag
-        .split(',')
-        .map(str::trim)
-        .filter(|s| !s.is_empty())
-        .map(str::to_string)
-        .collect();
-    if shard_addrs.is_empty() {
+    let fleet: Vec<Vec<String>> = if !fleet_flag.is_empty() {
+        match parse_fleet(&fleet_flag) {
+            Ok(fleet) => fleet,
+            Err(e) => {
+                eprintln!("qppt-router: bad --fleet spec: {e}");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        // --shards a,b,c == a single-replica fleet, one range per address.
+        shards_flag
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| vec![s.to_string()])
+            .collect()
+    };
+    if fleet.is_empty() {
         eprintln!(
-            "qppt-router: --shards is required (comma-separated shard addresses in shard order)"
+            "qppt-router: --fleet (range0=a,b;range1=c,d) or --shards (a,b,c) is required, \
+             addresses in range order"
         );
         std::process::exit(2);
     }
 
-    let mut config = RouterConfig::new(shard_addrs.clone());
+    let mut config = RouterConfig::with_fleet(fleet.clone());
     config.connect_timeout = Duration::from_secs_f64(connect_timeout);
     config.read_timeout = Duration::from_secs_f64(read_timeout);
     config.conns_per_shard = conns_per_shard;
+    config.retry_budget = retry_budget;
+    config.retry_backoff = Duration::from_millis(retry_backoff_ms);
+    config.retry_backoff_cap = Duration::from_millis(retry_backoff_cap_ms);
+    config.probe_interval = Duration::from_millis(probe_interval_ms);
+    config.probe_backoff_cap = Duration::from_millis(probe_backoff_cap_ms);
+    let ranges = fleet.len();
+    let replicas: usize = fleet.iter().map(Vec::len).sum();
     let mut router = Router::new(config);
     if !no_obs {
         router = router.with_obs(RouterObs::new(
-            shard_addrs.len(),
+            ranges,
             (slow_query_micros > 0).then_some(slow_query_micros),
         ));
     }
     let router = Arc::new(router);
 
     eprintln!(
-        "qppt-router: waiting up to {wait_secs}s for {} shard(s) to answer PING …",
-        shard_addrs.len()
+        "qppt-router: waiting up to {wait_secs}s for {replicas} replica(s) across {ranges} \
+         range(s) to answer PING …"
     );
     if let Err(e) = router.wait_for_shards(Duration::from_secs_f64(wait_secs)) {
         eprintln!("qppt-router: {e}");
@@ -87,10 +126,13 @@ fn main() {
 
     let server = serve_router(router, &addr).expect("bind listener");
     println!(
-        "qppt-router listening on {} over {} shard(s): {}",
+        "qppt-router listening on {} over {ranges} range(s) / {replicas} replica(s): {}",
         server.addr(),
-        shard_addrs.len(),
-        shard_addrs.join(", ")
+        fleet
+            .iter()
+            .map(|r| r.join(","))
+            .collect::<Vec<_>>()
+            .join("; ")
     );
     // Runs until a client sends SHUTDOWN (router only; shards stay up).
     server.join();

@@ -15,6 +15,13 @@
 //! the merged answers must be byte-identical to the same sequential
 //! oracle (`--addr`/`--shutdown` are ignored in this mode).
 //!
+//! `--chaos` (implies `--router`) upgrades the fleet to two replicas per
+//! range — each shard engine served on two listeners — then kills one
+//! replica of range 0 mid-run and repeats every probe. The probes must
+//! see **zero** client-visible errors (the router fails over to the
+//! sibling), and the router's own metrics must record ≥ 1 failover with
+//! exactly 3 replicas still live.
+//!
 //! Both modes end with a `METRICS` probe: the exposition must parse under
 //! the strict Prometheus checker and count the queries this very smoke
 //! just issued (in router mode: per-shard labels plus the summed
@@ -37,8 +44,9 @@ fn main() {
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "127.0.0.1:7878".to_string());
     let shutdown = args.iter().any(|a| a == "--shutdown");
-    if args.iter().any(|a| a == "--router") {
-        router_smoke();
+    let chaos = args.iter().any(|a| a == "--chaos");
+    if chaos || args.iter().any(|a| a == "--router") {
+        router_smoke(chaos);
         return;
     }
 
@@ -85,35 +93,53 @@ fn main() {
 
 /// The self-contained sharded smoke (`--router`): two in-process shards
 /// plus a router on loopback, probed through the router against the same
-/// sequential single-node oracle.
-fn router_smoke() {
+/// sequential single-node oracle. With `chaos`, each shard is served on
+/// two listeners (a two-replica range) and the probe set is repeated
+/// after one replica is killed mid-run.
+fn router_smoke(chaos: bool) {
     use qppt_par::WorkerPool;
     use qppt_router::{serve_router, Router, RouterConfig, RouterObs};
     use qppt_server::{serve, ServeEngine, ServeObs};
     use std::sync::Arc;
 
     let (sf, seed) = (0.01, 42);
-    eprintln!("smoke: router mode — 2 shards + router on loopback (sf={sf} seed={seed}) …");
+    let replicas = if chaos { 2 } else { 1 };
+    eprintln!(
+        "smoke: router mode — 2 shards × {replicas} replica(s) + router on loopback \
+         (sf={sf} seed={seed}) …"
+    );
     let pool = WorkerPool::new(2, 8);
     let defaults = PlanOptions::default()
         .with_parallelism(2)
         .with_par_index_build(true);
-    let mut shard_handles = Vec::new();
-    let mut shard_addrs = Vec::new();
+    let mut shard_handles: Vec<Vec<qppt_server::ServerHandle>> = Vec::new();
+    let mut fleet: Vec<Vec<String>> = Vec::new();
     for i in 0..2 {
-        let engine = ServeEngine::with_ssb_shard(sf, seed, pool.clone(), defaults, i, 2)
-            .expect("shard engine builds")
-            .with_obs(ServeObs::new(None));
-        let h = serve(Arc::new(engine), "127.0.0.1:0").expect("shard binds");
-        shard_addrs.push(h.addr().to_string());
-        shard_handles.push(h);
+        // Replicas of a range are the same engine served on distinct
+        // listeners — byte-identical answers by construction, which is
+        // exactly the contract real replicas (same --shard i/n, same
+        // --sf/--seed) provide.
+        let engine = Arc::new(
+            ServeEngine::with_ssb_shard(sf, seed, pool.clone(), defaults, i, 2)
+                .expect("shard engine builds")
+                .with_obs(ServeObs::new(None)),
+        );
+        let mut handles = Vec::new();
+        let mut addrs = Vec::new();
+        for _ in 0..replicas {
+            let h = serve(Arc::clone(&engine), "127.0.0.1:0").expect("shard binds");
+            addrs.push(h.addr().to_string());
+            handles.push(h);
+        }
+        fleet.push(addrs);
+        shard_handles.push(handles);
     }
     let router =
-        Arc::new(Router::new(RouterConfig::new(shard_addrs)).with_obs(RouterObs::new(2, None)));
+        Arc::new(Router::new(RouterConfig::with_fleet(fleet)).with_obs(RouterObs::new(2, None)));
     router
         .wait_for_shards(Duration::from_secs(30))
         .expect("shards answer PING");
-    let rh = serve_router(router, "127.0.0.1:0").expect("router binds");
+    let rh = serve_router(Arc::clone(&router), "127.0.0.1:0").expect("router binds");
 
     // The oracle is the *full* unsharded instance on the sequential engine.
     let opts = PlanOptions::default();
@@ -141,18 +167,48 @@ fn router_smoke() {
     failed += run_probes(&mut client, &engine, &opts);
     failed += metrics_probe(&mut client, Some(2));
 
+    if chaos {
+        // Kill one replica of range 0 mid-run: every probe must still
+        // succeed (zero client-visible errors), and the router must have
+        // recorded the failover.
+        eprintln!("smoke: chaos — killing shard 0 replica 0, repeating every probe …");
+        shard_handles[0].remove(0).stop();
+        failed += run_probes(&mut client, &engine, &opts);
+        let obs = router.obs().expect("router obs attached");
+        let expo = qppt_obs::parse_exposition(&obs.render()).expect("router exposition parses");
+        match expo.value("qppt_router_failovers_total", &[]) {
+            Some(v) if v >= 1 => eprintln!("smoke: chaos failovers OK ({v})"),
+            other => {
+                eprintln!("smoke: chaos FAIL — qppt_router_failovers_total is {other:?}, want ≥ 1");
+                failed += 1;
+            }
+        }
+        match expo.value("qppt_router_replicas_live", &[]) {
+            Some(3) => eprintln!("smoke: chaos replicas_live OK (3)"),
+            other => {
+                eprintln!("smoke: chaos FAIL — qppt_router_replicas_live is {other:?}, want 3");
+                failed += 1;
+            }
+        }
+    }
+
     eprintln!("smoke: sending SHUTDOWN (router only; shards are stopped directly)");
     let _ = client.shutdown();
     rh.join();
-    for h in shard_handles {
-        h.stop();
+    for range in shard_handles {
+        for h in range {
+            h.stop();
+        }
     }
     pool.shutdown();
     if failed > 0 {
         eprintln!("smoke: FAIL ({failed} mismatches)");
         exit(1);
     }
-    eprintln!("smoke: PASS (router)");
+    eprintln!(
+        "smoke: PASS (router{})",
+        if chaos { " + chaos" } else { "" }
+    );
 }
 
 /// The `METRICS` probe: the exposition must parse under the strict

@@ -1,0 +1,352 @@
+//! Fault-injection proxy for the routed fleet: a TCP middlebox between
+//! router and shard that misbehaves on command.
+//!
+//! A [`ChaosProxy`] listens on its own loopback port and forwards the
+//! line protocol to one upstream shard. Tests flip its [`ChaosMode`]
+//! between requests to inject exactly the fault a scenario needs:
+//!
+//! | mode | behaviour |
+//! |---|---|
+//! | [`Pass`](ChaosMode::Pass) | faithful byte relay |
+//! | [`Refuse`](ChaosMode::Refuse) | accept, then close immediately (connect-level failure) |
+//! | [`Hang`](ChaosMode::Hang) | swallow requests, never respond (read-timeout path) |
+//! | [`Truncate`](ChaosMode::Truncate) | relay only the first *n* response lines, then cut the connection (mid-response death, truncated `P` lines) |
+//! | [`Delay`](ChaosMode::Delay) | relay after sleeping (slow-shard latency) |
+//! | [`Garbage`](ChaosMode::Garbage) | answer every request with canned lines, upstream untouched (protocol desync) |
+//!
+//! [`kill`](ChaosProxy::kill) stops the listener entirely (connects are
+//! refused at the OS level) and [`revive`](ChaosProxy::revive) rebinds the
+//! *same* port — `std`'s `TcpListener` sets `SO_REUSEADDR` on Unix, so the
+//! rebind is reliable, the same property the shard-restart robustness test
+//! relies on. Mode changes apply per request line, so a scenario script is
+//! deterministic: set a mode, issue one request, observe.
+//!
+//! The proxy frames responses the same way the real client helpers do: an
+//! `ERR` status is one line; an `OK` status to a body-carrying verb
+//! (`RUN`, `QUERY`, `EXPLAIN`, `LIST`, `METRICS`) is read through `END`.
+//! It infers the verb from the request line it just relayed, which covers
+//! everything the router sends.
+
+use std::io::{self, BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// How the proxy treats the next request(s). See the module table.
+#[derive(Debug, Clone)]
+pub enum ChaosMode {
+    /// Faithful relay.
+    Pass,
+    /// Accept the TCP connection, then close it before reading anything.
+    Refuse,
+    /// Read the request, forward nothing, respond never.
+    Hang,
+    /// Relay the response but cut the connection after this many lines
+    /// (status line included).
+    Truncate(usize),
+    /// Relay the response after sleeping this long.
+    Delay(Duration),
+    /// Respond to every request with these lines; the upstream never sees
+    /// the request.
+    Garbage(Vec<String>),
+}
+
+/// Poll tick for stop-responsive blocking reads.
+const TICK: Duration = Duration::from_millis(20);
+
+struct Running {
+    stop: Arc<AtomicBool>,
+    accept: thread::JoinHandle<()>,
+}
+
+/// The fault-injection proxy. See the module docs.
+pub struct ChaosProxy {
+    upstream: String,
+    addr: SocketAddr,
+    mode: Arc<Mutex<ChaosMode>>,
+    running: Mutex<Option<Running>>,
+}
+
+impl ChaosProxy {
+    /// Binds a fresh loopback port in front of `upstream` and starts
+    /// relaying in [`ChaosMode::Pass`].
+    pub fn start(upstream: impl Into<String>) -> io::Result<Arc<Self>> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let proxy = Arc::new(Self {
+            upstream: upstream.into(),
+            addr,
+            mode: Arc::new(Mutex::new(ChaosMode::Pass)),
+            running: Mutex::new(None),
+        });
+        proxy.spawn_accept(listener);
+        Ok(proxy)
+    }
+
+    /// The proxy's own address — what the router's fleet spec points at.
+    /// Stable across [`kill`](Self::kill) / [`revive`](Self::revive).
+    pub fn addr(&self) -> String {
+        self.addr.to_string()
+    }
+
+    /// Sets the mode applied to subsequent request lines (existing
+    /// connections included).
+    pub fn set_mode(&self, mode: ChaosMode) {
+        *self.mode.lock().unwrap_or_else(|e| e.into_inner()) = mode;
+    }
+
+    /// Stops the listener and tears down every proxied connection: new
+    /// connects are refused by the OS, in-flight exchanges die mid-stream.
+    pub fn kill(&self) {
+        let running = self
+            .running
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        if let Some(r) = running {
+            r.stop.store(true, Ordering::Release);
+            let _ = r.accept.join();
+        }
+    }
+
+    /// Rebinds the same port after [`kill`](Self::kill). No-op while
+    /// already running.
+    pub fn revive(&self) -> io::Result<()> {
+        let running = self.running.lock().unwrap_or_else(|e| e.into_inner());
+        if running.is_some() {
+            return Ok(());
+        }
+        let listener = TcpListener::bind(self.addr)?;
+        drop(running);
+        self.spawn_accept(listener);
+        Ok(())
+    }
+
+    fn spawn_accept(&self, listener: TcpListener) {
+        listener
+            .set_nonblocking(true)
+            .expect("proxy listener nonblocking");
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let mode = Arc::clone(&self.mode);
+            let upstream = self.upstream.clone();
+            thread::spawn(move || accept_loop(listener, upstream, mode, stop))
+        };
+        *self.running.lock().unwrap_or_else(|e| e.into_inner()) = Some(Running { stop, accept });
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    upstream: String,
+    mode: Arc<Mutex<ChaosMode>>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut handlers: Vec<thread::JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((client, _)) => {
+                if matches!(
+                    *mode.lock().unwrap_or_else(|e| e.into_inner()),
+                    ChaosMode::Refuse
+                ) {
+                    drop(client);
+                    continue;
+                }
+                let upstream = upstream.clone();
+                let mode = Arc::clone(&mode);
+                let stop = Arc::clone(&stop);
+                handlers.push(thread::spawn(move || {
+                    let _ = handle_conn(client, &upstream, &mode, &stop);
+                }));
+                handlers.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(TICK),
+            Err(_) => thread::sleep(TICK),
+        }
+    }
+    // Handler threads watch the same stop flag through their read ticks.
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+/// One proxied client connection: request lines in, framed responses out,
+/// mode sampled per request.
+fn handle_conn(
+    client: TcpStream,
+    upstream: &str,
+    mode: &Mutex<ChaosMode>,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    client.set_read_timeout(Some(TICK))?;
+    client.set_nodelay(true).ok();
+    let mut client_w = client.try_clone()?;
+    let mut client_r = BufReader::new(client);
+    let mut up: Option<(BufReader<TcpStream>, TcpStream)> = None;
+    loop {
+        let Some(request) = read_line_tick(&mut client_r, stop)? else {
+            return Ok(()); // client EOF or proxy stopping
+        };
+        let mode = mode.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        match mode {
+            ChaosMode::Refuse => return Ok(()), // close mid-stream too
+            ChaosMode::Hang => {
+                // Swallow this and every further request until the proxy
+                // stops or the client gives up and closes.
+                while read_line_tick(&mut client_r, stop)?.is_some() {}
+                return Ok(());
+            }
+            ChaosMode::Garbage(lines) => {
+                for l in &lines {
+                    writeln!(client_w, "{l}")?;
+                }
+                client_w.flush()?;
+            }
+            ChaosMode::Pass | ChaosMode::Delay(_) | ChaosMode::Truncate(_) => {
+                if up.is_none() {
+                    let s = TcpStream::connect(upstream)?;
+                    s.set_read_timeout(Some(TICK))?;
+                    s.set_nodelay(true).ok();
+                    up = Some((BufReader::new(s.try_clone()?), s));
+                }
+                let (up_r, up_w) = up.as_mut().expect("upstream just dialed");
+                writeln!(up_w, "{request}")?;
+                up_w.flush()?;
+                if let ChaosMode::Delay(d) = mode {
+                    thread::sleep(d);
+                }
+                let budget = match mode {
+                    ChaosMode::Truncate(n) => Some(n),
+                    _ => None,
+                };
+                if !relay_response(&request, up_r, &mut client_w, budget, stop)? {
+                    // Truncation fired: cut both sides mid-response.
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+/// Relays one framed response; returns `Ok(false)` when a truncation
+/// budget ran out (the caller drops both connections).
+fn relay_response(
+    request: &str,
+    up_r: &mut BufReader<TcpStream>,
+    client_w: &mut TcpStream,
+    budget: Option<usize>,
+    stop: &AtomicBool,
+) -> io::Result<bool> {
+    let mut sent = 0usize;
+    let Some(status) = read_line_tick(up_r, stop)? else {
+        return Err(io::Error::new(
+            ErrorKind::UnexpectedEof,
+            "upstream closed before status",
+        ));
+    };
+    if !emit(client_w, &status, &mut sent, budget)? {
+        return Ok(false);
+    }
+    if status.starts_with("OK") && has_body(request) {
+        loop {
+            let Some(line) = read_line_tick(up_r, stop)? else {
+                return Err(io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "upstream closed mid-body",
+                ));
+            };
+            let end = line == "END";
+            if !emit(client_w, &line, &mut sent, budget)? {
+                return Ok(false);
+            }
+            if end {
+                break;
+            }
+        }
+    }
+    client_w.flush()?;
+    Ok(true)
+}
+
+fn emit(
+    w: &mut TcpStream,
+    line: &str,
+    sent: &mut usize,
+    budget: Option<usize>,
+) -> io::Result<bool> {
+    if let Some(n) = budget {
+        if *sent >= n {
+            w.flush()?;
+            return Ok(false);
+        }
+    }
+    writeln!(w, "{line}")?;
+    *sent += 1;
+    Ok(true)
+}
+
+/// Whether an `OK` response to this request line carries a multi-line body
+/// terminated by `END`.
+fn has_body(request: &str) -> bool {
+    let verb = request
+        .split_whitespace()
+        .next()
+        .map(|v| v.to_ascii_uppercase())
+        .unwrap_or_default();
+    matches!(
+        verb.as_str(),
+        "RUN" | "QUERY" | "EXPLAIN" | "LIST" | "METRICS"
+    )
+}
+
+/// Reads one `\n`-terminated line, ticking on the socket read timeout so
+/// the thread notices `stop`. `None` on clean EOF or stop.
+fn read_line_tick(r: &mut BufReader<TcpStream>, stop: &AtomicBool) -> io::Result<Option<String>> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return Ok(None);
+        }
+        let (done, n) = {
+            let available = match r.fill_buf() {
+                Ok(a) => a,
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            if available.is_empty() {
+                // EOF: a partial line without a newline is dropped — the
+                // peer died mid-line, nothing framed to relay.
+                return Ok(None);
+            }
+            match available.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    buf.extend_from_slice(&available[..i]);
+                    (true, i + 1)
+                }
+                None => {
+                    buf.extend_from_slice(available);
+                    (false, available.len())
+                }
+            }
+        };
+        r.consume(n);
+        if done {
+            if buf.last() == Some(&b'\r') {
+                buf.pop();
+            }
+            return Ok(Some(String::from_utf8_lossy(&buf).into_owned()));
+        }
+    }
+}

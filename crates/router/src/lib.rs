@@ -29,26 +29,39 @@
 //! bit-identically — the same group packs to the same `u64` everywhere,
 //! whatever fact rows a shard holds.
 //!
-//! ## Robustness
+//! ## Replication and failover
 //!
-//! Connect and read timeouts bound every shard exchange; an unreachable
-//! or mid-stream-dead shard gets exactly one reconnect retry (queries are
-//! idempotent reads), then the client receives a structured
-//! `ERR shard <i> unavailable (<detail>)` — never a hang, and never a
-//! partial gather served as a complete answer. The router process itself
-//! stays up throughout, and a restarted shard is picked up transparently
-//! by the next request's fresh dial (`router_robustness` exercises all of
-//! this).
+//! Each `lo_orderdate` range can own an **ordered replica set** (every
+//! replica is a `qppt-server` started with the same `--shard i/n`, so
+//! replicas serve identical fact partitions). The fleet layout lives in a
+//! router-side shard map ([`map`]) read lock-free on the hot path and
+//! swappable atomically between requests ([`Router::swap_fleet`]).
+//!
+//! Connect and read timeouts bound every replica exchange. On a
+//! connect/read/protocol failure the router fails over: the next live
+//! replica of the range is tried (suspects last), under a per-request
+//! retry budget with capped-exponential jittered backoff, and the failed
+//! replica is marked **suspect**. A background health prober `PING`s
+//! suspects on their own backoff schedule and flips them back live —
+//! recovery without waiting for organic traffic. Only when a range has no
+//! replica able to answer does the client receive a bounded structured
+//! `ERR range <i> unavailable (<detail>)` — never a hang, and never a
+//! partial gather served as a complete answer. Because replicas of a
+//! range hold identical data, the merged result is byte-identical to the
+//! single-node oracle whichever replica answers (`router_failover` pins
+//! this across kill/truncate/flap/outage scenarios; `router_robustness`
+//! covers restart healing and slow-shard timeouts via the [`chaos`]
+//! fault-injection proxy).
 //!
 //! ## Verbs
 //!
 //! | verb | routing |
 //! |---|---|
-//! | `RUN` / `QUERY` | scatter `mode=partial`, gather, merge |
-//! | `INFO` | fan-out: summed `rows=`, `shards=N`, per-shard map |
-//! | `CACHE STATS` | fan-out: counters summed across shards |
-//! | `CACHE CLEAR [dims]` | fan-out to every shard |
-//! | `LIST` / `EXPLAIN` | relayed to shard 0 (identical on all shards) |
+//! | `RUN` / `QUERY` | scatter `mode=partial` to one replica per range (failover inside the range), gather, merge |
+//! | `INFO` | fan-out: summed `rows=`, `shards=N`, replica counts, per-range map |
+//! | `CACHE STATS` | fan-out to one replica per range: counters summed |
+//! | `CACHE CLEAR [dims]` | broadcast to **every replica** of every range |
+//! | `LIST` / `EXPLAIN` | relayed to range 0 (identical on all shards) |
 //! | `PING` | answered locally |
 //! | `SHUTDOWN` | stops the router only — shards keep serving |
 //!
@@ -59,7 +72,11 @@
 mod pool;
 mod router;
 
+pub mod chaos;
+pub mod map;
 pub mod obs;
 
+pub use chaos::{ChaosMode, ChaosProxy};
+pub use map::{parse_fleet, Backoff, ShardMap};
 pub use obs::RouterObs;
 pub use router::{serve_router, serve_router_with, Router, RouterConfig, RouterError};

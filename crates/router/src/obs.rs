@@ -36,6 +36,9 @@ pub struct RouterObs {
     verbs: Vec<(&'static str, VerbMetrics)>,
     retries: Arc<Counter>,
     reconnects: Arc<Counter>,
+    failovers: Arc<Counter>,
+    replicas_live: Arc<Gauge>,
+    probe_recoveries: Arc<Counter>,
     merge_micros: Arc<Histogram>,
     shard_rtt: Vec<Arc<Histogram>>,
 }
@@ -92,6 +95,19 @@ impl RouterObs {
             "qppt_router_reconnects_total",
             "Fresh shard dials that succeeded on the retry path.",
         );
+        let failovers = registry.counter(
+            "qppt_router_failovers_total",
+            "Range exchanges that succeeded on a different replica than \
+             the one first attempted.",
+        );
+        let replicas_live = registry.gauge(
+            "qppt_router_replicas_live",
+            "Replicas currently marked live in the shard map.",
+        );
+        let probe_recoveries = registry.counter(
+            "qppt_router_probe_recoveries_total",
+            "Suspect replicas flipped back to live by the health prober.",
+        );
         let merge_micros = registry.histogram(
             "qppt_router_merge_micros",
             "Wall microseconds spent merging gathered partials and applying ORDER BY.",
@@ -116,6 +132,9 @@ impl RouterObs {
             verbs,
             retries,
             reconnects,
+            failovers,
+            replicas_live,
+            probe_recoveries,
             merge_micros,
             shard_rtt,
         })
@@ -145,6 +164,24 @@ impl RouterObs {
     /// Counts one successful fresh dial on the retry path.
     pub fn note_reconnect(&self) {
         self.reconnects.inc();
+    }
+
+    /// Counts one request that succeeded on a sibling replica after the
+    /// preferred replica failed mid-request.
+    pub fn note_failover(&self) {
+        self.failovers.inc();
+    }
+
+    /// Publishes the current fleet-wide live-replica count (the
+    /// `qppt_router_replicas_live` gauge).
+    pub fn set_replicas_live(&self, live: usize) {
+        self.replicas_live
+            .set(i64::try_from(live).unwrap_or(i64::MAX));
+    }
+
+    /// Counts one suspect replica the health prober flipped back to live.
+    pub fn note_probe_recovery(&self) {
+        self.probe_recoveries.inc();
     }
 
     /// Records one partial-merge duration.
@@ -188,6 +225,9 @@ mod tests {
         obs.record_rtt(1, 950);
         obs.note_retry();
         obs.note_reconnect();
+        obs.note_failover();
+        obs.set_replicas_live(3);
+        obs.note_probe_recovery();
         obs.record_merge(40);
         obs.note_slow();
         let expo = parse_exposition(&obs.render()).expect("exposition parses");
@@ -197,6 +237,12 @@ mod tests {
         );
         assert_eq!(expo.value("qppt_router_retries_total", &[]), Some(1));
         assert_eq!(expo.value("qppt_router_reconnects_total", &[]), Some(1));
+        assert_eq!(expo.value("qppt_router_failovers_total", &[]), Some(1));
+        assert_eq!(expo.value("qppt_router_replicas_live", &[]), Some(3));
+        assert_eq!(
+            expo.value("qppt_router_probe_recoveries_total", &[]),
+            Some(1)
+        );
         assert_eq!(expo.value("qppt_router_slow_queries_total", &[]), Some(1));
         assert_eq!(
             expo.value("qppt_router_shard_rtt_micros_count", &[("shard", "1")]),

@@ -1,13 +1,22 @@
-//! Pooled persistent connections to one shard.
+//! Pooled persistent connections to one replica.
 //!
 //! Each [`ShardPool`] keeps a small stack of idle, already-connected
-//! protocol connections to its shard. A request checks one out (or dials a
-//! fresh one under [`RouterConfig::connect_timeout`]), and checks it back
-//! in only after a *complete* response was consumed — a connection that
-//! failed mid-exchange is dropped, never reused, so a desynchronized
-//! stream can never poison a later request. [`ShardPool::clear`] empties
-//! the idle stack, which is how the router forces fresh dials on its one
-//! bounded retry after a shard came back from a restart.
+//! protocol connections to its replica. A request checks one out (or
+//! dials a fresh one under the connect timeout), and checks it back in
+//! **only** after the response was fully drained off the stream. Any
+//! other outcome — transport error, protocol error, even a shard `ERR`
+//! status — drops the connection: under fault injection an `ERR` line
+//! proves nothing about what else is buffered behind it, and a
+//! desynchronized stream re-pooled once would poison an arbitrary later
+//! request. Dropping is cheap (the next checkout dials fresh); a poisoned
+//! exchange is not.
+//!
+//! [`ShardPool::checkout`] reports whether the connection came from the
+//! idle stack. The failover path treats a failure on a *reused*
+//! connection as possibly-stale (the replica may have restarted since the
+//! conn was pooled) and grants the same replica one fresh-dial retry
+//! before convicting it as suspect; a failure on a *fresh* connection is
+//! evidence against the replica itself.
 
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -16,7 +25,7 @@ use std::time::Duration;
 
 use qppt_server::protocol::{read_status, ClientError};
 
-/// One persistent protocol connection to a shard.
+/// One persistent protocol connection to a replica.
 #[derive(Debug)]
 pub(crate) struct ShardConn {
     reader: BufReader<TcpStream>,
@@ -46,7 +55,7 @@ impl ShardConn {
 
     /// Reads the response status line (`OK <text>` → text, `ERR <msg>` →
     /// [`ClientError::Server`]). A socket read timeout surfaces as
-    /// [`ClientError::Io`], which the router maps to shard-unavailable.
+    /// [`ClientError::Io`], which the router maps to replica failure.
     pub(crate) fn read_status(&mut self) -> Result<String, ClientError> {
         read_status(&mut self.reader)
     }
@@ -57,7 +66,7 @@ impl ShardConn {
     }
 }
 
-/// The connection pool of one shard: its address plus a bounded stack of
+/// The connection pool of one replica: its address plus a bounded stack of
 /// idle connections.
 #[derive(Debug)]
 pub(crate) struct ShardPool {
@@ -88,12 +97,13 @@ impl ShardPool {
         &self.addr
     }
 
-    /// An idle connection if one exists, else a fresh dial.
-    pub(crate) fn checkout(&self) -> io::Result<ShardConn> {
+    /// An idle connection if one exists (`reused == true`), else a fresh
+    /// dial (`reused == false`).
+    pub(crate) fn checkout(&self) -> io::Result<(ShardConn, bool)> {
         let reused = self.idle.lock().unwrap_or_else(|e| e.into_inner()).pop();
         match reused {
-            Some(conn) => Ok(conn),
-            None => self.dial(),
+            Some(conn) => Ok((conn, true)),
+            None => self.dial().map(|c| (c, false)),
         }
     }
 
@@ -102,7 +112,9 @@ impl ShardPool {
         ShardConn::dial(&self.addr, self.connect_timeout, self.read_timeout)
     }
 
-    /// Returns a connection that finished a complete exchange.
+    /// Returns a connection whose response was fully drained. Callers must
+    /// **drop** (not check in) a connection after any incomplete exchange,
+    /// including a shard `ERR` — see the module docs.
     pub(crate) fn checkin(&self, conn: ShardConn) {
         let mut idle = self.idle.lock().unwrap_or_else(|e| e.into_inner());
         if idle.len() < self.cap {
@@ -110,7 +122,7 @@ impl ShardPool {
         }
     }
 
-    /// Drops every idle connection (they may be half-dead after a shard
+    /// Drops every idle connection (they may be half-dead after a replica
     /// restart); the next checkout dials fresh.
     pub(crate) fn clear(&self) {
         self.idle.lock().unwrap_or_else(|e| e.into_inner()).clear();

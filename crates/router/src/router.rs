@@ -1,10 +1,12 @@
-//! The router proper: verb dispatch, scatter/gather, deterministic merge.
+//! The router proper: verb dispatch, scatter/gather over the replicated
+//! shard map, failover, and the deterministic merge.
 
 use std::collections::BTreeMap;
 use std::fmt;
 use std::io::{self, Write};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread;
 use std::time::{Duration, Instant};
 
 use qppt_core::{ExecStats, OpStats, PartialAggregate, PlanOptions};
@@ -19,32 +21,61 @@ use qppt_server::{serve_lines, LineService, Reply, ServerConfig, ServerHandle};
 use qppt_ssb::queries;
 use qppt_storage::{OrderKey, QueryResult, QuerySpec};
 
+use crate::map::{Backoff, MapCell, RangeReplicas, Replica, ShardMap};
 use crate::obs::RouterObs;
-use crate::pool::{ShardConn, ShardPool};
+use crate::pool::ShardConn;
 
-/// Router tunables: the shard fleet plus per-shard transport limits.
+/// Router tunables: the replicated fleet plus transport, failover, and
+/// health-probe limits.
 #[derive(Debug, Clone)]
 pub struct RouterConfig {
-    /// Shard addresses **in shard order** — entry `i` must be the server
-    /// started with `--shard i/n`.
-    pub shard_addrs: Vec<String>,
+    /// Replica addresses per range, **in range order** — every address in
+    /// `fleet[i]` must be a server started with `--shard i/n`. Parse a
+    /// `--fleet` spec with [`crate::map::parse_fleet`].
+    pub fleet: Vec<Vec<String>>,
     /// Per-dial TCP connect timeout.
     pub connect_timeout: Duration,
-    /// Per-read socket timeout — a shard that stops mid-response fails the
-    /// request (after the one retry) instead of hanging the client.
+    /// Per-read socket timeout — a replica that stops mid-response fails
+    /// the attempt (and the request fails over) instead of hanging the
+    /// client.
     pub read_timeout: Duration,
-    /// Idle pooled connections kept per shard.
+    /// Idle pooled connections kept per replica.
     pub conns_per_shard: usize,
+    /// Per-request cap on failover attempts, shared across all ranges of
+    /// one request — bounds worst-case added latency.
+    pub retry_budget: usize,
+    /// Base delay of the capped-exponential failover backoff.
+    pub retry_backoff: Duration,
+    /// Ceiling of the failover backoff.
+    pub retry_backoff_cap: Duration,
+    /// How often the background health prober scans for due suspects
+    /// (also the base of the per-replica probe backoff).
+    pub probe_interval: Duration,
+    /// Ceiling of the per-replica probe backoff.
+    pub probe_backoff_cap: Duration,
 }
 
 impl RouterConfig {
-    /// Defaults: 5 s connect, 60 s read, 4 pooled connections per shard.
+    /// Single-replica fleet (the pre-replication deployment shape):
+    /// shard `i` is the sole owner of range `i`.
     pub fn new(shard_addrs: Vec<String>) -> Self {
+        Self::with_fleet(shard_addrs.into_iter().map(|a| vec![a]).collect())
+    }
+
+    /// Replicated fleet. Defaults: 5 s connect, 60 s read, 4 pooled
+    /// connections per replica, 4 failover attempts per request backed
+    /// off 10 ms → 500 ms, probes every 200 ms backed off to 5 s.
+    pub fn with_fleet(fleet: Vec<Vec<String>>) -> Self {
         Self {
-            shard_addrs,
+            fleet,
             connect_timeout: Duration::from_secs(5),
             read_timeout: Duration::from_secs(60),
             conns_per_shard: 4,
+            retry_budget: 4,
+            retry_backoff: Duration::from_millis(10),
+            retry_backoff_cap: Duration::from_millis(500),
+            probe_interval: Duration::from_millis(200),
+            probe_backoff_cap: Duration::from_secs(5),
         }
     }
 }
@@ -52,20 +83,21 @@ impl RouterConfig {
 /// Router-side failure of one request.
 #[derive(Debug)]
 pub enum RouterError {
-    /// A shard could not be dialed, timed out, or broke protocol — even
-    /// after the one bounded reconnect retry. Rendered on the wire as
-    /// `ERR shard <i> unavailable (<detail>)`.
-    ShardUnavailable { shard: usize, detail: String },
-    /// The shards answered `ERR` (a query/validation error, relayed
-    /// verbatim), or their partials disagreed structurally.
+    /// No replica of one range could complete the exchange — every
+    /// candidate failed or the retry budget ran out. Rendered on the wire
+    /// as `ERR range <i> unavailable (<detail>)`.
+    RangeUnavailable { range: usize, detail: String },
+    /// The shards answered `ERR` (a query/validation error, relayed with
+    /// a `shard <i> replica <j>:` prefix), or their partials disagreed
+    /// structurally.
     Query(String),
 }
 
 impl fmt::Display for RouterError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::ShardUnavailable { shard, detail } => {
-                write!(f, "shard {shard} unavailable ({detail})")
+            Self::RangeUnavailable { range, detail } => {
+                write!(f, "range {range} unavailable ({detail})")
             }
             Self::Query(msg) => write!(f, "{msg}"),
         }
@@ -74,87 +106,148 @@ impl fmt::Display for RouterError {
 
 impl std::error::Error for RouterError {}
 
-/// One shard's gathered partial plus its served statistics.
+/// One range's gathered partial plus its served statistics.
 struct Gathered {
     partial: PartialAggregate,
     stats: ServedStats,
 }
 
-/// Per-shard failure before it is attributed to a shard index.
+/// Per-range failure before it is attributed to a range index.
 enum GatherError {
     Query(String),
     Unavailable(String),
 }
 
 impl GatherError {
-    fn at(self, shard: usize) -> RouterError {
+    fn at(self, range: usize) -> RouterError {
         match self {
             Self::Query(msg) => RouterError::Query(msg),
-            Self::Unavailable(detail) => RouterError::ShardUnavailable { shard, detail },
+            Self::Unavailable(detail) => RouterError::RangeUnavailable { range, detail },
         }
     }
 }
 
-/// A request line sent (or not) to one shard during the scatter phase.
+/// A request line sent (or not) to one range's preferred replica during
+/// the scatter phase.
 enum SendOutcome {
-    /// The line is in flight; `retried` records whether the one reconnect
-    /// retry was already spent getting it there.
-    Sent { conn: ShardConn, retried: bool },
-    /// Even the retry dial failed.
-    Failed(String),
+    /// The line is in flight on `replica`; `reused` records whether the
+    /// connection came from the idle pool (a later read failure is then
+    /// possibly a stale conn, not a dead replica).
+    Sent {
+        replica: usize,
+        conn: ShardConn,
+        reused: bool,
+    },
+    /// The send itself failed. `stale` is true when it failed on a reused
+    /// pooled connection — the replica deserves one fresh-dial retry
+    /// before being convicted.
+    Failed {
+        replica: usize,
+        detail: String,
+        stale: bool,
+    },
 }
 
-/// The scatter/gather router over an ordered shard fleet. Implements
-/// [`LineService`], so [`serve_router`] gives it the exact same TCP
-/// frontend (length-capped lines, drain-and-`ERR`, graceful shutdown) as
-/// the shards themselves.
+/// Per-request failover accounting: the retry budget shared across every
+/// range of one scatter.
+struct RetryState {
+    budget: usize,
+}
+
+/// State shared between the router proper and its background health
+/// prober.
+struct Shared {
+    map: MapCell,
+    /// Set by [`Router::with_obs`]; the prober reads it lazily so the
+    /// builder-style attach still works after the thread has started.
+    obs: OnceLock<Arc<RouterObs>>,
+    stop: AtomicBool,
+    probe_interval: Duration,
+    probe_backoff_cap: Duration,
+    connect_timeout: Duration,
+    read_timeout: Duration,
+    conns_per_replica: usize,
+}
+
+/// The scatter/gather router over a replicated, health-checked fleet.
+/// Implements [`LineService`], so [`serve_router`] gives it the exact
+/// same TCP frontend (length-capped lines, drain-and-`ERR`, graceful
+/// shutdown) as the shards themselves.
 pub struct Router {
-    shards: Vec<ShardPool>,
+    shared: Arc<Shared>,
     /// The SSB named-query registry — resolved locally so the router knows
     /// each alias's ORDER BY for the merge (and can reject unknown names
     /// without touching the fleet).
     queries: BTreeMap<String, QuerySpec>,
     started: Instant,
     obs: Option<Arc<RouterObs>>,
+    retry_budget: usize,
+    backoff_base: Duration,
+    backoff_cap: Duration,
+    prober: Option<thread::JoinHandle<()>>,
 }
 
 impl Router {
-    /// Builds the router. Panics if `shard_addrs` is empty — a router
-    /// without shards cannot answer anything.
+    /// Builds the router and starts its health prober. Panics if the
+    /// fleet is empty or any range has no replicas — a router without
+    /// owners cannot answer anything.
     pub fn new(config: RouterConfig) -> Self {
         assert!(
-            !config.shard_addrs.is_empty(),
-            "RouterConfig.shard_addrs must name at least one shard"
+            !config.fleet.is_empty(),
+            "RouterConfig.fleet must name at least one range"
         );
-        let shards: Vec<ShardPool> = config
-            .shard_addrs
-            .iter()
-            .map(|addr| {
-                ShardPool::new(
-                    addr.clone(),
-                    config.conns_per_shard,
-                    config.connect_timeout,
-                    config.read_timeout,
-                )
-            })
-            .collect();
+        assert!(
+            config.fleet.iter().all(|r| !r.is_empty()),
+            "every range needs at least one replica address"
+        );
+        let map = ShardMap::from_fleet(
+            &config.fleet,
+            config.conns_per_shard,
+            config.connect_timeout,
+            config.read_timeout,
+        );
+        let shared = Arc::new(Shared {
+            map: MapCell::new(map),
+            obs: OnceLock::new(),
+            stop: AtomicBool::new(false),
+            probe_interval: config.probe_interval,
+            probe_backoff_cap: config.probe_backoff_cap,
+            connect_timeout: config.connect_timeout,
+            read_timeout: config.read_timeout,
+            conns_per_replica: config.conns_per_shard,
+        });
+        let prober = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("qppt-router-prober".to_string())
+                .spawn(move || prober_loop(&shared))
+                .ok()
+        };
         let queries = queries::all_queries()
             .into_iter()
             .map(|q| (q.id.to_ascii_lowercase(), q))
             .collect();
         Self {
-            shards,
+            shared,
             queries,
             started: Instant::now(),
             obs: None,
+            retry_budget: config.retry_budget,
+            backoff_base: config.retry_backoff,
+            backoff_cap: config.retry_backoff_cap,
+            prober,
         }
     }
 
     /// Attaches observability state (builder-style): per-verb request
-    /// metrics, per-shard RTT histograms, the merged `METRICS`
-    /// exposition, and the slow-query log. Without it the router serves
-    /// uninstrumented (`--no-obs`) and `METRICS` answers `ERR`.
+    /// metrics, per-range RTT histograms, failover/health gauges, the
+    /// merged `METRICS` exposition, and the slow-query log. Without it
+    /// the router serves uninstrumented (`--no-obs`) and `METRICS`
+    /// answers `ERR`.
     pub fn with_obs(mut self, obs: Arc<RouterObs>) -> Self {
+        let map = self.shared.map.load();
+        obs.set_replicas_live(map.live_replicas());
+        let _ = self.shared.obs.set(Arc::clone(&obs));
         self.obs = Some(obs);
         self
     }
@@ -175,41 +268,282 @@ impl Router {
         env!("CARGO_PKG_VERSION")
     }
 
-    /// Number of shards fronted.
+    /// Number of ranges fronted.
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.shared.map.load().range_count()
     }
 
-    /// Blocks until every shard answers `PING` (dialing fresh each
-    /// attempt), or `timeout` elapses — for racing just-spawned shards.
+    /// Atomically installs a new fleet layout between requests: in-flight
+    /// requests finish against the map they loaded, subsequent requests
+    /// see the new one. Replica health restarts live.
+    pub fn swap_fleet(&self, fleet: Vec<Vec<String>>) -> Result<(), String> {
+        if fleet.is_empty() {
+            return Err("fleet must name at least one range".to_string());
+        }
+        if fleet.iter().any(|r| r.is_empty()) {
+            return Err("every range needs at least one replica address".to_string());
+        }
+        let map = ShardMap::from_fleet(
+            &fleet,
+            self.shared.conns_per_replica,
+            self.shared.connect_timeout,
+            self.shared.read_timeout,
+        );
+        self.shared.map.swap(map);
+        if let Some(o) = &self.obs {
+            o.set_replicas_live(self.shared.map.load().live_replicas());
+        }
+        Ok(())
+    }
+
+    /// Blocks until every replica answers `PING` (dialing fresh each
+    /// attempt) or `timeout` elapses. Replicas still unreachable at the
+    /// deadline are marked suspect and left to the prober — the router
+    /// starts as long as **every range keeps at least one live replica**;
+    /// otherwise the range's error is returned.
     pub fn wait_for_shards(&self, timeout: Duration) -> Result<(), RouterError> {
+        let map = self.shared.map.load();
         let deadline = Instant::now() + timeout;
-        for (i, pool) in self.shards.iter().enumerate() {
-            loop {
-                let attempt = pool.dial().map_err(|e| e.to_string()).and_then(|mut c| {
-                    c.send_line("PING").map_err(|e| e.to_string())?;
-                    c.read_status().map_err(|e| e.to_string())?;
-                    Ok(c)
-                });
-                match attempt {
-                    Ok(c) => {
-                        pool.checkin(c);
-                        break;
+        let mut pending: Vec<(usize, usize)> = map
+            .ranges()
+            .iter()
+            .enumerate()
+            .flat_map(|(ri, range)| (0..range.len()).map(move |rj| (ri, rj)))
+            .collect();
+        let mut last_err: BTreeMap<usize, String> = BTreeMap::new();
+        loop {
+            pending.retain(|&(ri, rj)| {
+                let rep = map.range(ri).replica(rj);
+                match probe_replica(rep) {
+                    Ok(conn) => {
+                        rep.pool().checkin(conn);
+                        false
                     }
-                    Err(detail) if Instant::now() >= deadline => {
-                        return Err(RouterError::ShardUnavailable { shard: i, detail })
+                    Err(detail) => {
+                        last_err.insert(ri, detail);
+                        true
                     }
-                    Err(_) => std::thread::sleep(Duration::from_millis(100)),
                 }
+            });
+            if pending.is_empty() {
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                break;
+            }
+            thread::sleep(Duration::from_millis(100));
+        }
+        let now = map.now_micros();
+        for &(ri, rj) in &pending {
+            map.range(ri).replica(rj).mark_suspect(
+                now,
+                self.shared.probe_interval,
+                self.shared.probe_backoff_cap,
+            );
+        }
+        self.publish_health(map);
+        for (ri, range) in map.ranges().iter().enumerate() {
+            if range.live_count() == 0 {
+                let detail = last_err
+                    .remove(&ri)
+                    .unwrap_or_else(|| "no replica answered PING".to_string());
+                return Err(RouterError::RangeUnavailable { range: ri, detail });
             }
         }
         Ok(())
     }
 
+    /// Publishes the fleet-wide live-replica count after a health flip.
+    fn publish_health(&self, map: &ShardMap) {
+        if let Some(o) = &self.obs {
+            o.set_replicas_live(map.live_replicas());
+        }
+    }
+
+    /// Marks a replica suspect after a fresh-connection failure (the
+    /// prober takes over its recovery) and refreshes the live gauge.
+    fn convict(&self, map: &ShardMap, ri: usize, rj: usize) {
+        let flipped = map.range(ri).replica(rj).mark_suspect(
+            map.now_micros(),
+            self.shared.probe_interval,
+            self.shared.probe_backoff_cap,
+        );
+        if flipped {
+            self.publish_health(map);
+        }
+    }
+
+    /// Scatter-phase send to one range's preferred replica: a pooled
+    /// connection if possible, else a fresh dial. Failures are deferred
+    /// to [`gather_range`](Self::gather_range), which owns failover.
+    fn send_to_range(&self, range: &RangeReplicas, line: &str) -> SendOutcome {
+        let p = range.preferred();
+        match range.replica(p).pool().checkout() {
+            Err(e) => SendOutcome::Failed {
+                replica: p,
+                detail: e.to_string(),
+                stale: false,
+            },
+            Ok((mut conn, reused)) => match conn.send_line(line) {
+                Ok(()) => SendOutcome::Sent {
+                    replica: p,
+                    conn,
+                    reused,
+                },
+                Err(e) => SendOutcome::Failed {
+                    replica: p,
+                    detail: e.to_string(),
+                    stale: reused,
+                },
+            },
+        }
+    }
+
+    /// Gather-phase read with failover: consumes the in-flight response
+    /// and, on a transport/protocol failure, walks the range's remaining
+    /// replicas (the first replica again when its failure smelled like a
+    /// stale pooled conn, then live siblings, then suspects as a last
+    /// resort) under the request's shared retry budget, sleeping the
+    /// capped-exponential jittered backoff before each attempt. A shard
+    /// `ERR` is a real answer — relayed as a query error with its
+    /// `shard <i> replica <j>:` origin, and the connection is dropped
+    /// (an `ERR` status does not prove the stream is drained). Returns
+    /// the payload plus the ordinal of the replica that answered.
+    fn gather_range<T>(
+        &self,
+        map: &ShardMap,
+        ri: usize,
+        sent: SendOutcome,
+        line: &str,
+        read: impl Fn(&mut ShardConn) -> Result<T, ClientError>,
+        retry: &mut RetryState,
+    ) -> Result<(T, usize), GatherError> {
+        let range = map.range(ri);
+        let obs = self.obs.as_deref();
+        let first;
+        let mut stale_retry = false;
+        let mut last_detail;
+        match sent {
+            SendOutcome::Sent {
+                replica,
+                mut conn,
+                reused,
+            } => {
+                first = replica;
+                match read(&mut conn) {
+                    Ok(v) => {
+                        let rep = range.replica(replica);
+                        rep.pool().checkin(conn);
+                        if rep.mark_live() {
+                            self.publish_health(map);
+                        }
+                        return Ok((v, replica));
+                    }
+                    Err(ClientError::Server(msg)) => {
+                        return Err(GatherError::Query(format!(
+                            "shard {ri} replica {replica}: {msg}"
+                        )));
+                    }
+                    Err(e) => {
+                        last_detail = e.to_string();
+                        if reused {
+                            stale_retry = true;
+                        } else {
+                            self.convict(map, ri, replica);
+                        }
+                    }
+                }
+            }
+            SendOutcome::Failed {
+                replica,
+                detail,
+                stale,
+            } => {
+                first = replica;
+                last_detail = detail;
+                if stale {
+                    stale_retry = true;
+                } else {
+                    self.convict(map, ri, replica);
+                }
+            }
+        }
+        // Candidate order: the possibly-stale first replica gets one
+        // fresh-dial retry before conviction; then untried live siblings
+        // in replica order; then untried suspects (someone may have come
+        // back before the prober noticed).
+        let mut candidates: Vec<usize> = Vec::with_capacity(range.len() + 1);
+        if stale_retry {
+            candidates.push(first);
+        }
+        let (live, suspect): (Vec<usize>, Vec<usize>) = (0..range.len())
+            .filter(|&j| j != first)
+            .partition(|&j| range.replica(j).is_live());
+        candidates.extend(live);
+        candidates.extend(suspect);
+        let mut backoff = Backoff::new(self.backoff_base, self.backoff_cap, next_backoff_seed());
+        for cand in candidates {
+            if retry.budget == 0 {
+                return Err(GatherError::Unavailable(format!(
+                    "retry budget exhausted; last error: {last_detail}"
+                )));
+            }
+            retry.budget -= 1;
+            thread::sleep(backoff.next_delay());
+            if let Some(o) = obs {
+                o.note_retry();
+            }
+            let rep = range.replica(cand);
+            // Idle conns predate whatever broke — dial fresh.
+            rep.pool().clear();
+            match rep.pool().dial().and_then(|mut c| {
+                c.send_line(line)?;
+                Ok(c)
+            }) {
+                Err(e) => {
+                    last_detail = e.to_string();
+                    self.convict(map, ri, cand);
+                }
+                Ok(mut conn) => {
+                    if let Some(o) = obs {
+                        o.note_reconnect();
+                    }
+                    match read(&mut conn) {
+                        Ok(v) => {
+                            rep.pool().checkin(conn);
+                            if rep.mark_live() {
+                                self.publish_health(map);
+                            }
+                            if cand != first {
+                                if let Some(o) = obs {
+                                    o.note_failover();
+                                }
+                            }
+                            return Ok((v, cand));
+                        }
+                        Err(ClientError::Server(msg)) => {
+                            return Err(GatherError::Query(format!(
+                                "shard {ri} replica {cand}: {msg}"
+                            )));
+                        }
+                        Err(e) => {
+                            last_detail = e.to_string();
+                            self.convict(map, ri, cand);
+                        }
+                    }
+                }
+            }
+        }
+        Err(GatherError::Unavailable(format!(
+            "no live replica; last error: {last_detail}"
+        )))
+    }
+
     /// Scatters `forward` (a `RUN`/`QUERY` line already carrying
-    /// `mode=partial`) to every shard, gathers the partials in shard
-    /// order, merges them, and applies `order_by` — the merged result is
-    /// byte-identical to a single node running the same query.
+    /// `mode=partial`) to every range, gathers the partials in range
+    /// order (failing over inside each range as needed), merges them, and
+    /// applies `order_by` — the merged result is byte-identical to a
+    /// single node running the same query, whichever replicas answered.
     pub fn scatter_partial(
         &self,
         forward: &str,
@@ -220,7 +554,7 @@ impl Router {
 
     /// [`scatter_partial`](Self::scatter_partial) with request-scoped
     /// tracing: the gather wall time becomes a `scatter` span, each
-    /// shard's own span tree (carried back on the partial response) is
+    /// range's own span tree (carried back on the partial response) is
     /// grafted under it as `shard<i>`, and the merge gets its own span.
     /// Result bytes are identical with and without a trace.
     fn scatter_partial_traced(
@@ -231,26 +565,30 @@ impl Router {
     ) -> Result<(QueryResult, ExecStats, usize), RouterError> {
         let started = Instant::now();
         let obs = self.obs.as_deref();
-        // Scatter first: every shard has the request in flight before any
+        let map = self.shared.map.load();
+        let mut retry = RetryState {
+            budget: self.retry_budget,
+        };
+        // Scatter first: every range has the request in flight before any
         // response is read, so shards execute concurrently.
-        let in_flight: Vec<SendOutcome> = self
-            .shards
+        let in_flight: Vec<SendOutcome> = map
+            .ranges()
             .iter()
-            .map(|pool| send_request(pool, forward, obs))
+            .map(|range| self.send_to_range(range, forward))
             .collect();
-        // Gather in shard order (the deterministic merge order). Every
-        // in-flight response is consumed even after an earlier shard
+        // Gather in range order (the deterministic merge order). Every
+        // in-flight response is consumed even after an earlier range
         // failed, so surviving pooled connections stay synchronized.
         let mut query_err: Option<String> = None;
         let mut unavailable: Option<(usize, String)> = None;
-        let mut gathered: Vec<Gathered> = Vec::with_capacity(self.shards.len());
+        let mut gathered: Vec<(Gathered, usize)> = Vec::with_capacity(map.range_count());
         for (i, sent) in in_flight.into_iter().enumerate() {
-            match exchange(&self.shards[i], sent, forward, read_partial_response, obs) {
-                Ok(g) => {
+            match self.gather_range(map, i, sent, forward, read_partial_response, &mut retry) {
+                Ok((g, replica)) => {
                     if let Some(o) = obs {
                         o.record_rtt(i, elapsed_micros(started));
                     }
-                    gathered.push(g);
+                    gathered.push((g, replica));
                 }
                 Err(GatherError::Query(msg)) => {
                     if query_err.is_none() {
@@ -265,20 +603,20 @@ impl Router {
             }
         }
         // A query error is deterministic across the fleet (same spec, same
-        // replicated dims) — relay it even if some other shard was also
+        // replicated dims) — relay it even if some other range was also
         // down; a partial gather is *never* served as a complete answer.
         if let Some(msg) = query_err {
             return Err(RouterError::Query(msg));
         }
-        if let Some((shard, detail)) = unavailable {
-            return Err(RouterError::ShardUnavailable { shard, detail });
+        if let Some((range, detail)) = unavailable {
+            return Err(RouterError::RangeUnavailable { range, detail });
         }
         if let Some(t) = trace.as_deref_mut() {
             // The scatter span's wall time covers every gather, so each
             // grafted shard tree's root (the shard's request total, which
             // excludes the network) stays ≤ its parent.
             let scatter = t.add(t.root(), "scatter", elapsed_micros(started));
-            for (i, g) in gathered.iter().enumerate() {
+            for (i, (g, _)) in gathered.iter().enumerate() {
                 if !g.stats.spans.is_empty() {
                     // A malformed shard tree is dropped, never fatal —
                     // tracing must not fail a query that produced rows.
@@ -287,11 +625,18 @@ impl Router {
             }
         }
 
-        let workers = gathered.iter().map(|g| g.stats.workers).max().unwrap_or(1);
+        let workers = gathered
+            .iter()
+            .map(|(g, _)| g.stats.workers)
+            .max()
+            .unwrap_or(1);
         let mut stats = ExecStats::default();
-        for (i, g) in gathered.iter().enumerate() {
+        for (i, (g, replica)) in gathered.iter().enumerate() {
             stats.push(OpStats {
-                label: format!("gather: shard {i} @ {}", self.shards[i].addr()),
+                label: format!(
+                    "gather: shard {i} replica {replica} @ {}",
+                    map.range(i).replica(*replica).addr()
+                ),
                 out_keys: g.partial.group_count(),
                 out_tuples: g.partial.group_count(),
                 index_kind: "wire".to_string(),
@@ -300,10 +645,10 @@ impl Router {
             });
         }
         let merge_started = Instant::now();
-        let parts: Vec<PartialAggregate> = gathered.into_iter().map(|g| g.partial).collect();
+        let parts: Vec<PartialAggregate> = gathered.into_iter().map(|(g, _)| g.partial).collect();
         let merged = merge_partial_aggregates(parts)
             .map_err(|e| RouterError::Query(e.to_string()))?
-            .expect("at least one shard gathered");
+            .expect("at least one range gathered");
         let result = merged.into_result(order_by);
         let merge_micros = elapsed_micros(merge_started);
         if let Some(o) = obs {
@@ -316,34 +661,89 @@ impl Router {
         Ok((result, stats, workers))
     }
 
-    /// Sends a single-line-response command (`INFO`, `CACHE …`) to every
-    /// shard; returns the `OK` payloads in shard order.
-    fn fanout_status(&self, line: &str) -> Result<Vec<String>, RouterError> {
-        let obs = self.obs.as_deref();
-        let in_flight: Vec<SendOutcome> = self
-            .shards
+    /// Sends a single-line-response command (`INFO`, `CACHE STATS`) to
+    /// one replica of every range (failing over as needed); returns the
+    /// `OK` payloads plus the answering replica's ordinal, in range
+    /// order.
+    fn fanout_status(&self, line: &str) -> Result<Vec<(String, usize)>, RouterError> {
+        let map = self.shared.map.load();
+        let mut retry = RetryState {
+            budget: self.retry_budget,
+        };
+        let in_flight: Vec<SendOutcome> = map
+            .ranges()
             .iter()
-            .map(|pool| send_request(pool, line, obs))
+            .map(|range| self.send_to_range(range, line))
             .collect();
-        let mut payloads = Vec::with_capacity(self.shards.len());
+        let mut payloads = Vec::with_capacity(map.range_count());
         for (i, sent) in in_flight.into_iter().enumerate() {
             let read = |c: &mut ShardConn| c.read_status();
-            payloads.push(exchange(&self.shards[i], sent, line, read, obs).map_err(|e| e.at(i))?);
+            payloads.push(
+                self.gather_range(map, i, sent, line, read, &mut retry)
+                    .map_err(|e| e.at(i))?,
+            );
         }
         Ok(payloads)
     }
 
-    /// Fans `METRICS` out to every shard; returns `(shard id, exposition
-    /// text)` pairs in shard order, ready for
+    /// Sends a single-line-response command to **every replica** of every
+    /// range (`CACHE CLEAR` must not leave a sibling's cache stale).
+    /// Suspect or failing replicas are best-effort; the call errors only
+    /// when some range had **zero** successes.
+    fn broadcast_status(&self, line: &str) -> Result<(), RouterError> {
+        let map = self.shared.map.load();
+        for (ri, range) in map.ranges().iter().enumerate() {
+            let mut ok = false;
+            let mut last_detail = String::from("no replica reachable");
+            for (rj, rep) in range.replicas().iter().enumerate() {
+                // Always a fresh dial: broadcasts are rare, and a stale
+                // pooled conn must not fake a failure here.
+                let attempt = rep
+                    .pool()
+                    .dial()
+                    .map_err(ClientError::Io)
+                    .and_then(|mut c| {
+                        c.send_line(line).map_err(ClientError::Io)?;
+                        c.read_status()?;
+                        Ok(c)
+                    });
+                match attempt {
+                    Ok(conn) => {
+                        rep.pool().checkin(conn);
+                        ok = true;
+                    }
+                    Err(ClientError::Server(msg)) => {
+                        return Err(RouterError::Query(format!(
+                            "shard {ri} replica {rj}: {msg}"
+                        )));
+                    }
+                    Err(e) => last_detail = e.to_string(),
+                }
+            }
+            if !ok {
+                return Err(RouterError::RangeUnavailable {
+                    range: ri,
+                    detail: last_detail,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Fans `METRICS` out to one replica per range; returns `(range id,
+    /// exposition text)` pairs in range order, ready for
     /// [`merge_exposition`](qppt_obs::merge_exposition).
     fn fanout_metrics(&self) -> Result<Vec<(String, String)>, RouterError> {
-        let obs = self.obs.as_deref();
-        let in_flight: Vec<SendOutcome> = self
-            .shards
+        let map = self.shared.map.load();
+        let mut retry = RetryState {
+            budget: self.retry_budget,
+        };
+        let in_flight: Vec<SendOutcome> = map
+            .ranges()
             .iter()
-            .map(|pool| send_request(pool, "METRICS", obs))
+            .map(|range| self.send_to_range(range, "METRICS"))
             .collect();
-        let mut out = Vec::with_capacity(self.shards.len());
+        let mut out = Vec::with_capacity(map.range_count());
         for (i, sent) in in_flight.into_iter().enumerate() {
             let read = |c: &mut ShardConn| {
                 c.read_status()?;
@@ -352,14 +752,15 @@ impl Router {
                 text.push('\n');
                 Ok(text)
             };
-            let text =
-                exchange(&self.shards[i], sent, "METRICS", read, obs).map_err(|e| e.at(i))?;
+            let (text, _) = self
+                .gather_range(map, i, sent, "METRICS", read, &mut retry)
+                .map_err(|e| e.at(i))?;
             out.push((i.to_string(), text));
         }
         Ok(out)
     }
 
-    /// `METRICS` at the router: the merged fleet exposition — every shard
+    /// `METRICS` at the router: the merged fleet exposition — every range
     /// family re-labeled `shard="<i>"` plus summed `shard="fleet"`
     /// samples — followed by the router's own `qppt_router_*` families.
     fn handle_metrics(&self, w: &mut dyn Write) -> io::Result<()> {
@@ -382,22 +783,25 @@ impl Router {
         }
     }
 
-    /// Forwards a text-bodied command (`LIST`, `EXPLAIN`) to shard 0 and
-    /// relays the response. Plans and the query registry are identical on
-    /// every shard (same specs, same replicated dimension tables), so one
-    /// shard speaks for the fleet.
+    /// Forwards a text-bodied command (`LIST`, `EXPLAIN`) to range 0
+    /// (failing over among its replicas) and relays the response. Plans
+    /// and the query registry are identical on every shard (same specs,
+    /// same replicated dimension tables), so one range speaks for the
+    /// fleet.
     fn relay_text(&self, line: &str, w: &mut dyn Write) -> io::Result<()> {
-        let obs = self.obs.as_deref();
-        let pool = &self.shards[0];
-        let sent = send_request(pool, line, obs);
+        let map = self.shared.map.load();
+        let mut retry = RetryState {
+            budget: self.retry_budget,
+        };
+        let sent = self.send_to_range(map.range(0), line);
         let read = |c: &mut ShardConn| {
             let status = c.read_status()?;
             let body = read_text_body(c.reader())?;
             Ok((status, body))
         };
-        match exchange(pool, sent, line, read, obs) {
+        match self.gather_range(map, 0, sent, line, read, &mut retry) {
             Err(e) => writeln!(w, "ERR {}", e.at(0)),
-            Ok((status, body)) => {
+            Ok(((status, body), _)) => {
                 writeln!(w, "OK {status}")?;
                 for l in &body {
                     writeln!(w, "{l}")?;
@@ -407,12 +811,14 @@ impl Router {
         }
     }
 
-    /// `INFO` fan-out: fleet-level `shards=`/`rows=` (summed), the shared
-    /// descriptor fields from shard 0, the router's own
-    /// `uptime_secs=`/`build=` plus the fleet's
-    /// `uptime_min_secs=`/`uptime_max_secs=` spread, and the per-shard
-    /// map (`shard<i>=<addr> rows<i>=<n>`).
+    /// `INFO` fan-out: fleet-level `shards=`/`rows=` (summed) and replica
+    /// counts, the shared descriptor fields from range 0, the router's
+    /// own `uptime_secs=`/`build=` plus the fleet's
+    /// `uptime_min_secs=`/`uptime_max_secs=` spread, and the per-range
+    /// map (`shard<i>=<answering replica addr> rows<i>=<n>
+    /// replicas<i>=<size>`).
     fn handle_info(&self, w: &mut dyn Write) -> io::Result<()> {
+        let map = self.shared.map.load();
         match self.fanout_status("INFO") {
             Err(e) => writeln!(w, "ERR {e}"),
             Ok(lines) => {
@@ -424,23 +830,28 @@ impl Router {
                 };
                 let rows: Vec<u64> = lines
                     .iter()
-                    .map(|l| field(l, "rows").unwrap_or(0))
+                    .map(|(l, _)| field(l, "rows").unwrap_or(0))
                     .collect();
                 let uptimes: Vec<u64> = lines
                     .iter()
-                    .filter_map(|l| field(l, "uptime_secs"))
+                    .filter_map(|(l, _)| field(l, "uptime_secs"))
                     .collect();
                 write!(
                     w,
-                    "OK shards={} rows={}",
-                    self.shards.len(),
-                    rows.iter().sum::<u64>()
+                    "OK shards={} rows={} replicas={} replicas_live={}",
+                    map.range_count(),
+                    rows.iter().sum::<u64>(),
+                    map.total_replicas(),
+                    map.live_replicas(),
                 )?;
-                for kv in lines[0].split_whitespace() {
+                for kv in lines[0].0.split_whitespace() {
                     match kv.split_once('=') {
                         // Fleet-level, per-shard, or router-level fields
-                        // replace these shard-0 values.
-                        Some(("rows" | "shard" | "shards" | "uptime_secs" | "build", _)) => {}
+                        // replace these range-0 values.
+                        Some((
+                            "rows" | "shard" | "shards" | "replica" | "uptime_secs" | "build",
+                            _,
+                        )) => {}
                         Some(_) => write!(w, " {kv}")?,
                         None => {}
                     }
@@ -453,33 +864,46 @@ impl Router {
                     uptimes.iter().max().copied().unwrap_or(0),
                     Self::build(),
                 )?;
-                for (i, (pool, n)) in self.shards.iter().zip(&rows).enumerate() {
-                    write!(w, " shard{i}={} rows{i}={n}", pool.addr())?;
+                for (i, ((_, replica), n)) in lines.iter().zip(&rows).enumerate() {
+                    let range = map.range(i);
+                    write!(
+                        w,
+                        " shard{i}={} rows{i}={n} replicas{i}={}",
+                        range.replica(*replica).addr(),
+                        range.len(),
+                    )?;
                 }
                 writeln!(w)
             }
         }
     }
 
-    /// `CACHE` fan-out: `STATS` sums every per-tier counter across shards
-    /// (and appends `shards=N`); `CLEAR`/`CLEAR dims` clears everywhere.
+    /// `CACHE` fan-out: `STATS` sums every per-tier counter across one
+    /// replica per range (and appends `shards=N`); `CLEAR`/`CLEAR dims`
+    /// broadcasts to **every replica** of every range so no sibling keeps
+    /// a stale cache.
     fn handle_cache(&self, cmd: CacheCmd, w: &mut dyn Write) -> io::Result<()> {
         let line = match cmd {
             CacheCmd::Stats => "CACHE STATS",
             CacheCmd::Clear => "CACHE CLEAR",
             CacheCmd::ClearDims => "CACHE CLEAR dims",
         };
-        match self.fanout_status(line) {
-            Err(e) => writeln!(w, "ERR {e}"),
-            Ok(lines) => match cmd {
-                CacheCmd::Clear => writeln!(w, "OK cleared"),
-                CacheCmd::ClearDims => writeln!(w, "OK cleared dims"),
-                CacheCmd::Stats => {
-                    // Sum counters key-wise, keeping shard 0's field order
+        match cmd {
+            CacheCmd::Clear | CacheCmd::ClearDims => match self.broadcast_status(line) {
+                Err(e) => writeln!(w, "ERR {e}"),
+                Ok(()) => match cmd {
+                    CacheCmd::ClearDims => writeln!(w, "OK cleared dims"),
+                    _ => writeln!(w, "OK cleared"),
+                },
+            },
+            CacheCmd::Stats => match self.fanout_status(line) {
+                Err(e) => writeln!(w, "ERR {e}"),
+                Ok(lines) => {
+                    // Sum counters key-wise, keeping range 0's field order
                     // so the line shape matches a single node's.
                     let mut keys: Vec<&str> = Vec::new();
                     let mut sums: BTreeMap<&str, u64> = BTreeMap::new();
-                    for l in &lines {
+                    for (l, _) in &lines {
                         for kv in l.split_whitespace() {
                             if let Some((k, v)) = kv.split_once('=') {
                                 if !sums.contains_key(k) {
@@ -493,7 +917,7 @@ impl Router {
                     for k in keys {
                         write!(w, " {k}={}", sums[k])?;
                     }
-                    writeln!(w, " shards={}", self.shards.len())
+                    writeln!(w, " shards={}", self.shard_count())
                 }
             },
         }
@@ -560,14 +984,83 @@ impl Router {
         obs.note_slow();
         eprintln!(
             "slow-query verb={verb} outcome=\"routed\" micros={micros} shards={}",
-            self.shards.len()
+            self.shard_count()
         );
     }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        if let Some(h) = self.prober.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The background health prober: scans the current map every
+/// `probe_interval` for suspect replicas whose next probe is due, `PING`s
+/// them over a fresh dial, and flips them back live on success — recovery
+/// without waiting for organic traffic. Failures push the replica's next
+/// probe out on its capped backoff schedule.
+fn prober_loop(shared: &Shared) {
+    let tick = Duration::from_millis(20).min(shared.probe_interval);
+    let mut since_scan = Duration::ZERO;
+    while !shared.stop.load(Ordering::Acquire) {
+        thread::sleep(tick);
+        since_scan += tick;
+        if since_scan < shared.probe_interval {
+            continue;
+        }
+        since_scan = Duration::ZERO;
+        let map = shared.map.load();
+        let now = map.now_micros();
+        for range in map.ranges() {
+            for rep in range.replicas() {
+                if rep.is_live() || !rep.probe_due(now) {
+                    continue;
+                }
+                match probe_replica(rep) {
+                    Ok(conn) => {
+                        rep.pool().checkin(conn);
+                        if rep.mark_live() {
+                            if let Some(o) = shared.obs.get() {
+                                o.note_probe_recovery();
+                                o.set_replicas_live(map.live_replicas());
+                            }
+                        }
+                    }
+                    Err(_) => rep.probe_failed(
+                        map.now_micros(),
+                        shared.probe_interval,
+                        shared.probe_backoff_cap,
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// One health probe: fresh dial + `PING` + status. Returns the connection
+/// (synchronized — `PING` has a one-line response) for check-in.
+fn probe_replica(rep: &Replica) -> Result<ShardConn, String> {
+    let mut c = rep.pool().dial().map_err(|e| e.to_string())?;
+    c.send_line("PING").map_err(|e| e.to_string())?;
+    c.read_status().map_err(|e| e.to_string())?;
+    Ok(c)
 }
 
 /// Process-wide source of router-picked trace ids (`trace=on` from a
 /// client). Monotonic, never reused within a process.
 static TRACE_SEQ: AtomicU64 = AtomicU64::new(1);
+
+/// Process-wide source of failover-backoff jitter seeds — each request's
+/// schedule draws distinct jitter without consulting the wall clock.
+static BACKOFF_SEED: AtomicU64 = AtomicU64::new(0x9e3779b97f4a7c15);
+
+fn next_backoff_seed() -> u64 {
+    BACKOFF_SEED.fetch_add(0x9e3779b97f4a7c15, Ordering::Relaxed)
+}
 
 /// Creates the request [`Trace`] demanded by the client's `trace=` option
 /// (a client-pinned numeric id is honored verbatim, `on` draws a fresh
@@ -704,97 +1197,6 @@ pub fn serve_router_with(
     config: ServerConfig,
 ) -> io::Result<ServerHandle> {
     serve_lines(router, addr, config)
-}
-
-/// Scatter-phase send: a pooled connection if possible, else the one
-/// bounded retry on a fresh dial (idle conns are cleared first — they date
-/// from before whatever broke). `obs` counts the retry attempt and, when
-/// the fresh dial lands, the reconnect.
-fn send_request(pool: &ShardPool, line: &str, obs: Option<&RouterObs>) -> SendOutcome {
-    let first = pool
-        .checkout()
-        .and_then(|mut c| c.send_line(line).map(|()| c));
-    match first {
-        Ok(conn) => SendOutcome::Sent {
-            conn,
-            retried: false,
-        },
-        Err(_) => {
-            if let Some(o) = obs {
-                o.note_retry();
-            }
-            pool.clear();
-            match pool.dial().and_then(|mut c| c.send_line(line).map(|()| c)) {
-                Ok(conn) => {
-                    if let Some(o) = obs {
-                        o.note_reconnect();
-                    }
-                    SendOutcome::Sent {
-                        conn,
-                        retried: true,
-                    }
-                }
-                Err(e) => SendOutcome::Failed(e.to_string()),
-            }
-        }
-    }
-}
-
-/// Gather-phase read with the retry budget: a transport/protocol failure
-/// on a not-yet-retried shard gets one fresh dial + resend + reread (the
-/// request is an idempotent read). A shard `ERR` is a clean, complete
-/// exchange — the connection is checked back in and the error surfaces as
-/// [`GatherError::Query`].
-fn exchange<T>(
-    pool: &ShardPool,
-    sent: SendOutcome,
-    line: &str,
-    read: impl Fn(&mut ShardConn) -> Result<T, ClientError>,
-    obs: Option<&RouterObs>,
-) -> Result<T, GatherError> {
-    let (mut conn, retried) = match sent {
-        SendOutcome::Sent { conn, retried } => (conn, retried),
-        SendOutcome::Failed(detail) => return Err(GatherError::Unavailable(detail)),
-    };
-    match read(&mut conn) {
-        Ok(v) => {
-            pool.checkin(conn);
-            Ok(v)
-        }
-        Err(ClientError::Server(msg)) => {
-            pool.checkin(conn);
-            Err(GatherError::Query(msg))
-        }
-        Err(e) => {
-            if retried {
-                return Err(GatherError::Unavailable(e.to_string()));
-            }
-            if let Some(o) = obs {
-                o.note_retry();
-            }
-            pool.clear();
-            let fresh = pool.dial().and_then(|mut c| c.send_line(line).map(|()| c));
-            match fresh {
-                Err(e2) => Err(GatherError::Unavailable(e2.to_string())),
-                Ok(mut c2) => {
-                    if let Some(o) = obs {
-                        o.note_reconnect();
-                    }
-                    match read(&mut c2) {
-                        Ok(v) => {
-                            pool.checkin(c2);
-                            Ok(v)
-                        }
-                        Err(ClientError::Server(msg)) => {
-                            pool.checkin(c2);
-                            Err(GatherError::Query(msg))
-                        }
-                        Err(e2) => Err(GatherError::Unavailable(e2.to_string())),
-                    }
-                }
-            }
-        }
-    }
 }
 
 /// Reads one complete `PARTIAL` response off a shard connection.

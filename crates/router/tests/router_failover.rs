@@ -1,0 +1,258 @@
+//! Replica failover end to end, driven by the chaos proxy: all 13 SSB
+//! queries stay byte-identical to the single-node oracle while replicas
+//! are killed before, during, and between requests — and the
+//! `qppt_router_failovers_total` / `qppt_router_replicas_live` metrics
+//! match the injected fault script exactly.
+//!
+//! Topology: 2 ranges × 2 replicas. Each range is one shard engine served
+//! on one listener, with **two** chaos proxies in front of it — the two
+//! proxy addresses are the range's replica set, so killing a "replica"
+//! is killing its proxy while the data stays identical by construction
+//! (which is exactly the property real replicas have: same `--shard i/n`,
+//! same data).
+//!
+//! Script:
+//! 1. baseline — fleet healthy, 13/13 byte-identical, 0 failovers, 4 live;
+//! 2. kill the range-0 primary **between requests** — the next query
+//!    fails over to the sibling (1 failover, 3 live), the rest of the
+//!    sweep prefers the sibling with no further failovers;
+//! 3. revive; the prober flips the replica back (4 live) without traffic;
+//! 4. kill **during a response** (truncated `P` lines) — one failover,
+//!    bytes still identical;
+//! 5. flap the range-1 primary (kill → failover → revive → probe
+//!    recovery);
+//! 6. whole-range outage — one bounded structured `ERR range 0
+//!    unavailable` in < 2 × (connect_timeout + read_timeout), the client
+//!    connection survives, and the failover counter does **not** move.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use qppt_core::{prepare_indexes, PlanOptions, QpptEngine};
+use qppt_obs::parse_exposition;
+use qppt_par::WorkerPool;
+use qppt_router::{serve_router, ChaosMode, ChaosProxy, Router, RouterConfig, RouterObs};
+use qppt_server::{serve, ClientError, QpptClient, ServeEngine};
+use qppt_ssb::{queries, SsbDb};
+use qppt_storage::QueryResult;
+
+const SF: f64 = 0.005;
+const SEED: u64 = 42;
+const RANGES: usize = 2;
+const REPLICAS: usize = 2;
+
+fn router_metric(router: &Router, name: &str) -> i64 {
+    let obs = router.obs().expect("obs attached");
+    parse_exposition(&obs.render())
+        .expect("router exposition parses")
+        .value(name, &[])
+        .expect("metric present")
+}
+
+fn failovers(router: &Router) -> i64 {
+    router_metric(router, "qppt_router_failovers_total")
+}
+
+fn replicas_live(router: &Router) -> i64 {
+    router_metric(router, "qppt_router_replicas_live")
+}
+
+/// Polls until the live gauge reaches `want` (the prober runs on its own
+/// schedule).
+fn wait_live(router: &Router, want: i64, timeout: Duration) {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let live = replicas_live(router);
+        if live == want {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "replicas_live stuck at {live}, want {want}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Runs queries `ids` through the router and asserts byte-identity to the
+/// oracle for each.
+fn sweep(client: &mut QpptClient, oracle: &[(String, QueryResult)], ids: &[&str], phase: &str) {
+    for id in ids {
+        let expected = &oracle
+            .iter()
+            .find(|(q, _)| q == id)
+            .expect("oracle has query")
+            .1;
+        let served = client
+            .run(id, &[])
+            .unwrap_or_else(|e| panic!("{phase}: {id} failed: {e:?}"));
+        assert_eq!(&served.result, expected, "{phase}: {id} byte-identity");
+    }
+}
+
+#[test]
+fn failover_keeps_all_queries_byte_identical_with_exact_metrics() {
+    let pool = WorkerPool::new(2, 8);
+    let defaults = PlanOptions::default()
+        .with_parallelism(2)
+        .with_par_index_build(true);
+
+    // One engine per range, each fronted by two chaos proxies = two
+    // replicas serving identical data.
+    let shards: Vec<_> = (0..RANGES)
+        .map(|i| {
+            let engine = Arc::new(
+                ServeEngine::with_ssb_shard(SF, SEED, pool.clone(), defaults, i, RANGES)
+                    .expect("shard engine builds"),
+            );
+            serve(engine, "127.0.0.1:0").expect("shard binds")
+        })
+        .collect();
+    let proxies: Vec<Vec<Arc<ChaosProxy>>> = shards
+        .iter()
+        .map(|h| {
+            (0..REPLICAS)
+                .map(|_| ChaosProxy::start(h.addr().to_string()).expect("proxy binds"))
+                .collect()
+        })
+        .collect();
+    let fleet: Vec<Vec<String>> = proxies
+        .iter()
+        .map(|range| range.iter().map(|p| p.addr()).collect())
+        .collect();
+
+    let connect_timeout = Duration::from_secs(2);
+    let read_timeout = Duration::from_secs(5);
+    let mut config = RouterConfig::with_fleet(fleet);
+    config.connect_timeout = connect_timeout;
+    config.read_timeout = read_timeout;
+    config.retry_budget = 4;
+    config.retry_backoff = Duration::from_millis(5);
+    config.retry_backoff_cap = Duration::from_millis(50);
+    config.probe_interval = Duration::from_millis(50);
+    config.probe_backoff_cap = Duration::from_millis(200);
+    let router = Arc::new(Router::new(config).with_obs(RouterObs::new(RANGES, None)));
+    router
+        .wait_for_shards(Duration::from_secs(60))
+        .expect("fleet answers PING through the proxies");
+    let rh = serve_router(router.clone(), "127.0.0.1:0").expect("router binds");
+
+    // The single-node oracle: same data, no sharding, no replication.
+    let opts = PlanOptions::default();
+    let mut ssb = SsbDb::generate(SF, SEED);
+    for q in queries::all_queries() {
+        prepare_indexes(&mut ssb.db, &q, &opts).expect("indexes build");
+    }
+    let engine = QpptEngine::new(&ssb.db);
+    let oracle: Vec<(String, QueryResult)> = queries::all_queries()
+        .into_iter()
+        .map(|q| {
+            let expected = engine.run(&q, &opts).expect("oracle runs");
+            (q.id.to_string(), expected)
+        })
+        .collect();
+    let all_ids: Vec<&str> = oracle.iter().map(|(id, _)| id.as_str()).collect();
+
+    let mut client = QpptClient::connect(rh.addr()).expect("connect router");
+
+    // 1. Baseline: healthy fleet, no failovers, everything live.
+    sweep(&mut client, &oracle, &all_ids, "baseline");
+    assert_eq!(failovers(&router), 0, "baseline failovers");
+    assert_eq!(replicas_live(&router), 4, "baseline live");
+
+    // 2. Kill the range-0 primary between requests. The first query of
+    // the sweep fails over to the sibling (exactly one failover); the
+    // remaining queries prefer the live sibling directly.
+    proxies[0][0].kill();
+    sweep(&mut client, &oracle, &all_ids, "primary killed");
+    assert_eq!(failovers(&router), 1, "kill-primary failovers");
+    assert_eq!(replicas_live(&router), 3, "kill-primary live");
+
+    // 3. Revive: the prober flips the replica back without any traffic.
+    proxies[0][0].revive().expect("revive primary");
+    wait_live(&router, 4, Duration::from_secs(10));
+    assert!(
+        router_metric(&router, "qppt_router_probe_recoveries_total") >= 1,
+        "recovery came from the prober"
+    );
+
+    // 4. Kill during the response: the primary truncates after 3 lines
+    // (status + header + one `P` row), so the router sees a mid-body
+    // death and fails over — bytes still identical, exactly one more
+    // failover. One-query scenario: Pass is restored before the rest of
+    // the sweep so the counter stays exact.
+    proxies[0][0].set_mode(ChaosMode::Truncate(3));
+    sweep(
+        &mut client,
+        &oracle,
+        &all_ids[..1],
+        "truncated mid-response",
+    );
+    assert_eq!(failovers(&router), 2, "truncate failovers");
+    proxies[0][0].set_mode(ChaosMode::Pass);
+    wait_live(&router, 4, Duration::from_secs(10));
+    sweep(&mut client, &oracle, &all_ids[1..], "after truncate");
+    assert_eq!(failovers(&router), 2, "sweep after truncate is clean");
+
+    // 5. Flap the range-1 primary: kill (one failover), revive (probe
+    // recovery), then a clean sweep.
+    proxies[1][0].kill();
+    sweep(
+        &mut client,
+        &oracle,
+        &all_ids[..1],
+        "range-1 primary killed",
+    );
+    assert_eq!(failovers(&router), 3, "flap failovers");
+    assert_eq!(replicas_live(&router), 3, "flap live");
+    proxies[1][0].revive().expect("revive range-1 primary");
+    wait_live(&router, 4, Duration::from_secs(10));
+    sweep(&mut client, &oracle, &all_ids, "after flap");
+    assert_eq!(failovers(&router), 3, "sweep after flap is clean");
+
+    // 6. Whole-range outage: both range-0 replicas die. The client gets
+    // one bounded structured error — never a hang, never a partial-as-
+    // complete — the connection survives, and no failover is recorded
+    // (nothing succeeded).
+    proxies[0][0].kill();
+    proxies[0][1].kill();
+    let t0 = Instant::now();
+    match client.run(all_ids[0], &[]) {
+        Err(ClientError::Server(msg)) => {
+            assert!(
+                msg.contains("range 0 unavailable"),
+                "want structured range error, got: {msg}"
+            );
+        }
+        other => panic!("want ERR range 0 unavailable, got {other:?}"),
+    }
+    assert!(
+        t0.elapsed() < 2 * (connect_timeout + read_timeout),
+        "whole-range outage must error within the bound, took {:?}",
+        t0.elapsed()
+    );
+    assert_eq!(failovers(&router), 3, "an outage is not a failover");
+    assert_eq!(replicas_live(&router), 2, "outage live");
+    client
+        .ping()
+        .expect("router connection survives the outage");
+
+    // Revive the range and finish with a full byte-identical sweep.
+    proxies[0][0].revive().expect("revive replica 0");
+    proxies[0][1].revive().expect("revive replica 1");
+    wait_live(&router, 4, Duration::from_secs(10));
+    sweep(&mut client, &oracle, &all_ids, "after outage");
+    assert_eq!(failovers(&router), 3, "final failover count");
+
+    client.quit().expect("clean quit");
+    rh.stop();
+    for range in &proxies {
+        for p in range {
+            p.kill();
+        }
+    }
+    for h in shards {
+        h.stop();
+    }
+    pool.shutdown();
+}

@@ -1,10 +1,16 @@
 //! Failure behavior of the router, end to end over real TCP:
 //!
-//! * killing a shard turns the next query into a structured
-//!   `ERR shard <i> unavailable (…)` — the router connection keeps
-//!   serving, and the surviving shard is unaffected;
+//! * killing a single-replica range turns the next query into a
+//!   structured `ERR range <i> unavailable (…)` — the router connection
+//!   keeps serving, and the surviving range is unaffected;
 //! * restarting the shard at the same address heals the fleet on the very
 //!   next request (fresh dial after the pooled connections were dropped);
+//! * a slow shard (accept-then-hang, injected via the chaos proxy) trips
+//!   the read-timeout bound — the error lands within
+//!   `2 × (connect_timeout + read_timeout)`, never a hang;
+//! * injected garbage (`ERR` plus trailing junk) is relayed with its
+//!   `shard <i> replica <j>:` origin and the poisoned connection is
+//!   dropped, never re-pooled;
 //! * malformed and oversized request lines at the router get the same
 //!   drain-and-`ERR` treatment as on a shard — never a dead connection.
 
@@ -14,8 +20,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use qppt_core::{prepare_indexes, PlanOptions, QpptEngine};
+use qppt_obs::parse_exposition;
 use qppt_par::WorkerPool;
-use qppt_router::{serve_router, Router, RouterConfig};
+use qppt_router::{serve_router, ChaosMode, ChaosProxy, Router, RouterConfig, RouterObs};
 use qppt_server::{serve, ClientError, QpptClient, ServeEngine};
 use qppt_ssb::{queries, SsbDb};
 
@@ -66,19 +73,20 @@ fn shard_death_is_structured_and_restart_heals() {
     assert_eq!(served.result, expected, "baseline merged answer");
 
     // Kill shard 1. The router still holds pooled connections to it, so
-    // the next scatter exercises the stale-conn path: read fails, the one
-    // reconnect retry dials a dead address, and the client gets the
-    // structured error — bounded, never a hang, never a partial answer.
+    // the next scatter exercises the stale-conn path: read fails, the
+    // same-replica fresh retry dials a dead address, the replica is
+    // convicted, and — the range having no sibling — the client gets the
+    // structured error: bounded, never a hang, never a partial answer.
     shard1.stop();
     let t0 = Instant::now();
     match client.run("q2.3", &[]) {
         Err(ClientError::Server(msg)) => {
             assert!(
-                msg.contains("shard 1 unavailable"),
-                "want structured shard error, got: {msg}"
+                msg.contains("range 1 unavailable"),
+                "want structured range error, got: {msg}"
             );
         }
-        other => panic!("want ERR shard 1 unavailable, got {other:?}"),
+        other => panic!("want ERR range 1 unavailable, got {other:?}"),
     }
     assert!(
         t0.elapsed() < Duration::from_secs(20),
@@ -115,6 +123,112 @@ fn shard_death_is_structured_and_restart_heals() {
     rh.stop();
     shard0.stop();
     shard1.stop();
+    pool.shutdown();
+}
+
+/// Slow-shard and garbage injection through the chaos proxy: the
+/// read-timeout bound actually fires (within `2 × (connect_timeout +
+/// read_timeout)` even with the same-replica stale retry), relayed shard
+/// `ERR`s carry their `shard <i> replica <j>:` origin, and a connection
+/// that answered `ERR` with trailing junk is dropped — the next request
+/// runs clean with zero retries.
+#[test]
+fn slow_shard_times_out_and_garbage_is_localized_not_repooled() {
+    let pool = WorkerPool::new(2, 8);
+    let defaults = PlanOptions::default()
+        .with_parallelism(2)
+        .with_par_index_build(true);
+    let engine = Arc::new(
+        ServeEngine::with_ssb_shard(SF, SEED, pool.clone(), defaults, 0, 1)
+            .expect("shard engine builds"),
+    );
+    let shard = serve(engine, "127.0.0.1:0").expect("shard binds");
+    let proxy = ChaosProxy::start(shard.addr().to_string()).expect("proxy binds");
+
+    let connect_timeout = Duration::from_secs(1);
+    let read_timeout = Duration::from_secs(2);
+    let mut config = RouterConfig::new(vec![proxy.addr()]);
+    config.connect_timeout = connect_timeout;
+    config.read_timeout = read_timeout;
+    config.retry_backoff = Duration::from_millis(5);
+    config.retry_backoff_cap = Duration::from_millis(50);
+    config.probe_interval = Duration::from_millis(50);
+    config.probe_backoff_cap = Duration::from_millis(200);
+    let router = Arc::new(Router::new(config).with_obs(RouterObs::new(1, None)));
+    router
+        .wait_for_shards(Duration::from_secs(30))
+        .expect("shard answers PING through the proxy");
+    let rh = serve_router(router.clone(), "127.0.0.1:0").expect("router binds");
+    let metric = |name: &str| -> i64 {
+        let obs = router.obs().expect("obs attached");
+        parse_exposition(&obs.render())
+            .expect("router exposition parses")
+            .value(name, &[])
+            .expect("metric present")
+    };
+
+    let mut client = QpptClient::connect(rh.addr()).expect("connect router");
+    let baseline = client.run("q2.3", &[]).expect("baseline through proxy");
+
+    // Garbage: the shard "answers" ERR plus trailing junk. The error is
+    // relayed with its replica origin; the desynchronized connection must
+    // be dropped, so the next request is clean without spending retries.
+    proxy.set_mode(ChaosMode::Garbage(vec![
+        "ERR chaos garbage".to_string(),
+        "trailing junk the router must never re-pool".to_string(),
+    ]));
+    match client.run("q2.3", &[]) {
+        Err(ClientError::Server(msg)) => {
+            assert!(
+                msg.contains("shard 0 replica 0:") && msg.contains("chaos garbage"),
+                "want localized relayed ERR, got: {msg}"
+            );
+        }
+        other => panic!("want relayed chaos ERR, got {other:?}"),
+    }
+    proxy.set_mode(ChaosMode::Pass);
+    let served = client.run("q2.3", &[]).expect("clean after garbage");
+    assert_eq!(served.result, baseline.result, "bytes unchanged");
+    assert_eq!(
+        metric("qppt_router_retries_total"),
+        0,
+        "a dropped (never re-pooled) conn costs no retry on the next request"
+    );
+
+    // Slow shard: accept-then-hang. The read timeout must fire — once on
+    // the pooled conn, once on the same-replica fresh retry — and the
+    // structured error must land within 2 × (connect + read).
+    proxy.set_mode(ChaosMode::Hang);
+    let t0 = Instant::now();
+    match client.run("q2.3", &[]) {
+        Err(ClientError::Server(msg)) => {
+            assert!(
+                msg.contains("range 0 unavailable"),
+                "want structured range error, got: {msg}"
+            );
+        }
+        other => panic!("want ERR range 0 unavailable, got {other:?}"),
+    }
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed >= read_timeout,
+        "the read timeout must actually fire, error came in {elapsed:?}"
+    );
+    assert!(
+        elapsed < 2 * (connect_timeout + read_timeout),
+        "slow-shard error must be bounded, took {elapsed:?}"
+    );
+    assert!(metric("qppt_router_retries_total") >= 1, "retry was spent");
+
+    // Back to passing: the suspect replica heals (organically or via the
+    // prober) and serves identical bytes again.
+    proxy.set_mode(ChaosMode::Pass);
+    let served = client.run("q2.3", &[]).expect("healed after hang");
+    assert_eq!(served.result, baseline.result, "bytes unchanged after heal");
+
+    client.quit().expect("clean quit");
+    rh.stop();
+    shard.stop();
     pool.shutdown();
 }
 

@@ -24,6 +24,13 @@
 //! rows whose `lo_orderdate` falls in `shard_bounds(i, n)` (dimension
 //! tables are replicated in full), and `INFO` reports `shard=i/n`. All
 //! shards must share `--sf` and `--seed`.
+//!
+//! Replication: `--replica j` stamps this server as replica *j* of its
+//! shard's replica set (default 0). Replicas are full peers serving the
+//! identical fact partition — the same `--shard i/n`, `--sf`, and
+//! `--seed` — so the ordinal is purely descriptive: `INFO` reports
+//! `replica=j` and the router uses it to localize relayed errors. Health
+//! probes (`PING`) stay O(1) regardless of replica count.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -68,6 +75,7 @@ fn main() {
     let cache_ttl_secs: f64 = arg(&args, "--cache-ttl-secs", 0.0);
     let shard_spec: String = arg(&args, "--shard", "0/1".to_string());
     let (shard, shards) = parse_shard(&shard_spec);
+    let replica: usize = arg(&args, "--replica", 0);
     let no_obs = args.iter().any(|a| a == "--no-obs");
     let slow_query_micros: u64 = arg(&args, "--slow-query-micros", 0);
 
@@ -118,7 +126,8 @@ fn main() {
         seed,
         cache_config,
     )
-    .with_shard_info(shard, shards);
+    .with_shard_info(shard, shards)
+    .with_replica_info(replica);
     if let Some(obs) = obs {
         engine = engine.with_obs(obs);
     }

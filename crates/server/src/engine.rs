@@ -77,6 +77,11 @@ pub struct ServeInfo {
     pub shard: usize,
     /// Total shard count of the deployment (1 for an unsharded server).
     pub shards: usize,
+    /// Replica ordinal within the shard's replica set (0 for the primary
+    /// or an unreplicated deployment). Replicas of one shard serve the
+    /// identical fact partition; the ordinal only localizes errors and
+    /// `INFO` output.
+    pub replica: usize,
 }
 
 /// The shared query-service engine (see module docs). Wrap it in an
@@ -135,6 +140,14 @@ impl ServeEngine {
     pub fn with_shard_info(mut self, shard: usize, shards: usize) -> Self {
         self.info.shard = shard;
         self.info.shards = shards;
+        self
+    }
+
+    /// Stamps the replica ordinal reported by `INFO` (builder-style) —
+    /// `--replica <j>` on the binary. Purely descriptive: replicas serve
+    /// identical data.
+    pub fn with_replica_info(mut self, replica: usize) -> Self {
+        self.info.replica = replica;
         self
     }
 
@@ -208,6 +221,7 @@ impl ServeEngine {
                 .unwrap_or(0),
             shard: 0,
             shards: 1,
+            replica: 0,
         };
         Self {
             engine: PooledEngine::new(db, pool),

@@ -441,7 +441,7 @@ impl EngineService {
                 writeln!(
                     w,
                     "OK sf={} seed={} pool_threads={} admission={} cores={} rows={} \
-                     shard={}/{} queries={} uptime_secs={} build={}",
+                     shard={}/{} replica={} queries={} uptime_secs={} build={}",
                     i.sf,
                     i.seed,
                     i.pool_threads,
@@ -450,6 +450,7 @@ impl EngineService {
                     i.rows,
                     i.shard,
                     i.shards,
+                    i.replica,
                     engine.query_names().len(),
                     engine.uptime_secs(),
                     ServeEngine::build(),
