@@ -1,0 +1,317 @@
+//! Columnar row batches for the vectorized execution paths.
+//!
+//! A [`RowBatch`] is a fixed-capacity column-major staging area for the
+//! stage-1/stage-N inner loops of the pipeline: one `Vec<u64>` lane per
+//! work-layout slot plus a key lane, and a selection vector of surviving
+//! row ordinals. The batched scan paths *gather* a block of payload rows
+//! into the lanes row-major — each (possibly random) source row is
+//! touched exactly once, and only the columns the block's predicates
+//! read are materialized — then run each compiled predicate
+//! lane-at-a-time compacting the selection vector instead of branching
+//! per row, and late-materialize the survivors (re-reading their source
+//! row, by then cache-resident) when emitting into the join buffer.
+//!
+//! Batches never change result bytes — the batched paths visit the same
+//! tuples in the same order as the scalar loops, so the `batch_exec` knob
+//! is excluded from the cache fingerprints entirely (see
+//! `fingerprint_opts`).
+
+use qppt_storage::CompiledPred;
+
+/// A fixed-capacity column-major block of rows: `width` value lanes plus a
+/// key lane, and a selection vector of live row ordinals.
+#[derive(Debug)]
+pub struct RowBatch {
+    width: usize,
+    cap: usize,
+    len: usize,
+    keys: Vec<u64>,
+    lanes: Vec<Vec<u64>>,
+    sel: Vec<u32>,
+}
+
+impl RowBatch {
+    /// A batch of `width` lanes holding up to `cap` rows (`cap >= 1`;
+    /// `cap = 1` is the degenerate row-at-a-time batch).
+    pub fn new(width: usize, cap: usize) -> Self {
+        let cap = cap.max(1);
+        Self {
+            width,
+            cap,
+            len: 0,
+            keys: Vec::with_capacity(cap),
+            lanes: (0..width).map(|_| Vec::with_capacity(cap)).collect(),
+            sel: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Lanes per row (the work-layout width; the key lane is extra).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Row capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Rows currently staged (filled, not necessarily selected).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no rows are staged.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `true` when the batch holds `capacity()` rows.
+    pub fn is_full(&self) -> bool {
+        self.len >= self.cap
+    }
+
+    /// Clears every lane, the key lane, and the selection vector.
+    pub fn reset(&mut self) {
+        self.len = 0;
+        self.keys.clear();
+        self.sel.clear();
+        for lane in &mut self.lanes {
+            lane.clear();
+        }
+    }
+
+    /// The key lane, for direct bulk fills during a gather.
+    pub fn keys_mut(&mut self) -> &mut Vec<u64> {
+        &mut self.keys
+    }
+
+    /// Value lane `i`, for direct bulk fills during a gather.
+    pub fn lane_mut(&mut self, i: usize) -> &mut Vec<u64> {
+        &mut self.lanes[i]
+    }
+
+    /// Pre-sizes the lanes in `cols` to `n` zeroed slots — and clears all
+    /// the others — then hands the lanes back for a row-major gather: the
+    /// caller walks each source row once and scatters the listed columns
+    /// with indexed stores (the `resize` memset is a vectorized streaming
+    /// store — cheaper than per-push length bookkeeping). Lanes outside
+    /// `cols` stay empty: a late-materializing gather fills only the
+    /// columns its predicates read, and survivors re-read their source
+    /// row on emit. Call [`seal`](Self::seal) with the same `n` after.
+    pub fn lanes_filled(&mut self, n: usize, cols: &[usize]) -> &mut [Vec<u64>] {
+        for lane in &mut self.lanes {
+            lane.clear();
+        }
+        for &c in cols {
+            self.lanes[c].resize(n, 0);
+        }
+        &mut self.lanes
+    }
+
+    /// The key lane.
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
+    }
+
+    /// Value lane `i`.
+    pub fn lane(&self, i: usize) -> &[u64] {
+        &self.lanes[i]
+    }
+
+    /// The selection vector: ordinals of rows still live, ascending.
+    pub fn sel(&self) -> &[u32] {
+        &self.sel
+    }
+
+    /// Ends a gather: asserts every *gathered* lane was filled to `n`
+    /// rows and resets the selection vector to all of them. The key lane
+    /// and any value lane may instead be left empty (a sparse gather
+    /// fills only the columns its predicates read); reading an ungathered
+    /// lane or key is the caller's bug.
+    pub fn seal(&mut self, n: usize) {
+        debug_assert!(n <= self.cap, "sealed past capacity");
+        debug_assert!(
+            self.keys.is_empty() || self.keys.len() == n,
+            "key lane length mismatch"
+        );
+        for (i, lane) in self.lanes.iter().enumerate() {
+            debug_assert!(
+                lane.is_empty() || lane.len() == n,
+                "lane {i} length mismatch"
+            );
+            let _ = lane;
+        }
+        self.len = n;
+        self.sel.clear();
+        self.sel.extend(0..n as u32);
+    }
+
+    /// Compacts the selection vector with an arbitrary per-row predicate
+    /// (`keep` receives the row ordinal). Lanes are untouched — filtering
+    /// is selection-vector-only, the vectorized replacement for the scalar
+    /// per-row branch.
+    pub fn filter(&mut self, mut keep: impl FnMut(usize) -> bool) {
+        self.sel.retain(|&r| keep(r as usize));
+    }
+
+    /// Compacts the selection vector with one compiled predicate evaluated
+    /// lane-at-a-time: the predicate's column accessor reads this batch's
+    /// lanes directly.
+    pub fn filter_pred(&mut self, pred: &CompiledPred) {
+        let lanes = &self.lanes;
+        self.sel.retain(|&r| pred.matches(|c| lanes[c][r as usize]));
+    }
+
+    /// The key of row `r`.
+    #[inline]
+    pub fn key(&self, r: usize) -> u64 {
+        self.keys[r]
+    }
+
+    /// Transposes row `r` back into row-major form (`out.len() >= width`;
+    /// slots past `width` are left untouched).
+    #[inline]
+    pub fn read_row(&self, r: usize, out: &mut [u64]) {
+        for (i, lane) in self.lanes.iter().enumerate() {
+            out[i] = lane[r];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fills `n` rows where lane `i` of row `r` holds `r * 10 + i` and the
+    /// key is `r`.
+    fn filled(width: usize, cap: usize, n: usize) -> RowBatch {
+        let mut b = RowBatch::new(width, cap);
+        for r in 0..n {
+            b.keys_mut().push(r as u64);
+        }
+        for i in 0..width {
+            for r in 0..n {
+                b.lane_mut(i).push((r * 10 + i) as u64);
+            }
+        }
+        b.seal(n);
+        b
+    }
+
+    #[test]
+    fn lane_fill_and_seal_select_everything() {
+        let b = filled(3, 8, 5);
+        assert_eq!(b.width(), 3);
+        assert_eq!(b.capacity(), 8);
+        assert_eq!(b.len(), 5);
+        assert!(!b.is_empty() && !b.is_full());
+        assert_eq!(b.sel(), &[0, 1, 2, 3, 4]);
+        assert_eq!(b.keys(), &[0, 1, 2, 3, 4]);
+        assert_eq!(b.lane(1), &[1, 11, 21, 31, 41]);
+        let mut row = vec![0u64; 3];
+        b.read_row(3, &mut row);
+        assert_eq!(row, vec![30, 31, 32]);
+        assert_eq!(b.key(3), 3);
+    }
+
+    #[test]
+    fn fill_to_capacity_boundary_and_reset() {
+        let mut b = filled(2, 4, 4);
+        assert!(b.is_full());
+        assert_eq!(b.sel().len(), 4);
+        b.reset();
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.sel(), &[] as &[u32]);
+        assert_eq!(b.keys(), &[] as &[u64]);
+        assert_eq!(b.lane(0), &[] as &[u64]);
+        // Refill after reset: lanes start clean.
+        b.keys_mut().push(9);
+        b.lane_mut(0).push(90);
+        b.lane_mut(1).push(91);
+        b.seal(1);
+        assert_eq!(b.sel(), &[0]);
+        assert_eq!(b.key(0), 9);
+    }
+
+    #[test]
+    fn selection_vector_compaction_chains() {
+        let mut b = filled(2, 8, 8);
+        // Generic filter: keep even ordinals.
+        b.filter(|r| r % 2 == 0);
+        assert_eq!(b.sel(), &[0, 2, 4, 6]);
+        // Lane-at-a-time compiled predicate: lane 0 holds r*10, keep
+        // 20..=45 → rows 2 and 4 survive.
+        b.filter_pred(&CompiledPred::Range {
+            col: 0,
+            lo: 20,
+            hi: 45,
+        });
+        assert_eq!(b.sel(), &[2, 4]);
+        // Never kills everything; lanes are untouched throughout.
+        b.filter_pred(&CompiledPred::Never);
+        assert_eq!(b.sel(), &[] as &[u32]);
+        assert_eq!(b.len(), 8);
+        assert_eq!(b.lane(0).len(), 8);
+    }
+
+    #[test]
+    fn sparse_gather_fills_only_predicate_lanes() {
+        let mut b = RowBatch::new(4, 8);
+        // Only columns 1 and 3 are predicate lanes this block.
+        let lanes = b.lanes_filled(6, &[1, 3]);
+        for (r, slot) in lanes[1].iter_mut().enumerate() {
+            *slot = (r * 10 + 1) as u64;
+        }
+        lanes[3].copy_from_slice(&[3, 13, 23, 33, 43, 53]);
+        // Key lane and ungathered lanes stay empty; seal accepts that.
+        b.seal(6);
+        assert_eq!(b.len(), 6);
+        assert_eq!(b.sel(), &[0, 1, 2, 3, 4, 5]);
+        assert_eq!(b.keys(), &[] as &[u64]);
+        assert_eq!(b.lane(0), &[] as &[u64]);
+        assert_eq!(b.lane(2), &[] as &[u64]);
+        assert_eq!(b.lane(3), &[3, 13, 23, 33, 43, 53]);
+        // Predicates over the gathered lanes still filter normally.
+        b.filter_pred(&CompiledPred::Range {
+            col: 1,
+            lo: 11,
+            hi: 41,
+        });
+        assert_eq!(b.sel(), &[1, 2, 3, 4]);
+        // A sparse block can be re-gathered densely afterwards.
+        let lanes = b.lanes_filled(2, &[0, 1, 2, 3]);
+        for lane in lanes.iter_mut() {
+            lane[0] = 7;
+            lane[1] = 8;
+        }
+        b.keys_mut().extend_from_slice(&[70, 80]);
+        b.seal(2);
+        assert_eq!(b.key(1), 80);
+        let mut row = vec![0u64; 4];
+        b.read_row(0, &mut row);
+        assert_eq!(row, vec![7, 7, 7, 7]);
+    }
+
+    #[test]
+    fn capacity_one_degenerate_batch() {
+        let mut b = RowBatch::new(1, 1);
+        assert_eq!(b.capacity(), 1);
+        for round in 0..3u64 {
+            b.reset();
+            b.keys_mut().push(round);
+            b.lane_mut(0).push(round * 7);
+            b.seal(1);
+            assert!(b.is_full());
+            assert_eq!(b.sel(), &[0]);
+            b.filter(|_| round % 2 == 0);
+            assert_eq!(b.sel().is_empty(), round % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let b = RowBatch::new(2, 0);
+        assert_eq!(b.capacity(), 1);
+    }
+}

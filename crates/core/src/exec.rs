@@ -27,12 +27,13 @@ use std::time::Instant;
 
 use qppt_storage::{
     sync_scan_indexes, sync_scan_indexes_range, BaseIndex, CompiledPred, Database, MvccTable,
-    QueryResult, ResultRow, Snapshot, StorageError, TreeIndex, Value,
+    PayloadBuf, QueryResult, ResultRow, Snapshot, StorageError, TreeIndex, Value,
 };
 
+use crate::batch::RowBatch;
 use crate::inter::{AggTable, InterTable};
 use crate::layout::{Layout, Src};
-use crate::options::PlanOptions;
+use crate::options::{BatchMode, PlanOptions};
 use crate::plan::{DimHandleKind, JoinStage, MainInput, Plan, ResolvedDim, StageOutput};
 use crate::stats::{ExecStats, OpStats};
 use crate::QpptError;
@@ -247,8 +248,16 @@ pub fn new_agg_table(plan: &Plan) -> AggTable {
 /// (see [`FusedSelection`]); with `None`, a `SelectProbe` stage scans the
 /// selection itself.
 ///
+/// `batch` selects between the scalar row-at-a-time inner loops and the
+/// columnar [`RowBatch`] paths. It is an **execution** parameter, not a
+/// plan property: batch knobs are excluded from the cache fingerprints, so
+/// a cached plan may carry stale `batch_*` options — callers derive the
+/// mode from the *request's* options. Both modes visit the same tuples in
+/// the same order and produce byte-identical aggregates.
+///
 /// Returns the per-operator statistics of this partition, in operator order
 /// (fact selection first if present, then one entry per stage).
+#[allow(clippy::too_many_arguments)]
 pub fn run_pipeline(
     db: &Database,
     snap: Snapshot,
@@ -256,6 +265,7 @@ pub fn run_pipeline(
     dim_tables: &[Option<Arc<DimSelection>>],
     range: Option<KeyRange>,
     fused: Option<&FusedSelection>,
+    batch: BatchMode,
     agg: &mut AggTable,
 ) -> Result<Vec<OpStats>, QpptError> {
     let mut stats: Vec<OpStats> = Vec::new();
@@ -278,21 +288,70 @@ pub fn run_pipeline(
         let max_key = if cs.min > cs.max { 0 } else { cs.max };
         let index = TreeIndex::for_domain(max_key, plan.opts.prefer_kiss);
         let mut out = InterTable::new(&plan.dims[0].fact_col_name, plan.fact_layout.clone(), index);
-        let mut row = vec![0u64; plan.fact_layout.width()];
+        let width = plan.fact_layout.width();
+        let mut row = vec![0u64; width];
         let check_vis = !fact_mvt.fully_visible(snap);
-        let mut visit = |key: u64, pid: u32| {
-            let payload = fact_base.data.payload.row(pid);
-            if check_vis && !fact_mvt.visible(payload[0] as u32, snap) {
-                return;
+        if batch.enabled {
+            // Vectorized fact selection: buffer a block of (key, pid)
+            // pairs from the range scan, gather the predicate lanes
+            // row-major, then run visibility and every predicate over the
+            // selection vector instead of branching per row. Survivors
+            // late-materialize — they re-read their payload row and are
+            // inserted in scan order, so the output index is
+            // byte-identical to the scalar loop's.
+            let payload = &fact_base.data.payload;
+            let cols = pred_cols(&fs.preds);
+            let mut rb = RowBatch::new(width, batch.rows);
+            let mut cands: Vec<Cand> = Vec::with_capacity(batch.rows);
+            let mut flush = |cands: &mut Vec<Cand>| {
+                if cands.is_empty() {
+                    return;
+                }
+                gather_pred_block(&mut rb, &fact_field_map, cands, payload, &cols);
+                if check_vis {
+                    rb.filter(|r| fact_mvt.visible(payload.row(cands[r].pid)[0] as u32, snap));
+                }
+                for p in &fs.preds {
+                    rb.filter_pred(p);
+                }
+                for i in 0..rb.sel().len() {
+                    let c = cands[rb.sel()[i] as usize];
+                    fill_from_base(&fact_field_map, c.key, payload.row(c.pid), &mut row);
+                    out.insert(c.key, &row);
+                }
+                cands.clear();
+            };
+            let mut visit = |key: u64, pid: u32| {
+                cands.push(Cand {
+                    key,
+                    pid,
+                    group: 0,
+                    count: 0,
+                });
+                if cands.len() >= batch.rows {
+                    flush(&mut cands);
+                }
+            };
+            match range {
+                None => fact_base.data.index.for_each(&mut visit),
+                Some(r) => fact_base.data.index.range_each(r.lo, r.hi, &mut visit),
             }
-            fill_from_base(&fact_field_map, key, payload, &mut row);
-            if fs.preds.iter().all(|p| p.matches(|c| row[c])) {
-                out.insert(key, &row);
+            flush(&mut cands);
+        } else {
+            let mut visit = |key: u64, pid: u32| {
+                let payload = fact_base.data.payload.row(pid);
+                if check_vis && !fact_mvt.visible(payload[0] as u32, snap) {
+                    return;
+                }
+                fill_from_base(&fact_field_map, key, payload, &mut row);
+                if fs.preds.iter().all(|p| p.matches(|c| row[c])) {
+                    out.insert(key, &row);
+                }
+            };
+            match range {
+                None => fact_base.data.index.for_each(&mut visit),
+                Some(r) => fact_base.data.index.range_each(r.lo, r.hi, &mut visit),
             }
-        };
-        match range {
-            None => fact_base.data.index.for_each(&mut visit),
-            Some(r) => fact_base.data.index.range_each(r.lo, r.hi, &mut visit),
         }
         stats.push(OpStats {
             label: format!("σ(fact residuals) → idx on {}", plan.dims[0].fact_col_name),
@@ -363,6 +422,7 @@ pub fn run_pipeline(
             rows: 0,
             width,
             cap: plan.opts.join_buffer,
+            batch,
         };
         match stage.main {
             MainInput::SyncScan { main } => {
@@ -491,8 +551,12 @@ pub fn execute_agg(
     }
 
     // 2–3. Fact selection + join stages into the aggregating index.
+    // Fresh plans carry the request's batch knobs, so deriving the batch
+    // mode from the plan is correct here (cached plans go through
+    // `PreparedQuery`, which threads the request's mode explicitly).
     let mut agg = new_agg_table(plan);
-    for op in run_pipeline(db, snap, plan, &dim_tables, None, None, &mut agg)? {
+    let batch = plan.opts.batch_mode();
+    for op in run_pipeline(db, snap, plan, &dim_tables, None, None, batch, &mut agg)? {
         stats.push(op);
     }
     stats.total_micros = started.elapsed().as_micros();
@@ -579,6 +643,65 @@ fn fill_from_base(map: &[FieldSrc], key: u64, payload: &[u64], out: &mut [u64]) 
             FieldSrc::Payload(p) => payload[*p],
         };
     }
+}
+
+/// One buffered candidate of a batched scan or probe, awaiting a block
+/// flush: the join key, the fact payload row to gather, and the tuple
+/// group of carried dim values it crosses with (`group` is the first
+/// tuple's ordinal in the carried buffer, `count` the number of tuples —
+/// a probe hit always crosses with exactly the selection tuple that
+/// probed it, `count = 1`).
+#[derive(Clone, Copy)]
+struct Cand {
+    key: u64,
+    pid: u32,
+    group: u32,
+    count: u32,
+}
+
+/// The distinct layout columns a predicate set reads — the only lanes a
+/// late-materializing gather has to fill before the block is filtered.
+fn pred_cols(preds: &[CompiledPred]) -> Vec<usize> {
+    let mut cols: Vec<usize> = preds
+        .iter()
+        .filter_map(|p| match p {
+            CompiledPred::Range { col, .. } | CompiledPred::InSet { col, .. } => Some(*col),
+            CompiledPred::Never => None,
+        })
+        .collect();
+    cols.sort_unstable();
+    cols.dedup();
+    cols
+}
+
+/// The late-materializing gather: fills only the lanes in `cols` (the
+/// columns the block's predicates read), leaving the rest zeroed. The walk
+/// is **row-major** — the source payload is row-major and (for probes) the
+/// pids land randomly in a fact table far bigger than cache, so touching
+/// each source row exactly once costs one random access per row; a
+/// lane-at-a-time gather would re-fetch every row once per lane. Survivors
+/// re-read their payload row when they are emitted, so lanes no predicate
+/// looks at are never worth gathering block-wide.
+fn gather_pred_block(
+    batch: &mut RowBatch,
+    map: &[FieldSrc],
+    cands: &[Cand],
+    payload: &PayloadBuf,
+    cols: &[usize],
+) {
+    batch.reset();
+    let n = cands.len();
+    let lanes = batch.lanes_filled(n, cols);
+    for (r, c) in cands.iter().enumerate() {
+        let row = payload.row(c.pid);
+        for &i in cols {
+            lanes[i][r] = match map[i] {
+                FieldSrc::Key => c.key,
+                FieldSrc::Payload(p) => row[p],
+            };
+        }
+    }
+    batch.seal(n);
 }
 
 /// Runtime access to a dimension's tuples during a join.
@@ -687,6 +810,7 @@ struct StageRun<'a, 'p, 'g> {
     rows: usize,
     width: usize,
     cap: usize,
+    batch: BatchMode,
 }
 
 impl<'a, 'p, 'g> StageRun<'a, 'p, 'g> {
@@ -746,6 +870,51 @@ impl<'a, 'p, 'g> StageRun<'a, 'p, 'g> {
                 *m &= *f;
             }
         }
+        if self.batch.enabled && matches!(self.sink, StageSink::Agg(_)) {
+            // Batch-grouped aggregate update: pack the group key and
+            // evaluate the aggregate deltas for the whole surviving block
+            // first, then accumulate run-length-wise — range scans emit
+            // sorted keys, so consecutive survivors usually share a group
+            // and collapse into a single index probe. Sums are commutative,
+            // so the aggregate is byte-identical to per-row merging.
+            let naggs = self.plan.aggs.len().max(1);
+            let mut packed: Vec<u64> = Vec::with_capacity(n);
+            let mut block: Vec<i64> = Vec::with_capacity(n * naggs);
+            for (r, &keep) in matched.iter().enumerate() {
+                if !keep {
+                    continue;
+                }
+                let row = &self.buffer[r * width..(r + 1) * width];
+                packed.push(self.plan.group_key.pack(row));
+                for a in &self.plan.aggs {
+                    block.push(a.eval(row));
+                }
+                if self.plan.aggs.is_empty() {
+                    block.push(0);
+                }
+            }
+            let StageSink::Agg(agg) = &mut self.sink else {
+                unreachable!("checked above");
+            };
+            let mut acc = vec![0i64; naggs];
+            let mut i = 0usize;
+            while i < packed.len() {
+                let key = packed[i];
+                acc.copy_from_slice(&block[i * naggs..(i + 1) * naggs]);
+                let mut j = i + 1;
+                while j < packed.len() && packed[j] == key {
+                    for (a, d) in acc.iter_mut().zip(&block[j * naggs..(j + 1) * naggs]) {
+                        *a += *d;
+                    }
+                    j += 1;
+                }
+                agg.merge(key, &acc);
+                i = j;
+            }
+            self.buffer.clear();
+            self.rows = 0;
+            return;
+        }
         let mut out_row: Vec<u64> = Vec::with_capacity(self.stage.output_projection.len());
         let mut deltas: Vec<i64> = vec![0i64; self.plan.aggs.len().max(1)];
         for (r, &keep) in matched.iter().enumerate() {
@@ -783,6 +952,9 @@ impl<'a, 'p, 'g> StageRun<'a, 'p, 'g> {
         dim_acc: &DimAccess<'_>,
         range: Option<KeyRange>,
     ) {
+        if self.batch.enabled {
+            return self.sync_scan_base_batched(fact_base, fact_mvt, field_map, dim_acc, range);
+        }
         let input_width = self.stage.input_layout.width();
         let stride = self.main_fill_pos.len();
         let snap = self.snap;
@@ -826,6 +998,151 @@ impl<'a, 'p, 'g> StageRun<'a, 'p, 'g> {
                 sync_scan_indexes_range(&fact_base.data.index, dim_acc.index(), r.lo, r.hi, visit)
             }
         }
+    }
+
+    /// Vectorized stage-1 synchronous scan: the scan yields `(key, fid)`
+    /// candidates that are buffered up to `batch.rows`, then gathered
+    /// lane-wise, filtered (visibility + residual predicates) over the
+    /// selection vector, and cross-joined with their dimension tuple groups
+    /// in scan order — the same tuple sequence as the scalar loop.
+    fn sync_scan_base_batched(
+        &mut self,
+        fact_base: &BaseIndex,
+        fact_mvt: &MvccTable,
+        field_map: &[FieldSrc],
+        dim_acc: &DimAccess<'_>,
+        range: Option<KeyRange>,
+    ) {
+        let input_width = self.stage.input_layout.width();
+        let stride = self.main_fill_pos.len();
+        let snap = self.snap;
+        let check_vis = !fact_mvt.fully_visible(snap);
+        let rows = self.batch.rows;
+        let mut rb = RowBatch::new(input_width, rows);
+        // Per candidate: its dim-tuple group as (first tuple ordinal, tuple
+        // count) into `dim_arena`. Groups stay valid across a flush (fact
+        // rows of one key can straddle batch boundaries), so the arena is
+        // only recycled between keys when no candidate references it.
+        let mut cands: Vec<Cand> = Vec::with_capacity(rows);
+        let mut dim_arena: Vec<u64> = Vec::new();
+        let mut tuples: u32 = 0;
+        let cols = pred_cols(&self.stage.residuals);
+        let mut scratch = vec![0u64; input_width];
+        let visit =
+            |key: u64, fids: &mut dyn Iterator<Item = u32>, dids: &mut dyn Iterator<Item = u32>| {
+                if cands.is_empty() {
+                    dim_arena.clear();
+                    tuples = 0;
+                }
+                let gstart = tuples;
+                let mut count = 0u32;
+                for did in dids {
+                    if dim_acc.fetch(did, snap, &mut dim_arena) {
+                        count += 1;
+                    }
+                }
+                if count == 0 {
+                    dim_arena.truncate(gstart as usize * stride);
+                    return;
+                }
+                tuples += count;
+                for fid in fids {
+                    cands.push(Cand {
+                        key,
+                        pid: fid,
+                        group: gstart,
+                        count,
+                    });
+                    if cands.len() >= rows {
+                        self.flush_block(
+                            &mut rb,
+                            field_map,
+                            &mut cands,
+                            &dim_arena,
+                            &fact_base.data.payload,
+                            fact_mvt,
+                            check_vis,
+                            stride,
+                            &cols,
+                            &mut scratch,
+                        );
+                    }
+                }
+            };
+        match range {
+            None => sync_scan_indexes(&fact_base.data.index, dim_acc.index(), visit),
+            Some(r) => {
+                sync_scan_indexes_range(&fact_base.data.index, dim_acc.index(), r.lo, r.hi, visit)
+            }
+        }
+        self.flush_block(
+            &mut rb,
+            field_map,
+            &mut cands,
+            &dim_arena,
+            &fact_base.data.payload,
+            fact_mvt,
+            check_vis,
+            stride,
+            &cols,
+            &mut scratch,
+        );
+    }
+
+    /// Flushes one block of buffered scan or probe candidates: a row-major
+    /// gather of the predicate lanes, selection-vector filtering, then
+    /// `emit_cross` of each late-materialized survivor with its group of
+    /// carried dim tuples (`carried` is the buffer the candidates'
+    /// `group`/`count` fields index into).
+    ///
+    /// A block nothing filters — no residual predicates, fully visible
+    /// snapshot — skips the batch entirely and emits every candidate
+    /// directly: there is no selection to vectorize, and the batched win
+    /// downstream (the run-length grouped aggregate merge in
+    /// [`flush`](Self::flush)) applies either way.
+    #[allow(clippy::too_many_arguments)]
+    fn flush_block(
+        &mut self,
+        rb: &mut RowBatch,
+        field_map: &[FieldSrc],
+        cands: &mut Vec<Cand>,
+        carried: &[u64],
+        payload: &PayloadBuf,
+        fact_mvt: &MvccTable,
+        check_vis: bool,
+        stride: usize,
+        cols: &[usize],
+        scratch: &mut [u64],
+    ) {
+        if cands.is_empty() {
+            return;
+        }
+        if self.stage.residuals.is_empty() && !check_vis {
+            for &c in cands.iter() {
+                fill_from_base(field_map, c.key, payload.row(c.pid), scratch);
+                let s = c.group as usize * stride;
+                let e = s + c.count as usize * stride;
+                self.emit_cross(scratch, &carried[s..e], stride, c.count as usize);
+            }
+            cands.clear();
+            return;
+        }
+        gather_pred_block(rb, field_map, cands, payload, cols);
+        if check_vis {
+            let snap = self.snap;
+            rb.filter(|r| fact_mvt.visible(payload.row(cands[r].pid)[0] as u32, snap));
+        }
+        for p in &self.stage.residuals {
+            rb.filter_pred(p);
+        }
+        for i in 0..rb.sel().len() {
+            let c = cands[rb.sel()[i] as usize];
+            fill_from_base(field_map, c.key, payload.row(c.pid), scratch);
+            let s = c.group as usize * stride;
+            let e = s + c.count as usize * stride;
+            self.emit_cross(scratch, &carried[s..e], stride, c.count as usize);
+        }
+        cands.clear();
     }
 
     /// Stage-k synchronous scan: previous intermediate × main dim index.
@@ -903,8 +1220,61 @@ impl<'a, 'p, 'g> StageRun<'a, 'p, 'g> {
                 })?;
             }
         }
-        let mut input_row: Vec<u64> = vec![0u64; input_width];
         let check_vis = !fact_mvt.fully_visible(snap);
+        if self.batch.enabled {
+            // Vectorized probe: the batched fact-index lookups yield
+            // (selection ordinal, fact pid) hits that are buffered up to
+            // `batch.rows`, gathered row-major, filtered over the selection
+            // vector, and emitted with their carried dim values in hit
+            // order — the same order the scalar callback processes them.
+            let rows = self.batch.rows;
+            let mut rb = RowBatch::new(input_width, rows);
+            let mut cands: Vec<Cand> = Vec::with_capacity(rows);
+            let cols = pred_cols(&self.stage.residuals);
+            let mut scratch = vec![0u64; input_width];
+            let mut start = 0usize;
+            while start < probe_keys.len() {
+                let end = (start + cap).min(probe_keys.len());
+                let keys = &probe_keys[start..end];
+                fact_base.data.index.batch_get_each(keys, |job, pid| {
+                    cands.push(Cand {
+                        key: keys[job],
+                        pid,
+                        group: (start + job) as u32,
+                        count: 1,
+                    });
+                    if cands.len() >= rows {
+                        self.flush_block(
+                            &mut rb,
+                            field_map,
+                            &mut cands,
+                            &probe_carried,
+                            &fact_base.data.payload,
+                            fact_mvt,
+                            check_vis,
+                            stride,
+                            &cols,
+                            &mut scratch,
+                        );
+                    }
+                });
+                start = end;
+            }
+            self.flush_block(
+                &mut rb,
+                field_map,
+                &mut cands,
+                &probe_carried,
+                &fact_base.data.payload,
+                fact_mvt,
+                check_vis,
+                stride,
+                &cols,
+                &mut scratch,
+            );
+            return Ok(());
+        }
+        let mut input_row: Vec<u64> = vec![0u64; input_width];
         let mut start = 0usize;
         while start < probe_keys.len() {
             let end = (start + cap).min(probe_keys.len());

@@ -161,10 +161,13 @@ pub fn fingerprint_spec(spec: &QuerySpec) -> u64 {
     h.finish()
 }
 
-/// Fingerprints plan options — every knob, including the parallel ones.
-/// Parallelism knobs never change result *bytes* (the engines' equivalence
-/// contract), but they do change plans and statistics, so cache entries are
-/// kept distinct per option set.
+/// Fingerprints plan options — every knob *except* the vectorized batch
+/// pair. Parallelism knobs never change result *bytes* (the engines'
+/// equivalence contract), but they do change plans and statistics, so cache
+/// entries are kept distinct per option set. `batch_exec`/`batch_rows`
+/// change neither bytes nor the plan — only how the inner loops walk it —
+/// so they are deliberately **excluded**: a batched execution shares cached
+/// plans, σ materializations, and results with scalar ones byte-for-byte.
 pub fn fingerprint_opts(opts: &PlanOptions) -> u64 {
     let mut h = Fnv64::new();
     h.write_u64(opts.select_join as u64)
@@ -331,5 +334,29 @@ mod tests {
         // And the combined query key separates spec and opts changes.
         let q0 = fingerprint_query(&spec(), &base);
         assert_ne!(q0, fingerprint_query(&spec(), &variants[0]));
+    }
+
+    #[test]
+    fn batch_knobs_never_touch_the_fingerprints() {
+        // Byte-identity is the batch contract: a batched execution must
+        // share cached plans, σ, and results with a scalar one, so neither
+        // batch knob may perturb any fingerprint.
+        let base = PlanOptions::default();
+        let batched = [
+            base.with_batch_exec(true),
+            base.with_batch_rows(64),
+            base.with_batch_exec(true).with_batch_rows(1),
+        ];
+        for v in &batched {
+            assert_eq!(
+                fingerprint_opts(&base),
+                fingerprint_opts(v),
+                "batch knob leaked into fingerprint_opts: {v:?}"
+            );
+            assert_eq!(
+                fingerprint_query(&spec(), &base),
+                fingerprint_query(&spec(), v)
+            );
+        }
     }
 }

@@ -37,6 +37,7 @@
 //! assert!(stats.ops.len() >= 2); // selections + composed joins
 //! ```
 
+pub mod batch;
 pub mod engine;
 pub mod exec;
 pub mod fingerprint;
@@ -49,12 +50,13 @@ pub mod prepared;
 pub mod stats;
 pub mod validate;
 
+pub use batch::RowBatch;
 pub use engine::QpptEngine;
 pub use exec::{DimSelection, KeyRange};
 pub use fingerprint::{
     fingerprint_dim, fingerprint_opts, fingerprint_query, fingerprint_spec, Fnv64,
 };
-pub use options::PlanOptions;
+pub use options::{BatchMode, PlanOptions};
 pub use partial::{PartialAggregate, PartialRow};
 pub use plan::{build_plan, planned_indexes, prepare_indexes, Plan, PlannedIndexes};
 pub use prepared::PreparedQuery;

@@ -70,6 +70,49 @@ pub struct PlanOptions {
     /// [`prepare_indexes`](crate::plan::prepare_indexes) ignores the switch
     /// entirely (it has no pool).
     pub par_index_build: bool,
+    /// Vectorized batch execution: run the stage-1/stage-N inner loops of
+    /// the pipeline over columnar [`RowBatch`](crate::batch::RowBatch)es
+    /// (lane-wise payload gathers, selection-vector predicate filtering,
+    /// run-length-grouped aggregate merges) instead of one row at a time.
+    /// Off by default. Results are byte-identical either way — batched and
+    /// scalar executions share cached σ materializations and results, so
+    /// this knob is deliberately **excluded** from the cache fingerprints.
+    pub batch_exec: bool,
+    /// Row capacity of each columnar batch when [`batch_exec`]
+    /// (Self::batch_exec) is on. `1` is the degenerate row-at-a-time batch
+    /// (useful for shaking out boundary bugs); must be `>= 1`. Like
+    /// `batch_exec`, never part of the cache fingerprints.
+    pub batch_rows: usize,
+}
+
+/// The execution-time batch switch derived from [`PlanOptions`] via
+/// [`PlanOptions::batch_mode`].
+///
+/// Batch knobs are excluded from the cache fingerprints (byte-identity lets
+/// scalar and batched executions share cached plans, σ, and results), so a
+/// cached `Plan`'s embedded `opts` may carry a *stale* batch setting — the
+/// one the cold request used. Execution entry points therefore take the
+/// request's `BatchMode` explicitly instead of reading `plan.opts`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchMode {
+    /// Whether the vectorized batch paths run.
+    pub enabled: bool,
+    /// Batch capacity in rows (`>= 1`; meaningless when disabled).
+    pub rows: usize,
+}
+
+impl BatchMode {
+    /// Scalar row-at-a-time execution (the default).
+    pub const SCALAR: BatchMode = BatchMode {
+        enabled: false,
+        rows: 1,
+    };
+}
+
+impl Default for BatchMode {
+    fn default() -> Self {
+        Self::SCALAR
+    }
 }
 
 impl Default for PlanOptions {
@@ -87,6 +130,8 @@ impl Default for PlanOptions {
             par_scans: true,
             par_joins: true,
             par_index_build: false,
+            batch_exec: false,
+            batch_rows: 1024,
         }
     }
 }
@@ -117,7 +162,22 @@ impl PlanOptions {
                 "morsel_bits must be in 1..=16".into(),
             ));
         }
+        if self.batch_rows == 0 {
+            return Err(crate::QpptError::InvalidOptions(
+                "batch_rows must be >= 1".into(),
+            ));
+        }
         Ok(())
+    }
+
+    /// The execution-time [`BatchMode`] these options request. See the
+    /// `BatchMode` docs for why executions thread this explicitly instead
+    /// of reading a (possibly cached, possibly stale) `plan.opts`.
+    pub fn batch_mode(&self) -> BatchMode {
+        BatchMode {
+            enabled: self.batch_exec,
+            rows: self.batch_rows.max(1),
+        }
     }
 
     /// Builder-style setter.
@@ -182,6 +242,18 @@ impl PlanOptions {
         self.par_index_build = on;
         self
     }
+
+    /// Builder-style setter for vectorized batch execution.
+    pub fn with_batch_exec(mut self, on: bool) -> Self {
+        self.batch_exec = on;
+        self
+    }
+
+    /// Builder-style setter for the batch row capacity.
+    pub fn with_batch_rows(mut self, rows: usize) -> Self {
+        self.batch_rows = rows;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -201,6 +273,12 @@ mod tests {
         assert_eq!(o.morsel_bits, 6);
         assert!(o.par_selections && o.par_scans && o.par_joins);
         assert!(!o.par_index_build);
+        assert!(!o.batch_exec);
+        assert_eq!(o.batch_rows, 1024);
+        let mode = o.batch_mode();
+        assert!(!mode.enabled);
+        assert_eq!(mode.rows, 1024);
+        assert_eq!(BatchMode::default(), BatchMode::SCALAR);
         assert!(o.validate().is_ok());
     }
 
@@ -227,8 +305,17 @@ mod tests {
             .validate()
             .is_err());
         assert!(PlanOptions::default()
+            .with_batch_rows(0)
+            .validate()
+            .is_err());
+        assert!(PlanOptions::default()
             .with_parallelism(8)
             .with_morsel_bits(16)
+            .validate()
+            .is_ok());
+        assert!(PlanOptions::default()
+            .with_batch_exec(true)
+            .with_batch_rows(1)
             .validate()
             .is_ok());
     }
@@ -245,8 +332,15 @@ mod tests {
             .with_parallelism(4)
             .with_morsel_bits(8)
             .with_par_ops(false, true, false)
-            .with_par_index_build(true);
+            .with_par_index_build(true)
+            .with_batch_exec(true)
+            .with_batch_rows(64);
         assert!(o.par_index_build);
+        assert!(o.batch_exec);
+        assert_eq!(o.batch_rows, 64);
+        let mode = o.batch_mode();
+        assert!(mode.enabled);
+        assert_eq!(mode.rows, 64);
         assert!(!o.select_join);
         assert!(o.multidim_selections);
         assert_eq!(o.join_buffer, 64);

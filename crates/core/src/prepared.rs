@@ -118,9 +118,16 @@ impl PreparedQuery {
     /// selection-predicate evaluation (the fused stream replays). Results
     /// are byte-identical to [`QpptEngine::run`](crate::QpptEngine::run)
     /// under the coherence contract (module docs).
+    ///
+    /// The batch mode is derived from the plan's own options — correct
+    /// when the prepared query was built for this request. Serving paths
+    /// that reuse *cached* prepared queries (whose plan may carry stale
+    /// batch knobs, since batch knobs are excluded from the fingerprints)
+    /// call [`execute_sequential_agg`](Self::execute_sequential_agg) with
+    /// the request's mode instead.
     pub fn execute_sequential(&self, db: &Database) -> Result<(QueryResult, ExecStats), QpptError> {
         let started = Instant::now();
-        let (agg, mut stats) = self.execute_sequential_agg(db)?;
+        let (agg, mut stats) = self.execute_sequential_agg(db, self.plan.opts.batch_mode())?;
         let result = decode_result(db, &self.plan, &agg);
         stats.total_micros = started.elapsed().as_micros();
         Ok((result, stats))
@@ -129,9 +136,13 @@ impl PreparedQuery {
     /// Like [`execute_sequential`](Self::execute_sequential), but stops at
     /// the merged aggregation index — the shard-side entry point for
     /// partial-aggregate serving, where decode happens at the router.
+    /// `batch` is the *request's* execution mode (see
+    /// [`run_pipeline`]'s contract on cached plans); scalar and batched
+    /// runs produce byte-identical aggregates.
     pub fn execute_sequential_agg(
         &self,
         db: &Database,
+        batch: crate::options::BatchMode,
     ) -> Result<(crate::inter::AggTable, ExecStats), QpptError> {
         let started = Instant::now();
         let mut stats = ExecStats {
@@ -146,6 +157,7 @@ impl PreparedQuery {
             &self.dims,
             None,
             self.fused.as_ref().as_ref(),
+            batch,
             &mut agg,
         )?;
         for op in ops {

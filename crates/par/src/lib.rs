@@ -274,6 +274,9 @@ impl<'a> ParEngine<'a> {
         let plan = build_plan(self.db, spec, opts)?;
         let started = Instant::now();
         let mut stats = ExecStats::default();
+        // Fresh plan: its options are the request's, so deriving the batch
+        // mode from the plan is exact.
+        let batch = plan.opts.batch_mode();
 
         // 1. Materialize dimension selections once, shared by all workers.
         let dim_tables = self.materialize_dims(snap, &plan, &mut stats)?;
@@ -295,10 +298,20 @@ impl<'a> ParEngine<'a> {
                 fused.as_ref(),
                 &morsels,
                 workers,
+                batch,
             )?
         } else {
             let mut agg = new_agg_table(&plan);
-            let ops = run_pipeline(self.db, snap, &plan, &dim_tables, None, None, &mut agg)?;
+            let ops = run_pipeline(
+                self.db,
+                snap,
+                &plan,
+                &dim_tables,
+                None,
+                None,
+                batch,
+                &mut agg,
+            )?;
             (
                 agg,
                 ExecStats {

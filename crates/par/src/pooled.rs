@@ -37,7 +37,9 @@ use qppt_core::exec::{
     new_agg_table, run_pipeline, DimSelection, FusedSelection,
 };
 use qppt_core::inter::AggTable;
-use qppt_core::{build_plan, ExecStats, KeyRange, Plan, PlanOptions, PreparedQuery, QpptError};
+use qppt_core::{
+    build_plan, BatchMode, ExecStats, KeyRange, Plan, PlanOptions, PreparedQuery, QpptError,
+};
 use qppt_storage::{Database, QueryResult, QuerySpec, Snapshot};
 
 use crate::pool::{PoolJob, WorkerPool};
@@ -112,6 +114,9 @@ impl PooledEngine {
         priority: i32,
     ) -> Result<(Arc<Plan>, AggTable, ExecStats), QpptError> {
         let plan = build_plan(&self.db, spec, opts)?;
+        // Fresh plan: its options are the request's, so deriving the batch
+        // mode from the plan is exact.
+        let batch = plan.opts.batch_mode();
 
         // Inline fast path: a sequential query runs the whole executor on
         // the calling thread — no jobs, no handles, no pool wakeups. This
@@ -141,7 +146,7 @@ impl PooledEngine {
             Arc::new(None)
         };
         let (agg, pipeline_stats) =
-            self.execute_pipeline(snap, &plan, &dim_tables, &fused, priority)?;
+            self.execute_pipeline(snap, &plan, &dim_tables, &fused, priority, batch)?;
         stats.ops.extend(pipeline_stats.ops);
         crate::fix_merged_agg_stats(&plan, &agg, &mut stats);
         stats.total_micros = started.elapsed().as_micros();
@@ -164,7 +169,8 @@ impl PooledEngine {
         priority: i32,
     ) -> Result<(QueryResult, ExecStats), QpptError> {
         let started = Instant::now();
-        let (agg, mut stats) = self.run_prepared_agg(prepared, priority)?;
+        let batch = prepared.plan.opts.batch_mode();
+        let (agg, mut stats) = self.run_prepared_agg(prepared, priority, batch)?;
         let result = decode_result(&self.db, &prepared.plan, &agg);
         stats.total_micros = started.elapsed().as_micros();
         Ok((result, stats))
@@ -172,15 +178,20 @@ impl PooledEngine {
 
     /// Like [`run_prepared`](Self::run_prepared), but stops at the merged
     /// aggregation index — the cached shard-side entry point for
-    /// partial-aggregate serving.
+    /// partial-aggregate serving. `batch` is the *request's* execution
+    /// mode: batch knobs are excluded from the cache fingerprints, so a
+    /// cached prepared query's plan may carry stale knobs — scalar and
+    /// batched requests share the same entry and produce byte-identical
+    /// aggregates.
     pub fn run_prepared_agg(
         &self,
         prepared: &PreparedQuery,
         priority: i32,
+        batch: BatchMode,
     ) -> Result<(AggTable, ExecStats), QpptError> {
         // Inline fast path, as in `run_at`.
         if prepared.plan.opts.parallelism == 1 {
-            return prepared.execute_sequential_agg(&self.db);
+            return prepared.execute_sequential_agg(&self.db, batch);
         }
 
         let started = Instant::now();
@@ -194,6 +205,7 @@ impl PooledEngine {
             &prepared.dims,
             &prepared.fused,
             priority,
+            batch,
         )?;
         stats.ops.extend(pipeline_stats.ops);
         crate::fix_merged_agg_stats(&prepared.plan, &agg, &mut stats);
@@ -217,6 +229,7 @@ impl PooledEngine {
         dim_tables: &Arc<Vec<Option<Arc<DimSelection>>>>,
         fused: &Arc<Option<FusedSelection>>,
         priority: i32,
+        batch: BatchMode,
     ) -> Result<(AggTable, ExecStats), QpptError> {
         let workers = self.pipeline_participants(plan);
         if workers > 1 {
@@ -235,6 +248,7 @@ impl PooledEngine {
                 error: Mutex::new(None),
                 aborted: AtomicBool::new(false),
                 max_workers,
+                batch,
             });
             self.pool
                 .run_participating(job.clone() as Arc<dyn PoolJob>, priority)
@@ -257,6 +271,7 @@ impl PooledEngine {
                 dim_tables,
                 None,
                 fused.as_ref().as_ref(),
+                batch,
                 &mut agg,
             )?;
             Ok((
@@ -348,6 +363,8 @@ struct MorselJob {
     error: Mutex<Option<QpptError>>,
     aborted: AtomicBool,
     max_workers: usize,
+    /// The request's execution mode (scalar vs. columnar inner loops).
+    batch: BatchMode,
 }
 
 impl PoolJob for MorselJob {
@@ -370,6 +387,7 @@ impl PoolJob for MorselJob {
             self.fused.as_ref().as_ref(),
             &self.morsels,
             &self.next,
+            self.batch,
         ) {
             Ok(Some((agg, stats))) => {
                 self.partials

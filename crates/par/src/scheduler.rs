@@ -27,12 +27,15 @@ use std::thread;
 use qppt_core::exec::{new_agg_table, run_pipeline, DimSelection, FusedSelection};
 use qppt_core::inter::AggTable;
 use qppt_core::stats::ExecStats;
-use qppt_core::{KeyRange, Plan, QpptError};
+use qppt_core::{BatchMode, KeyRange, Plan, QpptError};
 use qppt_storage::{Database, Snapshot};
 
 /// One worker's morsel loop: pull unclaimed morsel indexes from `next` and
 /// run the fact pipeline over each, accumulating into a private aggregation
 /// table. Returns `None` if no morsel was claimed (late-arriving worker).
+/// `batch` is the request's execution mode (scalar vs. columnar inner
+/// loops) — an execution parameter, not a plan property, because cached
+/// plans may carry stale batch knobs.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn drain_morsels(
     db: &Database,
@@ -42,6 +45,7 @@ pub(crate) fn drain_morsels(
     fused: Option<&FusedSelection>,
     morsels: &[KeyRange],
     next: &AtomicUsize,
+    batch: BatchMode,
 ) -> Result<Option<(AggTable, ExecStats)>, QpptError> {
     let mut agg: Option<AggTable> = None;
     let mut stats = ExecStats::default();
@@ -51,7 +55,7 @@ pub(crate) fn drain_morsels(
             break;
         };
         let acc = agg.get_or_insert_with(|| new_agg_table(plan));
-        let ops = run_pipeline(db, snap, plan, dim_tables, Some(morsel), fused, acc)?;
+        let ops = run_pipeline(db, snap, plan, dim_tables, Some(morsel), fused, batch, acc)?;
         stats.merge_partition(&ExecStats {
             ops,
             total_micros: 0,
@@ -86,6 +90,7 @@ pub(crate) fn merge_partials(
 /// `dim_tables` (materialized dimension selections) and `fused` (the
 /// pre-materialized stage-1 select-join stream, if the plan has one) are
 /// shared read-only by every worker.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_morsels(
     db: &Database,
     snap: Snapshot,
@@ -94,12 +99,13 @@ pub(crate) fn run_morsels(
     fused: Option<&FusedSelection>,
     morsels: &[KeyRange],
     workers: usize,
+    batch: BatchMode,
 ) -> Result<(AggTable, ExecStats), QpptError> {
     debug_assert!(workers >= 1);
     let next = AtomicUsize::new(0);
     let worker = |pid: usize| -> Result<Option<(usize, AggTable, ExecStats)>, QpptError> {
         Ok(
-            drain_morsels(db, snap, plan, dim_tables, fused, morsels, &next)?
+            drain_morsels(db, snap, plan, dim_tables, fused, morsels, &next, batch)?
                 .map(|(agg, stats)| (pid, agg, stats)),
         )
     };

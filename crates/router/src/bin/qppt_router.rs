@@ -33,9 +33,13 @@
 //! Observability: the `METRICS` verb serves the merged fleet exposition
 //! (every range's families labeled `shard="<i>"`, summed `shard="fleet"`
 //! samples, plus the router's own `qppt_router_*` families — including
-//! `qppt_router_failovers_total` and `qppt_router_replicas_live`) unless
-//! `--no-obs` disables the instrumentation; `--slow-query-micros <n>`
-//! logs routed queries at or above *n* µs wall time to stderr (0 = off).
+//! `qppt_router_failovers_total`, `qppt_router_replicas_live`, and the
+//! per-replica read-balancing spread `qppt_router_replica_requests_total`)
+//! unless `--no-obs` disables the instrumentation; `--slow-query-micros
+//! <n>` logs routed queries at or above *n* µs wall time to stderr
+//! (0 = off); `--trace-sample-rate <p>` promotes every ⌈1/p⌉-th organic
+//! (client-untraced) `RUN`/`QUERY` to `trace=on` deterministically
+//! (0 = off, 1 traces everything).
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -69,6 +73,7 @@ fn main() {
     let wait_secs: f64 = arg(&args, "--wait-secs", 120.0);
     let no_obs = args.iter().any(|a| a == "--no-obs");
     let slow_query_micros: u64 = arg(&args, "--slow-query-micros", 0);
+    let trace_sample_rate: f64 = arg(&args, "--trace-sample-rate", 0.0);
 
     let fleet: Vec<Vec<String>> = if !fleet_flag.is_empty() {
         match parse_fleet(&fleet_flag) {
@@ -104,6 +109,7 @@ fn main() {
     config.retry_backoff_cap = Duration::from_millis(retry_backoff_cap_ms);
     config.probe_interval = Duration::from_millis(probe_interval_ms);
     config.probe_backoff_cap = Duration::from_millis(probe_backoff_cap_ms);
+    config.trace_sample_rate = trace_sample_rate;
     let ranges = fleet.len();
     let replicas: usize = fleet.iter().map(Vec::len).sum();
     let mut router = Router::new(config);

@@ -165,6 +165,11 @@ impl Replica {
 #[derive(Debug)]
 pub struct RangeReplicas {
     replicas: Vec<Replica>,
+    /// Monotonic pick counter for the round-robin read load-balancer:
+    /// each [`preferred`](Self::preferred) call takes the next live
+    /// replica in rotation, so read load spreads across the whole live
+    /// set instead of pinning replica 0.
+    rotation: AtomicU64,
 }
 
 impl RangeReplicas {
@@ -188,11 +193,21 @@ impl RangeReplicas {
         &self.replicas
     }
 
-    /// The preferred replica for the next request: the first live one, or
-    /// replica 0 when every replica is suspect (someone has to absorb the
-    /// recovery attempt).
+    /// The preferred replica for the next request: round-robin over the
+    /// replicas currently marked **live** (each call advances the
+    /// rotation), or replica 0 when every replica is suspect (someone has
+    /// to absorb the recovery attempt). Suspect replicas drop out of the
+    /// rotation immediately, so a convicted replica stops absorbing reads
+    /// until the prober recovers it.
     pub fn preferred(&self) -> usize {
-        self.replicas.iter().position(Replica::is_live).unwrap_or(0)
+        let live: Vec<usize> = (0..self.replicas.len())
+            .filter(|&j| self.replicas[j].is_live())
+            .collect();
+        if live.is_empty() {
+            return 0;
+        }
+        let tick = self.rotation.fetch_add(1, Ordering::Relaxed);
+        live[(tick % live.len() as u64) as usize]
     }
 
     /// Replicas currently marked live.
@@ -235,6 +250,7 @@ impl ShardMap {
                             ))
                         })
                         .collect(),
+                    rotation: AtomicU64::new(0),
                 }
             })
             .collect();
@@ -505,14 +521,29 @@ mod tests {
     }
 
     #[test]
-    fn preferred_skips_suspect_replicas_and_falls_back_to_zero() {
+    fn preferred_rotates_over_live_replicas_and_falls_back_to_zero() {
         let map = map_of(&[&["a:1", "b:2", "c:3"]]);
         let range = map.range(0);
         let base = Duration::from_millis(1);
-        assert_eq!(range.preferred(), 0);
+        // All live: consecutive picks walk the whole set in order.
+        assert_eq!(
+            [range.preferred(), range.preferred(), range.preferred()],
+            [0, 1, 2]
+        );
+        assert_eq!(range.preferred(), 0, "rotation wraps");
+        // Suspects drop out of the rotation immediately.
         range.replica(0).mark_suspect(0, base, base);
-        assert_eq!(range.preferred(), 1);
+        let picks = [range.preferred(), range.preferred(), range.preferred()];
+        assert!(
+            picks.iter().all(|&j| j == 1 || j == 2),
+            "suspect replica 0 still picked: {picks:?}"
+        );
+        assert!(
+            picks.contains(&1) && picks.contains(&2),
+            "rotation collapsed to one live replica: {picks:?}"
+        );
         range.replica(1).mark_suspect(0, base, base);
+        assert_eq!(range.preferred(), 2, "single live replica always picked");
         assert_eq!(range.preferred(), 2);
         range.replica(2).mark_suspect(0, base, base);
         assert_eq!(range.preferred(), 0, "all suspect → replica 0 absorbs");
@@ -523,12 +554,13 @@ mod tests {
     fn map_cell_swap_is_safe_under_concurrent_readers() {
         let cell = Arc::new(MapCell::new(map_of(&[&["seed:0"]])));
         let stop = Arc::new(AtomicBool::new(false));
+        let loads = Arc::new(AtomicU64::new(0));
         let readers: Vec<_> = (0..4)
             .map(|_| {
                 let cell = Arc::clone(&cell);
                 let stop = Arc::clone(&stop);
+                let loads = Arc::clone(&loads);
                 std::thread::spawn(move || {
-                    let mut loads = 0u64;
                     while !stop.load(Ordering::Relaxed) {
                         let map = cell.load();
                         // Hold the borrow across real work: every loaded
@@ -538,9 +570,8 @@ mod tests {
                             assert!(!range.is_empty());
                             assert!(!range.replica(0).addr().is_empty());
                         }
-                        loads += 1;
+                        loads.fetch_add(1, Ordering::Relaxed);
                     }
-                    loads
                 })
             })
             .collect();
@@ -548,10 +579,23 @@ mod tests {
             let addr = format!("gen{gen}:1");
             cell.swap(map_of(&[&[addr.as_str()], &["other:2"]]));
         }
+        // Keep swapping until the readers demonstrably overlapped with at
+        // least some swaps — on a single-core host the 200 swaps above can
+        // finish before any reader thread is ever scheduled.
+        let mut gen = 200u32;
+        while loads.load(Ordering::Relaxed) < 64 {
+            let addr = format!("gen{gen}:1");
+            cell.swap(map_of(&[&[addr.as_str()], &["other:2"]]));
+            gen += 1;
+            std::thread::yield_now();
+        }
         stop.store(true, Ordering::Relaxed);
-        let total: u64 = readers.into_iter().map(|h| h.join().unwrap()).sum();
-        assert!(total > 0, "readers made progress");
+        for h in readers {
+            h.join().unwrap();
+        }
+        assert!(loads.load(Ordering::Relaxed) > 0, "readers made progress");
         assert_eq!(cell.load().range_count(), 2);
-        assert_eq!(cell.load().range(0).replica(0).addr(), "gen199:1");
+        let last = format!("gen{}:1", gen - 1);
+        assert_eq!(cell.load().range(0).replica(0).addr(), last);
     }
 }

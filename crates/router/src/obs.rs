@@ -172,6 +172,24 @@ impl RouterObs {
         self.failovers.inc();
     }
 
+    /// Counts one range exchange answered by `replica` of `shard` — the
+    /// per-replica spread of the round-robin read load-balancer. Series
+    /// are registered get-or-create on first sight, so the family only
+    /// carries replicas that actually answered.
+    pub fn note_replica_request(&self, shard: usize, replica: usize) {
+        self.registry
+            .counter_with(
+                "qppt_router_replica_requests_total",
+                "Range exchanges answered, by shard and replica ordinal \
+                 (the read load-balancer's spread).",
+                vec![
+                    ("shard", shard.to_string()),
+                    ("replica", replica.to_string()),
+                ],
+            )
+            .inc();
+    }
+
     /// Publishes the current fleet-wide live-replica count (the
     /// `qppt_router_replicas_live` gauge).
     pub fn set_replicas_live(&self, live: usize) {
@@ -226,6 +244,8 @@ mod tests {
         obs.note_retry();
         obs.note_reconnect();
         obs.note_failover();
+        obs.note_replica_request(0, 1);
+        obs.note_replica_request(0, 1);
         obs.set_replicas_live(3);
         obs.note_probe_recovery();
         obs.record_merge(40);
@@ -238,6 +258,13 @@ mod tests {
         assert_eq!(expo.value("qppt_router_retries_total", &[]), Some(1));
         assert_eq!(expo.value("qppt_router_reconnects_total", &[]), Some(1));
         assert_eq!(expo.value("qppt_router_failovers_total", &[]), Some(1));
+        assert_eq!(
+            expo.value(
+                "qppt_router_replica_requests_total",
+                &[("shard", "0"), ("replica", "1")]
+            ),
+            Some(2)
+        );
         assert_eq!(expo.value("qppt_router_replicas_live", &[]), Some(3));
         assert_eq!(
             expo.value("qppt_router_probe_recoveries_total", &[]),

@@ -53,6 +53,13 @@ pub struct RouterConfig {
     pub probe_interval: Duration,
     /// Ceiling of the per-replica probe backoff.
     pub probe_backoff_cap: Duration,
+    /// Fraction of *organic* (client-untraced) `RUN`/`QUERY` requests the
+    /// router promotes to `trace=on` (`--trace-sample-rate`). Sampling is
+    /// deterministic — every ⌈1/p⌉-th untraced request by arrival order —
+    /// so tests can pin it (`1.0` traces everything, `0.0` disables).
+    /// Client-pinned `trace=` options always win and never consume a
+    /// sampling tick.
+    pub trace_sample_rate: f64,
 }
 
 impl RouterConfig {
@@ -76,8 +83,20 @@ impl RouterConfig {
             retry_backoff_cap: Duration::from_millis(500),
             probe_interval: Duration::from_millis(200),
             probe_backoff_cap: Duration::from_secs(5),
+            trace_sample_rate: 0.0,
         }
     }
+}
+
+/// Converts a sampling rate into the deterministic stride: sample every
+/// `n`-th untraced request, `None` when sampling is off. Rates above 1.0
+/// clamp to "every request"; rates at or below 0.0 (and non-finite
+/// values) disable sampling.
+fn sample_stride(rate: f64) -> Option<u64> {
+    if !rate.is_finite() || rate <= 0.0 {
+        return None;
+    }
+    Some((1.0 / rate.min(1.0)).round().max(1.0) as u64)
 }
 
 /// Router-side failure of one request.
@@ -184,6 +203,12 @@ pub struct Router {
     retry_budget: usize,
     backoff_base: Duration,
     backoff_cap: Duration,
+    /// Trace every `n`-th organic request (`--trace-sample-rate`); `None`
+    /// disables sampling.
+    trace_sample_every: Option<u64>,
+    /// Arrival counter of *untraced* `RUN`/`QUERY` requests — the
+    /// deterministic clock the sampler ticks on.
+    sample_seq: AtomicU64,
     prober: Option<thread::JoinHandle<()>>,
 }
 
@@ -235,6 +260,8 @@ impl Router {
             retry_budget: config.retry_budget,
             backoff_base: config.retry_backoff,
             backoff_cap: config.retry_backoff_cap,
+            trace_sample_every: sample_stride(config.trace_sample_rate),
+            sample_seq: AtomicU64::new(0),
             prober,
         }
     }
@@ -587,6 +614,7 @@ impl Router {
                 Ok((g, replica)) => {
                     if let Some(o) = obs {
                         o.record_rtt(i, elapsed_micros(started));
+                        o.note_replica_request(i, replica);
                     }
                     gathered.push((g, replica));
                 }
@@ -953,6 +981,7 @@ impl Router {
         mut w: &mut dyn Write,
     ) -> io::Result<()> {
         let started = Instant::now();
+        let trace_mode = self.sample_trace(trace_mode);
         let mut trace = make_trace(trace_mode);
         let forward = match &trace {
             Some(t) => format!("{line} {MODE_KEY}=partial {TRACE_KEY}={}", t.id()),
@@ -967,6 +996,31 @@ impl Router {
         };
         self.slow_log(verb, started);
         out
+    }
+
+    /// Applies `--trace-sample-rate` to one routed `RUN`/`QUERY`: an
+    /// organic (untraced) request is promoted to `trace=on` when the
+    /// untraced-arrival counter lands on the sampling stride — the first
+    /// untraced request is always sampled, so a rate of `1.0` traces
+    /// everything and tests can pin the behavior. A client that asked for
+    /// a trace (or pinned an id) keeps its mode and does not tick the
+    /// counter.
+    fn sample_trace(&self, requested: TraceMode) -> TraceMode {
+        if !matches!(requested, TraceMode::Off) {
+            return requested;
+        }
+        let Some(every) = self.trace_sample_every else {
+            return TraceMode::Off;
+        };
+        if self
+            .sample_seq
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(every)
+        {
+            TraceMode::On
+        } else {
+            TraceMode::Off
+        }
     }
 
     /// Emits the router's slow-query log line (and counts it) when the
@@ -1207,4 +1261,55 @@ fn read_partial_response(conn: &mut ShardConn) -> Result<Gathered, ClientError> 
     })?;
     let (partial, stats) = read_partial_body(conn.reader(), rows)?;
     Ok(Gathered { partial, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_stride_maps_rates_to_deterministic_strides() {
+        assert_eq!(sample_stride(0.0), None);
+        assert_eq!(sample_stride(-0.5), None);
+        assert_eq!(sample_stride(f64::NAN), None);
+        assert_eq!(sample_stride(f64::INFINITY), None); // garbage disables
+        assert_eq!(sample_stride(1.0), Some(1));
+        assert_eq!(sample_stride(2.0), Some(1)); // clamps to every request
+        assert_eq!(sample_stride(0.5), Some(2));
+        assert_eq!(sample_stride(0.25), Some(4));
+        assert_eq!(sample_stride(0.1), Some(10));
+    }
+
+    #[test]
+    fn sample_trace_promotes_every_nth_untraced_request() {
+        // The fleet is never dialed here — sampling is pure router state.
+        let mut config = RouterConfig::new(vec!["127.0.0.1:1".to_string()]);
+        config.trace_sample_rate = 0.5;
+        let router = Router::new(config);
+        // First untraced request is always sampled, then every 2nd.
+        let picks: Vec<bool> = (0..6)
+            .map(|_| matches!(router.sample_trace(TraceMode::Off), TraceMode::On))
+            .collect();
+        assert_eq!(picks, [true, false, true, false, true, false]);
+        // Client-pinned modes pass through and do not tick the counter:
+        // the next untraced request lands on tick 6 and is sampled, as if
+        // the pinned requests never happened.
+        assert!(matches!(
+            router.sample_trace(TraceMode::Id(7)),
+            TraceMode::Id(7)
+        ));
+        assert!(matches!(router.sample_trace(TraceMode::On), TraceMode::On));
+        assert!(matches!(router.sample_trace(TraceMode::Off), TraceMode::On));
+    }
+
+    #[test]
+    fn sampling_disabled_leaves_organic_traffic_untraced() {
+        let router = Router::new(RouterConfig::new(vec!["127.0.0.1:1".to_string()]));
+        for _ in 0..4 {
+            assert!(matches!(
+                router.sample_trace(TraceMode::Off),
+                TraceMode::Off
+            ));
+        }
+    }
 }

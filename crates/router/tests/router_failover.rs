@@ -12,10 +12,13 @@
 //! same data).
 //!
 //! Script:
-//! 1. baseline — fleet healthy, 13/13 byte-identical, 0 failovers, 4 live;
-//! 2. kill the range-0 primary **between requests** — the next query
-//!    fails over to the sibling (1 failover, 3 live), the rest of the
-//!    sweep prefers the sibling with no further failovers;
+//! 1. baseline — fleet healthy, 13/13 byte-identical, 0 failovers, 4 live,
+//!    and the round-robin read balancer spread the sweep over both
+//!    replicas of every range (`qppt_router_replica_requests_total`);
+//! 2. kill a range-0 replica **between requests** — the first query the
+//!    rotation lands on it fails over to the sibling (1 failover, 3
+//!    live), conviction drops it from the rotation so the rest of the
+//!    sweep sees no further failovers;
 //! 3. revive; the prober flips the replica back (4 live) without traffic;
 //! 4. kill **during a response** (truncated `P` lines) — one failover,
 //!    bytes still identical;
@@ -51,6 +54,20 @@ fn router_metric(router: &Router, name: &str) -> i64 {
 
 fn failovers(router: &Router) -> i64 {
     router_metric(router, "qppt_router_failovers_total")
+}
+
+/// Range exchanges answered by `replica` of `shard` (0 when the series
+/// was never registered — that replica never answered).
+fn replica_requests(router: &Router, shard: usize, replica: usize) -> i64 {
+    let obs = router.obs().expect("obs attached");
+    let (s, r) = (shard.to_string(), replica.to_string());
+    parse_exposition(&obs.render())
+        .expect("router exposition parses")
+        .value(
+            "qppt_router_replica_requests_total",
+            &[("shard", s.as_str()), ("replica", r.as_str())],
+        )
+        .unwrap_or(0)
 }
 
 fn replicas_live(router: &Router) -> i64 {
@@ -155,14 +172,31 @@ fn failover_keeps_all_queries_byte_identical_with_exact_metrics() {
 
     let mut client = QpptClient::connect(rh.addr()).expect("connect router");
 
-    // 1. Baseline: healthy fleet, no failovers, everything live.
+    // 1. Baseline: healthy fleet, no failovers, everything live — and the
+    // round-robin read balancer spread the sweep over *both* replicas of
+    // every range (each range answers once per routed query).
     sweep(&mut client, &oracle, &all_ids, "baseline");
     assert_eq!(failovers(&router), 0, "baseline failovers");
     assert_eq!(replicas_live(&router), 4, "baseline live");
+    for shard in 0..RANGES {
+        let counts: Vec<i64> = (0..REPLICAS)
+            .map(|r| replica_requests(&router, shard, r))
+            .collect();
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "shard {shard} read spread: {counts:?}"
+        );
+        assert_eq!(
+            counts.iter().sum::<i64>(),
+            all_ids.len() as i64,
+            "shard {shard} answers one exchange per routed query"
+        );
+    }
 
-    // 2. Kill the range-0 primary between requests. The first query of
-    // the sweep fails over to the sibling (exactly one failover); the
-    // remaining queries prefer the live sibling directly.
+    // 2. Kill one range-0 replica between requests. The first query the
+    // rotation lands on it fails over to the sibling (exactly one
+    // failover); conviction drops the dead replica out of the rotation,
+    // so the rest of the sweep rides the live sibling directly.
     proxies[0][0].kill();
     sweep(&mut client, &oracle, &all_ids, "primary killed");
     assert_eq!(failovers(&router), 1, "kill-primary failovers");
@@ -176,31 +210,34 @@ fn failover_keeps_all_queries_byte_identical_with_exact_metrics() {
         "recovery came from the prober"
     );
 
-    // 4. Kill during the response: the primary truncates after 3 lines
-    // (status + header + one `P` row), so the router sees a mid-body
-    // death and fails over — bytes still identical, exactly one more
-    // failover. One-query scenario: Pass is restored before the rest of
-    // the sweep so the counter stays exact.
+    // 4. Kill during the response: the faulty replica truncates after 3
+    // lines (status + header + one `P` row), so the router sees a
+    // mid-body death and fails over — bytes still identical, exactly one
+    // more failover. Two queries, because round-robin guarantees only
+    // that one of two consecutive requests lands on the faulty replica
+    // (the other rides its live sibling; after the first hit it is
+    // convicted and drops out of the rotation). Pass is restored before
+    // the rest of the sweep so the counter stays exact.
     proxies[0][0].set_mode(ChaosMode::Truncate(3));
     sweep(
         &mut client,
         &oracle,
-        &all_ids[..1],
+        &all_ids[..2],
         "truncated mid-response",
     );
     assert_eq!(failovers(&router), 2, "truncate failovers");
     proxies[0][0].set_mode(ChaosMode::Pass);
     wait_live(&router, 4, Duration::from_secs(10));
-    sweep(&mut client, &oracle, &all_ids[1..], "after truncate");
+    sweep(&mut client, &oracle, &all_ids[2..], "after truncate");
     assert_eq!(failovers(&router), 2, "sweep after truncate is clean");
 
-    // 5. Flap the range-1 primary: kill (one failover), revive (probe
-    // recovery), then a clean sweep.
+    // 5. Flap a range-1 replica: kill (one failover within two queries,
+    // as in step 4), revive (probe recovery), then a clean sweep.
     proxies[1][0].kill();
     sweep(
         &mut client,
         &oracle,
-        &all_ids[..1],
+        &all_ids[..2],
         "range-1 primary killed",
     );
     assert_eq!(failovers(&router), 3, "flap failovers");

@@ -428,10 +428,12 @@ impl ServeEngine {
         // run_prepared decomposed into its two halves (identical code
         // path — see PooledEngine::run_prepared) so exec and decode get
         // their own spans; total_micros is restamped below either way.
+        // The batch mode comes from the *request's* options: the cached
+        // plan may carry stale batch knobs (they are fingerprint-exempt).
         let exec_started = Instant::now();
         let (agg, mut stats) = self
             .engine
-            .run_prepared_agg(&prepared, priority)
+            .run_prepared_agg(&prepared, priority, opts.batch_mode())
             .map_err(ServeError::Engine)?;
         let exec_micros = elapsed_micros(exec_started);
         let decode_started = Instant::now();
@@ -517,7 +519,7 @@ impl ServeEngine {
         let exec_started = Instant::now();
         let (agg, mut stats) = self
             .engine
-            .run_prepared_agg(&prepared, priority)
+            .run_prepared_agg(&prepared, priority, opts.batch_mode())
             .map_err(ServeError::Engine)?;
         let exec_micros = elapsed_micros(exec_started);
         let decode_started = Instant::now();

@@ -1,0 +1,83 @@
+//! The batch knobs are fingerprint-exempt — `batch_exec`/`batch_rows`
+//! never touch `fingerprint`/`fingerprint_dim`, because batched execution
+//! is byte-identical to scalar. Served consequence: batched and scalar
+//! requests share every cache tier — a batched warm hit is answered from
+//! the result entry a scalar run filled, and a batched warm *miss*
+//! assembles from the σ materializations scalar runs built (asserted via
+//! exact dim-tier counters).
+
+use std::sync::Arc;
+
+use qppt_core::PlanOptions;
+use qppt_par::WorkerPool;
+use qppt_server::ServeEngine;
+
+#[test]
+fn batched_runs_share_sigma_and_results_with_scalar_runs() {
+    let pool = WorkerPool::new(2, 8);
+    let defaults = PlanOptions::default().with_parallelism(2);
+    let engine =
+        Arc::new(ServeEngine::with_ssb(0.01, 42, pool.clone(), defaults).expect("SSB prepares"));
+    let opts = engine.defaults();
+
+    // Cold scalar run: plans, σ materializations, and the result entry
+    // all land in their tiers.
+    let s0 = engine.cache_stats();
+    let (scalar, _) = engine.run("q3.1", &opts, 0).expect("cold scalar run");
+    let s1 = engine.cache_stats();
+    let sigma_built = s1.dims.insertions - s0.dims.insertions;
+    assert!(sigma_built > 0, "the cold run materializes σ");
+    assert_eq!(s1.results.hits - s0.results.hits, 0, "cold run is a miss");
+
+    // Identical options + batch knobs: same fingerprint, so the batched
+    // request is a result-tier *hit* on the scalar run's entry.
+    let batched = opts.with_batch_exec(true).with_batch_rows(64);
+    let (warm, _) = engine.run("q3.1", &batched, 0).expect("warm batched run");
+    assert_eq!(warm, scalar, "warm hit bytes");
+    let s2 = engine.cache_stats();
+    assert_eq!(
+        s2.results.hits - s1.results.hits,
+        1,
+        "batch knobs share the scalar run's result entry"
+    );
+
+    // A batched run at a different parallelism is a warm *miss* —
+    // parallelism IS fingerprinted — so it actually executes batched, but
+    // assembles its σ set entirely from the entries the scalar run built:
+    // one dim-tier hit per σ, zero new materializations.
+    let batched4 = batched.with_parallelism(4);
+    let (miss, _) = engine
+        .run("q3.1", &batched4, 0)
+        .expect("warm-miss batched run");
+    assert_eq!(miss, scalar, "warm-miss bytes");
+    let s3 = engine.cache_stats();
+    assert_eq!(
+        s3.results.hits - s2.results.hits,
+        0,
+        "different parallelism is a result miss"
+    );
+    assert_eq!(
+        s3.dims.hits - s2.dims.hits,
+        sigma_built,
+        "every batched σ lookup hits a scalar-built entry"
+    );
+    assert_eq!(
+        s3.dims.insertions - s2.dims.insertions,
+        0,
+        "the batched execution builds no σ of its own"
+    );
+
+    // And the mirror direction: a *scalar* run at that parallelism now
+    // hits the result entry the batched execution inserted.
+    let scalar4 = opts.with_parallelism(4);
+    let (shared_back, _) = engine.run("q3.1", &scalar4, 0).expect("scalar rerun");
+    assert_eq!(shared_back, scalar, "scalar rerun bytes");
+    let s4 = engine.cache_stats();
+    assert_eq!(
+        s4.results.hits - s3.results.hits,
+        1,
+        "the scalar run shares the batched run's result entry"
+    );
+
+    pool.shutdown();
+}

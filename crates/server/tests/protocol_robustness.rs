@@ -46,6 +46,9 @@ fn garbage_requests_error_but_connection_survives() {
         b"RUN q1.1 nonsense\n",         // malformed option
         b"RUN q1.1 parallelism=zero\n", // bad option value
         b"RUN q1.1 morsel_bits=99\n",   // validated, not just parsed
+        b"RUN q1.1 batch_rows=0\n",     // batch block size must be >= 1
+        b"RUN q1.1 batch_rows=lots\n",  // bad batch_rows value
+        b"RUN q1.1 batch_exec=maybe\n", // bad batch_exec value
         b"RUN q9.9\n",                  // unknown query
         b"RUN q1.1 cache=maybe\n",      // bad cache value
         b"CACHE\n",                     // missing subcommand
@@ -62,6 +65,11 @@ fn garbage_requests_error_but_connection_survives() {
         b"QUERY fact=nosuch dim=date[join=d_datekey:lo_orderdate] agg=sum(lo_revenue):r\n", // unknown table
         b"QUERY fact=lineorder dim=date[join=d_datekey:lo_orderdate;d_frob=1] agg=sum(lo_revenue):r\n", // unknown column
         b"QUERY fact=lineorder dim=date[join=d_datekey:lo_orderdate] agg=sum(lo_revenue):r parallelism=zero\n", // bad option
+        // Option *values* are validated before any planning happens —
+        // structured ERR, not a panic mid-plan or a dropped connection.
+        b"QUERY fact=lineorder dim=date[join=d_datekey:lo_orderdate] agg=sum(lo_revenue):r parallelism=0\n",
+        b"QUERY fact=lineorder dim=date[join=d_datekey:lo_orderdate] agg=sum(lo_revenue):r morsel_bits=99\n",
+        b"QUERY fact=lineorder dim=date[join=d_datekey:lo_orderdate] agg=sum(lo_revenue):r batch_rows=0\n",
         b"QUERY fact=\xff\xfe dim=d[join=k:fk] agg=sum(a):x\n", // non-UTF-8 body
     ];
     for case in cases {
