@@ -86,7 +86,7 @@ use qppt_core::{
 };
 use qppt_storage::{Database, QueryResult, QuerySpec, Snapshot, StorageError};
 
-pub use lru::{CacheValue, ShardedLru, TierSnapshot};
+pub use lru::{CacheKey, CacheValue, ShardedLru, TierSnapshot};
 
 /// The snapshot fingerprint every tier is keyed on: one 64-bit hash over
 /// `(database identity, structural hash)` plus the version vector of the
@@ -202,6 +202,14 @@ impl HeapSize for PreparedQuery {
 impl HeapSize for CachedResult {
     fn heap_bytes(&self) -> usize {
         self.result.memory_bytes() + self.stats.ops.len() * 96
+    }
+}
+
+impl HeapSize for qppt_core::PartialAggregate {
+    /// The router's partial-aggregate tier stores raw shard payloads; they
+    /// budget bytes exactly like decoded results do.
+    fn heap_bytes(&self) -> usize {
+        self.memory_bytes()
     }
 }
 

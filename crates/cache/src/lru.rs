@@ -38,6 +38,31 @@ use std::time::{Duration, Instant};
 
 use crate::QueryFingerprint;
 
+/// What addresses a tier: a 64-bit shard/bucket key plus the version
+/// vector the entry must have been computed at. [`QueryFingerprint`] is
+/// the engine-side implementation (table versions of one database); the
+/// router implements it over fleet-wide keys (topology epoch + per-shard
+/// table-version vectors) without `qppt-cache` knowing anything about
+/// shards.
+pub trait CacheKey {
+    /// The 64-bit bucket key: picks the shard and the map slot.
+    fn key(&self) -> u64;
+
+    /// The version vector a valid entry must match exactly. A lookup
+    /// whose key matches but whose versions differ invalidates the entry.
+    fn versions(&self) -> &[u64];
+}
+
+impl CacheKey for QueryFingerprint {
+    fn key(&self) -> u64 {
+        self.key
+    }
+
+    fn versions(&self) -> &[u64] {
+        &self.versions
+    }
+}
+
 /// What a tier stores: cheap to clone (tiers store `Arc`s), knows its heap
 /// footprint, and can report being pinned by holders outside the cache.
 pub trait CacheValue: Clone {
@@ -248,8 +273,9 @@ impl<V: CacheValue> ShardedLru<V> {
     /// versions → the entry is stale: removed, counted as an invalidation;
     /// idle past the TTL → removed, counted as an expiration; absent →
     /// miss.
-    pub fn get(&self, fp: &QueryFingerprint) -> Option<V> {
-        let mut shard = self.shard(fp.key).lock().expect("cache shard lock");
+    pub fn get<K: CacheKey>(&self, fp: &K) -> Option<V> {
+        let key = fp.key();
+        let mut shard = self.shard(key).lock().expect("cache shard lock");
         let now = Instant::now();
         enum Outcome {
             Miss,
@@ -257,12 +283,12 @@ impl<V: CacheValue> ShardedLru<V> {
             Hit,
             Stale,
         }
-        let outcome = match shard.map.get(&fp.key) {
+        let outcome = match shard.map.get(&key) {
             None => Outcome::Miss,
             // A pinned entry is in active use — by definition not idle —
             // so it never lazily expires; the hit refreshes `last_used`.
             Some(e) if shard.expired(e, now) && !e.value.pinned() => Outcome::Expired,
-            Some(e) if e.versions == fp.versions => Outcome::Hit,
+            Some(e) if e.versions == fp.versions() => Outcome::Hit,
             Some(_) => Outcome::Stale,
         };
         match outcome {
@@ -271,23 +297,23 @@ impl<V: CacheValue> ShardedLru<V> {
                 None
             }
             Outcome::Expired => {
-                shard.remove(fp.key);
+                shard.remove(key);
                 self.counters.expirations.fetch_add(1, Ordering::Relaxed);
                 None
             }
             Outcome::Stale => {
-                shard.remove(fp.key);
+                shard.remove(key);
                 self.counters.invalidations.fetch_add(1, Ordering::Relaxed);
                 None
             }
             Outcome::Hit => {
-                shard.unlink(fp.key);
+                shard.unlink(key);
                 let value = {
-                    let e = shard.map.get_mut(&fp.key).expect("hit entry exists");
+                    let e = shard.map.get_mut(&key).expect("hit entry exists");
                     e.last_used = now;
                     e.value.clone()
                 };
-                shard.push_front(fp.key);
+                shard.push_front(key);
                 self.counters.hits.fetch_add(1, Ordering::Relaxed);
                 Some(value)
             }
@@ -297,15 +323,16 @@ impl<V: CacheValue> ShardedLru<V> {
     /// Inserts (or replaces) the entry for `fp` at the MRU end, first
     /// expiring idle entries and evicting cold unpinned ones until the
     /// shard fits its byte budget again (see [`Shard::reclaim`]).
-    pub fn put(&self, fp: &QueryFingerprint, value: V) {
+    pub fn put<K: CacheKey>(&self, fp: &K, value: V) {
+        let key = fp.key();
         let bytes = value.heap_bytes();
-        let mut shard = self.shard(fp.key).lock().expect("cache shard lock");
-        shard.remove(fp.key); // replace: old bytes released first
+        let mut shard = self.shard(key).lock().expect("cache shard lock");
+        shard.remove(key); // replace: old bytes released first
         shard.reclaim(bytes, &self.counters);
         shard.map.insert(
-            fp.key,
+            key,
             Entry {
-                versions: fp.versions.clone(),
+                versions: fp.versions().to_vec(),
                 value,
                 bytes,
                 last_used: Instant::now(),
@@ -314,7 +341,7 @@ impl<V: CacheValue> ShardedLru<V> {
             },
         );
         shard.bytes += bytes;
-        shard.push_front(fp.key);
+        shard.push_front(key);
         self.counters.insertions.fetch_add(1, Ordering::Relaxed);
     }
 

@@ -477,33 +477,139 @@ pub fn run_pipeline(
     Ok(stats)
 }
 
+/// Per-part decode source for the packed group key — the dimension table
+/// and column position behind each `group_key.sources` entry — resolved
+/// **once per decode** instead of once per output row (the name/schema
+/// lookups are pure, so hoisting them never changes bytes).
+fn group_decode_sources<'a>(
+    db: &'a Database,
+    plan: &Plan,
+) -> Vec<(&'a qppt_storage::Table, usize)> {
+    plan.group_key
+        .sources
+        .iter()
+        .map(|(di, col)| {
+            let t = db
+                .table(&plan.dims[*di].table)
+                .expect("dim table resolved at plan time")
+                .table();
+            let c = t
+                .schema()
+                .col(col)
+                .expect("group col resolved at plan time");
+            (t, c)
+        })
+        .collect()
+}
+
+/// Streams the aggregation index through `emit` in index (ascending
+/// packed-key) order, decoding group values either row at a time (scalar
+/// mode) or lane-wise in `batch_rows`-sized runs (batched mode): a run
+/// stages packed keys and accumulator snapshots, then each group-key lane
+/// extracts and decodes its whole run against one hoisted
+/// (table, column, dictionary) triple. Per-code decoding is pure, so the
+/// run size changes only how often dictionary state is re-established —
+/// never the emitted bytes. Like [`execute_agg`], this reads the batch
+/// knobs off `plan.opts`: decode sits outside the cached-plan reuse path
+/// that forces execution entry points to thread [`BatchMode`] explicitly,
+/// and byte-identity makes a stale knob harmless regardless.
+pub(crate) fn decode_groups(
+    db: &Database,
+    plan: &Plan,
+    agg: &AggTable,
+    mut emit: impl FnMut(u64, Vec<Value>, Vec<i64>),
+) {
+    let sources = group_decode_sources(db, plan);
+    let batch = plan.opts.batch_mode();
+    if !batch.enabled {
+        agg.for_each_ordered(|key, accs| {
+            let codes = plan.group_key.unpack(key);
+            let values: Vec<Value> = codes
+                .iter()
+                .zip(sources.iter())
+                .map(|(&code, &(t, c))| decode_code(t, c, code))
+                .collect();
+            emit(key, values, accs.to_vec());
+        });
+        return;
+    }
+
+    // Per-lane bit field of the packed key, precomputed once: `unpack`
+    // reads lane `j` as `(key >> shift[j]) & mask[j]`.
+    let mut lane_fields = Vec::with_capacity(plan.group_key.widths.len());
+    let mut used = 0u8;
+    for &w in &plan.group_key.widths {
+        used += w;
+        let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+        lane_fields.push((plan.group_key.total_bits - used, mask));
+    }
+
+    let run = batch.rows;
+    let mut keys: Vec<u64> = Vec::with_capacity(run);
+    let mut accs_rows: Vec<Vec<i64>> = Vec::with_capacity(run);
+    agg.for_each_ordered(|key, accs| {
+        keys.push(key);
+        accs_rows.push(accs.to_vec());
+        if keys.len() == run {
+            flush_group_run(&sources, &lane_fields, &mut keys, &mut accs_rows, &mut emit);
+        }
+    });
+    flush_group_run(&sources, &lane_fields, &mut keys, &mut accs_rows, &mut emit);
+}
+
+/// Decodes one staged run lane-wise and drains it through `emit`. Lanes
+/// fill each row's value vector in lane order, so per-row value order
+/// matches the scalar path exactly.
+fn flush_group_run(
+    sources: &[(&qppt_storage::Table, usize)],
+    lane_fields: &[(u8, u64)],
+    keys: &mut Vec<u64>,
+    accs_rows: &mut Vec<Vec<i64>>,
+    emit: &mut impl FnMut(u64, Vec<Value>, Vec<i64>),
+) {
+    let n = keys.len();
+    if n == 0 {
+        return;
+    }
+    let mut values: Vec<Vec<Value>> = (0..n).map(|_| Vec::with_capacity(sources.len())).collect();
+    let mut codes = vec![0u64; n];
+    for (lane, &(t, c)) in sources.iter().enumerate() {
+        let (shift, mask) = lane_fields[lane];
+        for (code, &key) in codes.iter_mut().zip(keys.iter()) {
+            *code = (key >> shift) & mask;
+        }
+        match t.schema().column(c).ty {
+            qppt_storage::ColumnType::Int => {
+                for (row, &code) in values.iter_mut().zip(codes.iter()) {
+                    row.push(Value::Int(code as i64));
+                }
+            }
+            qppt_storage::ColumnType::Str => {
+                let dict = t.dict(c).expect("str column has dictionary");
+                for (row, &code) in values.iter_mut().zip(codes.iter()) {
+                    row.push(Value::Str(dict.decode(code as u32).to_string()));
+                }
+            }
+        }
+    }
+    for ((key, vals), accs) in keys.drain(..).zip(values).zip(accs_rows.drain(..)) {
+        emit(key, vals, accs);
+    }
+}
+
 /// Decodes the (possibly merged) aggregation index into the shared result
 /// format. The index iterates in key order, i.e. already grouped and sorted
 /// (§3); [`QueryResult::apply_order`] then applies the query's ORDER BY on
 /// top, which is a stable sort, so the result is deterministic regardless
-/// of how many partitions fed `agg`.
+/// of how many partitions fed `agg`. Under `batch_exec` the decode runs
+/// lane-wise in `batch_rows`-sized runs (see [`decode_groups`]) — the
+/// bytes are identical either way.
 pub fn decode_result(db: &Database, plan: &Plan, agg: &AggTable) -> QueryResult {
     let mut rows = Vec::with_capacity(agg.group_count());
-    agg.for_each_ordered(|key, accs| {
-        let codes = plan.group_key.unpack(key);
-        let key_values: Vec<Value> = codes
-            .iter()
-            .zip(plan.group_key.sources.iter())
-            .map(|(&code, (di, col))| {
-                let t = db
-                    .table(&plan.dims[*di].table)
-                    .expect("dim table resolved at plan time")
-                    .table();
-                let c = t
-                    .schema()
-                    .col(col)
-                    .expect("group col resolved at plan time");
-                decode_code(t, c, code)
-            })
-            .collect();
+    decode_groups(db, plan, agg, |_key, key_values, agg_values| {
         rows.push(ResultRow {
             key_values,
-            agg_values: accs.to_vec(),
+            agg_values,
         });
     });
     let mut result = QueryResult {

@@ -24,7 +24,7 @@
 
 use qppt_storage::{OrderKey, QueryResult, ResultRow, Value};
 
-use crate::exec::decode_code;
+use crate::exec::decode_groups;
 use crate::inter::AggTable;
 use crate::plan::Plan;
 use qppt_storage::Database;
@@ -57,31 +57,17 @@ pub struct PartialAggregate {
 impl PartialAggregate {
     /// Serializes an aggregation index into partial-aggregate rows. Group
     /// values are decoded through the same dictionary path as
-    /// [`decode_result`](crate::exec::decode_result); no ordering beyond
-    /// the index's own ascending key iteration is applied.
+    /// [`decode_result`](crate::exec::decode_result) — including its
+    /// lane-wise batched runs under `batch_exec`, which never change the
+    /// emitted bytes; no ordering beyond the index's own ascending key
+    /// iteration is applied.
     pub fn from_agg(db: &Database, plan: &Plan, agg: &AggTable) -> Self {
         let mut rows = Vec::with_capacity(agg.group_count());
-        agg.for_each_ordered(|key, accs| {
-            let codes = plan.group_key.unpack(key);
-            let group_values: Vec<Value> = codes
-                .iter()
-                .zip(plan.group_key.sources.iter())
-                .map(|(&code, (di, col))| {
-                    let t = db
-                        .table(&plan.dims[*di].table)
-                        .expect("dim table resolved at plan time")
-                        .table();
-                    let c = t
-                        .schema()
-                        .col(col)
-                        .expect("group col resolved at plan time");
-                    decode_code(t, c, code)
-                })
-                .collect();
+        decode_groups(db, plan, agg, |key, group_values, accs| {
             rows.push(PartialRow {
                 key,
                 group_values,
-                accs: accs.to_vec(),
+                accs,
             });
         });
         Self {
@@ -104,6 +90,29 @@ impl PartialAggregate {
     /// Total groups held.
     pub fn group_count(&self) -> usize {
         self.rows.len()
+    }
+
+    /// Rough resident bytes of the undecoded rows (labels, group values,
+    /// accumulators) — mirrors [`QueryResult::memory_bytes`] so the
+    /// router's partial-aggregate cache tier can run the same byte
+    /// budgeting as the engine-side tiers.
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut b = size_of::<Self>();
+        for s in self.group_cols.iter().chain(&self.agg_cols) {
+            b += size_of::<String>() + s.len();
+        }
+        for row in &self.rows {
+            b += size_of::<PartialRow>() + row.accs.len() * size_of::<i64>();
+            for v in &row.group_values {
+                b += size_of::<Value>()
+                    + match v {
+                        Value::Str(s) => s.len(),
+                        Value::Int(_) => 0,
+                    };
+            }
+        }
+        b
     }
 
     /// Decodes into the shared result format: rows stay in ascending key

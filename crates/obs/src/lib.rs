@@ -34,9 +34,11 @@
 pub mod expo;
 pub mod metrics;
 pub mod registry;
+pub mod slow;
 pub mod trace;
 
 pub use expo::{merge_exposition, parse_exposition, Exposition, Sample};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary};
 pub use registry::Registry;
+pub use slow::{SlowEntry, SlowRing};
 pub use trace::{validate_span_tree, SpanId, SpanRec, Trace};

@@ -36,10 +36,24 @@
 //! `qppt_router_failovers_total`, `qppt_router_replicas_live`, and the
 //! per-replica read-balancing spread `qppt_router_replica_requests_total`)
 //! unless `--no-obs` disables the instrumentation; `--slow-query-micros
-//! <n>` logs routed queries at or above *n* µs wall time to stderr
-//! (0 = off); `--trace-sample-rate <p>` promotes every ⌈1/p⌉-th organic
+//! <n>` records routed queries at or above *n* µs wall time in the
+//! slow-query ring served by `METRICS SLOW` (0 = off);
+//! `--trace-sample-rate <p>` promotes every ⌈1/p⌉-th organic
 //! (client-untraced) `RUN`/`QUERY` to `trace=on` deterministically
 //! (0 = off, 1 traces everything).
+//!
+//! Routed caching: the router keeps a two-tier result cache — merged
+//! results keyed on (query, options, topology generation, per-shard
+//! version vector) and per-range partial aggregates — so warm repeats
+//! answer without touching the fleet and a single-shard write only
+//! re-fetches that shard's range. `--cache-probe-interval-ms <n>`
+//! (default 500) bounds staleness: version vectors older than *n* ms are
+//! re-probed (one `INFO` per range) before a cached entry is served on
+//! them. `--cache-result-mb`/`--cache-partial-mb` size the two tiers
+//! (defaults 32/64 MiB); `--no-router-cache` disables both tiers (every
+//! request scatters). The routed `CACHE STATS` verb reports the tiers as
+//! `router_result_*`/`router_partial_*` fields and `CACHE CLEAR` drops
+//! them along with the fleet's engine tiers.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -74,6 +88,10 @@ fn main() {
     let no_obs = args.iter().any(|a| a == "--no-obs");
     let slow_query_micros: u64 = arg(&args, "--slow-query-micros", 0);
     let trace_sample_rate: f64 = arg(&args, "--trace-sample-rate", 0.0);
+    let no_router_cache = args.iter().any(|a| a == "--no-router-cache");
+    let cache_probe_interval_ms: u64 = arg(&args, "--cache-probe-interval-ms", 500);
+    let cache_result_mb: usize = arg(&args, "--cache-result-mb", 32);
+    let cache_partial_mb: usize = arg(&args, "--cache-partial-mb", 64);
 
     let fleet: Vec<Vec<String>> = if !fleet_flag.is_empty() {
         match parse_fleet(&fleet_flag) {
@@ -110,6 +128,10 @@ fn main() {
     config.probe_interval = Duration::from_millis(probe_interval_ms);
     config.probe_backoff_cap = Duration::from_millis(probe_backoff_cap_ms);
     config.trace_sample_rate = trace_sample_rate;
+    config.cache.enabled = !no_router_cache;
+    config.cache.probe_interval = Duration::from_millis(cache_probe_interval_ms);
+    config.cache.result_budget = cache_result_mb << 20;
+    config.cache.partial_budget = cache_partial_mb << 20;
     let ranges = fleet.len();
     let replicas: usize = fleet.iter().map(Vec::len).sum();
     let mut router = Router::new(config);

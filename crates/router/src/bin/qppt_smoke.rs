@@ -15,12 +15,19 @@
 //! the merged answers must be byte-identical to the same sequential
 //! oracle (`--addr`/`--shutdown` are ignored in this mode).
 //!
+//! Router mode also probes the routed result cache: a repeat of a named
+//! query must answer from the merged-result tier, and `CACHE STATS` must
+//! report it under the distinct `router_result_*`/`router_partial_*`
+//! fields.
+//!
 //! `--chaos` (implies `--router`) upgrades the fleet to two replicas per
 //! range — each shard engine served on two listeners — then kills one
-//! replica of range 0 mid-run and repeats every probe. The probes must
-//! see **zero** client-visible errors (the router fails over to the
-//! sibling), and the router's own metrics must record ≥ 1 failover with
-//! exactly 3 replicas still live.
+//! replica of range 0 mid-run and repeats every probe twice: once with
+//! `cache=off` (bypassing the router tiers, so the scatter must fail over
+//! to the sibling) and once plain (served warm from the router cache, to
+//! which the kill is invisible). The probes must see **zero**
+//! client-visible errors, and the router's own metrics must record ≥ 1
+//! failover with exactly 3 replicas still live.
 //!
 //! Both modes end with a `METRICS` probe: the exposition must parse under
 //! the strict Prometheus checker and count the queries this very smoke
@@ -77,7 +84,7 @@ fn main() {
     }
     let engine = QpptEngine::new(&ssb.db);
 
-    let mut failed = run_probes(&mut client, &engine, &opts);
+    let mut failed = run_probes(&mut client, &engine, &opts, &[]);
     failed += metrics_probe(&mut client, None);
 
     if shutdown {
@@ -164,16 +171,23 @@ fn router_smoke(chaos: bool) {
             failed += 1;
         }
     }
-    failed += run_probes(&mut client, &engine, &opts);
+    failed += run_probes(&mut client, &engine, &opts, &[]);
     failed += metrics_probe(&mut client, Some(2));
+    failed += router_cache_probe(&mut client, &engine, &opts);
 
     if chaos {
-        // Kill one replica of range 0 mid-run: every probe must still
-        // succeed (zero client-visible errors), and the router must have
-        // recorded the failover.
-        eprintln!("smoke: chaos — killing shard 0 replica 0, repeating every probe …");
+        // Kill one replica of range 0 mid-run. Uncached probes first
+        // (`cache=off` bypasses the router tiers, so they scatter into the
+        // half-dead pool and must fail over), then the plain probe set
+        // (served warm from the router cache — the kill is invisible to
+        // it). Every probe must see zero client-visible errors.
+        eprintln!(
+            "smoke: chaos — killing shard 0 replica 0, repeating every probe \
+             (uncached, then cached) …"
+        );
         shard_handles[0].remove(0).stop();
-        failed += run_probes(&mut client, &engine, &opts);
+        failed += run_probes(&mut client, &engine, &opts, &[("cache", "off")]);
+        failed += run_probes(&mut client, &engine, &opts, &[]);
         let obs = router.obs().expect("router obs attached");
         let expo = qppt_obs::parse_exposition(&obs.render()).expect("router exposition parses");
         match expo.value("qppt_router_failovers_total", &[]) {
@@ -209,6 +223,60 @@ fn router_smoke(chaos: bool) {
         "smoke: PASS (router{})",
         if chaos { " + chaos" } else { "" }
     );
+}
+
+/// The routed-caching probe: a repeat of a named query the probe set
+/// already ran must answer from the router's merged-result tier —
+/// byte-identical to the oracle, with `CACHE STATS` reporting the hit
+/// under the distinct `router_result_*`/`router_partial_*` fields (never
+/// summed into the engine tiers). Returns the number of failures.
+fn router_cache_probe(client: &mut QpptClient, engine: &QpptEngine, opts: &PlanOptions) -> usize {
+    let expected = engine
+        .run(&queries::q2_3(), opts)
+        .expect("sequential oracle runs");
+    match client.run("q2.3", &[("parallelism", "2")]) {
+        Ok(served) if served.result == expected => {
+            eprintln!(
+                "smoke: warm q2.3 OK — byte-identical repeat (router total {} µs)",
+                served.stats.total_micros
+            );
+        }
+        other => {
+            eprintln!("smoke: warm q2.3 FAIL — {other:?}");
+            return 1;
+        }
+    }
+    let stats = match client.cache_stats() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("smoke: CACHE STATS FAIL — {e}");
+            return 1;
+        }
+    };
+    let field = |key: &str| -> Option<i64> {
+        stats
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.parse().ok())
+    };
+    let mut failed = 0usize;
+    for (key, want_at_least) in [
+        ("router_result_hits", 1),
+        ("router_result_misses", 1),
+        ("router_partial_misses", 1),
+        ("router_partial_hits", 0),
+    ] {
+        match field(key) {
+            Some(v) if v >= want_at_least => {
+                eprintln!("smoke: CACHE STATS {key} OK ({v})");
+            }
+            other => {
+                eprintln!("smoke: CACHE STATS FAIL — {key} is {other:?}, want ≥ {want_at_least}");
+                failed += 1;
+            }
+        }
+    }
+    failed
 }
 
 /// The `METRICS` probe: the exposition must parse under the strict
@@ -311,7 +379,12 @@ fn metrics_probe(client: &mut QpptClient, shards: Option<usize>) -> usize {
 /// The shared probe set: three named aliases, one ad-hoc `QUERY`, one
 /// deliberately malformed `QUERY` — all checked against the sequential
 /// oracle. Returns the number of failures.
-fn run_probes(client: &mut QpptClient, engine: &QpptEngine, opts: &PlanOptions) -> usize {
+fn run_probes(
+    client: &mut QpptClient,
+    engine: &QpptEngine,
+    opts: &PlanOptions,
+    extra: &[(&str, &str)],
+) -> usize {
     let mut failed = 0usize;
     for (name, spec) in [
         ("q1.1", queries::q1_1()),
@@ -319,7 +392,9 @@ fn run_probes(client: &mut QpptClient, engine: &QpptEngine, opts: &PlanOptions) 
         ("q4.1", queries::q4_1()),
     ] {
         let expected = engine.run(&spec, opts).expect("sequential oracle runs");
-        match client.run(name, &[("parallelism", "2")]) {
+        let mut options = vec![("parallelism", "2")];
+        options.extend_from_slice(extra);
+        match client.run(name, &options) {
             Ok(served) if served.result == expected => {
                 eprintln!(
                     "smoke: {name} OK — {} rows byte-identical (server total {} µs)",
@@ -351,7 +426,9 @@ fn run_probes(client: &mut QpptClient, engine: &QpptEngine, opts: &PlanOptions) 
          order=group:1,agg:0:desc id=smoke-adhoc";
     let adhoc_spec = qppt_query::parse(adhoc_text).expect("smoke ad-hoc text parses");
     let expected = engine.run(&adhoc_spec, opts).expect("ad-hoc oracle runs");
-    match client.query(adhoc_text, &[("parallelism", "2")]) {
+    let mut options = vec![("parallelism", "2")];
+    options.extend_from_slice(extra);
+    match client.query(adhoc_text, &options) {
         Ok(served) if served.result == expected => {
             eprintln!(
                 "smoke: ad-hoc QUERY OK — {} rows byte-identical (server total {} µs)",

@@ -53,14 +53,29 @@
 //! covers restart healing and slow-shard timeouts via the [`chaos`]
 //! fault-injection proxy).
 //!
+//! ## Routed caching
+//!
+//! The router carries its own two-tier result cache ([`cache`]): merged
+//! fleet-wide results keyed on (query fingerprint, topology generation,
+//! per-shard table-version vector), and each shard's raw partial payload
+//! keyed per range. Shards surface their table versions through `INFO`;
+//! the router probes them — on demand when a cached vector is older than
+//! the staleness bound (`--cache-probe-interval-ms`), proactively from
+//! the background prober — so a write to one shard invalidates exactly
+//! that shard's partials plus the merged results composed from them, and
+//! a topology swap invalidates merged results while surviving ranges'
+//! partials keep hitting. Cached answers stay byte-identical to the
+//! uncached scatter and the single-node oracle (`router_equivalence`,
+//! `router_failover`).
+//!
 //! ## Verbs
 //!
 //! | verb | routing |
 //! |---|---|
-//! | `RUN` / `QUERY` | scatter `mode=partial` to one replica per range (failover inside the range), gather, merge |
+//! | `RUN` / `QUERY` | router cache lookup, then scatter `mode=partial` to one replica per missing range (failover inside the range), gather, merge |
 //! | `INFO` | fan-out: summed `rows=`, `shards=N`, replica counts, per-range map |
-//! | `CACHE STATS` | fan-out to one replica per range: counters summed |
-//! | `CACHE CLEAR [dims]` | broadcast to **every replica** of every range |
+//! | `CACHE STATS` | fan-out to one replica per range: counters summed, router tiers appended as `router_*` |
+//! | `CACHE CLEAR [dims]` | broadcast to **every replica** of every range, plus the router's own tiers |
 //! | `LIST` / `EXPLAIN` | relayed to range 0 (identical on all shards) |
 //! | `PING` | answered locally |
 //! | `SHUTDOWN` | stops the router only — shards keep serving |
@@ -72,10 +87,12 @@
 mod pool;
 mod router;
 
+pub mod cache;
 pub mod chaos;
 pub mod map;
 pub mod obs;
 
+pub use cache::{RouterCache, RouterCacheConfig, RouterCacheStats};
 pub use chaos::{ChaosMode, ChaosProxy};
 pub use map::{parse_fleet, Backoff, ShardMap};
 pub use obs::RouterObs;

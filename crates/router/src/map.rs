@@ -222,6 +222,11 @@ impl RangeReplicas {
 pub struct ShardMap {
     ranges: Vec<RangeReplicas>,
     epoch: Instant,
+    /// Topology generation: 0 for the map a [`MapCell`] is created with,
+    /// bumped by every [`MapCell::swap`]. Folded into router-side cache
+    /// keys so a fleet reconfiguration invalidates every merged result
+    /// composed under the old topology.
+    generation: u64,
 }
 
 impl ShardMap {
@@ -257,7 +262,14 @@ impl ShardMap {
         Self {
             ranges,
             epoch: Instant::now(),
+            generation: 0,
         }
+    }
+
+    /// The topology generation this map was installed at (see the field
+    /// docs; assigned by the owning [`MapCell`]).
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Number of ranges (= the fleet's shard count `n` in `--shard i/n`).
@@ -323,16 +335,22 @@ pub struct MapCell {
     /// as it grows.
     #[allow(clippy::vec_box)]
     graveyard: Mutex<Vec<Box<ShardMap>>>,
+    /// Monotonic topology counter: the generation the *next* swapped-in
+    /// map receives. Stamped into each map so readers see a generation
+    /// coherent with the map they loaded.
+    next_generation: AtomicU64,
 }
 
 impl MapCell {
     /// Creates the cell holding `map`.
     pub(crate) fn new(map: ShardMap) -> Self {
         let mut boxed = Box::new(map);
+        boxed.generation = 0;
         let ptr: *mut ShardMap = &mut *boxed;
         Self {
             current: AtomicPtr::new(ptr),
             graveyard: Mutex::new(vec![boxed]),
+            next_generation: AtomicU64::new(1),
         }
     }
 
@@ -353,6 +371,7 @@ impl MapCell {
     /// connections are closed so they don't linger.
     pub(crate) fn swap(&self, map: ShardMap) {
         let mut boxed = Box::new(map);
+        boxed.generation = self.next_generation.fetch_add(1, Ordering::AcqRel);
         let ptr: *mut ShardMap = &mut *boxed;
         let mut graveyard = self.graveyard.lock().unwrap_or_else(|e| e.into_inner());
         graveyard.push(boxed);
@@ -597,5 +616,18 @@ mod tests {
         assert_eq!(cell.load().range_count(), 2);
         let last = format!("gen{}:1", gen - 1);
         assert_eq!(cell.load().range(0).replica(0).addr(), last);
+        // Each swap bumps the topology generation: `gen` swaps happened
+        // since the cell was created at generation 0.
+        assert_eq!(cell.load().generation(), u64::from(gen));
+    }
+
+    #[test]
+    fn map_cell_stamps_monotonic_generations() {
+        let cell = MapCell::new(map_of(&[&["a:1"]]));
+        assert_eq!(cell.load().generation(), 0);
+        cell.swap(map_of(&[&["b:2"]]));
+        assert_eq!(cell.load().generation(), 1);
+        cell.swap(map_of(&[&["c:3"], &["d:4"]]));
+        assert_eq!(cell.load().generation(), 2);
     }
 }

@@ -11,7 +11,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use qppt_obs::{Counter, Gauge, Histogram, Registry};
+use qppt_obs::{Counter, Gauge, Histogram, Registry, SlowRing};
 
 /// Wire verbs the router instruments with request counters and latency
 /// histograms (same set as a shard, minus nothing — the router answers
@@ -33,6 +33,7 @@ pub struct RouterObs {
     uptime: Arc<Gauge>,
     slow_threshold: Option<u64>,
     slow_queries: Arc<Counter>,
+    slow_ring: SlowRing,
     verbs: Vec<(&'static str, VerbMetrics)>,
     retries: Arc<Counter>,
     reconnects: Arc<Counter>,
@@ -55,7 +56,8 @@ impl std::fmt::Debug for RouterObs {
 impl RouterObs {
     /// Creates the router observability state over `shards` shards.
     /// `slow_threshold` is the `--slow-query-micros` value: routed
-    /// queries at or above it are logged to stderr (`None` disables).
+    /// queries at or above it are recorded in the slow-query ring served
+    /// by `METRICS SLOW` (`None` disables).
     pub fn new(shards: usize, slow_threshold: Option<u64>) -> Arc<Self> {
         let registry = Registry::new();
         let uptime = registry.gauge(
@@ -129,6 +131,7 @@ impl RouterObs {
             uptime,
             slow_threshold,
             slow_queries,
+            slow_ring: SlowRing::default(),
             verbs,
             retries,
             reconnects,
@@ -212,9 +215,14 @@ impl RouterObs {
         self.slow_threshold
     }
 
-    /// Counts one slow routed query (the caller writes the log line).
+    /// Counts one slow routed query (the caller records the ring entry).
     pub fn note_slow(&self) {
         self.slow_queries.inc();
+    }
+
+    /// The slow-query ring buffer behind the routed `METRICS SLOW`.
+    pub fn slow_ring(&self) -> &SlowRing {
+        &self.slow_ring
     }
 
     /// Seconds since this router started serving.

@@ -9,18 +9,22 @@ use std::sync::{Arc, OnceLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use qppt_core::{ExecStats, OpStats, PartialAggregate, PlanOptions};
-use qppt_obs::{merge_exposition, SpanRec, Trace};
+use qppt_core::{fingerprint_query, ExecStats, OpStats, PartialAggregate, PlanOptions};
+use qppt_obs::{merge_exposition, SlowEntry, SpanRec, Trace};
 use qppt_par::merge_partial_aggregates;
 use qppt_server::protocol::{
     apply_overrides, parse_partial_status, parse_request, read_partial_body, read_text_body,
-    write_run_response, CacheCmd, ClientError, Request, ServedStats, TraceMode, MODE_KEY,
-    TRACE_KEY,
+    write_run_response, write_slow_response, CacheCmd, ClientError, Request, ServedStats,
+    TraceMode, MODE_KEY, TRACE_KEY,
 };
-use qppt_server::{serve_lines, LineService, Reply, ServerConfig, ServerHandle};
+use qppt_server::{serve_lines, LineService, Reply, RunControls, ServerConfig, ServerHandle};
 use qppt_ssb::queries;
 use qppt_storage::{OrderKey, QueryResult, QuerySpec};
 
+use crate::cache::{
+    parse_versions_field, render_router_cache_metrics, render_router_cache_stats, CachedMerged,
+    CachedPartial, FleetKey, RouterCache, RouterCacheConfig,
+};
 use crate::map::{Backoff, MapCell, RangeReplicas, Replica, ShardMap};
 use crate::obs::RouterObs;
 use crate::pool::ShardConn;
@@ -60,6 +64,9 @@ pub struct RouterConfig {
     /// Client-pinned `trace=` options always win and never consume a
     /// sampling tick.
     pub trace_sample_rate: f64,
+    /// The router-side result cache: tier budgets, the version-probe
+    /// staleness bound, and the on/off switch (`--no-router-cache`).
+    pub cache: RouterCacheConfig,
 }
 
 impl RouterConfig {
@@ -84,6 +91,7 @@ impl RouterConfig {
             probe_interval: Duration::from_millis(200),
             probe_backoff_cap: Duration::from_secs(5),
             trace_sample_rate: 0.0,
+            cache: RouterCacheConfig::default(),
         }
     }
 }
@@ -177,6 +185,9 @@ struct RetryState {
 /// prober.
 struct Shared {
     map: MapCell,
+    /// The router-side result cache — shared with the prober, which
+    /// piggybacks version refreshes on its health scans.
+    cache: Arc<RouterCache>,
     /// Set by [`Router::with_obs`]; the prober reads it lazily so the
     /// builder-style attach still works after the thread has started.
     obs: OnceLock<Arc<RouterObs>>,
@@ -233,6 +244,7 @@ impl Router {
         );
         let shared = Arc::new(Shared {
             map: MapCell::new(map),
+            cache: Arc::new(RouterCache::new(config.cache)),
             obs: OnceLock::new(),
             stop: AtomicBool::new(false),
             probe_interval: config.probe_interval,
@@ -298,6 +310,12 @@ impl Router {
     /// Number of ranges fronted.
     pub fn shard_count(&self) -> usize {
         self.shared.map.load().range_count()
+    }
+
+    /// The router-side result cache (its statistics back the `router_*`
+    /// fields of the routed `CACHE STATS` line).
+    pub fn cache(&self) -> &RouterCache {
+        &self.shared.cache
     }
 
     /// Atomically installs a new fleet layout between requests: in-flight
@@ -801,6 +819,7 @@ impl Router {
                 Err(e) => writeln!(w, "ERR metrics merge failed ({e})"),
                 Ok(mut merged) => {
                     merged.push_str(&obs.render());
+                    merged.push_str(&render_router_cache_metrics(&self.shared.cache.stats()));
                     writeln!(w, "OK metrics")?;
                     for l in merged.lines() {
                         writeln!(w, "{l}")?;
@@ -877,7 +896,8 @@ impl Router {
                         // Fleet-level, per-shard, or router-level fields
                         // replace these range-0 values.
                         Some((
-                            "rows" | "shard" | "shards" | "replica" | "uptime_secs" | "build",
+                            "rows" | "shard" | "shards" | "replica" | "uptime_secs" | "build"
+                            | "versions",
                             _,
                         )) => {}
                         Some(_) => write!(w, " {kv}")?,
@@ -907,9 +927,12 @@ impl Router {
     }
 
     /// `CACHE` fan-out: `STATS` sums every per-tier counter across one
-    /// replica per range (and appends `shards=N`); `CLEAR`/`CLEAR dims`
+    /// replica per range (appending `shards=N` and the router's own
+    /// `router_result_*`/`router_partial_*` tiers as distinct fields —
+    /// never summed into the shard counters); `CLEAR`/`CLEAR dims`
     /// broadcasts to **every replica** of every range so no sibling keeps
-    /// a stale cache.
+    /// a stale cache, and drops the router's own tiers first — routed
+    /// results compose shard work, so they go with it.
     fn handle_cache(&self, cmd: CacheCmd, w: &mut dyn Write) -> io::Result<()> {
         let line = match cmd {
             CacheCmd::Stats => "CACHE STATS",
@@ -917,13 +940,19 @@ impl Router {
             CacheCmd::ClearDims => "CACHE CLEAR dims",
         };
         match cmd {
-            CacheCmd::Clear | CacheCmd::ClearDims => match self.broadcast_status(line) {
-                Err(e) => writeln!(w, "ERR {e}"),
-                Ok(()) => match cmd {
-                    CacheCmd::ClearDims => writeln!(w, "OK cleared dims"),
-                    _ => writeln!(w, "OK cleared"),
-                },
-            },
+            CacheCmd::Clear | CacheCmd::ClearDims => {
+                // Local tiers first, unconditionally: even if some shard
+                // is unreachable, a cleared router tier is merely cold,
+                // never stale.
+                self.shared.cache.clear();
+                match self.broadcast_status(line) {
+                    Err(e) => writeln!(w, "ERR {e}"),
+                    Ok(()) => match cmd {
+                        CacheCmd::ClearDims => writeln!(w, "OK cleared dims"),
+                        _ => writeln!(w, "OK cleared"),
+                    },
+                }
+            }
             CacheCmd::Stats => match self.fanout_status(line) {
                 Err(e) => writeln!(w, "ERR {e}"),
                 Ok(lines) => {
@@ -945,7 +974,12 @@ impl Router {
                     for k in keys {
                         write!(w, " {k}={}", sums[k])?;
                     }
-                    writeln!(w, " shards={}", self.shard_count())
+                    writeln!(
+                        w,
+                        " shards={} {}",
+                        self.shard_count(),
+                        render_router_cache_stats(&self.shared.cache.stats())
+                    )
                 }
             },
         }
@@ -953,49 +987,246 @@ impl Router {
 
     /// Validates client options locally: `mode` is router-reserved, and
     /// anything `apply_overrides` would reject on a shard is rejected here
-    /// without touching the fleet. Returns the parsed request controls
-    /// (the router acts on `trace=`).
+    /// without touching the fleet. Returns the normalized plan options
+    /// (what the router-cache fingerprint covers) plus the request
+    /// controls (the router acts on `trace=` and `cache=`).
     fn check_options(
         &self,
         options: &[(String, String)],
-    ) -> Result<qppt_server::RunControls, String> {
+    ) -> Result<(PlanOptions, RunControls), String> {
         if options.iter().any(|(k, _)| k == MODE_KEY) {
             return Err(
                 "option mode is reserved on the router (it always gathers partials)".to_string(),
             );
         }
-        apply_overrides(PlanOptions::default(), options).map(|(_, controls)| controls)
+        apply_overrides(PlanOptions::default(), options)
     }
 
     /// Scatters the client's own `RUN`/`QUERY` line (plus `mode=partial`,
     /// plus a pinned `trace=<id>` when the request is traced — appended
     /// *after* the client's options, so the later duplicate wins on the
     /// shards and every shard stamps its spans with the router's id) and
-    /// writes the merged full response.
+    /// writes the merged full response. The router's result cache fronts
+    /// the scatter unless the client sent `cache=off` (which also reaches
+    /// the shards via the forwarded line, so `off` means off fleet-wide).
     fn scatter_and_respond(
         &self,
         verb: &'static str,
         line: &str,
-        order_by: &[OrderKey],
-        trace_mode: TraceMode,
+        spec: &QuerySpec,
+        opts: &PlanOptions,
+        controls: &RunControls,
         mut w: &mut dyn Write,
     ) -> io::Result<()> {
         let started = Instant::now();
-        let trace_mode = self.sample_trace(trace_mode);
+        let trace_mode = self.sample_trace(controls.trace);
         let mut trace = make_trace(trace_mode);
         let forward = match &trace {
             Some(t) => format!("{line} {MODE_KEY}=partial {TRACE_KEY}={}", t.id()),
             None => format!("{line} {MODE_KEY}=partial"),
         };
-        let out = match self.scatter_partial_traced(&forward, order_by, trace.as_mut()) {
+        let gathered = if controls.use_cache && self.shared.cache.enabled() {
+            self.scatter_cached(&forward, spec, opts, trace.as_mut())
+        } else {
+            self.scatter_partial_traced(&forward, &spec.order_by, trace.as_mut())
+        };
+        match gathered {
             Err(e) => writeln!(w, "ERR {e}"),
             Ok((result, stats, workers)) => {
+                let outcome = router_outcome_of(&stats).to_string();
                 let spans = finish_trace(trace, stats.total_micros);
-                write_run_response(&mut w, &result, &stats, workers, &spans)
+                let out = write_run_response(&mut w, &result, &stats, workers, &spans);
+                self.slow_log(verb, line, &outcome, &spans, started);
+                out
             }
+        }
+    }
+
+    /// The cached scatter (the routed hot path): establish a fresh-enough
+    /// per-range version vector (probed state within the staleness bound,
+    /// else an on-demand `INFO` probe), serve a merged-tier hit without
+    /// touching any shard, otherwise scatter **only the ranges whose
+    /// partial is not cached**, re-merge locally, and populate both tiers.
+    /// Any probe failure falls back to the plain uncached scatter — the
+    /// cache can make a query cheaper, never less available. Result bytes
+    /// are identical to the uncached path on every outcome.
+    fn scatter_cached(
+        &self,
+        forward: &str,
+        spec: &QuerySpec,
+        opts: &PlanOptions,
+        mut trace: Option<&mut Trace>,
+    ) -> Result<(QueryResult, ExecStats, usize), RouterError> {
+        let cache = &self.shared.cache;
+        let started = Instant::now();
+        let obs = self.obs.as_deref();
+        let map = self.shared.map.load();
+        let generation = map.generation();
+        let n = map.range_count();
+        let qfp = fingerprint_query(spec, opts);
+
+        let mut versions = cache.cached_versions(generation, n);
+        for (ri, slot) in versions.iter_mut().enumerate() {
+            if slot.is_none() {
+                match self.probe_versions(map, ri) {
+                    Some(vs) => {
+                        cache.record_versions(generation, n, ri, vs.clone());
+                        *slot = Some(vs);
+                    }
+                    // No version vector, no freshness proof — serve this
+                    // request uncached rather than fail or stale-serve.
+                    None => return self.scatter_partial_traced(forward, &spec.order_by, trace),
+                }
+            }
+        }
+        let versions: Vec<Vec<u64>> = versions.into_iter().flatten().collect();
+
+        if let Some(hit) = cache.get_merged(&FleetKey::merged(qfp, generation, &versions)) {
+            let mut stats = ExecStats::default();
+            stats.push(router_cache_op(
+                "router cache: result hit".to_string(),
+                hit.result.rows.len(),
+            ));
+            if let Some(t) = trace.as_deref_mut() {
+                t.add(t.root(), "router_cache", elapsed_micros(started));
+            }
+            stats.total_micros = started.elapsed().as_micros();
+            return Ok((hit.result.clone(), stats, hit.workers));
+        }
+
+        let mut cached_parts: Vec<Option<Arc<CachedPartial>>> = (0..n)
+            .map(|ri| cache.get_partial(&FleetKey::partial(qfp, ri, n, &versions[ri])))
+            .collect();
+
+        // Scatter the missing ranges first (they execute concurrently),
+        // then gather in range order — the same discipline as the
+        // uncached path, restricted to the ranges that need a shard.
+        let mut retry = RetryState {
+            budget: self.retry_budget,
         };
-        self.slow_log(verb, started);
-        out
+        let in_flight: Vec<(usize, SendOutcome)> = (0..n)
+            .filter(|&ri| cached_parts[ri].is_none())
+            .map(|ri| (ri, self.send_to_range(map.range(ri), forward)))
+            .collect();
+        let mut query_err: Option<String> = None;
+        let mut unavailable: Option<(usize, String)> = None;
+        let mut fresh: Vec<Option<(Gathered, usize)>> = (0..n).map(|_| None).collect();
+        let any_scatter = !in_flight.is_empty();
+        for (ri, sent) in in_flight {
+            match self.gather_range(map, ri, sent, forward, read_partial_response, &mut retry) {
+                Ok((g, replica)) => {
+                    if let Some(o) = obs {
+                        o.record_rtt(ri, elapsed_micros(started));
+                        o.note_replica_request(ri, replica);
+                    }
+                    fresh[ri] = Some((g, replica));
+                }
+                Err(GatherError::Query(msg)) => {
+                    if query_err.is_none() {
+                        query_err = Some(msg);
+                    }
+                }
+                Err(GatherError::Unavailable(detail)) => {
+                    if unavailable.is_none() {
+                        unavailable = Some((ri, detail));
+                    }
+                }
+            }
+        }
+        if let Some(msg) = query_err {
+            return Err(RouterError::Query(msg));
+        }
+        if let Some((range, detail)) = unavailable {
+            return Err(RouterError::RangeUnavailable { range, detail });
+        }
+        if let Some(t) = trace.as_deref_mut() {
+            if any_scatter {
+                let scatter = t.add(t.root(), "scatter", elapsed_micros(started));
+                for (i, slot) in fresh.iter().enumerate() {
+                    if let Some((g, _)) = slot {
+                        if !g.stats.spans.is_empty() {
+                            let _ = t.graft(scatter, &format!("shard{i}"), &g.stats.spans);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Assemble in range order: fresh gathers are cached under the
+        // versions this request *probed* (possibly already superseded —
+        // the next probe invalidates them, keeping staleness inside the
+        // probe bound), cached partials are cloned in place.
+        let mut stats = ExecStats::default();
+        let mut parts: Vec<PartialAggregate> = Vec::with_capacity(n);
+        let mut workers = 1usize;
+        for ri in 0..n {
+            if let Some((g, replica)) = fresh[ri].take() {
+                workers = workers.max(g.stats.workers);
+                stats.push(OpStats {
+                    label: format!(
+                        "gather: shard {ri} replica {replica} @ {}",
+                        map.range(ri).replica(replica).addr()
+                    ),
+                    out_keys: g.partial.group_count(),
+                    out_tuples: g.partial.group_count(),
+                    index_kind: "wire".to_string(),
+                    memory_bytes: 0,
+                    micros: g.stats.total_micros,
+                });
+                cache.put_partial(
+                    &FleetKey::partial(qfp, ri, n, &versions[ri]),
+                    Arc::new(CachedPartial {
+                        partial: g.partial.clone(),
+                        workers: g.stats.workers,
+                    }),
+                );
+                parts.push(g.partial);
+            } else {
+                let hit = cached_parts[ri].take().expect("range cached or gathered");
+                workers = workers.max(hit.workers);
+                stats.push(router_cache_op(
+                    format!("router cache: partial hit (shard {ri})"),
+                    hit.partial.group_count(),
+                ));
+                parts.push(hit.partial.clone());
+            }
+        }
+
+        let merge_started = Instant::now();
+        let merged = merge_partial_aggregates(parts)
+            .map_err(|e| RouterError::Query(e.to_string()))?
+            .expect("at least one range");
+        let result = merged.into_result(&spec.order_by);
+        let merge_micros = elapsed_micros(merge_started);
+        if let Some(o) = obs {
+            o.record_merge(merge_micros);
+        }
+        if let Some(t) = trace {
+            t.add(t.root(), "merge", merge_micros);
+        }
+        cache.put_merged(
+            &FleetKey::merged(qfp, generation, &versions),
+            Arc::new(CachedMerged {
+                result: result.clone(),
+                workers,
+            }),
+        );
+        stats.total_micros = started.elapsed().as_micros();
+        Ok((result, stats, workers))
+    }
+
+    /// On-demand version probe: one `INFO` round-trip to range `ri`
+    /// (with the usual in-range failover, under a probe-local budget).
+    /// `None` when the range is unreachable or its `INFO` carries no
+    /// parseable `versions=` field (an old server build).
+    fn probe_versions(&self, map: &ShardMap, ri: usize) -> Option<Vec<u64>> {
+        let mut retry = RetryState { budget: 1 };
+        let sent = self.send_to_range(map.range(ri), "INFO");
+        let read = |c: &mut ShardConn| c.read_status();
+        match self.gather_range(map, ri, sent, "INFO", read, &mut retry) {
+            Ok((status, _)) => parse_versions_field(&status),
+            Err(_) => None,
+        }
     }
 
     /// Applies `--trace-sample-rate` to one routed `RUN`/`QUERY`: an
@@ -1023,10 +1254,17 @@ impl Router {
         }
     }
 
-    /// Emits the router's slow-query log line (and counts it) when the
-    /// routed request's wall time reached the `--slow-query-micros`
-    /// threshold.
-    fn slow_log(&self, verb: &'static str, started: Instant) {
+    /// Records a slow routed request in the ring served by the router's
+    /// `METRICS SLOW` (and counts it) when its wall time reached the
+    /// `--slow-query-micros` threshold.
+    fn slow_log(
+        &self,
+        verb: &'static str,
+        line: &str,
+        outcome: &str,
+        spans: &[SpanRec],
+        started: Instant,
+    ) {
         let Some(obs) = &self.obs else { return };
         let Some(threshold) = obs.slow_threshold() else {
             return;
@@ -1036,10 +1274,40 @@ impl Router {
             return;
         }
         obs.note_slow();
-        eprintln!(
-            "slow-query verb={verb} outcome=\"routed\" micros={micros} shards={}",
-            self.shard_count()
-        );
+        obs.slow_ring().push(SlowEntry {
+            verb: verb.to_string(),
+            line: line.to_string(),
+            outcome: outcome.to_string(),
+            micros,
+            spans: spans.to_vec(),
+        });
+    }
+}
+
+/// Where a routed response came from, read back off its op list: the last
+/// router-cache op names the tier outcome; a response with none was a
+/// plain scatter/merge.
+fn router_outcome_of(stats: &ExecStats) -> &str {
+    stats
+        .ops
+        .iter()
+        .rev()
+        .find(|op| op.index_kind == "cache")
+        .map(|op| op.label.as_str())
+        .unwrap_or("routed")
+}
+
+/// An [`OpStats`] line marking a router-cache outcome on the response —
+/// the same `index=cache` shape the shard tiers stamp, so clients parse
+/// one convention.
+fn router_cache_op(label: String, keys: usize) -> OpStats {
+    OpStats {
+        label,
+        out_keys: keys,
+        out_tuples: keys,
+        index_kind: "cache".to_string(),
+        memory_bytes: 0,
+        micros: 0,
     }
 }
 
@@ -1092,7 +1360,33 @@ fn prober_loop(shared: &Shared) {
                 }
             }
         }
+        // Version-refresh piggyback: re-probe recently used ranges whose
+        // cached version vector is aging toward the staleness bound, so
+        // warm cache traffic rarely pays an on-demand `INFO` round-trip.
+        // Best-effort — a failed refresh just leaves the vector to expire.
+        if shared.cache.enabled() {
+            let generation = map.generation();
+            let n = map.range_count();
+            for ri in shared.cache.refresh_due(generation, n) {
+                if let Some(vs) = probe_versions_fresh(map, ri) {
+                    shared.cache.record_versions(generation, n, ri, vs);
+                }
+            }
+        }
     }
+}
+
+/// One background version probe: a fresh dial + `INFO` on the range's
+/// preferred replica. Fresh connections only — the prober must not
+/// compete with request traffic for pooled conns or convict replicas.
+fn probe_versions_fresh(map: &ShardMap, ri: usize) -> Option<Vec<u64>> {
+    let range = map.range(ri);
+    let rep = range.replica(range.preferred());
+    let mut c = rep.pool().dial().ok()?;
+    c.send_line("INFO").ok()?;
+    let status = c.read_status().ok()?;
+    rep.pool().checkin(c);
+    parse_versions_field(&status)
 }
 
 /// One health probe: fresh dial + `PING` + status. Returns the connection
@@ -1154,7 +1448,7 @@ fn verb_of(req: &Request) -> &'static str {
         Request::Explain { .. } | Request::ExplainSpec { .. } => "EXPLAIN",
         Request::Run { .. } => "RUN",
         Request::Query { .. } => "QUERY",
-        Request::Metrics => "METRICS",
+        Request::Metrics | Request::MetricsSlow => "METRICS",
     }
 }
 
@@ -1193,13 +1487,17 @@ impl Router {
             }
             Ok(Request::Info) => self.handle_info(&mut w)?,
             Ok(Request::Metrics) => self.handle_metrics(&mut w)?,
+            Ok(Request::MetricsSlow) => match &self.obs {
+                None => writeln!(w, "ERR metrics disabled (--no-obs)")?,
+                Some(obs) => write_slow_response(&mut w, &obs.slow_ring().snapshot())?,
+            },
             Ok(Request::Cache(cmd)) => self.handle_cache(cmd, &mut w)?,
             Ok(Request::List) | Ok(Request::Explain { .. }) | Ok(Request::ExplainSpec { .. }) => {
                 self.relay_text(line, &mut w)?
             }
             Ok(Request::Run { query, options }) => match self.check_options(&options) {
                 Err(msg) => writeln!(w, "ERR {msg}")?,
-                Ok(controls) => {
+                Ok((opts, controls)) => {
                     match self.queries.get(&query) {
                         // Mirrors the shard-side unknown-name error so
                         // clients see one message either way.
@@ -1208,28 +1506,15 @@ impl Router {
                             "ERR unknown query {query} (LIST shows the registered names)"
                         )?,
                         Some(spec) => {
-                            let order_by = spec.order_by.clone();
-                            self.scatter_and_respond(
-                                "RUN",
-                                line,
-                                &order_by,
-                                controls.trace,
-                                &mut w,
-                            )?;
+                            self.scatter_and_respond("RUN", line, spec, &opts, &controls, &mut w)?;
                         }
                     }
                 }
             },
             Ok(Request::Query { spec, options }) => match self.check_options(&options) {
                 Err(msg) => writeln!(w, "ERR {msg}")?,
-                Ok(controls) => {
-                    self.scatter_and_respond(
-                        "QUERY",
-                        line,
-                        &spec.order_by,
-                        controls.trace,
-                        &mut w,
-                    )?;
+                Ok((opts, controls)) => {
+                    self.scatter_and_respond("QUERY", line, &spec, &opts, &controls, &mut w)?;
                 }
             },
         }

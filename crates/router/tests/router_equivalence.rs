@@ -6,16 +6,25 @@
 //! * `INFO` fan-out reports the exact fleet row total and shard map;
 //! * ad-hoc `QUERY` through the router hits the shard-local dimension-σ
 //!   cache tier with exact counters (σ families are shared per shard,
-//!   across distinct queries).
+//!   across distinct queries);
+//! * the router-side result cache never changes bytes — cold fill, warm
+//!   merged-tier hit, and per-request `cache=off` bypass all match the
+//!   oracle at every shard count, with exact `router_result_*` /
+//!   `router_partial_*` counters;
+//! * a write to **one** shard invalidates exactly that range's partial
+//!   and the merged results composed from it — the untouched range's
+//!   partial keeps hitting and only the written range is re-scattered.
 
 use std::sync::Arc;
 use std::time::Duration;
 
+use qppt_cache::QueryCache;
 use qppt_core::{prepare_indexes, PlanOptions, QpptEngine};
 use qppt_par::WorkerPool;
 use qppt_router::{serve_router, Router, RouterConfig};
 use qppt_server::{serve, QpptClient, ServeEngine, ServerHandle};
 use qppt_ssb::{queries, SsbDb};
+use qppt_storage::Database;
 
 const SF: f64 = 0.01;
 const SEED: u64 = 42;
@@ -218,4 +227,277 @@ fn adhoc_queries_share_shard_local_sigma_families() {
 
     client.quit().expect("clean quit");
     fleet.stop();
+}
+
+#[test]
+fn router_cache_is_byte_identical_on_off_and_vs_oracle() {
+    // The oracle: the sequential engine over the full, unsharded instance.
+    let opts = PlanOptions::default();
+    let mut ssb = SsbDb::generate(SF, SEED);
+    for q in queries::all_queries() {
+        prepare_indexes(&mut ssb.db, &q, &opts).expect("indexes build");
+    }
+    let oracle = QpptEngine::new(&ssb.db);
+    let all = queries::all_queries();
+    let expected: Vec<_> = all
+        .iter()
+        .map(|q| oracle.run(q, &opts).expect("oracle runs"))
+        .collect();
+    let n = all.len() as u64;
+
+    for shards in [1usize, 2, 4] {
+        let fleet = start_fleet(shards);
+        let mut client = QpptClient::connect(fleet.router.addr()).expect("connect router");
+        let stat = |kvs: &[(String, String)], key: &str| -> u64 {
+            field(kvs, key)
+                .parse()
+                .unwrap_or_else(|_| panic!("non-numeric {key}"))
+        };
+
+        // Cold sweep: every query fills the merged tier (one miss each)
+        // and the partial tier (one miss per range each).
+        let s0 = client.cache_stats().expect("stats");
+        for (qi, q) in all.iter().enumerate() {
+            let served = client
+                .run(&q.id.to_ascii_lowercase(), &[])
+                .unwrap_or_else(|e| panic!("{} cold at {shards} shards: {e}", q.id));
+            assert_eq!(served.result, expected[qi], "{} cold bytes", q.id);
+        }
+        let s1 = client.cache_stats().expect("stats");
+        assert_eq!(
+            stat(&s1, "router_result_misses") - stat(&s0, "router_result_misses"),
+            n,
+            "one merged miss per cold query at {shards} shards"
+        );
+        assert_eq!(
+            stat(&s1, "router_result_hits"),
+            stat(&s0, "router_result_hits")
+        );
+        assert_eq!(
+            stat(&s1, "router_partial_misses") - stat(&s0, "router_partial_misses"),
+            n * shards as u64,
+            "one partial miss per range per cold query"
+        );
+
+        // Warm sweep: every query is a merged-tier hit — the partial tier
+        // is never consulted (the merged hit short-circuits the scatter).
+        for (qi, q) in all.iter().enumerate() {
+            let served = client
+                .run(&q.id.to_ascii_lowercase(), &[])
+                .unwrap_or_else(|e| panic!("{} warm at {shards} shards: {e}", q.id));
+            assert_eq!(served.result, expected[qi], "{} warm bytes", q.id);
+        }
+        let s2 = client.cache_stats().expect("stats");
+        assert_eq!(
+            stat(&s2, "router_result_hits") - stat(&s1, "router_result_hits"),
+            n,
+            "one merged hit per warm query at {shards} shards"
+        );
+        assert_eq!(
+            stat(&s2, "router_result_misses"),
+            stat(&s1, "router_result_misses")
+        );
+        assert_eq!(
+            stat(&s2, "router_partial_hits"),
+            stat(&s1, "router_partial_hits")
+        );
+        assert_eq!(
+            stat(&s2, "router_partial_misses"),
+            stat(&s1, "router_partial_misses")
+        );
+
+        // Per-request bypass: `cache=off` never touches either router
+        // tier and still matches the oracle byte for byte.
+        for (qi, q) in all.iter().enumerate() {
+            let served = client
+                .run(&q.id.to_ascii_lowercase(), &[("cache", "off")])
+                .unwrap_or_else(|e| panic!("{} cache=off at {shards} shards: {e}", q.id));
+            assert_eq!(served.result, expected[qi], "{} cache=off bytes", q.id);
+        }
+        let s3 = client.cache_stats().expect("stats");
+        for key in [
+            "router_result_hits",
+            "router_result_misses",
+            "router_result_invalidations",
+            "router_result_entries",
+            "router_partial_hits",
+            "router_partial_misses",
+            "router_partial_invalidations",
+            "router_partial_entries",
+        ] {
+            assert_eq!(
+                stat(&s3, key),
+                stat(&s2, key),
+                "cache=off must leave {key} untouched at {shards} shards"
+            );
+        }
+        assert_eq!(stat(&s3, "router_result_invalidations"), 0);
+        assert_eq!(stat(&s3, "router_partial_invalidations"), 0);
+
+        client.quit().expect("clean quit");
+        fleet.stop();
+    }
+}
+
+#[test]
+fn single_shard_write_invalidates_exactly_that_range() {
+    const SHARDS: usize = 2;
+    let pool = WorkerPool::new(4, 16);
+    let opts = PlanOptions::default();
+    let defaults = PlanOptions::default().with_parallelism(2);
+
+    // Externally owned shard databases and caches (the cache_throughput
+    // pattern), so a write can land mid-test: stop the shard's listener,
+    // mutate the then-uniquely-owned database, re-serve on the *same*
+    // address — the router's shard map never moves, so the only signal a
+    // cached entry can go stale on is the probed version vector.
+    let mut dbs: Vec<Arc<Database>> = (0..SHARDS)
+        .map(|i| {
+            let mut ssb = SsbDb::generate_shard(SF, SEED, i, SHARDS);
+            for q in queries::all_queries() {
+                prepare_indexes(&mut ssb.db, &q, &opts).expect("indexes build");
+            }
+            Arc::new(ssb.db)
+        })
+        .collect();
+    let caches: Vec<Arc<QueryCache>> = (0..SHARDS)
+        .map(|_| Arc::new(QueryCache::default()))
+        .collect();
+    let serve_shard = |i: usize, db: Arc<Database>, addr: &str| -> ServerHandle {
+        let engine = ServeEngine::over_db_with_cache(
+            db,
+            pool.clone(),
+            defaults,
+            SF,
+            SEED,
+            caches[i].clone(),
+        )
+        .with_shard_info(i, SHARDS);
+        serve(Arc::new(engine), addr).expect("shard binds")
+    };
+    let mut handles: Vec<ServerHandle> = (0..SHARDS)
+        .map(|i| serve_shard(i, dbs[i].clone(), "127.0.0.1:0"))
+        .collect();
+    let addrs: Vec<String> = handles.iter().map(|h| h.addr().to_string()).collect();
+
+    // A short staleness bound so the test's one post-write sleep suffices
+    // for the next lookup to re-probe instead of trusting the old vector.
+    let mut config = RouterConfig::new(addrs.clone());
+    config.cache.probe_interval = Duration::from_millis(50);
+    let router = Arc::new(Router::new(config));
+    router
+        .wait_for_shards(Duration::from_secs(30))
+        .expect("shards answer PING");
+    let rh = serve_router(router, "127.0.0.1:0").expect("router binds");
+    let mut client = QpptClient::connect(rh.addr()).expect("connect router");
+    let stat = |kvs: &[(String, String)], key: &str| -> u64 {
+        field(kvs, key)
+            .parse()
+            .unwrap_or_else(|_| panic!("non-numeric {key}"))
+    };
+
+    // Cold fill + warm merged hit.
+    let s0 = client.cache_stats().expect("stats");
+    let cold = client.run("q2.3", &[]).expect("cold routed run");
+    let warm = client.run("q2.3", &[]).expect("warm routed run");
+    assert_eq!(warm.result, cold.result, "warm merged-hit bytes");
+    let s1 = client.cache_stats().expect("stats");
+    assert_eq!(
+        stat(&s1, "router_result_misses") - stat(&s0, "router_result_misses"),
+        1
+    );
+    assert_eq!(
+        stat(&s1, "router_result_hits") - stat(&s0, "router_result_hits"),
+        1
+    );
+    assert_eq!(
+        stat(&s1, "router_partial_misses") - stat(&s0, "router_partial_misses"),
+        2
+    );
+    assert_eq!(
+        stat(&s1, "router_partial_hits"),
+        stat(&s0, "router_partial_hits")
+    );
+
+    // The write: shard 0 restarts on its own address with one fact row
+    // deleted — its table-version vector moves, shard 1's does not.
+    let h0 = handles.remove(0);
+    h0.stop();
+    {
+        let db0 = Arc::get_mut(&mut dbs[0]).expect("listener stopped; db uniquely owned");
+        db0.delete_row("lineorder", 0).expect("the write lands");
+    }
+    handles.insert(0, serve_shard(0, dbs[0].clone(), &addrs[0]));
+    // Sit out the staleness bound: the next lookup must re-probe.
+    std::thread::sleep(Duration::from_millis(120));
+
+    // Exactly range 0 is re-fetched: the merged entry and shard 0's
+    // partial register as *invalidations* (same key, moved versions),
+    // shard 1's partial keeps hitting, and nothing counts as a miss.
+    let post = client.run("q2.3", &[]).expect("post-write routed run");
+    let s2 = client.cache_stats().expect("stats");
+    assert_eq!(
+        stat(&s2, "router_result_invalidations") - stat(&s1, "router_result_invalidations"),
+        1,
+        "the write invalidates the merged entry"
+    );
+    assert_eq!(
+        stat(&s2, "router_result_misses"),
+        stat(&s1, "router_result_misses")
+    );
+    assert_eq!(
+        stat(&s2, "router_result_hits"),
+        stat(&s1, "router_result_hits")
+    );
+    assert_eq!(
+        stat(&s2, "router_partial_invalidations") - stat(&s1, "router_partial_invalidations"),
+        1,
+        "only the written range's partial is invalidated"
+    );
+    assert_eq!(
+        stat(&s2, "router_partial_hits") - stat(&s1, "router_partial_hits"),
+        1,
+        "the untouched range's partial keeps hitting"
+    );
+    assert_eq!(
+        stat(&s2, "router_partial_misses"),
+        stat(&s1, "router_partial_misses")
+    );
+
+    // Byte-identity of the re-merge: the cached path agrees with the
+    // uncached router over the written fleet…
+    let uncached = client
+        .run("q2.3", &[("cache", "off")])
+        .expect("uncached post-write run");
+    assert_eq!(
+        post.result, uncached.result,
+        "post-write bytes match the uncached router"
+    );
+    let s3 = client.cache_stats().expect("stats");
+    for key in [
+        "router_result_hits",
+        "router_result_misses",
+        "router_result_invalidations",
+        "router_partial_hits",
+        "router_partial_misses",
+        "router_partial_invalidations",
+    ] {
+        assert_eq!(stat(&s3, key), stat(&s2, key), "cache=off moved {key}");
+    }
+
+    // …and the re-merged entry serves warm hits again.
+    let rewarm = client.run("q2.3", &[]).expect("re-warmed routed run");
+    assert_eq!(rewarm.result, post.result, "re-warmed bytes");
+    let s4 = client.cache_stats().expect("stats");
+    assert_eq!(
+        stat(&s4, "router_result_hits") - stat(&s3, "router_result_hits"),
+        1
+    );
+
+    client.quit().expect("clean quit");
+    rh.stop();
+    for h in handles {
+        h.stop();
+    }
+    pool.shutdown();
 }

@@ -34,7 +34,9 @@ use std::time::{Duration, Instant};
 use qppt_core::{prepare_indexes, PlanOptions, QpptEngine};
 use qppt_obs::parse_exposition;
 use qppt_par::WorkerPool;
-use qppt_router::{serve_router, ChaosMode, ChaosProxy, Router, RouterConfig, RouterObs};
+use qppt_router::{
+    serve_router, ChaosMode, ChaosProxy, Router, RouterCacheConfig, RouterConfig, RouterObs,
+};
 use qppt_server::{serve, ClientError, QpptClient, ServeEngine};
 use qppt_ssb::{queries, SsbDb};
 use qppt_storage::QueryResult;
@@ -148,6 +150,11 @@ fn failover_keeps_all_queries_byte_identical_with_exact_metrics() {
     config.retry_backoff_cap = Duration::from_millis(50);
     config.probe_interval = Duration::from_millis(50);
     config.probe_backoff_cap = Duration::from_millis(200);
+    // The fault script pins *exact* failover and replica-request counts
+    // across repeated sweeps of the same 13 queries — the router cache
+    // would serve repeats without touching the fleet, so it stays off
+    // here (router_equivalence exercises caching under chaos).
+    config.cache = RouterCacheConfig::disabled();
     let router = Arc::new(Router::new(config).with_obs(RouterObs::new(RANGES, None)));
     router
         .wait_for_shards(Duration::from_secs(60))
@@ -280,6 +287,241 @@ fn failover_keeps_all_queries_byte_identical_with_exact_metrics() {
     wait_live(&router, 4, Duration::from_secs(10));
     sweep(&mut client, &oracle, &all_ids, "after outage");
     assert_eq!(failovers(&router), 3, "final failover count");
+
+    client.quit().expect("clean quit");
+    rh.stop();
+    for range in &proxies {
+        for p in range {
+            p.kill();
+        }
+    }
+    for h in shards {
+        h.stop();
+    }
+    pool.shutdown();
+}
+
+/// The router cache under chaos: a topology swap invalidates every merged
+/// entry via the generation while the surviving ranges' partials keep
+/// hitting (the re-merge touches **zero** shards), replica death leaves
+/// warm merged hits serving untouched (the data cannot have changed — only
+/// the transport did), and `CACHE CLEAR` re-scatters cold, not stale.
+/// Byte-identity to the single-node oracle holds throughout.
+#[test]
+fn cached_serving_survives_topology_swaps_and_replica_chaos() {
+    let pool = WorkerPool::new(2, 8);
+    let defaults = PlanOptions::default()
+        .with_parallelism(2)
+        .with_par_index_build(true);
+
+    let shards: Vec<_> = (0..RANGES)
+        .map(|i| {
+            // Instrumented shards: the final cross-surface check scrapes
+            // the fleet-merged METRICS exposition through the router.
+            let engine = Arc::new(
+                ServeEngine::with_ssb_shard(SF, SEED, pool.clone(), defaults, i, RANGES)
+                    .expect("shard engine builds")
+                    .with_obs(qppt_server::ServeObs::new(None)),
+            );
+            serve(engine, "127.0.0.1:0").expect("shard binds")
+        })
+        .collect();
+    let proxies: Vec<Vec<Arc<ChaosProxy>>> = shards
+        .iter()
+        .map(|h| {
+            (0..REPLICAS)
+                .map(|_| ChaosProxy::start(h.addr().to_string()).expect("proxy binds"))
+                .collect()
+        })
+        .collect();
+    let fleet: Vec<Vec<String>> = proxies
+        .iter()
+        .map(|range| range.iter().map(|p| p.addr()).collect())
+        .collect();
+
+    let mut config = RouterConfig::with_fleet(fleet.clone());
+    config.probe_interval = Duration::from_millis(50);
+    // A staleness bound far past the test's runtime: once a range's
+    // version vector is probed it stays trusted, so every post-phase
+    // counter below is exact (no re-probe races).
+    config.cache.probe_interval = Duration::from_secs(60);
+    let router = Arc::new(Router::new(config).with_obs(RouterObs::new(RANGES, None)));
+    router
+        .wait_for_shards(Duration::from_secs(60))
+        .expect("fleet answers PING through the proxies");
+    let rh = serve_router(router.clone(), "127.0.0.1:0").expect("router binds");
+
+    let opts = PlanOptions::default();
+    let mut ssb = SsbDb::generate(SF, SEED);
+    for q in queries::all_queries() {
+        prepare_indexes(&mut ssb.db, &q, &opts).expect("indexes build");
+    }
+    let engine = QpptEngine::new(&ssb.db);
+    let ids = ["q1.1", "q2.3", "q3.1"];
+    let oracle: Vec<(String, QueryResult)> = queries::all_queries()
+        .into_iter()
+        .filter(|q| ids.contains(&q.id.to_ascii_lowercase().as_str()))
+        .map(|q| {
+            let expected = engine.run(&q, &opts).expect("oracle runs");
+            (q.id.to_ascii_lowercase(), expected)
+        })
+        .collect();
+    let n = ids.len() as u64;
+
+    let mut client = QpptClient::connect(rh.addr()).expect("connect router");
+    let stat = |kvs: &[(String, String)], key: &str| -> u64 {
+        kvs.iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or_else(|| panic!("missing/non-numeric CACHE STATS field {key}"))
+    };
+    let fleet_exchanges = |router: &Router| -> i64 {
+        (0..RANGES)
+            .map(|s| {
+                (0..REPLICAS)
+                    .map(|r| replica_requests(router, s, r))
+                    .sum::<i64>()
+            })
+            .sum()
+    };
+
+    // Phase 1 — cold fill + warm merged hits.
+    sweep(&mut client, &oracle, &ids, "cache-on cold");
+    sweep(&mut client, &oracle, &ids, "cache-on warm");
+    let s1 = client.cache_stats().expect("stats");
+    assert_eq!(
+        stat(&s1, "router_result_misses"),
+        n,
+        "one merged miss per cold query"
+    );
+    assert_eq!(
+        stat(&s1, "router_result_hits"),
+        n,
+        "one merged hit per warm query"
+    );
+    assert_eq!(stat(&s1, "router_partial_misses"), n * RANGES as u64);
+    assert_eq!(
+        stat(&s1, "router_probes"),
+        RANGES as u64,
+        "first cold query probes each range once"
+    );
+    let exchanges_cold = fleet_exchanges(&router);
+    assert_eq!(
+        exchanges_cold,
+        (n as i64) * RANGES as i64,
+        "warm hits never touch the fleet"
+    );
+
+    // Phase 2 — swap to the *same* fleet: a new topology generation. Every
+    // merged entry invalidates; every partial (keyed without a generation,
+    // versioned by its shard alone) survives — the re-merge is answered
+    // entirely router-side, with zero shard exchanges.
+    router
+        .swap_fleet(fleet.clone())
+        .expect("swap to same fleet");
+    sweep(&mut client, &oracle, &ids, "after swap");
+    let s2 = client.cache_stats().expect("stats");
+    assert_eq!(
+        stat(&s2, "router_result_invalidations") - stat(&s1, "router_result_invalidations"),
+        n,
+        "the swap invalidates every merged entry"
+    );
+    assert_eq!(
+        stat(&s2, "router_result_misses"),
+        stat(&s1, "router_result_misses")
+    );
+    assert_eq!(
+        stat(&s2, "router_partial_hits") - stat(&s1, "router_partial_hits"),
+        n * RANGES as u64,
+        "every range's partial survives the swap"
+    );
+    assert_eq!(
+        stat(&s2, "router_partial_misses"),
+        stat(&s1, "router_partial_misses")
+    );
+    assert_eq!(stat(&s2, "router_partial_invalidations"), 0);
+    assert_eq!(
+        stat(&s2, "router_probes") - stat(&s1, "router_probes"),
+        RANGES as u64,
+        "the new generation re-probes each range once"
+    );
+    assert_eq!(
+        fleet_exchanges(&router),
+        exchanges_cold,
+        "the post-swap re-merge is assembled without scattering"
+    );
+
+    // Phase 3 — kill a replica. Warm merged hits keep serving: within the
+    // staleness bound the data cannot have changed, so the dead transport
+    // is never consulted and no failover fires.
+    proxies[0][0].kill();
+    sweep(&mut client, &oracle, &ids, "replica dead, cache warm");
+    // Failovers are read before CACHE STATS: the stats *broadcast* itself
+    // fans out to the fleet and is allowed to fail over — the cached
+    // query path above must not have.
+    assert_eq!(failovers(&router), 0, "cached hits cannot fail over");
+    assert_eq!(fleet_exchanges(&router), exchanges_cold);
+    let s3 = client.cache_stats().expect("stats");
+    assert_eq!(
+        stat(&s3, "router_result_hits") - stat(&s2, "router_result_hits"),
+        n,
+        "cached serving is unaffected by the dead replica"
+    );
+    assert_eq!(stat(&s3, "router_probes"), stat(&s2, "router_probes"));
+
+    // Phase 4 — revive, then CACHE CLEAR: cleared is *cold*, not stale.
+    // The sweep re-scatters in full (fresh misses, no invalidations) and
+    // the kept version vectors mean no re-probe either.
+    proxies[0][0].revive().expect("revive replica");
+    wait_live(&router, (RANGES * REPLICAS) as i64, Duration::from_secs(10));
+    client.cache_clear().expect("routed CACHE CLEAR");
+    sweep(&mut client, &oracle, &ids, "after clear");
+    let s4 = client.cache_stats().expect("stats");
+    assert_eq!(
+        stat(&s4, "router_result_misses") - stat(&s3, "router_result_misses"),
+        n,
+        "cleared entries re-fill as misses"
+    );
+    assert_eq!(
+        stat(&s4, "router_partial_misses") - stat(&s3, "router_partial_misses"),
+        n * RANGES as u64
+    );
+    assert_eq!(
+        stat(&s4, "router_result_invalidations"),
+        stat(&s3, "router_result_invalidations")
+    );
+    assert_eq!(
+        stat(&s4, "router_probes"),
+        stat(&s3, "router_probes"),
+        "CACHE CLEAR keeps the probed version vectors"
+    );
+    assert_eq!(
+        fleet_exchanges(&router) - exchanges_cold,
+        (n as i64) * RANGES as i64,
+        "the post-clear sweep scatters in full"
+    );
+
+    // The routed METRICS exposition agrees with CACHE STATS field for
+    // field — both read one snapshot of the same tiers.
+    let expo = parse_exposition(&client.metrics().expect("routed METRICS"))
+        .expect("merged exposition parses");
+    for (tier, prefix) in [("result", "router_result"), ("partial", "router_partial")] {
+        for (family, field) in [
+            ("qppt_router_cache_hits_total", "hits"),
+            ("qppt_router_cache_misses_total", "misses"),
+            ("qppt_router_cache_invalidations_total", "invalidations"),
+        ] {
+            assert_eq!(
+                expo.value(family, &[("tier", tier)]),
+                Some(stat(&s4, &format!("{prefix}_{field}")) as i64),
+                "{family}{{tier={tier}}} must equal CACHE STATS {prefix}_{field}"
+            );
+        }
+    }
+    assert_eq!(
+        expo.value("qppt_router_cache_probes_total", &[]),
+        Some(stat(&s4, "router_probes") as i64)
+    );
 
     client.quit().expect("clean quit");
     rh.stop();

@@ -18,7 +18,7 @@ use std::time::Duration;
 use qppt_core::{prepare_indexes, PlanOptions, QpptEngine};
 use qppt_obs::{parse_exposition, validate_span_tree};
 use qppt_par::WorkerPool;
-use qppt_router::{serve_router, Router, RouterConfig, RouterObs};
+use qppt_router::{serve_router, Router, RouterCacheConfig, RouterConfig, RouterObs};
 use qppt_server::{serve, QpptClient, ServeEngine, ServeObs, ServerHandle};
 use qppt_ssb::{queries, SsbDb};
 
@@ -49,7 +49,13 @@ fn start_fleet() -> Fleet {
         addrs.push(h.addr().to_string());
         handles.push(h);
     }
-    let router = Router::new(RouterConfig::new(addrs)).with_obs(RouterObs::new(SHARDS, None));
+    // Router-side caching stays off: these tests pin *exact* per-shard
+    // request counts and full scatter traces across repeated identical
+    // queries, which the merged-result tier would intentionally absorb
+    // (router_equivalence covers the cached behavior).
+    let mut config = RouterConfig::new(addrs);
+    config.cache = RouterCacheConfig::disabled();
+    let router = Router::new(config).with_obs(RouterObs::new(SHARDS, None));
     router
         .wait_for_shards(Duration::from_secs(30))
         .expect("shards answer PING");

@@ -22,7 +22,9 @@ use std::time::{Duration, Instant};
 use qppt_core::{prepare_indexes, PlanOptions, QpptEngine};
 use qppt_obs::parse_exposition;
 use qppt_par::WorkerPool;
-use qppt_router::{serve_router, ChaosMode, ChaosProxy, Router, RouterConfig, RouterObs};
+use qppt_router::{
+    serve_router, ChaosMode, ChaosProxy, Router, RouterCacheConfig, RouterConfig, RouterObs,
+};
 use qppt_server::{serve, ClientError, QpptClient, ServeEngine};
 use qppt_ssb::{queries, SsbDb};
 
@@ -54,6 +56,9 @@ fn shard_death_is_structured_and_restart_heals() {
     let mut config = RouterConfig::new(vec![shard0_addr.clone(), shard1_addr.clone()]);
     config.connect_timeout = Duration::from_secs(2);
     config.read_timeout = Duration::from_secs(10);
+    // Cache off: a merged-tier hit would (correctly) absorb the repeated
+    // q2.3 after the kill — this test is about the transport error path.
+    config.cache = RouterCacheConfig::disabled();
     let router = Arc::new(Router::new(config));
     router
         .wait_for_shards(Duration::from_secs(30))
@@ -154,6 +159,9 @@ fn slow_shard_times_out_and_garbage_is_localized_not_repooled() {
     config.retry_backoff_cap = Duration::from_millis(50);
     config.probe_interval = Duration::from_millis(50);
     config.probe_backoff_cap = Duration::from_millis(200);
+    // Cache off: every repeated q2.3 here must genuinely traverse the
+    // chaos proxy to exercise the injected fault.
+    config.cache = RouterCacheConfig::disabled();
     let router = Arc::new(Router::new(config).with_obs(RouterObs::new(1, None)));
     router
         .wait_for_shards(Duration::from_secs(30))

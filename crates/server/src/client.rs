@@ -6,6 +6,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 use qppt_core::PartialAggregate;
+use qppt_obs::{SlowEntry, SpanRec};
 use qppt_storage::QueryResult;
 
 use crate::protocol::{
@@ -195,6 +196,32 @@ impl QpptClient {
         Ok(text)
     }
 
+    /// `METRICS SLOW` → the slow-query ring, oldest entry first, each
+    /// with its span tree reattached from the `# span` body lines.
+    /// `ERR metrics disabled (--no-obs)` surfaces as
+    /// [`ClientError::Server`].
+    pub fn metrics_slow(&mut self) -> Result<Vec<SlowEntry>, ClientError> {
+        self.send("METRICS SLOW")?;
+        read_status(&mut self.reader)?;
+        let mut entries: Vec<SlowEntry> = Vec::new();
+        for line in read_text_body(&mut self.reader)? {
+            if let Some(body) = line.strip_prefix("# span ") {
+                let span = SpanRec::parse(body)
+                    .map_err(|e| ClientError::Protocol(format!("bad slow span: {e}")))?;
+                entries
+                    .last_mut()
+                    .ok_or_else(|| {
+                        ClientError::Protocol(format!("span line before any slow entry: {line}"))
+                    })?
+                    .spans
+                    .push(span);
+            } else {
+                entries.push(parse_slow_entry(&line)?);
+            }
+        }
+        Ok(entries)
+    }
+
     /// `CACHE STATS` → per-tier cache counters as raw `key=value` fields.
     pub fn cache_stats(&mut self) -> Result<Vec<(String, String)>, ClientError> {
         self.send("CACHE STATS")?;
@@ -229,4 +256,25 @@ impl QpptClient {
         self.send("SHUTDOWN")?;
         read_status(&mut self.reader).map(|_| ())
     }
+}
+
+/// Parses one `METRICS SLOW` body line (the [`SlowEntry::wire`] format)
+/// back into an entry. Spans arrive on their own `# span` lines and are
+/// attached by the caller, so `spans` starts empty here.
+fn parse_slow_entry(line: &str) -> Result<SlowEntry, ClientError> {
+    let bad = || ClientError::Protocol(format!("bad slow entry: {line}"));
+    let rest = line.strip_prefix("slow verb=").ok_or_else(bad)?;
+    let (verb, rest) = rest.split_once(' ').ok_or_else(bad)?;
+    let rest = rest.strip_prefix("micros=").ok_or_else(bad)?;
+    let (micros, rest) = rest.split_once(' ').ok_or_else(bad)?;
+    let micros: u64 = micros.parse().map_err(|_| bad())?;
+    let rest = rest.strip_prefix("outcome=\"").ok_or_else(bad)?;
+    let (outcome, request) = rest.split_once("\" | ").ok_or_else(bad)?;
+    Ok(SlowEntry {
+        verb: verb.to_string(),
+        line: request.to_string(),
+        outcome: outcome.to_string(),
+        micros,
+        spans: Vec::new(),
+    })
 }

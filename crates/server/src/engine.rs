@@ -270,6 +270,30 @@ impl ServeEngine {
         self.info
     }
 
+    /// The per-table version vector in catalog order — the `versions=`
+    /// field of `INFO`/`PING` that the router's cache probes read. Cheap
+    /// by construction (one `Vec` read per table, no rendering of rows or
+    /// plans), so probing it every `--cache-probe-interval-ms` costs the
+    /// shard nothing measurable. Catalog order is deterministic across
+    /// replicas of a shard: every replica loads the same tables in the
+    /// same generator order.
+    pub fn version_vector(&self) -> Vec<u64> {
+        let db = self.engine.db();
+        (0..db.table_names().count())
+            .map(|i| db.table_version_at(i))
+            .collect()
+    }
+
+    /// [`version_vector`](Self::version_vector) rendered as the wire form:
+    /// comma-separated versions in catalog order.
+    pub fn versions_field(&self) -> String {
+        self.version_vector()
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
     /// The default plan options overrides are applied on top of.
     pub fn defaults(&self) -> PlanOptions {
         self.defaults
@@ -364,7 +388,7 @@ impl ServeEngine {
         priority: i32,
         use_cache: bool,
     ) -> Result<(QueryResult, ExecStats), ServeError> {
-        self.run_spec_obs(spec, opts, priority, use_cache, "QUERY", None)
+        self.run_spec_obs(spec, opts, priority, use_cache, None)
     }
 
     /// [`run_spec`](Self::run_spec) with request-scoped observability:
@@ -378,7 +402,6 @@ impl ServeEngine {
         opts: &PlanOptions,
         priority: i32,
         use_cache: bool,
-        verb: &'static str,
         mut trace: Option<&mut Trace>,
     ) -> Result<(QueryResult, ExecStats), ServeError> {
         let db = self.engine.db();
@@ -397,7 +420,6 @@ impl ServeEngine {
                 // bypass trace has a single exec span covering them all.
                 t.add(t.root(), "exec", elapsed_micros(started));
             }
-            self.slow_log(verb, "bypass", started, spec, opts);
             return Ok(result);
         }
 
@@ -419,7 +441,6 @@ impl ServeEngine {
             if let Some(t) = trace.as_deref_mut() {
                 t.add(t.root(), "result_cache", elapsed_micros(started));
             }
-            self.slow_log(verb, "cache: result hit", started, spec, opts);
             return Ok((hit.result.clone(), stats));
         }
 
@@ -454,7 +475,6 @@ impl ServeEngine {
         stats.push(cache_op(tier_label, result.rows.len()));
         push_assembly_op(&mut stats, assembly);
         stats.total_micros = started.elapsed().as_micros();
-        self.slow_log(verb, tier_label, started, spec, opts);
         Ok((result, stats))
     }
 
@@ -475,7 +495,7 @@ impl ServeEngine {
         priority: i32,
         use_cache: bool,
     ) -> Result<(PartialAggregate, ExecStats), ServeError> {
-        self.run_spec_partial_obs(spec, opts, priority, use_cache, "RUN", None)
+        self.run_spec_partial_obs(spec, opts, priority, use_cache, None)
     }
 
     /// [`run_spec_partial`](Self::run_spec_partial) with request-scoped
@@ -488,7 +508,6 @@ impl ServeEngine {
         opts: &PlanOptions,
         priority: i32,
         use_cache: bool,
-        verb: &'static str,
         trace: Option<&mut Trace>,
     ) -> Result<(PartialAggregate, ExecStats), ServeError> {
         let db = self.engine.db();
@@ -504,7 +523,6 @@ impl ServeEngine {
             if let Some(t) = trace {
                 t.add(t.root(), "exec", elapsed_micros(started));
             }
-            self.slow_log(verb, "bypass", started, spec, opts);
             return Ok((partial, stats));
         }
 
@@ -533,7 +551,6 @@ impl ServeEngine {
         stats.push(cache_op(tier_label, partial.rows.len()));
         push_assembly_op(&mut stats, assembly);
         stats.total_micros = started.elapsed().as_micros();
-        self.slow_log(verb, tier_label, started, spec, opts);
         Ok((partial, stats))
     }
 
@@ -598,32 +615,6 @@ impl ServeEngine {
                 Ok((p, label, Some(assembly), phases))
             }
         }
-    }
-
-    /// Emits the slow-query log line (and counts it) when the request's
-    /// wall time reached the `--slow-query-micros` threshold. The
-    /// fingerprint is computed lazily — only slow requests pay for it.
-    fn slow_log(
-        &self,
-        verb: &'static str,
-        outcome: &str,
-        started: Instant,
-        spec: &QuerySpec,
-        opts: &PlanOptions,
-    ) {
-        let Some(obs) = &self.obs else { return };
-        let Some(threshold) = obs.slow_threshold() else {
-            return;
-        };
-        let micros = elapsed_micros(started);
-        if micros < threshold {
-            return;
-        }
-        obs.note_slow();
-        let fp = QueryFingerprint::compute(self.engine.db(), spec, opts)
-            .map(|f| f.key)
-            .unwrap_or(0);
-        eprintln!("slow-query fp={fp:#018x} verb={verb} outcome=\"{outcome}\" micros={micros}");
     }
 
     /// Renders the physical plan of a named query under the default

@@ -14,7 +14,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use qppt_cache::{CacheStats, TierSnapshot};
-use qppt_obs::{Counter, Gauge, Histogram, Registry};
+use qppt_obs::{Counter, Gauge, Histogram, Registry, SlowRing};
 use qppt_par::PoolMetrics;
 
 /// Wire verbs instrumented with request counters and latency histograms.
@@ -35,6 +35,7 @@ pub struct ServeObs {
     uptime: Arc<Gauge>,
     slow_threshold: Option<u64>,
     slow_queries: Arc<Counter>,
+    slow_ring: SlowRing,
     verbs: Vec<(&'static str, VerbMetrics)>,
 }
 
@@ -48,8 +49,8 @@ impl std::fmt::Debug for ServeObs {
 
 impl ServeObs {
     /// Creates the observability state. `slow_threshold` is the
-    /// `--slow-query-micros` value: requests at or above it are logged to
-    /// stderr (`None` disables the log).
+    /// `--slow-query-micros` value: requests at or above it are recorded
+    /// in the slow-query ring served by `METRICS SLOW` (`None` disables).
     pub fn new(slow_threshold: Option<u64>) -> Arc<Self> {
         let registry = Registry::new();
         let uptime = registry.gauge(
@@ -86,6 +87,7 @@ impl ServeObs {
             uptime,
             slow_threshold,
             slow_queries,
+            slow_ring: SlowRing::default(),
             verbs,
         })
     }
@@ -114,9 +116,14 @@ impl ServeObs {
         self.slow_threshold
     }
 
-    /// Counts one slow query (the caller writes the log line).
+    /// Counts one slow query (the caller records the ring entry).
     pub fn note_slow(&self) {
         self.slow_queries.inc();
+    }
+
+    /// The slow-query ring buffer behind `METRICS SLOW`.
+    pub fn slow_ring(&self) -> &SlowRing {
+        &self.slow_ring
     }
 
     /// Seconds since this process started serving.

@@ -18,7 +18,7 @@
 //! info      = "INFO"                           ; single-line response
 //! ping      = "PING"                           ; single-line response
 //! cache     = "CACHE" ( "STATS" | "CLEAR" [ "dims" ] ) ; single-line
-//! metrics   = "METRICS"                        ; multi-line response
+//! metrics   = "METRICS" [ SP "SLOW" ]          ; multi-line response
 //! quit      = "QUIT"                           ; single-line, closes conn
 //! shutdown  = "SHUTDOWN"                       ; single-line, stops server
 //!
@@ -33,7 +33,11 @@
 //! ```
 //!
 //! `METRICS` answers `OK metrics`, the server's full Prometheus text
-//! exposition (one line per sample), then `END`. `trace=on` enables
+//! exposition (one line per sample), then `END`. `METRICS SLOW` answers
+//! `OK slow <n>` followed by the slow-query ring (oldest first): one
+//! `slow verb=… micros=… outcome="…" | <request line>` body line per
+//! entry, each followed by that request's `# span` lines when it was
+//! traced, then `END`. `trace=on` enables
 //! request-scoped span tracing for that `RUN`/`QUERY` only (`trace=off`
 //! is the default); `trace=<id>` — any numeric value — also enables it
 //! while pinning the trace id, which is how the router propagates its
@@ -112,7 +116,7 @@
 use std::io::{self, BufRead, Write};
 
 use qppt_core::{ExecStats, PartialAggregate, PartialRow, PlanOptions};
-use qppt_obs::SpanRec;
+use qppt_obs::{SlowEntry, SpanRec};
 use qppt_storage::{QueryResult, QuerySpec, ResultRow, Value};
 
 /// A parsed client request.
@@ -147,6 +151,10 @@ pub enum Request {
     Cache(CacheCmd),
     /// Prometheus text exposition of the server's metric registry.
     Metrics,
+    /// The slow-query ring buffer (`METRICS SLOW`): the last requests
+    /// that crossed the `--slow-query-micros` threshold, with request
+    /// line, cache outcome, and span tree.
+    MetricsSlow,
     /// Close this connection.
     Quit,
     /// Graceful server shutdown: in-flight queries finish, the acceptor
@@ -180,7 +188,21 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "PING" => Ok(Request::Ping),
         "INFO" => Ok(Request::Info),
         "LIST" => Ok(Request::List),
-        "METRICS" => Ok(Request::Metrics),
+        "METRICS" => {
+            let req = match parts.next().map(str::to_ascii_uppercase).as_deref() {
+                None => Request::Metrics,
+                Some("SLOW") => Request::MetricsSlow,
+                Some(other) => {
+                    return Err(format!("unknown METRICS subcommand {other} (try SLOW)"))
+                }
+            };
+            if let Some(extra) = parts.next() {
+                return Err(format!(
+                    "unexpected token after METRICS subcommand: {extra}"
+                ));
+            }
+            Ok(req)
+        }
         "QUIT" => Ok(Request::Quit),
         "SHUTDOWN" => Ok(Request::Shutdown),
         "CACHE" => {
@@ -515,6 +537,20 @@ pub fn write_partial_response(
     writeln!(w, "END")
 }
 
+/// Writes a `METRICS SLOW` response: the ring oldest-first, one `slow …`
+/// body line per entry followed by that request's `# span` lines. Shared
+/// by the shard server and the router, so clients parse one shape.
+pub fn write_slow_response(w: &mut dyn Write, entries: &[SlowEntry]) -> io::Result<()> {
+    writeln!(w, "OK slow {}", entries.len())?;
+    for e in entries {
+        writeln!(w, "{}", e.wire())?;
+        for span in &e.spans {
+            writeln!(w, "# span {}", span.wire())?;
+        }
+    }
+    writeln!(w, "END")
+}
+
 /// Parses the payload of a `PARTIAL` status line (`partial <group-count>`),
 /// as returned by [`read_status`]. `None` if it is not a partial status.
 pub fn parse_partial_status(status: &str) -> Option<usize> {
@@ -789,6 +825,10 @@ mod tests {
         assert_eq!(parse_request("info").unwrap(), Request::Info);
         assert_eq!(parse_request("  LIST  ").unwrap(), Request::List);
         assert_eq!(parse_request("metrics").unwrap(), Request::Metrics);
+        assert_eq!(parse_request("METRICS SLOW").unwrap(), Request::MetricsSlow);
+        assert_eq!(parse_request("metrics slow").unwrap(), Request::MetricsSlow);
+        assert!(parse_request("METRICS FAST").is_err());
+        assert!(parse_request("METRICS SLOW extra").is_err());
         assert_eq!(parse_request("QUIT").unwrap(), Request::Quit);
         assert_eq!(parse_request("Shutdown").unwrap(), Request::Shutdown);
         assert_eq!(

@@ -44,12 +44,13 @@ use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use qppt_obs::Trace;
+use qppt_core::ExecStats;
+use qppt_obs::{SlowEntry, SpanRec, Trace};
 
 use crate::engine::{render_cache_stats, ServeEngine};
 use crate::protocol::{
-    apply_overrides, parse_request, write_partial_response, write_run_response, CacheCmd, Request,
-    TraceMode,
+    apply_overrides, parse_request, write_partial_response, write_run_response,
+    write_slow_response, CacheCmd, Request, TraceMode,
 };
 
 /// Tunables of the TCP frontend.
@@ -400,8 +401,21 @@ fn verb_of(req: &Request) -> &'static str {
         Request::Explain { .. } | Request::ExplainSpec { .. } => "EXPLAIN",
         Request::Run { .. } => "RUN",
         Request::Query { .. } => "QUERY",
-        Request::Metrics => "METRICS",
+        Request::Metrics | Request::MetricsSlow => "METRICS",
     }
+}
+
+/// Where a served response came from, read back off its op list: the
+/// last cache-tier op (skipping the dimension-assembly line) names the
+/// tier, and a run with no cache ops bypassed the cache entirely.
+fn outcome_of(stats: &ExecStats) -> &str {
+    stats
+        .ops
+        .iter()
+        .rev()
+        .find(|op| op.index_kind == "cache" && !op.label.starts_with("cache: dims"))
+        .map(|op| op.label.as_str())
+        .unwrap_or("bypass")
 }
 
 impl LineService for EngineService {
@@ -409,7 +423,7 @@ impl LineService for EngineService {
         let started = Instant::now();
         let parsed = parse_request(line);
         let verb = parsed.as_ref().ok().map(verb_of);
-        let reply = self.dispatch(parsed, w)?;
+        let reply = self.dispatch(parsed, line, w)?;
         if let (Some(obs), Some(verb)) = (self.engine.obs(), verb) {
             let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
             obs.record_request(verb, micros);
@@ -419,12 +433,42 @@ impl LineService for EngineService {
 }
 
 impl EngineService {
+    /// Records a slow `RUN`/`QUERY` in the ring (and counts it) when its
+    /// request wall time reached the `--slow-query-micros` threshold.
+    fn slow_log(
+        &self,
+        verb: &'static str,
+        line: &str,
+        outcome: &str,
+        spans: &[SpanRec],
+        started: Instant,
+    ) {
+        let Some(obs) = self.engine.obs() else { return };
+        let Some(threshold) = obs.slow_threshold() else {
+            return;
+        };
+        let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        if micros < threshold {
+            return;
+        }
+        obs.note_slow();
+        obs.slow_ring().push(SlowEntry {
+            verb: verb.to_string(),
+            line: line.to_string(),
+            outcome: outcome.to_string(),
+            micros,
+            spans: spans.to_vec(),
+        });
+    }
+
     fn dispatch(
         &self,
         parsed: Result<Request, String>,
+        line: &str,
         mut w: &mut dyn Write,
     ) -> io::Result<Reply> {
         let engine = &*self.engine;
+        let started = Instant::now();
         match parsed {
             Err(msg) => writeln!(w, "ERR {msg}")?,
             Ok(Request::Ping) => writeln!(w, "OK pong")?,
@@ -441,7 +485,7 @@ impl EngineService {
                 writeln!(
                     w,
                     "OK sf={} seed={} pool_threads={} admission={} cores={} rows={} \
-                     shard={}/{} replica={} queries={} uptime_secs={} build={}",
+                     shard={}/{} replica={} queries={} uptime_secs={} build={} versions={}",
                     i.sf,
                     i.seed,
                     i.pool_threads,
@@ -454,6 +498,7 @@ impl EngineService {
                     engine.query_names().len(),
                     engine.uptime_secs(),
                     ServeEngine::build(),
+                    engine.versions_field(),
                 )?;
             }
             Ok(Request::Metrics) => match engine.render_metrics() {
@@ -465,6 +510,10 @@ impl EngineService {
                     }
                     writeln!(w, "END")?;
                 }
+            },
+            Ok(Request::MetricsSlow) => match engine.obs() {
+                None => writeln!(w, "ERR metrics disabled (--no-obs)")?,
+                Some(obs) => write_slow_response(&mut w, &obs.slow_ring().snapshot())?,
             },
             Ok(Request::Cache(CacheCmd::Stats)) => {
                 writeln!(w, "OK {}", render_cache_stats(&engine.cache_stats()))?;
@@ -513,7 +562,6 @@ impl EngineService {
                                     &opts,
                                     controls.priority,
                                     controls.use_cache,
-                                    "RUN",
                                     trace.as_mut(),
                                 )
                             }) {
@@ -523,6 +571,7 @@ impl EngineService {
                                     write_partial_response(
                                         &mut w, &partial, &stats, workers, &spans,
                                     )?;
+                                    self.slow_log("RUN", line, outcome_of(&stats), &spans, started);
                                 }
                             }
                         } else {
@@ -532,7 +581,6 @@ impl EngineService {
                                     &opts,
                                     controls.priority,
                                     controls.use_cache,
-                                    "RUN",
                                     trace.as_mut(),
                                 )
                             }) {
@@ -540,6 +588,7 @@ impl EngineService {
                                 Ok((result, stats)) => {
                                     let spans = finish_trace(trace, stats.total_micros);
                                     write_run_response(&mut w, &result, &stats, workers, &spans)?;
+                                    self.slow_log("RUN", line, outcome_of(&stats), &spans, started);
                                 }
                             }
                         }
@@ -560,7 +609,6 @@ impl EngineService {
                                 &opts,
                                 controls.priority,
                                 controls.use_cache,
-                                "QUERY",
                                 trace.as_mut(),
                             ) {
                                 Err(e) => writeln!(w, "ERR {e}")?,
@@ -569,6 +617,13 @@ impl EngineService {
                                     write_partial_response(
                                         &mut w, &partial, &stats, workers, &spans,
                                     )?;
+                                    self.slow_log(
+                                        "QUERY",
+                                        line,
+                                        outcome_of(&stats),
+                                        &spans,
+                                        started,
+                                    );
                                 }
                             }
                         } else {
@@ -577,13 +632,19 @@ impl EngineService {
                                 &opts,
                                 controls.priority,
                                 controls.use_cache,
-                                "QUERY",
                                 trace.as_mut(),
                             ) {
                                 Err(e) => writeln!(w, "ERR {e}")?,
                                 Ok((result, stats)) => {
                                     let spans = finish_trace(trace, stats.total_micros);
                                     write_run_response(&mut w, &result, &stats, workers, &spans)?;
+                                    self.slow_log(
+                                        "QUERY",
+                                        line,
+                                        outcome_of(&stats),
+                                        &spans,
+                                        started,
+                                    );
                                 }
                             }
                         }

@@ -8,9 +8,10 @@
 
 use std::sync::Arc;
 
-use qppt_core::PlanOptions;
+use qppt_core::{prepare_indexes, PartialAggregate, PlanOptions, QpptEngine};
 use qppt_par::WorkerPool;
 use qppt_server::ServeEngine;
+use qppt_ssb::{queries, SsbDb};
 
 #[test]
 fn batched_runs_share_sigma_and_results_with_scalar_runs() {
@@ -80,4 +81,51 @@ fn batched_runs_share_sigma_and_results_with_scalar_runs() {
     );
 
     pool.shutdown();
+}
+
+/// Pins the two *decode* paths specifically: `decode_result` (single-node
+/// results) and `PartialAggregate::from_agg` (the shard-side rows routed
+/// merges are built from) must emit byte-identical output whether group
+/// values decode row at a time or lane-wise in `batch_rows`-sized runs —
+/// at run sizes that exceed the group count, don't divide it, and
+/// degenerate to one row. The uncached sequential engine is used so every
+/// run really decodes (no cache tier absorbs the repeats).
+#[test]
+fn batched_decode_is_byte_identical_on_both_decode_paths() {
+    let opts = PlanOptions::default();
+    let mut ssb = SsbDb::generate(0.01, 42);
+    for q in queries::all_queries() {
+        prepare_indexes(&mut ssb.db, &q, &opts).expect("indexes build");
+    }
+    let engine = QpptEngine::new(&ssb.db);
+
+    for q in queries::all_queries() {
+        let scalar = engine.run(&q, &opts).expect("scalar run");
+        let plan = engine.plan(&q, &opts).expect("scalar plan");
+        let (agg, _) = qppt_core::exec::execute_agg(&ssb.db, ssb.db.snapshot(), &plan)
+            .expect("scalar agg run");
+        let partial_scalar = PartialAggregate::from_agg(&ssb.db, &plan, &agg);
+        assert_eq!(
+            partial_scalar.clone().into_result(&q.order_by),
+            scalar,
+            "{}: partial decode agrees with the direct decode",
+            q.id
+        );
+
+        for rows in [1usize, 3, 64, 4096] {
+            let batched = opts.with_batch_exec(true).with_batch_rows(rows);
+            let got = engine.run(&q, &batched).expect("batched run");
+            assert_eq!(got, scalar, "{}: decode_result bytes at rows={rows}", q.id);
+
+            let plan_b = engine.plan(&q, &batched).expect("batched plan");
+            let (agg_b, _) = qppt_core::exec::execute_agg(&ssb.db, ssb.db.snapshot(), &plan_b)
+                .expect("batched agg run");
+            let partial_b = PartialAggregate::from_agg(&ssb.db, &plan_b, &agg_b);
+            assert_eq!(
+                partial_b, partial_scalar,
+                "{}: from_agg rows at rows={rows}",
+                q.id
+            );
+        }
+    }
 }

@@ -137,6 +137,62 @@ fn metrics_exposition_counts_requests_and_matches_cache_stats() {
     pool.shutdown();
 }
 
+/// `METRICS SLOW` reads the slow-query ring over the wire — the
+/// replacement for the old stderr slow log. Each entry must carry the
+/// verb, the raw request line as received, the cache outcome the request
+/// resolved through, and (for traced requests) the same span tree the
+/// stats channel returned. Threshold 1µs makes every executed query slow;
+/// only the entries that must exist are asserted (a warm hit may round
+/// to 0µs and legitimately miss the ring).
+#[test]
+fn metrics_slow_returns_ring_entries_with_outcomes_and_spans() {
+    let db = ssb_db();
+    let pool = WorkerPool::new(2, 8);
+    let engine = ServeEngine::over_db(db, pool.clone(), PlanOptions::default(), SF, SEED)
+        .with_obs(ServeObs::new(Some(1)));
+    let server = serve(Arc::new(engine), "127.0.0.1:0").unwrap();
+    let mut client = QpptClient::connect(server.addr()).unwrap();
+
+    let ring0 = client.metrics_slow().expect("METRICS SLOW answers");
+    assert!(ring0.is_empty(), "nothing served yet ⇒ empty ring");
+
+    // A cold traced run, then an untraced cache bypass.
+    let traced = client
+        .run("q2.3", &[("trace", "on")])
+        .expect("cold traced run");
+    client.run("q2.3", &[("cache", "off")]).expect("bypass run");
+
+    let ring = client.metrics_slow().expect("ring reads back");
+    assert_eq!(ring.len(), 2, "both executed runs crossed 1µs");
+
+    // Oldest first: the cold run, with its full span tree reattached.
+    let cold = &ring[0];
+    assert_eq!(cold.verb, "RUN");
+    assert_eq!(cold.line, "RUN q2.3 trace=on", "raw request line preserved");
+    assert_eq!(cold.outcome, "cache: cold");
+    assert!(cold.micros >= 1);
+    validate_span_tree(&cold.spans).expect("slow-entry span tree validates");
+    assert_eq!(
+        cold.spans, traced.stats.spans,
+        "the ring carries the same spans the stats channel returned"
+    );
+
+    // The bypass run: outcome says so, and untraced means no spans.
+    let bypass = &ring[1];
+    assert_eq!(bypass.outcome, "bypass");
+    assert_eq!(bypass.line, "RUN q2.3 cache=off");
+    assert!(bypass.spans.is_empty(), "untraced ⇒ no spans");
+
+    // Reading the ring does not consume it (and is never itself slow —
+    // METRICS is outside the RUN/QUERY slow path).
+    let again = client.metrics_slow().expect("second read");
+    assert_eq!(again, ring, "snapshot reads are idempotent");
+
+    client.quit().unwrap();
+    server.stop();
+    pool.shutdown();
+}
+
 #[test]
 fn traced_requests_return_valid_span_trees_and_identical_bytes() {
     let db = ssb_db();
@@ -215,6 +271,12 @@ fn no_obs_serves_queries_but_rejects_metrics() {
             assert!(msg.contains("--no-obs"), "got: {msg}");
         }
         other => panic!("METRICS without obs must ERR, got {other:?}"),
+    }
+    match client.metrics_slow() {
+        Err(ClientError::Server(msg)) => {
+            assert!(msg.contains("--no-obs"), "got: {msg}");
+        }
+        other => panic!("METRICS SLOW without obs must ERR, got {other:?}"),
     }
     // The connection (and tracing, which is request-scoped) still works.
     let served = client
